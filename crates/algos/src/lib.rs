@@ -1,0 +1,42 @@
+//! The paper's four evaluation workloads (§6.1, Table 1), as
+//! [`VertexProgram`](imitator_engine::VertexProgram)s runnable on both the
+//! edge-cut and vertex-cut engines:
+//!
+//! * [`PageRank`] — the web-ranking fixpoint (all experiments' default);
+//! * [`Sssp`] — single-source shortest paths on weighted graphs (RoadCA),
+//!   the activation-front workload;
+//! * [`CommunityDetection`] — synchronous label propagation (DBLP);
+//! * [`Als`] — alternating least squares matrix factorisation on bipartite
+//!   rating graphs (SYN-GL), with a hand-rolled Cholesky solve.
+//!
+//! Every value type implements the `imitator-storage` codec (checkpoints)
+//! and `MemSize` (memory accounting), so any program here runs under any
+//! fault-tolerance mode.
+//!
+//! # Examples
+//!
+//! ```
+//! use imitator_algos::PageRank;
+//! use imitator_engine::{Degrees, VertexProgram};
+//! use imitator_graph::{gen, Vid};
+//!
+//! let g = gen::power_law(100, 2.0, 4, 1);
+//! let d = Degrees::of(&g);
+//! let pr = PageRank::default();
+//! let v0 = pr.init(Vid::new(0), &d);
+//! assert!(v0.rank > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod als;
+mod cd;
+pub mod linalg;
+mod pagerank;
+mod sssp;
+
+pub use als::{rmse as als_rmse, Als, AlsAccum, AlsValue};
+pub use cd::{reference as cd_reference, CommunityDetection};
+pub use pagerank::{reference as pagerank_reference, PageRank, RankValue};
+pub use sssp::{reference as sssp_reference, Sssp};

@@ -1,0 +1,118 @@
+//! Tiny dense linear algebra for ALS: symmetric positive-definite solves
+//! via Cholesky factorisation (the normal-equation step of §6.1's ALS).
+
+/// Solves `A·x = b` for symmetric positive-definite `A` (row-major, `n×n`)
+/// via Cholesky factorisation. Returns `None` when `A` is not positive
+/// definite (ALS guards with a ridge term, so this signals a bug upstream).
+///
+/// # Panics
+///
+/// Panics if `a.len() != n*n` or `b.len() != n`.
+///
+/// # Examples
+///
+/// ```
+/// use imitator_algos::linalg::cholesky_solve;
+///
+/// // A = [[4, 2], [2, 3]], b = [2, 3] → x = [0, 1]
+/// let x = cholesky_solve(&[4.0, 2.0, 2.0, 3.0], &[2.0, 3.0], 2).unwrap();
+/// assert!((x[0] - 0.0).abs() < 1e-6);
+/// assert!((x[1] - 1.0).abs() < 1e-6);
+/// ```
+pub fn cholesky_solve(a: &[f32], b: &[f32], n: usize) -> Option<Vec<f32>> {
+    assert_eq!(a.len(), n * n, "matrix must be n×n");
+    assert_eq!(b.len(), n, "rhs must have length n");
+    // Factor A = L·Lᵀ.
+    let mut l = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = f64::from(a[i * n + j]);
+            for k in 0..j {
+                sum -= l[i * n + k] * l[j * n + k];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return None;
+                }
+                l[i * n + i] = sum.sqrt();
+            } else {
+                l[i * n + j] = sum / l[j * n + j];
+            }
+        }
+    }
+    // Forward substitution: L·y = b.
+    let mut y = vec![0.0f64; n];
+    for i in 0..n {
+        let mut sum = f64::from(b[i]);
+        for k in 0..i {
+            sum -= l[i * n + k] * y[k];
+        }
+        y[i] = sum / l[i * n + i];
+    }
+    // Back substitution: Lᵀ·x = y.
+    let mut x = vec![0.0f64; n];
+    for i in (0..n).rev() {
+        let mut sum = y[i];
+        for k in i + 1..n {
+            sum -= l[k * n + i] * x[k];
+        }
+        x[i] = sum / l[i * n + i];
+    }
+    Some(x.into_iter().map(|v| v as f32).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_solve_returns_rhs() {
+        let a = [1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0];
+        let b = [3.0, -1.0, 0.5];
+        assert_eq!(cholesky_solve(&a, &b, 3).unwrap(), b.to_vec());
+    }
+
+    #[test]
+    fn solves_random_spd_system() {
+        // A = MᵀM + I is SPD for any M.
+        let n = 4;
+        let m: Vec<f32> = (0..n * n)
+            .map(|i| ((i * 7 + 3) % 11) as f32 / 11.0)
+            .collect();
+        let mut a = vec![0.0f32; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                let mut s = 0.0;
+                for k in 0..n {
+                    s += m[k * n + i] * m[k * n + j];
+                }
+                a[i * n + j] = s + if i == j { 1.0 } else { 0.0 };
+            }
+        }
+        let x_true = [1.0f32, -2.0, 0.5, 3.0];
+        let mut b = vec![0.0f32; n];
+        for i in 0..n {
+            for j in 0..n {
+                b[i] += a[i * n + j] * x_true[j];
+            }
+        }
+        let x = cholesky_solve(&a, &b, n).unwrap();
+        for (got, want) in x.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-4, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn rejects_non_positive_definite() {
+        let a = [0.0, 0.0, 0.0, 0.0];
+        assert!(cholesky_solve(&a, &[1.0, 1.0], 2).is_none());
+        let neg = [-1.0];
+        assert!(cholesky_solve(&neg, &[1.0], 1).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "n×n")]
+    fn wrong_shape_panics() {
+        let _ = cholesky_solve(&[1.0, 2.0], &[1.0], 1);
+    }
+}

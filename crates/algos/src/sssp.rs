@@ -1,0 +1,153 @@
+//! Single-source shortest paths on weighted graphs (RoadCA workload).
+//!
+//! The activation-front workload: only vertices whose tentative distance
+//! just improved activate their out-neighbours, so most of the graph is
+//! quiet most of the time — exactly the behaviour that distinguishes the
+//! paper's activation replay (§5.1.3) from dense recomputation.
+
+use imitator_engine::{Degrees, VertexProgram};
+use imitator_graph::Vid;
+
+/// The SSSP vertex program over `f32` edge weights. Distance values are
+/// `f32` with `INFINITY` for unreached vertices.
+///
+/// # Examples
+///
+/// ```
+/// use imitator_algos::Sssp;
+/// use imitator_graph::Vid;
+///
+/// let sssp = Sssp::from_source(Vid::new(3));
+/// assert_eq!(sssp.source, Vid::new(3));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sssp {
+    /// The source vertex.
+    pub source: Vid,
+}
+
+impl Sssp {
+    /// Creates an SSSP program rooted at `source`.
+    pub fn from_source(source: Vid) -> Self {
+        Sssp { source }
+    }
+}
+
+impl VertexProgram for Sssp {
+    type Value = f32;
+    type Accum = f32;
+
+    fn init(&self, vid: Vid, _degrees: &Degrees) -> f32 {
+        if vid == self.source {
+            0.0
+        } else {
+            f32::INFINITY
+        }
+    }
+
+    // Pull-based gather means a vertex only recomputes when an in-neighbour
+    // *changed* — and the source itself never changes. Every vertex therefore
+    // runs one dense superstep at iteration 0 (most relax to ∞ and go quiet);
+    // the front then spreads through activation alone.
+
+    fn gather(&self, weight: f32, src: &f32) -> f32 {
+        src + weight
+    }
+
+    fn combine(&self, a: f32, b: f32) -> f32 {
+        a.min(b)
+    }
+
+    fn apply(&self, _vid: Vid, old: &f32, acc: Option<f32>, _degrees: &Degrees) -> f32 {
+        acc.map_or(*old, |a| a.min(*old))
+    }
+
+    fn scatter(&self, _vid: Vid, old: &f32, new: &f32) -> bool {
+        new < old
+    }
+
+    /// Distances are running minima over history (`apply` reads `old`), so
+    /// they are *not* recomputable from neighbours alone — the selfish
+    /// optimisation must stay off (§4.4).
+    fn selfish_compatible(&self) -> bool {
+        false
+    }
+}
+
+/// Sequential Bellman-Ford reference.
+pub fn reference(g: &imitator_graph::Graph, source: Vid) -> Vec<f32> {
+    let mut dist = vec![f32::INFINITY; g.num_vertices()];
+    dist[source.index()] = 0.0;
+    for _ in 0..g.num_vertices() {
+        let mut changed = false;
+        for e in g.edges() {
+            let cand = dist[e.src.index()] + e.weight;
+            if cand < dist[e.dst.index()] {
+                dist[e.dst.index()] = cand;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imitator_graph::{gen, Edge, Graph};
+
+    #[test]
+    fn init_centers_on_source_and_all_start_active() {
+        use imitator_engine::VertexProgram as _;
+        let g = gen::from_pairs(3, &[(0, 1)]);
+        let d = Degrees::of(&g);
+        let s = Sssp::from_source(Vid::new(1));
+        assert_eq!(s.init(Vid::new(1), &d), 0.0);
+        assert_eq!(s.init(Vid::new(0), &d), f32::INFINITY);
+        // Pull-based SSSP needs one dense superstep to launch the front.
+        assert!(s.initially_active(Vid::new(0)));
+        assert!(s.initially_active(Vid::new(1)));
+    }
+
+    #[test]
+    fn gather_relaxes_edges() {
+        let s = Sssp::from_source(Vid::new(0));
+        assert_eq!(s.gather(2.5, &1.0), 3.5);
+        assert_eq!(s.combine(3.0, 2.0), 2.0);
+    }
+
+    #[test]
+    fn apply_is_monotone() {
+        let g = gen::from_pairs(2, &[(0, 1)]);
+        let d = Degrees::of(&g);
+        let s = Sssp::from_source(Vid::new(0));
+        assert_eq!(s.apply(Vid::new(1), &5.0, Some(7.0), &d), 5.0);
+        assert_eq!(s.apply(Vid::new(1), &5.0, Some(3.0), &d), 3.0);
+        assert_eq!(s.apply(Vid::new(1), &5.0, None, &d), 5.0);
+    }
+
+    #[test]
+    fn reference_matches_hand_computed_paths() {
+        let g = Graph::from_edges(
+            4,
+            vec![
+                Edge::weighted(Vid::new(0), Vid::new(1), 1.0),
+                Edge::weighted(Vid::new(1), Vid::new(2), 2.0),
+                Edge::weighted(Vid::new(0), Vid::new(2), 10.0),
+                Edge::weighted(Vid::new(2), Vid::new(3), 1.0),
+            ],
+        );
+        let d = reference(&g, Vid::new(0));
+        assert_eq!(d, vec![0.0, 1.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn unreachable_stays_infinite() {
+        let g = gen::from_pairs(3, &[(0, 1)]);
+        let d = reference(&g, Vid::new(0));
+        assert!(d[2].is_infinite());
+    }
+}

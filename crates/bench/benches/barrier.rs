@@ -1,0 +1,41 @@
+//! Criterion micro-benchmark: coordination-service barrier round trips —
+//! the fixed cost every BSP superstep pays twice.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use imitator_cluster::{Cluster, NodeId};
+use std::time::{Duration, Instant};
+
+fn bench_barrier(c: &mut Criterion) {
+    let mut group = c.benchmark_group("barrier_round");
+    for nodes in [2usize, 4, 8] {
+        group.bench_function(BenchmarkId::new("nodes", nodes), |b| {
+            b.iter_custom(|rounds| {
+                let cluster: Cluster<()> = Cluster::new(nodes, 0, Duration::ZERO);
+                let peers: Vec<_> = (1..nodes)
+                    .map(|p| {
+                        let ctx = cluster.take_ctx(NodeId::from_index(p));
+                        std::thread::spawn(move || {
+                            for _ in 0..rounds {
+                                ctx.enter_barrier();
+                            }
+                        })
+                    })
+                    .collect();
+                let me = cluster.take_ctx(NodeId::new(0));
+                let start = Instant::now();
+                for _ in 0..rounds {
+                    me.enter_barrier();
+                }
+                let elapsed = start.elapsed();
+                for p in peers {
+                    p.join().expect("peer thread");
+                }
+                elapsed
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_barrier);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion micro-benchmarks: partitioner throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use imitator_graph::gen;
+use imitator_partition::{
+    EdgeCutPartitioner, FennelEdgeCut, GridVertexCut, HashEdgeCut, HybridVertexCut,
+    RandomVertexCut, VertexCutPartitioner,
+};
+
+fn bench_partitioners(c: &mut Criterion) {
+    let g = gen::power_law(20_000, 2.0, 10, 7);
+    let parts = 16;
+    let mut group = c.benchmark_group("partition");
+    group.bench_function(BenchmarkId::new("edge-cut", "hash"), |b| {
+        b.iter(|| HashEdgeCut.partition(&g, parts))
+    });
+    group.bench_function(BenchmarkId::new("edge-cut", "fennel"), |b| {
+        b.iter(|| FennelEdgeCut::default().partition(&g, parts))
+    });
+    group.bench_function(BenchmarkId::new("vertex-cut", "random"), |b| {
+        b.iter(|| RandomVertexCut.partition(&g, parts))
+    });
+    group.bench_function(BenchmarkId::new("vertex-cut", "grid"), |b| {
+        b.iter(|| GridVertexCut.partition(&g, parts))
+    });
+    group.bench_function(BenchmarkId::new("vertex-cut", "hybrid"), |b| {
+        b.iter(|| HybridVertexCut::with_threshold(40).partition(&g, parts))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioners);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Ablation: failure-detection delay vs end-to-end failure-to-resume time.
+//!
+//! The paper detects failures by heartbeat with a conservative 500 ms
+//! interval and notes (§6.9) that detection dominates its ~7 s
+//! failure-to-recovery span. This ablation sweeps the detection delay and
+//! separates "waiting to notice" from "actually recovering".
+
+use imitator::{FtMode, RecoveryStrategy, RunConfig};
+use imitator_bench::{banner, crash, ms, ramfs, run_ec, BenchOpts, Workload};
+use imitator_graph::gen::Dataset;
+use imitator_partition::{EdgeCutPartitioner, HashEdgeCut};
+use std::time::Duration;
+
+fn main() {
+    let opts = BenchOpts::from_env();
+    banner(
+        "abl_detection_delay",
+        "detection delay vs recovery cost",
+        &opts,
+    );
+    let g = opts.cyclops_graph(Dataset::LJournal);
+    let cut = HashEdgeCut.partition(&g, opts.nodes);
+    println!(
+        "{:<12} {:>12} {:>14}",
+        "delay(ms)", "recover(ms)", "run total(s)"
+    );
+    for delay_ms in [0u64, 50, 200, 500] {
+        let s = run_ec(
+            Workload::PageRank,
+            &g,
+            &cut,
+            RunConfig {
+                num_nodes: opts.nodes,
+                ft: FtMode::Replication {
+                    tolerance: 1,
+                    selfish_opt: true,
+                    recovery: RecoveryStrategy::Migration,
+                },
+                detection_delay: Duration::from_millis(delay_ms),
+                ..RunConfig::default()
+            },
+            vec![crash(1, 6)],
+            ramfs(),
+        );
+        println!(
+            "{:<12} {:>12} {:>14.3}",
+            delay_ms,
+            ms(s.recovery_total()),
+            s.elapsed.as_secs_f64()
+        );
+    }
+    println!("(the recovery protocol itself is delay-independent; the delay is pure\n waiting, exactly the paper's observation that detection dominates)");
+}

@@ -1,0 +1,63 @@
+//! Ablation: the selfish-vertex optimisation (§4.4) on and off, across the
+//! Cyclops suite — runtime overhead and FT traffic with each setting.
+//!
+//! Complements fig08: shows the optimisation's end-to-end effect rather
+//! than the message ratios alone.
+
+use imitator::{FtMode, RecoveryStrategy, RunConfig};
+use imitator_bench::{banner, best_of, ramfs, reps, run_ec, BenchOpts, Workload};
+use imitator_graph::gen::Dataset;
+use imitator_partition::{EdgeCutPartitioner, HashEdgeCut};
+
+fn main() {
+    let opts = BenchOpts::from_env();
+    banner(
+        "abl_selfish",
+        "selfish-vertex optimisation on vs off",
+        &opts,
+    );
+    println!(
+        "{:<10} {:>12} {:>12} {:>13} {:>13}",
+        "dataset", "ovh off", "ovh on", "ft-recs off", "ft-recs on"
+    );
+    for d in Dataset::cyclops_suite() {
+        let g = opts.cyclops_graph(d);
+        let w = Workload::for_dataset(d, &g);
+        let cut = HashEdgeCut.partition(&g, opts.nodes);
+        let cfg = |ft| RunConfig {
+            num_nodes: opts.nodes,
+            ft,
+            ..RunConfig::default()
+        };
+        let n = reps();
+        let base = best_of(n, || {
+            run_ec(w, &g, &cut, cfg(FtMode::None), vec![], ramfs())
+        });
+        let run = |selfish_opt| {
+            best_of(n, || {
+                run_ec(
+                    w,
+                    &g,
+                    &cut,
+                    cfg(FtMode::Replication {
+                        tolerance: 1,
+                        selfish_opt,
+                        recovery: RecoveryStrategy::Rebirth,
+                    }),
+                    vec![],
+                    ramfs(),
+                )
+            })
+        };
+        let off = run(false);
+        let on = run(true);
+        println!(
+            "{:<10} {:>11.1}% {:>11.1}% {:>13} {:>13}",
+            d.name(),
+            off.overhead_vs(&base),
+            on.overhead_vs(&base),
+            off.ft_comm.messages,
+            on.ft_comm.messages
+        );
+    }
+}

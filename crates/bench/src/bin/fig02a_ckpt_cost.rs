@@ -1,0 +1,58 @@
+//! Fig. 2(a): the cost of writing one checkpoint vs the average iteration
+//! time, per algorithm and dataset (Cyclops suite, edge-cut).
+//!
+//! Paper shape: one checkpoint costs from ~0.55× (Wiki) to several times
+//! (DBLP, SYN-GL) an iteration — never cheap.
+
+use imitator::{FtMode, RunConfig};
+use imitator_bench::{banner, best_of, hdfs, ramfs, reps, run_ec, secs, BenchOpts, Workload};
+use imitator_graph::gen::Dataset;
+use imitator_partition::{EdgeCutPartitioner, HashEdgeCut};
+
+fn main() {
+    let opts = BenchOpts::from_env();
+    banner("fig02a", "cost of one checkpoint vs one iteration", &opts);
+    println!(
+        "{:<10} {:<9} {:>10} {:>12} {:>8}",
+        "algorithm", "dataset", "iter (s)", "1 ckpt (s)", "ratio"
+    );
+    for d in Dataset::cyclops_suite() {
+        let g = opts.cyclops_graph(d);
+        let w = Workload::for_dataset(d, &g);
+        let cut = HashEdgeCut.partition(&g, opts.nodes);
+        let cfg = |ft| RunConfig {
+            num_nodes: opts.nodes,
+            ft,
+            ..RunConfig::default()
+        };
+        let n = reps();
+        let base = best_of(n, || {
+            run_ec(w, &g, &cut, cfg(FtMode::None), vec![], ramfs())
+        });
+        let ck = best_of(n, || {
+            run_ec(
+                w,
+                &g,
+                &cut,
+                cfg(FtMode::Checkpoint {
+                    interval: 1,
+                    incremental: false,
+                }),
+                vec![],
+                hdfs(),
+            )
+        });
+        // Snapshots written once per iteration; the metadata snapshot at
+        // load is excluded by dividing by the iteration count.
+        let per_ckpt = ck.ckpt_time.as_secs_f64() / ck.iterations.max(1) as f64;
+        let avg_iter = base.avg_iter.as_secs_f64();
+        println!(
+            "{:<10} {:<9} {:>10} {:>12.3} {:>7.1}x",
+            w.name(),
+            d.name(),
+            secs(base.avg_iter),
+            per_ckpt,
+            per_ckpt / avg_iter.max(1e-9)
+        );
+    }
+}

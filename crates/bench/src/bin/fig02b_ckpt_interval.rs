@@ -1,0 +1,69 @@
+//! Fig. 2(b): overall overhead of checkpoint-based fault tolerance for
+//! PageRank/LJournal over 20 iterations, with snapshot intervals 1, 2, 4.
+//!
+//! Paper shape: 89% / 51% / 26% overhead — halving the frequency roughly
+//! halves the overhead, and even interval 4 is far from free.
+
+use imitator::{FtMode, RunConfig};
+use imitator_bench::{banner, best_of, hdfs, ramfs, reps, run_ec, secs, BenchOpts, Workload};
+use imitator_graph::gen::Dataset;
+use imitator_partition::{EdgeCutPartitioner, HashEdgeCut};
+
+fn main() {
+    let opts = BenchOpts::from_env();
+    banner(
+        "fig02b",
+        "CKPT overhead vs snapshot interval (PageRank, LJournal)",
+        &opts,
+    );
+    let g = opts.cyclops_graph(Dataset::LJournal);
+    let cut = HashEdgeCut.partition(&g, opts.nodes);
+    let cfg = |ft| RunConfig {
+        num_nodes: opts.nodes,
+        ft,
+        ..RunConfig::default()
+    };
+    let base = best_of(reps(), || {
+        run_ec(
+            Workload::PageRank,
+            &g,
+            &cut,
+            cfg(FtMode::None),
+            vec![],
+            ramfs(),
+        )
+    });
+    println!(
+        "{:<12} {:>10} {:>12} {:>10}",
+        "config", "total (s)", "ckpt (s)", "overhead"
+    );
+    println!(
+        "{:<12} {:>10} {:>12} {:>10}",
+        "BASE",
+        secs(base.elapsed),
+        "-",
+        "-"
+    );
+    for interval in [1u64, 2, 4] {
+        let ck = best_of(reps(), || {
+            run_ec(
+                Workload::PageRank,
+                &g,
+                &cut,
+                cfg(FtMode::Checkpoint {
+                    interval,
+                    incremental: false,
+                }),
+                vec![],
+                hdfs(),
+            )
+        });
+        println!(
+            "{:<12} {:>10} {:>12} {:>9.0}%",
+            format!("CKPT/{interval}"),
+            secs(ck.elapsed),
+            secs(ck.ckpt_time),
+            ck.overhead_vs(&base)
+        );
+    }
+}

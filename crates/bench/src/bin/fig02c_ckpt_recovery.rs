@@ -1,0 +1,68 @@
+//! Fig. 2(c): checkpoint recovery breakdown (reload / reconstruct / replay)
+//! for PageRank/LJournal, vs the average iteration time, at snapshot
+//! intervals 1, 2, 4.
+//!
+//! Paper shape: recovery costs many iterations; wider intervals shift cost
+//! into replay (more lost iterations re-executed).
+
+use imitator::{FtMode, RunConfig};
+use imitator_bench::{banner, crash, hdfs, ms, ramfs, run_ec, BenchOpts, Workload};
+use imitator_graph::gen::Dataset;
+use imitator_partition::{EdgeCutPartitioner, HashEdgeCut};
+
+fn main() {
+    let opts = BenchOpts::from_env();
+    banner(
+        "fig02c",
+        "CKPT recovery breakdown vs interval (PageRank, LJournal)",
+        &opts,
+    );
+    let g = opts.cyclops_graph(Dataset::LJournal);
+    let cut = HashEdgeCut.partition(&g, opts.nodes);
+    let base = run_ec(
+        Workload::PageRank,
+        &g,
+        &cut,
+        RunConfig {
+            num_nodes: opts.nodes,
+            ft: FtMode::None,
+            ..RunConfig::default()
+        },
+        vec![],
+        ramfs(),
+    );
+    println!("average iteration: {} ms", ms(base.avg_iter));
+    println!(
+        "{:<10} {:>11} {:>15} {:>11} {:>11}",
+        "config", "reload(ms)", "reconstruct(ms)", "replay(ms)", "total(ms)"
+    );
+    for interval in [1u64, 2, 4] {
+        // Fail in the middle of an interval (iteration 10 of 20 with the
+        // last snapshot at the nearest multiple below).
+        let ck = run_ec(
+            Workload::PageRank,
+            &g,
+            &cut,
+            RunConfig {
+                num_nodes: opts.nodes,
+                ft: FtMode::Checkpoint {
+                    interval,
+                    incremental: false,
+                },
+                standbys: 1,
+                ..RunConfig::default()
+            },
+            vec![crash(1, 10)],
+            hdfs(),
+        );
+        let r = &ck.recoveries[0];
+        println!(
+            "{:<10} {:>11} {:>15} {:>11} {:>11}",
+            format!("CKPT/{interval}"),
+            ms(r.reload),
+            ms(r.reconstruct),
+            ms(r.replay),
+            ms(r.total())
+        );
+    }
+}

@@ -1,0 +1,74 @@
+//! Fig. 7: normal-execution runtime of replication-based (REP) and
+//! checkpoint-based (CKPT, interval 1) fault tolerance, normalised to the
+//! baseline without fault tolerance (Cyclops, edge-cut).
+//!
+//! Paper shape: REP ≤ ~4% overhead everywhere; CKPT 65%-449%.
+
+use imitator::{FtMode, RecoveryStrategy, RunConfig};
+use imitator_bench::{banner, best_of, hdfs, ramfs, reps, run_ec, secs, BenchOpts, Workload};
+use imitator_graph::gen::Dataset;
+use imitator_partition::{EdgeCutPartitioner, HashEdgeCut};
+
+fn main() {
+    let opts = BenchOpts::from_env();
+    banner(
+        "fig07",
+        "runtime overhead: BASE vs REP vs CKPT (Cyclops)",
+        &opts,
+    );
+    println!(
+        "{:<10} {:<9} {:>9} {:>9} {:>8} {:>9} {:>8}",
+        "algorithm", "dataset", "BASE(s)", "REP(s)", "REP ovh", "CKPT(s)", "CKPT ovh"
+    );
+    for d in Dataset::cyclops_suite() {
+        let g = opts.cyclops_graph(d);
+        let w = Workload::for_dataset(d, &g);
+        let cut = HashEdgeCut.partition(&g, opts.nodes);
+        let cfg = |ft| RunConfig {
+            num_nodes: opts.nodes,
+            ft,
+            ..RunConfig::default()
+        };
+        let n = reps();
+        let base = best_of(n, || {
+            run_ec(w, &g, &cut, cfg(FtMode::None), vec![], ramfs())
+        });
+        let rep = best_of(n, || {
+            run_ec(
+                w,
+                &g,
+                &cut,
+                cfg(FtMode::Replication {
+                    tolerance: 1,
+                    selfish_opt: true,
+                    recovery: RecoveryStrategy::Rebirth,
+                }),
+                vec![],
+                ramfs(),
+            )
+        });
+        let ckpt = best_of(n, || {
+            run_ec(
+                w,
+                &g,
+                &cut,
+                cfg(FtMode::Checkpoint {
+                    interval: 1,
+                    incremental: false,
+                }),
+                vec![],
+                hdfs(),
+            )
+        });
+        println!(
+            "{:<10} {:<9} {:>9} {:>9} {:>7.1}% {:>9} {:>7.0}%",
+            w.name(),
+            d.name(),
+            secs(base.elapsed),
+            secs(rep.elapsed),
+            rep.overhead_vs(&base),
+            secs(ckpt.elapsed),
+            ckpt.overhead_vs(&base)
+        );
+    }
+}

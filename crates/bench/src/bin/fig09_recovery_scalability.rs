@@ -1,0 +1,61 @@
+//! Fig. 9: recovery time of Rebirth and Migration as the number of nodes
+//! participating in recovery grows (PageRank, Wiki stand-in).
+//!
+//! Paper shape: both strategies speed up with more nodes — every survivor
+//! contributes recovery bandwidth in parallel (the RAMCloud effect).
+
+use imitator::{FtMode, RecoveryStrategy, RunConfig};
+use imitator_bench::{banner, crash, ms, ramfs, reps, run_ec, BenchOpts, Summary, Workload};
+use imitator_graph::gen::Dataset;
+use imitator_partition::{EdgeCutPartitioner, HashEdgeCut};
+
+fn main() {
+    let opts = BenchOpts::from_env();
+    banner(
+        "fig09",
+        "recovery scalability with cluster size (PageRank, Wiki)",
+        &opts,
+    );
+    let g = opts.cyclops_graph(Dataset::Wiki);
+    println!("{:<8} {:>10} {:>10}", "nodes", "REB(ms)", "MIG(ms)");
+    for nodes in [4usize, 6, 8, 12, 16] {
+        let cut = HashEdgeCut.partition(&g, nodes);
+        let run = |recovery, standbys| -> Summary {
+            let mut best: Option<Summary> = None;
+            for _ in 0..reps() {
+                let s = run_ec(
+                    Workload::PageRank,
+                    &g,
+                    &cut,
+                    RunConfig {
+                        num_nodes: nodes,
+                        ft: FtMode::Replication {
+                            tolerance: 1,
+                            selfish_opt: true,
+                            recovery,
+                        },
+                        standbys,
+                        ..RunConfig::default()
+                    },
+                    vec![crash(1, 6)],
+                    ramfs(),
+                );
+                if best
+                    .as_ref()
+                    .is_none_or(|b| s.recovery_total() < b.recovery_total())
+                {
+                    best = Some(s);
+                }
+            }
+            best.expect("reps > 0")
+        };
+        let reb = run(RecoveryStrategy::Rebirth, 1);
+        let mig = run(RecoveryStrategy::Migration, 0);
+        println!(
+            "{:<8} {:>10} {:>10}",
+            nodes,
+            ms(reb.recovery_total()),
+            ms(mig.recovery_total())
+        );
+    }
+}

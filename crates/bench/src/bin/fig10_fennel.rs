@@ -1,0 +1,73 @@
+//! Fig. 10: the Fennel streaming partitioner vs hash placement:
+//! (a) replication factor, (b) Imitator's runtime overhead under Fennel.
+//!
+//! Paper shape: Fennel cuts the replication factor sharply (1.6-5.1 vs
+//! hash); fewer free replicas mean slightly more FT overhead (1.8-4.7%),
+//! still small.
+
+use imitator::{FtMode, RecoveryStrategy, RunConfig};
+use imitator_bench::{banner, best_of, ramfs, reps, run_ec, BenchOpts, Workload};
+use imitator_graph::gen::Dataset;
+use imitator_partition::{EdgeCutPartitioner, FennelEdgeCut, HashEdgeCut};
+
+fn main() {
+    let opts = BenchOpts::from_env();
+    banner(
+        "fig10",
+        "Fennel vs hash: replication factor and FT overhead",
+        &opts,
+    );
+    println!(
+        "{:<10} {:>8} {:>9} {:>12} {:>12}",
+        "dataset", "rf hash", "rf fennel", "ovh hash", "ovh fennel"
+    );
+    for d in [Dataset::GWeb, Dataset::LJournal, Dataset::Wiki] {
+        let g = opts.cyclops_graph(d);
+        let cuts = [
+            HashEdgeCut.partition(&g, opts.nodes),
+            FennelEdgeCut::default().partition(&g, opts.nodes),
+        ];
+        let mut ovh = [0.0f64; 2];
+        for (i, cut) in cuts.iter().enumerate() {
+            let cfg = |ft| RunConfig {
+                num_nodes: opts.nodes,
+                ft,
+                ..RunConfig::default()
+            };
+            let n = reps();
+            let base = best_of(n, || {
+                run_ec(
+                    Workload::PageRank,
+                    &g,
+                    cut,
+                    cfg(FtMode::None),
+                    vec![],
+                    ramfs(),
+                )
+            });
+            let rep = best_of(n, || {
+                run_ec(
+                    Workload::PageRank,
+                    &g,
+                    cut,
+                    cfg(FtMode::Replication {
+                        tolerance: 1,
+                        selfish_opt: true,
+                        recovery: RecoveryStrategy::Rebirth,
+                    }),
+                    vec![],
+                    ramfs(),
+                )
+            });
+            ovh[i] = rep.overhead_vs(&base);
+        }
+        println!(
+            "{:<10} {:>8.2} {:>9.2} {:>11.1}% {:>11.1}%",
+            d.name(),
+            cuts[0].replication_factor(),
+            cuts[1].replication_factor(),
+            ovh[0],
+            ovh[1]
+        );
+    }
+}

@@ -1,0 +1,95 @@
+//! Fig. 11: tolerating 1, 2 or 3 simultaneous machine failures (Cyclops,
+//! PageRank/Wiki): (a) normal-execution overhead of carrying K mirrors,
+//! (b) recovery time when 1, 2 or 3 nodes actually crash together.
+//!
+//! Paper shape: overhead stays below 10% even at K=3; Rebirth's recovery
+//! grows with the crash count while Migration's grows more slowly.
+
+use imitator::{FtMode, RecoveryStrategy, RunConfig};
+use imitator_bench::{banner, best_of, crash, ms, ramfs, reps, run_ec, BenchOpts, Workload};
+use imitator_graph::gen::Dataset;
+use imitator_partition::{EdgeCutPartitioner, HashEdgeCut};
+
+fn main() {
+    let opts = BenchOpts::from_env();
+    banner(
+        "fig11",
+        "tolerating multiple failures (PageRank, Wiki)",
+        &opts,
+    );
+    let g = opts.cyclops_graph(Dataset::Wiki);
+    let cut = HashEdgeCut.partition(&g, opts.nodes);
+    let base = best_of(reps(), || {
+        run_ec(
+            Workload::PageRank,
+            &g,
+            &cut,
+            RunConfig {
+                num_nodes: opts.nodes,
+                ft: FtMode::None,
+                ..RunConfig::default()
+            },
+            vec![],
+            ramfs(),
+        )
+    });
+    println!(
+        "{:<6} {:>10} {:>12} {:>12}",
+        "K", "overhead", "REB(ms)", "MIG(ms)"
+    );
+    for k in 1usize..=3 {
+        let ft = |recovery| FtMode::Replication {
+            tolerance: k,
+            selfish_opt: true,
+            recovery,
+        };
+        let normal = best_of(reps(), || {
+            run_ec(
+                Workload::PageRank,
+                &g,
+                &cut,
+                RunConfig {
+                    num_nodes: opts.nodes,
+                    ft: ft(RecoveryStrategy::Rebirth),
+                    standbys: k,
+                    ..RunConfig::default()
+                },
+                vec![],
+                ramfs(),
+            )
+        });
+        let failures: Vec<_> = (0..k).map(|i| crash(i + 1, 6)).collect();
+        let reb = run_ec(
+            Workload::PageRank,
+            &g,
+            &cut,
+            RunConfig {
+                num_nodes: opts.nodes,
+                ft: ft(RecoveryStrategy::Rebirth),
+                standbys: k,
+                ..RunConfig::default()
+            },
+            failures.clone(),
+            ramfs(),
+        );
+        let mig = run_ec(
+            Workload::PageRank,
+            &g,
+            &cut,
+            RunConfig {
+                num_nodes: opts.nodes,
+                ft: ft(RecoveryStrategy::Migration),
+                ..RunConfig::default()
+            },
+            failures,
+            ramfs(),
+        );
+        println!(
+            "{:<6} {:>9.1}% {:>12} {:>12}",
+            k,
+            normal.overhead_vs(&base),
+            ms(reb.recovery_total()),
+            ms(mig.recovery_total())
+        );
+    }
+}

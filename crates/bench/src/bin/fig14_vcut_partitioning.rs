@@ -1,0 +1,97 @@
+//! Fig. 14: the impact of the vertex-cut partitioner (random / grid /
+//! hybrid) on (a) replication factor and (b) Imitator's overhead and
+//! recovery time (PageRank, Twitter stand-in).
+//!
+//! Paper shape: replication factor random > grid > hybrid (15.96 / 8.34 /
+//! 5.56 on the testbed); fewer replicas → slightly higher FT overhead but
+//! faster recovery.
+
+use imitator::{FtMode, RecoveryStrategy, RunConfig};
+use imitator_bench::{banner, best_of, crash, hdfs, ms, ramfs, reps, run_vc, BenchOpts, Workload};
+use imitator_graph::gen::Dataset;
+use imitator_partition::{
+    GridVertexCut, HybridVertexCut, RandomVertexCut, VertexCut, VertexCutPartitioner,
+};
+
+fn main() {
+    let opts = BenchOpts::from_env();
+    banner(
+        "fig14",
+        "vertex-cut partitioners: replication factor, overhead, recovery",
+        &opts,
+    );
+    let g = opts.powerlyra_graph(Dataset::Twitter);
+    // Hybrid's in-degree threshold is scaled to the bench-sized graph (the
+    // paper's θ=100 targets graphs 1000× larger).
+    let theta = (2.0 * g.stats().avg_degree) as usize;
+    let cuts: [(&str, VertexCut); 3] = [
+        ("random", RandomVertexCut.partition(&g, opts.nodes)),
+        ("grid", GridVertexCut.partition(&g, opts.nodes)),
+        (
+            "hybrid",
+            HybridVertexCut::with_threshold(theta).partition(&g, opts.nodes),
+        ),
+    ];
+    println!(
+        "{:<8} {:>6} {:>9} {:>10} {:>10}",
+        "cut", "rf", "REP ovh", "REB(ms)", "MIG(ms)"
+    );
+    for (name, cut) in &cuts {
+        let cfg = |ft, standbys| RunConfig {
+            num_nodes: opts.nodes,
+            ft,
+            standbys,
+            ..RunConfig::default()
+        };
+        let n = reps();
+        let base = best_of(n, || {
+            run_vc(
+                Workload::PageRank,
+                &g,
+                cut,
+                cfg(FtMode::None, 0),
+                vec![],
+                ramfs(),
+            )
+        });
+        let rep_mode = |recovery| FtMode::Replication {
+            tolerance: 1,
+            selfish_opt: true,
+            recovery,
+        };
+        let rep = best_of(n, || {
+            run_vc(
+                Workload::PageRank,
+                &g,
+                cut,
+                cfg(rep_mode(RecoveryStrategy::Migration), 0),
+                vec![],
+                ramfs(),
+            )
+        });
+        let reb = run_vc(
+            Workload::PageRank,
+            &g,
+            cut,
+            cfg(rep_mode(RecoveryStrategy::Rebirth), 1),
+            vec![crash(1, 6)],
+            hdfs(),
+        );
+        let mig = run_vc(
+            Workload::PageRank,
+            &g,
+            cut,
+            cfg(rep_mode(RecoveryStrategy::Migration), 0),
+            vec![crash(1, 6)],
+            hdfs(),
+        );
+        println!(
+            "{:<8} {:>6.2} {:>8.1}% {:>10} {:>10}",
+            name,
+            cut.replication_factor(),
+            rep.overhead_vs(&base),
+            ms(reb.recovery_total()),
+            ms(mig.recovery_total())
+        );
+    }
+}

@@ -1,0 +1,105 @@
+//! Table 2: recovery time of checkpoint (CKPT), Rebirth (REB) and
+//! Migration (MIG) recovery after one machine failure (Cyclops suite).
+//!
+//! Paper shape: REB 3.9-6.9× and MIG 3.6-17.7× faster than CKPT; MIG wins
+//! on large graphs, REB on small ones.
+
+use imitator::{FtMode, RecoveryStrategy, RunConfig};
+use imitator_bench::{banner, crash, hdfs, ms, ramfs, reps, run_ec, BenchOpts, Workload};
+use imitator_graph::gen::Dataset;
+use imitator_partition::{EdgeCutPartitioner, HashEdgeCut};
+
+fn main() {
+    let opts = BenchOpts::from_env();
+    banner(
+        "tab02",
+        "recovery time: CKPT vs Rebirth vs Migration (Cyclops)",
+        &opts,
+    );
+    println!(
+        "{:<10} {:<9} {:>10} {:>10} {:>10}",
+        "algorithm", "dataset", "CKPT(ms)", "REB(ms)", "MIG(ms)"
+    );
+    for d in Dataset::cyclops_suite() {
+        let g = opts.cyclops_graph(d);
+        let w = Workload::for_dataset(d, &g);
+        let cut = HashEdgeCut.partition(&g, opts.nodes);
+        // Mid-run for the iteration-bounded workloads; early enough for the
+        // convergence-bounded ones (SSSP's front finishes in tens of steps).
+        let fail_iter = (w.max_iters() / 2).clamp(1, 10);
+        let run = |ft, standbys, dfs: imitator_storage::Dfs| {
+            run_ec(
+                w,
+                &g,
+                &cut,
+                RunConfig {
+                    num_nodes: opts.nodes,
+                    ft,
+                    standbys,
+                    ..RunConfig::default()
+                },
+                vec![crash(1, fail_iter)],
+                dfs,
+            )
+        };
+        // Keep the fastest of N recoveries (recovery time is the metric, so
+        // pick the run whose recovery, not wall time, is smallest).
+        let pick = |mut summaries: Vec<imitator_bench::Summary>| {
+            summaries.sort_by_key(imitator_bench::Summary::recovery_total);
+            summaries.remove(0)
+        };
+        let n = reps();
+        let ckpt = pick(
+            (0..n)
+                .map(|_| {
+                    run(
+                        FtMode::Checkpoint {
+                            interval: 4,
+                            incremental: false,
+                        },
+                        1,
+                        hdfs(),
+                    )
+                })
+                .collect(),
+        );
+        let reb = pick(
+            (0..n)
+                .map(|_| {
+                    run(
+                        FtMode::Replication {
+                            tolerance: 1,
+                            selfish_opt: true,
+                            recovery: RecoveryStrategy::Rebirth,
+                        },
+                        1,
+                        ramfs(),
+                    )
+                })
+                .collect(),
+        );
+        let mig = pick(
+            (0..n)
+                .map(|_| {
+                    run(
+                        FtMode::Replication {
+                            tolerance: 1,
+                            selfish_opt: true,
+                            recovery: RecoveryStrategy::Migration,
+                        },
+                        0,
+                        ramfs(),
+                    )
+                })
+                .collect(),
+        );
+        println!(
+            "{:<10} {:<9} {:>10} {:>10} {:>10}",
+            w.name(),
+            d.name(),
+            ms(ckpt.recovery_total()),
+            ms(reb.recovery_total()),
+            ms(mig.recovery_total())
+        );
+    }
+}

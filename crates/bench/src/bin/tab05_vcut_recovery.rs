@@ -1,0 +1,106 @@
+//! Table 5: recovery time of CKPT, Rebirth and Migration on the vertex-cut
+//! engine for the real-world stand-ins and the α family (PageRank).
+//!
+//! Paper shape: REB 1.7-7.7× and MIG 1.3-7.2× faster than CKPT; Migration
+//! wins on the largest graphs (parallel edge-ckpt reload).
+
+use imitator::{FtMode, RecoveryStrategy, RunConfig};
+use imitator_bench::{
+    alpha_family, banner, crash, hdfs, ms, reps, run_vc, BenchOpts, Summary, Workload,
+};
+use imitator_graph::gen::Dataset;
+use imitator_partition::{HybridVertexCut, VertexCutPartitioner};
+
+fn main() {
+    let opts = BenchOpts::from_env();
+    banner(
+        "tab05",
+        "vertex-cut recovery time: CKPT vs REB vs MIG",
+        &opts,
+    );
+    println!(
+        "{:<10} {:>10} {:>10} {:>10}",
+        "graph", "CKPT(ms)", "REB(ms)", "MIG(ms)"
+    );
+    let mut rows: Vec<(String, imitator_graph::Graph)> = Dataset::powerlyra_suite()
+        .into_iter()
+        .map(|d| (d.name().to_owned(), opts.powerlyra_graph(d)))
+        .collect();
+    for (alpha, g) in alpha_family(&opts) {
+        rows.push((format!("α={alpha}"), g));
+    }
+    for (name, g) in rows {
+        let cut = HybridVertexCut::default().partition(&g, opts.nodes);
+        let run = |ft, standbys, dfs: imitator_storage::Dfs| {
+            run_vc(
+                Workload::PageRank,
+                &g,
+                &cut,
+                RunConfig {
+                    num_nodes: opts.nodes,
+                    ft,
+                    standbys,
+                    ..RunConfig::default()
+                },
+                vec![crash(1, 6)],
+                dfs,
+            )
+        };
+        let pick = |mut v: Vec<Summary>| {
+            v.sort_by_key(Summary::recovery_total);
+            v.remove(0)
+        };
+        let n = reps();
+        let ckpt = pick(
+            (0..n)
+                .map(|_| {
+                    run(
+                        FtMode::Checkpoint {
+                            interval: 4,
+                            incremental: false,
+                        },
+                        1,
+                        hdfs(),
+                    )
+                })
+                .collect(),
+        );
+        let reb = pick(
+            (0..n)
+                .map(|_| {
+                    run(
+                        FtMode::Replication {
+                            tolerance: 1,
+                            selfish_opt: true,
+                            recovery: RecoveryStrategy::Rebirth,
+                        },
+                        1,
+                        hdfs(),
+                    )
+                })
+                .collect(),
+        );
+        let mig = pick(
+            (0..n)
+                .map(|_| {
+                    run(
+                        FtMode::Replication {
+                            tolerance: 1,
+                            selfish_opt: true,
+                            recovery: RecoveryStrategy::Migration,
+                        },
+                        0,
+                        hdfs(),
+                    )
+                })
+                .collect(),
+        );
+        println!(
+            "{:<10} {:>10} {:>10} {:>10}",
+            name,
+            ms(ckpt.recovery_total()),
+            ms(reb.recovery_total()),
+            ms(mig.recovery_total())
+        );
+    }
+}

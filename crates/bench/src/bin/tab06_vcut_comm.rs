@@ -1,0 +1,91 @@
+//! Table 6: execution time and communication cost per partitioner
+//! (random / grid / hybrid) when tolerating 0-3 failures (PageRank,
+//! Twitter stand-in, vertex-cut).
+//!
+//! Paper shape: hybrid is fastest and cheapest in absolute terms at every
+//! FT level even though its *relative* FT communication grows the most
+//! (+21.5% at K=3 vs +3.3% for random) — FT never flips the partitioner
+//! choice.
+
+use imitator::{FtMode, RecoveryStrategy, RunConfig};
+use imitator_bench::{
+    banner, best_of, gib, ramfs, reps, run_vc, secs, BenchOpts, Summary, Workload,
+};
+use imitator_graph::gen::Dataset;
+use imitator_partition::{
+    GridVertexCut, HybridVertexCut, RandomVertexCut, VertexCut, VertexCutPartitioner,
+};
+
+fn main() {
+    let opts = BenchOpts::from_env();
+    banner(
+        "tab06",
+        "vertex-cut exec time & comm per partitioner and FT level",
+        &opts,
+    );
+    let g = opts.powerlyra_graph(Dataset::Twitter);
+    let theta = (2.0 * g.stats().avg_degree) as usize;
+    let cuts: [(&str, VertexCut); 3] = [
+        ("random", RandomVertexCut.partition(&g, opts.nodes)),
+        ("grid", GridVertexCut.partition(&g, opts.nodes)),
+        (
+            "hybrid",
+            HybridVertexCut::with_threshold(theta).partition(&g, opts.nodes),
+        ),
+    ];
+    println!(
+        "{:<8} {:<7} {:>9} {:>10} {:>11} {:>10}",
+        "cut", "config", "time(s)", "time ovh", "comm(GiB)", "comm ovh"
+    );
+    for (name, cut) in &cuts {
+        let mut base: Option<Summary> = None;
+        for k in 0usize..=3 {
+            let ft = if k == 0 {
+                FtMode::None
+            } else {
+                FtMode::Replication {
+                    tolerance: k,
+                    selfish_opt: true,
+                    recovery: RecoveryStrategy::Migration,
+                }
+            };
+            let s = best_of(reps(), || {
+                run_vc(
+                    Workload::PageRank,
+                    &g,
+                    cut,
+                    RunConfig {
+                        num_nodes: opts.nodes,
+                        ft,
+                        ..RunConfig::default()
+                    },
+                    vec![],
+                    ramfs(),
+                )
+            });
+            let (tovh, covh) = match &base {
+                None => (0.0, 0.0),
+                Some(b) => (
+                    s.overhead_vs(b),
+                    100.0 * (s.comm.bytes as f64 / b.comm.bytes as f64 - 1.0),
+                ),
+            };
+            println!(
+                "{:<8} {:<7} {:>9} {:>9.2}% {:>11} {:>9.2}%",
+                name,
+                if k == 0 {
+                    "w/o FT".to_owned()
+                } else {
+                    format!("FT/{k}")
+                },
+                secs(s.elapsed),
+                tovh,
+                gib(s.comm.bytes),
+                covh
+            );
+            if k == 0 {
+                base = Some(s);
+            }
+        }
+    }
+}

@@ -1,0 +1,340 @@
+//! The routing fabric and per-node handles.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use imitator_metrics::AtomicCommStats;
+use parking_lot::Mutex;
+
+use crate::coord::{BarrierOutcome, Coordinator};
+use crate::NodeId;
+
+/// A delivered message with its sender.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope<M> {
+    /// The logical node that sent the message.
+    pub from: NodeId,
+    /// The payload.
+    pub msg: M,
+}
+
+#[derive(Debug)]
+struct Fabric<M> {
+    senders: Mutex<Vec<Sender<Envelope<M>>>>,
+    /// Receivers parked here until a thread claims its `NodeCtx`.
+    parked: Mutex<Vec<Option<Receiver<Envelope<M>>>>>,
+    /// Contexts dispatched to waiting standby threads (Rebirth recovery).
+    standby_tx: Sender<NodeCtx<M>>,
+    standby_rx: Receiver<NodeCtx<M>>,
+    /// Set when the job is over; waiting standbys return `None`.
+    done: std::sync::atomic::AtomicBool,
+}
+
+/// A simulated cluster: `n` logical nodes plus a pool of hot standbys,
+/// connected by typed message channels and a shared [`Coordinator`].
+///
+/// Cloning yields another handle on the same cluster.
+#[derive(Debug)]
+pub struct Cluster<M> {
+    fabric: Arc<Fabric<M>>,
+    coord: Arc<Coordinator>,
+    comm: Arc<AtomicCommStats>,
+}
+
+// Manual impl: a handle clone must not require `M: Clone`.
+impl<M> Clone for Cluster<M> {
+    fn clone(&self) -> Self {
+        Cluster {
+            fabric: Arc::clone(&self.fabric),
+            coord: Arc::clone(&self.coord),
+            comm: Arc::clone(&self.comm),
+        }
+    }
+}
+
+impl<M: Send + 'static> Cluster<M> {
+    /// Creates a cluster of `num_nodes` logical nodes and `num_standbys`
+    /// hot standbys; crashed nodes are detected after `detection_delay`
+    /// (the paper uses a conservative 500 ms heartbeat; tests use zero).
+    pub fn new(num_nodes: usize, num_standbys: usize, detection_delay: Duration) -> Self {
+        assert!(num_nodes > 0, "cluster needs at least one node");
+        let mut senders = Vec::with_capacity(num_nodes);
+        let mut parked = Vec::with_capacity(num_nodes);
+        for _ in 0..num_nodes {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            parked.push(Some(rx));
+        }
+        let (standby_tx, standby_rx) = unbounded();
+        Cluster {
+            fabric: Arc::new(Fabric {
+                senders: Mutex::new(senders),
+                parked: Mutex::new(parked),
+                standby_tx,
+                standby_rx,
+                done: std::sync::atomic::AtomicBool::new(false),
+            }),
+            coord: Arc::new(Coordinator::new(num_nodes, num_standbys, detection_delay)),
+            comm: Arc::default(),
+        }
+    }
+
+    /// Number of logical node slots.
+    pub fn num_nodes(&self) -> usize {
+        self.coord.num_nodes()
+    }
+
+    /// The shared coordination service.
+    pub fn coordinator(&self) -> &Arc<Coordinator> {
+        &self.coord
+    }
+
+    /// Aggregate message statistics across all nodes.
+    pub fn comm_stats(&self) -> imitator_metrics::CommStats {
+        self.comm.snapshot()
+    }
+
+    /// Claims the execution context for logical node `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the context for `id` was already claimed.
+    pub fn take_ctx(&self, id: NodeId) -> NodeCtx<M> {
+        let rx = self.fabric.parked.lock()[id.index()]
+            .take()
+            .unwrap_or_else(|| panic!("context for {id} already claimed"));
+        NodeCtx {
+            id,
+            inbox: rx,
+            cluster: self.clone(),
+        }
+    }
+
+    /// Routes a fresh inbox to logical node `id` (whose previous owner died)
+    /// and returns the context a standby thread adopts. Also revives the
+    /// node in the coordinator, so it is expected at subsequent barriers.
+    ///
+    /// The caller must have claimed a standby via
+    /// [`Coordinator::claim_standby`] first.
+    pub fn adopt(&self, id: NodeId) -> NodeCtx<M> {
+        let (tx, rx) = unbounded();
+        self.fabric.senders.lock()[id.index()] = tx;
+        self.coord.revive(id);
+        NodeCtx {
+            id,
+            inbox: rx,
+            cluster: self.clone(),
+        }
+    }
+
+    /// Claims a standby (if any remain), routes a fresh inbox to logical
+    /// node `id`, revives it, and hands the context to one thread blocked in
+    /// [`Cluster::wait_standby`]. Returns whether a standby was available.
+    ///
+    /// Called by the recovery leader (the lowest-ID survivor) when Rebirth
+    /// needs a replacement machine.
+    pub fn dispatch_standby(&self, id: NodeId) -> bool {
+        if !self.coord.claim_standby() {
+            return false;
+        }
+        let ctx = self.adopt(id);
+        self.fabric
+            .standby_tx
+            .send(ctx)
+            .expect("standby channel lives as long as the fabric");
+        true
+    }
+
+    /// Blocks a hot-standby thread until it is assigned a crashed node's
+    /// identity, or returns `None` once the job completes (or `patience`
+    /// elapses with neither).
+    pub fn wait_standby(&self, patience: Duration) -> Option<NodeCtx<M>> {
+        let deadline = std::time::Instant::now() + patience;
+        loop {
+            if let Ok(ctx) = self
+                .fabric
+                .standby_rx
+                .recv_timeout(Duration::from_millis(20))
+            {
+                return Some(ctx);
+            }
+            if self.fabric.done.load(std::sync::atomic::Ordering::Relaxed)
+                || std::time::Instant::now() >= deadline
+            {
+                return None;
+            }
+        }
+    }
+
+    /// Signals waiting standby threads that the job is over.
+    pub fn shutdown_standbys(&self) {
+        self.fabric
+            .done
+            .store(true, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    fn send_from(&self, from: NodeId, to: NodeId, msg: M, bytes: u64) -> bool {
+        if !self.coord.is_alive(to) {
+            return false; // dropped on the wire: destination crashed
+        }
+        self.comm.record(1, bytes);
+        let sender = self.fabric.senders.lock()[to.index()].clone();
+        sender.send(Envelope { from, msg }).is_ok()
+    }
+}
+
+/// The execution context of one logical node: its identity, inbox, and
+/// access to the routing fabric and coordinator.
+///
+/// Exactly one thread owns each `NodeCtx` at a time (the receiver is not
+/// clonable), matching one process per machine.
+#[derive(Debug)]
+pub struct NodeCtx<M> {
+    id: NodeId,
+    inbox: Receiver<Envelope<M>>,
+    cluster: Cluster<M>,
+}
+
+impl<M: Send + 'static> NodeCtx<M> {
+    /// This node's logical ID.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The owning cluster handle.
+    pub fn cluster(&self) -> &Cluster<M> {
+        &self.cluster
+    }
+
+    /// Sends `msg` to `to`, charging zero accounted bytes. Returns `false`
+    /// if the destination is dead (message dropped, as on a real network).
+    pub fn send(&self, to: NodeId, msg: M) -> bool {
+        self.cluster.send_from(self.id, to, msg, 0)
+    }
+
+    /// Sends `msg` to `to`, accounting `bytes` of wire traffic.
+    pub fn send_sized(&self, to: NodeId, msg: M, bytes: u64) -> bool {
+        self.cluster.send_from(self.id, to, msg, bytes)
+    }
+
+    /// Drains every message currently queued (all messages sent before the
+    /// senders entered the last barrier are guaranteed to be here — channel
+    /// sends complete before the barrier is entered).
+    pub fn drain(&self) -> Vec<Envelope<M>> {
+        self.inbox.try_iter().collect()
+    }
+
+    /// Blocks up to `timeout` for one message.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<Envelope<M>> {
+        self.inbox.recv_timeout(timeout).ok()
+    }
+
+    /// Enters the next global barrier (Algorithm 1's `enter_barrier` /
+    /// `leave_barrier`) and returns the agreed outcome.
+    pub fn enter_barrier(&self) -> BarrierOutcome {
+        self.cluster.coord.barrier(self.id)
+    }
+
+    /// Enters the next global barrier contributing `value` to the
+    /// all-reduced sum (e.g. this node's active-vertex count).
+    pub fn enter_barrier_sum(&self, value: u64) -> (BarrierOutcome, u64) {
+        self.cluster.coord.barrier_sum(self.id, value)
+    }
+
+    /// Crashes this node: marks it for (delayed) failure detection. The
+    /// caller must stop participating immediately afterwards — drop the
+    /// context and return, as a crashed process would.
+    pub fn die(self) {
+        self.cluster.coord.report_death(self.id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two() -> (Cluster<u64>, NodeCtx<u64>, NodeCtx<u64>) {
+        let c: Cluster<u64> = Cluster::new(2, 1, Duration::ZERO);
+        let a = c.take_ctx(NodeId::new(0));
+        let b = c.take_ctx(NodeId::new(1));
+        (c, a, b)
+    }
+
+    #[test]
+    fn messages_arrive_with_sender() {
+        let (_c, a, b) = two();
+        assert!(a.send(NodeId::new(1), 99));
+        let got = b.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(got.from, NodeId::new(0));
+        assert_eq!(got.msg, 99);
+    }
+
+    #[test]
+    #[should_panic(expected = "already claimed")]
+    fn double_claim_panics() {
+        let c: Cluster<u64> = Cluster::new(1, 0, Duration::ZERO);
+        let _a = c.take_ctx(NodeId::new(0));
+        let _b = c.take_ctx(NodeId::new(0));
+    }
+
+    #[test]
+    fn send_to_dead_node_is_dropped() {
+        let (c, a, b) = two();
+        c.coordinator().mark_failed(NodeId::new(1));
+        assert!(!a.send(NodeId::new(1), 1));
+        drop(b);
+        assert_eq!(c.comm_stats().messages, 0);
+    }
+
+    #[test]
+    fn drain_returns_all_pre_barrier_messages() {
+        let (_c, a, b) = two();
+        let t = std::thread::spawn(move || {
+            for i in 0..100u64 {
+                b.send(NodeId::new(0), i);
+            }
+            b.enter_barrier();
+            b
+        });
+        a.enter_barrier();
+        let msgs = a.drain();
+        assert_eq!(msgs.len(), 100);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn die_then_adopt_replaces_inbox() {
+        let (c, a, b) = two();
+        // Old messages rot in the dead inbox.
+        a.send(NodeId::new(1), 7);
+        b.die();
+        let outcome = a.enter_barrier();
+        assert!(outcome.is_fail());
+        assert!(c.coordinator().claim_standby());
+        let b2 = c.adopt(NodeId::new(1));
+        assert!(c.coordinator().is_alive(NodeId::new(1)));
+        // New inbox starts empty; fresh messages flow.
+        assert!(b2.drain().is_empty());
+        a.send(NodeId::new(1), 8);
+        assert_eq!(b2.recv_timeout(Duration::from_secs(1)).unwrap().msg, 8);
+    }
+
+    #[test]
+    fn comm_stats_account_bytes() {
+        let (c, a, _b) = two();
+        a.send_sized(NodeId::new(1), 1, 64);
+        a.send_sized(NodeId::new(1), 2, 36);
+        let s = c.comm_stats();
+        assert_eq!(s.messages, 2);
+        assert_eq!(s.bytes, 100);
+    }
+
+    #[test]
+    fn barrier_roundtrip_through_ctx() {
+        let (_c, a, b) = two();
+        let t = std::thread::spawn(move || b.enter_barrier());
+        assert_eq!(a.enter_barrier(), BarrierOutcome::Clean);
+        assert_eq!(t.join().unwrap(), BarrierOutcome::Clean);
+    }
+}

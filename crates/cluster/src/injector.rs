@@ -1,0 +1,131 @@
+//! Deterministic fail-stop failure injection.
+//!
+//! The paper's case study (§6.9) injects a machine failure between the 6th
+//! and 7th iterations of a PageRank run. [`FailureInjector`] expresses such
+//! schedules: a set of `(node, iteration, point)` plans that the engine
+//! consults at the two protocol points where a crash produces distinct
+//! recovery behaviour (before the barrier → peers roll back the iteration;
+//! after the barrier → the committed iteration survives).
+
+use parking_lot::Mutex;
+
+use crate::NodeId;
+
+/// Where within an iteration the crash strikes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FailPoint {
+    /// During compute/communicate, i.e. detected at `enter_barrier`;
+    /// survivors must roll back the current iteration (Algorithm 1 line 9).
+    BeforeBarrier,
+    /// After commit, i.e. detected at `leave_barrier`; no rollback needed
+    /// (Algorithm 1 lines 16-19).
+    AfterBarrier,
+}
+
+/// One scheduled crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FailurePlan {
+    /// The node to crash.
+    pub node: NodeId,
+    /// The (0-based) iteration during which it crashes.
+    pub iteration: u64,
+    /// The protocol point at which it crashes.
+    pub point: FailPoint,
+}
+
+/// A schedule of fail-stop crashes, consumed as they fire.
+///
+/// # Examples
+///
+/// ```
+/// use imitator_cluster::{FailPoint, FailureInjector, FailurePlan, NodeId};
+///
+/// let inj = FailureInjector::new();
+/// inj.schedule(FailurePlan {
+///     node: NodeId::new(2),
+///     iteration: 6,
+///     point: FailPoint::BeforeBarrier,
+/// });
+/// assert!(!inj.should_fail(NodeId::new(2), 5, FailPoint::BeforeBarrier));
+/// assert!(inj.should_fail(NodeId::new(2), 6, FailPoint::BeforeBarrier));
+/// // consumed: fires exactly once
+/// assert!(!inj.should_fail(NodeId::new(2), 6, FailPoint::BeforeBarrier));
+/// ```
+#[derive(Debug, Default)]
+pub struct FailureInjector {
+    plans: Mutex<Vec<FailurePlan>>,
+}
+
+impl FailureInjector {
+    /// Creates an empty schedule.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a crash to the schedule.
+    pub fn schedule(&self, plan: FailurePlan) {
+        self.plans.lock().push(plan);
+    }
+
+    /// Returns `true` (and consumes the plan) if `node` is scheduled to
+    /// crash at this iteration and point.
+    pub fn should_fail(&self, node: NodeId, iteration: u64, point: FailPoint) -> bool {
+        let mut plans = self.plans.lock();
+        if let Some(pos) = plans
+            .iter()
+            .position(|p| p.node == node && p.iteration == iteration && p.point == point)
+        {
+            plans.swap_remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Crashes not yet fired.
+    pub fn pending(&self) -> usize {
+        self.plans.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_schedule_never_fires() {
+        let inj = FailureInjector::new();
+        assert!(!inj.should_fail(NodeId::new(0), 0, FailPoint::BeforeBarrier));
+    }
+
+    #[test]
+    fn point_and_iteration_must_match() {
+        let inj = FailureInjector::new();
+        inj.schedule(FailurePlan {
+            node: NodeId::new(1),
+            iteration: 3,
+            point: FailPoint::AfterBarrier,
+        });
+        assert!(!inj.should_fail(NodeId::new(1), 3, FailPoint::BeforeBarrier));
+        assert!(!inj.should_fail(NodeId::new(1), 2, FailPoint::AfterBarrier));
+        assert!(!inj.should_fail(NodeId::new(0), 3, FailPoint::AfterBarrier));
+        assert!(inj.should_fail(NodeId::new(1), 3, FailPoint::AfterBarrier));
+        assert_eq!(inj.pending(), 0);
+    }
+
+    #[test]
+    fn simultaneous_failures_supported() {
+        let inj = FailureInjector::new();
+        for n in [1u32, 2, 3] {
+            inj.schedule(FailurePlan {
+                node: NodeId::new(n),
+                iteration: 5,
+                point: FailPoint::BeforeBarrier,
+            });
+        }
+        assert_eq!(inj.pending(), 3);
+        for n in [1u32, 2, 3] {
+            assert!(inj.should_fail(NodeId::new(n), 5, FailPoint::BeforeBarrier));
+        }
+    }
+}

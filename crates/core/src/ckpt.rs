@@ -1,0 +1,657 @@
+//! Snapshot encoding for checkpoint-based fault tolerance and edge-ckpt
+//! files (§2.2, §4.3).
+//!
+//! Three kinds of DFS content:
+//!
+//! * **metadata snapshots** — one per node, written after loading: the
+//!   immutable local graph topology (vertex copies, positions, edges, full
+//!   state), from which a replacement node reconstructs the crashed node's
+//!   layout;
+//! * **data snapshots** — one per node per checkpoint: the masters' mutable
+//!   state (value + activity), written inside the global barrier;
+//! * **edge-ckpt files** — vertex-cut only: each node's owned edges, split
+//!   into one file per potential receiver so Migration can reload them in
+//!   parallel (§4.3).
+
+use imitator_cluster::NodeId;
+use imitator_engine::{
+    CopyKind, EcLocalGraph, EcVertex, MasterMeta, VcEdge, VcLocalGraph, VcMeta, VcVertex,
+};
+use imitator_graph::{Vid, VidMap};
+use imitator_storage::codec::{Decode, DecodeError, Encode, Reader};
+
+fn enc_vid(v: Vid, buf: &mut Vec<u8>) {
+    v.raw().encode(buf);
+}
+
+fn dec_vid(r: &mut Reader<'_>) -> Result<Vid, DecodeError> {
+    Ok(Vid::new(u32::decode(r)?))
+}
+
+fn enc_node(n: NodeId, buf: &mut Vec<u8>) {
+    n.raw().encode(buf);
+}
+
+fn dec_node(r: &mut Reader<'_>) -> Result<NodeId, DecodeError> {
+    Ok(NodeId::new(u32::decode(r)?))
+}
+
+fn enc_kind(k: CopyKind, buf: &mut Vec<u8>) {
+    let b: u8 = match k {
+        CopyKind::Master => 0,
+        CopyKind::Replica => 1,
+        CopyKind::Mirror => 2,
+    };
+    b.encode(buf);
+}
+
+fn dec_kind(r: &mut Reader<'_>) -> Result<CopyKind, DecodeError> {
+    match u8::decode(r)? {
+        0 => Ok(CopyKind::Master),
+        1 => Ok(CopyKind::Replica),
+        2 => Ok(CopyKind::Mirror),
+        _ => Err(DecodeError::Corrupt("copy kind")),
+    }
+}
+
+fn enc_meta(m: &MasterMeta, buf: &mut Vec<u8>) {
+    m.master_pos.encode(buf);
+    (m.replica_nodes.len() as u32).encode(buf);
+    for (&n, &p) in m.replica_nodes.iter().zip(&m.replica_positions) {
+        enc_node(n, buf);
+        p.encode(buf);
+    }
+    (m.mirror_nodes.len() as u32).encode(buf);
+    for &n in &m.mirror_nodes {
+        enc_node(n, buf);
+    }
+    (m.in_edges_owner.len() as u32).encode(buf);
+    for (&(pos, w), &src) in m.in_edges_owner.iter().zip(&m.in_edge_srcs) {
+        pos.encode(buf);
+        w.encode(buf);
+        enc_vid(src, buf);
+    }
+    m.out_local_owner.encode(buf);
+    (m.out_remote.len() as u32).encode(buf);
+    for r in &m.out_remote {
+        enc_vid(r.target, buf);
+        enc_node(r.node, buf);
+        r.pos.encode(buf);
+    }
+}
+
+fn dec_meta(r: &mut Reader<'_>) -> Result<MasterMeta, DecodeError> {
+    let master_pos = u32::decode(r)?;
+    let nr = u32::decode(r)? as usize;
+    let mut replica_nodes = Vec::with_capacity(nr);
+    let mut replica_positions = Vec::with_capacity(nr);
+    for _ in 0..nr {
+        replica_nodes.push(dec_node(r)?);
+        replica_positions.push(u32::decode(r)?);
+    }
+    let nm = u32::decode(r)? as usize;
+    let mut mirror_nodes = Vec::with_capacity(nm);
+    for _ in 0..nm {
+        mirror_nodes.push(dec_node(r)?);
+    }
+    let ne = u32::decode(r)? as usize;
+    let mut in_edges_owner = Vec::with_capacity(ne);
+    let mut in_edge_srcs = Vec::with_capacity(ne);
+    for _ in 0..ne {
+        let pos = u32::decode(r)?;
+        let w = f32::decode(r)?;
+        in_edges_owner.push((pos, w));
+        in_edge_srcs.push(dec_vid(r)?);
+    }
+    let out_local_owner = Vec::<u32>::decode(r)?;
+    let nor = u32::decode(r)? as usize;
+    let mut out_remote = Vec::with_capacity(nor);
+    for _ in 0..nor {
+        out_remote.push(imitator_engine::RemoteEdge {
+            target: dec_vid(r)?,
+            node: dec_node(r)?,
+            pos: u32::decode(r)?,
+        });
+    }
+    Ok(MasterMeta {
+        master_pos,
+        replica_nodes,
+        replica_positions,
+        mirror_nodes,
+        in_edges_owner,
+        in_edge_srcs,
+        out_local_owner,
+        out_remote,
+    })
+}
+
+/// Encodes an edge-cut local graph (topology + current state) as a
+/// metadata snapshot.
+pub fn encode_ec_graph<V: Encode>(lg: &EcLocalGraph<V>) -> Vec<u8> {
+    let mut buf = Vec::new();
+    lg.node.raw().encode(&mut buf);
+    (lg.verts.len() as u32).encode(&mut buf);
+    for v in &lg.verts {
+        enc_vid(v.vid, &mut buf);
+        enc_kind(v.kind, &mut buf);
+        enc_node(v.master_node, &mut buf);
+        v.value.encode(&mut buf);
+        v.active.encode(&mut buf);
+        v.last_activate.encode(&mut buf);
+        (v.in_edges.len() as u32).encode(&mut buf);
+        for &(s, w) in &v.in_edges {
+            s.encode(&mut buf);
+            w.encode(&mut buf);
+        }
+        v.out_local.encode(&mut buf);
+        match &v.meta {
+            None => 0u8.encode(&mut buf),
+            Some(m) => {
+                1u8.encode(&mut buf);
+                enc_meta(m, &mut buf);
+            }
+        }
+    }
+    buf
+}
+
+/// Decodes an edge-cut metadata snapshot.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on truncated or corrupt input.
+pub fn decode_ec_graph<V: Decode>(bytes: &[u8]) -> Result<EcLocalGraph<V>, DecodeError> {
+    let mut r = Reader::new(bytes);
+    let node = NodeId::new(u32::decode(&mut r)?);
+    let n = u32::decode(&mut r)? as usize;
+    let mut verts = Vec::with_capacity(n);
+    let mut index = VidMap::with_capacity_and_hasher(n, Default::default());
+    for pos in 0..n {
+        let vid = dec_vid(&mut r)?;
+        let kind = dec_kind(&mut r)?;
+        let master_node = dec_node(&mut r)?;
+        let value = V::decode(&mut r)?;
+        let active = bool::decode(&mut r)?;
+        let last_activate = bool::decode(&mut r)?;
+        let ne = u32::decode(&mut r)? as usize;
+        let mut in_edges = Vec::with_capacity(ne);
+        for _ in 0..ne {
+            let s = u32::decode(&mut r)?;
+            let w = f32::decode(&mut r)?;
+            in_edges.push((s, w));
+        }
+        let out_local = Vec::<u32>::decode(&mut r)?;
+        let meta = match u8::decode(&mut r)? {
+            0 => None,
+            1 => Some(Box::new(dec_meta(&mut r)?)),
+            _ => return Err(DecodeError::Corrupt("meta flag")),
+        };
+        index.insert(vid, pos as u32);
+        verts.push(EcVertex {
+            vid,
+            kind,
+            master_node,
+            value,
+            active,
+            next_active: false,
+            last_activate,
+            in_edges,
+            out_local,
+            meta,
+        });
+    }
+    if r.remaining() > 0 {
+        return Err(DecodeError::TrailingBytes(r.remaining()));
+    }
+    Ok(EcLocalGraph { node, verts, index })
+}
+
+/// Encodes a data snapshot: the masters' mutable state.
+pub fn encode_ec_snapshot<V: Encode>(lg: &EcLocalGraph<V>, iter: u64) -> Vec<u8> {
+    let mut buf = Vec::new();
+    iter.encode(&mut buf);
+    let masters: Vec<_> = lg
+        .verts
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| v.is_master())
+        .collect();
+    (masters.len() as u32).encode(&mut buf);
+    for (pos, v) in masters {
+        (pos as u32).encode(&mut buf);
+        v.value.encode(&mut buf);
+        v.active.encode(&mut buf);
+        v.last_activate.encode(&mut buf);
+    }
+    buf
+}
+
+/// Applies a data snapshot, returning the iteration it was taken at.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on truncated or corrupt input.
+pub fn apply_ec_snapshot<V: Decode>(
+    lg: &mut EcLocalGraph<V>,
+    bytes: &[u8],
+) -> Result<u64, DecodeError> {
+    let mut r = Reader::new(bytes);
+    let iter = u64::decode(&mut r)?;
+    let n = u32::decode(&mut r)? as usize;
+    for _ in 0..n {
+        let pos = u32::decode(&mut r)? as usize;
+        let value = V::decode(&mut r)?;
+        let active = bool::decode(&mut r)?;
+        let last_activate = bool::decode(&mut r)?;
+        if pos >= lg.verts.len() {
+            return Err(DecodeError::Corrupt("snapshot position"));
+        }
+        let v = &mut lg.verts[pos];
+        v.value = value;
+        v.active = active;
+        v.last_activate = last_activate;
+        v.next_active = false;
+    }
+    Ok(iter)
+}
+
+fn enc_vc_meta(m: &VcMeta, buf: &mut Vec<u8>) {
+    m.master_pos.encode(buf);
+    (m.replica_nodes.len() as u32).encode(buf);
+    for (&n, &p) in m.replica_nodes.iter().zip(&m.replica_positions) {
+        enc_node(n, buf);
+        p.encode(buf);
+    }
+    (m.mirror_nodes.len() as u32).encode(buf);
+    for &n in &m.mirror_nodes {
+        enc_node(n, buf);
+    }
+}
+
+fn dec_vc_meta(r: &mut Reader<'_>) -> Result<VcMeta, DecodeError> {
+    let master_pos = u32::decode(r)?;
+    let nr = u32::decode(r)? as usize;
+    let mut replica_nodes = Vec::with_capacity(nr);
+    let mut replica_positions = Vec::with_capacity(nr);
+    for _ in 0..nr {
+        replica_nodes.push(dec_node(r)?);
+        replica_positions.push(u32::decode(r)?);
+    }
+    let nm = u32::decode(r)? as usize;
+    let mut mirror_nodes = Vec::with_capacity(nm);
+    for _ in 0..nm {
+        mirror_nodes.push(dec_node(r)?);
+    }
+    Ok(VcMeta {
+        master_pos,
+        replica_nodes,
+        replica_positions,
+        mirror_nodes,
+    })
+}
+
+/// Encodes a vertex-cut local graph as a metadata snapshot.
+pub fn encode_vc_graph<V: Encode>(lg: &VcLocalGraph<V>) -> Vec<u8> {
+    let mut buf = Vec::new();
+    lg.node.raw().encode(&mut buf);
+    (lg.verts.len() as u32).encode(&mut buf);
+    for v in &lg.verts {
+        enc_vid(v.vid, &mut buf);
+        enc_kind(v.kind, &mut buf);
+        enc_node(v.master_node, &mut buf);
+        v.value.encode(&mut buf);
+        match &v.meta {
+            None => 0u8.encode(&mut buf),
+            Some(m) => {
+                1u8.encode(&mut buf);
+                enc_vc_meta(m, &mut buf);
+            }
+        }
+    }
+    (lg.edges.len() as u32).encode(&mut buf);
+    for e in &lg.edges {
+        e.src.encode(&mut buf);
+        e.dst.encode(&mut buf);
+        e.weight.encode(&mut buf);
+    }
+    buf
+}
+
+/// Decodes a vertex-cut metadata snapshot.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on truncated or corrupt input.
+pub fn decode_vc_graph<V: Decode>(bytes: &[u8]) -> Result<VcLocalGraph<V>, DecodeError> {
+    let mut r = Reader::new(bytes);
+    let node = NodeId::new(u32::decode(&mut r)?);
+    let n = u32::decode(&mut r)? as usize;
+    let mut verts = Vec::with_capacity(n);
+    let mut index = VidMap::with_capacity_and_hasher(n, Default::default());
+    for pos in 0..n {
+        let vid = dec_vid(&mut r)?;
+        let kind = dec_kind(&mut r)?;
+        let master_node = dec_node(&mut r)?;
+        let value = V::decode(&mut r)?;
+        let meta = match u8::decode(&mut r)? {
+            0 => None,
+            1 => Some(Box::new(dec_vc_meta(&mut r)?)),
+            _ => return Err(DecodeError::Corrupt("meta flag")),
+        };
+        index.insert(vid, pos as u32);
+        verts.push(VcVertex {
+            vid,
+            kind,
+            master_node,
+            value,
+            meta,
+        });
+    }
+    let ne = u32::decode(&mut r)? as usize;
+    let mut edges = Vec::with_capacity(ne);
+    for _ in 0..ne {
+        edges.push(VcEdge {
+            src: u32::decode(&mut r)?,
+            dst: u32::decode(&mut r)?,
+            weight: f32::decode(&mut r)?,
+        });
+    }
+    if r.remaining() > 0 {
+        return Err(DecodeError::TrailingBytes(r.remaining()));
+    }
+    Ok(VcLocalGraph {
+        node,
+        verts,
+        index,
+        edges,
+    })
+}
+
+/// Encodes a vertex-cut data snapshot: masters' values.
+pub fn encode_vc_snapshot<V: Encode>(lg: &VcLocalGraph<V>, iter: u64) -> Vec<u8> {
+    let mut buf = Vec::new();
+    iter.encode(&mut buf);
+    let masters: Vec<_> = lg
+        .verts
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| v.is_master())
+        .collect();
+    (masters.len() as u32).encode(&mut buf);
+    for (pos, v) in masters {
+        (pos as u32).encode(&mut buf);
+        v.value.encode(&mut buf);
+    }
+    buf
+}
+
+/// Applies a vertex-cut data snapshot, returning its iteration.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on truncated or corrupt input.
+pub fn apply_vc_snapshot<V: Decode>(
+    lg: &mut VcLocalGraph<V>,
+    bytes: &[u8],
+) -> Result<u64, DecodeError> {
+    let mut r = Reader::new(bytes);
+    let iter = u64::decode(&mut r)?;
+    let n = u32::decode(&mut r)? as usize;
+    for _ in 0..n {
+        let pos = u32::decode(&mut r)? as usize;
+        let value = V::decode(&mut r)?;
+        if pos >= lg.verts.len() {
+            return Err(DecodeError::Corrupt("snapshot position"));
+        }
+        lg.verts[pos].value = value;
+    }
+    Ok(iter)
+}
+
+/// Encodes an *incremental* edge-cut data snapshot (§2.3): only the dirty
+/// masters' values, plus the full activation bitmap for every master (the
+/// flags are cheap and may flip without a value change).
+pub fn encode_ec_snapshot_inc<V: Encode>(
+    lg: &EcLocalGraph<V>,
+    iter: u64,
+    dirty: &[u32],
+) -> Vec<u8> {
+    let mut buf = Vec::new();
+    iter.encode(&mut buf);
+    (dirty.len() as u32).encode(&mut buf);
+    for &pos in dirty {
+        pos.encode(&mut buf);
+        lg.verts[pos as usize].value.encode(&mut buf);
+    }
+    let masters: Vec<_> = lg
+        .verts
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| v.is_master())
+        .collect();
+    (masters.len() as u32).encode(&mut buf);
+    for (pos, v) in masters {
+        (pos as u32).encode(&mut buf);
+        let flags = u8::from(v.active) | (u8::from(v.last_activate) << 1);
+        flags.encode(&mut buf);
+    }
+    buf
+}
+
+/// Applies one link of an incremental edge-cut snapshot chain, returning the
+/// iteration it was taken at. Values accumulate across links; flags are full
+/// per link, so the last applied link's flags win.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on truncated or corrupt input.
+pub fn apply_ec_snapshot_inc<V: Decode>(
+    lg: &mut EcLocalGraph<V>,
+    bytes: &[u8],
+) -> Result<u64, DecodeError> {
+    let mut r = Reader::new(bytes);
+    let iter = u64::decode(&mut r)?;
+    let n = u32::decode(&mut r)? as usize;
+    for _ in 0..n {
+        let pos = u32::decode(&mut r)? as usize;
+        let value = V::decode(&mut r)?;
+        if pos >= lg.verts.len() {
+            return Err(DecodeError::Corrupt("snapshot position"));
+        }
+        lg.verts[pos].value = value;
+    }
+    let m = u32::decode(&mut r)? as usize;
+    for _ in 0..m {
+        let pos = u32::decode(&mut r)? as usize;
+        let flags = u8::decode(&mut r)?;
+        if pos >= lg.verts.len() {
+            return Err(DecodeError::Corrupt("snapshot position"));
+        }
+        let v = &mut lg.verts[pos];
+        v.active = flags & 1 != 0;
+        v.last_activate = flags & 2 != 0;
+        v.next_active = false;
+    }
+    Ok(iter)
+}
+
+/// Encodes an *incremental* vertex-cut data snapshot: dirty masters' values
+/// only (the dense engine carries no activation state).
+pub fn encode_vc_snapshot_inc<V: Encode>(
+    lg: &VcLocalGraph<V>,
+    iter: u64,
+    dirty: &[u32],
+) -> Vec<u8> {
+    let mut buf = Vec::new();
+    iter.encode(&mut buf);
+    (dirty.len() as u32).encode(&mut buf);
+    for &pos in dirty {
+        pos.encode(&mut buf);
+        lg.verts[pos as usize].value.encode(&mut buf);
+    }
+    buf
+}
+
+/// Applies one link of an incremental vertex-cut snapshot chain.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on truncated or corrupt input.
+pub fn apply_vc_snapshot_inc<V: Decode>(
+    lg: &mut VcLocalGraph<V>,
+    bytes: &[u8],
+) -> Result<u64, DecodeError> {
+    // Same layout as the full snapshot minus flags — delegate.
+    apply_vc_snapshot(lg, bytes)
+}
+
+/// Encodes an edge-ckpt file: global `(src, dst, weight)` triples.
+pub fn encode_edge_ckpt(edges: &[(Vid, Vid, f32)]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    (edges.len() as u32).encode(&mut buf);
+    for &(s, d, w) in edges {
+        enc_vid(s, &mut buf);
+        enc_vid(d, &mut buf);
+        w.encode(&mut buf);
+    }
+    buf
+}
+
+/// Decodes an edge-ckpt file.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on truncated or corrupt input.
+pub fn decode_edge_ckpt(bytes: &[u8]) -> Result<Vec<(Vid, Vid, f32)>, DecodeError> {
+    let mut r = Reader::new(bytes);
+    let n = u32::decode(&mut r)? as usize;
+    let mut edges = Vec::with_capacity(n);
+    for _ in 0..n {
+        edges.push((dec_vid(&mut r)?, dec_vid(&mut r)?, f32::decode(&mut r)?));
+    }
+    if r.remaining() > 0 {
+        return Err(DecodeError::TrailingBytes(r.remaining()));
+    }
+    Ok(edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imitator_engine::{build_edge_cut_graphs, build_vertex_cut_graphs, Degrees, FtPlan};
+    use imitator_graph::gen;
+    use imitator_partition::{
+        EdgeCutPartitioner, HashEdgeCut, RandomVertexCut, VertexCutPartitioner,
+    };
+
+    struct P;
+    impl imitator_engine::VertexProgram for P {
+        type Value = f64;
+        type Accum = f64;
+        fn init(&self, vid: Vid, _d: &Degrees) -> f64 {
+            f64::from(vid.raw())
+        }
+        fn gather(&self, _w: f32, s: &f64) -> f64 {
+            *s
+        }
+        fn combine(&self, a: f64, b: f64) -> f64 {
+            a + b
+        }
+        fn apply(&self, _v: Vid, old: &f64, acc: Option<f64>, _d: &Degrees) -> f64 {
+            acc.unwrap_or(*old)
+        }
+        fn scatter(&self, _v: Vid, _o: &f64, _n: &f64) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn ec_graph_roundtrips() {
+        let g = gen::power_law(300, 2.0, 5, 3);
+        let cut = HashEdgeCut.partition(&g, 3);
+        let plan = FtPlan::none(g.num_vertices());
+        let d = Degrees::of(&g);
+        let lgs = build_edge_cut_graphs(&g, &cut, &plan, &P, &d);
+        for lg in &lgs {
+            let bytes = encode_ec_graph(lg);
+            let back: EcLocalGraph<f64> = decode_ec_graph(&bytes).unwrap();
+            assert_eq!(&back, lg);
+        }
+    }
+
+    #[test]
+    fn ec_snapshot_roundtrips_masters_only() {
+        let g = gen::power_law(200, 2.0, 5, 5);
+        let cut = HashEdgeCut.partition(&g, 2);
+        let plan = FtPlan::none(g.num_vertices());
+        let d = Degrees::of(&g);
+        let mut lgs = build_edge_cut_graphs(&g, &cut, &plan, &P, &d);
+        // mutate masters, snapshot, wreck, restore
+        for v in lgs[0].verts.iter_mut().filter(|v| v.is_master()) {
+            v.value = 42.0;
+        }
+        let snap = encode_ec_snapshot(&lgs[0], 7);
+        for v in lgs[0].verts.iter_mut() {
+            v.value = -1.0;
+        }
+        let iter = apply_ec_snapshot(&mut lgs[0], &snap).unwrap();
+        assert_eq!(iter, 7);
+        for v in &lgs[0].verts {
+            if v.is_master() {
+                assert_eq!(v.value, 42.0);
+            } else {
+                assert_eq!(v.value, -1.0); // replicas untouched
+            }
+        }
+    }
+
+    #[test]
+    fn vc_graph_roundtrips() {
+        let g = gen::power_law(300, 2.0, 5, 9);
+        let cut = RandomVertexCut.partition(&g, 4);
+        let plan = FtPlan::none(g.num_vertices());
+        let d = Degrees::of(&g);
+        let lgs = build_vertex_cut_graphs(&g, &cut, &plan, &P, &d);
+        for lg in &lgs {
+            let bytes = encode_vc_graph(lg);
+            let back: VcLocalGraph<f64> = decode_vc_graph(&bytes).unwrap();
+            assert_eq!(&back, lg);
+        }
+    }
+
+    #[test]
+    fn vc_snapshot_roundtrips() {
+        let g = gen::power_law(150, 2.0, 4, 11);
+        let cut = RandomVertexCut.partition(&g, 3);
+        let plan = FtPlan::none(g.num_vertices());
+        let d = Degrees::of(&g);
+        let mut lgs = build_vertex_cut_graphs(&g, &cut, &plan, &P, &d);
+        let snap = encode_vc_snapshot(&lgs[1], 3);
+        for v in lgs[1].verts.iter_mut() {
+            v.value = -5.0;
+        }
+        assert_eq!(apply_vc_snapshot(&mut lgs[1], &snap).unwrap(), 3);
+        for v in lgs[1].verts.iter().filter(|v| v.is_master()) {
+            assert_eq!(v.value, f64::from(v.vid.raw()));
+        }
+    }
+
+    #[test]
+    fn edge_ckpt_roundtrips() {
+        let edges = vec![
+            (Vid::new(0), Vid::new(1), 1.5),
+            (Vid::new(7), Vid::new(3), -2.0),
+        ];
+        let bytes = encode_edge_ckpt(&edges);
+        assert_eq!(decode_edge_ckpt(&bytes).unwrap(), edges);
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_rejected() {
+        let bytes = encode_edge_ckpt(&[(Vid::new(0), Vid::new(1), 1.0)]);
+        assert!(decode_edge_ckpt(&bytes[..bytes.len() - 1]).is_err());
+        let mut graph_bytes = vec![0u8; 3];
+        graph_bytes.extend_from_slice(&bytes);
+        assert!(decode_ec_graph::<f64>(&graph_bytes).is_err());
+    }
+}

@@ -1,0 +1,208 @@
+//! Wire message types.
+//!
+//! Messages travel between simulated nodes as owned values over channels;
+//! byte sizes are *accounted* (for the paper's communication-cost numbers)
+//! rather than serialised. Only DFS content (checkpoints, edge-ckpt files)
+//! goes through the binary codec.
+
+use imitator_cluster::NodeId;
+use imitator_engine::{CopyKind, MasterMeta, VcMeta};
+use imitator_graph::Vid;
+
+/// One vertex's synchronisation record, master → replica (Algorithm 1
+/// line 6). With replication FT on, the same record doubles as the mirror's
+/// dynamic-state refresh: `activate` is the scatter bit the mirror stores
+/// for activation replay (§5.1.3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VertexSync<V> {
+    /// The vertex.
+    pub vid: Vid,
+    /// Its new committed value.
+    pub value: V,
+    /// The scatter decision of this update.
+    pub activate: bool,
+}
+
+impl<V> VertexSync<V> {
+    /// Accounted wire size given the value's size.
+    pub fn wire_bytes(value_bytes: usize) -> usize {
+        4 + value_bytes + 1
+    }
+}
+
+/// One recovered vertex copy, shipped to the node reconstructing it.
+///
+/// Position-addressed (§5.1.2): the receiver places it straight into its
+/// vertex array slot, no lookups, no contention.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EcRecoverEntry<V> {
+    /// The vertex.
+    pub vid: Vid,
+    /// Array position on the node being reconstructed.
+    pub pos: u32,
+    /// Role the copy had there.
+    pub kind: CopyKind,
+    /// Node mastering the vertex (post-recovery view).
+    pub master_node: NodeId,
+    /// Last committed value.
+    pub value: V,
+    /// Last synchronised scatter bit, replayed to rebuild activation.
+    pub last_activate: bool,
+    /// Whether the master considers the vertex active (only meaningful when
+    /// `kind` is `Master` and the sender *is* the master's own node — for
+    /// mirror-recovered masters activation comes from replay instead).
+    pub active: bool,
+    /// In-edges in reconstructed-node-local positions (masters only).
+    pub in_edges: Vec<(u32, f32)>,
+    /// Out-edge targets in reconstructed-node-local positions.
+    pub out_local: Vec<u32>,
+    /// Full state (masters and mirrors).
+    pub meta: Option<Box<MasterMeta>>,
+}
+
+/// A survivor's complete contribution to one Rebirth reconstruction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EcRebirthBatch<V> {
+    /// Iteration at which the cluster resumes after recovery.
+    pub resume_iter: u64,
+    /// Number of surviving nodes contributing batches (the newbie counts
+    /// arrivals against this).
+    pub num_survivors: u32,
+    /// Recovered copies.
+    pub entries: Vec<EcRecoverEntry<V>>,
+}
+
+/// Migration round 1: a mirror promoted itself to master (§5.2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Promotion {
+    /// The vertex whose master moved.
+    pub vid: Vid,
+    /// The surviving node now mastering it.
+    pub new_master: NodeId,
+    /// The master's array position there.
+    pub new_pos: u32,
+    /// The crashed node that used to master it.
+    pub old_node: NodeId,
+    /// The master's array position on the crashed node — peers use
+    /// `(old_node, old_pos)` to rewrite position-addressed consumer tables.
+    pub old_pos: u32,
+}
+
+/// Migration round 3: a master hands a fresh replica of `vid` to a node
+/// that needs one for local-access semantics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplicaGrant<V> {
+    /// The vertex.
+    pub vid: Vid,
+    /// Current value.
+    pub value: V,
+    /// Last committed scatter bit (for activation replay).
+    pub last_activate: bool,
+    /// The master's node.
+    pub master_node: NodeId,
+}
+
+/// Migration rounds 5-7: mirror designation / full-state refresh. When
+/// `value` is `Some`, the receiver has no copy yet and creates one (a brand
+/// new FT replica); otherwise it upgrades or refreshes the existing copy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MirrorUpdate<V, M> {
+    /// The vertex.
+    pub vid: Vid,
+    /// The refreshed full state.
+    pub meta: Box<M>,
+    /// Value for receivers without a copy.
+    pub value: Option<V>,
+    /// Last committed scatter bit.
+    pub last_activate: bool,
+    /// The sending master's node.
+    pub master_node: NodeId,
+}
+
+/// Edge-cut cluster messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EcMsg<V> {
+    /// Normal-execution value synchronisation, master → replicas.
+    Sync(Vec<VertexSync<V>>),
+    /// Rebirth: survivor → newbie reconstruction batch.
+    Rebirth(Box<EcRebirthBatch<V>>),
+    /// Migration R1: promotions performed by the sender.
+    Promote(Vec<Promotion>),
+    /// Migration R2: the sender needs replicas of these vertices.
+    ReplicaRequest(Vec<Vid>),
+    /// Migration R3: granted replicas.
+    ReplicaGrant(Vec<ReplicaGrant<V>>),
+    /// Migration R4/R6: `(vid, pos)` placements to record in master meta.
+    ReplicaPlaced(Vec<(Vid, u32)>),
+    /// Migration R5/R7: mirror designation / meta refresh.
+    MirrorUpdate(Vec<MirrorUpdate<V, MasterMeta>>),
+}
+
+/// A vertex-cut recovered copy (no edges — those come from edge-ckpt files).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VcRecoverEntry<V> {
+    /// The vertex.
+    pub vid: Vid,
+    /// Array position on the node being reconstructed.
+    pub pos: u32,
+    /// Role the copy had there.
+    pub kind: CopyKind,
+    /// Node mastering the vertex.
+    pub master_node: NodeId,
+    /// Last committed value.
+    pub value: V,
+    /// Full state (masters and mirrors).
+    pub meta: Option<Box<VcMeta>>,
+}
+
+/// A survivor's contribution to one vertex-cut Rebirth reconstruction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VcRebirthBatch<V> {
+    /// Iteration at which the cluster resumes.
+    pub resume_iter: u64,
+    /// Contributing survivors.
+    pub num_survivors: u32,
+    /// Recovered copies.
+    pub entries: Vec<VcRecoverEntry<V>>,
+}
+
+/// Vertex-cut cluster messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VcMsg<V, A> {
+    /// Gather phase: partial accumulators, edge holder → master.
+    Gather(Vec<(Vid, A)>),
+    /// Apply phase: new values, master → replicas.
+    Sync(Vec<VertexSync<V>>),
+    /// Rebirth reconstruction batch.
+    Rebirth(Box<VcRebirthBatch<V>>),
+    /// Migration R1: promotions.
+    Promote(Vec<Promotion>),
+    /// Migration R2: replica requests for edge endpoints.
+    ReplicaRequest(Vec<Vid>),
+    /// Migration R3: granted replicas.
+    ReplicaGrant(Vec<ReplicaGrant<V>>),
+    /// Migration R4/R6: placements.
+    ReplicaPlaced(Vec<(Vid, u32)>),
+    /// Migration R5/R7: mirror designation / meta refresh.
+    MirrorUpdate(Vec<MirrorUpdate<V, VcMeta>>),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sync_wire_size_counts_header_and_value() {
+        assert_eq!(VertexSync::<f64>::wire_bytes(8), 13);
+    }
+
+    #[test]
+    fn messages_are_cloneable_and_comparable() {
+        let m: EcMsg<f64> = EcMsg::Sync(vec![VertexSync {
+            vid: Vid::new(1),
+            value: 0.5,
+            activate: true,
+        }]);
+        assert_eq!(m.clone(), m);
+    }
+}

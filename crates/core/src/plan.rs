@@ -1,0 +1,297 @@
+//! Fault-tolerance replica placement (§4).
+//!
+//! Given an existing partitioning's replica sets, this module decides, per
+//! vertex:
+//!
+//! * which `K` replica locations become **mirrors** (full-state replicas,
+//!   §4.2) — chosen greedily so every machine hosts a similar number of
+//!   mirrors, which keeps recovery parallel (§6.5);
+//! * where to create **extra FT replicas** for vertices with fewer than `K`
+//!   replicas (§4.1) — a small random candidate set is drawn and the least
+//!   loaded candidate wins ("power of choices", §1);
+//! * which vertices are **selfish** (§4.4) — no out-edges and a program
+//!   whose values are recomputable from in-neighbours; they get FT replicas
+//!   but are never synchronised during normal execution.
+
+use imitator_cluster::NodeId;
+use imitator_engine::FtPlan;
+use imitator_graph::{Graph, Vid};
+use imitator_partition::{EdgeCut, VertexCut};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A partitioning's view of master/replica placement, abstracting over
+/// edge-cut and vertex-cut.
+pub trait ReplicaView {
+    /// Number of parts.
+    fn num_parts(&self) -> usize;
+    /// Part mastering `v`.
+    fn master_part(&self, v: Vid) -> usize;
+    /// Parts holding a replica of `v` (excluding the master part).
+    fn replica_parts(&self, v: Vid) -> &[u32];
+}
+
+impl ReplicaView for EdgeCut {
+    fn num_parts(&self) -> usize {
+        self.num_parts()
+    }
+
+    fn master_part(&self, v: Vid) -> usize {
+        self.owner(v)
+    }
+
+    fn replica_parts(&self, v: Vid) -> &[u32] {
+        self.replica_parts(v)
+    }
+}
+
+impl ReplicaView for VertexCut {
+    fn num_parts(&self) -> usize {
+        self.num_parts()
+    }
+
+    fn master_part(&self, v: Vid) -> usize {
+        self.master(v)
+    }
+
+    fn replica_parts(&self, v: Vid) -> &[u32] {
+        self.replica_parts(v)
+    }
+}
+
+/// Computes the FT placement for tolerating `tolerance` simultaneous
+/// machine failures.
+///
+/// `selfish_enabled` is the configuration switch; `program_selfish_ok`
+/// whether the vertex program declares its values recomputable
+/// ([`imitator_engine::VertexProgram::selfish_compatible`]).
+///
+/// # Panics
+///
+/// Panics if `tolerance >= num_parts` (there must be a surviving copy) or
+/// `tolerance == 0`.
+#[allow(clippy::needless_range_loop)] // loops pair the index with Vid::from_index(i)
+pub fn compute_ft_plan(
+    g: &Graph,
+    view: &dyn ReplicaView,
+    tolerance: usize,
+    selfish_enabled: bool,
+    program_selfish_ok: bool,
+    seed: u64,
+) -> FtPlan {
+    let parts = view.num_parts();
+    assert!(tolerance > 0, "tolerance must be at least 1");
+    assert!(
+        tolerance < parts,
+        "cannot tolerate {tolerance} failures with {parts} nodes"
+    );
+    let n = g.num_vertices();
+    let mut out_deg = vec![0u32; n];
+    for e in g.edges() {
+        out_deg[e.src.index()] += 1;
+    }
+
+    let mut plan = FtPlan::none(n);
+    // Per-node load trackers for balanced placement.
+    let mut mirror_count = vec![0usize; parts];
+    let mut copy_count = vec![0usize; parts];
+    for i in 0..n {
+        let v = Vid::from_index(i);
+        copy_count[view.master_part(v)] += 1;
+        for &p in view.replica_parts(v) {
+            copy_count[p as usize] += 1;
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    for i in 0..n {
+        let v = Vid::from_index(i);
+        let owner = view.master_part(v);
+        plan.selfish[i] = selfish_enabled && program_selfish_ok && out_deg[i] == 0;
+
+        // Greedy mirror choice among existing replicas: least-mirrored
+        // machines first (ties by node ID for determinism).
+        let mut candidates: Vec<usize> =
+            view.replica_parts(v).iter().map(|&p| p as usize).collect();
+        candidates.sort_by_key(|&p| (mirror_count[p], p));
+        let mut mirrors: Vec<NodeId> = candidates
+            .iter()
+            .take(tolerance)
+            .map(|&p| NodeId::from_index(p))
+            .collect();
+
+        // Not enough replicas: create extra FT replicas (§4.1). Draw a few
+        // random candidates and keep the least-loaded one.
+        while mirrors.len() < tolerance {
+            let mut best: Option<usize> = None;
+            for _ in 0..8 {
+                let p = rng.gen_range(0..parts);
+                if p == owner
+                    || mirrors.contains(&NodeId::from_index(p))
+                    || view.replica_parts(v).contains(&(p as u32))
+                {
+                    continue;
+                }
+                best = Some(match best {
+                    None => p,
+                    Some(b)
+                        if copy_count[p] + mirror_count[p] < copy_count[b] + mirror_count[b] =>
+                    {
+                        p
+                    }
+                    Some(b) => b,
+                });
+            }
+            // Random draws can all collide on small clusters; fall back to a
+            // deterministic scan for any eligible node.
+            let chosen = best.unwrap_or_else(|| {
+                (0..parts)
+                    .filter(|&p| {
+                        p != owner
+                            && !mirrors.contains(&NodeId::from_index(p))
+                            && !view.replica_parts(v).contains(&(p as u32))
+                    })
+                    .min_by_key(|&p| (copy_count[p] + mirror_count[p], p))
+                    .expect("tolerance < parts guarantees an eligible node")
+            });
+            mirrors.push(NodeId::from_index(chosen));
+            plan.extra_replicas[i].push(NodeId::from_index(chosen));
+            copy_count[chosen] += 1;
+        }
+
+        for m in &mirrors {
+            mirror_count[m.index()] += 1;
+        }
+        plan.mirror[i] = mirrors;
+    }
+    plan
+}
+
+/// Fraction of vertices that needed an extra FT replica, excluding selfish
+/// vertices (the series of Fig. 3(b)).
+pub fn extra_replica_fraction(plan: &FtPlan) -> f64 {
+    let n = plan.num_vertices();
+    if n == 0 {
+        return 0.0;
+    }
+    let extra = (0..n)
+        .filter(|&i| !plan.extra_replicas[i].is_empty() && !plan.selfish[i])
+        .count();
+    extra as f64 / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imitator_graph::gen;
+    use imitator_partition::{
+        EdgeCutPartitioner, HashEdgeCut, RandomVertexCut, VertexCutPartitioner,
+    };
+
+    fn plan_for(parts: usize, k: usize) -> (Graph, EdgeCut, FtPlan) {
+        let g = gen::power_law_selfish(2_000, 2.0, 6, 0.2, 5);
+        let cut = HashEdgeCut.partition(&g, parts);
+        let plan = compute_ft_plan(&g, &cut, k, true, true, 42);
+        (g, cut, plan)
+    }
+
+    #[test]
+    fn every_vertex_gets_k_mirrors() {
+        let (g, cut, plan) = plan_for(8, 2);
+        for v in g.vertices() {
+            let mirrors = plan.mirrors(v);
+            assert_eq!(mirrors.len(), 2, "{v} has {} mirrors", mirrors.len());
+            // distinct, none on the owner
+            assert_ne!(mirrors[0], mirrors[1]);
+            for m in mirrors {
+                assert_ne!(m.index(), cut.owner(v));
+            }
+        }
+    }
+
+    #[test]
+    fn extras_only_where_replicas_lack() {
+        let (g, cut, plan) = plan_for(8, 1);
+        for v in g.vertices() {
+            if cut.replica_parts(v).is_empty() {
+                assert_eq!(plan.extra_replicas[v.index()].len(), 1);
+            } else {
+                assert!(plan.extra_replicas[v.index()].is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn selfish_flags_follow_out_degree() {
+        let (g, _cut, plan) = plan_for(8, 1);
+        let mut out_deg = vec![0u32; g.num_vertices()];
+        for e in g.edges() {
+            out_deg[e.src.index()] += 1;
+        }
+        for v in g.vertices() {
+            assert_eq!(plan.selfish[v.index()], out_deg[v.index()] == 0);
+        }
+    }
+
+    #[test]
+    fn selfish_disabled_clears_flags() {
+        let g = gen::power_law_selfish(500, 2.0, 6, 0.3, 1);
+        let cut = HashEdgeCut.partition(&g, 4);
+        let plan = compute_ft_plan(&g, &cut, 1, false, true, 1);
+        assert!(plan.selfish.iter().all(|&s| !s));
+        let plan2 = compute_ft_plan(&g, &cut, 1, true, false, 1);
+        assert!(plan2.selfish.iter().all(|&s| !s));
+    }
+
+    #[test]
+    fn mirror_load_is_balanced() {
+        let (g, _cut, plan) = plan_for(8, 1);
+        let mut counts = vec![0usize; 8];
+        for v in g.vertices() {
+            for m in plan.mirrors(v) {
+                counts[m.index()] += 1;
+            }
+        }
+        let (min, max) = (
+            *counts.iter().min().unwrap() as f64,
+            *counts.iter().max().unwrap() as f64,
+        );
+        assert!(max / min.max(1.0) < 1.6, "mirror imbalance: {counts:?}");
+    }
+
+    #[test]
+    fn works_on_vertex_cut() {
+        let g = gen::power_law(1_000, 2.0, 8, 3);
+        let cut = RandomVertexCut.partition(&g, 6);
+        let plan = compute_ft_plan(&g, &cut, 3, false, false, 9);
+        for v in g.vertices() {
+            assert_eq!(plan.mirrors(v).len(), 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot tolerate")]
+    fn tolerance_must_leave_survivors() {
+        let g = gen::power_law(100, 2.0, 4, 1);
+        let cut = HashEdgeCut.partition(&g, 3);
+        compute_ft_plan(&g, &cut, 3, false, false, 0);
+    }
+
+    #[test]
+    fn extra_fraction_is_small_on_well_connected_graphs() {
+        // Fig. 3(b): < 0.15% extra replicas for well-connected datasets.
+        let g = gen::power_law(5_000, 2.0, 15, 7);
+        let cut = HashEdgeCut.partition(&g, 16);
+        let plan = compute_ft_plan(&g, &cut, 1, true, true, 3);
+        assert!(extra_replica_fraction(&plan) < 0.02);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let g = gen::power_law(500, 2.0, 6, 11);
+        let cut = HashEdgeCut.partition(&g, 5);
+        let a = compute_ft_plan(&g, &cut, 2, true, true, 7);
+        let b = compute_ft_plan(&g, &cut, 2, true, true, 7);
+        assert_eq!(a, b);
+    }
+}

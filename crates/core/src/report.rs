@@ -1,0 +1,143 @@
+//! Run and recovery reports.
+
+use std::time::Duration;
+
+use imitator_metrics::{CommStats, PhaseTimes};
+
+/// What one recovery episode cost, broken into the paper's three phases
+/// (§5.1/§5.2, Figs. 2(c), 9, 11(b), 15(b)).
+///
+/// Each node measures its own phases; the driver merges per-phase maxima
+/// (recovery finishes when the slowest participant finishes).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryReport {
+    /// Strategy used ("rebirth", "migration", "checkpoint").
+    pub strategy: &'static str,
+    /// Number of crashed nodes handled in this episode.
+    pub failed_nodes: usize,
+    /// Reloading: moving state — recovery messages from survivors, snapshot
+    /// or edge-ckpt reads from the DFS.
+    pub reload: Duration,
+    /// Reconstruction: rebuilding graph topology and runtime state.
+    pub reconstruct: Duration,
+    /// Replay: re-running lost work — activation fix-ups for
+    /// replication-based recovery, whole lost iterations for checkpointing.
+    pub replay: Duration,
+    /// Vertex copies recovered (masters + replicas).
+    pub vertices_recovered: u64,
+    /// Edges recovered.
+    pub edges_recovered: u64,
+    /// Communication spent on recovery.
+    pub comm: CommStats,
+}
+
+impl RecoveryReport {
+    /// Total recovery time (sum of the three phases).
+    pub fn total(&self) -> Duration {
+        self.reload + self.reconstruct + self.replay
+    }
+
+    /// Merges another node's view of the same episode (max per phase, sum
+    /// of recovered counts and traffic).
+    pub fn merge(&mut self, other: &RecoveryReport) {
+        debug_assert_eq!(self.strategy, other.strategy);
+        self.reload = self.reload.max(other.reload);
+        self.reconstruct = self.reconstruct.max(other.reconstruct);
+        self.replay = self.replay.max(other.replay);
+        self.vertices_recovered += other.vertices_recovered;
+        self.edges_recovered += other.edges_recovered;
+        self.comm += other.comm;
+    }
+}
+
+/// The outcome of one distributed run.
+#[derive(Debug, Clone)]
+pub struct RunReport<V> {
+    /// Final vertex values, indexed by global vertex ID.
+    pub values: Vec<V>,
+    /// Committed iterations.
+    pub iterations: u64,
+    /// Wall-clock time of the whole run (load excluded).
+    pub elapsed: Duration,
+    /// Wall-clock offset (since run start) at which each iteration
+    /// committed, as observed by the reporting node — the raw series behind
+    /// the Fig. 12 timeline.
+    pub timeline: Vec<(u64, Duration)>,
+    /// Total messages/bytes on the wire (excluding recovery).
+    pub comm: CommStats,
+    /// The subset of `comm` that exists only for fault tolerance — syncs to
+    /// extra FT replicas (Fig. 8(b), Table 6).
+    pub ft_comm: CommStats,
+    /// Per-node phase breakdown (compute / send / barrier / commit / ckpt),
+    /// merged max across nodes.
+    pub phases: PhaseTimes,
+    /// Time spent writing checkpoints (included in `elapsed`).
+    pub ckpt_time: Duration,
+    /// Recovery episodes, in order.
+    pub recoveries: Vec<RecoveryReport>,
+    /// Per-node resident bytes of graph state right after loading.
+    pub mem_bytes: Vec<usize>,
+    /// Extra FT replicas created at load (Fig. 3(b)/8(a)); zero unless
+    /// replication FT is on.
+    pub extra_replicas: usize,
+}
+
+impl<V> RunReport<V> {
+    /// Mean committed-iteration duration, when at least one committed.
+    pub fn avg_iteration(&self) -> Duration {
+        if self.iterations == 0 {
+            return Duration::ZERO;
+        }
+        // Difference of consecutive timeline stamps averages to
+        // elapsed-per-iteration including barriers and recovery gaps; use
+        // last stamp / count for the steady-state figure.
+        match self.timeline.last() {
+            Some((_, t)) => *t / self.iterations as u32,
+            None => Duration::ZERO,
+        }
+    }
+
+    /// Total recovery time across episodes.
+    pub fn recovery_total(&self) -> Duration {
+        self.recoveries.iter().map(RecoveryReport::total).sum()
+    }
+
+    /// Total memory across nodes.
+    pub fn total_mem_bytes(&self) -> usize {
+        self.mem_bytes.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rr(reload: u64, reconstruct: u64, replay: u64) -> RecoveryReport {
+        RecoveryReport {
+            strategy: "rebirth",
+            failed_nodes: 1,
+            reload: Duration::from_millis(reload),
+            reconstruct: Duration::from_millis(reconstruct),
+            replay: Duration::from_millis(replay),
+            vertices_recovered: 10,
+            edges_recovered: 20,
+            comm: CommStats::new(1, 100),
+        }
+    }
+
+    #[test]
+    fn total_sums_phases() {
+        assert_eq!(rr(1, 2, 3).total(), Duration::from_millis(6));
+    }
+
+    #[test]
+    fn merge_takes_max_phase_and_sums_counts() {
+        let mut a = rr(5, 1, 0);
+        a.merge(&rr(2, 9, 4));
+        assert_eq!(a.reload, Duration::from_millis(5));
+        assert_eq!(a.reconstruct, Duration::from_millis(9));
+        assert_eq!(a.replay, Duration::from_millis(4));
+        assert_eq!(a.vertices_recovered, 20);
+        assert_eq!(a.comm, CommStats::new(2, 200));
+    }
+}

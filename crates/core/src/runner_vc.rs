@@ -1,0 +1,1403 @@
+//! The vertex-cut (PowerLyra) distributed runner.
+//!
+//! Structure mirrors the edge-cut runner with the vertex-cut differences of
+//! §4.3/§6.10: gather is distributed (partial accumulators flow to masters,
+//! adding a third barrier per iteration), vertices are *dense* (every master
+//! re-applies each iteration, which is how the paper's vertex-cut evaluation
+//! exercises PowerLyra — PageRank only), and edges are not replicated in
+//! mirrors: each node persists its owned edges to per-receiver **edge-ckpt
+//! files** on the DFS at load, which recovery reloads in parallel.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use imitator_cluster::{
+    BarrierOutcome, Cluster, Envelope, FailPoint, FailureInjector, FailurePlan, NodeCtx, NodeId,
+};
+use imitator_engine::{
+    vc_apply, vc_commit, vc_partial_gather, CopyKind, Degrees, FtPlan, VcEdge, VcLocalGraph,
+    VcMeta, VcVertex, VertexProgram,
+};
+use imitator_graph::{Graph, Vid};
+use imitator_metrics::{CommStats, MemSize, Stopwatch};
+use imitator_partition::VertexCut;
+use imitator_storage::codec::{Decode, Encode};
+use imitator_storage::Dfs;
+
+use crate::ckpt;
+use crate::msg::{
+    MirrorUpdate, Promotion, ReplicaGrant, VcMsg, VcRebirthBatch, VcRecoverEntry, VertexSync,
+};
+use crate::plan::compute_ft_plan;
+use crate::report::{RecoveryReport, RunReport};
+use crate::rt::{merge_outcomes, NodeOutcome, NodeState};
+use crate::{FtMode, RecoveryStrategy, RunConfig};
+
+const RECOVERY_PATIENCE: Duration = Duration::from_secs(30);
+
+struct Shared<P: VertexProgram> {
+    prog: Arc<P>,
+    degrees: Arc<Degrees>,
+    plan: Arc<FtPlan>,
+    owners: Arc<Vec<u32>>,
+    injector: Arc<FailureInjector>,
+    dfs: Dfs,
+    cfg: RunConfig,
+}
+
+type M<P> = VcMsg<<P as VertexProgram>::Value, <P as VertexProgram>::Accum>;
+type Ctx<P> = NodeCtx<M<P>>;
+type St<P> = NodeState<M<P>>;
+
+/// Runs a vertex program over `g` on a simulated cluster partitioned by the
+/// vertex-cut `cut`, under the configured fault-tolerance mode, with the
+/// scheduled failures injected. The engine is dense: every vertex re-applies
+/// each iteration until no master's value changes (or `max_iters`).
+///
+/// # Panics
+///
+/// Panics if `cfg.num_nodes != cut.num_parts()`, if a failure is injected
+/// with `FtMode::None`, or if Rebirth/Checkpoint recovery runs out of
+/// standbys.
+pub fn run_vertex_cut<P>(
+    g: &Graph,
+    cut: &VertexCut,
+    prog: Arc<P>,
+    cfg: RunConfig,
+    failures: Vec<FailurePlan>,
+    dfs: Dfs,
+) -> RunReport<P::Value>
+where
+    P: VertexProgram,
+    P::Value: Encode + Decode + MemSize,
+{
+    assert_eq!(
+        cfg.num_nodes,
+        cut.num_parts(),
+        "config node count must match the partitioning"
+    );
+    let degrees = Arc::new(Degrees::of(g));
+    let plan = Arc::new(match cfg.ft {
+        FtMode::Replication {
+            tolerance,
+            selfish_opt,
+            ..
+        } => compute_ft_plan(
+            g,
+            cut,
+            tolerance,
+            selfish_opt,
+            prog.selfish_compatible(),
+            0xF7,
+        ),
+        _ => FtPlan::none(g.num_vertices()),
+    });
+    let extra_replicas = plan.extra_replica_count();
+    let lgs = imitator_engine::build_vertex_cut_graphs(g, cut, &plan, prog.as_ref(), &degrees);
+    let mem_bytes: Vec<usize> = lgs.iter().map(MemSize::mem_bytes).collect();
+    let owners: Arc<Vec<u32>> = Arc::new(g.vertices().map(|v| cut.master(v) as u32).collect());
+    let injector = Arc::new(FailureInjector::new());
+    for f in failures {
+        injector.schedule(f);
+    }
+    let shared = Arc::new(Shared {
+        prog,
+        degrees,
+        plan,
+        owners,
+        injector,
+        dfs,
+        cfg,
+    });
+    let cluster: Cluster<M<P>> = Cluster::new(cfg.num_nodes, cfg.standbys, cfg.detection_delay);
+
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for (p, lg) in lgs.into_iter().enumerate() {
+        let ctx = cluster.take_ctx(NodeId::from_index(p));
+        let shared = Arc::clone(&shared);
+        handles.push(std::thread::spawn(move || {
+            let mut st = NodeState::new(shared.cfg.num_nodes, Instant::now());
+            match shared.cfg.ft {
+                FtMode::Checkpoint { .. } => {
+                    let sw = Stopwatch::start();
+                    shared.dfs.write(
+                        &format!("vc/meta/{}", ctx.id().raw()),
+                        ckpt::encode_vc_graph(&lg),
+                    );
+                    st.ckpt_time += sw.elapsed();
+                }
+                FtMode::Replication { .. } => {
+                    // §4.3: persist owned edges to per-receiver edge-ckpt
+                    // files, overlapped with loading in the paper (charged
+                    // to load here, not to iteration time).
+                    write_edge_ckpt_files(&lg, &shared);
+                }
+                FtMode::None => {}
+            }
+            node_main(ctx, lg, &shared, st)
+        }));
+    }
+    let mut standby_handles = Vec::new();
+    for _ in 0..cfg.standbys {
+        let cluster = cluster.clone();
+        let shared = Arc::clone(&shared);
+        standby_handles.push(std::thread::spawn(move || standby_main(&cluster, &shared)));
+    }
+
+    let mut outcomes: Vec<NodeOutcome<VcLocalGraph<P::Value>>> = handles
+        .into_iter()
+        .map(|h| h.join().expect("node thread panicked"))
+        .collect();
+    cluster.shutdown_standbys();
+    for h in standby_handles {
+        if let Some(o) = h.join().expect("standby thread panicked") {
+            outcomes.push(o);
+        }
+    }
+    let elapsed = start.elapsed();
+
+    let (mut report, graphs) = merge_outcomes(outcomes, elapsed, mem_bytes, extra_replicas);
+    let mut values: Vec<Option<P::Value>> = vec![None; g.num_vertices()];
+    for lg in &graphs {
+        for v in lg.verts.iter().filter(|v| v.is_master()) {
+            values[v.vid.index()] = Some(v.value.clone());
+        }
+    }
+    report.values = values
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| v.unwrap_or_else(|| panic!("vertex v{i} has no master after run")))
+        .collect();
+    report
+}
+
+/// Splits this node's edges into one edge-ckpt file per receiving node: an
+/// edge goes to the file of the node hosting the target's master (or its
+/// first mirror when the master is this very node), so each survivor reloads
+/// exactly one file in parallel during Migration (§4.3).
+fn write_edge_ckpt_files<P>(lg: &VcLocalGraph<P::Value>, shared: &Arc<Shared<P>>)
+where
+    P: VertexProgram,
+    P::Value: Encode + Decode + MemSize,
+{
+    let me = lg.node;
+    let mut per_receiver: HashMap<NodeId, Vec<(Vid, Vid, f32)>> = HashMap::new();
+    for e in &lg.edges {
+        let src = lg.verts[e.src as usize].vid;
+        let dst_v = &lg.verts[e.dst as usize];
+        let receiver = if dst_v.master_node != me {
+            dst_v.master_node
+        } else {
+            let meta = dst_v.meta.as_ref().expect("local master has meta");
+            meta.mirror_nodes
+                .first()
+                .copied()
+                .unwrap_or(dst_v.master_node)
+        };
+        per_receiver
+            .entry(receiver)
+            .or_default()
+            .push((src, dst_v.vid, e.weight));
+    }
+    for (receiver, edges) in per_receiver {
+        shared.dfs.write(
+            &format!("vc/eckpt/{}/{}", me.raw(), receiver.raw()),
+            ckpt::encode_edge_ckpt(&edges),
+        );
+    }
+}
+
+fn standby_main<P>(
+    cluster: &Cluster<M<P>>,
+    shared: &Arc<Shared<P>>,
+) -> Option<NodeOutcome<VcLocalGraph<P::Value>>>
+where
+    P: VertexProgram,
+    P::Value: Encode + Decode + MemSize,
+{
+    let ctx = cluster.wait_standby(Duration::from_secs(600))?;
+    let mut st = NodeState::new(shared.cfg.num_nodes, Instant::now());
+    let lg = match shared.cfg.ft {
+        FtMode::Replication { .. } => rebirth_newbie(&ctx, shared, &mut st),
+        FtMode::Checkpoint { .. } => ckpt_newbie(&ctx, shared, &mut st),
+        FtMode::None => unreachable!("standbys are never dispatched without fault tolerance"),
+    };
+    Some(node_main(ctx, lg, shared, st))
+}
+
+fn node_main<P>(
+    ctx: Ctx<P>,
+    mut lg: VcLocalGraph<P::Value>,
+    shared: &Arc<Shared<P>>,
+    mut st: St<P>,
+) -> NodeOutcome<VcLocalGraph<P::Value>>
+where
+    P: VertexProgram,
+    P::Value: Encode + Decode + MemSize,
+{
+    let me = ctx.id();
+    loop {
+        if st.iter >= shared.cfg.max_iters {
+            break;
+        }
+        if shared
+            .injector
+            .should_fail(me, st.iter, FailPoint::BeforeBarrier)
+        {
+            ctx.die();
+            return NodeOutcome::from_state(None, st);
+        }
+        let iter_sw = Stopwatch::start();
+        let mut sw = Stopwatch::start();
+
+        // Distributed gather: local partials flow to each vertex's master.
+        let partials = vc_partial_gather(&lg, shared.prog.as_ref());
+        let mut gather_batches: HashMap<NodeId, Vec<(Vid, P::Accum)>> = HashMap::new();
+        // Per-master collected contributions, keyed by sender so combining
+        // happens in a deterministic node order.
+        let mut collected: HashMap<u32, Vec<(NodeId, P::Accum)>> = HashMap::new();
+        for (pos, acc) in partials.into_iter().enumerate() {
+            let Some(acc) = acc else { continue };
+            let v = &lg.verts[pos];
+            if v.is_master() {
+                collected.entry(pos as u32).or_default().push((me, acc));
+            } else {
+                gather_batches
+                    .entry(v.master_node)
+                    .or_default()
+                    .push((v.vid, acc));
+            }
+        }
+        st.phases.record("compute", sw.lap());
+        for (node, batch) in gather_batches {
+            let entries = batch.len() as u64;
+            let bytes: u64 = batch
+                .iter()
+                .map(|(_, a)| 4 + shared.prog.accum_wire_bytes(a) as u64)
+                .sum();
+            st.comm.record(entries, bytes);
+            ctx.send_sized(node, VcMsg::Gather(batch), bytes);
+        }
+        st.phases.record("send", sw.lap());
+        let (outcome, _) = ctx.enter_barrier_sum(0);
+        st.phases.record("barrier", sw.lap());
+        if let BarrierOutcome::Failed(dead) = outcome {
+            stash_non_data(&ctx, &mut st);
+            let resume = st.iter;
+            recover(&ctx, &mut lg, shared, &mut st, &dead, resume);
+            continue;
+        }
+
+        // Apply at masters. A fast peer may already have sent this
+        // iteration's Sync messages — keep them stashed for commit time.
+        let mut pending = std::mem::take(&mut st.stash);
+        pending.extend(ctx.drain());
+        for env in pending {
+            match env.msg {
+                VcMsg::Gather(batch) => {
+                    for (vid, acc) in batch {
+                        let pos = lg.position(vid).expect("gather for unknown vertex");
+                        debug_assert!(lg.verts[pos as usize].is_master());
+                        collected.entry(pos).or_default().push((env.from, acc));
+                    }
+                }
+                other => st.stash.push(Envelope {
+                    from: env.from,
+                    msg: other,
+                }),
+            }
+        }
+        let mut acc_table: Vec<Option<P::Accum>> = vec![None; lg.verts.len()];
+        for (pos, mut contributions) in collected {
+            contributions.sort_by_key(|(n, _)| *n);
+            let mut folded: Option<P::Accum> = None;
+            for (_, acc) in contributions {
+                folded = Some(match folded {
+                    None => acc,
+                    Some(a) => shared.prog.combine(a, acc),
+                });
+            }
+            acc_table[pos as usize] = folded;
+        }
+        let updates = vc_apply(
+            &lg,
+            shared.prog.as_ref(),
+            acc_table,
+            &shared.degrees,
+            st.iter,
+        );
+        st.phases.record("apply", sw.lap());
+
+        // Broadcast new values to replicas (mirror dynamic state included).
+        let mut sync_batches: HashMap<NodeId, Vec<VertexSync<P::Value>>> = HashMap::new();
+        let mut ft_entries: HashMap<NodeId, u64> = HashMap::new();
+        for u in &updates {
+            let v = &lg.verts[u.local as usize];
+            let i = v.vid.index();
+            if *shared.plan.selfish.get(i).unwrap_or(&false) {
+                continue;
+            }
+            let meta = v.meta.as_ref().expect("master meta");
+            for &node in &meta.replica_nodes {
+                sync_batches.entry(node).or_default().push(VertexSync {
+                    vid: v.vid,
+                    value: u.value.clone(),
+                    activate: u.activate,
+                });
+                if shared
+                    .plan
+                    .extra_replicas
+                    .get(i)
+                    .is_some_and(|e| e.contains(&node))
+                {
+                    *ft_entries.entry(node).or_default() += 1;
+                }
+            }
+        }
+        for (node, batch) in sync_batches {
+            let entries = batch.len() as u64;
+            let bytes: u64 = batch
+                .iter()
+                .map(|s| {
+                    VertexSync::<P::Value>::wire_bytes(shared.prog.value_wire_bytes(&s.value))
+                        as u64
+                })
+                .sum();
+            let ft = ft_entries.get(&node).copied().unwrap_or(0);
+            st.comm.record(entries, bytes);
+            if ft > 0 {
+                st.ft_comm.record(ft, bytes * ft / entries.max(1));
+            }
+            ctx.send_sized(node, VcMsg::Sync(batch), bytes);
+        }
+        st.phases.record("send", sw.lap());
+        let (outcome2, _) = ctx.enter_barrier_sum(0);
+        st.phases.record("barrier", sw.lap());
+        if let BarrierOutcome::Failed(dead) = outcome2 {
+            drop(updates);
+            stash_non_data(&ctx, &mut st);
+            let resume = st.iter;
+            recover(&ctx, &mut lg, shared, &mut st, &dead, resume);
+            continue;
+        }
+
+        // Commit.
+        if matches!(
+            shared.cfg.ft,
+            FtMode::Checkpoint {
+                incremental: true,
+                ..
+            }
+        ) {
+            st.dirty.extend(updates.iter().map(|u| u.local));
+        }
+        let incoming = collect_syncs(&ctx, &lg, &mut st);
+        let stats = vc_commit(&mut lg, updates, incoming);
+        st.phases.record("commit", sw.lap());
+
+        if let FtMode::Checkpoint {
+            interval,
+            incremental,
+        } = shared.cfg.ft
+        {
+            if (st.iter + 1).is_multiple_of(interval) {
+                let bytes = if incremental {
+                    let mut dirty: Vec<u32> = st.dirty.drain().collect();
+                    dirty.sort_unstable();
+                    ckpt::encode_vc_snapshot_inc(&lg, st.iter + 1, &dirty)
+                } else {
+                    ckpt::encode_vc_snapshot(&lg, st.iter + 1)
+                };
+                shared
+                    .dfs
+                    .write(&format!("vc/ckpt/{}/{}", st.iter + 1, me.raw()), bytes);
+                st.last_snapshot_iter = st.iter + 1;
+                let d = sw.lap();
+                st.ckpt_time += d;
+                st.phases.record("ckpt", d);
+            }
+        }
+
+        st.iter += 1;
+        st.timeline.push((st.iter, st.start.elapsed()));
+        let (outcome3, total_changed) = ctx.enter_barrier_sum(stats.changed as u64);
+        st.phases.record("barrier", sw.lap());
+        if st.iter <= st.replay_until {
+            if let Some(r) = st.recoveries.last_mut() {
+                r.replay += iter_sw.elapsed();
+            }
+        }
+        if let BarrierOutcome::Failed(dead) = outcome3 {
+            stash_non_data(&ctx, &mut st);
+            let resume = st.iter;
+            recover(&ctx, &mut lg, shared, &mut st, &dead, resume);
+            continue;
+        }
+        if total_changed == 0 {
+            // Converged: the job is over before any post-barrier crash can
+            // strike (a machine lost after completion is outside the job's
+            // lifetime and cannot be recovered by it).
+            break;
+        }
+        if st.iter < shared.cfg.max_iters
+            && shared
+                .injector
+                .should_fail(me, st.iter - 1, FailPoint::AfterBarrier)
+        {
+            ctx.die();
+            return NodeOutcome::from_state(None, st);
+        }
+    }
+    NodeOutcome::from_state(Some(lg), st)
+}
+
+fn collect_syncs<V, A>(
+    ctx: &NodeCtx<VcMsg<V, A>>,
+    lg: &VcLocalGraph<V>,
+    st: &mut NodeState<VcMsg<V, A>>,
+) -> Vec<(u32, V)>
+where
+    V: Send + 'static,
+    A: Send + 'static,
+{
+    let mut out = Vec::new();
+    let mut pending = std::mem::take(&mut st.stash);
+    pending.extend(ctx.drain());
+    for env in pending {
+        match env.msg {
+            VcMsg::Sync(batch) => {
+                for s in batch {
+                    let pos = lg.position(s.vid).expect("sync for unknown vertex");
+                    out.push((pos, s.value));
+                }
+            }
+            other => st.stash.push(Envelope {
+                from: env.from,
+                msg: other,
+            }),
+        }
+    }
+    out
+}
+
+fn stash_non_data<V, A>(ctx: &NodeCtx<VcMsg<V, A>>, st: &mut NodeState<VcMsg<V, A>>)
+where
+    V: Send + 'static,
+    A: Send + 'static,
+{
+    for env in ctx.drain() {
+        if !matches!(env.msg, VcMsg::Sync(_) | VcMsg::Gather(_)) {
+            st.stash.push(env);
+        }
+    }
+}
+
+fn round_msgs<V, A>(
+    ctx: &NodeCtx<VcMsg<V, A>>,
+    st: &mut NodeState<VcMsg<V, A>>,
+) -> Vec<Envelope<VcMsg<V, A>>>
+where
+    V: Send + 'static,
+    A: Send + 'static,
+{
+    let mut v = std::mem::take(&mut st.stash);
+    v.extend(ctx.drain());
+    v
+}
+
+fn recover<P>(
+    ctx: &Ctx<P>,
+    lg: &mut VcLocalGraph<P::Value>,
+    shared: &Arc<Shared<P>>,
+    st: &mut St<P>,
+    dead: &[NodeId],
+    resume_iter: u64,
+) where
+    P: VertexProgram,
+    P::Value: Encode + Decode + MemSize,
+{
+    match shared.cfg.ft {
+        FtMode::None => panic!("node failure injected with fault tolerance disabled"),
+        FtMode::Checkpoint { .. } => ckpt_recover_survivor(ctx, lg, shared, st, dead, resume_iter),
+        FtMode::Replication {
+            recovery: RecoveryStrategy::Rebirth,
+            ..
+        } => rebirth_survivor(ctx, lg, shared, st, dead, resume_iter),
+        FtMode::Replication {
+            recovery: RecoveryStrategy::Migration,
+            ..
+        } => migrate(ctx, lg, shared, st, dead),
+    }
+}
+
+fn responsible_mirror(meta: &VcMeta, alive: &[bool]) -> Option<NodeId> {
+    meta.mirror_nodes.iter().copied().find(|m| alive[m.index()])
+}
+
+// --------------------------------------------------------------------------
+// Rebirth (§5.1, vertex-cut: vertices from survivors, edges from edge-ckpt)
+// --------------------------------------------------------------------------
+
+fn rebirth_survivor<P>(
+    ctx: &Ctx<P>,
+    lg: &mut VcLocalGraph<P::Value>,
+    shared: &Arc<Shared<P>>,
+    st: &mut St<P>,
+    dead: &[NodeId],
+    resume_iter: u64,
+) where
+    P: VertexProgram,
+    P::Value: Encode + Decode + MemSize,
+{
+    let me = ctx.id();
+    let survivors = st.mark_dead(dead);
+    let num_survivors = survivors.len() as u32;
+    if me == st.leader() {
+        for &d in dead {
+            assert!(
+                ctx.cluster().dispatch_standby(d),
+                "Rebirth recovery of {d} requires a hot standby"
+            );
+        }
+    }
+    ctx.enter_barrier();
+
+    let sw = Stopwatch::start();
+    let mut batches: HashMap<NodeId, Vec<VcRecoverEntry<P::Value>>> = HashMap::new();
+    for d in dead {
+        batches.insert(*d, Vec::new());
+    }
+    for v in &lg.verts {
+        match v.kind {
+            CopyKind::Master => {
+                let meta = v.meta.as_ref().expect("master meta");
+                for &d in dead {
+                    if let Some(rpos) = meta.replica_position_on(d) {
+                        let kind = if meta.mirror_nodes.contains(&d) {
+                            CopyKind::Mirror
+                        } else {
+                            CopyKind::Replica
+                        };
+                        batches.get_mut(&d).unwrap().push(VcRecoverEntry {
+                            vid: v.vid,
+                            pos: rpos,
+                            kind,
+                            master_node: me,
+                            value: v.value.clone(),
+                            meta: (kind == CopyKind::Mirror).then(|| meta.clone()),
+                        });
+                    }
+                }
+            }
+            CopyKind::Mirror => {
+                let meta = v.meta.as_ref().expect("mirror meta");
+                if !dead.contains(&v.master_node) {
+                    continue;
+                }
+                if responsible_mirror(meta, &st.alive) != Some(me) {
+                    continue;
+                }
+                batches
+                    .get_mut(&v.master_node)
+                    .unwrap()
+                    .push(VcRecoverEntry {
+                        vid: v.vid,
+                        pos: meta.master_pos,
+                        kind: CopyKind::Master,
+                        master_node: v.master_node,
+                        value: v.value.clone(),
+                        meta: Some(meta.clone()),
+                    });
+                for &d in dead {
+                    if d == v.master_node {
+                        continue;
+                    }
+                    if let Some(rpos) = meta.replica_position_on(d) {
+                        let kind = if meta.mirror_nodes.contains(&d) {
+                            CopyKind::Mirror
+                        } else {
+                            CopyKind::Replica
+                        };
+                        batches.get_mut(&d).unwrap().push(VcRecoverEntry {
+                            vid: v.vid,
+                            pos: rpos,
+                            kind,
+                            master_node: v.master_node,
+                            value: v.value.clone(),
+                            meta: (kind == CopyKind::Mirror).then(|| meta.clone()),
+                        });
+                    }
+                }
+            }
+            CopyKind::Replica => {}
+        }
+    }
+    let mut recovered = 0u64;
+    let mut comm = CommStats::default();
+    for (d, entries) in batches {
+        recovered += entries.len() as u64;
+        let bytes: u64 = entries
+            .iter()
+            .map(|e| 24 + shared.prog.value_wire_bytes(&e.value) as u64)
+            .sum();
+        comm.record(1, bytes);
+        ctx.send_sized(
+            d,
+            VcMsg::Rebirth(Box::new(VcRebirthBatch {
+                resume_iter,
+                num_survivors,
+                entries,
+            })),
+            bytes,
+        );
+    }
+    let reload = sw.elapsed();
+    ctx.enter_barrier();
+    for d in dead {
+        st.alive[d.index()] = true;
+    }
+    st.recoveries.push(RecoveryReport {
+        strategy: "rebirth",
+        failed_nodes: dead.len(),
+        reload,
+        reconstruct: Duration::ZERO,
+        replay: Duration::ZERO,
+        vertices_recovered: recovered,
+        edges_recovered: 0,
+        comm,
+    });
+}
+
+fn rebirth_newbie<P>(
+    ctx: &Ctx<P>,
+    shared: &Arc<Shared<P>>,
+    st: &mut St<P>,
+) -> VcLocalGraph<P::Value>
+where
+    P: VertexProgram,
+    P::Value: Encode + Decode + MemSize,
+{
+    let me = ctx.id();
+    ctx.enter_barrier();
+
+    // Reload: vertex copies from survivors, edges from the crashed node's
+    // edge-ckpt files on the DFS (the paper overlaps the two; both are timed
+    // inside the reload phase here).
+    let sw = Stopwatch::start();
+    let mut lg: VcLocalGraph<P::Value> = VcLocalGraph::empty(me);
+    let mut got = 0u32;
+    let mut expected: Option<u32> = None;
+    let mut resume_iter = 0u64;
+    while expected.is_none_or(|e| got < e) {
+        let env = ctx
+            .recv_timeout(RECOVERY_PATIENCE)
+            .expect("rebirth batch from survivor");
+        match env.msg {
+            VcMsg::Rebirth(batch) => {
+                expected = Some(batch.num_survivors);
+                resume_iter = batch.resume_iter;
+                got += 1;
+                for e in batch.entries {
+                    lg.insert_at(
+                        e.pos,
+                        VcVertex {
+                            vid: e.vid,
+                            kind: e.kind,
+                            master_node: e.master_node,
+                            value: e.value,
+                            meta: e.meta,
+                        },
+                    );
+                }
+            }
+            other => st.stash.push(Envelope {
+                from: env.from,
+                msg: other,
+            }),
+        }
+    }
+    let mut edges_recovered = 0u64;
+    // Files may be read in any order without breaking bit-determinism: the
+    // edge-ckpt split keys on the *target* vertex, so all contributions to
+    // one gather destination live in a single file in their original
+    // relative order — the per-destination fold order is reproduced exactly.
+    for path in shared.dfs.list(&format!("vc/eckpt/{}/", me.raw())) {
+        let bytes = shared.dfs.read(&path).expect("listed edge-ckpt readable");
+        for (s, d, w) in ckpt::decode_edge_ckpt(&bytes).expect("edge-ckpt decodes") {
+            let src = lg.position(s).expect("edge endpoint recovered");
+            let dst = lg.position(d).expect("edge endpoint recovered");
+            lg.edges.push(VcEdge {
+                src,
+                dst,
+                weight: w,
+            });
+            edges_recovered += 1;
+        }
+    }
+    let reload = sw.elapsed();
+
+    let sw = Stopwatch::start();
+    lg.debug_validate();
+    let reconstruct = sw.elapsed();
+
+    st.iter = resume_iter;
+    st.recoveries.push(RecoveryReport {
+        strategy: "rebirth",
+        failed_nodes: 1,
+        reload,
+        reconstruct,
+        replay: Duration::ZERO, // dense engine: the next apply refreshes all
+        vertices_recovered: lg.verts.len() as u64,
+        edges_recovered,
+        comm: CommStats::default(),
+    });
+    ctx.enter_barrier();
+    lg
+}
+
+// --------------------------------------------------------------------------
+// Migration (§5.2, vertex-cut)
+// --------------------------------------------------------------------------
+
+#[allow(clippy::too_many_lines)]
+fn migrate<P>(
+    ctx: &Ctx<P>,
+    lg: &mut VcLocalGraph<P::Value>,
+    shared: &Arc<Shared<P>>,
+    st: &mut St<P>,
+    dead: &[NodeId],
+) where
+    P: VertexProgram,
+    P::Value: Encode + Decode + MemSize,
+{
+    let me = ctx.id();
+    let survivors = st.mark_dead(dead);
+    let others: Vec<NodeId> = survivors.iter().copied().filter(|&n| n != me).collect();
+    let tolerance = match shared.cfg.ft {
+        FtMode::Replication { tolerance, .. } => tolerance,
+        _ => unreachable!("migrate requires replication FT"),
+    };
+    let mut comm = CommStats::default();
+    let mut recovered = 0u64;
+    let mut edges_recovered = 0u64;
+    let sw_total = Stopwatch::start();
+
+    // ---- R1: promote local mirrors whose master died.
+    let mut promotions: Vec<Promotion> = Vec::new();
+    let mut dirty_masters: HashSet<u32> = HashSet::new();
+    for pos in 0..lg.verts.len() {
+        let v = &lg.verts[pos];
+        match v.kind {
+            CopyKind::Mirror if dead.contains(&v.master_node) => {
+                let meta = v.meta.as_ref().expect("mirror meta");
+                if responsible_mirror(meta, &st.alive) != Some(me) {
+                    continue;
+                }
+                let old_node = v.master_node;
+                let old_pos = meta.master_pos;
+                let vid = v.vid;
+                let v = &mut lg.verts[pos];
+                v.kind = CopyKind::Master;
+                v.master_node = me;
+                let meta = v.meta.as_mut().unwrap();
+                meta.master_pos = pos as u32;
+                meta.purge_node(me);
+                for &d in dead {
+                    meta.purge_node(d);
+                }
+                promotions.push(Promotion {
+                    vid,
+                    new_master: me,
+                    new_pos: pos as u32,
+                    old_node,
+                    old_pos,
+                });
+                dirty_masters.insert(pos as u32);
+                st.overlay.insert(vid, me);
+                recovered += 1;
+            }
+            CopyKind::Master => {
+                let v = &mut lg.verts[pos];
+                let meta = v.meta.as_mut().expect("master meta");
+                let before = meta.replica_nodes.len() + meta.mirror_nodes.len();
+                for &d in dead {
+                    meta.purge_node(d);
+                }
+                if meta.replica_nodes.len() + meta.mirror_nodes.len() != before {
+                    dirty_masters.insert(pos as u32);
+                }
+            }
+            _ => {}
+        }
+    }
+    for &n in &others {
+        let bytes = (promotions.len() * 20) as u64;
+        comm.record(1, bytes);
+        ctx.send_sized(n, VcMsg::Promote(promotions.clone()), bytes);
+    }
+    ctx.enter_barrier();
+
+    // ---- R2: apply promotions; reload this node's share of the crashed
+    //      nodes' edges from the edge-ckpt files; request missing endpoints.
+    for env in round_msgs(ctx, st) {
+        match env.msg {
+            VcMsg::Promote(batch) => {
+                for p in batch {
+                    st.overlay.insert(p.vid, p.new_master);
+                    if p.new_master == me {
+                        continue;
+                    }
+                    if let Some(pos) = lg.position(p.vid) {
+                        let v = &mut lg.verts[pos as usize];
+                        v.master_node = p.new_master;
+                        if let Some(meta) = v.meta.as_mut() {
+                            meta.master_pos = p.new_pos;
+                            for &d in dead {
+                                meta.purge_node(d);
+                            }
+                            meta.purge_node(p.new_master);
+                        }
+                    }
+                }
+            }
+            other => st.stash.push(Envelope {
+                from: env.from,
+                msg: other,
+            }),
+        }
+    }
+    let mut adopted: Vec<(Vid, Vid, f32)> = Vec::new();
+    for &d in dead {
+        let path = format!("vc/eckpt/{}/{}", d.raw(), me.raw());
+        if let Some(bytes) = shared.dfs.read(&path) {
+            adopted.extend(ckpt::decode_edge_ckpt(&bytes).expect("edge-ckpt decodes"));
+        }
+    }
+    // Under simultaneous failures a crashed node's file may be addressed to
+    // another crashed node; the recovery leader adopts those orphans.
+    if me == st.leader() {
+        for &owner in dead {
+            for &receiver in dead {
+                let path = format!("vc/eckpt/{}/{}", owner.raw(), receiver.raw());
+                if let Some(bytes) = shared.dfs.read(&path) {
+                    adopted.extend(ckpt::decode_edge_ckpt(&bytes).expect("edge-ckpt decodes"));
+                }
+            }
+        }
+    }
+    let mut requests: HashMap<NodeId, Vec<Vid>> = HashMap::new();
+    let mut requested: HashSet<Vid> = HashSet::new();
+    for &(s, d, _) in &adopted {
+        for vid in [s, d] {
+            if lg.position(vid).is_none() && requested.insert(vid) {
+                let owner = st
+                    .overlay
+                    .get(&vid)
+                    .copied()
+                    .unwrap_or_else(|| NodeId::new(shared.owners[vid.index()]));
+                debug_assert!(st.alive[owner.index()], "endpoint {vid} has no live master");
+                debug_assert_ne!(owner, me);
+                requests.entry(owner).or_default().push(vid);
+            }
+        }
+    }
+    for &n in &others {
+        let req = requests.remove(&n).unwrap_or_default();
+        let bytes = (req.len() * 4) as u64;
+        comm.record(1, bytes);
+        ctx.send_sized(n, VcMsg::ReplicaRequest(req), bytes);
+    }
+    ctx.enter_barrier();
+
+    // ---- R3: grant requested copies.
+    let mut grants: HashMap<NodeId, Vec<ReplicaGrant<P::Value>>> = HashMap::new();
+    for env in round_msgs(ctx, st) {
+        match env.msg {
+            VcMsg::ReplicaRequest(req) => {
+                for vid in req {
+                    let pos = lg
+                        .position(vid)
+                        .unwrap_or_else(|| panic!("request for {vid} but no copy on {me}"));
+                    let v = &lg.verts[pos as usize];
+                    debug_assert!(v.is_master(), "replica request routed to non-master");
+                    grants.entry(env.from).or_default().push(ReplicaGrant {
+                        vid,
+                        value: v.value.clone(),
+                        last_activate: false,
+                        master_node: me,
+                    });
+                }
+            }
+            other => st.stash.push(Envelope {
+                from: env.from,
+                msg: other,
+            }),
+        }
+    }
+    for &n in &others {
+        let g = grants.remove(&n).unwrap_or_default();
+        let bytes: u64 = g
+            .iter()
+            .map(|x| 16 + shared.prog.value_wire_bytes(&x.value) as u64)
+            .sum();
+        comm.record(1, bytes);
+        ctx.send_sized(n, VcMsg::ReplicaGrant(g), bytes);
+    }
+    ctx.enter_barrier();
+
+    // ---- R4: place granted copies, adopt the reloaded edges, report
+    //      placements.
+    let mut placements: HashMap<NodeId, Vec<(Vid, u32)>> = HashMap::new();
+    for env in round_msgs(ctx, st) {
+        match env.msg {
+            VcMsg::ReplicaGrant(gs) => {
+                for g in gs {
+                    debug_assert!(lg.position(g.vid).is_none());
+                    let master_node = g.master_node;
+                    let vid = g.vid;
+                    let pos = lg.insert_or_position(VcVertex {
+                        vid,
+                        kind: CopyKind::Replica,
+                        master_node,
+                        value: g.value,
+                        meta: None,
+                    });
+                    placements.entry(master_node).or_default().push((vid, pos));
+                    recovered += 1;
+                }
+            }
+            other => st.stash.push(Envelope {
+                from: env.from,
+                msg: other,
+            }),
+        }
+    }
+    for (s, d, w) in adopted {
+        let src = lg.position(s).expect("endpoint granted or local");
+        let dst = lg.position(d).expect("endpoint granted or local");
+        lg.edges.push(VcEdge {
+            src,
+            dst,
+            weight: w,
+        });
+        edges_recovered += 1;
+    }
+    for &n in &others {
+        let p = placements.remove(&n).unwrap_or_default();
+        let bytes = (p.len() * 8) as u64;
+        comm.record(1, bytes);
+        ctx.send_sized(n, VcMsg::ReplicaPlaced(p), bytes);
+    }
+    ctx.enter_barrier();
+
+    // ---- R5: register placements; restore the FT level.
+    for env in round_msgs(ctx, st) {
+        match env.msg {
+            VcMsg::ReplicaPlaced(ps) => {
+                for (vid, pos) in ps {
+                    let mpos = lg.position(vid).expect("placement for unknown master");
+                    lg.verts[mpos as usize]
+                        .meta
+                        .as_mut()
+                        .expect("master meta")
+                        .register_replica(env.from, pos);
+                    dirty_masters.insert(mpos);
+                }
+            }
+            other => st.stash.push(Envelope {
+                from: env.from,
+                msg: other,
+            }),
+        }
+    }
+    // The FT level cannot exceed the surviving cluster's capacity: each
+    // mirror needs a distinct node other than the master's.
+    let restorable = tolerance.min(survivors.len().saturating_sub(1));
+    let mut mirror_updates: HashMap<NodeId, Vec<MirrorUpdate<P::Value, VcMeta>>> = HashMap::new();
+    for pos in 0..lg.verts.len() {
+        if !lg.verts[pos].is_master() {
+            continue;
+        }
+        loop {
+            let v = &lg.verts[pos];
+            let meta = v.meta.as_ref().expect("master meta");
+            if meta.mirror_nodes.len() >= restorable {
+                break;
+            }
+            let candidate = meta
+                .replica_nodes
+                .iter()
+                .copied()
+                .filter(|n| !meta.mirror_nodes.contains(n))
+                .min_by_key(|n| (st.mirror_assign[n.index()], n.index()));
+            let (target, fresh) = match candidate {
+                Some(n) => (n, false),
+                None => {
+                    let n = survivors
+                        .iter()
+                        .copied()
+                        .filter(|&n| n != me && !meta.replica_nodes.contains(&n))
+                        .min_by_key(|n| (st.mirror_assign[n.index()], n.index()))
+                        .expect("enough survivors to restore the FT level");
+                    (n, true)
+                }
+            };
+            st.mirror_assign[target.index()] += 1;
+            let v = &mut lg.verts[pos];
+            let meta = v.meta.as_mut().unwrap();
+            meta.mirror_nodes.push(target);
+            mirror_updates
+                .entry(target)
+                .or_default()
+                .push(MirrorUpdate {
+                    vid: v.vid,
+                    meta: Box::new(VcMeta::clone(v.meta.as_ref().unwrap())),
+                    value: fresh.then(|| v.value.clone()),
+                    last_activate: false,
+                    master_node: me,
+                });
+            dirty_masters.insert(pos as u32);
+        }
+    }
+    for &n in &others {
+        let ups = mirror_updates.remove(&n).unwrap_or_default();
+        let bytes = (ups.len() * 64) as u64;
+        comm.record(1, bytes);
+        ctx.send_sized(n, VcMsg::MirrorUpdate(ups), bytes);
+    }
+    ctx.enter_barrier();
+
+    // ---- R6: adopt mirror designations; report fresh placements.
+    let mut fresh_placements: HashMap<NodeId, Vec<(Vid, u32)>> = HashMap::new();
+    for env in round_msgs(ctx, st) {
+        match env.msg {
+            VcMsg::MirrorUpdate(ups) => {
+                for u in ups {
+                    match lg.position(u.vid) {
+                        Some(pos) => {
+                            let v = &mut lg.verts[pos as usize];
+                            v.kind = CopyKind::Mirror;
+                            v.meta = Some(u.meta);
+                            v.master_node = u.master_node;
+                        }
+                        None => {
+                            let value = u.value.expect("fresh FT replica carries its value");
+                            let vid = u.vid;
+                            let master_node = u.master_node;
+                            let pos = lg.insert_or_position(VcVertex {
+                                vid,
+                                kind: CopyKind::Mirror,
+                                master_node,
+                                value,
+                                meta: Some(u.meta),
+                            });
+                            fresh_placements
+                                .entry(master_node)
+                                .or_default()
+                                .push((vid, pos));
+                        }
+                    }
+                }
+            }
+            other => st.stash.push(Envelope {
+                from: env.from,
+                msg: other,
+            }),
+        }
+    }
+    for &n in &others {
+        let p = fresh_placements.remove(&n).unwrap_or_default();
+        let bytes = (p.len() * 8) as u64;
+        comm.record(1, bytes);
+        ctx.send_sized(n, VcMsg::ReplicaPlaced(p), bytes);
+    }
+    ctx.enter_barrier();
+
+    // ---- R7: register fresh placements; refresh dirty masters' mirrors.
+    for env in round_msgs(ctx, st) {
+        match env.msg {
+            VcMsg::ReplicaPlaced(ps) => {
+                for (vid, pos) in ps {
+                    let mpos = lg.position(vid).expect("placement for unknown master");
+                    lg.verts[mpos as usize]
+                        .meta
+                        .as_mut()
+                        .expect("master meta")
+                        .register_replica(env.from, pos);
+                    dirty_masters.insert(mpos);
+                }
+            }
+            other => st.stash.push(Envelope {
+                from: env.from,
+                msg: other,
+            }),
+        }
+    }
+    let mut refreshes: HashMap<NodeId, Vec<MirrorUpdate<P::Value, VcMeta>>> = HashMap::new();
+    for &pos in &dirty_masters {
+        let v = &lg.verts[pos as usize];
+        if !v.is_master() {
+            continue;
+        }
+        let meta = v.meta.as_ref().expect("master meta");
+        for &m in &meta.mirror_nodes {
+            refreshes.entry(m).or_default().push(MirrorUpdate {
+                vid: v.vid,
+                meta: Box::new(VcMeta::clone(meta)),
+                value: None,
+                last_activate: false,
+                master_node: me,
+            });
+        }
+    }
+    for &n in &others {
+        let ups = refreshes.remove(&n).unwrap_or_default();
+        let bytes = (ups.len() * 64) as u64;
+        comm.record(1, bytes);
+        ctx.send_sized(n, VcMsg::MirrorUpdate(ups), bytes);
+    }
+    ctx.enter_barrier();
+
+    // ---- R8: adopt refreshes; rewrite this node's edge-ckpt files (they
+    //      must now also cover the adopted edges); leader acknowledges.
+    for env in round_msgs(ctx, st) {
+        match env.msg {
+            VcMsg::MirrorUpdate(ups) => {
+                for u in ups {
+                    let pos = lg.position(u.vid).expect("meta refresh for unknown copy");
+                    let v = &mut lg.verts[pos as usize];
+                    debug_assert!(!v.is_master());
+                    v.kind = CopyKind::Mirror;
+                    v.master_node = u.master_node;
+                    v.meta = Some(u.meta);
+                }
+            }
+            other => st.stash.push(Envelope {
+                from: env.from,
+                msg: other,
+            }),
+        }
+    }
+    if edges_recovered > 0 {
+        write_edge_ckpt_files(lg, shared);
+    }
+    if me == st.leader() {
+        for &d in dead {
+            ctx.cluster().coordinator().ack_recovered(d);
+        }
+    }
+    ctx.enter_barrier();
+
+    st.recoveries.push(RecoveryReport {
+        strategy: "migration",
+        failed_nodes: dead.len(),
+        reload: sw_total.elapsed(),
+        reconstruct: Duration::ZERO,
+        replay: Duration::ZERO,
+        vertices_recovered: recovered,
+        edges_recovered,
+        comm,
+    });
+}
+
+// --------------------------------------------------------------------------
+// Checkpoint recovery
+// --------------------------------------------------------------------------
+
+fn ckpt_recover_survivor<P>(
+    ctx: &Ctx<P>,
+    lg: &mut VcLocalGraph<P::Value>,
+    shared: &Arc<Shared<P>>,
+    st: &mut St<P>,
+    dead: &[NodeId],
+    resume_iter: u64,
+) where
+    P: VertexProgram,
+    P::Value: Encode + Decode + MemSize,
+{
+    let me = ctx.id();
+    st.mark_dead(dead);
+    if me == st.leader() {
+        for &d in dead {
+            assert!(
+                ctx.cluster().dispatch_standby(d),
+                "checkpoint recovery of {d} requires a standby"
+            );
+        }
+    }
+    ctx.enter_barrier();
+
+    let sw = Stopwatch::start();
+    let incremental = matches!(
+        shared.cfg.ft,
+        FtMode::Checkpoint {
+            incremental: true,
+            ..
+        }
+    );
+    let snap_iter = if st.last_snapshot_iter == 0 {
+        for v in lg.verts.iter_mut() {
+            v.value = shared.prog.init(v.vid, &shared.degrees);
+        }
+        0
+    } else if incremental {
+        for v in lg.verts.iter_mut() {
+            v.value = shared.prog.init(v.vid, &shared.degrees);
+        }
+        apply_vc_snapshot_chain(lg, shared, me, true)
+    } else {
+        let bytes = shared
+            .dfs
+            .read(&format!("vc/ckpt/{}/{}", st.last_snapshot_iter, me.raw()))
+            .expect("own snapshot present");
+        ckpt::apply_vc_snapshot(lg, &bytes).expect("snapshot decodes")
+    };
+    st.dirty.clear();
+    let reload = sw.elapsed();
+    ctx.enter_barrier();
+
+    let sw = Stopwatch::start();
+    ckpt_full_sync(ctx, lg, shared, st);
+    let reconstruct = sw.elapsed();
+
+    st.iter = snap_iter;
+    st.replay_until = resume_iter;
+    st.recoveries.push(RecoveryReport {
+        strategy: "checkpoint",
+        failed_nodes: dead.len(),
+        reload,
+        reconstruct,
+        replay: Duration::ZERO,
+        vertices_recovered: lg.num_masters() as u64,
+        edges_recovered: 0,
+        comm: CommStats::default(),
+    });
+    for d in dead {
+        st.alive[d.index()] = true;
+    }
+}
+
+fn ckpt_newbie<P>(ctx: &Ctx<P>, shared: &Arc<Shared<P>>, st: &mut St<P>) -> VcLocalGraph<P::Value>
+where
+    P: VertexProgram,
+    P::Value: Encode + Decode + MemSize,
+{
+    let me = ctx.id();
+    ctx.enter_barrier();
+    let sw = Stopwatch::start();
+    let meta_bytes = shared
+        .dfs
+        .read(&format!("vc/meta/{}", me.raw()))
+        .expect("metadata snapshot written at load");
+    let mut lg: VcLocalGraph<P::Value> =
+        ckpt::decode_vc_graph(&meta_bytes).expect("metadata snapshot decodes");
+    let incremental = matches!(
+        shared.cfg.ft,
+        FtMode::Checkpoint {
+            incremental: true,
+            ..
+        }
+    );
+    let snap_iter = apply_vc_snapshot_chain(&mut lg, shared, me, incremental);
+    let reload = sw.elapsed();
+    ctx.enter_barrier();
+
+    let sw = Stopwatch::start();
+    ckpt_full_sync(ctx, &mut lg, shared, st);
+    let reconstruct = sw.elapsed();
+
+    st.iter = snap_iter;
+    st.last_snapshot_iter = snap_iter;
+    st.recoveries.push(RecoveryReport {
+        strategy: "checkpoint",
+        failed_nodes: 1,
+        reload,
+        reconstruct,
+        replay: Duration::ZERO,
+        vertices_recovered: lg.verts.len() as u64,
+        edges_recovered: lg.edges.len() as u64,
+        comm: CommStats::default(),
+    });
+    lg
+}
+
+/// Applies this node's snapshots in ascending iteration order (the full
+/// chain for incremental mode, only the newest otherwise).
+fn apply_vc_snapshot_chain<P>(
+    lg: &mut VcLocalGraph<P::Value>,
+    shared: &Arc<Shared<P>>,
+    me: NodeId,
+    incremental: bool,
+) -> u64
+where
+    P: VertexProgram,
+    P::Value: Encode + Decode + MemSize,
+{
+    let mut iters: Vec<u64> = shared
+        .dfs
+        .list("vc/ckpt/")
+        .iter()
+        .filter_map(|p| {
+            let mut parts = p.split('/').skip(2);
+            let iter: u64 = parts.next()?.parse().ok()?;
+            let node: u32 = parts.next()?.parse().ok()?;
+            (node == me.raw()).then_some(iter)
+        })
+        .collect();
+    iters.sort_unstable();
+    if !incremental {
+        iters = iters.split_off(iters.len().saturating_sub(1));
+    }
+    let mut snap_iter = 0;
+    for iter in iters {
+        let bytes = shared
+            .dfs
+            .read(&format!("vc/ckpt/{}/{}", iter, me.raw()))
+            .expect("listed snapshot readable");
+        snap_iter = if incremental {
+            ckpt::apply_vc_snapshot_inc(lg, &bytes).expect("snapshot decodes")
+        } else {
+            ckpt::apply_vc_snapshot(lg, &bytes).expect("snapshot decodes")
+        };
+    }
+    snap_iter
+}
+
+fn ckpt_full_sync<P>(
+    ctx: &Ctx<P>,
+    lg: &mut VcLocalGraph<P::Value>,
+    shared: &Arc<Shared<P>>,
+    st: &mut St<P>,
+) where
+    P: VertexProgram,
+    P::Value: Encode + Decode + MemSize,
+{
+    let mut batches: HashMap<NodeId, Vec<VertexSync<P::Value>>> = HashMap::new();
+    for v in lg.verts.iter().filter(|v| v.is_master()) {
+        let meta = v.meta.as_ref().expect("master meta");
+        for &node in &meta.replica_nodes {
+            batches.entry(node).or_default().push(VertexSync {
+                vid: v.vid,
+                value: v.value.clone(),
+                activate: false,
+            });
+        }
+    }
+    for (node, batch) in batches {
+        let bytes: u64 = batch
+            .iter()
+            .map(|s| {
+                VertexSync::<P::Value>::wire_bytes(shared.prog.value_wire_bytes(&s.value)) as u64
+            })
+            .sum();
+        ctx.send_sized(node, VcMsg::Sync(batch), bytes);
+    }
+    ctx.enter_barrier();
+    let incoming = collect_syncs(ctx, lg, st);
+    for (pos, value) in incoming {
+        lg.verts[pos as usize].value = value;
+    }
+    ctx.enter_barrier();
+}

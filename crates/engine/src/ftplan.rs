@@ -1,0 +1,78 @@
+//! The fault-tolerance placement plan consumed by the local-graph builders.
+
+use imitator_cluster::NodeId;
+use imitator_graph::Vid;
+
+/// Where the fault-tolerance machinery of §4 placed things for each vertex:
+/// which replica is the full-state **mirror**, where **extra FT replicas**
+/// were created for vertices that had none, and which vertices are
+/// **selfish** (never synchronised; recomputed at recovery).
+///
+/// A plan with no mirrors ([`FtPlan::none`]) gives the plain baseline engine
+/// without fault tolerance. The `imitator` crate computes real plans; this
+/// crate only carries them into graph construction.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FtPlan {
+    /// Per vertex: the node hosting the mirror (`None` = no fault tolerance
+    /// for this vertex).
+    pub mirror: Vec<Vec<NodeId>>,
+    /// Per vertex: nodes that get an *extra* FT replica (a copy that normal
+    /// computation did not require). Always a subset of `mirror` locations.
+    pub extra_replicas: Vec<Vec<NodeId>>,
+    /// Per vertex: whether the selfish-vertex optimisation applies (§4.4).
+    pub selfish: Vec<bool>,
+}
+
+impl FtPlan {
+    /// A plan providing no fault tolerance for `num_vertices` vertices.
+    pub fn none(num_vertices: usize) -> Self {
+        FtPlan {
+            mirror: vec![Vec::new(); num_vertices],
+            extra_replicas: vec![Vec::new(); num_vertices],
+            selfish: vec![false; num_vertices],
+        }
+    }
+
+    /// Number of vertices covered.
+    pub fn num_vertices(&self) -> usize {
+        self.mirror.len()
+    }
+
+    /// The mirror nodes of `v`, ordered by mirror ID (§5.3.1: the surviving
+    /// mirror with the lowest ID performs recovery).
+    pub fn mirrors(&self, v: Vid) -> &[NodeId] {
+        &self.mirror[v.index()]
+    }
+
+    /// Whether any vertex has a mirror (i.e. fault tolerance is on).
+    pub fn is_enabled(&self) -> bool {
+        self.mirror.iter().any(|m| !m.is_empty())
+    }
+
+    /// Total number of extra FT replicas in the plan (Fig. 3(b) / Fig. 8(a)).
+    pub fn extra_replica_count(&self) -> usize {
+        self.extra_replicas.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_plan_is_disabled() {
+        let p = FtPlan::none(10);
+        assert_eq!(p.num_vertices(), 10);
+        assert!(!p.is_enabled());
+        assert_eq!(p.extra_replica_count(), 0);
+        assert!(p.mirrors(Vid::new(3)).is_empty());
+    }
+
+    #[test]
+    fn enabled_when_any_mirror_set() {
+        let mut p = FtPlan::none(3);
+        p.mirror[1] = vec![NodeId::new(2)];
+        assert!(p.is_enabled());
+        assert_eq!(p.mirrors(Vid::new(1)), &[NodeId::new(2)]);
+    }
+}

@@ -1,0 +1,39 @@
+//! Graph-parallel engine substrate (the Cyclops / PowerLyra role).
+//!
+//! This crate provides the *mechanism* of a replica-based BSP graph engine:
+//!
+//! * [`VertexProgram`] — the gather/combine/apply/scatter vertex-centric
+//!   programming model shared by both engines ("think as a vertex", §1);
+//! * [`EcLocalGraph`] — a node's local partition under **edge-cut**
+//!   (Cyclops model, §2.1): masters co-located with all their edges, plus
+//!   local replicas of remote vertices for local-access semantics;
+//! * [`VcLocalGraph`] — a node's local partition under **vertex-cut**
+//!   (PowerLyra model): locally owned edges plus copies of every vertex
+//!   adjacent to them;
+//! * [`FtPlan`] — the fault-tolerance placement (which replica is the
+//!   full-state *mirror*, where extra FT replicas go, which vertices are
+//!   *selfish*); computed by the `imitator` crate's policy algorithms (§4)
+//!   and consumed by the builders here;
+//! * pure, single-node compute steps ([`ec_compute`], [`ec_commit`],
+//!   [`vc_partial_gather`], …) that the distributed runner in the
+//!   `imitator` crate drives via the simulated cluster.
+//!
+//! The *policy* — Algorithm 1's execution flow, checkpointing, replica
+//! maintenance and recovery — lives in the `imitator` crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod compute;
+mod ecut;
+mod ftplan;
+mod program;
+mod vcut;
+
+pub use compute::{
+    ec_commit, ec_compute, vc_apply, vc_commit, vc_partial_gather, CommitStats, MasterUpdate,
+};
+pub use ecut::{build_edge_cut_graphs, CopyKind, EcLocalGraph, EcVertex, MasterMeta, RemoteEdge};
+pub use ftplan::FtPlan;
+pub use program::{Degrees, VertexProgram};
+pub use vcut::{build_vertex_cut_graphs, VcEdge, VcLocalGraph, VcMeta, VcVertex};

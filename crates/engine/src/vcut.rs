@@ -1,0 +1,467 @@
+//! Vertex-cut local graphs (the PowerLyra runtime representation).
+
+use imitator_graph::VidMap;
+use std::collections::HashMap;
+
+use imitator_cluster::NodeId;
+use imitator_graph::{Graph, Vid};
+use imitator_metrics::MemSize;
+use imitator_partition::VertexCut;
+
+use crate::ecut::CopyKind;
+use crate::ftplan::FtPlan;
+use crate::program::{Degrees, VertexProgram};
+
+/// The vertex state a vertex-cut master shares with its mirrors.
+///
+/// Unlike edge-cut, vertex-cut full state carries **no edges**: edges are
+/// persisted to edge-ckpt files on the DFS during loading (§4.3) because no
+/// single node holds all of a vertex's edges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VcMeta {
+    /// The master's array position on its owner node.
+    pub master_pos: u32,
+    /// Every node holding a copy of this vertex, excluding the owner. Sorted.
+    pub replica_nodes: Vec<NodeId>,
+    /// The copy's array position on each node of `replica_nodes` (parallel
+    /// vector) — position-addressed recovery needs the crashed layout.
+    pub replica_positions: Vec<u32>,
+    /// Mirror nodes ordered by mirror ID (lowest surviving recovers, §5.3.1).
+    pub mirror_nodes: Vec<NodeId>,
+}
+
+impl VcMeta {
+    /// The recorded position of this vertex's copy on `node`.
+    pub fn replica_position_on(&self, node: NodeId) -> Option<u32> {
+        self.replica_nodes
+            .iter()
+            .position(|&n| n == node)
+            .map(|i| self.replica_positions[i])
+    }
+
+    /// Removes `node` from the replica/mirror location tables (it crashed).
+    pub fn purge_node(&mut self, node: NodeId) {
+        if let Some(i) = self.replica_nodes.iter().position(|&n| n == node) {
+            self.replica_nodes.remove(i);
+            self.replica_positions.remove(i);
+        }
+        self.mirror_nodes.retain(|&n| n != node);
+    }
+
+    /// Registers (or re-registers) a copy of this vertex at `node`/`pos`,
+    /// keeping `replica_nodes` sorted.
+    pub fn register_replica(&mut self, node: NodeId, pos: u32) {
+        if let Some(i) = self.replica_nodes.iter().position(|&n| n == node) {
+            self.replica_positions[i] = pos;
+            return;
+        }
+        let i = self.replica_nodes.partition_point(|&n| n < node);
+        self.replica_nodes.insert(i, node);
+        self.replica_positions.insert(i, pos);
+    }
+}
+
+impl MemSize for VcMeta {
+    fn mem_bytes(&self) -> usize {
+        std::mem::size_of::<VcMeta>()
+            + self.replica_nodes.capacity() * std::mem::size_of::<NodeId>()
+            + self.replica_positions.capacity() * std::mem::size_of::<u32>()
+            + self.mirror_nodes.capacity() * std::mem::size_of::<NodeId>()
+    }
+}
+
+/// One local vertex copy in a vertex-cut partition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VcVertex<V> {
+    /// Global vertex ID.
+    pub vid: Vid,
+    /// Role of this copy.
+    pub kind: CopyKind,
+    /// The node mastering this vertex.
+    pub master_node: NodeId,
+    /// Current committed value.
+    pub value: V,
+    /// Full state for recovery (masters and mirrors).
+    pub meta: Option<Box<VcMeta>>,
+}
+
+impl<V> VcVertex<V> {
+    /// Whether this copy is the authoritative master.
+    pub fn is_master(&self) -> bool {
+        self.kind == CopyKind::Master
+    }
+}
+
+impl<V: MemSize> MemSize for VcVertex<V> {
+    fn mem_bytes(&self) -> usize {
+        std::mem::size_of::<VcVertex<V>>()
+            + self.value.heap_bytes()
+            + self.meta.as_ref().map_or(0, |m| m.mem_bytes())
+    }
+}
+
+/// One locally owned edge, endpoints as local positions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VcEdge {
+    /// Local position of the source copy.
+    pub src: u32,
+    /// Local position of the target copy.
+    pub dst: u32,
+    /// Edge weight.
+    pub weight: f32,
+}
+
+impl MemSize for VcEdge {
+    fn mem_bytes(&self) -> usize {
+        std::mem::size_of::<VcEdge>()
+    }
+
+    fn heap_bytes(&self) -> usize {
+        0
+    }
+}
+
+/// One node's local partition under vertex-cut: the edges it owns plus a
+/// copy of every adjacent vertex.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VcLocalGraph<V> {
+    /// The hosting node.
+    pub node: NodeId,
+    /// All local copies, indexed by position.
+    pub verts: Vec<VcVertex<V>>,
+    /// Global-ID → position index.
+    pub index: VidMap<u32>,
+    /// Locally owned edges.
+    pub edges: Vec<VcEdge>,
+}
+
+impl<V> VcLocalGraph<V> {
+    /// Creates an empty local graph for `node`.
+    pub fn empty(node: NodeId) -> Self {
+        VcLocalGraph {
+            node,
+            verts: Vec::new(),
+            index: VidMap::default(),
+            edges: Vec::new(),
+        }
+    }
+
+    /// Position of `vid`'s local copy, if present.
+    pub fn position(&self, vid: Vid) -> Option<u32> {
+        self.index.get(&vid).copied()
+    }
+
+    /// Number of local copies.
+    pub fn len(&self) -> usize {
+        self.verts.len()
+    }
+
+    /// Whether the partition holds no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.verts.is_empty()
+    }
+
+    /// Number of local masters.
+    pub fn num_masters(&self) -> usize {
+        self.verts.iter().filter(|v| v.is_master()).count()
+    }
+
+    /// Number of local replica copies (incl. mirrors).
+    pub fn num_replicas(&self) -> usize {
+        self.verts.len() - self.num_masters()
+    }
+
+    /// Inserts `vertex` at `pos`, growing the array with placeholder holes
+    /// as needed (position-addressed Rebirth reconstruction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` already holds a different vertex.
+    pub fn insert_at(&mut self, pos: u32, vertex: VcVertex<V>)
+    where
+        V: Clone,
+    {
+        let p = pos as usize;
+        while self.verts.len() <= p {
+            self.verts.push(VcVertex {
+                vid: Vid::new(u32::MAX),
+                kind: CopyKind::Replica,
+                master_node: self.node,
+                value: vertex.value.clone(),
+                meta: None,
+            });
+        }
+        assert!(
+            self.verts[p].vid == Vid::new(u32::MAX) || self.verts[p].vid == vertex.vid,
+            "position {pos} already holds {}",
+            self.verts[p].vid
+        );
+        self.index.insert(vertex.vid, pos);
+        self.verts[p] = vertex;
+    }
+
+    /// Appends a copy of `vertex` if absent, returning its position.
+    pub fn insert_or_position(&mut self, vertex: VcVertex<V>) -> u32 {
+        if let Some(pos) = self.position(vertex.vid) {
+            return pos;
+        }
+        let pos = self.verts.len() as u32;
+        self.index.insert(vertex.vid, pos);
+        self.verts.push(vertex);
+        pos
+    }
+
+    /// Checks structural invariants (test/debug aid).
+    ///
+    /// # Panics
+    ///
+    /// Panics on any violation.
+    pub fn debug_validate(&self) {
+        assert_eq!(self.index.len(), self.verts.len(), "index size mismatch");
+        for (i, v) in self.verts.iter().enumerate() {
+            assert_eq!(self.index.get(&v.vid), Some(&(i as u32)), "index mismatch");
+            if v.is_master() {
+                assert!(v.meta.is_some(), "master {} lacks full state", v.vid);
+                assert_eq!(v.master_node, self.node);
+            }
+        }
+        for e in &self.edges {
+            assert!((e.src as usize) < self.verts.len(), "edge src out of range");
+            assert!((e.dst as usize) < self.verts.len(), "edge dst out of range");
+        }
+    }
+}
+
+impl<V: MemSize> MemSize for VcLocalGraph<V> {
+    fn mem_bytes(&self) -> usize {
+        let verts: usize = std::mem::size_of::<Vec<VcVertex<V>>>()
+            + self.verts.capacity() * std::mem::size_of::<VcVertex<V>>()
+            + self
+                .verts
+                .iter()
+                .map(|v| v.mem_bytes() - std::mem::size_of::<VcVertex<V>>())
+                .sum::<usize>();
+        let index = self.index.capacity().max(self.index.len())
+            * (std::mem::size_of::<(Vid, u32)>() + 1)
+            + std::mem::size_of::<HashMap<Vid, u32>>();
+        let edges = std::mem::size_of::<Vec<VcEdge>>()
+            + self.edges.capacity() * std::mem::size_of::<VcEdge>();
+        std::mem::size_of::<NodeId>() + verts + index + edges
+    }
+}
+
+/// Builds every node's [`VcLocalGraph`] from a vertex-cut placement and an
+/// FT plan — copies for every adjacent vertex, locally owned edges, and
+/// full-state metadata on masters and mirrors.
+///
+/// # Panics
+///
+/// Panics if the plan's vertex count disagrees with the graph, or a mirror
+/// is placed on a node without a copy.
+pub fn build_vertex_cut_graphs<P: VertexProgram>(
+    g: &Graph,
+    cut: &VertexCut,
+    plan: &FtPlan,
+    prog: &P,
+    degrees: &Degrees,
+) -> Vec<VcLocalGraph<P::Value>> {
+    assert_eq!(plan.num_vertices(), g.num_vertices(), "plan size mismatch");
+    let parts = cut.num_parts();
+    let n = g.num_vertices();
+
+    // 1. Copy sets: master ∪ edge-adjacency replicas ∪ extra FT replicas.
+    let mut copies: Vec<Vec<Vid>> = vec![Vec::new(); parts];
+    for i in 0..n {
+        let v = Vid::from_index(i);
+        copies[cut.master(v)].push(v);
+        for &p in cut.replica_parts(v) {
+            copies[p as usize].push(v);
+        }
+        for &node in &plan.extra_replicas[i] {
+            copies[node.index()].push(v);
+        }
+    }
+    let mut pos_maps: Vec<VidMap<u32>> = Vec::with_capacity(parts);
+    for list in &mut copies {
+        list.sort_unstable();
+        list.dedup();
+        pos_maps.push(
+            list.iter()
+                .enumerate()
+                .map(|(i, &v)| (v, i as u32))
+                .collect::<VidMap<u32>>(),
+        );
+    }
+
+    // 2. Vertex entries.
+    let mut graphs: Vec<VcLocalGraph<P::Value>> = (0..parts)
+        .map(|p| {
+            let node = NodeId::from_index(p);
+            let verts = copies[p]
+                .iter()
+                .map(|&v| {
+                    let owner = NodeId::from_index(cut.master(v));
+                    let kind = if owner == node {
+                        CopyKind::Master
+                    } else if plan.mirror[v.index()].contains(&node) {
+                        CopyKind::Mirror
+                    } else {
+                        CopyKind::Replica
+                    };
+                    VcVertex {
+                        vid: v,
+                        kind,
+                        master_node: owner,
+                        value: prog.init(v, degrees),
+                        meta: None,
+                    }
+                })
+                .collect();
+            VcLocalGraph {
+                node,
+                verts,
+                index: pos_maps[p].clone(),
+                edges: Vec::new(),
+            }
+        })
+        .collect();
+
+    // 3. Edges onto their owner parts.
+    for (e, &p) in g.edges().iter().zip(cut.edge_owner()) {
+        let p = p as usize;
+        graphs[p].edges.push(VcEdge {
+            src: pos_maps[p][&e.src],
+            dst: pos_maps[p][&e.dst],
+            weight: e.weight,
+        });
+    }
+
+    // 4. Full state.
+    for i in 0..n {
+        let v = Vid::from_index(i);
+        let owner = cut.master(v);
+        let mut replica_nodes: Vec<NodeId> = cut
+            .replica_parts(v)
+            .iter()
+            .map(|&p| NodeId::new(p))
+            .collect();
+        for &extra in &plan.extra_replicas[i] {
+            if !replica_nodes.contains(&extra) {
+                replica_nodes.push(extra);
+            }
+        }
+        replica_nodes.sort_unstable();
+        let replica_positions: Vec<u32> = replica_nodes
+            .iter()
+            .map(|n| pos_maps[n.index()][&v])
+            .collect();
+        let mirror_nodes = plan.mirror[i].clone();
+        for m in &mirror_nodes {
+            assert!(
+                replica_nodes.contains(m),
+                "mirror of {v} on {m} has no copy there"
+            );
+        }
+        let meta = Box::new(VcMeta {
+            master_pos: pos_maps[owner][&v],
+            replica_nodes,
+            replica_positions,
+            mirror_nodes: mirror_nodes.clone(),
+        });
+        let mpos = pos_maps[owner][&v] as usize;
+        graphs[owner].verts[mpos].meta = Some(meta.clone());
+        for m in &mirror_nodes {
+            let pos = pos_maps[m.index()][&v] as usize;
+            graphs[m.index()].verts[pos].meta = Some(meta.clone());
+        }
+    }
+
+    graphs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imitator_graph::gen;
+    use imitator_partition::{RandomVertexCut, VertexCutPartitioner};
+
+    struct Noop;
+    impl VertexProgram for Noop {
+        type Value = u32;
+        type Accum = u32;
+        fn init(&self, vid: Vid, _d: &Degrees) -> u32 {
+            vid.raw()
+        }
+        fn gather(&self, _w: f32, src: &u32) -> u32 {
+            *src
+        }
+        fn combine(&self, a: u32, b: u32) -> u32 {
+            a.min(b)
+        }
+        fn apply(&self, _v: Vid, old: &u32, _acc: Option<u32>, _d: &Degrees) -> u32 {
+            *old
+        }
+        fn scatter(&self, _v: Vid, _old: &u32, _new: &u32) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn all_edges_land_once() {
+        let g = gen::power_law(500, 2.0, 6, 31);
+        let cut = RandomVertexCut.partition(&g, 5);
+        let plan = FtPlan::none(g.num_vertices());
+        let degrees = Degrees::of(&g);
+        let lgs = build_vertex_cut_graphs(&g, &cut, &plan, &Noop, &degrees);
+        let total: usize = lgs.iter().map(|lg| lg.edges.len()).sum();
+        assert_eq!(total, g.num_edges());
+        for lg in &lgs {
+            lg.debug_validate();
+        }
+    }
+
+    #[test]
+    fn masters_unique_and_replicas_match_cut() {
+        let g = gen::power_law(400, 2.0, 6, 33);
+        let cut = RandomVertexCut.partition(&g, 4);
+        let plan = FtPlan::none(g.num_vertices());
+        let degrees = Degrees::of(&g);
+        let lgs = build_vertex_cut_graphs(&g, &cut, &plan, &Noop, &degrees);
+        let masters: usize = lgs.iter().map(VcLocalGraph::num_masters).sum();
+        assert_eq!(masters, g.num_vertices());
+        let copies: usize = lgs.iter().map(VcLocalGraph::len).sum();
+        let expected: usize = g.vertices().map(|v| 1 + cut.replica_parts(v).len()).sum();
+        assert_eq!(copies, expected);
+    }
+
+    #[test]
+    fn edge_endpoints_present_locally() {
+        let g = gen::power_law(300, 2.0, 5, 35);
+        let cut = RandomVertexCut.partition(&g, 6);
+        let plan = FtPlan::none(g.num_vertices());
+        let degrees = Degrees::of(&g);
+        let lgs = build_vertex_cut_graphs(&g, &cut, &plan, &Noop, &degrees);
+        for lg in &lgs {
+            for e in &lg.edges {
+                assert!((e.src as usize) < lg.verts.len());
+                assert!((e.dst as usize) < lg.verts.len());
+            }
+        }
+    }
+
+    #[test]
+    fn insert_or_position_is_idempotent() {
+        let mut lg: VcLocalGraph<u32> = VcLocalGraph::empty(NodeId::new(0));
+        let mk = |vid: u32| VcVertex {
+            vid: Vid::new(vid),
+            kind: CopyKind::Replica,
+            master_node: NodeId::new(1),
+            value: 0,
+            meta: None,
+        };
+        let p1 = lg.insert_or_position(mk(5));
+        let p2 = lg.insert_or_position(mk(5));
+        assert_eq!(p1, p2);
+        assert_eq!(lg.len(), 1);
+    }
+}

@@ -1,0 +1,268 @@
+//! Property tests of the engine substrate: local-graph construction
+//! invariants over arbitrary graphs, partitionings and FT plans, and
+//! equivalence of the two engines' compute semantics against a sequential
+//! reference.
+
+use proptest::prelude::*;
+
+use imitator_cluster::NodeId;
+use imitator_engine::{
+    build_edge_cut_graphs, build_vertex_cut_graphs, ec_commit, ec_compute, vc_apply, vc_commit,
+    vc_partial_gather, CopyKind, Degrees, FtPlan, VertexProgram,
+};
+use imitator_graph::{gen, Graph, Vid};
+use imitator_partition::{
+    EdgeCutPartitioner, HashEdgeCut, HybridVertexCut, RandomVertexCut, VertexCutPartitioner,
+};
+
+struct MinLabel;
+
+impl VertexProgram for MinLabel {
+    type Value = u32;
+    type Accum = u32;
+
+    fn init(&self, vid: Vid, _d: &Degrees) -> u32 {
+        vid.raw()
+    }
+
+    fn gather(&self, _w: f32, src: &u32) -> u32 {
+        *src
+    }
+
+    fn combine(&self, a: u32, b: u32) -> u32 {
+        a.min(b)
+    }
+
+    fn apply(&self, _v: Vid, old: &u32, acc: Option<u32>, _d: &Degrees) -> u32 {
+        acc.map_or(*old, |a| a.min(*old))
+    }
+
+    fn scatter(&self, _v: Vid, old: &u32, new: &u32) -> bool {
+        new < old
+    }
+}
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (
+        3usize..60,
+        proptest::collection::vec((any::<u32>(), any::<u32>()), 0..200),
+    )
+        .prop_map(|(n, pairs)| {
+            let pairs: Vec<(u32, u32)> = pairs
+                .into_iter()
+                .map(|(a, b)| (a % n as u32, b % n as u32))
+                .collect();
+            gen::from_pairs(n, &pairs)
+        })
+}
+
+/// A plan with K mirrors per vertex, built naively for testing (first K
+/// replica locations, extras round-robin).
+fn naive_plan(g: &Graph, cut: &imitator_partition::EdgeCut, k: usize) -> FtPlan {
+    let parts = cut.num_parts();
+    let mut plan = FtPlan::none(g.num_vertices());
+    for v in g.vertices() {
+        let mut mirrors: Vec<NodeId> = cut
+            .replica_parts(v)
+            .iter()
+            .take(k)
+            .map(|&p| NodeId::new(p))
+            .collect();
+        let mut candidate = 0usize;
+        while mirrors.len() < k {
+            let node = NodeId::from_index(candidate % parts);
+            candidate += 1;
+            if node.index() == cut.owner(v) || mirrors.contains(&node) {
+                continue;
+            }
+            plan.extra_replicas[v.index()].push(node);
+            mirrors.push(node);
+        }
+        plan.mirror[v.index()] = mirrors;
+    }
+    plan
+}
+
+fn min_label_reference(g: &Graph, iters: usize) -> Vec<u32> {
+    let mut vals: Vec<u32> = (0..g.num_vertices() as u32).collect();
+    for _ in 0..iters {
+        let prev = vals.clone();
+        for e in g.edges() {
+            let s = prev[e.src.index()];
+            if s < vals[e.dst.index()] {
+                vals[e.dst.index()] = s;
+            }
+        }
+    }
+    vals
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn ec_builder_invariants_hold_with_ft_plans(
+        (g, parts, k) in (arb_graph(), 2usize..6, 0usize..3)
+    ) {
+        prop_assume!(k < parts);
+        let cut = HashEdgeCut.partition(&g, parts);
+        let plan = if k == 0 {
+            FtPlan::none(g.num_vertices())
+        } else {
+            naive_plan(&g, &cut, k)
+        };
+        let degrees = Degrees::of(&g);
+        let lgs = build_edge_cut_graphs(&g, &cut, &plan, &MinLabel, &degrees);
+        let mut masters = 0usize;
+        let mut mirrors = 0usize;
+        for lg in &lgs {
+            lg.debug_validate();
+            masters += lg.num_masters();
+            mirrors += lg
+                .verts
+                .iter()
+                .filter(|v| v.kind == CopyKind::Mirror)
+                .count();
+            // Every mirror carries meta identical to its master's.
+            for v in &lg.verts {
+                if v.kind == CopyKind::Mirror {
+                    let owner = &lgs[v.master_node.index()];
+                    let mpos = owner.position(v.vid).unwrap() as usize;
+                    prop_assert_eq!(
+                        v.meta.as_deref(),
+                        owner.verts[mpos].meta.as_deref()
+                    );
+                }
+            }
+        }
+        prop_assert_eq!(masters, g.num_vertices());
+        if k > 0 {
+            prop_assert_eq!(mirrors, g.num_vertices() * k);
+        }
+        // Total in-edges across nodes equals |E|.
+        let in_edges: usize = lgs
+            .iter()
+            .flat_map(|lg| lg.verts.iter().map(|v| v.in_edges.len()))
+            .sum();
+        prop_assert_eq!(in_edges, g.num_edges());
+    }
+
+    #[test]
+    fn vc_builder_invariants_hold(
+        (g, parts, theta) in (arb_graph(), 2usize..6, 0usize..10)
+    ) {
+        let degrees = Degrees::of(&g);
+        for cut in [
+            RandomVertexCut.partition(&g, parts),
+            HybridVertexCut::with_threshold(theta).partition(&g, parts),
+        ] {
+            let plan = FtPlan::none(g.num_vertices());
+            let lgs = build_vertex_cut_graphs(&g, &cut, &plan, &MinLabel, &degrees);
+            for lg in &lgs {
+                lg.debug_validate();
+            }
+            let masters: usize = lgs.iter().map(|lg| lg.num_masters()).sum();
+            prop_assert_eq!(masters, g.num_vertices());
+            let edges: usize = lgs.iter().map(|lg| lg.edges.len()).sum();
+            prop_assert_eq!(edges, g.num_edges());
+        }
+    }
+
+    /// Both engines, driven single-threaded to a fixpoint, agree with the
+    /// sequential reference on arbitrary graphs.
+    #[test]
+    fn engines_match_sequential_reference((g, parts) in (arb_graph(), 1usize..5)) {
+        let iters = g.num_vertices() + 2;
+        let expected = min_label_reference(&g, iters);
+        let degrees = Degrees::of(&g);
+        let plan = FtPlan::none(g.num_vertices());
+
+        // Edge-cut.
+        let cut = HashEdgeCut.partition(&g, parts);
+        let mut lgs = build_edge_cut_graphs(&g, &cut, &plan, &MinLabel, &degrees);
+        for step in 0..iters as u64 {
+            let all: Vec<_> = lgs
+                .iter()
+                .map(|lg| ec_compute(lg, &MinLabel, &degrees, step))
+                .collect();
+            let mut incoming: Vec<Vec<(u32, u32, bool)>> = vec![Vec::new(); parts];
+            for (p, ups) in all.iter().enumerate() {
+                for u in ups {
+                    let v = &lgs[p].verts[u.local as usize];
+                    for r in &v.meta.as_ref().unwrap().replica_nodes {
+                        let pos = lgs[r.index()].position(v.vid).unwrap();
+                        incoming[r.index()].push((pos, u.value, u.activate));
+                    }
+                }
+            }
+            let mut active = 0;
+            for (p, (ups, inc)) in all.into_iter().zip(incoming).enumerate() {
+                active += ec_commit(&mut lgs[p], &MinLabel, ups, inc).active_next;
+            }
+            if active == 0 {
+                break;
+            }
+        }
+        let mut got = vec![0u32; g.num_vertices()];
+        for lg in &lgs {
+            for v in lg.verts.iter().filter(|v| v.is_master()) {
+                got[v.vid.index()] = v.value;
+            }
+        }
+        prop_assert_eq!(&got, &expected, "edge-cut diverged");
+
+        // Vertex-cut (dense).
+        let cut = RandomVertexCut.partition(&g, parts);
+        let mut lgs = build_vertex_cut_graphs(&g, &cut, &plan, &MinLabel, &degrees);
+        for step in 0..iters as u64 {
+            let partials: Vec<_> = lgs
+                .iter()
+                .map(|lg| vc_partial_gather(lg, &MinLabel))
+                .collect();
+            let mut acc: Vec<Vec<Option<u32>>> =
+                lgs.iter().map(|lg| vec![None; lg.verts.len()]).collect();
+            for (p, partial) in partials.into_iter().enumerate() {
+                for (pos, a) in partial.into_iter().enumerate() {
+                    let Some(a) = a else { continue };
+                    let v = &lgs[p].verts[pos];
+                    let owner = v.master_node.index();
+                    let mpos = lgs[owner].position(v.vid).unwrap() as usize;
+                    let slot = &mut acc[owner][mpos];
+                    *slot = Some(match slot.take() {
+                        None => a,
+                        Some(x) => MinLabel.combine(x, a),
+                    });
+                }
+            }
+            let all: Vec<_> = lgs
+                .iter()
+                .zip(acc)
+                .map(|(lg, a)| vc_apply(lg, &MinLabel, a, &degrees, step))
+                .collect();
+            let mut incoming: Vec<Vec<(u32, u32)>> = vec![Vec::new(); parts];
+            for (p, ups) in all.iter().enumerate() {
+                for u in ups {
+                    let v = &lgs[p].verts[u.local as usize];
+                    for r in &v.meta.as_ref().unwrap().replica_nodes {
+                        let pos = lgs[r.index()].position(v.vid).unwrap();
+                        incoming[r.index()].push((pos, u.value));
+                    }
+                }
+            }
+            let mut changed = 0;
+            for (p, (ups, inc)) in all.into_iter().zip(incoming).enumerate() {
+                changed += vc_commit(&mut lgs[p], ups, inc).changed;
+            }
+            if changed == 0 {
+                break;
+            }
+        }
+        let mut got = vec![0u32; g.num_vertices()];
+        for lg in &lgs {
+            for v in lg.verts.iter().filter(|v| v.is_master()) {
+                got[v.vid.index()] = v.value;
+            }
+        }
+        prop_assert_eq!(&got, &expected, "vertex-cut diverged");
+    }
+}

@@ -1,0 +1,170 @@
+//! Compressed sparse row adjacency view.
+
+use imitator_metrics::MemSize;
+
+use crate::ids::Vid;
+
+/// A compressed-sparse-row adjacency structure over a fixed vertex range.
+///
+/// Built from `(from, to, weight)` triples; gives O(1) access to the
+/// neighbour slice of each `from` vertex. Both engines build one CSR per
+/// direction per local partition, mirroring how Cyclops keeps a master's
+/// in-edges local.
+///
+/// # Examples
+///
+/// ```
+/// use imitator_graph::{Csr, Vid};
+///
+/// let csr = Csr::build(3, vec![
+///     (Vid::new(0), Vid::new(1), 1.0),
+///     (Vid::new(0), Vid::new(2), 2.0),
+/// ]);
+/// assert_eq!(csr.degree(Vid::new(0)), 2);
+/// assert_eq!(csr.degree(Vid::new(1)), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csr {
+    offsets: Vec<u32>,
+    targets: Vec<Vid>,
+    weights: Vec<f32>,
+}
+
+impl Csr {
+    /// Builds a CSR from `(from, to, weight)` triples over `num_vertices`
+    /// vertices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint is `>= num_vertices`.
+    pub fn build<I>(num_vertices: usize, triples: I) -> Self
+    where
+        I: IntoIterator<Item = (Vid, Vid, f32)>,
+        I::IntoIter: Clone,
+    {
+        let iter = triples.into_iter();
+        let mut counts = vec![0u32; num_vertices + 1];
+        for (from, to, _) in iter.clone() {
+            assert!(
+                from.index() < num_vertices && to.index() < num_vertices,
+                "CSR edge endpoint out of range"
+            );
+            counts[from.index() + 1] += 1;
+        }
+        for i in 1..counts.len() {
+            counts[i] += counts[i - 1];
+        }
+        let total = *counts.last().unwrap() as usize;
+        let mut targets = vec![Vid::default(); total];
+        let mut weights = vec![0.0f32; total];
+        let mut cursor = counts.clone();
+        for (from, to, w) in iter {
+            let slot = cursor[from.index()] as usize;
+            targets[slot] = to;
+            weights[slot] = w;
+            cursor[from.index()] += 1;
+        }
+        Csr {
+            offsets: counts,
+            targets,
+            weights,
+        }
+    }
+
+    /// Number of vertices in the CSR's range.
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total number of stored adjacency entries.
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Out-degree (number of stored neighbours) of `v`.
+    pub fn degree(&self, v: Vid) -> usize {
+        let i = v.index();
+        (self.offsets[i + 1] - self.offsets[i]) as usize
+    }
+
+    /// Iterates the `(neighbor, weight)` pairs of `v`.
+    pub fn neighbors(&self, v: Vid) -> impl Iterator<Item = (Vid, f32)> + '_ {
+        let i = v.index();
+        let (lo, hi) = (self.offsets[i] as usize, self.offsets[i + 1] as usize);
+        self.targets[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.weights[lo..hi].iter().copied())
+    }
+
+    /// The raw neighbour slice of `v` (no weights).
+    pub fn neighbor_slice(&self, v: Vid) -> &[Vid] {
+        let i = v.index();
+        &self.targets[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+}
+
+impl MemSize for Csr {
+    fn mem_bytes(&self) -> usize {
+        std::mem::size_of::<Csr>()
+            + self.offsets.heap_bytes()
+            + self.targets.heap_bytes()
+            + self.weights.heap_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let csr = Csr::build(0, Vec::new());
+        assert_eq!(csr.num_vertices(), 0);
+        assert_eq!(csr.num_edges(), 0);
+    }
+
+    #[test]
+    fn preserves_all_edges() {
+        let triples = vec![
+            (Vid::new(2), Vid::new(0), 1.0),
+            (Vid::new(0), Vid::new(1), 2.0),
+            (Vid::new(2), Vid::new(1), 3.0),
+        ];
+        let csr = Csr::build(3, triples);
+        assert_eq!(csr.num_edges(), 3);
+        assert_eq!(csr.degree(Vid::new(2)), 2);
+        let n2: Vec<_> = csr.neighbors(Vid::new(2)).collect();
+        assert!(n2.contains(&(Vid::new(0), 1.0)));
+        assert!(n2.contains(&(Vid::new(1), 3.0)));
+    }
+
+    #[test]
+    fn vertices_without_edges_have_zero_degree() {
+        let csr = Csr::build(5, vec![(Vid::new(0), Vid::new(4), 1.0)]);
+        for v in 1..4u32 {
+            assert_eq!(csr.degree(Vid::new(v)), 0);
+            assert_eq!(csr.neighbors(Vid::new(v)).count(), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn endpoint_out_of_range_panics() {
+        Csr::build(1, vec![(Vid::new(0), Vid::new(1), 1.0)]);
+    }
+
+    #[test]
+    fn neighbor_slice_matches_neighbors() {
+        let csr = Csr::build(
+            3,
+            vec![
+                (Vid::new(1), Vid::new(0), 1.0),
+                (Vid::new(1), Vid::new(2), 1.0),
+            ],
+        );
+        let from_slice: Vec<Vid> = csr.neighbor_slice(Vid::new(1)).to_vec();
+        let from_iter: Vec<Vid> = csr.neighbors(Vid::new(1)).map(|(v, _)| v).collect();
+        assert_eq!(from_slice, from_iter);
+    }
+}

@@ -1,0 +1,648 @@
+//! Synthetic graph generators standing in for the paper's datasets.
+//!
+//! We cannot ship GWeb, LJournal, Wiki, DBLP, RoadCA, SYN-GL, UK-2005 or
+//! Twitter, so each gets a generator reproducing the structural properties
+//! the evaluation depends on: the degree distribution (drives replication
+//! factor), the fraction of *selfish* vertices with no out-edges
+//! (drives Fig. 3's extra-replica analysis), bipartiteness for ALS, and
+//! road-network shape with log-normally distributed weights (§6.1) for SSSP.
+//! The α-parameterised power-law family of Table 4 is reproduced directly by
+//! [`power_law`].
+//!
+//! All generators are deterministic in their `seed` and take the vertex count
+//! explicitly, so experiments scale to the machine at hand (the paper's sizes
+//! divided by a `--scale` factor).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::graph::{Edge, Graph, GraphBuilder};
+use crate::ids::Vid;
+
+/// Samples from a discrete power law `P(d) ∝ d^(-alpha)` on `1..=max_degree`
+/// via a precomputed inverse CDF.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds a sampler for exponent `alpha` over degrees `1..=max_degree`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_degree == 0` or `alpha` is not finite.
+    pub fn new(alpha: f64, max_degree: usize) -> Self {
+        assert!(max_degree > 0, "max_degree must be positive");
+        assert!(alpha.is_finite(), "alpha must be finite");
+        let mut cdf = Vec::with_capacity(max_degree);
+        let mut acc = 0.0;
+        for d in 1..=max_degree {
+            acc += (d as f64).powf(-alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        ZipfSampler { cdf }
+    }
+
+    /// Draws one degree in `1..=max_degree`.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).unwrap()) {
+            Ok(i) | Err(i) => (i + 1).min(self.cdf.len()),
+        }
+    }
+
+    /// Expected value of the distribution.
+    pub fn mean(&self) -> f64 {
+        let mut prev = 0.0;
+        let mut mean = 0.0;
+        for (i, &c) in self.cdf.iter().enumerate() {
+            mean += (i + 1) as f64 * (c - prev);
+            prev = c;
+        }
+        mean
+    }
+}
+
+/// A cheap bijective scrambling of `0..n` used to decorrelate vertex IDs from
+/// generation order (so ID-locality does not leak into hash partitioning).
+#[derive(Debug, Clone, Copy)]
+struct Scramble {
+    n: u64,
+    a: u64,
+    b: u64,
+}
+
+impl Scramble {
+    fn new(n: usize, seed: u64) -> Self {
+        let n = n as u64;
+        // A multiplier coprime with n: try odd candidates derived from the
+        // seed until gcd == 1 (terminates quickly; any odd number works for
+        // even n, and for odd n at most a few tries are needed).
+        let mut a = (seed | 1).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        while gcd(a % n.max(1), n.max(1)) != 1 {
+            a = a.wrapping_add(2);
+        }
+        Scramble {
+            n: n.max(1),
+            a: a % n.max(1),
+            b: seed % n.max(1),
+        }
+    }
+
+    fn apply(&self, i: u64) -> u64 {
+        (i.wrapping_mul(self.a).wrapping_add(self.b)) % self.n
+    }
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Generates a directed power-law graph: `num_vertices` vertices whose
+/// out-degrees follow `P(d) ∝ d^(-alpha)` with mean scaled to `avg_degree`,
+/// and whose in-degrees are skewed (a few heavy hubs), like natural graphs.
+///
+/// This is the generator behind Table 4's synthetic family (`α ∈ 1.8..2.2`,
+/// fixed `|V|`): smaller `alpha` produces denser, more skewed graphs.
+///
+/// # Panics
+///
+/// Panics if `num_vertices == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use imitator_graph::gen;
+///
+/// let g = gen::power_law(10_000, 2.0, 8, 1);
+/// let s = g.stats();
+/// assert!(s.avg_degree > 4.0 && s.avg_degree < 16.0);
+/// assert!(s.max_in_degree > 50); // hubby
+/// ```
+pub fn power_law(num_vertices: usize, alpha: f64, avg_degree: usize, seed: u64) -> Graph {
+    power_law_selfish(num_vertices, alpha, avg_degree, 0.0, seed)
+}
+
+/// Generates a power-law graph whose density *emerges from* `alpha` instead
+/// of being rescaled: out-degrees are raw samples of `P(d) ∝ d^(-alpha)`.
+/// This matches Table 4's synthetic family, where `|E|` grows from 39M to
+/// 673M as α falls from 2.2 to 1.8 at fixed `|V|`.
+///
+/// # Panics
+///
+/// Panics if `num_vertices == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use imitator_graph::gen;
+///
+/// let dense = gen::power_law_natural(2_000, 1.8, 1);
+/// let sparse = gen::power_law_natural(2_000, 2.2, 1);
+/// assert!(dense.num_edges() > sparse.num_edges());
+/// ```
+pub fn power_law_natural(num_vertices: usize, alpha: f64, seed: u64) -> Graph {
+    assert!(num_vertices > 0, "graph must have at least one vertex");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let max_degree = (num_vertices as f64).sqrt().ceil() as usize * 4;
+    let zipf = ZipfSampler::new(alpha, max_degree.max(1));
+    let scramble = Scramble::new(num_vertices, seed ^ 0xABCD_EF01);
+    let mut b = GraphBuilder::new();
+    b.ensure_vertex(Vid::from_index(num_vertices - 1));
+    let skew = 2.0;
+    for i in 0..num_vertices {
+        let d = zipf.sample(&mut rng);
+        let src = Vid::from_index(scramble.apply(i as u64) as usize);
+        for _ in 0..d {
+            let u: f64 = rng.gen();
+            let hot = (num_vertices as f64 * u.powf(skew)) as u64 % num_vertices as u64;
+            let dst = Vid::from_index(scramble.apply(num_vertices as u64 - 1 - hot) as usize);
+            if dst != src {
+                b.add_edge(src, dst, 1.0);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Like [`power_law`] but reserving a `selfish_fraction` of vertices that
+/// receive no out-edges (they only consume), modelling datasets such as GWeb
+/// where >10% of vertices are selfish (Fig. 3(a)).
+///
+/// # Panics
+///
+/// Panics if `num_vertices == 0` or `selfish_fraction` is outside `[0, 1)`.
+pub fn power_law_selfish(
+    num_vertices: usize,
+    alpha: f64,
+    avg_degree: usize,
+    selfish_fraction: f64,
+    seed: u64,
+) -> Graph {
+    assert!(num_vertices > 0, "graph must have at least one vertex");
+    assert!(
+        (0.0..1.0).contains(&selfish_fraction),
+        "selfish_fraction must be in [0, 1)"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let max_degree = (num_vertices as f64).sqrt().ceil() as usize * 4;
+    let zipf = ZipfSampler::new(alpha, max_degree.max(1));
+    let scramble = Scramble::new(num_vertices, seed ^ 0xABCD_EF01);
+
+    let num_sources = ((num_vertices as f64) * (1.0 - selfish_fraction)).ceil() as usize;
+    let num_sources = num_sources.clamp(1, num_vertices);
+
+    // Scale raw zipf degrees so total edges ≈ num_vertices * avg_degree.
+    let raw: Vec<usize> = (0..num_sources).map(|_| zipf.sample(&mut rng)).collect();
+    let raw_sum: usize = raw.iter().sum();
+    let target_edges = num_vertices * avg_degree;
+    let factor = target_edges as f64 / raw_sum.max(1) as f64;
+
+    let mut b = GraphBuilder::with_capacity(num_vertices, target_edges);
+    b.ensure_vertex(Vid::from_index(num_vertices - 1));
+    // In-degree skew: pick targets as floor(n * u^k); k>1 concentrates mass
+    // near 0, and the scramble spreads those hot IDs across the range.
+    let skew = 2.0;
+    for (i, &raw_d) in raw.iter().enumerate() {
+        let scaled = raw_d as f64 * factor;
+        let mut d = scaled.floor() as usize;
+        if rng.gen::<f64>() < scaled - d as f64 {
+            d += 1;
+        }
+        let src = Vid::from_index(scramble.apply(i as u64) as usize);
+        for _ in 0..d {
+            let u: f64 = rng.gen();
+            let hot = (num_vertices as f64 * u.powf(skew)) as u64 % num_vertices as u64;
+            let dst = Vid::from_index(scramble.apply(num_vertices as u64 - 1 - hot) as usize);
+            if dst != src {
+                b.add_edge(src, dst, 1.0);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Generates a road-network-like graph: a 2D grid with 4-neighbour links in
+/// both directions, a small number of dropped links, and log-normally
+/// distributed edge weights (`μ = 0.4`, `σ = 1.2` as in §6.1).
+///
+/// # Panics
+///
+/// Panics if `num_vertices == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use imitator_graph::gen;
+///
+/// let g = gen::road_like(400, 7);
+/// let s = g.stats();
+/// assert!(s.max_out_degree <= 4);
+/// ```
+pub fn road_like(num_vertices: usize, seed: u64) -> Graph {
+    assert!(num_vertices > 0, "graph must have at least one vertex");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let side = (num_vertices as f64).sqrt().ceil() as usize;
+    let n = side * side;
+    let mut b = GraphBuilder::with_capacity(n, n * 4);
+    b.ensure_vertex(Vid::from_index(n - 1));
+    let keep_prob = 0.95;
+    let weight = |rng: &mut StdRng| log_normal(rng, 0.4, 1.2) as f32;
+    for y in 0..side {
+        for x in 0..side {
+            let v = Vid::from_index(y * side + x);
+            if x + 1 < side && rng.gen::<f64>() < keep_prob {
+                let u = Vid::from_index(y * side + x + 1);
+                let w = weight(&mut rng);
+                b.add_edge(v, u, w);
+                b.add_edge(u, v, w);
+            }
+            if y + 1 < side && rng.gen::<f64>() < keep_prob {
+                let u = Vid::from_index((y + 1) * side + x);
+                let w = weight(&mut rng);
+                b.add_edge(v, u, w);
+                b.add_edge(u, v, w);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Generates a DBLP-like community graph for community detection: vertices in
+/// dense communities (geometric sizes around `avg_community`) with sparse
+/// inter-community links; all edges bidirectional.
+///
+/// # Panics
+///
+/// Panics if `num_vertices == 0` or `avg_community == 0`.
+pub fn community_like(num_vertices: usize, avg_community: usize, seed: u64) -> Graph {
+    assert!(num_vertices > 0, "graph must have at least one vertex");
+    assert!(avg_community > 0, "avg_community must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(num_vertices, num_vertices * 4);
+    b.ensure_vertex(Vid::from_index(num_vertices - 1));
+    let mut start = 0usize;
+    let mut communities = Vec::new();
+    while start < num_vertices {
+        let size = (1 + rng.gen_range(0..avg_community * 2)).min(num_vertices - start);
+        communities.push((start, size));
+        start += size;
+    }
+    for &(start, size) in &communities {
+        // Ring plus chords inside the community: connected and dense.
+        for i in 0..size {
+            let v = Vid::from_index(start + i);
+            let u = Vid::from_index(start + (i + 1) % size);
+            if v != u {
+                b.add_edge(v, u, 1.0);
+                b.add_edge(u, v, 1.0);
+            }
+            if size > 3 && rng.gen::<f64>() < 0.5 {
+                let j = rng.gen_range(0..size);
+                let w = Vid::from_index(start + j);
+                if w != v {
+                    b.add_edge(v, w, 1.0);
+                    b.add_edge(w, v, 1.0);
+                }
+            }
+        }
+    }
+    // Sparse inter-community bridges (~2% of vertices).
+    let bridges = (num_vertices / 50).max(1);
+    for _ in 0..bridges {
+        let a = Vid::from_index(rng.gen_range(0..num_vertices));
+        let c = Vid::from_index(rng.gen_range(0..num_vertices));
+        if a != c {
+            b.add_edge(a, c, 1.0);
+            b.add_edge(c, a, 1.0);
+        }
+    }
+    b.build()
+}
+
+/// Generates a SYN-GL-like bipartite rating graph for ALS: `num_users` users
+/// and `num_users / 10 + 1` items; each user rates a power-law number of
+/// items with ratings in `1.0..=5.0`. Every rating appears as two directed
+/// edges (user→item and item→user) so gather works in both ALS phases.
+///
+/// Returned graph has `num_users + num_items` vertices; users occupy the
+/// lower IDs. Use [`bipartite_split`] to recover the boundary.
+///
+/// # Panics
+///
+/// Panics if `num_users == 0`.
+pub fn bipartite_ratings(num_users: usize, avg_ratings: usize, seed: u64) -> Graph {
+    assert!(num_users > 0, "need at least one user");
+    let num_items = num_users / 10 + 1;
+    let n = num_users + num_items;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let zipf = ZipfSampler::new(1.8, (num_items).max(2));
+    let raw: Vec<usize> = (0..num_users).map(|_| zipf.sample(&mut rng)).collect();
+    let raw_sum: usize = raw.iter().sum();
+    let factor = (num_users * avg_ratings) as f64 / raw_sum.max(1) as f64;
+    let mut b = GraphBuilder::with_capacity(n, num_users * avg_ratings * 2);
+    b.ensure_vertex(Vid::from_index(n - 1));
+    let skew = 1.5;
+    for (u, &raw_d) in raw.iter().enumerate() {
+        let scaled = raw_d as f64 * factor;
+        let mut d = scaled.floor() as usize;
+        if rng.gen::<f64>() < scaled - d as f64 {
+            d += 1;
+        }
+        let user = Vid::from_index(u);
+        for _ in 0..d.max(1) {
+            let r: f64 = rng.gen();
+            let item_idx = (num_items as f64 * r.powf(skew)) as usize % num_items;
+            let item = Vid::from_index(num_users + item_idx);
+            let rating = rng.gen_range(1..=5) as f32;
+            b.add_edge(user, item, rating);
+            b.add_edge(item, user, rating);
+        }
+    }
+    b.build()
+}
+
+/// Returns `(num_users, num_items)` for a graph produced by
+/// [`bipartite_ratings`] with the given `num_users`.
+pub fn bipartite_split(num_users: usize) -> (usize, usize) {
+    (num_users, num_users / 10 + 1)
+}
+
+fn log_normal<R: Rng>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    // Box-Muller.
+    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    (mu + sigma * z).exp()
+}
+
+/// The paper's dataset line-up, as scaled synthetic stand-ins.
+///
+/// `Dataset::generate(scale, seed)` produces a graph with
+/// `paper |V| × scale` vertices and the paper's average degree and structural
+/// character. Recommended scales: `0.01` for tests, `0.02`–`0.1` for benches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// GWeb stand-in: web graph, |V|=0.87M, avg deg ≈ 5.9, many selfish vertices.
+    GWeb,
+    /// LJournal stand-in: social graph, |V|=4.85M, avg deg ≈ 14.4, some selfish.
+    LJournal,
+    /// Wiki stand-in: link graph, |V|=5.72M, avg deg ≈ 22.7.
+    Wiki,
+    /// SYN-GL stand-in: bipartite rating graph for ALS, |V|=0.11M.
+    SynGl,
+    /// DBLP stand-in: community co-authorship graph, |V|=0.32M.
+    Dblp,
+    /// RoadCA stand-in: road network with log-normal weights, |V|=1.97M.
+    RoadCa,
+    /// UK-2005 stand-in: large web graph, |V|=40M, avg deg ≈ 23.4.
+    Uk2005,
+    /// Twitter stand-in: follower graph, |V|=42M, avg deg ≈ 35, heavy skew.
+    Twitter,
+}
+
+impl Dataset {
+    /// All datasets in the Cyclops (edge-cut) evaluation, Table 1 order.
+    pub fn cyclops_suite() -> [Dataset; 6] {
+        [
+            Dataset::GWeb,
+            Dataset::LJournal,
+            Dataset::Wiki,
+            Dataset::SynGl,
+            Dataset::Dblp,
+            Dataset::RoadCa,
+        ]
+    }
+
+    /// All real-world datasets in the PowerLyra (vertex-cut) evaluation,
+    /// Table 4 order.
+    pub fn powerlyra_suite() -> [Dataset; 5] {
+        [
+            Dataset::GWeb,
+            Dataset::LJournal,
+            Dataset::Wiki,
+            Dataset::Uk2005,
+            Dataset::Twitter,
+        ]
+    }
+
+    /// Short display name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Dataset::GWeb => "GWeb",
+            Dataset::LJournal => "LJournal",
+            Dataset::Wiki => "Wiki",
+            Dataset::SynGl => "SYN-GL",
+            Dataset::Dblp => "DBLP",
+            Dataset::RoadCa => "RoadCA",
+            Dataset::Uk2005 => "UK-2005",
+            Dataset::Twitter => "Twitter",
+        }
+    }
+
+    /// The paper's vertex count for this dataset.
+    pub fn paper_vertices(self) -> usize {
+        match self {
+            Dataset::GWeb => 870_000,
+            Dataset::LJournal => 4_850_000,
+            Dataset::Wiki => 5_720_000,
+            Dataset::SynGl => 110_000,
+            Dataset::Dblp => 320_000,
+            Dataset::RoadCa => 1_970_000,
+            Dataset::Uk2005 => 40_000_000,
+            Dataset::Twitter => 42_000_000,
+        }
+    }
+
+    /// Generates the stand-in graph at `scale` times the paper's size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scaled vertex count rounds to zero.
+    pub fn generate(self, scale: f64, seed: u64) -> Graph {
+        let nv = ((self.paper_vertices() as f64 * scale).round() as usize).max(1);
+        match self {
+            Dataset::GWeb => power_law_selfish(nv, 2.2, 6, 0.25, seed),
+            Dataset::LJournal => power_law_selfish(nv, 2.1, 14, 0.15, seed),
+            Dataset::Wiki => power_law_selfish(nv, 2.0, 23, 0.05, seed),
+            Dataset::SynGl => bipartite_ratings(nv * 10 / 11, 24, seed),
+            Dataset::Dblp => community_like(nv, 16, seed),
+            Dataset::RoadCa => road_like(nv, seed),
+            Dataset::Uk2005 => power_law_selfish(nv, 2.0, 23, 0.08, seed),
+            Dataset::Twitter => power_law_selfish(nv, 1.9, 35, 0.03, seed),
+        }
+    }
+}
+
+impl std::fmt::Display for Dataset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Builds a graph from explicit `(src, dst)` pairs — convenience for tests.
+pub fn from_pairs(num_vertices: usize, pairs: &[(u32, u32)]) -> Graph {
+    Graph::from_edges(
+        num_vertices,
+        pairs
+            .iter()
+            .map(|&(s, d)| Edge::unweighted(Vid::new(s), Vid::new(d)))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_mean_decreases_with_alpha() {
+        let low = ZipfSampler::new(1.8, 1000).mean();
+        let high = ZipfSampler::new(2.2, 1000).mean();
+        assert!(low > high);
+    }
+
+    #[test]
+    fn zipf_samples_in_range() {
+        let z = ZipfSampler::new(2.0, 50);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let d = z.sample(&mut rng);
+            assert!((1..=50).contains(&d));
+        }
+    }
+
+    #[test]
+    fn power_law_is_deterministic_in_seed() {
+        let a = power_law(500, 2.0, 5, 9);
+        let b = power_law(500, 2.0, 5, 9);
+        assert_eq!(a, b);
+        let c = power_law(500, 2.0, 5, 10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn power_law_hits_target_density() {
+        let g = power_law(5_000, 2.0, 10, 1);
+        let avg = g.stats().avg_degree;
+        assert!(avg > 7.0 && avg < 13.0, "avg degree {avg} off target 10");
+    }
+
+    #[test]
+    fn power_law_has_heavy_in_degree_tail() {
+        let s = power_law(5_000, 2.0, 10, 2).stats();
+        assert!(
+            s.max_in_degree as f64 > 10.0 * s.avg_degree,
+            "max in-degree {} not hubby vs avg {}",
+            s.max_in_degree,
+            s.avg_degree
+        );
+    }
+
+    #[test]
+    fn natural_family_density_grows_as_alpha_falls() {
+        // Table 4: |E| at fixed |V| increases monotonically from α=2.2 to 1.8.
+        let e: Vec<usize> = [2.2, 2.1, 2.0, 1.9, 1.8]
+            .iter()
+            .map(|&a| power_law_natural(4_000, a, 3).num_edges())
+            .collect();
+        for w in e.windows(2) {
+            assert!(w[1] > w[0], "density not increasing: {e:?}");
+        }
+    }
+
+    #[test]
+    fn selfish_fraction_respected() {
+        let g = power_law_selfish(4_000, 2.0, 8, 0.3, 5);
+        let f = g.stats().selfish_fraction();
+        assert!(f >= 0.28, "selfish fraction {f} below requested 0.3");
+    }
+
+    #[test]
+    fn no_self_loops_in_power_law() {
+        let g = power_law(2_000, 2.0, 6, 11);
+        assert!(g.edges().iter().all(|e| e.src != e.dst));
+    }
+
+    #[test]
+    fn road_is_sparse_and_symmetric() {
+        let g = road_like(900, 4);
+        let s = g.stats();
+        assert!(s.max_out_degree <= 4);
+        // every edge has its reverse
+        let set: std::collections::HashSet<(u32, u32)> = g
+            .edges()
+            .iter()
+            .map(|e| (e.src.raw(), e.dst.raw()))
+            .collect();
+        for e in g.edges() {
+            assert!(set.contains(&(e.dst.raw(), e.src.raw())));
+        }
+    }
+
+    #[test]
+    fn road_weights_are_positive() {
+        let g = road_like(400, 12);
+        assert!(g.edges().iter().all(|e| e.weight > 0.0));
+    }
+
+    #[test]
+    fn community_graph_is_symmetric() {
+        let g = community_like(500, 10, 8);
+        let set: std::collections::HashSet<(u32, u32)> = g
+            .edges()
+            .iter()
+            .map(|e| (e.src.raw(), e.dst.raw()))
+            .collect();
+        for e in g.edges() {
+            assert!(set.contains(&(e.dst.raw(), e.src.raw())));
+        }
+    }
+
+    #[test]
+    fn bipartite_edges_cross_the_split() {
+        let users = 200;
+        let g = bipartite_ratings(users, 5, 3);
+        let (nu, _ni) = bipartite_split(users);
+        for e in g.edges() {
+            let a = e.src.index() < nu;
+            let b = e.dst.index() < nu;
+            assert_ne!(a, b, "edge within one side of the bipartition");
+            assert!((1.0..=5.0).contains(&e.weight));
+        }
+    }
+
+    #[test]
+    fn every_dataset_generates() {
+        for d in [
+            Dataset::GWeb,
+            Dataset::LJournal,
+            Dataset::Wiki,
+            Dataset::SynGl,
+            Dataset::Dblp,
+            Dataset::RoadCa,
+            Dataset::Uk2005,
+            Dataset::Twitter,
+        ] {
+            let g = d.generate(0.001, 42);
+            assert!(g.num_vertices() > 0, "{d} empty");
+            assert!(g.num_edges() > 0, "{d} has no edges");
+        }
+    }
+
+    #[test]
+    fn gweb_like_has_many_selfish_vertices() {
+        let g = Dataset::GWeb.generate(0.01, 7);
+        assert!(g.stats().selfish_fraction() > 0.10);
+    }
+}

@@ -1,0 +1,311 @@
+//! The immutable input graph and its builder.
+
+use std::fmt;
+
+use imitator_metrics::MemSize;
+
+use crate::csr::Csr;
+use crate::ids::Vid;
+use crate::stats::GraphStats;
+
+/// A directed edge with an `f32` weight.
+///
+/// Weight is interpreted per algorithm: distance for SSSP, rating for ALS,
+/// ignored by PageRank and community detection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Edge {
+    /// Source vertex.
+    pub src: Vid,
+    /// Destination vertex.
+    pub dst: Vid,
+    /// Edge weight.
+    pub weight: f32,
+}
+
+impl Edge {
+    /// Creates an edge with weight 1.0.
+    pub fn unweighted(src: Vid, dst: Vid) -> Self {
+        Edge {
+            src,
+            dst,
+            weight: 1.0,
+        }
+    }
+
+    /// Creates a weighted edge.
+    pub fn weighted(src: Vid, dst: Vid, weight: f32) -> Self {
+        Edge { src, dst, weight }
+    }
+}
+
+impl MemSize for Edge {
+    fn mem_bytes(&self) -> usize {
+        std::mem::size_of::<Edge>()
+    }
+
+    fn heap_bytes(&self) -> usize {
+        0
+    }
+}
+
+/// An immutable directed input graph.
+///
+/// Vertices are the dense range `0..num_vertices()`; edges are an arbitrary
+/// (possibly multi-) edge list. Adjacency in either direction is obtained
+/// through the lazily built CSR views [`Graph::out_csr`] / [`Graph::in_csr`].
+///
+/// # Examples
+///
+/// ```
+/// use imitator_graph::{Edge, Graph, Vid};
+///
+/// let g = Graph::from_edges(3, vec![
+///     Edge::unweighted(Vid::new(0), Vid::new(1)),
+///     Edge::unweighted(Vid::new(1), Vid::new(2)),
+/// ]);
+/// assert_eq!(g.num_edges(), 2);
+/// assert_eq!(g.out_csr().degree(Vid::new(1)), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Graph {
+    num_vertices: usize,
+    edges: Vec<Edge>,
+}
+
+impl Graph {
+    /// Builds a graph from an explicit vertex count and edge list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any edge endpoint is `>= num_vertices`.
+    pub fn from_edges(num_vertices: usize, edges: Vec<Edge>) -> Self {
+        for e in &edges {
+            assert!(
+                e.src.index() < num_vertices && e.dst.index() < num_vertices,
+                "edge {} -> {} out of range (|V| = {})",
+                e.src,
+                e.dst,
+                num_vertices
+            );
+        }
+        Graph {
+            num_vertices,
+            edges,
+        }
+    }
+
+    /// Number of vertices, `|V|`.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of edges, `|E|`.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The edge list.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Iterates all vertex IDs.
+    pub fn vertices(&self) -> impl Iterator<Item = Vid> + '_ {
+        (0..self.num_vertices as u32).map(Vid::new)
+    }
+
+    /// Builds the outgoing-adjacency CSR view (`src → [dst]`).
+    pub fn out_csr(&self) -> Csr {
+        Csr::build(
+            self.num_vertices,
+            self.edges.iter().map(|e| (e.src, e.dst, e.weight)),
+        )
+    }
+
+    /// Builds the incoming-adjacency CSR view (`dst → [src]`).
+    pub fn in_csr(&self) -> Csr {
+        Csr::build(
+            self.num_vertices,
+            self.edges.iter().map(|e| (e.dst, e.src, e.weight)),
+        )
+    }
+
+    /// Computes degree/shape statistics used throughout the evaluation.
+    pub fn stats(&self) -> GraphStats {
+        GraphStats::compute(self)
+    }
+}
+
+impl fmt::Display for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "graph(|V|={}, |E|={})",
+            self.num_vertices,
+            self.edges.len()
+        )
+    }
+}
+
+impl MemSize for Graph {
+    fn mem_bytes(&self) -> usize {
+        std::mem::size_of::<Graph>() + self.edges.heap_bytes()
+    }
+}
+
+/// Incremental builder for [`Graph`].
+///
+/// Grows the vertex range automatically as edges are added, which is what the
+/// generators and the edge-list parser need.
+///
+/// # Examples
+///
+/// ```
+/// use imitator_graph::{GraphBuilder, Vid};
+///
+/// let mut b = GraphBuilder::new();
+/// b.add_edge(Vid::new(0), Vid::new(5), 2.0);
+/// b.ensure_vertex(Vid::new(9));
+/// let g = b.build();
+/// assert_eq!(g.num_vertices(), 10);
+/// assert_eq!(g.num_edges(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    num_vertices: usize,
+    edges: Vec<Edge>,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder pre-sized for `num_vertices` vertices and reserving
+    /// space for `num_edges` edges.
+    pub fn with_capacity(num_vertices: usize, num_edges: usize) -> Self {
+        GraphBuilder {
+            num_vertices,
+            edges: Vec::with_capacity(num_edges),
+        }
+    }
+
+    /// Ensures the vertex range includes `v`.
+    pub fn ensure_vertex(&mut self, v: Vid) -> &mut Self {
+        self.num_vertices = self.num_vertices.max(v.index() + 1);
+        self
+    }
+
+    /// Adds a weighted edge, growing the vertex range as needed.
+    pub fn add_edge(&mut self, src: Vid, dst: Vid, weight: f32) -> &mut Self {
+        self.ensure_vertex(src);
+        self.ensure_vertex(dst);
+        self.edges.push(Edge { src, dst, weight });
+        self
+    }
+
+    /// Current number of edges added.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finishes the builder into an immutable [`Graph`].
+    pub fn build(self) -> Graph {
+        Graph {
+            num_vertices: self.num_vertices,
+            edges: self.edges,
+        }
+    }
+}
+
+impl Extend<Edge> for GraphBuilder {
+    fn extend<I: IntoIterator<Item = Edge>>(&mut self, iter: I) {
+        for e in iter {
+            self.add_edge(e.src, e.dst, e.weight);
+        }
+    }
+}
+
+impl FromIterator<Edge> for Graph {
+    fn from_iter<I: IntoIterator<Item = Edge>>(iter: I) -> Graph {
+        let mut b = GraphBuilder::new();
+        b.extend(iter);
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Graph {
+        Graph::from_edges(
+            4,
+            vec![
+                Edge::unweighted(Vid::new(0), Vid::new(1)),
+                Edge::unweighted(Vid::new(0), Vid::new(2)),
+                Edge::weighted(Vid::new(2), Vid::new(3), 4.5),
+            ],
+        )
+    }
+
+    #[test]
+    fn counts_match() {
+        let g = tiny();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.vertices().count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        Graph::from_edges(2, vec![Edge::unweighted(Vid::new(0), Vid::new(5))]);
+    }
+
+    #[test]
+    fn out_and_in_csr_are_transposes() {
+        let g = tiny();
+        let out = g.out_csr();
+        let inn = g.in_csr();
+        assert_eq!(out.degree(Vid::new(0)), 2);
+        assert_eq!(inn.degree(Vid::new(0)), 0);
+        assert_eq!(inn.degree(Vid::new(3)), 1);
+        let (src, w) = inn.neighbors(Vid::new(3)).next().unwrap();
+        assert_eq!(src, Vid::new(2));
+        assert_eq!(w, 4.5);
+    }
+
+    #[test]
+    fn builder_grows_vertex_range() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(Vid::new(3), Vid::new(1), 1.0);
+        assert_eq!(b.build().num_vertices(), 4);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let g: Graph = vec![Edge::unweighted(Vid::new(0), Vid::new(1))]
+            .into_iter()
+            .collect();
+        assert_eq!(g.num_vertices(), 2);
+    }
+
+    #[test]
+    fn isolated_vertices_preserved() {
+        let mut b = GraphBuilder::new();
+        b.ensure_vertex(Vid::new(99));
+        let g = b.build();
+        assert_eq!(g.num_vertices(), 100);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn multigraph_edges_allowed() {
+        let e = Edge::unweighted(Vid::new(0), Vid::new(1));
+        let g = Graph::from_edges(2, vec![e, e]);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.out_csr().degree(Vid::new(0)), 2);
+    }
+}

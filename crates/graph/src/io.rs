@@ -1,0 +1,193 @@
+//! Plain-text edge-list serialization.
+//!
+//! The paper loads input graphs from HDFS as edge-list files; the same
+//! format here lets examples round-trip graphs through the simulated DFS.
+//! Format: one `src dst [weight]` triple per line, `#`-prefixed comments.
+
+use std::error::Error;
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+use crate::graph::{Graph, GraphBuilder};
+use crate::ids::Vid;
+
+/// Error parsing an edge-list file.
+#[derive(Debug)]
+pub struct ParseGraphError {
+    line: usize,
+    kind: ParseErrorKind,
+}
+
+#[derive(Debug)]
+enum ParseErrorKind {
+    Io(io::Error),
+    BadField(String),
+    MissingField,
+}
+
+impl ParseGraphError {
+    /// 1-based line number where parsing failed (0 for I/O errors with no
+    /// line context).
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for ParseGraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            ParseErrorKind::Io(e) => write!(f, "i/o error reading edge list: {e}"),
+            ParseErrorKind::BadField(s) => {
+                write!(f, "invalid field {:?} on line {}", s, self.line)
+            }
+            ParseErrorKind::MissingField => {
+                write!(f, "missing src/dst field on line {}", self.line)
+            }
+        }
+    }
+}
+
+impl Error for ParseGraphError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match &self.kind {
+            ParseErrorKind::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl Graph {
+    /// Parses a graph from an edge-list reader.
+    ///
+    /// Each non-comment line is `src dst` or `src dst weight` (whitespace
+    /// separated). The vertex range is grown to cover every mentioned ID.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseGraphError`] on I/O failure or malformed lines.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use imitator_graph::Graph;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let text = "# tiny\n0 1\n1 2 3.5\n";
+    /// let g = Graph::from_edge_list(text.as_bytes())?;
+    /// assert_eq!(g.num_vertices(), 3);
+    /// assert_eq!(g.num_edges(), 2);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn from_edge_list<R: BufRead>(reader: R) -> Result<Graph, ParseGraphError> {
+        let mut b = GraphBuilder::new();
+        for (i, line) in reader.lines().enumerate() {
+            let lineno = i + 1;
+            let line = line.map_err(|e| ParseGraphError {
+                line: lineno,
+                kind: ParseErrorKind::Io(e),
+            })?;
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            let mut fields = trimmed.split_whitespace();
+            let src = parse_vid(fields.next(), lineno)?;
+            let dst = parse_vid(fields.next(), lineno)?;
+            let weight = match fields.next() {
+                None => 1.0,
+                Some(w) => w.parse::<f32>().map_err(|_| ParseGraphError {
+                    line: lineno,
+                    kind: ParseErrorKind::BadField(w.to_owned()),
+                })?,
+            };
+            b.add_edge(src, dst, weight);
+        }
+        Ok(b.build())
+    }
+
+    /// Writes the graph as an edge list (always including weights).
+    ///
+    /// Note that a writer can be passed as `&mut w` thanks to the blanket
+    /// `Write for &mut W` impl.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O error from the writer.
+    pub fn to_edge_list<W: Write>(&self, mut writer: W) -> io::Result<()> {
+        writeln!(
+            writer,
+            "# |V|={} |E|={}",
+            self.num_vertices(),
+            self.num_edges()
+        )?;
+        for e in self.edges() {
+            writeln!(writer, "{} {} {}", e.src.raw(), e.dst.raw(), e.weight)?;
+        }
+        Ok(())
+    }
+}
+
+fn parse_vid(field: Option<&str>, line: usize) -> Result<Vid, ParseGraphError> {
+    let s = field.ok_or(ParseGraphError {
+        line,
+        kind: ParseErrorKind::MissingField,
+    })?;
+    s.parse::<u32>().map(Vid::new).map_err(|_| ParseGraphError {
+        line,
+        kind: ParseErrorKind::BadField(s.to_owned()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Edge;
+
+    #[test]
+    fn roundtrip() {
+        let g = Graph::from_edges(
+            3,
+            vec![
+                Edge::weighted(Vid::new(0), Vid::new(1), 2.5),
+                Edge::unweighted(Vid::new(2), Vid::new(0)),
+            ],
+        );
+        let mut buf = Vec::new();
+        g.to_edge_list(&mut buf).unwrap();
+        let parsed = Graph::from_edge_list(buf.as_slice()).unwrap();
+        assert_eq!(parsed.num_vertices(), 3);
+        assert_eq!(parsed.edges(), g.edges());
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let g = Graph::from_edge_list("\n# c\n0 1\n\n".as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn missing_dst_is_error() {
+        let err = Graph::from_edge_list("0\n".as_bytes()).unwrap_err();
+        assert_eq!(err.line(), 1);
+        assert!(format!("{err}").contains("missing"));
+    }
+
+    #[test]
+    fn bad_weight_is_error() {
+        let err = Graph::from_edge_list("0 1 abc\n".as_bytes()).unwrap_err();
+        assert!(format!("{err}").contains("abc"));
+    }
+
+    #[test]
+    fn bad_vertex_id_is_error() {
+        let err = Graph::from_edge_list("x 1\n".as_bytes()).unwrap_err();
+        assert!(format!("{err}").contains('x'));
+    }
+
+    #[test]
+    fn default_weight_is_one() {
+        let g = Graph::from_edge_list("0 1\n".as_bytes()).unwrap();
+        assert_eq!(g.edges()[0].weight, 1.0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Degree and shape statistics.
+//!
+//! The paper's replica analysis (§3.1, Fig. 3) hinges on two structural
+//! quantities: how many vertices have *no out-edges* ("selfish" candidates —
+//! their value has no consumer) and the degree distribution that drives the
+//! replication factor under each partitioner. [`GraphStats`] computes both.
+
+use std::fmt;
+
+use crate::graph::Graph;
+
+/// Summary statistics of a [`Graph`].
+///
+/// # Examples
+///
+/// ```
+/// use imitator_graph::{Edge, Graph, Vid};
+///
+/// let g = Graph::from_edges(3, vec![Edge::unweighted(Vid::new(0), Vid::new(1))]);
+/// let s = g.stats();
+/// assert_eq!(s.num_vertices, 3);
+/// assert_eq!(s.selfish_vertices, 2); // v1 and v2 have no out-edges
+/// assert_eq!(s.isolated_vertices, 1); // v2 has no edges at all
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// `|V|`.
+    pub num_vertices: usize,
+    /// `|E|`.
+    pub num_edges: usize,
+    /// Maximum out-degree.
+    pub max_out_degree: usize,
+    /// Maximum in-degree.
+    pub max_in_degree: usize,
+    /// Mean out-degree (`|E| / |V|`, 0 for the empty graph).
+    pub avg_degree: f64,
+    /// Vertices with no out-edges (selfish candidates, §4.4).
+    pub selfish_vertices: usize,
+    /// Vertices with no edges at all.
+    pub isolated_vertices: usize,
+}
+
+impl GraphStats {
+    /// Computes statistics for `g`.
+    pub fn compute(g: &Graph) -> Self {
+        let n = g.num_vertices();
+        let mut out_deg = vec![0usize; n];
+        let mut in_deg = vec![0usize; n];
+        for e in g.edges() {
+            out_deg[e.src.index()] += 1;
+            in_deg[e.dst.index()] += 1;
+        }
+        let selfish = out_deg.iter().filter(|&&d| d == 0).count();
+        let isolated = (0..n)
+            .filter(|&i| out_deg[i] == 0 && in_deg[i] == 0)
+            .count();
+        GraphStats {
+            num_vertices: n,
+            num_edges: g.num_edges(),
+            max_out_degree: out_deg.iter().copied().max().unwrap_or(0),
+            max_in_degree: in_deg.iter().copied().max().unwrap_or(0),
+            avg_degree: if n == 0 {
+                0.0
+            } else {
+                g.num_edges() as f64 / n as f64
+            },
+            selfish_vertices: selfish,
+            isolated_vertices: isolated,
+        }
+    }
+
+    /// Fraction of vertices that are selfish (no out-edges).
+    pub fn selfish_fraction(&self) -> f64 {
+        if self.num_vertices == 0 {
+            0.0
+        } else {
+            self.selfish_vertices as f64 / self.num_vertices as f64
+        }
+    }
+}
+
+impl fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "|V|={} |E|={} avg_deg={:.2} max_out={} max_in={} selfish={:.1}%",
+            self.num_vertices,
+            self.num_edges,
+            self.avg_degree,
+            self.max_out_degree,
+            self.max_in_degree,
+            100.0 * self.selfish_fraction()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Edge;
+    use crate::ids::Vid;
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = Graph::from_edges(0, Vec::new());
+        let s = g.stats();
+        assert_eq!(s.num_vertices, 0);
+        assert_eq!(s.avg_degree, 0.0);
+        assert_eq!(s.selfish_fraction(), 0.0);
+    }
+
+    #[test]
+    fn degrees_counted_per_direction() {
+        // star: 0 -> 1, 0 -> 2, 0 -> 3; 3 -> 0
+        let g = Graph::from_edges(
+            4,
+            vec![
+                Edge::unweighted(Vid::new(0), Vid::new(1)),
+                Edge::unweighted(Vid::new(0), Vid::new(2)),
+                Edge::unweighted(Vid::new(0), Vid::new(3)),
+                Edge::unweighted(Vid::new(3), Vid::new(0)),
+            ],
+        );
+        let s = g.stats();
+        assert_eq!(s.max_out_degree, 3);
+        assert_eq!(s.max_in_degree, 1);
+        assert_eq!(s.selfish_vertices, 2); // v1, v2
+        assert_eq!(s.isolated_vertices, 0);
+        assert!((s.avg_degree - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_mentions_selfish() {
+        let g = Graph::from_edges(2, vec![Edge::unweighted(Vid::new(0), Vid::new(1))]);
+        assert!(format!("{}", g.stats()).contains("selfish"));
+    }
+}

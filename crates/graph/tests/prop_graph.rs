@@ -1,0 +1,97 @@
+//! Property tests for the graph substrate: edge-list serialisation
+//! round-trips arbitrary graphs, CSR views are exact transposes, and the
+//! generators keep their documented promises across seeds.
+
+use proptest::prelude::*;
+
+use imitator_graph::{gen, Graph, Vid};
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (
+        1usize..80,
+        proptest::collection::vec((any::<u32>(), any::<u32>(), 0.0f32..100.0), 0..300),
+    )
+        .prop_map(|(n, triples)| {
+            let mut b = imitator_graph::GraphBuilder::new();
+            b.ensure_vertex(Vid::from_index(n - 1));
+            for (s, d, w) in triples {
+                b.add_edge(Vid::new(s % n as u32), Vid::new(d % n as u32), w);
+            }
+            b.build()
+        })
+}
+
+proptest! {
+    #[test]
+    fn edge_list_io_roundtrips(g in arb_graph()) {
+        let mut buf = Vec::new();
+        g.to_edge_list(&mut buf).unwrap();
+        let back = Graph::from_edge_list(buf.as_slice()).unwrap();
+        prop_assert_eq!(back.num_edges(), g.num_edges());
+        prop_assert_eq!(back.edges(), g.edges());
+        // Vertex count may shrink for trailing isolated vertices (the text
+        // format only names endpoints), never grow.
+        prop_assert!(back.num_vertices() <= g.num_vertices());
+    }
+
+    #[test]
+    fn csr_views_are_exact_transposes(g in arb_graph()) {
+        let out = g.out_csr();
+        let inn = g.in_csr();
+        prop_assert_eq!(out.num_edges(), g.num_edges());
+        prop_assert_eq!(inn.num_edges(), g.num_edges());
+        // Σ out-degrees == Σ in-degrees == |E|, and each edge appears in both.
+        let mut out_pairs: Vec<(u32, u32)> = g
+            .vertices()
+            .flat_map(|v| out.neighbors(v).map(move |(u, _)| (v.raw(), u.raw())))
+            .collect();
+        let mut in_pairs: Vec<(u32, u32)> = g
+            .vertices()
+            .flat_map(|v| inn.neighbors(v).map(move |(u, _)| (u.raw(), v.raw())))
+            .collect();
+        out_pairs.sort_unstable();
+        in_pairs.sort_unstable();
+        prop_assert_eq!(out_pairs, in_pairs);
+    }
+
+    #[test]
+    fn stats_are_internally_consistent(g in arb_graph()) {
+        let s = g.stats();
+        prop_assert_eq!(s.num_vertices, g.num_vertices());
+        prop_assert_eq!(s.num_edges, g.num_edges());
+        prop_assert!(s.isolated_vertices <= s.selfish_vertices);
+        prop_assert!(s.max_out_degree <= s.num_edges);
+        if s.num_vertices > 0 {
+            let expected_avg = s.num_edges as f64 / s.num_vertices as f64;
+            prop_assert!((s.avg_degree - expected_avg).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic_and_seed_sensitive(
+        (nv, seed) in (50usize..300, any::<u64>())
+    ) {
+        let a = gen::power_law(nv, 2.0, 5, seed);
+        let b = gen::power_law(nv, 2.0, 5, seed);
+        prop_assert_eq!(&a, &b);
+        let c = gen::road_like(nv, seed);
+        let d = gen::road_like(nv, seed);
+        prop_assert_eq!(&c, &d);
+    }
+
+    #[test]
+    fn power_law_selfish_never_gives_sources_to_reserved(
+        frac in 0.05f64..0.5, seed in any::<u64>()
+    ) {
+        let g = gen::power_law_selfish(1_000, 2.0, 6, frac, seed);
+        let s = g.stats();
+        prop_assert!(s.selfish_fraction() >= frac * 0.9);
+    }
+
+    #[test]
+    fn zipf_sampler_respects_bounds((alpha, dmax) in (0.5f64..3.0, 1usize..200)) {
+        let z = gen::ZipfSampler::new(alpha, dmax);
+        prop_assert!(z.mean() >= 1.0);
+        prop_assert!(z.mean() <= dmax as f64);
+    }
+}

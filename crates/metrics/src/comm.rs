@@ -1,0 +1,211 @@
+//! Message and byte accounting.
+//!
+//! The paper quantifies the cost of fault tolerance partly as *redundant
+//! messages among the total messages during normal execution* (Fig. 8(b)) and
+//! as *communication cost per iteration in GB* (Table 6). Engines record every
+//! logical message through these counters, tagging fault-tolerance-only
+//! traffic separately from baseline traffic so both numerator and denominator
+//! of those ratios are available.
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A plain (single-threaded) message/byte tally.
+///
+/// # Examples
+///
+/// ```
+/// use imitator_metrics::CommStats;
+///
+/// let mut a = CommStats::new(10, 4096);
+/// a.record(5, 2048);
+/// assert_eq!(a.messages, 15);
+/// assert_eq!(a.bytes, 6144);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct CommStats {
+    /// Number of logical messages.
+    pub messages: u64,
+    /// Total payload bytes (wire-size estimate).
+    pub bytes: u64,
+}
+
+impl CommStats {
+    /// Creates a tally with the given initial counts.
+    pub fn new(messages: u64, bytes: u64) -> Self {
+        CommStats { messages, bytes }
+    }
+
+    /// Adds `messages` messages totalling `bytes` bytes.
+    pub fn record(&mut self, messages: u64, bytes: u64) {
+        self.messages += messages;
+        self.bytes += bytes;
+    }
+
+    /// Returns the fraction `self.messages / total.messages`, or 0.0 when
+    /// `total` is empty. Used for the "redundant message" ratios of Fig. 8(b).
+    pub fn message_ratio(&self, total: &CommStats) -> f64 {
+        if total.messages == 0 {
+            0.0
+        } else {
+            self.messages as f64 / total.messages as f64
+        }
+    }
+
+    /// Returns the fraction `self.bytes / total.bytes`, or 0.0 when `total`
+    /// is empty.
+    pub fn byte_ratio(&self, total: &CommStats) -> f64 {
+        if total.bytes == 0 {
+            0.0
+        } else {
+            self.bytes as f64 / total.bytes as f64
+        }
+    }
+}
+
+impl Add for CommStats {
+    type Output = CommStats;
+
+    fn add(self, rhs: CommStats) -> CommStats {
+        CommStats::new(self.messages + rhs.messages, self.bytes + rhs.bytes)
+    }
+}
+
+impl AddAssign for CommStats {
+    fn add_assign(&mut self, rhs: CommStats) {
+        self.messages += rhs.messages;
+        self.bytes += rhs.bytes;
+    }
+}
+
+impl fmt::Display for CommStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} msgs / {} bytes", self.messages, self.bytes)
+    }
+}
+
+/// A thread-safe message/byte tally shared between simulated cluster nodes.
+///
+/// Nodes run on separate threads; each node records into the same
+/// `AtomicCommStats` without locking.
+///
+/// # Examples
+///
+/// ```
+/// use imitator_metrics::AtomicCommStats;
+///
+/// let stats = AtomicCommStats::default();
+/// stats.record(2, 128);
+/// assert_eq!(stats.snapshot().messages, 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct AtomicCommStats {
+    messages: AtomicU64,
+    bytes: AtomicU64,
+}
+
+impl AtomicCommStats {
+    /// Creates an empty tally.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `messages` messages totalling `bytes` bytes.
+    pub fn record(&self, messages: u64, bytes: u64) {
+        self.messages.fetch_add(messages, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Returns a point-in-time copy of the counters.
+    pub fn snapshot(&self) -> CommStats {
+        CommStats {
+            messages: self.messages.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets both counters to zero and returns the previous values.
+    pub fn take(&self) -> CommStats {
+        CommStats {
+            messages: self.messages.swap(0, Ordering::Relaxed),
+            bytes: self.bytes.swap(0, Ordering::Relaxed),
+        }
+    }
+}
+
+impl Clone for AtomicCommStats {
+    fn clone(&self) -> Self {
+        let snap = self.snapshot();
+        AtomicCommStats {
+            messages: AtomicU64::new(snap.messages),
+            bytes: AtomicU64::new(snap.bytes),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn record_accumulates() {
+        let mut s = CommStats::default();
+        s.record(1, 10);
+        s.record(2, 20);
+        assert_eq!(s, CommStats::new(3, 30));
+    }
+
+    #[test]
+    fn add_and_add_assign_agree() {
+        let a = CommStats::new(1, 2);
+        let b = CommStats::new(3, 4);
+        let mut c = a;
+        c += b;
+        assert_eq!(a + b, c);
+    }
+
+    #[test]
+    fn ratios_handle_zero_totals() {
+        let part = CommStats::new(5, 50);
+        let empty = CommStats::default();
+        assert_eq!(part.message_ratio(&empty), 0.0);
+        assert_eq!(part.byte_ratio(&empty), 0.0);
+        let total = CommStats::new(10, 100);
+        assert!((part.message_ratio(&total) - 0.5).abs() < 1e-12);
+        assert!((part.byte_ratio(&total) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn atomic_records_from_many_threads() {
+        let stats = Arc::new(AtomicCommStats::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let stats = Arc::clone(&stats);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        stats.record(1, 8);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(stats.snapshot(), CommStats::new(8000, 64000));
+    }
+
+    #[test]
+    fn take_resets() {
+        let stats = AtomicCommStats::new();
+        stats.record(4, 40);
+        assert_eq!(stats.take(), CommStats::new(4, 40));
+        assert_eq!(stats.snapshot(), CommStats::default());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", CommStats::default()).is_empty());
+    }
+}

@@ -1,0 +1,212 @@
+//! Deep memory-size accounting.
+//!
+//! The paper measures memory behaviour with `jstat` on the JVM (Tables 3
+//! and 7). We have no JVM; instead every runtime structure implements
+//! [`MemSize`], a recursive "bytes resident on the heap plus inline size"
+//! estimate, which gives the same quantity (bytes of graph state held by a
+//! node) without garbage-collector noise.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Deep size of a value in bytes: inline size plus owned heap allocations.
+///
+/// Implementations should count capacity (allocated), not just length, for
+/// growable containers — that matches what a memory profiler observes.
+///
+/// # Examples
+///
+/// ```
+/// use imitator_metrics::MemSize;
+///
+/// let v: Vec<u32> = Vec::with_capacity(16);
+/// // 16 slots * 4 bytes + the Vec header itself.
+/// assert_eq!(v.mem_bytes(), 16 * 4 + std::mem::size_of::<Vec<u32>>());
+/// ```
+pub trait MemSize {
+    /// Bytes owned by `self`, including `size_of::<Self>()` for the inline part.
+    fn mem_bytes(&self) -> usize;
+
+    /// Bytes owned by `self` beyond its inline representation (heap only).
+    ///
+    /// Container impls use this to avoid double-counting the inline part of
+    /// elements that are stored inline in the container's buffer.
+    fn heap_bytes(&self) -> usize {
+        self.mem_bytes() - std::mem::size_of_val(self)
+    }
+}
+
+macro_rules! impl_memsize_inline {
+    ($($t:ty),* $(,)?) => {
+        $(impl MemSize for $t {
+            fn mem_bytes(&self) -> usize {
+                std::mem::size_of::<$t>()
+            }
+            fn heap_bytes(&self) -> usize {
+                0
+            }
+        })*
+    };
+}
+
+impl_memsize_inline!(
+    u8,
+    u16,
+    u32,
+    u64,
+    u128,
+    usize,
+    i8,
+    i16,
+    i32,
+    i64,
+    i128,
+    isize,
+    f32,
+    f64,
+    bool,
+    char,
+    ()
+);
+
+impl MemSize for String {
+    fn mem_bytes(&self) -> usize {
+        std::mem::size_of::<String>() + self.capacity()
+    }
+}
+
+impl<T: MemSize> MemSize for Option<T> {
+    fn mem_bytes(&self) -> usize {
+        std::mem::size_of::<Option<T>>() + self.as_ref().map_or(0, MemSize::heap_bytes)
+    }
+}
+
+impl<T: MemSize> MemSize for Box<T> {
+    fn mem_bytes(&self) -> usize {
+        std::mem::size_of::<Box<T>>() + self.as_ref().mem_bytes()
+    }
+}
+
+impl<T: MemSize> MemSize for Vec<T> {
+    fn mem_bytes(&self) -> usize {
+        let slots = self.capacity() * std::mem::size_of::<T>();
+        let heap: usize = self.iter().map(MemSize::heap_bytes).sum();
+        std::mem::size_of::<Vec<T>>() + slots + heap
+    }
+}
+
+impl<A: MemSize, B: MemSize> MemSize for (A, B) {
+    fn mem_bytes(&self) -> usize {
+        std::mem::size_of::<(A, B)>() + self.0.heap_bytes() + self.1.heap_bytes()
+    }
+}
+
+impl<A: MemSize, B: MemSize, C: MemSize> MemSize for (A, B, C) {
+    fn mem_bytes(&self) -> usize {
+        std::mem::size_of::<(A, B, C)>()
+            + self.0.heap_bytes()
+            + self.1.heap_bytes()
+            + self.2.heap_bytes()
+    }
+}
+
+impl<K: MemSize, V: MemSize, S> MemSize for HashMap<K, V, S> {
+    fn mem_bytes(&self) -> usize {
+        // A hash table allocates ~(K, V) plus one control byte per slot; use
+        // capacity when available via len-based lower bound * 8/7 load factor.
+        let slot = std::mem::size_of::<(K, V)>() + 1;
+        let slots = (self.capacity().max(self.len())) * slot;
+        let heap: usize = self
+            .iter()
+            .map(|(k, v)| k.heap_bytes() + v.heap_bytes())
+            .sum();
+        std::mem::size_of::<Self>() + slots + heap
+    }
+}
+
+impl<T: MemSize, S> MemSize for HashSet<T, S> {
+    fn mem_bytes(&self) -> usize {
+        let slot = std::mem::size_of::<T>() + 1;
+        let slots = (self.capacity().max(self.len())) * slot;
+        let heap: usize = self.iter().map(MemSize::heap_bytes).sum();
+        std::mem::size_of::<Self>() + slots + heap
+    }
+}
+
+impl<K: MemSize, V: MemSize> MemSize for BTreeMap<K, V> {
+    fn mem_bytes(&self) -> usize {
+        let per_entry = std::mem::size_of::<(K, V)>() + 2 * std::mem::size_of::<usize>();
+        let heap: usize = self
+            .iter()
+            .map(|(k, v)| k.heap_bytes() + v.heap_bytes())
+            .sum();
+        std::mem::size_of::<Self>() + self.len() * per_entry + heap
+    }
+}
+
+impl<T: MemSize> MemSize for [T] {
+    fn mem_bytes(&self) -> usize {
+        self.iter().map(MemSize::mem_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_are_inline_sized() {
+        assert_eq!(0u64.mem_bytes(), 8);
+        assert_eq!(true.mem_bytes(), 1);
+        assert_eq!(1.5f64.heap_bytes(), 0);
+    }
+
+    #[test]
+    fn vec_counts_capacity_not_len() {
+        let mut v: Vec<u32> = Vec::with_capacity(100);
+        v.push(1);
+        assert_eq!(v.mem_bytes(), std::mem::size_of::<Vec<u32>>() + 100 * 4);
+    }
+
+    #[test]
+    fn nested_vec_counts_inner_heap() {
+        let v: Vec<Vec<u8>> = vec![Vec::with_capacity(10), Vec::with_capacity(20)];
+        let expected = std::mem::size_of::<Vec<Vec<u8>>>()
+            + 2 * std::mem::size_of::<Vec<u8>>() // outer slots
+            + 10
+            + 20; // inner heaps
+        assert_eq!(v.mem_bytes(), expected);
+    }
+
+    #[test]
+    fn string_counts_capacity() {
+        let s = String::with_capacity(64);
+        assert_eq!(s.mem_bytes(), std::mem::size_of::<String>() + 64);
+    }
+
+    #[test]
+    fn option_none_is_inline() {
+        let none: Option<Vec<u8>> = None;
+        assert_eq!(none.mem_bytes(), std::mem::size_of::<Option<Vec<u8>>>());
+    }
+
+    #[test]
+    fn option_some_adds_heap_only_once() {
+        let some: Option<Vec<u8>> = Some(Vec::with_capacity(8));
+        assert_eq!(some.mem_bytes(), std::mem::size_of::<Option<Vec<u8>>>() + 8);
+    }
+
+    #[test]
+    fn hashmap_is_at_least_entries() {
+        let mut m = HashMap::new();
+        for i in 0..10u64 {
+            m.insert(i, i);
+        }
+        assert!(m.mem_bytes() >= 10 * 16);
+    }
+
+    #[test]
+    fn tuple_counts_components() {
+        let t = (1u64, String::with_capacity(32));
+        assert_eq!(t.mem_bytes(), std::mem::size_of_val(&t) + 32);
+    }
+}

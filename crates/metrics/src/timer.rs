@@ -1,0 +1,194 @@
+//! Wall-clock phase timing.
+//!
+//! Recovery in the paper is broken into *reload*, *reconstruct* and *replay*
+//! phases (Fig. 2(c), Fig. 9); normal execution is broken into compute,
+//! communicate and barrier. [`PhaseTimes`] keeps an ordered list of named
+//! durations so harness binaries can print the same breakdowns.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// A started wall-clock timer.
+///
+/// # Examples
+///
+/// ```
+/// use imitator_metrics::Stopwatch;
+///
+/// let sw = Stopwatch::start();
+/// let d = sw.elapsed();
+/// assert!(d.as_nanos() > 0 || d.is_zero());
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    started: Instant,
+}
+
+impl Stopwatch {
+    /// Starts a new stopwatch.
+    pub fn start() -> Self {
+        Stopwatch {
+            started: Instant::now(),
+        }
+    }
+
+    /// Time elapsed since [`Stopwatch::start`].
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Restarts the stopwatch, returning the time elapsed before the restart.
+    pub fn lap(&mut self) -> Duration {
+        let now = Instant::now();
+        let d = now - self.started;
+        self.started = now;
+        d
+    }
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Self::start()
+    }
+}
+
+/// An ordered collection of named phase durations.
+///
+/// Phases keep insertion order (so reports print reload → reconstruct →
+/// replay in protocol order) and repeated records into the same phase
+/// accumulate.
+///
+/// # Examples
+///
+/// ```
+/// use imitator_metrics::PhaseTimes;
+/// use std::time::Duration;
+///
+/// let mut p = PhaseTimes::new();
+/// p.record("reload", Duration::from_millis(5));
+/// p.record("replay", Duration::from_millis(2));
+/// p.record("reload", Duration::from_millis(5));
+/// assert_eq!(p.get("reload"), Some(Duration::from_millis(10)));
+/// assert_eq!(p.total(), Duration::from_millis(12));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PhaseTimes {
+    phases: Vec<(String, Duration)>,
+}
+
+impl PhaseTimes {
+    /// Creates an empty set of phase times.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `d` to phase `name`, creating the phase if needed.
+    pub fn record(&mut self, name: &str, d: Duration) {
+        if let Some((_, t)) = self.phases.iter_mut().find(|(n, _)| n == name) {
+            *t += d;
+        } else {
+            self.phases.push((name.to_owned(), d));
+        }
+    }
+
+    /// Returns the accumulated duration of phase `name`, if recorded.
+    pub fn get(&self, name: &str) -> Option<Duration> {
+        self.phases.iter().find(|(n, _)| n == name).map(|(_, d)| *d)
+    }
+
+    /// Sum of all phases.
+    pub fn total(&self) -> Duration {
+        self.phases.iter().map(|(_, d)| *d).sum()
+    }
+
+    /// Iterates phases in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, Duration)> {
+        self.phases.iter().map(|(n, d)| (n.as_str(), *d))
+    }
+
+    /// Merges another `PhaseTimes` into this one, phase by phase.
+    pub fn merge(&mut self, other: &PhaseTimes) {
+        for (name, d) in other.iter() {
+            self.record(name, d);
+        }
+    }
+
+    /// Number of distinct phases recorded.
+    pub fn len(&self) -> usize {
+        self.phases.len()
+    }
+
+    /// Whether no phase has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.phases.is_empty()
+    }
+}
+
+impl fmt::Display for PhaseTimes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.phases.is_empty() {
+            return write!(f, "(no phases)");
+        }
+        for (i, (name, d)) in self.phases.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}={:.3}s", name, d.as_secs_f64())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_lap_restarts() {
+        let mut sw = Stopwatch::start();
+        std::thread::sleep(Duration::from_millis(2));
+        let first = sw.lap();
+        assert!(first >= Duration::from_millis(2));
+        let second = sw.elapsed();
+        assert!(second < first);
+    }
+
+    #[test]
+    fn phases_keep_insertion_order() {
+        let mut p = PhaseTimes::new();
+        p.record("b", Duration::from_secs(1));
+        p.record("a", Duration::from_secs(2));
+        let order: Vec<&str> = p.iter().map(|(n, _)| n).collect();
+        assert_eq!(order, vec!["b", "a"]);
+    }
+
+    #[test]
+    fn repeated_records_accumulate() {
+        let mut p = PhaseTimes::new();
+        p.record("x", Duration::from_secs(1));
+        p.record("x", Duration::from_secs(3));
+        assert_eq!(p.get("x"), Some(Duration::from_secs(4)));
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn merge_accumulates_by_name() {
+        let mut a = PhaseTimes::new();
+        a.record("x", Duration::from_secs(1));
+        let mut b = PhaseTimes::new();
+        b.record("x", Duration::from_secs(2));
+        b.record("y", Duration::from_secs(5));
+        a.merge(&b);
+        assert_eq!(a.get("x"), Some(Duration::from_secs(3)));
+        assert_eq!(a.get("y"), Some(Duration::from_secs(5)));
+        assert_eq!(a.total(), Duration::from_secs(8));
+    }
+
+    #[test]
+    fn display_never_empty() {
+        assert_eq!(format!("{}", PhaseTimes::new()), "(no phases)");
+        let mut p = PhaseTimes::new();
+        p.record("reload", Duration::from_millis(1500));
+        assert!(format!("{}", p).contains("reload"));
+    }
+}

@@ -1,0 +1,98 @@
+//! Property tests for the measurement substrate: online summaries agree
+//! with naive recomputation, phase timers are order- and merge-consistent,
+//! and memory sizing is monotone in content.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use imitator_metrics::{CommStats, MemSize, PhaseTimes, Summary};
+
+proptest! {
+    #[test]
+    fn summary_matches_naive_statistics(xs in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+        let s: Summary = xs.iter().copied().collect();
+        let naive_mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let naive_min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let naive_max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let naive_var = xs.iter().map(|x| (x - naive_mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        prop_assert!((s.mean() - naive_mean).abs() < 1e-6 * (1.0 + naive_mean.abs()));
+        prop_assert_eq!(s.min(), naive_min);
+        prop_assert_eq!(s.max(), naive_max);
+        prop_assert!((s.stddev() - naive_var.sqrt()).abs() < 1e-5 * (1.0 + naive_var.sqrt()));
+        prop_assert_eq!(s.count(), xs.len() as u64);
+    }
+
+    #[test]
+    fn summary_is_insensitive_to_order(mut xs in proptest::collection::vec(0f64..1e3, 2..50)) {
+        let a: Summary = xs.iter().copied().collect();
+        xs.reverse();
+        let b: Summary = xs.iter().copied().collect();
+        prop_assert!((a.mean() - b.mean()).abs() < 1e-9);
+        prop_assert_eq!(a.min(), b.min());
+        prop_assert_eq!(a.max(), b.max());
+    }
+
+    #[test]
+    fn comm_stats_add_is_commutative_and_associative(
+        (a, b, c) in (any::<(u32, u32)>(), any::<(u32, u32)>(), any::<(u32, u32)>())
+    ) {
+        let s = |p: (u32, u32)| CommStats::new(u64::from(p.0), u64::from(p.1));
+        prop_assert_eq!(s(a) + s(b), s(b) + s(a));
+        prop_assert_eq!((s(a) + s(b)) + s(c), s(a) + (s(b) + s(c)));
+    }
+
+    #[test]
+    fn phase_times_total_equals_sum_of_records(
+        records in proptest::collection::vec(("[a-d]", 0u64..10_000), 0..50)
+    ) {
+        let mut p = PhaseTimes::new();
+        let mut expected = Duration::ZERO;
+        for (name, micros) in &records {
+            let d = Duration::from_micros(*micros);
+            p.record(name, d);
+            expected += d;
+        }
+        prop_assert_eq!(p.total(), expected);
+        prop_assert!(p.len() <= 4); // names drawn from four letters
+    }
+
+    #[test]
+    fn phase_times_merge_is_total_preserving(
+        a in proptest::collection::vec(("[a-c]", 0u64..1_000), 0..20),
+        b in proptest::collection::vec(("[a-c]", 0u64..1_000), 0..20)
+    ) {
+        let build = |records: &[(String, u64)]| {
+            let mut p = PhaseTimes::new();
+            for (n, us) in records {
+                p.record(n, Duration::from_micros(*us));
+            }
+            p
+        };
+        let pa = build(&a);
+        let pb = build(&b);
+        let mut merged = pa.clone();
+        merged.merge(&pb);
+        prop_assert_eq!(merged.total(), pa.total() + pb.total());
+    }
+
+    #[test]
+    fn vec_mem_size_is_monotone_in_len(xs in proptest::collection::vec(any::<u64>(), 0..100)) {
+        let mut shorter = xs.clone();
+        shorter.truncate(xs.len() / 2);
+        shorter.shrink_to_fit();
+        let mut full = xs;
+        full.shrink_to_fit();
+        prop_assert!(full.mem_bytes() >= shorter.mem_bytes());
+    }
+
+    #[test]
+    fn nested_heap_accounting_is_additive(inner_sizes in proptest::collection::vec(0usize..64, 0..20)) {
+        let v: Vec<Vec<u8>> = inner_sizes.iter().map(|&n| vec![0u8; n]).collect();
+        let expected_inner: usize = v.iter().map(|i| i.capacity()).sum();
+        let expected = std::mem::size_of::<Vec<Vec<u8>>>()
+            + v.capacity() * std::mem::size_of::<Vec<u8>>()
+            + expected_inner;
+        prop_assert_eq!(v.mem_bytes(), expected);
+    }
+}

@@ -1,0 +1,175 @@
+//! The Fennel streaming edge-cut heuristic (§6.6, Fig. 10).
+//!
+//! Fennel (Tsourakakis et al., WSDM'14) streams vertices in arrival order and
+//! greedily places each on the part maximising
+//! `|N(v) ∩ P_i| − α·γ·|P_i|^(γ−1)`, i.e. neighbours already placed there
+//! minus a superlinear load penalty, subject to a hard balance cap. Compared
+//! to hash placement it sharply reduces the replication factor — which, as
+//! the paper shows, means *fewer* free replicas for Imitator to reuse and
+//! therefore slightly higher fault-tolerance overhead (Fig. 10(b)).
+
+use imitator_graph::{Graph, Vid};
+
+use crate::edge_cut::{EdgeCut, EdgeCutPartitioner};
+
+/// Streaming Fennel partitioner.
+///
+/// # Examples
+///
+/// ```
+/// use imitator_graph::gen;
+/// use imitator_partition::{EdgeCutPartitioner, FennelEdgeCut, HashEdgeCut};
+///
+/// let g = gen::road_like(2_500, 3);
+/// let fennel = FennelEdgeCut::default().partition(&g, 8);
+/// let hash = HashEdgeCut.partition(&g, 8);
+/// assert!(fennel.replication_factor() < hash.replication_factor());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FennelEdgeCut {
+    /// Load-penalty exponent γ (paper value 1.5).
+    pub gamma: f64,
+    /// Balance slack ν: no part may exceed `ν · |V| / p` vertices.
+    pub balance_slack: f64,
+}
+
+impl Default for FennelEdgeCut {
+    fn default() -> Self {
+        FennelEdgeCut {
+            gamma: 1.5,
+            balance_slack: 1.1,
+        }
+    }
+}
+
+impl EdgeCutPartitioner for FennelEdgeCut {
+    fn name(&self) -> &'static str {
+        "fennel"
+    }
+
+    fn partition(&self, g: &Graph, num_parts: usize) -> EdgeCut {
+        assert!(num_parts > 0, "need at least one part");
+        let n = g.num_vertices();
+        if n == 0 {
+            return EdgeCut::from_owner(g, num_parts, Vec::new());
+        }
+        let m = g.num_edges().max(1);
+        // α = sqrt(p) · |E| / |V|^{3/2} (Fennel paper, for γ = 1.5).
+        let alpha = (num_parts as f64).sqrt() * m as f64 / (n as f64).powf(1.5);
+        let cap = ((self.balance_slack * n as f64 / num_parts as f64).ceil() as usize).max(1);
+
+        // Undirected adjacency for neighbour scoring.
+        let out = g.out_csr();
+        let inn = g.in_csr();
+
+        let mut owner: Vec<i64> = vec![-1; n];
+        let mut sizes = vec![0usize; num_parts];
+        let mut neigh_count = vec![0u32; num_parts]; // scratch, reset per vertex
+
+        for i in 0..n {
+            let v = Vid::from_index(i);
+            // Count already-placed neighbours per part.
+            let mut touched: Vec<usize> = Vec::new();
+            for (u, _) in out.neighbors(v).chain(inn.neighbors(v)) {
+                let o = owner[u.index()];
+                if o >= 0 {
+                    let p = o as usize;
+                    if neigh_count[p] == 0 {
+                        touched.push(p);
+                    }
+                    neigh_count[p] += 1;
+                }
+            }
+            let mut best_part = usize::MAX;
+            let mut best_score = f64::NEG_INFINITY;
+            for p in 0..num_parts {
+                if sizes[p] >= cap {
+                    continue;
+                }
+                let score = neigh_count[p] as f64
+                    - alpha * self.gamma * (sizes[p] as f64).powf(self.gamma - 1.0);
+                if score > best_score {
+                    best_score = score;
+                    best_part = p;
+                }
+            }
+            // The cap guarantees a feasible part exists: total capacity
+            // ν·|V| > |V|.
+            assert!(
+                best_part != usize::MAX,
+                "no feasible part under balance cap"
+            );
+            owner[i] = best_part as i64;
+            sizes[best_part] += 1;
+            for p in touched {
+                neigh_count[p] = 0;
+            }
+        }
+
+        let owner: Vec<u32> = owner.into_iter().map(|o| o as u32).collect();
+        EdgeCut::from_owner(g, num_parts, owner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge_cut::HashEdgeCut;
+    use imitator_graph::gen;
+
+    #[test]
+    fn respects_balance_cap() {
+        let g = gen::power_law(3_000, 2.0, 8, 5);
+        let f = FennelEdgeCut::default();
+        let cut = f.partition(&g, 6);
+        let cap = (f.balance_slack * 3_000.0 / 6.0).ceil() as usize;
+        for s in cut.part_sizes() {
+            assert!(s <= cap, "part size {s} exceeds cap {cap}");
+        }
+    }
+
+    #[test]
+    fn beats_hash_on_community_graph() {
+        // Fig. 10(a): Fennel significantly decreases the replication factor.
+        let g = gen::community_like(4_000, 20, 9);
+        let fennel = FennelEdgeCut::default()
+            .partition(&g, 10)
+            .replication_factor();
+        let hash = HashEdgeCut.partition(&g, 10).replication_factor();
+        assert!(
+            fennel < hash * 0.8,
+            "fennel {fennel} not clearly below hash {hash}"
+        );
+    }
+
+    #[test]
+    fn beats_hash_on_road_graph() {
+        let g = gen::road_like(4_000, 2);
+        let fennel = FennelEdgeCut::default()
+            .partition(&g, 8)
+            .replication_factor();
+        let hash = HashEdgeCut.partition(&g, 8).replication_factor();
+        assert!(fennel < hash);
+    }
+
+    #[test]
+    fn covers_all_vertices() {
+        let g = gen::power_law(1_000, 2.0, 5, 3);
+        let cut = FennelEdgeCut::default().partition(&g, 4);
+        assert_eq!(cut.part_sizes().iter().sum::<usize>(), 1_000);
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let g = gen::from_pairs(1, &[]);
+        let cut = FennelEdgeCut::default().partition(&g, 3);
+        assert_eq!(cut.num_vertices(), 1);
+    }
+
+    #[test]
+    fn single_part_works() {
+        let g = gen::power_law(500, 2.0, 4, 8);
+        let cut = FennelEdgeCut::default().partition(&g, 1);
+        assert_eq!(cut.replication_factor(), 1.0);
+    }
+}

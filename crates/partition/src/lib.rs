@@ -1,0 +1,56 @@
+//! Graph partitioning for the Imitator reproduction.
+//!
+//! The paper evaluates both partitioning families (§2.1):
+//!
+//! * **p-way edge-cut** — vertices are assigned to machines; the master of a
+//!   vertex is co-located with *all* of its edges, and a vertex is replicated
+//!   onto every machine that consumes its value (Cyclops). Implemented by
+//!   [`HashEdgeCut`] (the default random placement) and [`FennelEdgeCut`]
+//!   (the streaming heuristic of §6.6).
+//! * **p-way vertex-cut** — edges are assigned to machines; a vertex is
+//!   replicated onto every machine holding one of its edges (PowerLyra).
+//!   Implemented by [`RandomVertexCut`], [`GridVertexCut`] and
+//!   [`HybridVertexCut`] (§6.10 / Fig. 14).
+//!
+//! Partitioners produce placement tables ([`EdgeCut`] / [`VertexCut`]) that
+//! record master ownership and the full replica-location sets — the raw
+//! material for the paper's replication-factor analysis (Figs. 3, 10, 14) and
+//! for the engines' local-graph construction.
+//!
+//! Parts are plain `usize` indices `0..num_parts`; the cluster crate maps
+//! them onto simulated machines.
+//!
+//! # Examples
+//!
+//! ```
+//! use imitator_graph::gen;
+//! use imitator_partition::{EdgeCutPartitioner, HashEdgeCut};
+//!
+//! let g = gen::power_law(1_000, 2.0, 8, 1);
+//! let cut = HashEdgeCut.partition(&g, 4);
+//! assert!(cut.replication_factor() >= 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod edge_cut;
+mod fennel;
+mod vertex_cut;
+
+pub use edge_cut::{EdgeCut, EdgeCutPartitioner, HashEdgeCut};
+pub use fennel::FennelEdgeCut;
+pub use vertex_cut::{
+    GridVertexCut, HybridVertexCut, RandomVertexCut, VertexCut, VertexCutPartitioner,
+};
+
+/// Deterministic 64-bit mix used by all hash-based placements.
+///
+/// (SplitMix64 finalizer — stable across runs and platforms, unlike
+/// `DefaultHasher`.)
+pub(crate) fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}

@@ -1,0 +1,123 @@
+//! Property-based invariants for all partitioners.
+//!
+//! These hold for *any* graph and part count:
+//! * every vertex (edge-cut) / edge (vertex-cut) is assigned exactly once;
+//! * replica lists are sorted, duplicate-free and never contain the master;
+//! * a replica exists exactly where the placement semantics require one;
+//! * replication factor ≥ 1 whenever the graph is non-empty.
+
+use proptest::prelude::*;
+
+use imitator_graph::{gen, Graph};
+use imitator_partition::{
+    EdgeCut, EdgeCutPartitioner, FennelEdgeCut, GridVertexCut, HashEdgeCut, HybridVertexCut,
+    RandomVertexCut, VertexCut, VertexCutPartitioner,
+};
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (
+        2usize..60,
+        proptest::collection::vec((0u32..60, 0u32..60), 0..200),
+    )
+        .prop_map(|(n, pairs)| {
+            let pairs: Vec<(u32, u32)> = pairs
+                .into_iter()
+                .map(|(a, b)| (a % n as u32, b % n as u32))
+                .collect();
+            gen::from_pairs(n, &pairs)
+        })
+}
+
+fn check_edge_cut(g: &Graph, cut: &EdgeCut, parts: usize) {
+    assert_eq!(cut.num_vertices(), g.num_vertices());
+    assert_eq!(cut.part_sizes().iter().sum::<usize>(), g.num_vertices());
+    for v in g.vertices() {
+        assert!(cut.owner(v) < parts);
+        let reps = cut.replica_parts(v);
+        assert!(
+            reps.windows(2).all(|w| w[0] < w[1]),
+            "unsorted/dup replicas"
+        );
+        assert!(!reps.contains(&(cut.owner(v) as u32)));
+    }
+    // Replica of src exists wherever a consumer (dst master) lives remotely.
+    for e in g.edges() {
+        let consumer = cut.owner(e.dst) as u32;
+        if consumer as usize != cut.owner(e.src) {
+            assert!(
+                cut.replica_parts(e.src).contains(&consumer),
+                "missing replica of {} on consumer part {}",
+                e.src,
+                consumer
+            );
+        }
+    }
+    if g.num_vertices() > 0 {
+        assert!(cut.replication_factor() >= 1.0);
+    }
+}
+
+fn check_vertex_cut(g: &Graph, cut: &VertexCut, parts: usize) {
+    assert_eq!(cut.num_vertices(), g.num_vertices());
+    assert_eq!(cut.edge_owner().len(), g.num_edges());
+    assert_eq!(cut.edge_part_sizes().iter().sum::<usize>(), g.num_edges());
+    for v in g.vertices() {
+        assert!(cut.master(v) < parts);
+        let reps = cut.replica_parts(v);
+        assert!(reps.windows(2).all(|w| w[0] < w[1]));
+        assert!(!reps.contains(&(cut.master(v) as u32)));
+    }
+    // A vertex is present wherever one of its edges lives.
+    for (e, &p) in g.edges().iter().zip(cut.edge_owner()) {
+        for v in [e.src, e.dst] {
+            let present = cut.master(v) == p as usize || cut.replica_parts(v).contains(&p);
+            assert!(present, "vertex {v} missing from edge part {p}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn hash_edge_cut_invariants((g, parts) in (arb_graph(), 1usize..9)) {
+        let cut = HashEdgeCut.partition(&g, parts);
+        check_edge_cut(&g, &cut, parts);
+    }
+
+    #[test]
+    fn fennel_edge_cut_invariants((g, parts) in (arb_graph(), 1usize..9)) {
+        let cut = FennelEdgeCut::default().partition(&g, parts);
+        check_edge_cut(&g, &cut, parts);
+    }
+
+    #[test]
+    fn random_vertex_cut_invariants((g, parts) in (arb_graph(), 1usize..9)) {
+        let cut = RandomVertexCut.partition(&g, parts);
+        check_vertex_cut(&g, &cut, parts);
+    }
+
+    #[test]
+    fn grid_vertex_cut_invariants((g, parts) in (arb_graph(), 1usize..9)) {
+        let cut = GridVertexCut.partition(&g, parts);
+        check_vertex_cut(&g, &cut, parts);
+    }
+
+    #[test]
+    fn hybrid_vertex_cut_invariants((g, parts, theta) in (arb_graph(), 1usize..9, 0usize..20)) {
+        let cut = HybridVertexCut::with_threshold(theta).partition(&g, parts);
+        check_vertex_cut(&g, &cut, parts);
+    }
+
+    #[test]
+    fn partitioning_is_deterministic((g, parts) in (arb_graph(), 1usize..9)) {
+        prop_assert_eq!(
+            HashEdgeCut.partition(&g, parts),
+            HashEdgeCut.partition(&g, parts)
+        );
+        prop_assert_eq!(
+            HybridVertexCut::default().partition(&g, parts),
+            HybridVertexCut::default().partition(&g, parts)
+        );
+    }
+}

@@ -1,0 +1,366 @@
+//! A small deterministic binary codec.
+//!
+//! Snapshot files, metadata snapshots and edge-ckpt files need a stable
+//! byte encoding that round-trips exactly and fails loudly on corruption.
+//! [`Encode`]/[`Decode`] implement little-endian, length-prefixed encoding
+//! for the primitive and container types the fault-tolerance layers store.
+//!
+//! # Examples
+//!
+//! ```
+//! use imitator_storage::codec::{decode, Decode, Encode, Reader};
+//!
+//! let mut buf = Vec::new();
+//! vec![1u32, 2, 3].encode(&mut buf);
+//! let back: Vec<u32> = decode(&buf)?;
+//! assert_eq!(back, vec![1, 2, 3]);
+//! # Ok::<(), imitator_storage::codec::DecodeError>(())
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+/// Error decoding a value from bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer ended before the value was complete.
+    UnexpectedEof {
+        /// Bytes requested past the end.
+        needed: usize,
+        /// Bytes remaining.
+        remaining: usize,
+    },
+    /// A length or discriminant field held an invalid value.
+    Corrupt(&'static str),
+    /// Decoding finished but bytes were left over (top-level [`decode`] only).
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnexpectedEof { needed, remaining } => write!(
+                f,
+                "unexpected end of buffer: needed {needed} bytes, {remaining} remaining"
+            ),
+            DecodeError::Corrupt(what) => write!(f, "corrupt field: {what}"),
+            DecodeError::TrailingBytes(n) => write!(f, "{n} trailing bytes after value"),
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+/// A cursor over an immutable byte buffer.
+#[derive(Debug, Clone)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Consumes exactly `n` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::UnexpectedEof`] if fewer than `n` remain.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::UnexpectedEof {
+                needed: n,
+                remaining: self.remaining(),
+            });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+}
+
+/// Types that can append their encoding to a byte buffer.
+pub trait Encode {
+    /// Appends the encoding of `self` to `buf`.
+    fn encode(&self, buf: &mut Vec<u8>);
+
+    /// Convenience: encodes into a fresh buffer.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.encode(&mut buf);
+        buf
+    }
+}
+
+/// Types that can be decoded from a [`Reader`].
+pub trait Decode: Sized {
+    /// Reads one value.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] on truncated or corrupt input.
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError>;
+}
+
+/// Decodes a complete buffer into one value, rejecting trailing bytes.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on truncated, corrupt, or over-long input.
+pub fn decode<T: Decode>(buf: &[u8]) -> Result<T, DecodeError> {
+    let mut r = Reader::new(buf);
+    let v = T::decode(&mut r)?;
+    if r.remaining() > 0 {
+        return Err(DecodeError::TrailingBytes(r.remaining()));
+    }
+    Ok(v)
+}
+
+macro_rules! impl_codec_int {
+    ($($t:ty),* $(,)?) => {
+        $(
+            impl Encode for $t {
+                fn encode(&self, buf: &mut Vec<u8>) {
+                    buf.extend_from_slice(&self.to_le_bytes());
+                }
+            }
+            impl Decode for $t {
+                fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+                    let bytes = r.take(std::mem::size_of::<$t>())?;
+                    Ok(<$t>::from_le_bytes(bytes.try_into().expect("sized take")))
+                }
+            }
+        )*
+    };
+}
+
+impl_codec_int!(u8, u16, u32, u64, i8, i16, i32, i64, f32, f64);
+
+impl Encode for usize {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        (*self as u64).encode(buf);
+    }
+}
+
+impl Decode for usize {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let v = u64::decode(r)?;
+        usize::try_from(v).map_err(|_| DecodeError::Corrupt("usize overflow"))
+    }
+}
+
+impl Encode for bool {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.push(u8::from(*self));
+    }
+}
+
+impl Decode for bool {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match u8::decode(r)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(DecodeError::Corrupt("bool discriminant")),
+        }
+    }
+}
+
+impl<T: Encode> Encode for Vec<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        (self.len() as u64).encode(buf);
+        for item in self {
+            item.encode(buf);
+        }
+    }
+}
+
+impl<T: Decode> Decode for Vec<T> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let len = u64::decode(r)? as usize;
+        // Sanity bound: an element takes at least one byte, so a length
+        // larger than the remaining buffer is corruption, not allocation fuel.
+        if len > r.remaining().saturating_mul(8).max(1024) {
+            return Err(DecodeError::Corrupt("vec length"));
+        }
+        let mut out = Vec::with_capacity(len.min(1 << 20));
+        for _ in 0..len {
+            out.push(T::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Encode> Encode for Option<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            None => buf.push(0),
+            Some(v) => {
+                buf.push(1);
+                v.encode(buf);
+            }
+        }
+    }
+}
+
+impl<T: Decode> Decode for Option<T> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match u8::decode(r)? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            _ => Err(DecodeError::Corrupt("option discriminant")),
+        }
+    }
+}
+
+impl Encode for String {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        (self.len() as u64).encode(buf);
+        buf.extend_from_slice(self.as_bytes());
+    }
+}
+
+impl Decode for String {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let len = u64::decode(r)? as usize;
+        let bytes = r.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::Corrupt("utf-8 string"))
+    }
+}
+
+impl<A: Encode, B: Encode> Encode for (A, B) {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+    }
+}
+
+impl<A: Decode, B: Decode> Decode for (A, B) {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+}
+
+impl<A: Encode, B: Encode, C: Encode> Encode for (A, B, C) {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+        self.2.encode(buf);
+    }
+}
+
+impl<A: Decode, B: Decode, C: Decode> Decode for (A, B, C) {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok((A::decode(r)?, B::decode(r)?, C::decode(r)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Encode + Decode + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = v.to_bytes();
+        let back: T = decode(&bytes).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(0u8);
+        roundtrip(u16::MAX);
+        roundtrip(123_456_789u32);
+        roundtrip(u64::MAX);
+        roundtrip(-42i32);
+        roundtrip(i64::MIN);
+        roundtrip(3.25f32);
+        roundtrip(-1e300f64);
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip(usize::MAX);
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        roundtrip(vec![1u32, 2, 3]);
+        roundtrip(Vec::<u64>::new());
+        roundtrip(Some(7u8));
+        roundtrip(Option::<u8>::None);
+        roundtrip("héllo".to_owned());
+        roundtrip((1u32, 2.5f64));
+        roundtrip((1u8, vec![2u16], "x".to_owned()));
+        roundtrip(vec![Some((1u32, false)), None]);
+    }
+
+    #[test]
+    fn truncated_input_is_eof() {
+        let bytes = 12345u64.to_bytes();
+        let err = decode::<u64>(&bytes[..4]).unwrap_err();
+        assert!(matches!(err, DecodeError::UnexpectedEof { .. }));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = 7u32.to_bytes();
+        bytes.push(0);
+        assert_eq!(decode::<u32>(&bytes), Err(DecodeError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn bad_bool_rejected() {
+        assert_eq!(
+            decode::<bool>(&[2]),
+            Err(DecodeError::Corrupt("bool discriminant"))
+        );
+    }
+
+    #[test]
+    fn bad_option_rejected() {
+        assert!(matches!(
+            decode::<Option<u8>>(&[9, 0]),
+            Err(DecodeError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn absurd_vec_length_rejected() {
+        let mut bytes = Vec::new();
+        (u64::MAX).encode(&mut bytes);
+        assert!(matches!(
+            decode::<Vec<u8>>(&bytes),
+            Err(DecodeError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        let mut bytes = Vec::new();
+        2u64.encode(&mut bytes);
+        bytes.extend_from_slice(&[0xFF, 0xFE]);
+        assert_eq!(
+            decode::<String>(&bytes),
+            Err(DecodeError::Corrupt("utf-8 string"))
+        );
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        for e in [
+            DecodeError::UnexpectedEof {
+                needed: 4,
+                remaining: 1,
+            },
+            DecodeError::Corrupt("x"),
+            DecodeError::TrailingBytes(3),
+        ] {
+            assert!(!format!("{e}").is_empty());
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Property tests: the binary codec round-trips arbitrary nested values and
+//! rejects corruption; the DFS behaves like a shared store under
+//! concurrent use.
+
+use proptest::prelude::*;
+
+use imitator_storage::codec::{decode, Decode, DecodeError, Encode};
+use imitator_storage::{Dfs, DfsConfig};
+
+fn roundtrip<T: Encode + Decode + PartialEq + std::fmt::Debug>(v: &T) -> Result<(), TestCaseError> {
+    let bytes = v.to_bytes();
+    let back: T = decode(&bytes).map_err(|e| TestCaseError::fail(format!("{e}")))?;
+    prop_assert_eq!(&back, v);
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn ints_roundtrip(a in any::<u64>(), b in any::<i32>(), c in any::<u16>()) {
+        roundtrip(&a)?;
+        roundtrip(&b)?;
+        roundtrip(&c)?;
+        roundtrip(&(a, b, c))?;
+    }
+
+    #[test]
+    fn floats_roundtrip_bitwise(x in any::<f64>(), y in any::<f32>()) {
+        // NaNs break PartialEq; compare bit patterns instead.
+        let back: f64 = decode(&x.to_bytes()).unwrap();
+        prop_assert_eq!(back.to_bits(), x.to_bits());
+        let back: f32 = decode(&y.to_bytes()).unwrap();
+        prop_assert_eq!(back.to_bits(), y.to_bits());
+    }
+
+    #[test]
+    fn nested_containers_roundtrip(
+        v in proptest::collection::vec(
+            (any::<u32>(), proptest::option::of(any::<bool>()), ".*"),
+            0..50
+        )
+    ) {
+        roundtrip(&v)?;
+    }
+
+    #[test]
+    fn truncation_never_panics_and_always_errors(
+        v in proptest::collection::vec(any::<u64>(), 1..50),
+        cut_frac in 0.0f64..1.0
+    ) {
+        let bytes = v.to_bytes();
+        let cut = ((bytes.len() - 1) as f64 * cut_frac) as usize;
+        let result = decode::<Vec<u64>>(&bytes[..cut]);
+        prop_assert!(result.is_err(), "truncated decode must fail");
+    }
+
+    #[test]
+    fn random_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        // Any of these may error; none may panic.
+        let _ = decode::<Vec<(u32, f32)>>(&bytes);
+        let _ = decode::<String>(&bytes);
+        let _ = decode::<Vec<Option<u64>>>(&bytes);
+    }
+
+    #[test]
+    fn dfs_stores_what_was_written(
+        files in proptest::collection::hash_map("[a-z]{1,8}", proptest::collection::vec(any::<u8>(), 0..100), 0..20)
+    ) {
+        let dfs = Dfs::new(DfsConfig::instant());
+        for (k, v) in &files {
+            dfs.write(k, v.clone());
+        }
+        for (k, v) in &files {
+            let content = dfs.read(k).unwrap();
+            prop_assert_eq!(content.as_ref(), v);
+        }
+        prop_assert_eq!(dfs.list("").len(), files.len());
+        prop_assert_eq!(dfs.used_bytes(), files.values().map(Vec::len).sum::<usize>());
+    }
+}
+
+#[test]
+fn concurrent_writers_to_distinct_paths() {
+    let dfs = Dfs::new(DfsConfig::instant());
+    let handles: Vec<_> = (0..8)
+        .map(|t| {
+            let dfs = dfs.clone();
+            std::thread::spawn(move || {
+                for i in 0..50 {
+                    dfs.write(&format!("t{t}/f{i}"), vec![t as u8; i]);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(dfs.list("").len(), 400);
+    for t in 0..8 {
+        assert_eq!(dfs.list(&format!("t{t}/")).len(), 50);
+    }
+}
+
+#[test]
+fn decode_error_classification() {
+    // Wrong discriminants are Corrupt, short buffers are UnexpectedEof.
+    assert!(matches!(decode::<bool>(&[7]), Err(DecodeError::Corrupt(_))));
+    assert!(matches!(
+        decode::<u32>(&[1, 2]),
+        Err(DecodeError::UnexpectedEof { .. })
+    ));
+}

@@ -1,0 +1,28 @@
+//! Facade crate for the Imitator reproduction workspace.
+//!
+//! Re-exports every sub-crate under one roof so downstream users (and the
+//! repository's own examples and integration tests) can depend on a single
+//! crate:
+//!
+//! * [`ft`] — the Imitator fault-tolerance layer and distributed runners;
+//! * [`graph`] — graphs, generators, dataset stand-ins;
+//! * [`partition`] — edge-cut and vertex-cut partitioners;
+//! * [`engine`] — the vertex-program model and local-graph runtimes;
+//! * [`cluster`] — the simulated cluster (nodes, barriers, failures);
+//! * [`storage`] — the simulated DFS and binary codec;
+//! * [`algos`] — PageRank, SSSP, community detection, ALS;
+//! * [`metrics`] — counters, timers, memory accounting.
+//!
+//! See `examples/quickstart.rs` for an end-to-end tour.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use imitator as ft;
+pub use imitator_algos as algos;
+pub use imitator_cluster as cluster;
+pub use imitator_engine as engine;
+pub use imitator_graph as graph;
+pub use imitator_metrics as metrics;
+pub use imitator_partition as partition;
+pub use imitator_storage as storage;

@@ -1,0 +1,147 @@
+//! Every dataset stand-in runs its Table-1 workload end-to-end on both
+//! engines, with replication fault tolerance on and a failure injected —
+//! the full paper pipeline at miniature scale.
+
+use std::sync::Arc;
+
+use imitator_repro::algos::{Als, CommunityDetection, PageRank, Sssp};
+use imitator_repro::cluster::{FailPoint, FailurePlan, NodeId};
+use imitator_repro::ft::{run_edge_cut, run_vertex_cut, FtMode, RecoveryStrategy, RunConfig};
+use imitator_repro::graph::gen::Dataset;
+use imitator_repro::graph::{Graph, Vid};
+use imitator_repro::partition::{
+    EdgeCutPartitioner, HashEdgeCut, HybridVertexCut, VertexCutPartitioner,
+};
+use imitator_repro::storage::{Dfs, DfsConfig};
+
+const NODES: usize = 4;
+
+fn cfg(max_iters: u64) -> RunConfig {
+    RunConfig {
+        num_nodes: NODES,
+        max_iters,
+        ft: FtMode::Replication {
+            tolerance: 1,
+            selfish_opt: true,
+            recovery: RecoveryStrategy::Migration,
+        },
+        ..RunConfig::default()
+    }
+}
+
+fn one_failure() -> Vec<FailurePlan> {
+    vec![FailurePlan {
+        node: NodeId::new(1),
+        iteration: 2,
+        point: FailPoint::BeforeBarrier,
+    }]
+}
+
+fn graph_for(d: Dataset) -> Graph {
+    d.generate(0.002, 7)
+}
+
+#[test]
+fn pagerank_datasets_run_on_both_engines() {
+    for d in [Dataset::GWeb, Dataset::LJournal, Dataset::Wiki] {
+        let g = graph_for(d);
+        let prog = Arc::new(PageRank::new(0.85, 0.0));
+        let ecut = HashEdgeCut.partition(&g, NODES);
+        let r = run_edge_cut(
+            &g,
+            &ecut,
+            Arc::clone(&prog),
+            cfg(10),
+            one_failure(),
+            Dfs::new(DfsConfig::instant()),
+        );
+        assert_eq!(r.iterations, 10, "{d} edge-cut");
+        assert!(r.values.iter().all(|v| v.rank.is_finite()));
+
+        let vcut = HybridVertexCut::with_threshold(30).partition(&g, NODES);
+        let r = run_vertex_cut(
+            &g,
+            &vcut,
+            prog.clone(),
+            cfg(10),
+            one_failure(),
+            Dfs::new(DfsConfig::instant()),
+        );
+        assert_eq!(r.iterations, 10, "{d} vertex-cut");
+    }
+}
+
+#[test]
+fn uk_and_twitter_standins_run_vertex_cut() {
+    for d in [Dataset::Uk2005, Dataset::Twitter] {
+        let g = d.generate(0.0002, 7);
+        let cut = HybridVertexCut::with_threshold(30).partition(&g, NODES);
+        let r = run_vertex_cut(
+            &g,
+            &cut,
+            Arc::new(PageRank::new(0.85, 0.0)),
+            cfg(8),
+            one_failure(),
+            Dfs::new(DfsConfig::instant()),
+        );
+        assert_eq!(r.iterations, 8, "{d}");
+        assert_eq!(r.recoveries.len(), 1);
+    }
+}
+
+#[test]
+fn syn_gl_runs_als() {
+    let g = graph_for(Dataset::SynGl);
+    let users = g.num_vertices() * 10 / 11;
+    let cut = HashEdgeCut.partition(&g, NODES);
+    let r = run_edge_cut(
+        &g,
+        &cut,
+        Arc::new(Als::for_bipartite(4, 0.1, 1e-4, users)),
+        cfg(8),
+        one_failure(),
+        Dfs::new(DfsConfig::instant()),
+    );
+    assert!(r.iterations > 0);
+    assert!(r.values.iter().all(|v| v.0.iter().all(|x| x.is_finite())));
+}
+
+#[test]
+fn dblp_runs_community_detection() {
+    let g = graph_for(Dataset::Dblp);
+    let cut = HashEdgeCut.partition(&g, NODES);
+    let r = run_edge_cut(
+        &g,
+        &cut,
+        Arc::new(CommunityDetection),
+        cfg(30),
+        one_failure(),
+        Dfs::new(DfsConfig::instant()),
+    );
+    // Communities form: far fewer labels than vertices.
+    let mut labels = r.values.clone();
+    labels.sort_unstable();
+    labels.dedup();
+    assert!(
+        labels.len() * 2 < r.values.len(),
+        "{} labels over {} vertices — no communities formed",
+        labels.len(),
+        r.values.len()
+    );
+}
+
+#[test]
+fn roadca_runs_sssp() {
+    let g = graph_for(Dataset::RoadCa);
+    let cut = HashEdgeCut.partition(&g, NODES);
+    let r = run_edge_cut(
+        &g,
+        &cut,
+        Arc::new(Sssp::from_source(Vid::new(0))),
+        cfg(5_000),
+        one_failure(),
+        Dfs::new(DfsConfig::instant()),
+    );
+    let reference = imitator_repro::algos::sssp_reference(&g, Vid::new(0));
+    assert_eq!(r.values, reference);
+}

@@ -1,0 +1,238 @@
+//! Cross-crate invariants of the fault-tolerance machinery: FT-plan
+//! guarantees over arbitrary graphs and partitionings, and run-report
+//! accounting consistency.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use imitator_repro::engine::{Degrees, VertexProgram};
+use imitator_repro::ft::plan::compute_ft_plan;
+use imitator_repro::ft::{run_edge_cut, FtMode, RecoveryStrategy, RunConfig};
+use imitator_repro::graph::{gen, Graph, Vid};
+use imitator_repro::partition::{
+    EdgeCutPartitioner, HashEdgeCut, HybridVertexCut, RandomVertexCut, VertexCutPartitioner,
+};
+use imitator_repro::storage::{Dfs, DfsConfig};
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (
+        5usize..80,
+        proptest::collection::vec((any::<u32>(), any::<u32>()), 0..250),
+    )
+        .prop_map(|(n, pairs)| {
+            let pairs: Vec<(u32, u32)> = pairs
+                .into_iter()
+                .map(|(a, b)| (a % n as u32, b % n as u32))
+                .collect();
+            gen::from_pairs(n, &pairs)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// §4's contract: K distinct mirrors per vertex, never on the owner,
+    /// each backed by a copy (existing replica or planned extra).
+    #[test]
+    fn ft_plan_guarantees_k_mirrors(
+        (g, parts, k) in (arb_graph(), 2usize..7, 1usize..3)
+    ) {
+        prop_assume!(k < parts);
+        let cut = HashEdgeCut.partition(&g, parts);
+        let plan = compute_ft_plan(&g, &cut, k, true, true, 11);
+        for v in g.vertices() {
+            let mirrors = plan.mirrors(v);
+            prop_assert_eq!(mirrors.len(), k, "vertex {} mirror count", v);
+            let distinct: HashSet<_> = mirrors.iter().collect();
+            prop_assert_eq!(distinct.len(), k, "vertex {} duplicate mirrors", v);
+            for m in mirrors {
+                prop_assert_ne!(m.index(), cut.owner(v));
+                let has_copy = cut.replica_parts(v).contains(&(m.raw()))
+                    || plan.extra_replicas[v.index()].contains(m);
+                prop_assert!(has_copy, "mirror of {} on {} has no copy", v, m);
+            }
+        }
+    }
+
+    /// Same contract over vertex-cut placements (random and hybrid).
+    #[test]
+    fn ft_plan_guarantees_hold_on_vertex_cut(
+        (g, parts, theta) in (arb_graph(), 2usize..7, 0usize..20)
+    ) {
+        for cut in [
+            RandomVertexCut.partition(&g, parts),
+            HybridVertexCut::with_threshold(theta).partition(&g, parts),
+        ] {
+            let plan = compute_ft_plan(&g, &cut, 1, false, false, 3);
+            for v in g.vertices() {
+                let mirrors = plan.mirrors(v);
+                prop_assert_eq!(mirrors.len(), 1);
+                prop_assert_ne!(mirrors[0].index(), cut.master(v));
+            }
+        }
+    }
+}
+
+/// Dense always-true program used for accounting checks.
+struct CountUp;
+
+impl VertexProgram for CountUp {
+    type Value = u64;
+    type Accum = u64;
+
+    fn init(&self, _v: Vid, _d: &Degrees) -> u64 {
+        1
+    }
+
+    fn gather(&self, _w: f32, s: &u64) -> u64 {
+        *s
+    }
+
+    fn combine(&self, a: u64, b: u64) -> u64 {
+        a.saturating_add(b)
+    }
+
+    fn apply(&self, _v: Vid, old: &u64, acc: Option<u64>, _d: &Degrees) -> u64 {
+        match acc {
+            Some(a) => (1 + a).min(1 << 40),
+            None => *old,
+        }
+    }
+
+    fn scatter(&self, _v: Vid, old: &u64, new: &u64) -> bool {
+        old != new
+    }
+}
+
+#[test]
+fn report_accounting_is_consistent() {
+    let g = gen::power_law(1_000, 2.0, 6, 5);
+    let cut = HashEdgeCut.partition(&g, 4);
+    let r = run_edge_cut(
+        &g,
+        &cut,
+        Arc::new(CountUp),
+        RunConfig {
+            num_nodes: 4,
+            max_iters: 8,
+            ft: FtMode::Replication {
+                tolerance: 1,
+                selfish_opt: false,
+                recovery: RecoveryStrategy::Migration,
+            },
+            ..RunConfig::default()
+        },
+        vec![],
+        Dfs::new(DfsConfig::instant()),
+    );
+    // FT traffic is a subset of total traffic.
+    assert!(r.ft_comm.messages <= r.comm.messages);
+    assert!(r.ft_comm.bytes <= r.comm.bytes);
+    // Timeline is monotone in both coordinates and one entry per iteration.
+    assert_eq!(r.timeline.len() as u64, r.iterations);
+    for w in r.timeline.windows(2) {
+        assert!(w[0].0 < w[1].0);
+        assert!(w[0].1 <= w[1].1);
+    }
+    // Memory accounting covers every node.
+    assert_eq!(r.mem_bytes.len(), 4);
+    assert!(r.mem_bytes.iter().all(|&b| b > 0));
+    // The phase breakdown names the protocol's phases.
+    for phase in ["compute", "send", "barrier", "commit"] {
+        assert!(
+            r.phases.get(phase).is_some(),
+            "missing phase {phase} in {:?}",
+            r.phases
+        );
+    }
+}
+
+#[test]
+fn replication_memory_grows_with_tolerance() {
+    let g = gen::power_law(2_000, 2.0, 6, 9);
+    let cut = HashEdgeCut.partition(&g, 5);
+    let mut previous = 0usize;
+    for k in 1usize..=3 {
+        let r = run_edge_cut(
+            &g,
+            &cut,
+            Arc::new(CountUp),
+            RunConfig {
+                num_nodes: 5,
+                max_iters: 1,
+                ft: FtMode::Replication {
+                    tolerance: k,
+                    selfish_opt: false,
+                    recovery: RecoveryStrategy::Migration,
+                },
+                ..RunConfig::default()
+            },
+            vec![],
+            Dfs::new(DfsConfig::instant()),
+        );
+        let total: usize = r.mem_bytes.iter().sum();
+        assert!(
+            total > previous,
+            "memory should grow with tolerance: K={k} gave {total} <= {previous}"
+        );
+        previous = total;
+    }
+}
+
+#[test]
+fn dfs_sees_checkpoints_and_edge_ckpt_files() {
+    let g = gen::power_law(500, 2.0, 5, 13);
+    let dfs = Dfs::new(DfsConfig::instant());
+    let cut = HashEdgeCut.partition(&g, 3);
+    run_edge_cut(
+        &g,
+        &cut,
+        Arc::new(CountUp),
+        RunConfig {
+            num_nodes: 3,
+            max_iters: 6,
+            ft: FtMode::Checkpoint {
+                interval: 2,
+                incremental: false,
+            },
+            ..RunConfig::default()
+        },
+        vec![],
+        dfs.clone(),
+    );
+    assert_eq!(
+        dfs.list("ec/meta/").len(),
+        3,
+        "one metadata snapshot per node"
+    );
+    assert!(
+        dfs.list("ec/ckpt/").len() >= 9,
+        "three checkpoints x three nodes"
+    );
+
+    let vdfs = Dfs::new(DfsConfig::instant());
+    let vcut = RandomVertexCut.partition(&g, 3);
+    imitator_repro::ft::run_vertex_cut(
+        &g,
+        &vcut,
+        Arc::new(CountUp),
+        RunConfig {
+            num_nodes: 3,
+            max_iters: 4,
+            ft: FtMode::Replication {
+                tolerance: 1,
+                selfish_opt: false,
+                recovery: RecoveryStrategy::Migration,
+            },
+            ..RunConfig::default()
+        },
+        vec![],
+        vdfs.clone(),
+    );
+    assert!(
+        !vdfs.list("vc/eckpt/").is_empty(),
+        "edge-ckpt files written at load"
+    );
+}

@@ -1,0 +1,244 @@
+//! The reproduction's central property, tested over *random* graphs,
+//! cluster sizes, failure schedules and recovery strategies:
+//!
+//! > A run that loses machines and recovers produces exactly the results of
+//! > a run that never failed.
+//!
+//! This is the paper's implicit correctness contract for Imitator (§5): the
+//! replicas plus the replayed activation state reconstruct the crashed
+//! machines' state precisely.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use imitator_repro::cluster::{FailPoint, FailurePlan, NodeId};
+use imitator_repro::engine::{Degrees, VertexProgram};
+use imitator_repro::ft::{run_edge_cut, run_vertex_cut, FtMode, RecoveryStrategy, RunConfig};
+use imitator_repro::graph::{gen, Graph, Vid};
+use imitator_repro::partition::{
+    EdgeCutPartitioner, HashEdgeCut, RandomVertexCut, VertexCutPartitioner,
+};
+use imitator_repro::storage::{Dfs, DfsConfig};
+
+/// Min-label propagation: integer-exact, activation-driven.
+struct MinLabel;
+
+impl VertexProgram for MinLabel {
+    type Value = u32;
+    type Accum = u32;
+
+    fn init(&self, vid: Vid, _d: &Degrees) -> u32 {
+        vid.raw()
+    }
+
+    fn gather(&self, _w: f32, src: &u32) -> u32 {
+        *src
+    }
+
+    fn combine(&self, a: u32, b: u32) -> u32 {
+        a.min(b)
+    }
+
+    fn apply(&self, _v: Vid, old: &u32, acc: Option<u32>, _d: &Degrees) -> u32 {
+        acc.map_or(*old, |a| a.min(*old))
+    }
+
+    fn scatter(&self, _v: Vid, old: &u32, new: &u32) -> bool {
+        new < old
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    graph: Graph,
+    nodes: usize,
+    strategy: RecoveryStrategy,
+    tolerance: usize,
+    // (victim, iteration, before_barrier) — victims distinct, within range.
+    failures: Vec<(usize, u64, bool)>,
+}
+
+fn arb_scenario() -> impl Strategy<Value = Scenario> {
+    (
+        3usize..5,    // nodes
+        30usize..200, // vertices
+        proptest::collection::vec((any::<u32>(), any::<u32>()), 20..300),
+        prop_oneof![
+            Just(RecoveryStrategy::Rebirth),
+            Just(RecoveryStrategy::Migration)
+        ],
+        1usize..3, // tolerance K
+        proptest::collection::vec((0usize..5, 0u64..6, any::<bool>()), 1..3),
+    )
+        .prop_map(|(nodes, n, pairs, strategy, tolerance, raw_failures)| {
+            let pairs: Vec<(u32, u32)> = pairs
+                .into_iter()
+                .map(|(a, b)| (a % n as u32, b % n as u32))
+                .collect();
+            let graph = gen::from_pairs(n, &pairs);
+            // Distinct victims, at most `tolerance` per iteration, never the
+            // whole cluster at once.
+            let mut failures: Vec<(usize, u64, bool)> = Vec::new();
+            for (v, iter, before) in raw_failures {
+                let victim = v % nodes;
+                if failures.iter().all(|&(w, _, _)| w != victim)
+                    && failures.len() < tolerance
+                    && failures.len() + 1 < nodes
+                {
+                    failures.push((victim, iter, before));
+                }
+            }
+            Scenario {
+                graph,
+                nodes,
+                strategy,
+                tolerance: tolerance.min(nodes - 1),
+                failures,
+            }
+        })
+        .prop_filter("need at least one failure", |s| !s.failures.is_empty())
+}
+
+fn plans(s: &Scenario) -> Vec<FailurePlan> {
+    s.failures
+        .iter()
+        .map(|&(node, iteration, before)| FailurePlan {
+            node: NodeId::from_index(node),
+            iteration,
+            point: if before {
+                FailPoint::BeforeBarrier
+            } else {
+                FailPoint::AfterBarrier
+            },
+        })
+        .collect()
+}
+
+fn config(s: &Scenario, ft: FtMode, standbys: usize) -> RunConfig {
+    RunConfig {
+        num_nodes: s.nodes,
+        max_iters: 30,
+        ft,
+        standbys,
+        ..RunConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn edge_cut_recovery_is_equivalent(s in arb_scenario()) {
+        let cut = HashEdgeCut.partition(&s.graph, s.nodes);
+        let clean = run_edge_cut(
+            &s.graph,
+            &cut,
+            Arc::new(MinLabel),
+            config(&s, FtMode::None, 0),
+            vec![],
+            Dfs::new(DfsConfig::instant()),
+        );
+        let ft = FtMode::Replication {
+            tolerance: s.tolerance,
+            selfish_opt: false,
+            recovery: s.strategy,
+        };
+        let standbys = match s.strategy {
+            RecoveryStrategy::Rebirth => s.failures.len(),
+            RecoveryStrategy::Migration => 0,
+        };
+        let recovered = run_edge_cut(
+            &s.graph,
+            &cut,
+            Arc::new(MinLabel),
+            config(&s, ft, standbys),
+            plans(&s),
+            Dfs::new(DfsConfig::instant()),
+        );
+        prop_assert_eq!(recovered.values, clean.values);
+    }
+
+    #[test]
+    fn vertex_cut_recovery_is_equivalent(s in arb_scenario()) {
+        let cut = RandomVertexCut.partition(&s.graph, s.nodes);
+        let clean = run_vertex_cut(
+            &s.graph,
+            &cut,
+            Arc::new(MinLabel),
+            config(&s, FtMode::None, 0),
+            vec![],
+            Dfs::new(DfsConfig::instant()),
+        );
+        let ft = FtMode::Replication {
+            tolerance: s.tolerance,
+            selfish_opt: false,
+            recovery: s.strategy,
+        };
+        let standbys = match s.strategy {
+            RecoveryStrategy::Rebirth => s.failures.len(),
+            RecoveryStrategy::Migration => 0,
+        };
+        let recovered = run_vertex_cut(
+            &s.graph,
+            &cut,
+            Arc::new(MinLabel),
+            config(&s, ft, standbys),
+            plans(&s),
+            Dfs::new(DfsConfig::instant()),
+        );
+        prop_assert_eq!(recovered.values, clean.values);
+    }
+
+    #[test]
+    fn vertex_cut_checkpoint_recovery_is_equivalent(
+        (s, incremental) in (arb_scenario(), any::<bool>())
+    ) {
+        let cut = RandomVertexCut.partition(&s.graph, s.nodes);
+        let clean = run_vertex_cut(
+            &s.graph,
+            &cut,
+            Arc::new(MinLabel),
+            config(&s, FtMode::None, 0),
+            vec![],
+            Dfs::new(DfsConfig::instant()),
+        );
+        let recovered = run_vertex_cut(
+            &s.graph,
+            &cut,
+            Arc::new(MinLabel),
+            config(
+                &s,
+                FtMode::Checkpoint { interval: 2, incremental },
+                s.failures.len(),
+            ),
+            plans(&s),
+            Dfs::new(DfsConfig::instant()),
+        );
+        prop_assert_eq!(recovered.values, clean.values);
+    }
+
+    #[test]
+    fn checkpoint_recovery_is_equivalent((s, incremental) in (arb_scenario(), any::<bool>())) {
+        // Checkpointing tolerates any number of sequential failures; both
+        // full and incremental (§2.3) snapshots must recover exactly.
+        let cut = HashEdgeCut.partition(&s.graph, s.nodes);
+        let clean = run_edge_cut(
+            &s.graph,
+            &cut,
+            Arc::new(MinLabel),
+            config(&s, FtMode::None, 0),
+            vec![],
+            Dfs::new(DfsConfig::instant()),
+        );
+        let recovered = run_edge_cut(
+            &s.graph,
+            &cut,
+            Arc::new(MinLabel),
+            config(&s, FtMode::Checkpoint { interval: 2, incremental }, s.failures.len()),
+            plans(&s),
+            Dfs::new(DfsConfig::instant()),
+        );
+        prop_assert_eq!(recovered.values, clean.values);
+    }
+}
