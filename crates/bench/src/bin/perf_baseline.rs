@@ -1,0 +1,151 @@
+//! Performance baseline: times the engine's compute kernels (serial scan,
+//! sparse frontier, scoped-thread pool, dst-grouped gather) and one
+//! end-to-end PageRank run per engine, then writes the numbers to
+//! `BENCH_engine.json` for regression tracking.
+//!
+//! ```sh
+//! cargo run --release -p imitator-bench --bin perf_baseline
+//! ```
+//!
+//! Honours `IMITATOR_SCALE` / `IMITATOR_NODES` / `IMITATOR_SEED` /
+//! `IMITATOR_REPEAT` like every other harness binary. Kernel timings keep
+//! the best of `reps()` passes; the JSON is a flat name → seconds map so a
+//! later run can be diffed field by field.
+
+use std::time::Instant;
+
+use imitator::{FtMode, RunConfig};
+use imitator_algos::PageRank;
+use imitator_bench::{banner, best_of, ramfs, reps, run_ec, run_vc, BenchOpts, Workload};
+use imitator_engine::{
+    build_edge_cut_graphs, build_vertex_cut_graphs, ec_compute, ec_compute_par, ec_compute_scan,
+    vc_partial_gather, vc_partial_gather_par, Degrees, FtPlan, VcGatherIndex,
+};
+use imitator_graph::gen;
+use imitator_partition::{EdgeCutPartitioner, HashEdgeCut, RandomVertexCut, VertexCutPartitioner};
+
+/// Best-of-`n` wall time of `f`, in seconds.
+fn time_best<F: FnMut()>(n: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..n.max(1) {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let opts = BenchOpts::from_env();
+    banner(
+        "perf_baseline",
+        "engine kernel + end-to-end baseline",
+        &opts,
+    );
+    let n = reps().max(5);
+    let mut results: Vec<(String, f64)> = Vec::new();
+    let mut record = |name: &str, secs: f64| {
+        println!("  {name:<40} {:>10.3} ms", secs * 1e3);
+        results.push((name.to_string(), secs));
+    };
+
+    let verts = ((20_000.0 * opts.scale) as usize).max(1_000);
+    let g = gen::power_law(verts, 2.0, 10, opts.seed);
+    let degrees = Degrees::of(&g);
+    let plan = FtPlan::none(g.num_vertices());
+    let pr = PageRank::new(0.85, 0.0);
+
+    // Edge-cut kernels: one node's slice of a dense superstep.
+    let cut = HashEdgeCut.partition(&g, opts.nodes);
+    let lgs = build_edge_cut_graphs(&g, &cut, &plan, &pr, &degrees);
+    record(
+        "ec_compute_scan",
+        time_best(n, || {
+            ec_compute_scan(&lgs[0], &pr, &degrees, 0);
+        }),
+    );
+    record(
+        "ec_compute_frontier",
+        time_best(n, || {
+            ec_compute(&lgs[0], &pr, &degrees, 0);
+        }),
+    );
+    for threads in [1usize, 2, 4] {
+        record(
+            &format!("ec_compute_par_t{threads}"),
+            time_best(n, || {
+                ec_compute_par(&lgs[0], &pr, &degrees, 0, threads);
+            }),
+        );
+    }
+
+    // Vertex-cut kernels.
+    let vcut = RandomVertexCut.partition(&g, opts.nodes);
+    let vlgs = build_vertex_cut_graphs(&g, &vcut, &plan, &pr, &degrees);
+    record(
+        "vc_gather_edge_order",
+        time_best(n, || {
+            vc_partial_gather(&vlgs[0], &pr);
+        }),
+    );
+    let index = VcGatherIndex::build(&vlgs[0]);
+    record(
+        "vc_gather_index_build",
+        time_best(n, || {
+            VcGatherIndex::build(&vlgs[0]);
+        }),
+    );
+    let mut partials = Vec::new();
+    for threads in [1usize, 2, 4] {
+        record(
+            &format!("vc_gather_grouped_t{threads}"),
+            time_best(n, || {
+                vc_partial_gather_par(&vlgs[0], &pr, &index, threads, &mut partials);
+            }),
+        );
+    }
+
+    // End-to-end PageRank per engine, serial vs default thread pool.
+    let cfg = |threads| RunConfig {
+        num_nodes: opts.nodes,
+        max_iters: 20,
+        ft: FtMode::None,
+        threads_per_node: threads,
+        ..RunConfig::default()
+    };
+    for threads in [1usize, 4] {
+        let s = best_of(reps(), || {
+            run_ec(Workload::PageRank, &g, &cut, cfg(threads), vec![], ramfs())
+        });
+        record(
+            &format!("ec_pagerank_e2e_t{threads}"),
+            s.elapsed.as_secs_f64(),
+        );
+        let s = best_of(reps(), || {
+            run_vc(Workload::PageRank, &g, &vcut, cfg(threads), vec![], ramfs())
+        });
+        record(
+            &format!("vc_pagerank_e2e_t{threads}"),
+            s.elapsed.as_secs_f64(),
+        );
+    }
+
+    // Flat JSON, hand-rolled (no serde in the sanctioned dependency list).
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"meta\": {{\"vertices\": {}, \"edges\": {}, \"nodes\": {}, \"seed\": {}, \"reps\": {}}},\n",
+        g.num_vertices(),
+        g.num_edges(),
+        opts.nodes,
+        opts.seed,
+        n
+    ));
+    json.push_str("  \"seconds\": {\n");
+    for (i, (name, secs)) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        json.push_str(&format!("    \"{name}\": {secs:.6}{comma}\n"));
+    }
+    json.push_str("  }\n}\n");
+    std::fs::write("BENCH_engine.json", json).expect("write BENCH_engine.json");
+    println!("wrote BENCH_engine.json ({} entries)", results.len());
+}

@@ -203,7 +203,14 @@ pub fn decode_ec_graph<V: Decode>(bytes: &[u8]) -> Result<EcLocalGraph<V>, Decod
     if r.remaining() > 0 {
         return Err(DecodeError::TrailingBytes(r.remaining()));
     }
-    Ok(EcLocalGraph { node, verts, index })
+    let mut lg = EcLocalGraph {
+        node,
+        verts,
+        index,
+        active_frontier: Vec::new(),
+    };
+    lg.rebuild_active_frontier();
+    Ok(lg)
 }
 
 /// Encodes a data snapshot: the masters' mutable state.
@@ -252,6 +259,7 @@ pub fn apply_ec_snapshot<V: Decode>(
         v.last_activate = last_activate;
         v.next_active = false;
     }
+    lg.rebuild_active_frontier();
     Ok(iter)
 }
 
@@ -472,6 +480,7 @@ pub fn apply_ec_snapshot_inc<V: Decode>(
         v.last_activate = flags & 2 != 0;
         v.next_active = false;
     }
+    lg.rebuild_active_frontier();
     Ok(iter)
 }
 

@@ -126,6 +126,10 @@ pub struct RunConfig {
     /// Hot standby machines for Rebirth (and for checkpoint recovery, which
     /// also replaces crashed machines).
     pub standbys: usize,
+    /// Worker threads each node uses for its local compute phases (the
+    /// paper's evaluation runs 4 worker threads per machine). Results are
+    /// bit-identical for any value; `0` is treated as `1`.
+    pub threads_per_node: usize,
 }
 
 impl Default for RunConfig {
@@ -136,6 +140,7 @@ impl Default for RunConfig {
             ft: FtMode::None,
             detection_delay: Duration::ZERO,
             standbys: 0,
+            threads_per_node: 4,
         }
     }
 }

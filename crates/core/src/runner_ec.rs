@@ -14,7 +14,7 @@ use imitator_cluster::{
     BarrierOutcome, Cluster, Envelope, FailPoint, FailureInjector, FailurePlan, NodeCtx, NodeId,
 };
 use imitator_engine::{
-    ec_commit, ec_compute, CopyKind, Degrees, EcLocalGraph, EcVertex, FtPlan, MasterMeta,
+    ec_commit, ec_compute_par, CopyKind, Degrees, EcLocalGraph, EcVertex, FtPlan, MasterMeta,
     RemoteEdge, VertexProgram,
 };
 use imitator_graph::{Graph, Vid};
@@ -196,6 +196,11 @@ where
     P::Value: Encode + Decode + MemSize,
 {
     let me = ctx.id();
+    // Reusable per-destination sync-batch buffers (indexed by node, so send
+    // order is deterministic) — allocated once, drained every iteration.
+    let mut sync_batches: Vec<Vec<VertexSync<P::Value>>> =
+        (0..shared.cfg.num_nodes).map(|_| Vec::new()).collect();
+    let mut ft_entries: Vec<u64> = vec![0; shared.cfg.num_nodes];
     loop {
         if st.iter >= shared.cfg.max_iters {
             break;
@@ -210,12 +215,27 @@ where
         let iter_sw = Stopwatch::start();
         let mut sw = Stopwatch::start();
 
-        // Compute (line 5).
-        let updates = ec_compute(&lg, shared.prog.as_ref(), &shared.degrees, st.iter);
+        // Compute (line 5): gather + apply fused over the sparse frontier,
+        // chunked across the node's worker pool.
+        let updates = ec_compute_par(
+            &lg,
+            shared.prog.as_ref(),
+            &shared.degrees,
+            st.iter,
+            shared.cfg.threads_per_node,
+        );
         st.phases.record("compute", sw.lap());
 
         // Communicate (line 6).
-        send_syncs(&ctx, &lg, &updates, shared, &mut st);
+        send_syncs(
+            &ctx,
+            &lg,
+            &updates,
+            shared,
+            &mut st,
+            &mut sync_batches,
+            &mut ft_entries,
+        );
         st.phases.record("send", sw.lap());
 
         // Enter barrier (line 7).
@@ -307,18 +327,23 @@ where
 /// Sends per-destination batched value syncs for this iteration's updates,
 /// including the mirrors' dynamic state (value + scatter bit). Selfish
 /// masters (§4.4) send nothing — their only replicas are FT replicas.
+///
+/// `batches`/`ft_entries` are node-indexed scratch buffers owned by the
+/// caller's loop: no per-iteration hashing or map allocation, and sends go
+/// out in deterministic node order.
+#[allow(clippy::too_many_arguments)]
 fn send_syncs<P>(
     ctx: &Ctx<P::Value>,
     lg: &EcLocalGraph<P::Value>,
     updates: &[imitator_engine::MasterUpdate<P::Value>],
     shared: &Arc<Shared<P>>,
     st: &mut St<P::Value>,
+    batches: &mut [Vec<VertexSync<P::Value>>],
+    ft_entries: &mut [u64],
 ) where
     P: VertexProgram,
     P::Value: Encode + Decode + MemSize,
 {
-    let mut batches: HashMap<NodeId, Vec<VertexSync<P::Value>>> = HashMap::new();
-    let mut ft_entries: HashMap<NodeId, u64> = HashMap::new();
     for u in updates {
         let v = &lg.verts[u.local as usize];
         let i = v.vid.index();
@@ -327,7 +352,7 @@ fn send_syncs<P>(
         }
         let meta = v.meta.as_ref().expect("masters always carry full state");
         for &node in &meta.replica_nodes {
-            batches.entry(node).or_default().push(VertexSync {
+            batches[node.index()].push(VertexSync {
                 vid: v.vid,
                 value: u.value.clone(),
                 activate: u.activate,
@@ -338,11 +363,15 @@ fn send_syncs<P>(
                 .get(i)
                 .is_some_and(|e| e.contains(&node));
             if extra {
-                *ft_entries.entry(node).or_default() += 1;
+                ft_entries[node.index()] += 1;
             }
         }
     }
-    for (node, batch) in batches {
+    for (n, batch) in batches.iter_mut().enumerate() {
+        let ft = std::mem::take(&mut ft_entries[n]);
+        if batch.is_empty() {
+            continue;
+        }
         let entries = batch.len() as u64;
         let bytes: u64 = batch
             .iter()
@@ -350,13 +379,16 @@ fn send_syncs<P>(
                 VertexSync::<P::Value>::wire_bytes(shared.prog.value_wire_bytes(&s.value)) as u64
             })
             .sum();
-        let ft = ft_entries.get(&node).copied().unwrap_or(0);
         st.comm.record(entries, bytes);
         if ft > 0 {
             // FT share estimated pro-rata on entry count.
             st.ft_comm.record(ft, bytes * ft / entries.max(1));
         }
-        ctx.send_sized(node, EcMsg::Sync(batch), bytes);
+        ctx.send_sized(
+            NodeId::from_index(n),
+            EcMsg::Sync(std::mem::take(batch)),
+            bytes,
+        );
     }
 }
 
@@ -428,6 +460,9 @@ fn recover<P>(
             ..
         } => migrate(ctx, lg, shared, st, dead, resume_iter),
     }
+    // Every recovery path may touch `active` bits directly; restore the
+    // frontier invariant before the next superstep computes from it.
+    lg.rebuild_active_frontier();
 }
 
 /// First surviving node in `meta`'s mirror-ID order — the one responsible
@@ -697,6 +732,7 @@ where
         let new = shared.prog.apply(v.vid, &v.value, acc, &shared.degrees);
         lg.verts[pos].value = new;
     }
+    lg.rebuild_active_frontier();
     let replay = sw.lap();
 
     st.iter = resume_iter;
@@ -1496,4 +1532,5 @@ where
         v.next_active = false;
         v.last_activate = false;
     }
+    lg.rebuild_active_frontier();
 }

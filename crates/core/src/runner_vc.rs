@@ -16,8 +16,8 @@ use imitator_cluster::{
     BarrierOutcome, Cluster, Envelope, FailPoint, FailureInjector, FailurePlan, NodeCtx, NodeId,
 };
 use imitator_engine::{
-    vc_apply, vc_commit, vc_partial_gather, CopyKind, Degrees, FtPlan, VcEdge, VcLocalGraph,
-    VcMeta, VcVertex, VertexProgram,
+    vc_apply_par, vc_commit, vc_partial_gather_par, CopyKind, Degrees, FtPlan, VcEdge,
+    VcGatherIndex, VcLocalGraph, VcMeta, VcVertex, VertexProgram,
 };
 use imitator_graph::{Graph, Vid};
 use imitator_metrics::{CommStats, MemSize, Stopwatch};
@@ -238,6 +238,20 @@ where
     P::Value: Encode + Decode + MemSize,
 {
     let me = ctx.id();
+    let threads = shared.cfg.threads_per_node;
+    // Steady-state scratch, allocated once and reused every iteration: the
+    // dst-grouped edge index, the partial/combined accumulator tables, the
+    // sorted contribution list, and node-indexed send batches (Vec-indexed
+    // so send order is deterministic, no per-iteration map allocation).
+    let mut gather_index = VcGatherIndex::build(&lg);
+    let mut partials: Vec<Option<P::Accum>> = Vec::new();
+    let mut acc_table: Vec<Option<P::Accum>> = Vec::new();
+    let mut contribs: Vec<(u32, NodeId, P::Accum)> = Vec::new();
+    let mut gather_batches: Vec<Vec<(Vid, P::Accum)>> =
+        (0..shared.cfg.num_nodes).map(|_| Vec::new()).collect();
+    let mut sync_batches: Vec<Vec<VertexSync<P::Value>>> =
+        (0..shared.cfg.num_nodes).map(|_| Vec::new()).collect();
+    let mut ft_entries: Vec<u64> = vec![0; shared.cfg.num_nodes];
     loop {
         if st.iter >= shared.cfg.max_iters {
             break;
@@ -253,40 +267,50 @@ where
         let mut sw = Stopwatch::start();
 
         // Distributed gather: local partials flow to each vertex's master.
-        let partials = vc_partial_gather(&lg, shared.prog.as_ref());
-        let mut gather_batches: HashMap<NodeId, Vec<(Vid, P::Accum)>> = HashMap::new();
-        // Per-master collected contributions, keyed by sender so combining
-        // happens in a deterministic node order.
-        let mut collected: HashMap<u32, Vec<(NodeId, P::Accum)>> = HashMap::new();
-        for (pos, acc) in partials.into_iter().enumerate() {
-            let Some(acc) = acc else { continue };
+        // Own contributions go straight onto the contribution list tagged
+        // with this node's ID so the later fold stays in sender order.
+        vc_partial_gather_par(
+            &lg,
+            shared.prog.as_ref(),
+            &gather_index,
+            threads,
+            &mut partials,
+        );
+        for (pos, slot) in partials.iter_mut().enumerate() {
+            let Some(acc) = slot.take() else { continue };
             let v = &lg.verts[pos];
             if v.is_master() {
-                collected.entry(pos as u32).or_default().push((me, acc));
+                contribs.push((pos as u32, me, acc));
             } else {
-                gather_batches
-                    .entry(v.master_node)
-                    .or_default()
-                    .push((v.vid, acc));
+                gather_batches[v.master_node.index()].push((v.vid, acc));
             }
         }
-        st.phases.record("compute", sw.lap());
-        for (node, batch) in gather_batches {
+        st.phases.record("gather", sw.lap());
+        for (n, batch) in gather_batches.iter_mut().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
             let entries = batch.len() as u64;
             let bytes: u64 = batch
                 .iter()
                 .map(|(_, a)| 4 + shared.prog.accum_wire_bytes(a) as u64)
                 .sum();
             st.comm.record(entries, bytes);
-            ctx.send_sized(node, VcMsg::Gather(batch), bytes);
+            ctx.send_sized(
+                NodeId::from_index(n),
+                VcMsg::Gather(std::mem::take(batch)),
+                bytes,
+            );
         }
         st.phases.record("send", sw.lap());
         let (outcome, _) = ctx.enter_barrier_sum(0);
         st.phases.record("barrier", sw.lap());
         if let BarrierOutcome::Failed(dead) = outcome {
+            contribs.clear();
             stash_non_data(&ctx, &mut st);
             let resume = st.iter;
             recover(&ctx, &mut lg, shared, &mut st, &dead, resume);
+            gather_index = VcGatherIndex::build(&lg);
             continue;
         }
 
@@ -300,7 +324,7 @@ where
                     for (vid, acc) in batch {
                         let pos = lg.position(vid).expect("gather for unknown vertex");
                         debug_assert!(lg.verts[pos as usize].is_master());
-                        collected.entry(pos).or_default().push((env.from, acc));
+                        contribs.push((pos, env.from, acc));
                     }
                 }
                 other => st.stash.push(Envelope {
@@ -309,30 +333,30 @@ where
                 }),
             }
         }
-        let mut acc_table: Vec<Option<P::Accum>> = vec![None; lg.verts.len()];
-        for (pos, mut contributions) in collected {
-            contributions.sort_by_key(|(n, _)| *n);
-            let mut folded: Option<P::Accum> = None;
-            for (_, acc) in contributions {
-                folded = Some(match folded {
-                    None => acc,
-                    Some(a) => shared.prog.combine(a, acc),
-                });
-            }
-            acc_table[pos as usize] = folded;
+        // Each node contributes at most one partial per position, so sorting
+        // by (position, sender) gives every master its contributions in the
+        // same deterministic node order the serial engine used.
+        contribs.sort_unstable_by_key(|&(pos, n, _)| (pos, n));
+        acc_table.clear();
+        acc_table.resize(lg.verts.len(), None);
+        for (pos, _, acc) in contribs.drain(..) {
+            let slot = &mut acc_table[pos as usize];
+            *slot = Some(match slot.take() {
+                None => acc,
+                Some(a) => shared.prog.combine(a, acc),
+            });
         }
-        let updates = vc_apply(
+        let updates = vc_apply_par(
             &lg,
             shared.prog.as_ref(),
-            acc_table,
+            &mut acc_table,
             &shared.degrees,
             st.iter,
+            threads,
         );
         st.phases.record("apply", sw.lap());
 
         // Broadcast new values to replicas (mirror dynamic state included).
-        let mut sync_batches: HashMap<NodeId, Vec<VertexSync<P::Value>>> = HashMap::new();
-        let mut ft_entries: HashMap<NodeId, u64> = HashMap::new();
         for u in &updates {
             let v = &lg.verts[u.local as usize];
             let i = v.vid.index();
@@ -341,7 +365,7 @@ where
             }
             let meta = v.meta.as_ref().expect("master meta");
             for &node in &meta.replica_nodes {
-                sync_batches.entry(node).or_default().push(VertexSync {
+                sync_batches[node.index()].push(VertexSync {
                     vid: v.vid,
                     value: u.value.clone(),
                     activate: u.activate,
@@ -352,11 +376,15 @@ where
                     .get(i)
                     .is_some_and(|e| e.contains(&node))
                 {
-                    *ft_entries.entry(node).or_default() += 1;
+                    ft_entries[node.index()] += 1;
                 }
             }
         }
-        for (node, batch) in sync_batches {
+        for (n, batch) in sync_batches.iter_mut().enumerate() {
+            let ft = std::mem::take(&mut ft_entries[n]);
+            if batch.is_empty() {
+                continue;
+            }
             let entries = batch.len() as u64;
             let bytes: u64 = batch
                 .iter()
@@ -365,12 +393,15 @@ where
                         as u64
                 })
                 .sum();
-            let ft = ft_entries.get(&node).copied().unwrap_or(0);
             st.comm.record(entries, bytes);
             if ft > 0 {
                 st.ft_comm.record(ft, bytes * ft / entries.max(1));
             }
-            ctx.send_sized(node, VcMsg::Sync(batch), bytes);
+            ctx.send_sized(
+                NodeId::from_index(n),
+                VcMsg::Sync(std::mem::take(batch)),
+                bytes,
+            );
         }
         st.phases.record("send", sw.lap());
         let (outcome2, _) = ctx.enter_barrier_sum(0);
@@ -380,6 +411,7 @@ where
             stash_non_data(&ctx, &mut st);
             let resume = st.iter;
             recover(&ctx, &mut lg, shared, &mut st, &dead, resume);
+            gather_index = VcGatherIndex::build(&lg);
             continue;
         }
 
@@ -433,6 +465,7 @@ where
             stash_non_data(&ctx, &mut st);
             let resume = st.iter;
             recover(&ctx, &mut lg, shared, &mut st, &dead, resume);
+            gather_index = VcGatherIndex::build(&lg);
             continue;
         }
         if total_changed == 0 {

@@ -67,6 +67,7 @@ fn cfg(nodes: usize, ft: FtMode, standbys: usize) -> RunConfig {
         ft,
         detection_delay: Duration::ZERO,
         standbys,
+        threads_per_node: 2,
     }
 }
 

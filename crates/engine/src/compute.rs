@@ -37,9 +37,65 @@ pub struct CommitStats {
 /// (that is the point of the replicas), applies, and stages an update when
 /// the value changed.
 ///
+/// Iterates the sparse activation frontier maintained by [`ec_commit`], so
+/// cost is O(frontier + edges touched) rather than O(|verts|). The frontier
+/// is sorted ascending, so updates come out in the same position order as
+/// the historical full scan ([`ec_compute_scan`]) — bit-identical results.
+///
 /// Contributions fold in in-edge order, which is fixed at construction and
 /// reproduced exactly by recovery — runs are bit-deterministic.
 pub fn ec_compute<P: VertexProgram>(
+    lg: &EcLocalGraph<P::Value>,
+    prog: &P,
+    degrees: &Degrees,
+    step: u64,
+) -> Vec<MasterUpdate<P::Value>> {
+    let mut updates = Vec::new();
+    ec_compute_frontier(lg, prog, degrees, step, &lg.active_frontier, &mut updates);
+    updates
+}
+
+/// Gathers and applies the frontier slice `frontier` (ascending positions of
+/// active masters), appending staged updates to `updates` in slice order.
+/// Shared by the serial path and each parallel worker chunk.
+pub(crate) fn ec_compute_frontier<P: VertexProgram>(
+    lg: &EcLocalGraph<P::Value>,
+    prog: &P,
+    degrees: &Degrees,
+    step: u64,
+    frontier: &[u32],
+    updates: &mut Vec<MasterUpdate<P::Value>>,
+) {
+    for &pos in frontier {
+        let v = &lg.verts[pos as usize];
+        debug_assert!(
+            v.is_master() && v.active,
+            "frontier entry not active master"
+        );
+        let mut acc: Option<P::Accum> = None;
+        for &(src, w) in &v.in_edges {
+            let contribution = prog.gather(w, &lg.verts[src as usize].value);
+            acc = Some(match acc {
+                None => contribution,
+                Some(a) => prog.combine(a, contribution),
+            });
+        }
+        let new = prog.apply_step(v.vid, &v.value, acc, degrees, step);
+        if new != v.value {
+            let activate = prog.scatter(v.vid, &v.value, &new);
+            updates.push(MasterUpdate {
+                local: pos,
+                value: new,
+                activate,
+            });
+        }
+    }
+}
+
+/// The historical dense compute phase: scans every local copy and computes
+/// active masters. Produces exactly the same updates as [`ec_compute`]
+/// (kept as the frontier path's reference, and as a baseline for benches).
+pub fn ec_compute_scan<P: VertexProgram>(
     lg: &EcLocalGraph<P::Value>,
     prog: &P,
     degrees: &Degrees,
@@ -85,43 +141,61 @@ pub fn ec_commit<P: VertexProgram>(
 ) -> CommitStats {
     let _ = prog;
     let changed = my_updates.len();
+    // Retire the old frontier, reusing its allocation as the touched list.
+    // Only frontier positions can have `active == true` (the canonical
+    // invariant), so clearing them is equivalent to the historical full
+    // `active = next_active` sweep.
+    let mut touched = std::mem::take(&mut lg.active_frontier);
+    for &p in &touched {
+        lg.verts[p as usize].active = false;
+    }
+    touched.clear();
     for u in my_updates {
-        let pos = u.local as usize;
-        lg.verts[pos].value = u.value;
-        lg.verts[pos].last_activate = u.activate;
-        if u.activate {
-            let targets = std::mem::take(&mut lg.verts[pos].out_local);
-            for &t in &targets {
-                lg.verts[t as usize].next_active = true;
-            }
-            lg.verts[pos].out_local = targets;
-        }
+        commit_update(lg, u.local as usize, u.value, u.activate, &mut touched);
     }
     for (pos, value, activate) in replica_updates {
-        let pos = pos as usize;
-        lg.verts[pos].value = value;
-        lg.verts[pos].last_activate = activate;
-        if activate {
-            let targets = std::mem::take(&mut lg.verts[pos].out_local);
-            for &t in &targets {
-                lg.verts[t as usize].next_active = true;
-            }
-            lg.verts[pos].out_local = targets;
-        }
+        commit_update(lg, pos as usize, value, activate, &mut touched);
     }
-    let mut active_next = 0;
-    for v in &mut lg.verts {
-        if v.is_master() {
-            v.active = v.next_active;
-            if v.active {
-                active_next += 1;
-            }
-        }
+    // Touched positions (deduped via the `next_active` bit, always masters —
+    // activation targets are masters by construction) become the sorted new
+    // frontier; everything else already has both bits clear.
+    touched.sort_unstable();
+    for &p in &touched {
+        let v = &mut lg.verts[p as usize];
+        v.active = true;
         v.next_active = false;
     }
+    let active_next = touched.len();
+    lg.active_frontier = touched;
     CommitStats {
         changed,
         active_next,
+    }
+}
+
+/// Applies one committed update (own master or replica sync alike): stores
+/// the value and scatter bit, then propagates activation to local consumers,
+/// recording each newly touched position once (`next_active` doubles as the
+/// dedupe filter until [`ec_commit`] clears it).
+fn commit_update<V>(
+    lg: &mut EcLocalGraph<V>,
+    pos: usize,
+    value: V,
+    activate: bool,
+    touched: &mut Vec<u32>,
+) {
+    lg.verts[pos].value = value;
+    lg.verts[pos].last_activate = activate;
+    if activate {
+        let targets = std::mem::take(&mut lg.verts[pos].out_local);
+        for &t in &targets {
+            let target = &mut lg.verts[t as usize];
+            if !target.next_active {
+                target.next_active = true;
+                touched.push(t);
+            }
+        }
+        lg.verts[pos].out_local = targets;
     }
 }
 

@@ -188,6 +188,13 @@ pub struct EcLocalGraph<V> {
     pub verts: Vec<EcVertex<V>>,
     /// Global-ID → position index.
     pub index: VidMap<u32>,
+    /// Sorted positions of currently active masters (the sparse activation
+    /// frontier). Canonical invariant: always equal to the ascending list of
+    /// positions `p` with `verts[p].is_master() && verts[p].active`, so
+    /// compute and commit cost O(frontier + touched) instead of O(|verts|).
+    /// Recovery paths that set `active` bits directly must call
+    /// [`EcLocalGraph::rebuild_active_frontier`] before the next superstep.
+    pub active_frontier: Vec<u32>,
 }
 
 impl<V> EcLocalGraph<V> {
@@ -197,6 +204,7 @@ impl<V> EcLocalGraph<V> {
             node,
             verts: Vec::new(),
             index: VidMap::default(),
+            active_frontier: Vec::new(),
         }
     }
 
@@ -240,6 +248,19 @@ impl<V> EcLocalGraph<V> {
             .iter()
             .filter(|v| v.is_master() && v.active)
             .count()
+    }
+
+    /// Recomputes [`EcLocalGraph::active_frontier`] from the `active` bits.
+    ///
+    /// O(|verts|); only needed after bulk mutations that bypass
+    /// `ec_commit` (graph construction, snapshot restore, recovery).
+    pub fn rebuild_active_frontier(&mut self) {
+        self.active_frontier.clear();
+        for (i, v) in self.verts.iter().enumerate() {
+            if v.is_master() && v.active {
+                self.active_frontier.push(i as u32);
+            }
+        }
     }
 
     /// Inserts `vertex` at `pos`, growing the array as needed (recovery
@@ -317,6 +338,17 @@ impl<V> EcLocalGraph<V> {
             }
         }
         assert_eq!(self.index.len(), self.verts.len(), "index size mismatch");
+        let expected: Vec<u32> = self
+            .verts
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.is_master() && v.active)
+            .map(|(i, _)| i as u32)
+            .collect();
+        assert_eq!(
+            self.active_frontier, expected,
+            "active frontier out of sync with active bits"
+        );
     }
 }
 
@@ -332,7 +364,8 @@ impl<V: MemSize> MemSize for EcLocalGraph<V> {
         let index = self.index.capacity().max(self.index.len())
             * (std::mem::size_of::<(Vid, u32)>() + 1)
             + std::mem::size_of::<HashMap<Vid, u32>>();
-        std::mem::size_of::<NodeId>() + verts + index
+        let frontier = self.active_frontier.capacity() * std::mem::size_of::<u32>();
+        std::mem::size_of::<NodeId>() + verts + index + frontier
     }
 }
 
@@ -419,6 +452,7 @@ pub fn build_edge_cut_graphs<P: VertexProgram>(
                 node,
                 verts,
                 index: pos_maps[p].clone(),
+                active_frontier: Vec::new(),
             }
         })
         .collect();
@@ -499,6 +533,10 @@ pub fn build_edge_cut_graphs<P: VertexProgram>(
             let pos = pos_maps[m.index()][&v] as usize;
             graphs[m.index()].verts[pos].meta = Some(boxed.clone());
         }
+    }
+
+    for lg in &mut graphs {
+        lg.rebuild_active_frontier();
     }
 
     graphs

@@ -27,13 +27,19 @@
 mod compute;
 mod ecut;
 mod ftplan;
+mod par;
 mod program;
 mod vcut;
 
 pub use compute::{
-    ec_commit, ec_compute, vc_apply, vc_commit, vc_partial_gather, CommitStats, MasterUpdate,
+    ec_commit, ec_compute, ec_compute_scan, vc_apply, vc_commit, vc_partial_gather, CommitStats,
+    MasterUpdate,
 };
 pub use ecut::{build_edge_cut_graphs, CopyKind, EcLocalGraph, EcVertex, MasterMeta, RemoteEdge};
 pub use ftplan::FtPlan;
+pub use par::{
+    chunk_ranges, ec_compute_par, vc_apply_par, vc_partial_gather_par, weighted_ranges,
+    VcGatherIndex,
+};
 pub use program::{Degrees, VertexProgram};
 pub use vcut::{build_vertex_cut_graphs, VcEdge, VcLocalGraph, VcMeta, VcVertex};

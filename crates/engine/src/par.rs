@@ -1,0 +1,449 @@
+//! Intra-node parallel supersteps.
+//!
+//! The paper's evaluation runs multiple worker threads per node; this module
+//! provides the same multicore compute pool for the pure per-node phases
+//! while preserving the engine's bit-determinism contract (recovery must
+//! reproduce the clean run's values exactly, see `ec_commit`).
+//!
+//! The scheme is the same for every phase:
+//!
+//! 1. split the node's work (frontier slice / destination range / position
+//!    range) into **disjoint contiguous chunks**,
+//! 2. run each chunk on a scoped worker thread (`std::thread::scope`, no
+//!    extra dependencies and no `unsafe`), each staging into its own buffer,
+//! 3. concatenate the per-chunk buffers **in chunk order**.
+//!
+//! Since every serial phase processes positions in ascending order and folds
+//! each vertex's contributions in a fixed edge order, chunk-order
+//! concatenation reproduces the serial output byte for byte, for any thread
+//! count. Workers never share mutable state (destination ranges are carved
+//! out of the accumulator table with `split_at_mut`), so no atomics or locks
+//! appear on the hot path.
+
+use std::ops::Range;
+
+use crate::compute::{ec_compute_frontier, MasterUpdate};
+use crate::ecut::EcLocalGraph;
+use crate::program::{Degrees, VertexProgram};
+use crate::vcut::VcLocalGraph;
+
+/// Splits `0..len` into at most `chunks` non-empty contiguous ranges of
+/// near-equal size (sizes differ by at most one).
+pub fn chunk_ranges(len: usize, chunks: usize) -> Vec<Range<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let chunks = chunks.clamp(1, len);
+    let base = len / chunks;
+    let extra = len % chunks;
+    let mut out = Vec::with_capacity(chunks);
+    let mut start = 0;
+    for i in 0..chunks {
+        let size = base + usize::from(i < extra);
+        out.push(start..start + size);
+        start += size;
+    }
+    out
+}
+
+/// Splits `0..n` (where `prefix` has `n + 1` monotone entries, `prefix[i]`
+/// = total weight before item `i`) into at most `chunks` contiguous ranges
+/// of near-equal total weight. Used to balance gather workers by edge count
+/// rather than vertex count (power-law graphs make the two very different).
+pub fn weighted_ranges(prefix: &[u32], chunks: usize) -> Vec<Range<usize>> {
+    let n = prefix.len().saturating_sub(1);
+    if n == 0 {
+        return Vec::new();
+    }
+    let chunks = chunks.clamp(1, n);
+    let total = u64::from(prefix[n]);
+    let mut out = Vec::with_capacity(chunks);
+    let mut start = 0usize;
+    for i in 0..chunks {
+        if start >= n {
+            break;
+        }
+        // Cut where the running weight crosses the next 1/chunks share, but
+        // always make progress by at least one item.
+        let target = total * (i as u64 + 1) / chunks as u64;
+        let mut end = start + 1;
+        while end < n && u64::from(prefix[end]) < target {
+            end += 1;
+        }
+        if i + 1 == chunks {
+            end = n;
+        }
+        out.push(start..end);
+        start = end;
+    }
+    debug_assert_eq!(out.last().map(|r| r.end), Some(n));
+    out
+}
+
+/// Parallel edge-cut compute: the sorted activation frontier is split into
+/// contiguous chunks, each computed on a scoped worker, and the staged
+/// updates are concatenated in chunk order — bit-identical to
+/// [`crate::ec_compute`] for any `threads >= 1`.
+pub fn ec_compute_par<P: VertexProgram>(
+    lg: &EcLocalGraph<P::Value>,
+    prog: &P,
+    degrees: &Degrees,
+    step: u64,
+    threads: usize,
+) -> Vec<MasterUpdate<P::Value>> {
+    let frontier = &lg.active_frontier;
+    let ranges = chunk_ranges(frontier.len(), threads.max(1));
+    if ranges.len() <= 1 {
+        return crate::ec_compute(lg, prog, degrees, step);
+    }
+    let mut outs: Vec<Vec<MasterUpdate<P::Value>>> = Vec::with_capacity(ranges.len());
+    std::thread::scope(|s| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|r| {
+                let chunk = &frontier[r];
+                s.spawn(move || {
+                    let mut ups = Vec::new();
+                    ec_compute_frontier(lg, prog, degrees, step, chunk, &mut ups);
+                    ups
+                })
+            })
+            .collect();
+        outs.extend(
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked")),
+        );
+    });
+    concat_in_order(outs)
+}
+
+/// Destination-grouped view of a [`VcLocalGraph`]'s edge list (CSR-like).
+///
+/// `edges_for(d)` yields the indices of all edges with `dst == d`, in their
+/// original edge-list order — so folding a destination's contributions via
+/// this index reproduces the serial [`crate::vc_partial_gather`] fold order
+/// exactly (the grouping is a stable counting sort by destination). Because
+/// destinations are disjoint, workers can own contiguous destination ranges
+/// and write their accumulator slots without atomics.
+///
+/// Build once per graph topology and reuse across iterations; rebuild after
+/// recovery changes the local graph (checked by [`VcGatherIndex::is_valid_for`]).
+#[derive(Debug, Clone)]
+pub struct VcGatherIndex {
+    /// `offsets[d]..offsets[d + 1]` bounds destination `d`'s slice of
+    /// `edge_order`; `offsets.len() == num_verts + 1`.
+    offsets: Vec<u32>,
+    /// Edge-list indices grouped by destination, original order within each.
+    edge_order: Vec<u32>,
+    num_verts: usize,
+}
+
+impl VcGatherIndex {
+    /// Builds the index for `lg`'s current edge list (stable counting sort,
+    /// O(|edges| + |verts|)).
+    pub fn build<V>(lg: &VcLocalGraph<V>) -> Self {
+        let n = lg.verts.len();
+        let mut offsets = vec![0u32; n + 1];
+        for e in &lg.edges {
+            offsets[e.dst as usize + 1] += 1;
+        }
+        for d in 0..n {
+            offsets[d + 1] += offsets[d];
+        }
+        let mut cursor = offsets.clone();
+        let mut edge_order = vec![0u32; lg.edges.len()];
+        for (i, e) in lg.edges.iter().enumerate() {
+            let c = &mut cursor[e.dst as usize];
+            edge_order[*c as usize] = i as u32;
+            *c += 1;
+        }
+        VcGatherIndex {
+            offsets,
+            edge_order,
+            num_verts: n,
+        }
+    }
+
+    /// Whether the index still matches `lg`'s shape (sizes only — the
+    /// runner rebuilds after any recovery, which is the only mutation).
+    pub fn is_valid_for<V>(&self, lg: &VcLocalGraph<V>) -> bool {
+        self.num_verts == lg.verts.len() && self.edge_order.len() == lg.edges.len()
+    }
+
+    /// Edge-list indices feeding destination `d`, in original edge order.
+    pub fn edges_for(&self, d: usize) -> &[u32] {
+        &self.edge_order[self.offsets[d] as usize..self.offsets[d + 1] as usize]
+    }
+}
+
+/// Parallel vertex-cut local gather into a caller-owned accumulator table
+/// (cleared and resized here — reuse it across iterations for a zero-alloc
+/// steady state). Workers own disjoint contiguous destination ranges
+/// (balanced by edge count) carved out of `partials` with `split_at_mut`;
+/// each destination folds its edges in original edge-list order, so the
+/// table is bit-identical to [`crate::vc_partial_gather`]'s output.
+pub fn vc_partial_gather_par<P: VertexProgram>(
+    lg: &VcLocalGraph<P::Value>,
+    prog: &P,
+    index: &VcGatherIndex,
+    threads: usize,
+    partials: &mut Vec<Option<P::Accum>>,
+) {
+    assert!(index.is_valid_for(lg), "stale gather index for this graph");
+    partials.clear();
+    partials.resize(lg.verts.len(), None);
+    let ranges = weighted_ranges(&index.offsets, threads.max(1));
+    let gather_range = |range: Range<usize>, slots: &mut [Option<P::Accum>]| {
+        for (slot, d) in slots.iter_mut().zip(range) {
+            for &ei in index.edges_for(d) {
+                let e = &lg.edges[ei as usize];
+                let contribution = prog.gather(e.weight, &lg.verts[e.src as usize].value);
+                *slot = Some(match slot.take() {
+                    None => contribution,
+                    Some(a) => prog.combine(a, contribution),
+                });
+            }
+        }
+    };
+    if ranges.len() <= 1 {
+        if let Some(r) = ranges.into_iter().next() {
+            gather_range(r, partials);
+        }
+        return;
+    }
+    std::thread::scope(|s| {
+        let mut rest: &mut [Option<P::Accum>] = partials;
+        let mut carved = 0usize;
+        for r in ranges {
+            debug_assert_eq!(r.start, carved);
+            let (chunk, tail) = rest.split_at_mut(r.len());
+            rest = tail;
+            carved = r.end;
+            let gather_range = &gather_range;
+            s.spawn(move || gather_range(r, chunk));
+        }
+    });
+}
+
+/// Parallel vertex-cut apply: contiguous position ranges per worker, each
+/// consuming its slice of the accumulator table (masters `take()` their
+/// slot, exactly like the serial path) and staging updates; chunk-order
+/// concatenation reproduces [`crate::vc_apply`]'s ascending-position output.
+pub fn vc_apply_par<P: VertexProgram>(
+    lg: &VcLocalGraph<P::Value>,
+    prog: &P,
+    acc: &mut [Option<P::Accum>],
+    degrees: &Degrees,
+    step: u64,
+    threads: usize,
+) -> Vec<MasterUpdate<P::Value>> {
+    assert_eq!(acc.len(), lg.verts.len(), "accumulator table size mismatch");
+    let ranges = chunk_ranges(lg.verts.len(), threads.max(1));
+    let apply_range = |range: Range<usize>, slots: &mut [Option<P::Accum>]| {
+        let mut ups = Vec::new();
+        for (slot, pos) in slots.iter_mut().zip(range) {
+            let v = &lg.verts[pos];
+            if !v.is_master() {
+                continue;
+            }
+            let new = prog.apply_step(v.vid, &v.value, slot.take(), degrees, step);
+            if new != v.value {
+                let activate = prog.scatter(v.vid, &v.value, &new);
+                ups.push(MasterUpdate {
+                    local: pos as u32,
+                    value: new,
+                    activate,
+                });
+            }
+        }
+        ups
+    };
+    if ranges.len() <= 1 {
+        return match ranges.into_iter().next() {
+            Some(r) => apply_range(r, acc),
+            None => Vec::new(),
+        };
+    }
+    let mut outs: Vec<Vec<MasterUpdate<P::Value>>> = Vec::with_capacity(ranges.len());
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        let mut rest: &mut [Option<P::Accum>] = acc;
+        for r in ranges {
+            let (chunk, tail) = rest.split_at_mut(r.len());
+            rest = tail;
+            let apply_range = &apply_range;
+            handles.push(s.spawn(move || apply_range(r, chunk)));
+        }
+        outs.extend(
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked")),
+        );
+    });
+    concat_in_order(outs)
+}
+
+fn concat_in_order<T>(outs: Vec<Vec<T>>) -> Vec<T> {
+    let total = outs.iter().map(Vec::len).sum();
+    let mut merged = Vec::with_capacity(total);
+    for o in outs {
+        merged.extend(o);
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ecut::build_edge_cut_graphs;
+    use crate::ftplan::FtPlan;
+    use crate::program::Degrees;
+    use crate::vcut::build_vertex_cut_graphs;
+    use crate::{ec_commit, ec_compute, ec_compute_scan, vc_apply, vc_partial_gather};
+    use imitator_graph::{gen, Vid};
+    use imitator_partition::{
+        EdgeCutPartitioner, HashEdgeCut, RandomVertexCut, VertexCutPartitioner,
+    };
+
+    struct MinLabel;
+    impl crate::VertexProgram for MinLabel {
+        type Value = u32;
+        type Accum = u32;
+        fn init(&self, vid: Vid, _d: &Degrees) -> u32 {
+            vid.raw()
+        }
+        fn gather(&self, _w: f32, src: &u32) -> u32 {
+            *src
+        }
+        fn combine(&self, a: u32, b: u32) -> u32 {
+            a.min(b)
+        }
+        fn apply(&self, _v: Vid, old: &u32, acc: Option<u32>, _d: &Degrees) -> u32 {
+            acc.map_or(*old, |a| a.min(*old))
+        }
+        fn scatter(&self, _v: Vid, old: &u32, new: &u32) -> bool {
+            new < old
+        }
+    }
+
+    #[test]
+    fn chunk_ranges_cover_exactly() {
+        for len in [0usize, 1, 2, 7, 8, 100] {
+            for chunks in 1..=9 {
+                let rs = chunk_ranges(len, chunks);
+                let covered: usize = rs.iter().map(|r| r.len()).sum();
+                assert_eq!(covered, len);
+                let mut expect = 0;
+                for r in &rs {
+                    assert_eq!(r.start, expect, "gap at {expect}");
+                    assert!(!r.is_empty());
+                    expect = r.end;
+                }
+                if len > 0 {
+                    assert!(rs.len() <= chunks);
+                    let sizes: Vec<_> = rs.iter().map(|r| r.len()).collect();
+                    let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                    assert!(max - min <= 1, "unbalanced: {sizes:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_ranges_cover_exactly() {
+        // prefix for weights [5, 0, 0, 1, 10, 2]
+        let prefix = [0u32, 5, 5, 5, 6, 16, 18];
+        for chunks in 1..=8 {
+            let rs = weighted_ranges(&prefix, chunks);
+            let mut expect = 0;
+            for r in &rs {
+                assert_eq!(r.start, expect);
+                assert!(!r.is_empty());
+                expect = r.end;
+            }
+            assert_eq!(expect, prefix.len() - 1);
+        }
+        assert!(weighted_ranges(&[0u32], 4).is_empty());
+    }
+
+    #[test]
+    fn gather_index_groups_stably() {
+        let g = gen::power_law(300, 2.0, 5, 41);
+        let cut = RandomVertexCut.partition(&g, 3);
+        let plan = FtPlan::none(g.num_vertices());
+        let degrees = Degrees::of(&g);
+        let lgs = build_vertex_cut_graphs(&g, &cut, &plan, &MinLabel, &degrees);
+        for lg in &lgs {
+            let idx = VcGatherIndex::build(lg);
+            assert!(idx.is_valid_for(lg));
+            let mut seen = 0usize;
+            for d in 0..lg.verts.len() {
+                let slice = idx.edges_for(d);
+                // grouped by dst, original order within the group
+                assert!(slice.windows(2).all(|w| w[0] < w[1]));
+                for &ei in slice {
+                    assert_eq!(lg.edges[ei as usize].dst as usize, d);
+                }
+                seen += slice.len();
+            }
+            assert_eq!(seen, lg.edges.len());
+        }
+    }
+
+    #[test]
+    fn parallel_ec_compute_matches_serial_and_scan() {
+        let g = gen::power_law(600, 2.0, 6, 43);
+        let cut = HashEdgeCut.partition(&g, 3);
+        let plan = FtPlan::none(g.num_vertices());
+        let degrees = Degrees::of(&g);
+        let mut lgs = build_edge_cut_graphs(&g, &cut, &plan, &MinLabel, &degrees);
+        for step in 0..4 {
+            let mut all_updates = Vec::new();
+            for lg in &lgs {
+                let serial = ec_compute(lg, &MinLabel, &degrees, step);
+                let scan = ec_compute_scan(lg, &MinLabel, &degrees, step);
+                assert_eq!(serial, scan, "frontier path diverged from full scan");
+                for t in 1..=8 {
+                    let par = ec_compute_par(lg, &MinLabel, &degrees, step, t);
+                    assert_eq!(par, serial, "threads={t} diverged");
+                }
+                all_updates.push(serial);
+            }
+            for (lg, ups) in lgs.iter_mut().zip(all_updates) {
+                ec_commit(lg, &MinLabel, ups, Vec::new());
+                lg.debug_validate();
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_vc_gather_and_apply_match_serial() {
+        let g = gen::power_law(500, 2.0, 5, 47);
+        let cut = RandomVertexCut.partition(&g, 4);
+        let plan = FtPlan::none(g.num_vertices());
+        let degrees = Degrees::of(&g);
+        let lgs = build_vertex_cut_graphs(&g, &cut, &plan, &MinLabel, &degrees);
+        for lg in &lgs {
+            let serial = vc_partial_gather(lg, &MinLabel);
+            let idx = VcGatherIndex::build(lg);
+            let mut table = Vec::new();
+            for t in 1..=8 {
+                vc_partial_gather_par(lg, &MinLabel, &idx, t, &mut table);
+                assert_eq!(table, serial, "gather threads={t} diverged");
+            }
+            let serial_ups = vc_apply(lg, &MinLabel, serial.clone(), &degrees, 0);
+            for t in 1..=8 {
+                let mut acc = serial.clone();
+                let par_ups = vc_apply_par(lg, &MinLabel, &mut acc, &degrees, 0, t);
+                assert_eq!(par_ups, serial_ups, "apply threads={t} diverged");
+                // masters consumed their slots, exactly like the serial path
+                for (pos, v) in lg.verts.iter().enumerate() {
+                    if v.is_master() {
+                        assert!(acc[pos].is_none());
+                    }
+                }
+            }
+        }
+    }
+}

@@ -52,6 +52,7 @@ fn run(
             ft,
             standbys,
             detection_delay: Duration::from_millis(20),
+            ..RunConfig::default()
         },
         failures,
         Dfs::new(DfsConfig::hdfs_like()),

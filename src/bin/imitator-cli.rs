@@ -36,6 +36,7 @@ OPTIONS (run):
   --input <file>                    edge-list file instead of --dataset
   --scale <f64>                     dataset scale        [default: 0.01]
   --nodes <n>                       simulated machines   [default: 8]
+  --threads <n>                     worker threads per machine [default: 4]
   --cut <hash|fennel>               edge-cut partitioner [default: hash]
   --ft <none|rep|ckpt>              fault tolerance      [default: rep]
   --recovery <rebirth|migration>    REP recovery         [default: rebirth]
@@ -57,6 +58,7 @@ struct Opts {
     input: Option<String>,
     scale: f64,
     nodes: usize,
+    threads: usize,
     cut: String,
     ft: String,
     recovery: String,
@@ -78,6 +80,7 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
         input: None,
         scale: 0.01,
         nodes: 8,
+        threads: 4,
         cut: "hash".into(),
         ft: "rep".into(),
         recovery: "rebirth".into(),
@@ -103,6 +106,9 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
             "--input" => opts.input = Some(value()?),
             "--scale" => opts.scale = value()?.parse().map_err(|e| format!("--scale: {e}"))?,
             "--nodes" => opts.nodes = value()?.parse().map_err(|e| format!("--nodes: {e}"))?,
+            "--threads" => {
+                opts.threads = value()?.parse().map_err(|e| format!("--threads: {e}"))?
+            }
             "--cut" => opts.cut = value()?,
             "--ft" => opts.ft = value()?,
             "--recovery" => opts.recovery = value()?,
@@ -238,6 +244,7 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
         ft,
         standbys,
         detection_delay: Duration::from_millis(20),
+        threads_per_node: opts.threads,
     };
     let failures: Vec<FailurePlan> = opts
         .fails
@@ -388,9 +395,26 @@ mod tests {
     #[test]
     fn parses_full_command_line() {
         let o = parse(&[
-            "run", "--algo", "sssp", "--dataset", "roadca", "--nodes", "4", "--ft", "ckpt",
-            "--interval", "2", "--incremental", "--fail", "1@3", "--fail", "2@5", "--iters",
-            "50", "--source", "7",
+            "run",
+            "--algo",
+            "sssp",
+            "--dataset",
+            "roadca",
+            "--nodes",
+            "4",
+            "--ft",
+            "ckpt",
+            "--interval",
+            "2",
+            "--incremental",
+            "--fail",
+            "1@3",
+            "--fail",
+            "2@5",
+            "--iters",
+            "50",
+            "--source",
+            "7",
         ])
         .unwrap();
         assert_eq!(o.algo, "sssp");
@@ -410,7 +434,9 @@ mod tests {
 
     #[test]
     fn dataset_names_resolve() {
-        for name in ["gweb", "LJOURNAL", "wiki", "syn-gl", "dblp", "roadca", "uk", "twitter"] {
+        for name in [
+            "gweb", "LJOURNAL", "wiki", "syn-gl", "dblp", "roadca", "uk", "twitter",
+        ] {
             assert!(dataset_by_name(name).is_ok(), "{name}");
         }
         assert!(dataset_by_name("nope").is_err());

@@ -219,6 +219,73 @@ proptest! {
     }
 
     #[test]
+    fn edge_cut_parallel_matches_serial((s, threads) in (arb_scenario(), 1usize..=8)) {
+        // The intra-node compute pool must be invisible in the output: any
+        // threads_per_node produces bit-identical values to a single-threaded
+        // run, even across injected failures and Rebirth/Migration recovery.
+        let cut = HashEdgeCut.partition(&s.graph, s.nodes);
+        let ft = FtMode::Replication {
+            tolerance: s.tolerance,
+            selfish_opt: false,
+            recovery: s.strategy,
+        };
+        let standbys = match s.strategy {
+            RecoveryStrategy::Rebirth => s.failures.len(),
+            RecoveryStrategy::Migration => 0,
+        };
+        let serial = run_edge_cut(
+            &s.graph,
+            &cut,
+            Arc::new(MinLabel),
+            RunConfig { threads_per_node: 1, ..config(&s, ft, standbys) },
+            plans(&s),
+            Dfs::new(DfsConfig::instant()),
+        );
+        let parallel = run_edge_cut(
+            &s.graph,
+            &cut,
+            Arc::new(MinLabel),
+            RunConfig { threads_per_node: threads, ..config(&s, ft, standbys) },
+            plans(&s),
+            Dfs::new(DfsConfig::instant()),
+        );
+        prop_assert_eq!(parallel.values, serial.values);
+        prop_assert_eq!(parallel.iterations, serial.iterations);
+    }
+
+    #[test]
+    fn vertex_cut_parallel_matches_serial((s, threads) in (arb_scenario(), 1usize..=8)) {
+        let cut = RandomVertexCut.partition(&s.graph, s.nodes);
+        let ft = FtMode::Replication {
+            tolerance: s.tolerance,
+            selfish_opt: false,
+            recovery: s.strategy,
+        };
+        let standbys = match s.strategy {
+            RecoveryStrategy::Rebirth => s.failures.len(),
+            RecoveryStrategy::Migration => 0,
+        };
+        let serial = run_vertex_cut(
+            &s.graph,
+            &cut,
+            Arc::new(MinLabel),
+            RunConfig { threads_per_node: 1, ..config(&s, ft, standbys) },
+            plans(&s),
+            Dfs::new(DfsConfig::instant()),
+        );
+        let parallel = run_vertex_cut(
+            &s.graph,
+            &cut,
+            Arc::new(MinLabel),
+            RunConfig { threads_per_node: threads, ..config(&s, ft, standbys) },
+            plans(&s),
+            Dfs::new(DfsConfig::instant()),
+        );
+        prop_assert_eq!(parallel.values, serial.values);
+        prop_assert_eq!(parallel.iterations, serial.iterations);
+    }
+
+    #[test]
     fn checkpoint_recovery_is_equivalent((s, incremental) in (arb_scenario(), any::<bool>())) {
         // Checkpointing tolerates any number of sequential failures; both
         // full and incremental (§2.3) snapshots must recover exactly.

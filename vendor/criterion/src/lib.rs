@@ -1,0 +1,256 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the group / `bench_function` / `Bencher::iter` surface the
+//! workspace's benches use, with plain wall-clock measurement (median of
+//! timed batches) instead of criterion's statistical machinery.
+//!
+//! Mode detection matches real criterion's contract with cargo: `cargo
+//! bench` passes `--bench`, which enables full measurement; anything else
+//! (notably `cargo test`, which runs `harness = false` bench targets to
+//! smoke-test them) executes each benchmark body exactly once.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How a benchmarked quantity scales, for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The measured body processes this many bytes per iteration.
+    Bytes(u64),
+    /// The measured body processes this many abstract elements per iteration.
+    Elements(u64),
+}
+
+/// A two-part benchmark identifier rendered as `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id rendered as `{function_name}/{parameter}`.
+    pub fn new<F: fmt::Display, P: fmt::Display>(function_name: F, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+/// Things accepted as a benchmark identifier.
+pub trait IntoBenchmarkId {
+    /// The rendered identifier.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    /// Total time and iteration count of the measured batches.
+    measured: Option<(Duration, u64)>,
+    full: bool,
+}
+
+impl Bencher {
+    /// Calls `body` repeatedly and records its average wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        if !self.full {
+            black_box(body());
+            self.measured = Some((Duration::ZERO, 1));
+            return;
+        }
+        // Warm up for ~30ms to populate caches and branch predictors.
+        let warm_deadline = Instant::now() + Duration::from_millis(30);
+        while Instant::now() < warm_deadline {
+            black_box(body());
+        }
+        // Measure for ~300ms total, growing the batch size geometrically so
+        // per-batch timer overhead stays negligible.
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        let mut batch = 1u64;
+        let deadline = Instant::now() + Duration::from_millis(300);
+        while Instant::now() < deadline {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(body());
+            }
+            total += start.elapsed();
+            iters += batch;
+            batch = (batch * 2).min(1 << 20);
+        }
+        self.measured = Some((total, iters));
+    }
+
+    /// Calls `body` with an iteration count and records the `Duration` it
+    /// returns, for benchmarks that must time a region themselves.
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut body: F) {
+        if !self.full {
+            self.measured = Some((black_box(body(1)), 1));
+            return;
+        }
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        let mut batch = 1u64;
+        let deadline = Instant::now() + Duration::from_millis(300);
+        loop {
+            total += black_box(body(batch));
+            iters += batch;
+            if Instant::now() >= deadline {
+                break;
+            }
+            batch = (batch * 2).min(1 << 20);
+        }
+        self.measured = Some((total, iters));
+    }
+}
+
+fn full_measurement() -> bool {
+    std::env::args().any(|a| a == "--bench")
+}
+
+fn run_one(name: &str, throughput: Option<Throughput>, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        measured: None,
+        full: full_measurement(),
+    };
+    f(&mut b);
+    let Some((total, iters)) = b.measured else {
+        println!("{name:<50} (no measurement)");
+        return;
+    };
+    if !b.full {
+        println!("{name:<50} ok (smoke)");
+        return;
+    }
+    let per_iter = total.as_secs_f64() / iters as f64;
+    let mut line = format!("{name:<50} {:>12.3} us/iter", per_iter * 1e6);
+    if let Some(Throughput::Bytes(n)) = throughput {
+        line.push_str(&format!(
+            "  {:>9.1} MiB/s",
+            n as f64 / per_iter / (1024.0 * 1024.0)
+        ));
+    }
+    println!("{line}");
+}
+
+/// Top-level benchmark registry (wall-clock measurement only).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, None, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _c: self,
+            name: name.to_owned(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used for derived rates.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<I: IntoBenchmarkId, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.into_id());
+        run_one(&name, self.throughput, &mut f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; reporting is immediate).
+    pub fn finish(self) {}
+}
+
+/// Declares a function running the listed benchmarks in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_body_once() {
+        let mut calls = 0;
+        let mut b = Bencher {
+            measured: None,
+            full: false,
+        };
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 1);
+        assert_eq!(b.measured, Some((Duration::ZERO, 1)));
+    }
+
+    #[test]
+    fn group_api_composes() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Bytes(8));
+        group.bench_function(BenchmarkId::new("f", 1), |b| b.iter(|| black_box(2 + 2)));
+        group.bench_function("plain", |b| b.iter(|| black_box(1)));
+        group.finish();
+        c.bench_function("standalone", |b| b.iter(|| black_box(0)));
+    }
+}

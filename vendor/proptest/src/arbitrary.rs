@@ -1,0 +1,103 @@
+//! `any::<T>()` — full-range generation for primitive types.
+
+use std::fmt;
+use std::marker::PhantomData;
+
+use rand::Rng;
+
+use crate::strategy::{Strategy, TestRng};
+
+/// Types with a canonical full-range generation strategy.
+pub trait Arbitrary: fmt::Debug + Sized {
+    /// Draws one arbitrary value (full domain, including extremes).
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for u128 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Arbitrary for i128 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        u128::arbitrary(rng) as i128
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+// Floats cover *all* bit patterns (NaN, infinities, subnormals) so codec
+// tests exercise bitwise round-trips, matching upstream's any::<f64>.
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        f64::from_bits(rng.next_u64())
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        f32::from_bits(rng.next_u64() as u32)
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Mostly ASCII, occasionally any scalar value.
+        if rng.gen_bool(0.9) {
+            (rng.gen_range(0x20u32..0x7f)) as u8 as char
+        } else {
+            char::from_u32(rng.gen_range(0u32..=0x10_ffff)).unwrap_or('\u{fffd}')
+        }
+    }
+}
+
+macro_rules! impl_arbitrary_tuple {
+    ($(($($name:ident),+))+) => {$(
+        impl<$($name: Arbitrary),+> Arbitrary for ($($name,)+) {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                ($($name::arbitrary(rng),)+)
+            }
+        }
+    )+};
+}
+impl_arbitrary_tuple! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+}
+
+/// Strategy yielding arbitrary values of `T` (see [`any`]).
+pub struct AnyStrategy<T> {
+    _marker: PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn try_gen(&self, rng: &mut TestRng) -> Option<T> {
+        Some(T::arbitrary(rng))
+    }
+}
+
+/// The strategy of all values of `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy {
+        _marker: PhantomData,
+    }
+}

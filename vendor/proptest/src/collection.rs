@@ -1,0 +1,71 @@
+//! Collection strategies: `vec` and `hash_map`.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::Hash;
+
+use crate::strategy::{SizeRange, Strategy, TestRng};
+
+/// Strategy for `Vec`s of values from `element` with a length in `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn try_gen(&self, rng: &mut TestRng) -> Option<Self::Value> {
+        let len = self.size.sample(rng);
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(self.element.try_gen(rng)?);
+        }
+        Some(out)
+    }
+}
+
+/// Strategy for `HashMap`s with `size` entries drawn from `key` / `value`.
+///
+/// Duplicate generated keys collapse, so like upstream the map may end up
+/// slightly smaller than the sampled size.
+pub fn hash_map<K: Strategy, V: Strategy>(
+    key: K,
+    value: V,
+    size: impl Into<SizeRange>,
+) -> HashMapStrategy<K, V> {
+    HashMapStrategy {
+        key,
+        value,
+        size: size.into(),
+    }
+}
+
+/// See [`hash_map`].
+pub struct HashMapStrategy<K, V> {
+    key: K,
+    value: V,
+    size: SizeRange,
+}
+
+impl<K: Strategy, V: Strategy> Strategy for HashMapStrategy<K, V>
+where
+    K::Value: Hash + Eq + fmt::Debug,
+{
+    type Value = HashMap<K::Value, V::Value>;
+    fn try_gen(&self, rng: &mut TestRng) -> Option<Self::Value> {
+        let len = self.size.sample(rng);
+        let mut out = HashMap::with_capacity(len);
+        for _ in 0..len {
+            out.insert(self.key.try_gen(rng)?, self.value.try_gen(rng)?);
+        }
+        Some(out)
+    }
+}

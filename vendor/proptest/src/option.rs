@@ -1,0 +1,26 @@
+//! The `option::of` strategy.
+
+use rand::Rng;
+
+use crate::strategy::{Strategy, TestRng};
+
+/// Strategy for `Option<T>`: `None` about a quarter of the time.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// See [`of`].
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn try_gen(&self, rng: &mut TestRng) -> Option<Self::Value> {
+        if rng.gen_bool(0.25) {
+            Some(None)
+        } else {
+            Some(Some(self.inner.try_gen(rng)?))
+        }
+    }
+}

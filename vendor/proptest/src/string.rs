@@ -1,0 +1,195 @@
+//! String strategies from regex-like literals.
+//!
+//! Upstream proptest treats `&str` as "strategy of strings matching this
+//! regex". This stand-in supports the subset the workspace's tests use:
+//! literal characters, `.`, character classes like `[a-z0-9_]` (ranges and
+//! singletons, no negation), escapes, and the quantifiers `*`, `+`, `?`,
+//! `{m}`, `{m,n}`. Unsupported syntax panics with a clear message rather
+//! than silently generating wrong strings.
+
+use rand::Rng;
+
+use crate::strategy::{Strategy, TestRng};
+
+enum Atom {
+    Any,
+    Lit(char),
+    Class(Vec<(char, char)>),
+}
+
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+// Unbounded quantifiers (`*`, `+`) are capped at this repeat count.
+const UNBOUNDED_CAP: usize = 8;
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let mut chars = pattern.chars().peekable();
+    let mut pieces = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '.' => Atom::Any,
+            '\\' => Atom::Lit(
+                chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}")),
+            ),
+            '[' => {
+                let mut ranges = Vec::new();
+                loop {
+                    let lo = chars
+                        .next()
+                        .unwrap_or_else(|| panic!("unterminated class in pattern {pattern:?}"));
+                    if lo == ']' {
+                        break;
+                    }
+                    if lo == '^' && ranges.is_empty() {
+                        panic!("negated classes are not supported (pattern {pattern:?})");
+                    }
+                    if chars.peek() == Some(&'-') {
+                        chars.next();
+                        match chars.next() {
+                            Some(']') | None => {
+                                panic!("unterminated range in pattern {pattern:?}")
+                            }
+                            Some(hi) => ranges.push((lo, hi)),
+                        }
+                    } else {
+                        ranges.push((lo, lo));
+                    }
+                }
+                assert!(!ranges.is_empty(), "empty class in pattern {pattern:?}");
+                Atom::Class(ranges)
+            }
+            '(' | ')' | '|' => {
+                panic!("groups/alternation are not supported (pattern {pattern:?})")
+            }
+            other => Atom::Lit(other),
+        };
+        let (min, max) = match chars.peek() {
+            Some('*') => {
+                chars.next();
+                (0, UNBOUNDED_CAP)
+            }
+            Some('+') => {
+                chars.next();
+                (1, UNBOUNDED_CAP)
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('{') => {
+                chars.next();
+                let mut body = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    body.push(c);
+                }
+                let parse_n = |s: &str| {
+                    s.trim()
+                        .parse::<usize>()
+                        .unwrap_or_else(|_| panic!("bad repetition in pattern {pattern:?}"))
+                };
+                match body.split_once(',') {
+                    Some((m, n)) => (parse_n(m), parse_n(n)),
+                    None => {
+                        let n = parse_n(&body);
+                        (n, n)
+                    }
+                }
+            }
+            _ => (1, 1),
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+// Pool for `.`: printable ASCII plus a few multi-byte scalars so UTF-8
+// handling gets exercised.
+const EXTRA: [char; 4] = ['é', 'Δ', '中', '🦀'];
+
+fn gen_atom(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Any => {
+            if rng.gen_bool(0.9) {
+                rng.gen_range(0x20u32..0x7f) as u8 as char
+            } else {
+                EXTRA[rng.gen_range(0..EXTRA.len())]
+            }
+        }
+        Atom::Lit(c) => *c,
+        Atom::Class(ranges) => {
+            let (lo, hi) = ranges[rng.gen_range(0..ranges.len())];
+            char::from_u32(rng.gen_range(lo as u32..=hi as u32)).unwrap_or(lo)
+        }
+    }
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn try_gen(&self, rng: &mut TestRng) -> Option<String> {
+        let pieces = parse(self);
+        let mut out = String::new();
+        for p in &pieces {
+            let n = rng.gen_range(p.min..=p.max);
+            for _ in 0..n {
+                out.push(gen_atom(&p.atom, rng));
+            }
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> TestRng {
+        TestRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn class_with_repetition() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = "[a-z]{1,8}".try_gen(&mut r).unwrap();
+            assert!((1..=8).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn dot_star_varies_length() {
+        let mut r = rng();
+        let lens: Vec<usize> = (0..50)
+            .map(|_| ".*".try_gen(&mut r).unwrap().chars().count())
+            .collect();
+        assert!(lens.contains(&0));
+        assert!(lens.iter().any(|&l| l > 2));
+    }
+
+    #[test]
+    fn literals_and_escapes() {
+        let mut r = rng();
+        assert_eq!("abc".try_gen(&mut r).unwrap(), "abc");
+        assert_eq!(r"a\.b".try_gen(&mut r).unwrap(), "a.b");
+    }
+
+    #[test]
+    fn singleton_class() {
+        let mut r = rng();
+        for _ in 0..20 {
+            let s = "[a-d]".try_gen(&mut r).unwrap();
+            assert_eq!(s.len(), 1);
+            assert!(('a'..='d').contains(&s.chars().next().unwrap()));
+        }
+    }
+}

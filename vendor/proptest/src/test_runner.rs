@@ -1,0 +1,218 @@
+//! Deterministic case runner and its configuration.
+
+use std::fmt;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+use rand::SeedableRng;
+
+use crate::strategy::{Strategy, TestRng};
+
+/// Per-test configuration (`ProptestConfig` in the prelude).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A config running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 64 }
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case failed; the whole test fails.
+    Fail(String),
+    /// The case was discarded (`prop_assume!`); another input is tried.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given reason.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// A discard with the given reason.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(r) => write!(f, "test case failed: {r}"),
+            TestCaseError::Reject(r) => write!(f, "test case rejected: {r}"),
+        }
+    }
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn env_cases() -> Option<u32> {
+    std::env::var("PROPTEST_CASES").ok()?.parse().ok()
+}
+
+/// Runs `test` against `config.cases` generated inputs.
+///
+/// Deterministic: case `i` of a given test name always sees the same input.
+/// On failure the generated input is reported via `Debug` and the runner
+/// panics (no shrinking).
+pub fn run<S, F>(config: Config, name: &str, strategy: &S, test: F)
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Result<(), TestCaseError>,
+{
+    let cases = env_cases().unwrap_or(config.cases).max(1);
+    let max_rejects = cases.saturating_mul(256).max(4096);
+    let mut rejects: u32 = 0;
+    let mut passed: u32 = 0;
+    let mut stream: u64 = 0;
+    while passed < cases {
+        // Each attempt gets its own seed so filter retries make progress.
+        let mut rng =
+            TestRng::seed_from_u64(fnv1a(name) ^ stream.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        stream += 1;
+        let Some(value) = strategy.try_gen(&mut rng) else {
+            rejects += 1;
+            assert!(
+                rejects <= max_rejects,
+                "[{name}] too many generator rejections ({rejects}) — \
+                 filter predicate rarely satisfied"
+            );
+            continue;
+        };
+        let repr = format!("{value:?}");
+        match catch_unwind(AssertUnwindSafe(|| test(value))) {
+            Ok(Ok(())) => passed += 1,
+            Ok(Err(TestCaseError::Reject(_))) => {
+                rejects += 1;
+                assert!(
+                    rejects <= max_rejects,
+                    "[{name}] too many rejected cases ({rejects}) — \
+                     prop_assume! rarely satisfied"
+                );
+            }
+            Ok(Err(TestCaseError::Fail(reason))) => {
+                panic!(
+                    "[{name}] property failed after {passed} passing case(s): {reason}\n\
+                     input: {repr}"
+                );
+            }
+            Err(payload) => {
+                eprintln!(
+                    "[{name}] property panicked after {passed} passing case(s)\ninput: {repr}"
+                );
+                resume_unwind(payload);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+
+    #[test]
+    fn deterministic_inputs_per_case() {
+        let mut first: Vec<u32> = Vec::new();
+        let mut second: Vec<u32> = Vec::new();
+        for out in [&mut first, &mut second] {
+            let sink = std::cell::RefCell::new(Vec::new());
+            run(Config::with_cases(10), "det", &(0u32..1000), |v| {
+                sink.borrow_mut().push(v);
+                Ok(())
+            });
+            *out = sink.into_inner();
+        }
+        assert_eq!(first, second);
+        assert_eq!(first.len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failing_case_panics_with_input() {
+        run(Config::with_cases(50), "fails", &(0u32..10), |v| {
+            if v >= 5 {
+                return Err(TestCaseError::fail("v too big"));
+            }
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn rejects_are_retried() {
+        let count = std::cell::Cell::new(0u32);
+        run(Config::with_cases(20), "rej", &(0u32..100), |v| {
+            if v % 2 == 0 {
+                return Err(TestCaseError::reject("odd only"));
+            }
+            count.set(count.get() + 1);
+            Ok(())
+        });
+        assert_eq!(count.get(), 20);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_single_binding(x in 0u32..100) {
+            prop_assert!(x < 100);
+        }
+
+        #[test]
+        fn macro_multi_binding(a in any::<u8>(), b in 1usize..4, c in any::<bool>()) {
+            prop_assert!(usize::from(a) < 256 && b < 4);
+            prop_assume!(c || a % 2 == 0);
+        }
+
+        #[test]
+        fn macro_tuple_pattern((a, b) in (0u32..10, 0u32..10)) {
+            prop_assert_eq!(a + b, b + a);
+            prop_assert_ne!(a, a + b + 1);
+        }
+
+        #[test]
+        fn combinators_compose(v in crate::collection::vec(0u32..50, 1..10)) {
+            prop_assert!(!v.is_empty() && v.len() < 10);
+            prop_assert!(v.iter().all(|&x| x < 50));
+        }
+
+        #[test]
+        fn oneof_and_just(x in prop_oneof![Just(1u8), Just(2u8)]) {
+            prop_assert!(x == 1 || x == 2);
+        }
+    }
+
+    #[test]
+    fn filter_and_map_pipeline() {
+        let strat = (0u32..100)
+            .prop_map(|x| x * 2)
+            .prop_filter("multiple of 4", |x| x % 4 == 0);
+        run(Config::with_cases(20), "pipeline", &strat, |v| {
+            if v % 4 != 0 {
+                return Err(TestCaseError::fail("filter leaked"));
+            }
+            Ok(())
+        });
+    }
+}
