@@ -1,0 +1,103 @@
+//! Criterion micro-benchmark: the fast-path communication fabric — lock-free
+//! route lookup on send, O(1) whole-queue inbox drains, and barrier round
+//! trips — at the cluster sizes the simulator actually runs (8/16/50).
+//!
+//! The send path should not slow down with cluster size (the sender table is
+//! an indexed slice behind an epoch check, not a locked map), and a drain
+//! should cost one lock regardless of queue depth.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use imitator_cluster::{Cluster, NodeId};
+use std::time::{Duration, Instant};
+
+const BATCH: u64 = 64;
+
+/// Pairwise throughput: `BATCH` sends into one peer's inbox, then a single
+/// drain takes the whole queue.
+fn bench_send_drain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fabric_send_drain");
+    for nodes in [8usize, 16, 50] {
+        group.throughput(Throughput::Elements(BATCH));
+        group.bench_function(BenchmarkId::new("nodes", nodes), |b| {
+            let cluster: Cluster<u64> = Cluster::new(nodes, 0, Duration::ZERO);
+            let sender = cluster.take_ctx(NodeId::new(0));
+            let receiver = cluster.take_ctx(NodeId::new(1));
+            b.iter_custom(|rounds| {
+                let start = Instant::now();
+                for r in 0..rounds {
+                    for i in 0..BATCH {
+                        sender.send(NodeId::new(1), r.wrapping_mul(BATCH) + i);
+                    }
+                    let got = receiver.drain();
+                    assert_eq!(got.len(), BATCH as usize);
+                }
+                start.elapsed()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// One superstep's worth of fan-out: node 0 routes one message to every
+/// peer, every peer drains — exercises the route table across destinations.
+fn bench_fanout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fabric_fanout_round");
+    for nodes in [8usize, 16, 50] {
+        group.throughput(Throughput::Elements(nodes as u64 - 1));
+        group.bench_function(BenchmarkId::new("nodes", nodes), |b| {
+            let cluster: Cluster<u64> = Cluster::new(nodes, 0, Duration::ZERO);
+            let ctxs: Vec<_> = (0..nodes)
+                .map(|p| cluster.take_ctx(NodeId::from_index(p)))
+                .collect();
+            b.iter_custom(|rounds| {
+                let start = Instant::now();
+                for r in 0..rounds {
+                    for p in 1..nodes {
+                        ctxs[0].send(NodeId::from_index(p), r);
+                    }
+                    for ctx in &ctxs[1..] {
+                        assert_eq!(ctx.drain().len(), 1);
+                    }
+                }
+                start.elapsed()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Barrier round-trip latency with every node on its own thread.
+fn bench_barrier_rtt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fabric_barrier_rtt");
+    for nodes in [8usize, 16, 50] {
+        group.bench_function(BenchmarkId::new("nodes", nodes), |b| {
+            b.iter_custom(|rounds| {
+                let cluster: Cluster<()> = Cluster::new(nodes, 0, Duration::ZERO);
+                let peers: Vec<_> = (1..nodes)
+                    .map(|p| {
+                        let ctx = cluster.take_ctx(NodeId::from_index(p));
+                        std::thread::spawn(move || {
+                            for _ in 0..rounds {
+                                ctx.enter_barrier();
+                            }
+                        })
+                    })
+                    .collect();
+                let me = cluster.take_ctx(NodeId::new(0));
+                let start = Instant::now();
+                for _ in 0..rounds {
+                    me.enter_barrier();
+                }
+                let elapsed = start.elapsed();
+                for p in peers {
+                    p.join().expect("peer thread");
+                }
+                elapsed
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_send_drain, bench_fanout, bench_barrier_rtt);
+criterion_main!(benches);

@@ -12,11 +12,12 @@
 //! the best of `reps()` passes; the JSON is a flat name → seconds map so a
 //! later run can be diffed field by field.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use imitator::{FtMode, RunConfig};
 use imitator_algos::PageRank;
 use imitator_bench::{banner, best_of, ramfs, reps, run_ec, run_vc, BenchOpts, Workload};
+use imitator_cluster::{Cluster, NodeId};
 use imitator_engine::{
     build_edge_cut_graphs, build_vertex_cut_graphs, ec_compute, ec_compute_par, ec_compute_scan,
     vc_partial_gather, vc_partial_gather_par, Degrees, FtPlan, VcGatherIndex,
@@ -105,6 +106,46 @@ fn main() {
         );
     }
 
+    // Communication fabric: lock-free send + O(1) drain throughput, and the
+    // barrier round trip every superstep pays.
+    {
+        let cluster: Cluster<u64> = Cluster::new(opts.nodes.max(2), 0, Duration::ZERO);
+        let sender = cluster.take_ctx(NodeId::new(0));
+        let receiver = cluster.take_ctx(NodeId::new(1));
+        record(
+            "fabric_send_drain_100k",
+            time_best(n, || {
+                for i in 0..100_000u64 {
+                    sender.send(NodeId::new(1), i);
+                }
+                assert_eq!(receiver.drain().len(), 100_000);
+            }),
+        );
+    }
+    record(
+        "fabric_barrier_x1000",
+        time_best(n, || {
+            let cluster: Cluster<()> = Cluster::new(opts.nodes, 0, Duration::ZERO);
+            let peers: Vec<_> = (1..opts.nodes)
+                .map(|p| {
+                    let ctx = cluster.take_ctx(NodeId::from_index(p));
+                    std::thread::spawn(move || {
+                        for _ in 0..1000 {
+                            ctx.enter_barrier();
+                        }
+                    })
+                })
+                .collect();
+            let me = cluster.take_ctx(NodeId::new(0));
+            for _ in 0..1000 {
+                me.enter_barrier();
+            }
+            for p in peers {
+                p.join().expect("peer thread");
+            }
+        }),
+    );
+
     // End-to-end PageRank per engine, serial vs default thread pool.
     let cfg = |threads| RunConfig {
         num_nodes: opts.nodes,
@@ -132,13 +173,15 @@ fn main() {
 
     // Flat JSON, hand-rolled (no serde in the sanctioned dependency list).
     let mut json = String::from("{\n");
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
     json.push_str(&format!(
-        "  \"meta\": {{\"vertices\": {}, \"edges\": {}, \"nodes\": {}, \"seed\": {}, \"reps\": {}}},\n",
+        "  \"meta\": {{\"vertices\": {}, \"edges\": {}, \"nodes\": {}, \"seed\": {}, \"reps\": {}, \"cores\": {}}},\n",
         g.num_vertices(),
         g.num_edges(),
         opts.nodes,
         opts.seed,
-        n
+        n,
+        cores
     ));
     json.push_str("  \"seconds\": {\n");
     for (i, (name, secs)) in results.iter().enumerate() {

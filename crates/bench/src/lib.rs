@@ -152,6 +152,8 @@ pub struct Summary {
     pub extra_replicas: usize,
     /// `(iteration, offset)` commit stamps.
     pub timeline: Vec<(u64, Duration)>,
+    /// Redundant sync records suppressed across the run.
+    pub suppressed_syncs: u64,
 }
 
 fn summarize<V>(r: RunReport<V>) -> Summary {
@@ -166,6 +168,7 @@ fn summarize<V>(r: RunReport<V>) -> Summary {
         mem_bytes: r.mem_bytes,
         extra_replicas: r.extra_replicas,
         timeline: r.timeline,
+        suppressed_syncs: r.suppressed_syncs,
     }
 }
 

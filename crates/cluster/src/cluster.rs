@@ -1,10 +1,32 @@
 //! The routing fabric and per-node handles.
+//!
+//! # Fast-path design
+//!
+//! `NodeCtx::send*` is the hottest call in a superstep (one per destination
+//! envelope, formerly one per sync record). The sender table is therefore
+//! published as an immutable `Arc<[Sender]>` snapshot guarded by a
+//! generation counter: every send does one atomic load and an indexed send
+//! on a thread-local cached snapshot — no lock, no `Sender` clone. The
+//! table is only rebuilt (and the generation bumped) by [`Cluster::adopt`]
+//! during recovery.
+//!
+//! Why a stale cache is harmless: table slots change only when a node dies
+//! and a replacement adopts its identity. A sender that still holds the old
+//! snapshot either (a) observes the destination as dead in
+//! [`Coordinator::is_alive`] and drops the message — exactly what the old
+//! locked path did — or (b) observes it alive. Observing it alive means the
+//! sender acquired the coordinator lock *after* `revive` released it, which
+//! makes the adopting thread's generation bump (sequenced before `revive`)
+//! visible to the sender's `Acquire` load, forcing a refresh. So a message
+//! accepted for a live node always goes to that node's current inbox.
 
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use imitator_metrics::AtomicCommStats;
+use imitator_metrics::{AtomicCommStats, CommKind};
 use parking_lot::Mutex;
 
 use crate::coord::{BarrierOutcome, Coordinator};
@@ -19,16 +41,39 @@ pub struct Envelope<M> {
     pub msg: M,
 }
 
+/// What a blocked standby thread is woken with.
+enum StandbyEvent<M> {
+    /// A crashed node's identity to adopt.
+    Adopt(NodeCtx<M>),
+    /// The job is over; relayed from waiter to waiter so one signal wakes
+    /// the whole pool.
+    Shutdown,
+}
+
 #[derive(Debug)]
 struct Fabric<M> {
-    senders: Mutex<Vec<Sender<Envelope<M>>>>,
+    /// The published sender table. Mutated only under this lock (adopt);
+    /// readers refresh their cached snapshot from it when `generation`
+    /// moves.
+    routes: Mutex<Arc<[Sender<Envelope<M>>]>>,
+    /// Bumped (under the `routes` lock) every time the table is republished.
+    generation: AtomicU64,
     /// Receivers parked here until a thread claims its `NodeCtx`.
     parked: Mutex<Vec<Option<Receiver<Envelope<M>>>>>,
-    /// Contexts dispatched to waiting standby threads (Rebirth recovery).
-    standby_tx: Sender<NodeCtx<M>>,
-    standby_rx: Receiver<NodeCtx<M>>,
+    /// Wake-up channel for hot-standby threads (Rebirth recovery).
+    standby_tx: Sender<StandbyEvent<M>>,
+    standby_rx: Receiver<StandbyEvent<M>>,
     /// Set when the job is over; waiting standbys return `None`.
-    done: std::sync::atomic::AtomicBool,
+    done: AtomicBool,
+}
+
+impl<M> std::fmt::Debug for StandbyEvent<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StandbyEvent::Adopt(_) => f.write_str("Adopt(..)"),
+            StandbyEvent::Shutdown => f.write_str("Shutdown"),
+        }
+    }
 }
 
 /// A simulated cluster: `n` logical nodes plus a pool of hot standbys,
@@ -69,11 +114,12 @@ impl<M: Send + 'static> Cluster<M> {
         let (standby_tx, standby_rx) = unbounded();
         Cluster {
             fabric: Arc::new(Fabric {
-                senders: Mutex::new(senders),
+                routes: Mutex::new(senders.into()),
+                generation: AtomicU64::new(0),
                 parked: Mutex::new(parked),
                 standby_tx,
                 standby_rx,
-                done: std::sync::atomic::AtomicBool::new(false),
+                done: AtomicBool::new(false),
             }),
             coord: Arc::new(Coordinator::new(num_nodes, num_standbys, detection_delay)),
             comm: Arc::default(),
@@ -95,6 +141,27 @@ impl<M: Send + 'static> Cluster<M> {
         self.comm.snapshot()
     }
 
+    /// Aggregate per-kind traffic split and barrier-wait total.
+    pub fn comm_breakdown(&self) -> imitator_metrics::CommBreakdown {
+        self.comm.breakdown()
+    }
+
+    fn make_ctx(&self, id: NodeId, inbox: Receiver<Envelope<M>>) -> NodeCtx<M> {
+        let (generation, table) = {
+            let routes = self.fabric.routes.lock();
+            (
+                self.fabric.generation.load(Ordering::Acquire),
+                Arc::clone(&routes),
+            )
+        };
+        NodeCtx {
+            id,
+            inbox,
+            routes: RefCell::new(RouteCache { generation, table }),
+            cluster: self.clone(),
+        }
+    }
+
     /// Claims the execution context for logical node `id`.
     ///
     /// # Panics
@@ -104,11 +171,7 @@ impl<M: Send + 'static> Cluster<M> {
         let rx = self.fabric.parked.lock()[id.index()]
             .take()
             .unwrap_or_else(|| panic!("context for {id} already claimed"));
-        NodeCtx {
-            id,
-            inbox: rx,
-            cluster: self.clone(),
-        }
+        self.make_ctx(id, rx)
     }
 
     /// Routes a fresh inbox to logical node `id` (whose previous owner died)
@@ -119,13 +182,17 @@ impl<M: Send + 'static> Cluster<M> {
     /// [`Coordinator::claim_standby`] first.
     pub fn adopt(&self, id: NodeId) -> NodeCtx<M> {
         let (tx, rx) = unbounded();
-        self.fabric.senders.lock()[id.index()] = tx;
-        self.coord.revive(id);
-        NodeCtx {
-            id,
-            inbox: rx,
-            cluster: self.clone(),
+        {
+            let mut routes = self.fabric.routes.lock();
+            let mut table: Vec<Sender<Envelope<M>>> = routes.iter().cloned().collect();
+            table[id.index()] = tx;
+            *routes = table.into();
+            // Bumped before `revive` so any sender that sees the node alive
+            // also sees (and refreshes to) the new table — see module docs.
+            self.fabric.generation.fetch_add(1, Ordering::Release);
         }
+        self.coord.revive(id);
+        self.make_ctx(id, rx)
     }
 
     /// Claims a standby (if any remain), routes a fresh inbox to logical
@@ -141,7 +208,7 @@ impl<M: Send + 'static> Cluster<M> {
         let ctx = self.adopt(id);
         self.fabric
             .standby_tx
-            .send(ctx)
+            .send(StandbyEvent::Adopt(ctx))
             .expect("standby channel lives as long as the fabric");
         true
     }
@@ -149,39 +216,37 @@ impl<M: Send + 'static> Cluster<M> {
     /// Blocks a hot-standby thread until it is assigned a crashed node's
     /// identity, or returns `None` once the job completes (or `patience`
     /// elapses with neither).
+    ///
+    /// Fully event-driven: the thread parks on the standby channel for the
+    /// whole remaining patience and is woken by [`Cluster::dispatch_standby`]
+    /// or by the shutdown signal — no poll loop.
     pub fn wait_standby(&self, patience: Duration) -> Option<NodeCtx<M>> {
-        let deadline = std::time::Instant::now() + patience;
-        loop {
-            if let Ok(ctx) = self
-                .fabric
-                .standby_rx
-                .recv_timeout(Duration::from_millis(20))
-            {
-                return Some(ctx);
+        if self.fabric.done.load(Ordering::Acquire) {
+            return None;
+        }
+        match self.fabric.standby_rx.recv_timeout(patience) {
+            Ok(StandbyEvent::Adopt(ctx)) => Some(ctx),
+            Ok(StandbyEvent::Shutdown) => {
+                // Relay so one signal drains the whole waiting pool.
+                let _ = self.fabric.standby_tx.send(StandbyEvent::Shutdown);
+                None
             }
-            if self.fabric.done.load(std::sync::atomic::Ordering::Relaxed)
-                || std::time::Instant::now() >= deadline
-            {
-                return None;
-            }
+            Err(_) => None, // patience elapsed (or fabric gone)
         }
     }
 
     /// Signals waiting standby threads that the job is over.
     pub fn shutdown_standbys(&self) {
-        self.fabric
-            .done
-            .store(true, std::sync::atomic::Ordering::Relaxed);
+        self.fabric.done.store(true, Ordering::Release);
+        let _ = self.fabric.standby_tx.send(StandbyEvent::Shutdown);
     }
+}
 
-    fn send_from(&self, from: NodeId, to: NodeId, msg: M, bytes: u64) -> bool {
-        if !self.coord.is_alive(to) {
-            return false; // dropped on the wire: destination crashed
-        }
-        self.comm.record(1, bytes);
-        let sender = self.fabric.senders.lock()[to.index()].clone();
-        sender.send(Envelope { from, msg }).is_ok()
-    }
+/// A node's cached snapshot of the sender table.
+#[derive(Debug)]
+struct RouteCache<M> {
+    generation: u64,
+    table: Arc<[Sender<Envelope<M>>]>,
 }
 
 /// The execution context of one logical node: its identity, inbox, and
@@ -193,6 +258,7 @@ impl<M: Send + 'static> Cluster<M> {
 pub struct NodeCtx<M> {
     id: NodeId,
     inbox: Receiver<Envelope<M>>,
+    routes: RefCell<RouteCache<M>>,
     cluster: Cluster<M>,
 }
 
@@ -207,22 +273,46 @@ impl<M: Send + 'static> NodeCtx<M> {
         &self.cluster
     }
 
+    fn send_from(&self, to: NodeId, msg: M, bytes: u64, kind: CommKind) -> bool {
+        if !self.cluster.coord.is_alive(to) {
+            return false; // dropped on the wire: destination crashed
+        }
+        self.cluster.comm.record_kind(kind, 1, bytes);
+        let mut cache = self.routes.borrow_mut();
+        let generation = self.cluster.fabric.generation.load(Ordering::Acquire);
+        if cache.generation != generation {
+            let routes = self.cluster.fabric.routes.lock();
+            cache.generation = self.cluster.fabric.generation.load(Ordering::Acquire);
+            cache.table = Arc::clone(&routes);
+        }
+        cache.table[to.index()]
+            .send(Envelope { from: self.id, msg })
+            .is_ok()
+    }
+
     /// Sends `msg` to `to`, charging zero accounted bytes. Returns `false`
     /// if the destination is dead (message dropped, as on a real network).
     pub fn send(&self, to: NodeId, msg: M) -> bool {
-        self.cluster.send_from(self.id, to, msg, 0)
+        self.send_from(to, msg, 0, CommKind::Control)
     }
 
     /// Sends `msg` to `to`, accounting `bytes` of wire traffic.
     pub fn send_sized(&self, to: NodeId, msg: M, bytes: u64) -> bool {
-        self.cluster.send_from(self.id, to, msg, bytes)
+        self.send_from(to, msg, bytes, CommKind::Control)
+    }
+
+    /// Sends `msg` to `to`, accounting `bytes` of wire traffic under the
+    /// given traffic kind.
+    pub fn send_kind(&self, to: NodeId, msg: M, bytes: u64, kind: CommKind) -> bool {
+        self.send_from(to, msg, bytes, kind)
     }
 
     /// Drains every message currently queued (all messages sent before the
     /// senders entered the last barrier are guaranteed to be here — channel
-    /// sends complete before the barrier is entered).
+    /// sends complete before the barrier is entered). One lock acquisition
+    /// for the whole batch.
     pub fn drain(&self) -> Vec<Envelope<M>> {
-        self.inbox.try_iter().collect()
+        self.inbox.drain_all().into()
     }
 
     /// Blocks up to `timeout` for one message.
@@ -231,15 +321,22 @@ impl<M: Send + 'static> NodeCtx<M> {
     }
 
     /// Enters the next global barrier (Algorithm 1's `enter_barrier` /
-    /// `leave_barrier`) and returns the agreed outcome.
+    /// `leave_barrier`) and returns the agreed outcome. Time spent blocked
+    /// is added to the cluster's barrier-wait tally.
     pub fn enter_barrier(&self) -> BarrierOutcome {
-        self.cluster.coord.barrier(self.id)
+        let start = Instant::now();
+        let out = self.cluster.coord.barrier(self.id);
+        self.cluster.comm.record_barrier_wait(start.elapsed());
+        out
     }
 
     /// Enters the next global barrier contributing `value` to the
     /// all-reduced sum (e.g. this node's active-vertex count).
     pub fn enter_barrier_sum(&self, value: u64) -> (BarrierOutcome, u64) {
-        self.cluster.coord.barrier_sum(self.id, value)
+        let start = Instant::now();
+        let out = self.cluster.coord.barrier_sum(self.id, value);
+        self.cluster.comm.record_barrier_wait(start.elapsed());
+        out
     }
 
     /// Crashes this node: marks it for (delayed) failure detection. The
@@ -314,7 +411,8 @@ mod tests {
         assert!(c.coordinator().claim_standby());
         let b2 = c.adopt(NodeId::new(1));
         assert!(c.coordinator().is_alive(NodeId::new(1)));
-        // New inbox starts empty; fresh messages flow.
+        // New inbox starts empty; fresh messages flow — `a`'s cached route
+        // table is stale here and must refresh via the generation bump.
         assert!(b2.drain().is_empty());
         a.send(NodeId::new(1), 8);
         assert_eq!(b2.recv_timeout(Duration::from_secs(1)).unwrap().msg, 8);
@@ -331,10 +429,66 @@ mod tests {
     }
 
     #[test]
+    fn comm_breakdown_splits_kinds_and_times_barriers() {
+        let (c, a, b) = two();
+        a.send_kind(NodeId::new(1), 1, 64, CommKind::Sync);
+        a.send_kind(NodeId::new(1), 2, 16, CommKind::Recovery);
+        a.send_sized(NodeId::new(1), 3, 4);
+        let br = c.comm_breakdown();
+        assert_eq!(br.kind(CommKind::Sync).bytes, 64);
+        assert_eq!(br.kind(CommKind::Recovery).bytes, 16);
+        assert_eq!(br.kind(CommKind::Control).bytes, 4);
+        assert_eq!(br.total(), c.comm_stats());
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            b.enter_barrier()
+        });
+        a.enter_barrier();
+        t.join().unwrap();
+        // `a` blocked for ~10ms waiting on `b`.
+        assert!(c.comm_breakdown().barrier_wait >= Duration::from_millis(5));
+    }
+
+    #[test]
     fn barrier_roundtrip_through_ctx() {
         let (_c, a, b) = two();
         let t = std::thread::spawn(move || b.enter_barrier());
         assert_eq!(a.enter_barrier(), BarrierOutcome::Clean);
         assert_eq!(t.join().unwrap(), BarrierOutcome::Clean);
+    }
+
+    #[test]
+    fn wait_standby_wakes_on_dispatch_not_poll() {
+        let c: Cluster<u64> = Cluster::new(2, 1, Duration::ZERO);
+        let _a = c.take_ctx(NodeId::new(0));
+        let b = c.take_ctx(NodeId::new(1));
+        b.die();
+        c.coordinator().mark_failed(NodeId::new(1));
+        let waiter = {
+            let c = c.clone();
+            std::thread::spawn(move || c.wait_standby(Duration::from_secs(30)))
+        };
+        assert!(c.dispatch_standby(NodeId::new(1)));
+        let ctx = waiter.join().unwrap().expect("standby adopted");
+        assert_eq!(ctx.id(), NodeId::new(1));
+    }
+
+    #[test]
+    fn shutdown_wakes_every_waiting_standby() {
+        let c: Cluster<u64> = Cluster::new(1, 3, Duration::ZERO);
+        let waiters: Vec<_> = (0..3)
+            .map(|_| {
+                let c = c.clone();
+                std::thread::spawn(move || c.wait_standby(Duration::from_secs(30)))
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(20));
+        let start = Instant::now();
+        c.shutdown_standbys();
+        for w in waiters {
+            assert!(w.join().unwrap().is_none());
+        }
+        // Event-driven wake-up: nowhere near the 30s patience.
+        assert!(start.elapsed() < Duration::from_secs(5));
     }
 }

@@ -53,6 +53,7 @@ mod report;
 mod rt;
 mod runner_ec;
 mod runner_vc;
+mod suppress;
 
 pub use msg::{EcMsg, VcMsg, VertexSync};
 pub use report::{RecoveryReport, RunReport};
@@ -130,6 +131,12 @@ pub struct RunConfig {
     /// paper's evaluation runs 4 worker threads per machine). Results are
     /// bit-identical for any value; `0` is treated as `1`.
     pub threads_per_node: usize,
+    /// Skip sync records whose codec-encoded value is bitwise identical to
+    /// the last record shipped to that destination *and* whose scatter bit
+    /// matches (redundant-sync suppression). Results are bit-identical
+    /// either way; the skipped records show up in
+    /// [`RunReport::suppressed_syncs`].
+    pub sync_suppress: bool,
 }
 
 impl Default for RunConfig {
@@ -141,6 +148,7 @@ impl Default for RunConfig {
             detection_delay: Duration::ZERO,
             standbys: 0,
             threads_per_node: 4,
+            sync_suppress: true,
         }
     }
 }

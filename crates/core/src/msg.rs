@@ -13,10 +13,15 @@ use imitator_graph::Vid;
 /// line 6). With replication FT on, the same record doubles as the mirror's
 /// dynamic-state refresh: `activate` is the scatter bit the mirror stores
 /// for activation replay (§5.1.3).
+///
+/// Position-addressed, like the recovery entries (§5.1.2): the master knows
+/// every replica's array position on its destination node, so the receiver
+/// applies the record straight into its vertex array — no per-record
+/// ID-to-position lookup on the hot path.
 #[derive(Debug, Clone, PartialEq)]
 pub struct VertexSync<V> {
-    /// The vertex.
-    pub vid: Vid,
+    /// The replica's array position on the destination node.
+    pub pos: u32,
     /// Its new committed value.
     pub value: V,
     /// The scatter decision of this update.
@@ -24,7 +29,9 @@ pub struct VertexSync<V> {
 }
 
 impl<V> VertexSync<V> {
-    /// Accounted wire size given the value's size.
+    /// Accounted wire size given the value's size: matches the storage
+    /// codec's encoding of `(pos, value, activate)` exactly (see the
+    /// `accounted_sizes_match_codec` test).
     pub fn wire_bytes(value_bytes: usize) -> usize {
         4 + value_bytes + 1
     }
@@ -58,6 +65,18 @@ pub struct EcRecoverEntry<V> {
     pub out_local: Vec<u32>,
     /// Full state (masters and mirrors).
     pub meta: Option<Box<MasterMeta>>,
+}
+
+impl<V> EcRecoverEntry<V> {
+    /// Accounted wire size of one entry, matching the storage codec's
+    /// encoding of every field except `meta` (mirror full state is charged
+    /// separately by the meta-refresh estimates): `vid + pos + kind +
+    /// master_node + value + last_activate + active + in_edges (length
+    /// prefix + 8 per edge) + out_local (length prefix + 4 per target) +
+    /// meta presence flag`.
+    pub fn wire_bytes(value_bytes: usize, in_edges: usize, out_local: usize) -> usize {
+        4 + 4 + 1 + 4 + value_bytes + 1 + 1 + (8 + 8 * in_edges) + (8 + 4 * out_local) + 1
+    }
 }
 
 /// A survivor's complete contribution to one Rebirth reconstruction.
@@ -155,6 +174,15 @@ pub struct VcRecoverEntry<V> {
     pub meta: Option<Box<VcMeta>>,
 }
 
+impl<V> VcRecoverEntry<V> {
+    /// Accounted wire size of one entry, matching the storage codec's
+    /// encoding of every field except `meta` (charged separately): `vid +
+    /// pos + kind + master_node + value + meta presence flag`.
+    pub fn wire_bytes(value_bytes: usize) -> usize {
+        4 + 4 + 1 + 4 + value_bytes + 1
+    }
+}
+
 /// A survivor's contribution to one vertex-cut Rebirth reconstruction.
 #[derive(Debug, Clone, PartialEq)]
 pub struct VcRebirthBatch<V> {
@@ -190,6 +218,7 @@ pub enum VcMsg<V, A> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use imitator_storage::codec::Encode;
 
     #[test]
     fn sync_wire_size_counts_header_and_value() {
@@ -199,10 +228,55 @@ mod tests {
     #[test]
     fn messages_are_cloneable_and_comparable() {
         let m: EcMsg<f64> = EcMsg::Sync(vec![VertexSync {
-            vid: Vid::new(1),
+            pos: 1,
             value: 0.5,
             activate: true,
         }]);
         assert_eq!(m.clone(), m);
+    }
+
+    /// The accounted wire sizes must equal the storage codec's actual
+    /// encoded sizes of the corresponding fields, so the paper's
+    /// communication-cost numbers can't silently drift from the byte
+    /// encoding the fault-tolerance layers really use.
+    #[test]
+    fn accounted_sizes_match_codec() {
+        // VertexSync: (pos: u32, value, activate: bool).
+        let mut buf = Vec::new();
+        7u32.encode(&mut buf);
+        1.5f64.encode(&mut buf);
+        true.encode(&mut buf);
+        assert_eq!(VertexSync::<f64>::wire_bytes(8), buf.len());
+
+        // EcRecoverEntry sans meta: vid, pos, kind (one byte), master_node,
+        // value, last_activate, active, in_edges, out_local, meta flag.
+        let in_edges: Vec<(u32, f32)> = vec![(3, 0.5), (9, 0.25)];
+        let out_local: Vec<u32> = vec![1, 2, 3];
+        let mut buf = Vec::new();
+        4u32.encode(&mut buf); // vid
+        2u32.encode(&mut buf); // pos
+        0u8.encode(&mut buf); // kind discriminant
+        1u32.encode(&mut buf); // master_node
+        1.5f64.encode(&mut buf); // value
+        true.encode(&mut buf); // last_activate
+        false.encode(&mut buf); // active
+        in_edges.encode(&mut buf);
+        out_local.encode(&mut buf);
+        Option::<u8>::None.encode(&mut buf); // meta presence flag
+        assert_eq!(
+            EcRecoverEntry::<f64>::wire_bytes(8, in_edges.len(), out_local.len()),
+            buf.len()
+        );
+
+        // VcRecoverEntry sans meta: vid, pos, kind, master_node, value,
+        // meta flag.
+        let mut buf = Vec::new();
+        4u32.encode(&mut buf);
+        2u32.encode(&mut buf);
+        0u8.encode(&mut buf);
+        1u32.encode(&mut buf);
+        1.5f64.encode(&mut buf);
+        Option::<u8>::None.encode(&mut buf);
+        assert_eq!(VcRecoverEntry::<f64>::wire_bytes(8), buf.len());
     }
 }

@@ -2,7 +2,7 @@
 
 use std::time::Duration;
 
-use imitator_metrics::{CommStats, PhaseTimes};
+use imitator_metrics::{CommBreakdown, CommStats, PhaseTimes};
 
 /// What one recovery episode cost, broken into the paper's three phases
 /// (§5.1/§5.2, Figs. 2(c), 9, 11(b), 15(b)).
@@ -80,6 +80,17 @@ pub struct RunReport<V> {
     /// Extra FT replicas created at load (Fig. 3(b)/8(a)); zero unless
     /// replication FT is on.
     pub extra_replicas: usize,
+    /// Sync records skipped by redundant-sync suppression across all nodes
+    /// (each would have cost its wire bytes; results are bit-identical with
+    /// suppression off).
+    pub suppressed_syncs: u64,
+    /// `(iteration, records skipped)` per superstep, summed across nodes;
+    /// sparse — only nonzero supersteps appear.
+    pub suppressed_timeline: Vec<(u64, u64)>,
+    /// Fabric-level observability: traffic split by message kind
+    /// (sync / gather / recovery / control) plus total barrier-wait time, as
+    /// recorded by the communication layer itself.
+    pub fabric: CommBreakdown,
 }
 
 impl<V> RunReport<V> {

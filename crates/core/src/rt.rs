@@ -1,13 +1,14 @@
 //! Runtime state shared by the edge-cut and vertex-cut node main loops.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::time::{Duration, Instant};
 
 use imitator_cluster::{Envelope, NodeId};
 use imitator_graph::Vid;
-use imitator_metrics::{CommStats, PhaseTimes};
+use imitator_metrics::{CommBreakdown, CommStats, PhaseTimes};
 
 use crate::report::{RecoveryReport, RunReport};
+use crate::suppress::SyncFilter;
 
 /// Per-node mutable runtime bookkeeping threaded through the main loop.
 #[derive(Debug)]
@@ -45,10 +46,16 @@ pub(crate) struct NodeState<M> {
     pub stash: Vec<Envelope<M>>,
     /// Deterministic local counter for balanced replacement-mirror choice.
     pub mirror_assign: Vec<usize>,
+    /// Redundant-sync filter (per-master last-shipped state).
+    pub sync_filter: SyncFilter,
+    /// Sync records skipped by the filter, total.
+    pub suppressed_syncs: u64,
+    /// `(iteration, records skipped)` — sparse, nonzero entries only.
+    pub suppressed_timeline: Vec<(u64, u64)>,
 }
 
 impl<M> NodeState<M> {
-    pub(crate) fn new(num_nodes: usize, start: Instant) -> Self {
+    pub(crate) fn new(num_nodes: usize, start: Instant, sync_suppress: bool) -> Self {
         NodeState {
             iter: 0,
             alive: vec![true; num_nodes],
@@ -65,6 +72,21 @@ impl<M> NodeState<M> {
             start,
             stash: Vec::new(),
             mirror_assign: vec![0; num_nodes],
+            sync_filter: SyncFilter::new(num_nodes, sync_suppress),
+            suppressed_syncs: 0,
+            suppressed_timeline: Vec::new(),
+        }
+    }
+
+    /// Records `n` suppressed sync records for the current iteration.
+    pub(crate) fn note_suppressed(&mut self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.suppressed_syncs += n;
+        match self.suppressed_timeline.last_mut() {
+            Some((iter, count)) if *iter == self.iter => *count += n,
+            _ => self.suppressed_timeline.push((self.iter, n)),
         }
     }
 
@@ -105,6 +127,8 @@ pub(crate) struct NodeOutcome<G> {
     pub timeline: Vec<(u64, Duration)>,
     pub ckpt_time: Duration,
     pub recoveries: Vec<RecoveryReport>,
+    pub suppressed_syncs: u64,
+    pub suppressed_timeline: Vec<(u64, u64)>,
 }
 
 impl<G> NodeOutcome<G> {
@@ -118,6 +142,8 @@ impl<G> NodeOutcome<G> {
             timeline: st.timeline,
             ckpt_time: st.ckpt_time,
             recoveries: st.recoveries,
+            suppressed_syncs: st.suppressed_syncs,
+            suppressed_timeline: st.suppressed_timeline,
         }
     }
 }
@@ -128,8 +154,10 @@ pub(crate) fn merge_outcomes<G, V>(
     elapsed: Duration,
     mem_bytes: Vec<usize>,
     extra_replicas: usize,
+    fabric: CommBreakdown,
 ) -> (RunReport<V>, Vec<G>) {
     let mut graphs = Vec::new();
+    let mut suppressed_by_iter: BTreeMap<u64, u64> = BTreeMap::new();
     let mut report = RunReport {
         values: Vec::new(),
         iterations: 0,
@@ -142,8 +170,15 @@ pub(crate) fn merge_outcomes<G, V>(
         recoveries: Vec::new(),
         mem_bytes,
         extra_replicas,
+        suppressed_syncs: 0,
+        suppressed_timeline: Vec::new(),
+        fabric,
     };
     for o in outcomes {
+        report.suppressed_syncs += o.suppressed_syncs;
+        for (iter, n) in o.suppressed_timeline {
+            *suppressed_by_iter.entry(iter).or_default() += n;
+        }
         report.iterations = report.iterations.max(o.iterations);
         report.comm += o.comm;
         report.ft_comm += o.ft_comm;
@@ -170,5 +205,6 @@ pub(crate) fn merge_outcomes<G, V>(
             graphs.push(lg);
         }
     }
+    report.suppressed_timeline = suppressed_by_iter.into_iter().collect();
     (report, graphs)
 }

@@ -18,7 +18,7 @@ use imitator_engine::{
     RemoteEdge, VertexProgram,
 };
 use imitator_graph::{Graph, Vid};
-use imitator_metrics::{CommStats, MemSize, Stopwatch};
+use imitator_metrics::{CommKind, CommStats, MemSize, Stopwatch};
 use imitator_partition::EdgeCut;
 use imitator_storage::codec::{Decode, Encode};
 use imitator_storage::Dfs;
@@ -120,7 +120,11 @@ where
         let ctx = cluster.take_ctx(NodeId::from_index(p));
         let shared = Arc::clone(&shared);
         handles.push(std::thread::spawn(move || {
-            let mut st = NodeState::new(shared.cfg.num_nodes, Instant::now());
+            let mut st = NodeState::new(
+                shared.cfg.num_nodes,
+                Instant::now(),
+                shared.cfg.sync_suppress,
+            );
             if matches!(shared.cfg.ft, FtMode::Checkpoint { .. }) {
                 let sw = Stopwatch::start();
                 shared.dfs.write(
@@ -151,7 +155,13 @@ where
     }
     let elapsed = start.elapsed();
 
-    let (mut report, graphs) = merge_outcomes(outcomes, elapsed, mem_bytes, extra_replicas);
+    let (mut report, graphs) = merge_outcomes(
+        outcomes,
+        elapsed,
+        mem_bytes,
+        extra_replicas,
+        cluster.comm_breakdown(),
+    );
     let mut values: Vec<Option<P::Value>> = vec![None; g.num_vertices()];
     for lg in &graphs {
         for v in lg.verts.iter().filter(|v| v.is_master()) {
@@ -175,7 +185,11 @@ where
     P::Value: Encode + Decode + MemSize,
 {
     let ctx = cluster.wait_standby(Duration::from_secs(600))?;
-    let mut st = NodeState::new(shared.cfg.num_nodes, Instant::now());
+    let mut st = NodeState::new(
+        shared.cfg.num_nodes,
+        Instant::now(),
+        shared.cfg.sync_suppress,
+    );
     let lg = match shared.cfg.ft {
         FtMode::Replication { .. } => rebirth_newbie(&ctx, shared, &mut st),
         FtMode::Checkpoint { .. } => ckpt_newbie(&ctx, shared, &mut st),
@@ -196,6 +210,7 @@ where
     P::Value: Encode + Decode + MemSize,
 {
     let me = ctx.id();
+    st.sync_filter.set_domain(lg.verts.len() as u32);
     // Reusable per-destination sync-batch buffers (indexed by node, so send
     // order is deterministic) — allocated once, drained every iteration.
     let mut sync_batches: Vec<Vec<VertexSync<P::Value>>> =
@@ -243,12 +258,18 @@ where
         st.phases.record("barrier", sw.lap());
         if let BarrierOutcome::Failed(dead) = outcome {
             // Roll back (line 9): discard staged updates and stale traffic.
+            // The discarded syncs were never applied anywhere, so the
+            // suppression filter forgets them too.
             drop(updates);
+            st.sync_filter.rollback();
             stash_non_sync(&ctx, &mut st);
             let resume = st.iter;
             recover(&ctx, &mut lg, shared, &mut st, &dead, resume);
             continue;
         }
+        // The sync barrier passed: this iteration's syncs are the replicas'
+        // new last-shipped state.
+        st.sync_filter.commit();
 
         // Commit (line 14).
         if matches!(
@@ -260,7 +281,7 @@ where
         ) {
             st.dirty.extend(updates.iter().map(|u| u.local));
         }
-        let incoming = collect_syncs(&ctx, &lg, &mut st);
+        let incoming = collect_syncs(&ctx, &mut st);
         let stats = ec_commit(&mut lg, shared.prog.as_ref(), updates, incoming);
         st.phases.record("commit", sw.lap());
 
@@ -344,6 +365,7 @@ fn send_syncs<P>(
     P: VertexProgram,
     P::Value: Encode + Decode + MemSize,
 {
+    let mut suppressed = 0u64;
     for u in updates {
         let v = &lg.verts[u.local as usize];
         let i = v.vid.index();
@@ -351,9 +373,14 @@ fn send_syncs<P>(
             continue;
         }
         let meta = v.meta.as_ref().expect("masters always carry full state");
-        for &node in &meta.replica_nodes {
+        let staged = st.sync_filter.stage(u.local, &u.value, u.activate);
+        for (&node, &rpos) in meta.replica_nodes.iter().zip(&meta.replica_positions) {
+            if st.sync_filter.suppress(staged, node) {
+                suppressed += 1;
+                continue;
+            }
             batches[node.index()].push(VertexSync {
-                vid: v.vid,
+                pos: rpos,
                 value: u.value.clone(),
                 activate: u.activate,
             });
@@ -367,6 +394,7 @@ fn send_syncs<P>(
             }
         }
     }
+    st.note_suppressed(suppressed);
     for (n, batch) in batches.iter_mut().enumerate() {
         let ft = std::mem::take(&mut ft_entries[n]);
         if batch.is_empty() {
@@ -384,31 +412,24 @@ fn send_syncs<P>(
             // FT share estimated pro-rata on entry count.
             st.ft_comm.record(ft, bytes * ft / entries.max(1));
         }
-        ctx.send_sized(
+        ctx.send_kind(
             NodeId::from_index(n),
             EcMsg::Sync(std::mem::take(batch)),
             bytes,
+            CommKind::Sync,
         );
     }
 }
 
 /// Drains the inbox into `(position, value, activate)` replica updates,
-/// stashing recovery-protocol messages for later.
-fn collect_syncs<V: Clone + Send + 'static>(
-    ctx: &Ctx<V>,
-    lg: &EcLocalGraph<V>,
-    st: &mut St<V>,
-) -> Vec<(u32, V, bool)> {
+/// stashing recovery-protocol messages for later. Syncs are
+/// position-addressed by the sender, so no ID lookup happens here.
+fn collect_syncs<V: Clone + Send + 'static>(ctx: &Ctx<V>, st: &mut St<V>) -> Vec<(u32, V, bool)> {
     let mut out = Vec::new();
     for env in ctx.drain() {
         match env.msg {
             EcMsg::Sync(batch) => {
-                for s in batch {
-                    let pos = lg
-                        .position(s.vid)
-                        .expect("sync for a vertex with no local copy");
-                    out.push((pos, s.value, s.activate));
-                }
+                out.extend(batch.into_iter().map(|s| (s.pos, s.value, s.activate)));
             }
             other => st.stash.push(Envelope {
                 from: env.from,
@@ -599,12 +620,15 @@ fn rebirth_survivor<P>(
         let bytes: u64 = entries
             .iter()
             .map(|e| {
-                32 + shared.prog.value_wire_bytes(&e.value) as u64
-                    + 8 * (e.in_edges.len() + e.out_local.len()) as u64
+                EcRecoverEntry::<P::Value>::wire_bytes(
+                    shared.prog.value_wire_bytes(&e.value),
+                    e.in_edges.len(),
+                    e.out_local.len(),
+                ) as u64
             })
             .sum();
         comm.record(1, bytes);
-        ctx.send_sized(
+        ctx.send_kind(
             d,
             EcMsg::Rebirth(Box::new(EcRebirthBatch {
                 resume_iter,
@@ -612,6 +636,7 @@ fn rebirth_survivor<P>(
                 entries,
             })),
             bytes,
+            CommKind::Recovery,
         );
     }
     let reload = sw.elapsed();
@@ -843,7 +868,12 @@ fn migrate<P>(
     for &n in &others {
         let bytes = (promotions.len() * 20) as u64;
         comm.record(1, bytes);
-        ctx.send_sized(n, EcMsg::Promote(promotions.clone()), bytes);
+        ctx.send_kind(
+            n,
+            EcMsg::Promote(promotions.clone()),
+            bytes,
+            CommKind::Recovery,
+        );
     }
     ctx.enter_barrier();
 
@@ -950,7 +980,7 @@ fn migrate<P>(
         let req = requests.remove(&n).unwrap_or_default();
         let bytes = (req.len() * 4) as u64;
         comm.record(1, bytes);
-        ctx.send_sized(n, EcMsg::ReplicaRequest(req), bytes);
+        ctx.send_kind(n, EcMsg::ReplicaRequest(req), bytes, CommKind::Recovery);
     }
     ctx.enter_barrier();
 
@@ -986,7 +1016,7 @@ fn migrate<P>(
             .map(|x| 16 + shared.prog.value_wire_bytes(&x.value) as u64)
             .sum();
         comm.record(1, bytes);
-        ctx.send_sized(n, EcMsg::ReplicaGrant(g), bytes);
+        ctx.send_kind(n, EcMsg::ReplicaGrant(g), bytes, CommKind::Recovery);
     }
     ctx.enter_barrier();
 
@@ -1065,7 +1095,7 @@ fn migrate<P>(
         let p = placements.remove(&n).unwrap_or_default();
         let bytes = (p.len() * 8) as u64;
         comm.record(1, bytes);
-        ctx.send_sized(n, EcMsg::ReplicaPlaced(p), bytes);
+        ctx.send_kind(n, EcMsg::ReplicaPlaced(p), bytes, CommKind::Recovery);
     }
     ctx.enter_barrier();
 
@@ -1165,7 +1195,7 @@ fn migrate<P>(
             .map(|u| 64 + u.meta.in_edges_owner.len() as u64 * 8)
             .sum();
         comm.record(1, bytes);
-        ctx.send_sized(n, EcMsg::MirrorUpdate(ups), bytes);
+        ctx.send_kind(n, EcMsg::MirrorUpdate(ups), bytes, CommKind::Recovery);
     }
     ctx.enter_barrier();
 
@@ -1216,7 +1246,7 @@ fn migrate<P>(
         let p = fresh_placements.remove(&n).unwrap_or_default();
         let bytes = (p.len() * 8) as u64;
         comm.record(1, bytes);
-        ctx.send_sized(n, EcMsg::ReplicaPlaced(p), bytes);
+        ctx.send_kind(n, EcMsg::ReplicaPlaced(p), bytes, CommKind::Recovery);
     }
     ctx.enter_barrier();
 
@@ -1265,7 +1295,7 @@ fn migrate<P>(
             .map(|u| 64 + u.meta.in_edges_owner.len() as u64 * 8)
             .sum();
         comm.record(1, bytes);
-        ctx.send_sized(n, EcMsg::MirrorUpdate(ups), bytes);
+        ctx.send_kind(n, EcMsg::MirrorUpdate(ups), bytes, CommKind::Recovery);
     }
     ctx.enter_barrier();
 
@@ -1346,11 +1376,22 @@ fn ckpt_recover_survivor<P>(
     );
     let snap_iter = if st.last_snapshot_iter == 0 {
         reset_to_initial(lg, shared);
+        // Masters no longer hold their last-shipped values: the filter's
+        // entries describe nothing anymore.
+        st.sync_filter.clear();
         0
     } else if incremental {
         reset_to_initial(lg, shared);
+        st.sync_filter.clear();
         apply_snapshot_chain(lg, shared, me, true)
     } else {
+        // A full snapshot restores masters only; surviving replicas keep
+        // exactly the state our last syncs installed, so the filter stays
+        // valid toward survivors. The crashed nodes' replacements are
+        // rebuilt from snapshots instead — re-ship everything there.
+        for &d in dead {
+            st.sync_filter.invalidate_dest(d);
+        }
         let bytes = shared
             .dfs
             .read(&format!("ec/ckpt/{}/{}", st.last_snapshot_iter, me.raw()))
@@ -1435,6 +1476,14 @@ where
 
 /// Post-reload replica refresh: every master pushes its restored state to
 /// all of its replicas (one full sync round with its own barrier).
+///
+/// Records already installed on a destination by our last regular syncs are
+/// suppressed (surviving replicas were not rolled back — snapshots hold
+/// masters only), which is where redundant-sync suppression pays off most:
+/// only vertices that changed since the snapshot are re-shipped to
+/// survivors. Recovery cannot be interrupted (failures inject at loop tops
+/// only), so staged entries commit immediately, and afterwards every
+/// destination provably holds every entry — the filter revalidates fully.
 fn ckpt_full_sync<P>(
     ctx: &Ctx<P::Value>,
     lg: &mut EcLocalGraph<P::Value>,
@@ -1445,16 +1494,24 @@ fn ckpt_full_sync<P>(
     P::Value: Encode + Decode + MemSize,
 {
     let mut batches: HashMap<NodeId, Vec<VertexSync<P::Value>>> = HashMap::new();
-    for v in lg.verts.iter().filter(|v| v.is_master()) {
+    let mut suppressed = 0u64;
+    for (pos, v) in lg.verts.iter().enumerate().filter(|(_, v)| v.is_master()) {
         let meta = v.meta.as_ref().expect("master meta");
-        for &node in &meta.replica_nodes {
+        let staged = st.sync_filter.stage(pos as u32, &v.value, v.last_activate);
+        for (&node, &rpos) in meta.replica_nodes.iter().zip(&meta.replica_positions) {
+            if st.sync_filter.suppress(staged, node) {
+                suppressed += 1;
+                continue;
+            }
             batches.entry(node).or_default().push(VertexSync {
-                vid: v.vid,
+                pos: rpos,
                 value: v.value.clone(),
                 activate: v.last_activate,
             });
         }
     }
+    st.sync_filter.commit();
+    st.note_suppressed(suppressed);
     for (node, batch) in batches {
         let bytes: u64 = batch
             .iter()
@@ -1462,10 +1519,10 @@ fn ckpt_full_sync<P>(
                 VertexSync::<P::Value>::wire_bytes(shared.prog.value_wire_bytes(&s.value)) as u64
             })
             .sum();
-        ctx.send_sized(node, EcMsg::Sync(batch), bytes);
+        ctx.send_kind(node, EcMsg::Sync(batch), bytes, CommKind::Recovery);
     }
     ctx.enter_barrier();
-    let incoming = collect_syncs(ctx, lg, st);
+    let incoming = collect_syncs(ctx, st);
     for (pos, value, activate) in incoming {
         let v = &mut lg.verts[pos as usize];
         v.value = value;
@@ -1473,6 +1530,7 @@ fn ckpt_full_sync<P>(
         v.next_active = false;
     }
     ctx.enter_barrier();
+    st.sync_filter.revalidate_all();
 }
 
 /// Applies this node's snapshots in ascending iteration order, returning

@@ -20,7 +20,7 @@ use imitator_engine::{
     VcGatherIndex, VcLocalGraph, VcMeta, VcVertex, VertexProgram,
 };
 use imitator_graph::{Graph, Vid};
-use imitator_metrics::{CommStats, MemSize, Stopwatch};
+use imitator_metrics::{CommKind, CommStats, MemSize, Stopwatch};
 use imitator_partition::VertexCut;
 use imitator_storage::codec::{Decode, Encode};
 use imitator_storage::Dfs;
@@ -118,7 +118,11 @@ where
         let ctx = cluster.take_ctx(NodeId::from_index(p));
         let shared = Arc::clone(&shared);
         handles.push(std::thread::spawn(move || {
-            let mut st = NodeState::new(shared.cfg.num_nodes, Instant::now());
+            let mut st = NodeState::new(
+                shared.cfg.num_nodes,
+                Instant::now(),
+                shared.cfg.sync_suppress,
+            );
             match shared.cfg.ft {
                 FtMode::Checkpoint { .. } => {
                     let sw = Stopwatch::start();
@@ -158,7 +162,13 @@ where
     }
     let elapsed = start.elapsed();
 
-    let (mut report, graphs) = merge_outcomes(outcomes, elapsed, mem_bytes, extra_replicas);
+    let (mut report, graphs) = merge_outcomes(
+        outcomes,
+        elapsed,
+        mem_bytes,
+        extra_replicas,
+        cluster.comm_breakdown(),
+    );
     let mut values: Vec<Option<P::Value>> = vec![None; g.num_vertices()];
     for lg in &graphs {
         for v in lg.verts.iter().filter(|v| v.is_master()) {
@@ -218,7 +228,11 @@ where
     P::Value: Encode + Decode + MemSize,
 {
     let ctx = cluster.wait_standby(Duration::from_secs(600))?;
-    let mut st = NodeState::new(shared.cfg.num_nodes, Instant::now());
+    let mut st = NodeState::new(
+        shared.cfg.num_nodes,
+        Instant::now(),
+        shared.cfg.sync_suppress,
+    );
     let lg = match shared.cfg.ft {
         FtMode::Replication { .. } => rebirth_newbie(&ctx, shared, &mut st),
         FtMode::Checkpoint { .. } => ckpt_newbie(&ctx, shared, &mut st),
@@ -238,6 +252,7 @@ where
     P::Value: Encode + Decode + MemSize,
 {
     let me = ctx.id();
+    st.sync_filter.set_domain(lg.verts.len() as u32);
     let threads = shared.cfg.threads_per_node;
     // Steady-state scratch, allocated once and reused every iteration: the
     // dst-grouped edge index, the partial/combined accumulator tables, the
@@ -296,10 +311,11 @@ where
                 .map(|(_, a)| 4 + shared.prog.accum_wire_bytes(a) as u64)
                 .sum();
             st.comm.record(entries, bytes);
-            ctx.send_sized(
+            ctx.send_kind(
                 NodeId::from_index(n),
                 VcMsg::Gather(std::mem::take(batch)),
                 bytes,
+                CommKind::Gather,
             );
         }
         st.phases.record("send", sw.lap());
@@ -356,7 +372,12 @@ where
         );
         st.phases.record("apply", sw.lap());
 
-        // Broadcast new values to replicas (mirror dynamic state included).
+        // Broadcast new values to replicas (mirror dynamic state included),
+        // addressed by destination-local position. The dense engine's
+        // receivers apply the value only, so the redundant-sync filter keys
+        // on the value alone (`activate` staged as `false`, matching the
+        // full-sync rounds recovery sends).
+        let mut suppressed = 0u64;
         for u in &updates {
             let v = &lg.verts[u.local as usize];
             let i = v.vid.index();
@@ -364,9 +385,14 @@ where
                 continue;
             }
             let meta = v.meta.as_ref().expect("master meta");
-            for &node in &meta.replica_nodes {
+            let staged = st.sync_filter.stage(u.local, &u.value, false);
+            for (&node, &rpos) in meta.replica_nodes.iter().zip(&meta.replica_positions) {
+                if st.sync_filter.suppress(staged, node) {
+                    suppressed += 1;
+                    continue;
+                }
                 sync_batches[node.index()].push(VertexSync {
-                    vid: v.vid,
+                    pos: rpos,
                     value: u.value.clone(),
                     activate: u.activate,
                 });
@@ -380,6 +406,7 @@ where
                 }
             }
         }
+        st.note_suppressed(suppressed);
         for (n, batch) in sync_batches.iter_mut().enumerate() {
             let ft = std::mem::take(&mut ft_entries[n]);
             if batch.is_empty() {
@@ -397,16 +424,18 @@ where
             if ft > 0 {
                 st.ft_comm.record(ft, bytes * ft / entries.max(1));
             }
-            ctx.send_sized(
+            ctx.send_kind(
                 NodeId::from_index(n),
                 VcMsg::Sync(std::mem::take(batch)),
                 bytes,
+                CommKind::Sync,
             );
         }
         st.phases.record("send", sw.lap());
         let (outcome2, _) = ctx.enter_barrier_sum(0);
         st.phases.record("barrier", sw.lap());
         if let BarrierOutcome::Failed(dead) = outcome2 {
+            st.sync_filter.rollback();
             drop(updates);
             stash_non_data(&ctx, &mut st);
             let resume = st.iter;
@@ -414,6 +443,10 @@ where
             gather_index = VcGatherIndex::build(&lg);
             continue;
         }
+        // The sync barrier passed: every record sent above is sitting in its
+        // destination's inbox and will be applied — the staged filter state
+        // becomes authoritative.
+        st.sync_filter.commit();
 
         // Commit.
         if matches!(
@@ -425,7 +458,7 @@ where
         ) {
             st.dirty.extend(updates.iter().map(|u| u.local));
         }
-        let incoming = collect_syncs(&ctx, &lg, &mut st);
+        let incoming = collect_syncs(&ctx, &mut st);
         let stats = vc_commit(&mut lg, updates, incoming);
         st.phases.record("commit", sw.lap());
 
@@ -486,11 +519,7 @@ where
     NodeOutcome::from_state(Some(lg), st)
 }
 
-fn collect_syncs<V, A>(
-    ctx: &NodeCtx<VcMsg<V, A>>,
-    lg: &VcLocalGraph<V>,
-    st: &mut NodeState<VcMsg<V, A>>,
-) -> Vec<(u32, V)>
+fn collect_syncs<V, A>(ctx: &NodeCtx<VcMsg<V, A>>, st: &mut NodeState<VcMsg<V, A>>) -> Vec<(u32, V)>
 where
     V: Send + 'static,
     A: Send + 'static,
@@ -501,10 +530,9 @@ where
     for env in pending {
         match env.msg {
             VcMsg::Sync(batch) => {
-                for s in batch {
-                    let pos = lg.position(s.vid).expect("sync for unknown vertex");
-                    out.push((pos, s.value));
-                }
+                // Records are addressed by our local position — no per-record
+                // vid-to-position map lookup.
+                out.extend(batch.into_iter().map(|s| (s.pos, s.value)));
             }
             other => st.stash.push(Envelope {
                 from: env.from,
@@ -673,10 +701,13 @@ fn rebirth_survivor<P>(
         recovered += entries.len() as u64;
         let bytes: u64 = entries
             .iter()
-            .map(|e| 24 + shared.prog.value_wire_bytes(&e.value) as u64)
+            .map(|e| {
+                VcRecoverEntry::<P::Value>::wire_bytes(shared.prog.value_wire_bytes(&e.value))
+                    as u64
+            })
             .sum();
         comm.record(1, bytes);
-        ctx.send_sized(
+        ctx.send_kind(
             d,
             VcMsg::Rebirth(Box::new(VcRebirthBatch {
                 resume_iter,
@@ -684,6 +715,7 @@ fn rebirth_survivor<P>(
                 entries,
             })),
             bytes,
+            CommKind::Recovery,
         );
     }
     let reload = sw.elapsed();
@@ -868,7 +900,12 @@ fn migrate<P>(
     for &n in &others {
         let bytes = (promotions.len() * 20) as u64;
         comm.record(1, bytes);
-        ctx.send_sized(n, VcMsg::Promote(promotions.clone()), bytes);
+        ctx.send_kind(
+            n,
+            VcMsg::Promote(promotions.clone()),
+            bytes,
+            CommKind::Recovery,
+        );
     }
     ctx.enter_barrier();
 
@@ -940,7 +977,7 @@ fn migrate<P>(
         let req = requests.remove(&n).unwrap_or_default();
         let bytes = (req.len() * 4) as u64;
         comm.record(1, bytes);
-        ctx.send_sized(n, VcMsg::ReplicaRequest(req), bytes);
+        ctx.send_kind(n, VcMsg::ReplicaRequest(req), bytes, CommKind::Recovery);
     }
     ctx.enter_barrier();
 
@@ -976,7 +1013,7 @@ fn migrate<P>(
             .map(|x| 16 + shared.prog.value_wire_bytes(&x.value) as u64)
             .sum();
         comm.record(1, bytes);
-        ctx.send_sized(n, VcMsg::ReplicaGrant(g), bytes);
+        ctx.send_kind(n, VcMsg::ReplicaGrant(g), bytes, CommKind::Recovery);
     }
     ctx.enter_barrier();
 
@@ -1021,7 +1058,7 @@ fn migrate<P>(
         let p = placements.remove(&n).unwrap_or_default();
         let bytes = (p.len() * 8) as u64;
         comm.record(1, bytes);
-        ctx.send_sized(n, VcMsg::ReplicaPlaced(p), bytes);
+        ctx.send_kind(n, VcMsg::ReplicaPlaced(p), bytes, CommKind::Recovery);
     }
     ctx.enter_barrier();
 
@@ -1098,7 +1135,7 @@ fn migrate<P>(
         let ups = mirror_updates.remove(&n).unwrap_or_default();
         let bytes = (ups.len() * 64) as u64;
         comm.record(1, bytes);
-        ctx.send_sized(n, VcMsg::MirrorUpdate(ups), bytes);
+        ctx.send_kind(n, VcMsg::MirrorUpdate(ups), bytes, CommKind::Recovery);
     }
     ctx.enter_barrier();
 
@@ -1144,7 +1181,7 @@ fn migrate<P>(
         let p = fresh_placements.remove(&n).unwrap_or_default();
         let bytes = (p.len() * 8) as u64;
         comm.record(1, bytes);
-        ctx.send_sized(n, VcMsg::ReplicaPlaced(p), bytes);
+        ctx.send_kind(n, VcMsg::ReplicaPlaced(p), bytes, CommKind::Recovery);
     }
     ctx.enter_barrier();
 
@@ -1189,7 +1226,7 @@ fn migrate<P>(
         let ups = refreshes.remove(&n).unwrap_or_default();
         let bytes = (ups.len() * 64) as u64;
         comm.record(1, bytes);
-        ctx.send_sized(n, VcMsg::MirrorUpdate(ups), bytes);
+        ctx.send_kind(n, VcMsg::MirrorUpdate(ups), bytes, CommKind::Recovery);
     }
     ctx.enter_barrier();
 
@@ -1271,16 +1308,27 @@ fn ckpt_recover_survivor<P>(
         }
     );
     let snap_iter = if st.last_snapshot_iter == 0 {
+        // Every local copy (replicas included) resets to initial state: the
+        // sync filter's last-shipped entries describe nothing any more.
         for v in lg.verts.iter_mut() {
             v.value = shared.prog.init(v.vid, &shared.degrees);
         }
+        st.sync_filter.clear();
         0
     } else if incremental {
         for v in lg.verts.iter_mut() {
             v.value = shared.prog.init(v.vid, &shared.degrees);
         }
+        st.sync_filter.clear();
         apply_vc_snapshot_chain(lg, shared, me, true)
     } else {
+        // Full snapshots restore masters only; surviving peers' replicas
+        // still hold our last-shipped values, so the filter entries stay
+        // valid toward survivors — only the rebuilt nodes must be re-shipped
+        // unconditionally in the full-sync round below.
+        for &d in dead {
+            st.sync_filter.invalidate_dest(d);
+        }
         let bytes = shared
             .dfs
             .read(&format!("vc/ckpt/{}/{}", st.last_snapshot_iter, me.raw()))
@@ -1407,17 +1455,38 @@ fn ckpt_full_sync<P>(
     P: VertexProgram,
     P::Value: Encode + Decode + MemSize,
 {
+    // Re-ship every master's value to every replica, skipping records the
+    // redundant-sync filter proves redundant: full snapshots cover masters
+    // only, so a surviving destination's replicas still hold our last-shipped
+    // values, and any record bitwise identical to its filter entry would
+    // install exactly what the replica already has. Destinations rebuilt from
+    // snapshots were invalidated by the caller and receive the full round.
     let mut batches: HashMap<NodeId, Vec<VertexSync<P::Value>>> = HashMap::new();
-    for v in lg.verts.iter().filter(|v| v.is_master()) {
+    let mut suppressed = 0u64;
+    for (pos, v) in lg.verts.iter().enumerate() {
+        if !v.is_master() {
+            continue;
+        }
         let meta = v.meta.as_ref().expect("master meta");
-        for &node in &meta.replica_nodes {
+        let staged = st.sync_filter.stage(pos as u32, &v.value, false);
+        for (&node, &rpos) in meta.replica_nodes.iter().zip(&meta.replica_positions) {
+            if st.sync_filter.suppress(staged, node) {
+                suppressed += 1;
+                continue;
+            }
             batches.entry(node).or_default().push(VertexSync {
-                vid: v.vid,
+                pos: rpos,
                 value: v.value.clone(),
                 activate: false,
             });
         }
     }
+    // This round covers every (master, destination) pair, so the staged
+    // values become authoritative immediately and every destination is valid
+    // again afterwards. Failures only inject at iteration boundaries — the
+    // round itself cannot be interrupted.
+    st.sync_filter.commit();
+    st.note_suppressed(suppressed);
     for (node, batch) in batches {
         let bytes: u64 = batch
             .iter()
@@ -1425,12 +1494,13 @@ fn ckpt_full_sync<P>(
                 VertexSync::<P::Value>::wire_bytes(shared.prog.value_wire_bytes(&s.value)) as u64
             })
             .sum();
-        ctx.send_sized(node, VcMsg::Sync(batch), bytes);
+        ctx.send_kind(node, VcMsg::Sync(batch), bytes, CommKind::Recovery);
     }
     ctx.enter_barrier();
-    let incoming = collect_syncs(ctx, lg, st);
+    let incoming = collect_syncs(ctx, st);
     for (pos, value) in incoming {
         lg.verts[pos as usize].value = value;
     }
     ctx.enter_barrier();
+    st.sync_filter.revalidate_all();
 }

@@ -1,0 +1,498 @@
+//! Redundant-sync suppression (§4.3 flavour of "send less").
+//!
+//! A master's sync record is redundant when the destination replica already
+//! holds exactly what the record would install: the codec-encoded value is
+//! bitwise identical to the last record shipped there *and* the scatter bit
+//! matches. [`SyncFilter`] remembers, per local master position, the last
+//! committed `(bytes, activate)` pair shipped to the replicas, plus a
+//! per-destination validity epoch so recovery can cheaply mark a single
+//! destination's replicas as unknown (its state was rebuilt from snapshots,
+//! not from our last sync).
+//!
+//! # Fault-tolerance correctness
+//!
+//! The filter only ever *skips* a record when the destination provably holds
+//! the identical `(value, activate)` pair, so every replica still equals the
+//! state an unfiltered run would have installed — recovery paths
+//! (Rebirth reconstruction, Migration grants, checkpoint full-sync) read the
+//! master's committed state, which by construction equals the filter entry.
+//! Staged entries only become authoritative after the sync barrier commits
+//! (`commit`); a failed barrier rolls them back (`rollback`), mirroring how
+//! the runners discard the iteration's staged updates.
+//!
+//! # Adaptive dormancy
+//!
+//! Staging costs an encode + compare per master update, which is pure
+//! overhead in supersteps where every value changes (e.g. early PageRank
+//! iterations). The filter therefore mutes itself: a committed superstep
+//! that staged real traffic against valid entries yet matched *nothing*
+//! sends the filter dormant for an exponentially growing number of
+//! supersteps (4, 8, … capped at 256), after which it probes again by
+//! re-staging. Entering dormancy clears the entry table — entries go stale
+//! the moment staging stops, and a stale match could suppress a record the
+//! destination never saw. On large partitions (≥ 4096 local positions)
+//! probe supersteps additionally stage only one position in eight (a
+//! residue class that rotates between dormancy cycles), so even the probe
+//! costs an eighth of a full seed; the first hit escalates to full staging.
+//! Sampling can only change while the table is empty, so a sampled-out
+//! position never holds a stale entry. Dormancy and sampling are
+//! deterministic per node (a pure function of that node's update stream)
+//! and only ever suppress *less*, so they cannot affect results or
+//! recovery correctness.
+
+use imitator_cluster::NodeId;
+use imitator_storage::codec::Encode;
+
+/// Last committed sync for one local master position. `epoch == 0` marks a
+/// vacant slot; the encoded value lives in `SyncFilter::table` at
+/// `start..start + len`. Flat storage: seeding or re-seeding thousands of
+/// masters costs zero allocations beyond amortised arena growth.
+#[derive(Debug, Clone, Copy, Default)]
+struct Slot {
+    epoch: u64,
+    activate: bool,
+    start: u32,
+    len: u32,
+}
+
+/// One staged record: its encoded bytes live in `SyncFilter::pending_bytes`
+/// at `start..start + len` (a flat arena, so staging never allocates once
+/// the buffers are warm — this sits on the per-update hot path).
+#[derive(Debug)]
+struct Pending {
+    pos: u32,
+    activate: bool,
+    start: u32,
+    len: u32,
+}
+
+/// The result of staging one master update against the filter.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Staged {
+    /// The update is bitwise identical to the last committed sync.
+    matches: bool,
+    /// Epoch of the matching entry (meaningless when `matches` is false).
+    entry_epoch: u64,
+}
+
+/// First dormancy window, in supersteps; doubles per unproductive probe.
+/// Short on purpose: workloads that churn everywhere for a few supersteps
+/// and then stabilise (label propagation, convergent traversals) are back
+/// under the filter within a handful of iterations, while steady churners
+/// (PageRank) escalate to the cap after a few cheap probes.
+const DORMANCY_INITIAL: u32 = 4;
+/// Longest the filter stays muted between probes.
+const DORMANCY_MAX: u32 = 256;
+/// While probing on a large partition, stage only positions whose low bits
+/// equal the rotating probe phase: 1 in `SAMPLE_MASK + 1`.
+const SAMPLE_MASK: u32 = 7;
+/// Partitions smaller than this are probed in full — sampling only pays
+/// when seeding the table is expensive, and small tables must not risk
+/// missing their few static vertices.
+const SAMPLE_DOMAIN_MIN: u32 = 4096;
+
+/// Per-node redundant-sync filter (see module docs).
+#[derive(Debug)]
+pub(crate) struct SyncFilter {
+    enabled: bool,
+    /// Supersteps left before the next probe; `0` means actively staging.
+    dormant_left: u32,
+    /// Dormancy window the next unproductive probe earns (exponential).
+    dormancy: u32,
+    /// Whether `entries` was non-empty when this superstep began — a probe
+    /// superstep rebuilding an empty table is not judged unproductive.
+    had_entries: bool,
+    /// Updates staged this superstep that matched their committed entry.
+    hits: u64,
+    /// Probation: no staged update has matched since the last wake-up.
+    /// Large partitions sample during probation (see `sample`).
+    probing: bool,
+    /// Latched at wake-up: probe supersteps stage only 1 in 8 positions.
+    /// May only change while `entries` is empty, so a sampled-out position
+    /// can never hold a stale entry.
+    sample: bool,
+    /// Rotates the sampled residue class between dormancy cycles.
+    phase: u32,
+    /// Number of local positions, reported by the runner via `set_domain`.
+    domain: u32,
+    /// Epoch the *next* `commit` stamps on its entries; strictly increasing.
+    epoch: u64,
+    /// Per destination node: minimum entry epoch still known to be installed
+    /// there. Suppression toward `d` requires `entry.epoch >= valid_from[d]`.
+    valid_from: Vec<u64>,
+    /// Indexed by local master position; vacant slots have `epoch == 0`.
+    entries: Vec<Slot>,
+    /// Byte arena holding every slot's committed encoded value.
+    table: Vec<u8>,
+    /// Records staged this superstep, applied by `commit`.
+    pending: Vec<Pending>,
+    /// Byte arena backing `pending` (see [`Pending`]).
+    pending_bytes: Vec<u8>,
+    scratch: Vec<u8>,
+}
+
+impl SyncFilter {
+    pub(crate) fn new(num_nodes: usize, enabled: bool) -> Self {
+        SyncFilter {
+            enabled,
+            dormant_left: 0,
+            dormancy: DORMANCY_INITIAL,
+            had_entries: false,
+            hits: 0,
+            probing: true,
+            sample: false,
+            phase: 0,
+            domain: 0,
+            epoch: 1,
+            valid_from: vec![0; num_nodes],
+            entries: Vec::new(),
+            table: Vec::new(),
+            pending: Vec::new(),
+            pending_bytes: Vec::new(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Reports how many local positions this node's graph holds. Enables
+    /// sampled probing on large partitions; safe to call any time before the
+    /// first superstep (it only takes effect while the table is empty).
+    pub(crate) fn set_domain(&mut self, domain: u32) {
+        self.domain = domain;
+        if self.entries.is_empty() && self.pending.is_empty() {
+            self.sample = domain >= SAMPLE_DOMAIN_MIN;
+        }
+    }
+
+    /// Compares one master update against the last committed sync for
+    /// `pos` and, when it differs, stages it as the new last-shipped state.
+    /// Use [`SyncFilter::suppress`] with the result for each destination.
+    pub(crate) fn stage<V: Encode>(&mut self, pos: u32, value: &V, activate: bool) -> Staged {
+        if !self.enabled
+            || self.dormant_left > 0
+            || (self.probing && self.sample && (pos ^ self.phase) & SAMPLE_MASK != 0)
+        {
+            return Staged {
+                matches: false,
+                entry_epoch: 0,
+            };
+        }
+        self.scratch.clear();
+        value.encode(&mut self.scratch);
+        if let Some(e) = self.entries.get(pos as usize) {
+            if e.epoch != 0
+                && e.activate == activate
+                && self.table[e.start as usize..(e.start + e.len) as usize] == self.scratch[..]
+            {
+                self.hits += 1;
+                return Staged {
+                    matches: true,
+                    entry_epoch: e.epoch,
+                };
+            }
+        }
+        let start = self.pending_bytes.len() as u32;
+        self.pending_bytes.extend_from_slice(&self.scratch);
+        self.pending.push(Pending {
+            pos,
+            activate,
+            start,
+            len: self.scratch.len() as u32,
+        });
+        Staged {
+            matches: false,
+            entry_epoch: 0,
+        }
+    }
+
+    /// Whether the staged record may be skipped toward `dest`: it matches the
+    /// last committed sync *and* that sync is still known to be installed on
+    /// `dest` (not invalidated by a recovery that rebuilt `dest`'s state).
+    pub(crate) fn suppress(&self, staged: Staged, dest: NodeId) -> bool {
+        self.enabled && staged.matches && staged.entry_epoch >= self.valid_from[dest.index()]
+    }
+
+    /// The sync barrier passed: staged records become the authoritative
+    /// last-shipped state.
+    pub(crate) fn commit(&mut self) {
+        if self.dormant_left > 0 {
+            self.dormant_left -= 1; // reaching 0 resumes staging (a probe)
+            self.epoch += 1;
+            return;
+        }
+        let staged_traffic = !self.pending.is_empty();
+        for p in self.pending.drain(..) {
+            let pos = p.pos as usize;
+            if pos >= self.entries.len() {
+                self.entries.resize(pos + 1, Slot::default());
+            }
+            let src = p.start as usize..(p.start + p.len) as usize;
+            let e = &mut self.entries[pos];
+            if e.epoch != 0 && e.len == p.len {
+                // Same width: overwrite the slot's arena span in place.
+                let dst = e.start as usize;
+                self.table[dst..dst + p.len as usize].copy_from_slice(&self.pending_bytes[src]);
+            } else {
+                // Fresh slot (or a width change, which strands the old span
+                // until the next `clear` — bounded by value-size variety).
+                e.start = self.table.len() as u32;
+                self.table.extend_from_slice(&self.pending_bytes[src]);
+            }
+            e.epoch = self.epoch;
+            e.activate = p.activate;
+            e.len = p.len;
+        }
+        self.pending_bytes.clear();
+        self.epoch += 1;
+        if self.hits > 0 {
+            // The probe found a static region: stage everything from now on.
+            self.probing = false;
+        } else if staged_traffic && self.had_entries {
+            // Real traffic, valid entries, zero matches: the workload has no
+            // static region right now — mute until the next probe, which
+            // samples a different residue class.
+            self.dormant_left = self.dormancy;
+            self.dormancy = (self.dormancy * 2).min(DORMANCY_MAX);
+            self.probing = true;
+            self.phase = self.phase.wrapping_add(1);
+            // Stale the moment staging stops.
+            self.entries.clear();
+            self.table.clear();
+            self.sample = self.domain >= SAMPLE_DOMAIN_MIN;
+        }
+        self.hits = 0;
+        self.had_entries = !self.entries.is_empty();
+    }
+
+    /// The sync barrier failed: the staged records were never applied
+    /// anywhere (receivers discard in-flight syncs on rollback).
+    pub(crate) fn rollback(&mut self) {
+        self.pending.clear();
+        self.pending_bytes.clear();
+        self.hits = 0;
+    }
+
+    /// `dest`'s replica state was rebuilt from something other than our last
+    /// syncs (snapshot reload): every existing entry is unknown there until
+    /// re-shipped.
+    pub(crate) fn invalidate_dest(&mut self, dest: NodeId) {
+        self.valid_from[dest.index()] = self.epoch;
+    }
+
+    /// Every destination now holds our entries again (a full sync round
+    /// covered every `(master, destination)` pair).
+    pub(crate) fn revalidate_all(&mut self) {
+        self.valid_from.fill(0);
+    }
+
+    /// Forget everything — our own masters' values were rebuilt from
+    /// something other than their committed state (initial-state reset or an
+    /// incremental snapshot chain), so entries no longer describe what any
+    /// replica holds.
+    pub(crate) fn clear(&mut self) {
+        self.entries.clear();
+        self.table.clear();
+        self.pending.clear();
+        self.pending_bytes.clear();
+        self.valid_from.fill(0);
+        self.hits = 0;
+        self.had_entries = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::from_index(i)
+    }
+
+    #[test]
+    fn repeat_after_commit_suppresses_changed_value_does_not() {
+        let mut f = SyncFilter::new(2, true);
+        let s = f.stage(4, &1.5f64, true);
+        assert!(!f.suppress(s, n(1)));
+        f.commit();
+        // Identical value + bit → suppressed everywhere.
+        let s = f.stage(4, &1.5f64, true);
+        assert!(f.suppress(s, n(0)) && f.suppress(s, n(1)));
+        // Same value, flipped scatter bit → shipped.
+        let s = f.stage(4, &1.5f64, false);
+        assert!(!f.suppress(s, n(1)));
+        f.commit();
+        // Different value → shipped.
+        let s = f.stage(4, &2.5f64, false);
+        assert!(!f.suppress(s, n(1)));
+    }
+
+    #[test]
+    fn rollback_discards_staged_state() {
+        let mut f = SyncFilter::new(1, true);
+        f.stage(0, &7u32, false);
+        f.rollback();
+        // Nothing committed: the retry of the same record must ship.
+        let s = f.stage(0, &7u32, false);
+        assert!(!f.suppress(s, n(0)));
+        f.commit();
+        let s = f.stage(0, &7u32, false);
+        assert!(f.suppress(s, n(0)));
+    }
+
+    #[test]
+    fn invalidation_is_per_destination_until_revalidated() {
+        let mut f = SyncFilter::new(3, true);
+        f.stage(2, &9u64, true);
+        f.commit();
+        f.invalidate_dest(n(1));
+        let s = f.stage(2, &9u64, true);
+        assert!(f.suppress(s, n(0)));
+        assert!(
+            !f.suppress(s, n(1)),
+            "rebuilt destination must be re-shipped"
+        );
+        assert!(f.suppress(s, n(2)));
+        // A full sync round re-installs entries everywhere.
+        f.commit();
+        f.revalidate_all();
+        let s = f.stage(2, &9u64, true);
+        assert!(f.suppress(s, n(1)));
+    }
+
+    #[test]
+    fn newer_commits_are_valid_toward_invalidated_destinations() {
+        let mut f = SyncFilter::new(2, true);
+        f.stage(0, &1u32, false);
+        f.stage(1, &9u32, false);
+        f.commit();
+        f.invalidate_dest(n(1));
+        // The value changes after the invalidation: the fresh entry was
+        // shipped to the rebuilt destination too, so it suppresses there.
+        let s = f.stage(0, &2u32, false);
+        assert!(!f.suppress(s, n(1)));
+        // Position 1 repeats — a hit that keeps the filter out of dormancy.
+        f.stage(1, &9u32, false);
+        f.commit();
+        let s = f.stage(0, &2u32, false);
+        assert!(f.suppress(s, n(1)));
+    }
+
+    #[test]
+    fn large_partitions_probe_a_sample_and_escalate_on_hit() {
+        let mut f = SyncFilter::new(1, true);
+        f.set_domain(10_000);
+        // Probe superstep: only the phase-0 residue class is staged.
+        for p in 0..64u32 {
+            f.stage(p, &1.0f32, false);
+        }
+        assert_eq!(f.pending.len(), 8, "1 in 8 positions staged while probing");
+        f.commit();
+        // The sampled positions repeat → hits escalate to full staging.
+        for p in 0..64u32 {
+            f.stage(p, &1.0f32, false);
+        }
+        f.commit();
+        // First full superstep seeds the 56 off-sample positions…
+        for p in 0..64u32 {
+            f.stage(p, &1.0f32, false);
+        }
+        assert_eq!(
+            f.pending.len(),
+            56,
+            "off-sample positions seed on escalation"
+        );
+        f.commit();
+        // …after which every repeating position matches.
+        for p in 0..64u32 {
+            f.stage(p, &1.0f32, false);
+        }
+        assert_eq!(f.pending.len(), 0);
+        let s = f.stage(3, &1.0f32, false);
+        assert!(f.suppress(s, n(0)), "off-sample position suppresses too");
+    }
+
+    #[test]
+    fn small_partitions_never_sample() {
+        let mut f = SyncFilter::new(1, true);
+        f.set_domain(64);
+        for p in 0..64u32 {
+            f.stage(p, &1.0f32, false);
+        }
+        assert_eq!(f.pending.len(), 64, "small domains are probed in full");
+    }
+
+    #[test]
+    fn unproductive_filter_goes_dormant_then_probes() {
+        let mut f = SyncFilter::new(1, true);
+        // Superstep 0 seeds the table; superstep 1 stages real traffic
+        // against valid entries and matches nothing → the filter mutes.
+        f.stage(0, &0u64, false);
+        f.commit();
+        f.stage(0, &1u64, false);
+        f.commit();
+        // Dormant: even a would-be repeat is not recognised.
+        let s = f.stage(0, &1u64, false);
+        assert!(!f.suppress(s, n(0)));
+        f.commit();
+        // Sleep through the rest of the window; the probe superstep then
+        // rebuilds the table and suppression resumes one superstep later.
+        for _ in 0..DORMANCY_INITIAL {
+            f.commit();
+        }
+        f.stage(0, &7u64, false);
+        f.commit();
+        let s = f.stage(0, &7u64, false);
+        assert!(f.suppress(s, n(0)), "probe rebuilds and re-arms the filter");
+    }
+
+    #[test]
+    fn clear_forgets_entries() {
+        let mut f = SyncFilter::new(1, true);
+        f.stage(0, &3u8, true);
+        f.commit();
+        f.clear();
+        let s = f.stage(0, &3u8, true);
+        assert!(!f.suppress(s, n(0)));
+    }
+
+    #[test]
+    fn disabled_filter_never_suppresses_or_stores() {
+        let mut f = SyncFilter::new(1, false);
+        let s = f.stage(0, &3u8, true);
+        assert!(!f.suppress(s, n(0)));
+        f.commit();
+        let s = f.stage(0, &3u8, true);
+        assert!(!f.suppress(s, n(0)));
+    }
+}
+
+#[cfg(test)]
+mod perf_probe {
+    use super::*;
+
+    #[test]
+    #[ignore]
+    fn stage_microbench() {
+        let mut f = SyncFilter::new(8, true);
+        let n = 2_500u32;
+        // Seed.
+        for p in 0..n {
+            f.stage(p, &(p as f32), true);
+        }
+        f.commit();
+        let t = std::time::Instant::now();
+        let iters = 400u64;
+        let mut x = 0.0f32;
+        for it in 0..iters {
+            for p in 0..n {
+                let v = (p as f32) + (it as f32); // always changes
+                let s = f.stage(p, &v, true);
+                if f.suppress(s, NodeId::from_index(0)) {
+                    x += 1.0;
+                }
+            }
+            f.commit();
+        }
+        let per = t.elapsed().as_nanos() as f64 / (iters as f64 * n as f64);
+        eprintln!("stage+commit per-update: {per:.1} ns (x={x})");
+    }
+}

@@ -146,6 +146,7 @@ fn base_cfg(nodes: usize) -> RunConfig {
         detection_delay: Duration::ZERO,
         standbys: 0,
         threads_per_node: 2,
+        sync_suppress: true,
     }
 }
 

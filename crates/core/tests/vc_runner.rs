@@ -68,6 +68,7 @@ fn cfg(nodes: usize, ft: FtMode, standbys: usize) -> RunConfig {
         detection_delay: Duration::ZERO,
         standbys,
         threads_per_node: 2,
+        sync_suppress: true,
     }
 }
 

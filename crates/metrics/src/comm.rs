@@ -85,24 +85,116 @@ impl fmt::Display for CommStats {
     }
 }
 
+/// The kind of traffic a message carries, for the per-kind fabric counters.
+///
+/// The paper distinguishes replica-synchronisation traffic (the piggyback
+/// channel fault tolerance rides on) from the gather traffic vertex-cut
+/// engines already pay and from recovery-only traffic; splitting the tallies
+/// lets reports show where the wire budget actually goes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CommKind {
+    /// Replica synchronisation records (`VertexSync` batches).
+    Sync,
+    /// Vertex-cut partial gather contributions.
+    Gather,
+    /// Recovery traffic: rebirth batches, migration rounds, full-sync replays.
+    Recovery,
+    /// Everything else (control, tests, unclassified).
+    Control,
+}
+
+impl CommKind {
+    /// All kinds, in counter-array order.
+    pub const ALL: [CommKind; 4] = [
+        CommKind::Sync,
+        CommKind::Gather,
+        CommKind::Recovery,
+        CommKind::Control,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            CommKind::Sync => 0,
+            CommKind::Gather => 1,
+            CommKind::Recovery => 2,
+            CommKind::Control => 3,
+        }
+    }
+
+    /// Short label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            CommKind::Sync => "sync",
+            CommKind::Gather => "gather",
+            CommKind::Recovery => "recovery",
+            CommKind::Control => "control",
+        }
+    }
+}
+
+/// A point-in-time split of fabric traffic by [`CommKind`], plus the total
+/// time threads spent blocked in global barriers — the "compute vs comm-wait
+/// vs barrier" observability the comm layer reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommBreakdown {
+    /// Per-kind tallies, indexed by `CommKind::ALL` order.
+    pub by_kind: [CommStats; 4],
+    /// Summed wall-clock time all threads spent waiting inside barriers.
+    pub barrier_wait: std::time::Duration,
+}
+
+impl CommBreakdown {
+    /// The tally for one kind.
+    pub fn kind(&self, kind: CommKind) -> CommStats {
+        self.by_kind[kind.index()]
+    }
+
+    /// Sum over all kinds (equals the total counters when every send is
+    /// tagged).
+    pub fn total(&self) -> CommStats {
+        self.by_kind
+            .iter()
+            .fold(CommStats::default(), |acc, s| acc + *s)
+    }
+}
+
+impl fmt::Display for CommBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, kind) in CommKind::ALL.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {}", kind.label(), self.by_kind[i])?;
+        }
+        write!(f, ", barrier-wait: {:?}", self.barrier_wait)
+    }
+}
+
 /// A thread-safe message/byte tally shared between simulated cluster nodes.
 ///
 /// Nodes run on separate threads; each node records into the same
-/// `AtomicCommStats` without locking.
+/// `AtomicCommStats` without locking. Besides the headline message/byte
+/// totals it keeps per-[`CommKind`] counters and a barrier-wait timer so the
+/// fabric can report where traffic and wall-clock go.
 ///
 /// # Examples
 ///
 /// ```
-/// use imitator_metrics::AtomicCommStats;
+/// use imitator_metrics::{AtomicCommStats, CommKind};
 ///
 /// let stats = AtomicCommStats::default();
 /// stats.record(2, 128);
-/// assert_eq!(stats.snapshot().messages, 2);
+/// stats.record_kind(CommKind::Sync, 1, 64);
+/// assert_eq!(stats.snapshot().messages, 3);
+/// assert_eq!(stats.breakdown().kind(CommKind::Sync).bytes, 64);
 /// ```
 #[derive(Debug, Default)]
 pub struct AtomicCommStats {
     messages: AtomicU64,
     bytes: AtomicU64,
+    kind_messages: [AtomicU64; 4],
+    kind_bytes: [AtomicU64; 4],
+    barrier_wait_nanos: AtomicU64,
 }
 
 impl AtomicCommStats {
@@ -111,13 +203,28 @@ impl AtomicCommStats {
         Self::default()
     }
 
-    /// Adds `messages` messages totalling `bytes` bytes.
+    /// Adds `messages` messages totalling `bytes` bytes, tagged
+    /// [`CommKind::Control`].
     pub fn record(&self, messages: u64, bytes: u64) {
-        self.messages.fetch_add(messages, Ordering::Relaxed);
-        self.bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.record_kind(CommKind::Control, messages, bytes);
     }
 
-    /// Returns a point-in-time copy of the counters.
+    /// Adds `messages` messages totalling `bytes` bytes of the given kind.
+    pub fn record_kind(&self, kind: CommKind, messages: u64, bytes: u64) {
+        self.messages.fetch_add(messages, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes, Ordering::Relaxed);
+        let i = kind.index();
+        self.kind_messages[i].fetch_add(messages, Ordering::Relaxed);
+        self.kind_bytes[i].fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Adds time one thread spent blocked in a global barrier.
+    pub fn record_barrier_wait(&self, wait: std::time::Duration) {
+        self.barrier_wait_nanos
+            .fetch_add(wait.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Returns a point-in-time copy of the headline counters.
     pub fn snapshot(&self) -> CommStats {
         CommStats {
             messages: self.messages.load(Ordering::Relaxed),
@@ -125,8 +232,29 @@ impl AtomicCommStats {
         }
     }
 
-    /// Resets both counters to zero and returns the previous values.
+    /// Returns a point-in-time per-kind split plus the barrier-wait total.
+    pub fn breakdown(&self) -> CommBreakdown {
+        let mut out = CommBreakdown::default();
+        for kind in CommKind::ALL {
+            let i = kind.index();
+            out.by_kind[i] = CommStats {
+                messages: self.kind_messages[i].load(Ordering::Relaxed),
+                bytes: self.kind_bytes[i].load(Ordering::Relaxed),
+            };
+        }
+        out.barrier_wait =
+            std::time::Duration::from_nanos(self.barrier_wait_nanos.load(Ordering::Relaxed));
+        out
+    }
+
+    /// Resets the headline counters to zero and returns the previous values
+    /// (per-kind counters and the barrier timer reset alongside).
     pub fn take(&self) -> CommStats {
+        for i in 0..4 {
+            self.kind_messages[i].store(0, Ordering::Relaxed);
+            self.kind_bytes[i].store(0, Ordering::Relaxed);
+        }
+        self.barrier_wait_nanos.store(0, Ordering::Relaxed);
         CommStats {
             messages: self.messages.swap(0, Ordering::Relaxed),
             bytes: self.bytes.swap(0, Ordering::Relaxed),
@@ -137,10 +265,20 @@ impl AtomicCommStats {
 impl Clone for AtomicCommStats {
     fn clone(&self) -> Self {
         let snap = self.snapshot();
-        AtomicCommStats {
+        let br = self.breakdown();
+        let out = AtomicCommStats {
             messages: AtomicU64::new(snap.messages),
             bytes: AtomicU64::new(snap.bytes),
+            ..AtomicCommStats::default()
+        };
+        for kind in CommKind::ALL {
+            let i = kind.index();
+            out.kind_messages[i].store(br.by_kind[i].messages, Ordering::Relaxed);
+            out.kind_bytes[i].store(br.by_kind[i].bytes, Ordering::Relaxed);
         }
+        out.barrier_wait_nanos
+            .store(br.barrier_wait.as_nanos() as u64, Ordering::Relaxed);
+        out
     }
 }
 
@@ -202,6 +340,35 @@ mod tests {
         stats.record(4, 40);
         assert_eq!(stats.take(), CommStats::new(4, 40));
         assert_eq!(stats.snapshot(), CommStats::default());
+        assert_eq!(stats.breakdown(), CommBreakdown::default());
+    }
+
+    #[test]
+    fn kinds_split_and_sum_to_total() {
+        let stats = AtomicCommStats::new();
+        stats.record_kind(CommKind::Sync, 2, 20);
+        stats.record_kind(CommKind::Gather, 1, 10);
+        stats.record_kind(CommKind::Recovery, 3, 30);
+        stats.record(1, 5); // control
+        let br = stats.breakdown();
+        assert_eq!(br.kind(CommKind::Sync), CommStats::new(2, 20));
+        assert_eq!(br.kind(CommKind::Gather), CommStats::new(1, 10));
+        assert_eq!(br.kind(CommKind::Recovery), CommStats::new(3, 30));
+        assert_eq!(br.kind(CommKind::Control), CommStats::new(1, 5));
+        assert_eq!(br.total(), stats.snapshot());
+    }
+
+    #[test]
+    fn barrier_wait_accumulates_and_clones() {
+        let stats = AtomicCommStats::new();
+        stats.record_barrier_wait(std::time::Duration::from_micros(3));
+        stats.record_barrier_wait(std::time::Duration::from_micros(4));
+        assert_eq!(
+            stats.breakdown().barrier_wait,
+            std::time::Duration::from_micros(7)
+        );
+        let copy = stats.clone();
+        assert_eq!(copy.breakdown(), stats.breakdown());
     }
 
     #[test]

@@ -39,7 +39,7 @@ mod memsize;
 mod summary;
 mod timer;
 
-pub use comm::{AtomicCommStats, CommStats};
+pub use comm::{AtomicCommStats, CommBreakdown, CommKind, CommStats};
 pub use memsize::MemSize;
 pub use summary::Summary;
 pub use timer::{PhaseTimes, Stopwatch};

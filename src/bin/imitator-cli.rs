@@ -44,6 +44,8 @@ OPTIONS (run):
   --interval <n>                    CKPT interval        [default: 4]
   --incremental                     incremental CKPT snapshots (§2.3)
   --fail <node@iter>                inject a crash (repeatable)
+  --no-sync-suppress                ship every sync record (disable the
+                                    redundant-sync filter; results identical)
   --iters <n>                       iteration budget     [default: 20]
   --source <vid>                    SSSP source          [default: 0]
   --seed <u64>                      generator seed       [default: 42]
@@ -65,6 +67,7 @@ struct Opts {
     tolerance: usize,
     interval: u64,
     incremental: bool,
+    sync_suppress: bool,
     fails: Vec<(u32, u64)>,
     iters: u64,
     source: u32,
@@ -87,6 +90,7 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
         tolerance: 1,
         interval: 4,
         incremental: false,
+        sync_suppress: true,
         fails: Vec::new(),
         iters: 20,
         source: 0,
@@ -119,6 +123,7 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
                 opts.interval = value()?.parse().map_err(|e| format!("--interval: {e}"))?;
             }
             "--incremental" => opts.incremental = true,
+            "--no-sync-suppress" => opts.sync_suppress = false,
             "--fail" => {
                 let v = value()?;
                 let (node, iter) = v
@@ -202,6 +207,14 @@ fn report_common<V>(r: &RunReport<V>) {
         r.comm.messages,
         r.total_mem_bytes() as f64 / (1024.0 * 1024.0)
     );
+    if r.suppressed_syncs > 0 {
+        println!(
+            "suppressed {} redundant sync records across {} superstep(s)",
+            r.suppressed_syncs,
+            r.suppressed_timeline.len()
+        );
+    }
+    println!("fabric: {}", r.fabric);
     for rec in &r.recoveries {
         println!(
             "recovery: {} of {} node(s) in {:.1} ms (reload {:.1} / reconstruct {:.1} / replay {:.1})",
@@ -245,6 +258,7 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
         standbys,
         detection_delay: Duration::from_millis(20),
         threads_per_node: opts.threads,
+        sync_suppress: opts.sync_suppress,
     };
     let failures: Vec<FailurePlan> = opts
         .fails

@@ -286,6 +286,108 @@ proptest! {
     }
 
     #[test]
+    fn edge_cut_suppression_is_invisible((s, threads) in (arb_scenario(), 1usize..=8)) {
+        // Redundant-sync suppression must be a pure wire optimisation: with
+        // it on or off, any thread count, and injected failures recovered by
+        // Rebirth or Migration, the output is bit-identical.
+        let cut = HashEdgeCut.partition(&s.graph, s.nodes);
+        let ft = FtMode::Replication {
+            tolerance: s.tolerance,
+            selfish_opt: false,
+            recovery: s.strategy,
+        };
+        let standbys = match s.strategy {
+            RecoveryStrategy::Rebirth => s.failures.len(),
+            RecoveryStrategy::Migration => 0,
+        };
+        let on = run_edge_cut(
+            &s.graph,
+            &cut,
+            Arc::new(MinLabel),
+            RunConfig { threads_per_node: threads, sync_suppress: true, ..config(&s, ft, standbys) },
+            plans(&s),
+            Dfs::new(DfsConfig::instant()),
+        );
+        let off = run_edge_cut(
+            &s.graph,
+            &cut,
+            Arc::new(MinLabel),
+            RunConfig { threads_per_node: threads, sync_suppress: false, ..config(&s, ft, standbys) },
+            plans(&s),
+            Dfs::new(DfsConfig::instant()),
+        );
+        prop_assert_eq!(off.suppressed_syncs, 0);
+        prop_assert_eq!(on.values, off.values);
+        prop_assert_eq!(on.iterations, off.iterations);
+    }
+
+    #[test]
+    fn vertex_cut_suppression_is_invisible((s, threads) in (arb_scenario(), 1usize..=8)) {
+        // The dense vertex-cut engine re-syncs every master each iteration,
+        // so the filter skips real traffic here; results must not move.
+        let cut = RandomVertexCut.partition(&s.graph, s.nodes);
+        let ft = FtMode::Replication {
+            tolerance: s.tolerance,
+            selfish_opt: false,
+            recovery: s.strategy,
+        };
+        let standbys = match s.strategy {
+            RecoveryStrategy::Rebirth => s.failures.len(),
+            RecoveryStrategy::Migration => 0,
+        };
+        let on = run_vertex_cut(
+            &s.graph,
+            &cut,
+            Arc::new(MinLabel),
+            RunConfig { threads_per_node: threads, sync_suppress: true, ..config(&s, ft, standbys) },
+            plans(&s),
+            Dfs::new(DfsConfig::instant()),
+        );
+        let off = run_vertex_cut(
+            &s.graph,
+            &cut,
+            Arc::new(MinLabel),
+            RunConfig { threads_per_node: threads, sync_suppress: false, ..config(&s, ft, standbys) },
+            plans(&s),
+            Dfs::new(DfsConfig::instant()),
+        );
+        prop_assert_eq!(off.suppressed_syncs, 0);
+        prop_assert_eq!(on.values, off.values);
+        prop_assert_eq!(on.iterations, off.iterations);
+    }
+
+    #[test]
+    fn checkpoint_suppression_is_invisible(
+        (s, incremental, threads) in (arb_scenario(), any::<bool>(), 1usize..=8)
+    ) {
+        // Checkpoint recovery resets masters from snapshots and re-ships
+        // state in a full-sync round — the filter's invalidation rules
+        // (clear on reset/chain, per-destination invalidation on full
+        // snapshots) must keep the skipped records provably redundant.
+        let cut = HashEdgeCut.partition(&s.graph, s.nodes);
+        let ft = FtMode::Checkpoint { interval: 2, incremental };
+        let on = run_edge_cut(
+            &s.graph,
+            &cut,
+            Arc::new(MinLabel),
+            RunConfig { threads_per_node: threads, sync_suppress: true, ..config(&s, ft, s.failures.len()) },
+            plans(&s),
+            Dfs::new(DfsConfig::instant()),
+        );
+        let off = run_edge_cut(
+            &s.graph,
+            &cut,
+            Arc::new(MinLabel),
+            RunConfig { threads_per_node: threads, sync_suppress: false, ..config(&s, ft, s.failures.len()) },
+            plans(&s),
+            Dfs::new(DfsConfig::instant()),
+        );
+        prop_assert_eq!(off.suppressed_syncs, 0);
+        prop_assert_eq!(on.values, off.values);
+        prop_assert_eq!(on.iterations, off.iterations);
+    }
+
+    #[test]
     fn checkpoint_recovery_is_equivalent((s, incremental) in (arb_scenario(), any::<bool>())) {
         // Checkpointing tolerates any number of sequential failures; both
         // full and incremental (§2.3) snapshots must recover exactly.
@@ -308,4 +410,121 @@ proptest! {
         );
         prop_assert_eq!(recovered.values, clean.values);
     }
+}
+
+/// NaN-flood: the adversarial workload for the redundant-sync filter. A NaN
+/// value compares unequal to itself, so a NaN-stuck master emits a
+/// bit-identical update *every* superstep — the only steady-state case where
+/// suppression fires on the sparse edge-cut engine — while `scatter`
+/// (unconditionally `true`) keeps `activate = true` on every suppressed
+/// record. Recovery must still reconstruct each replica's exact
+/// `(value, last_activate)` pair.
+struct NanFlood;
+
+impl VertexProgram for NanFlood {
+    type Value = f32;
+    type Accum = f32;
+
+    fn init(&self, vid: Vid, _d: &Degrees) -> f32 {
+        if vid.raw() == 0 {
+            f32::NAN
+        } else {
+            1.0
+        }
+    }
+
+    fn gather(&self, _w: f32, src: &f32) -> f32 {
+        *src
+    }
+
+    fn combine(&self, a: f32, b: f32) -> f32 {
+        a + b
+    }
+
+    fn apply(&self, _v: Vid, old: &f32, acc: Option<f32>, _d: &Degrees) -> f32 {
+        // NaN contributions poison the sum, so NaN spreads along edges; a
+        // NaN-stuck vertex keeps recomputing the same NaN bit pattern.
+        acc.map_or(*old, |a| *old + a)
+    }
+
+    fn scatter(&self, _v: Vid, _old: &f32, _new: &f32) -> bool {
+        true
+    }
+}
+
+/// Cycle plus chords: strongly connected, so the NaN at v0 floods every
+/// vertex within a few supersteps and every vertex stays active.
+fn nan_flood_graph(n: u32) -> Graph {
+    let pairs: Vec<(u32, u32)> = (0..n)
+        .flat_map(|i| [(i, (i + 1) % n), (i, (i * 7 + 3) % n)])
+        .collect();
+    gen::from_pairs(n as usize, &pairs)
+}
+
+fn f32_bits(values: &[f32]) -> Vec<u32> {
+    values.iter().map(|v| v.to_bits()).collect()
+}
+
+/// Runs NaN-flood with one mid-run failure under `strategy` and checks the
+/// recovered output is bit-identical to a clean, unsuppressed run — i.e.
+/// replicas of continuously-suppressed masters carried the exact
+/// `(value, last_activate)` state recovery rebuilt from.
+fn nan_flood_recovery_case(strategy: RecoveryStrategy) {
+    let g = nan_flood_graph(60);
+    let nodes = 4;
+    let cut = HashEdgeCut.partition(&g, nodes);
+    let cfg = |ft, standbys, sync_suppress| RunConfig {
+        num_nodes: nodes,
+        max_iters: 12,
+        ft,
+        standbys,
+        sync_suppress,
+        ..RunConfig::default()
+    };
+    let clean = run_edge_cut(
+        &g,
+        &cut,
+        Arc::new(NanFlood),
+        cfg(FtMode::None, 0, false),
+        vec![],
+        Dfs::new(DfsConfig::instant()),
+    );
+    let ft = FtMode::Replication {
+        tolerance: 1,
+        selfish_opt: false,
+        recovery: strategy,
+    };
+    let standbys = match strategy {
+        RecoveryStrategy::Rebirth => 1,
+        RecoveryStrategy::Migration => 0,
+    };
+    let failures = vec![FailurePlan {
+        node: NodeId::from_index(1),
+        iteration: 6,
+        point: FailPoint::BeforeBarrier,
+    }];
+    let recovered = run_edge_cut(
+        &g,
+        &cut,
+        Arc::new(NanFlood),
+        cfg(ft, standbys, true),
+        failures,
+        Dfs::new(DfsConfig::instant()),
+    );
+    assert!(
+        recovered.suppressed_syncs > 0,
+        "NaN-stuck masters must exercise the filter"
+    );
+    assert_eq!(f32_bits(&recovered.values), f32_bits(&clean.values));
+    assert_eq!(recovered.iterations, clean.iterations);
+}
+
+#[test]
+fn nan_stuck_vertices_suppress_yet_rebirth_recovers_exactly() {
+    nan_flood_recovery_case(RecoveryStrategy::Rebirth);
+}
+
+#[test]
+fn nan_stuck_vertices_suppress_yet_migration_recovers_exactly() {
+    nan_flood_recovery_case(RecoveryStrategy::Migration);
 }

@@ -215,6 +215,18 @@ pub mod channel {
         pub fn try_iter(&self) -> TryIter<'_, T> {
             TryIter { rx: self }
         }
+
+        /// Removes and returns every queued message in one O(1) swap: one
+        /// lock acquisition for the whole batch instead of one per message
+        /// (as `try_iter` costs), leaving the queue empty.
+        pub fn drain_all(&self) -> VecDeque<T> {
+            let mut st = self
+                .shared
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            std::mem::take(&mut st.queue)
+        }
     }
 
     impl<T> Clone for Receiver<T> {
@@ -271,6 +283,20 @@ pub mod channel {
             }
             let got: Vec<i32> = rx.try_iter().collect();
             assert_eq!(got, (0..10).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn drain_all_empties_queue_in_order() {
+            let (tx, rx) = unbounded();
+            for i in 0..10 {
+                tx.send(i).unwrap();
+            }
+            let got: Vec<i32> = rx.drain_all().into_iter().collect();
+            assert_eq!(got, (0..10).collect::<Vec<_>>());
+            assert!(rx.drain_all().is_empty());
+            // The channel keeps working after a drain.
+            tx.send(99).unwrap();
+            assert_eq!(rx.try_recv(), Ok(99));
         }
 
         #[test]
