@@ -1,0 +1,604 @@
+//! The model-generic superstep driver.
+//!
+//! The paper's contribution is **one** fault-tolerance protocol (FT
+//! replicas, mirrors, Rebirth, Migration, checkpoint baseline) instantiated
+//! over two computation models. This module holds everything the protocol
+//! shares — the BSP main loop with failure detection and dispatch, standby
+//! wake-up, sync-record batching with redundant-sync suppression
+//! staging/commit, checkpoint scheduling, and run assembly — parameterized
+//! by a [`ComputeModel`]. The model contributes only what genuinely differs:
+//! the superstep body (fused compute vs distributed gather-apply), codec
+//! entry points, and the reconstruction primitives the recovery state
+//! machine (`recovery.rs`) composes.
+
+use std::fmt::Debug;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use imitator_cluster::{
+    BarrierOutcome, Cluster, Envelope, FailPoint, FailureInjector, FailurePlan, NodeCtx, NodeId,
+};
+use imitator_engine::{CopyKind, Degrees, FtPlan, MasterUpdate};
+use imitator_graph::Vid;
+use imitator_metrics::{CommKind, MemSize, Stopwatch};
+use imitator_storage::codec::{Decode, Encode};
+use imitator_storage::Dfs;
+
+use crate::msg::{ProtoMsg, ReplicaGrant, VertexSync};
+use crate::plan::ReplicaMeta;
+use crate::recovery::{self, Mig, MigEnv};
+use crate::report::RunReport;
+use crate::rt::{merge_outcomes, NodeOutcome, NodeState};
+use crate::{FtMode, RunConfig};
+
+/// How long recovery waits for a peer's message before concluding the
+/// protocol is wedged (a bug, not an injected failure).
+pub(crate) const RECOVERY_PATIENCE: Duration = Duration::from_secs(30);
+
+/// The wire protocol a model speaks ([`ProtoMsg`] instantiated with its
+/// associated types).
+pub(crate) type Msg<M> = ProtoMsg<
+    <M as ComputeModel>::Value,
+    <M as ComputeModel>::Accum,
+    <M as ComputeModel>::Entry,
+    <M as ComputeModel>::Meta,
+>;
+pub(crate) type Ctx<M> = NodeCtx<Msg<M>>;
+pub(crate) type St<M> = NodeState<Msg<M>>;
+
+/// Immutable per-run state shared by every node thread.
+pub(crate) struct Shared<M: ComputeModel> {
+    pub model: M,
+    pub degrees: Arc<Degrees>,
+    pub plan: Arc<FtPlan>,
+    pub owners: Arc<Vec<u32>>,
+    pub injector: Arc<FailureInjector>,
+    pub dfs: Dfs,
+    pub cfg: RunConfig,
+}
+
+/// How one superstep ended.
+pub(crate) enum StepOutcome {
+    /// Committed; carries this node's activity count for the closing
+    /// all-reduce barrier (active vertices for the sparse engine, changed
+    /// masters for the dense one).
+    Committed(u64),
+    /// A barrier inside the superstep failed. The model has already undone
+    /// its own staged state (dropped updates, suppression rollback); the
+    /// driver stashes recovery traffic and runs the recovery state machine.
+    Failed(Vec<NodeId>),
+}
+
+/// Node-indexed sync-batch scratch, allocated once per node and drained
+/// every iteration (deterministic send order, no per-iteration hashing).
+pub(crate) struct SyncBufs<V> {
+    pub batches: Vec<Vec<VertexSync<V>>>,
+    pub ft_entries: Vec<u64>,
+}
+
+impl<V> SyncBufs<V> {
+    pub(crate) fn new(num_nodes: usize) -> Self {
+        SyncBufs {
+            batches: (0..num_nodes).map(|_| Vec::new()).collect(),
+            ft_entries: vec![0; num_nodes],
+        }
+    }
+}
+
+/// Uniform positional access to a model's local graph, so the recovery
+/// state machine can read and rewrite vertex copies without knowing the
+/// concrete vertex layout.
+pub(crate) trait ModelGraph {
+    /// The vertex value type.
+    type Value;
+    /// The full-state (master/mirror) metadata type.
+    type Meta: ReplicaMeta;
+
+    fn len(&self) -> usize;
+    #[allow(dead_code)]
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    fn position(&self, vid: Vid) -> Option<u32>;
+    fn num_masters(&self) -> usize;
+    fn vid(&self, pos: u32) -> Vid;
+    fn kind(&self, pos: u32) -> CopyKind;
+    fn set_kind(&mut self, pos: u32, kind: CopyKind);
+    fn master_node(&self, pos: u32) -> NodeId;
+    fn set_master_node(&mut self, pos: u32, node: NodeId);
+    fn value(&self, pos: u32) -> &Self::Value;
+    fn meta(&self, pos: u32) -> Option<&Self::Meta>;
+    fn meta_mut(&mut self, pos: u32) -> Option<&mut Self::Meta>;
+    fn set_meta(&mut self, pos: u32, meta: Box<Self::Meta>);
+    fn is_master(&self, pos: u32) -> bool {
+        self.kind(pos) == CopyKind::Master
+    }
+}
+
+/// One computation model (edge-cut Cyclops or vertex-cut PowerLyra GAS),
+/// plugged into the shared driver and recovery state machine.
+///
+/// Hooks with defaults are genuinely optional; everything else is the
+/// model-specific remainder after unification. Reconstruction primitives
+/// (`replica_entry` .. `migration_finish`) are composed by `recovery.rs`
+/// into the Rebirth / Migration / checkpoint state machines.
+pub(crate) trait ComputeModel: Send + Sync + Sized + 'static {
+    /// Vertex value.
+    type Value: Clone + Send + Sync + PartialEq + Debug + Encode + Decode + MemSize + 'static;
+    /// Gather accumulator (`()` when gather is fused into local compute).
+    type Accum: Clone + Send + 'static;
+    /// Rebirth recovery entry.
+    type Entry: Send + 'static;
+    /// Replica metadata.
+    type Meta: ReplicaMeta + Clone + Send + 'static;
+    /// Local graph.
+    type Graph: ModelGraph<Value = Self::Value, Meta = Self::Meta> + MemSize + Send + 'static;
+    /// Per-node steady-state scratch reused across iterations.
+    type Scratch: Send;
+    /// Migration bookkeeping the model threads between rounds.
+    type MigExtra: Default;
+
+    /// DFS path prefix for this model's snapshots ("ec" / "vc").
+    const PREFIX: &'static str;
+
+    fn value_wire_bytes(&self, v: &Self::Value) -> usize;
+    fn init_scratch(&self, lg: &Self::Graph, shared: &Shared<Self>) -> Self::Scratch;
+    /// Re-derives graph-dependent scratch after recovery changed the layout.
+    fn refresh_scratch(&self, _scratch: &mut Self::Scratch, _lg: &Self::Graph) {}
+    /// Load-time persistence for non-checkpoint modes (edge-ckpt files).
+    fn on_load(&self, _lg: &Self::Graph, _shared: &Shared<Self>) {}
+
+    /// One superstep: compute, communicate, and commit through the model's
+    /// internal barriers. On a failed barrier the model undoes its own
+    /// staged state and returns [`StepOutcome::Failed`]; the driver owns
+    /// everything after that.
+    fn superstep(
+        &self,
+        ctx: &Ctx<Self>,
+        lg: &mut Self::Graph,
+        shared: &Shared<Self>,
+        st: &mut St<Self>,
+        scratch: &mut Self::Scratch,
+    ) -> StepOutcome;
+
+    // -- codec entry points --
+    fn encode_graph(&self, lg: &Self::Graph) -> Vec<u8>;
+    fn decode_graph(&self, bytes: &[u8]) -> Self::Graph;
+    fn encode_snapshot(&self, lg: &Self::Graph, iter: u64) -> Vec<u8>;
+    fn encode_snapshot_inc(&self, lg: &Self::Graph, iter: u64, dirty: &[u32]) -> Vec<u8>;
+    fn apply_snapshot(&self, lg: &mut Self::Graph, bytes: &[u8]) -> u64;
+    fn apply_snapshot_inc(&self, lg: &mut Self::Graph, bytes: &[u8]) -> u64;
+
+    // -- recovery primitives --
+    /// Resets values (and, where the model keeps it, activation) to the
+    /// iteration-0 state — checkpoint recovery before the first snapshot.
+    fn reset_to_initial(&self, lg: &mut Self::Graph, shared: &Shared<Self>);
+    /// Applies a full-sync round's records (position-addressed).
+    fn apply_full_sync(&self, lg: &mut Self::Graph, incoming: Vec<VertexSync<Self::Value>>);
+    /// The scatter bit shipped alongside a copy's value in recovery rounds
+    /// (the sparse engine replays it; the dense engine has none).
+    fn scatter_bit(&self, lg: &Self::Graph, pos: u32) -> bool;
+    fn empty_graph(&self, me: NodeId) -> Self::Graph;
+    /// Rebirth entry recreating the crashed node's replica of the copy at
+    /// `pos` (which lived at `rpos` there, as `kind`).
+    fn replica_entry(
+        &self,
+        lg: &Self::Graph,
+        pos: u32,
+        dead_node: NodeId,
+        rpos: u32,
+        kind: CopyKind,
+    ) -> Self::Entry;
+    /// Rebirth entry recreating the crashed master from this mirror.
+    fn master_entry(&self, lg: &Self::Graph, pos: u32) -> Self::Entry;
+    fn entry_wire_bytes(&self, e: &Self::Entry) -> u64;
+    fn entry_edges(&self, e: &Self::Entry) -> u64;
+    fn insert_entry(&self, lg: &mut Self::Graph, e: Self::Entry);
+    /// Extra newbie reloading besides survivor batches (edge-ckpt files).
+    fn rebirth_reload_extra(&self, _lg: &mut Self::Graph, _shared: &Shared<Self>) {}
+    fn validate(&self, lg: &Self::Graph);
+    /// Post-reload replay on the newbie (activation replay + selfish
+    /// recompute for the sparse engine). Returns whether any replay work
+    /// exists — `false` keeps the report's replay phase at zero.
+    fn rebirth_replay(&self, _lg: &mut Self::Graph, _shared: &Shared<Self>, _resume: u64) -> bool {
+        false
+    }
+    /// `(vertices, edges)` held by a reconstructed graph, for the report.
+    fn graph_stats(&self, lg: &Self::Graph) -> (u64, u64);
+    /// Restores model invariants every recovery path may have disturbed
+    /// (the sparse engine's active frontier).
+    fn after_recovery(&self, _lg: &mut Self::Graph) {}
+
+    // -- migration hooks --
+    /// Model-specific work right after a mirror at `pos` was promoted to
+    /// master (meta already repositioned and purged).
+    fn on_promote(&self, _lg: &mut Self::Graph, _pos: u32, _mig: &mut Mig<Self::MigExtra>) {}
+    /// Migration R2: fix model-specific location tables and return the
+    /// replica requests this node must send (missing edge endpoints /
+    /// in-edge sources).
+    fn migration_requests(
+        &self,
+        lg: &mut Self::Graph,
+        shared: &Shared<Self>,
+        st: &St<Self>,
+        mig: &mut Mig<Self::MigExtra>,
+        env: &MigEnv<'_>,
+    ) -> std::collections::HashMap<NodeId, Vec<Vid>>;
+    /// Places a granted replica, returning its local position.
+    fn place_granted(&self, lg: &mut Self::Graph, grant: ReplicaGrant<Self::Value>) -> u32;
+    /// Migration R4: wire promoted masters' edges / adopt reloaded edges.
+    fn migration_wire(&self, lg: &mut Self::Graph, mig: &mut Mig<Self::MigExtra>, resume: u64);
+    /// Places a brand-new FT replica from a mirror update, returning its
+    /// local position.
+    fn place_fresh_mirror(
+        &self,
+        lg: &mut Self::Graph,
+        update: crate::msg::MirrorUpdate<Self::Value, Self::Meta>,
+    ) -> u32;
+    /// Accounted wire size of one mirror-update / meta-refresh record.
+    fn meta_update_bytes(&self, meta: &Self::Meta) -> u64;
+    /// End of migration (before the leader's ack): re-persist whatever the
+    /// recovery invalidated (edge-ckpt files covering adopted edges).
+    fn migration_finish(
+        &self,
+        _lg: &Self::Graph,
+        _shared: &Shared<Self>,
+        _mig: &Mig<Self::MigExtra>,
+    ) {
+    }
+}
+
+/// Runs `model` over pre-built local graphs on a simulated cluster: spawns
+/// one thread per node plus the configured hot standbys, joins them, and
+/// assembles the merged [`RunReport`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run<M: ComputeModel>(
+    model: M,
+    num_vertices: usize,
+    lgs: Vec<M::Graph>,
+    degrees: Arc<Degrees>,
+    plan: Arc<FtPlan>,
+    owners: Arc<Vec<u32>>,
+    cfg: RunConfig,
+    failures: Vec<FailurePlan>,
+    dfs: Dfs,
+) -> RunReport<M::Value> {
+    let extra_replicas = plan.extra_replica_count();
+    let mem_bytes: Vec<usize> = lgs.iter().map(MemSize::mem_bytes).collect();
+    let injector = Arc::new(FailureInjector::new());
+    for f in failures {
+        injector.schedule(f);
+    }
+    let shared = Arc::new(Shared {
+        model,
+        degrees,
+        plan,
+        owners,
+        injector,
+        dfs,
+        cfg,
+    });
+    let cluster: Cluster<Msg<M>> = Cluster::new(cfg.num_nodes, cfg.standbys, cfg.detection_delay);
+
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for (p, lg) in lgs.into_iter().enumerate() {
+        let ctx = cluster.take_ctx(NodeId::from_index(p));
+        let shared = Arc::clone(&shared);
+        handles.push(std::thread::spawn(move || {
+            let mut st = NodeState::new(
+                shared.cfg.num_nodes,
+                Instant::now(),
+                shared.cfg.sync_suppress,
+            );
+            if matches!(shared.cfg.ft, FtMode::Checkpoint { .. }) {
+                let sw = Stopwatch::start();
+                shared.dfs.write(
+                    &format!("{}/meta/{}", M::PREFIX, ctx.id().raw()),
+                    shared.model.encode_graph(&lg),
+                );
+                st.ckpt_time += sw.elapsed();
+            } else {
+                shared.model.on_load(&lg, &shared);
+            }
+            node_main(ctx, lg, &shared, st)
+        }));
+    }
+    let mut standby_handles = Vec::new();
+    for _ in 0..cfg.standbys {
+        let cluster = cluster.clone();
+        let shared = Arc::clone(&shared);
+        standby_handles.push(std::thread::spawn(move || standby_main(&cluster, &shared)));
+    }
+
+    let mut outcomes: Vec<NodeOutcome<M::Graph>> = handles
+        .into_iter()
+        .map(|h| h.join().expect("node thread panicked"))
+        .collect();
+    cluster.shutdown_standbys();
+    for h in standby_handles {
+        if let Some(o) = h.join().expect("standby thread panicked") {
+            outcomes.push(o);
+        }
+    }
+    let elapsed = start.elapsed();
+
+    let (mut report, graphs) = merge_outcomes(
+        outcomes,
+        elapsed,
+        mem_bytes,
+        extra_replicas,
+        cluster.comm_breakdown(),
+    );
+    let mut values: Vec<Option<M::Value>> = vec![None; num_vertices];
+    for lg in &graphs {
+        for pos in 0..lg.len() as u32 {
+            if lg.is_master(pos) {
+                values[lg.vid(pos).index()] = Some(lg.value(pos).clone());
+            }
+        }
+    }
+    report.values = values
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| v.unwrap_or_else(|| panic!("vertex v{i} has no master after run")))
+        .collect();
+    report
+}
+
+/// Hot-standby entry: block until the coordinator hands over a crashed
+/// identity, reconstruct its state, then run the main loop as that node.
+fn standby_main<M: ComputeModel>(
+    cluster: &Cluster<Msg<M>>,
+    shared: &Arc<Shared<M>>,
+) -> Option<NodeOutcome<M::Graph>> {
+    let ctx = cluster.wait_standby(Duration::from_secs(600))?;
+    let mut st = NodeState::new(
+        shared.cfg.num_nodes,
+        Instant::now(),
+        shared.cfg.sync_suppress,
+    );
+    let lg = match shared.cfg.ft {
+        FtMode::Replication { .. } => recovery::rebirth_newbie(&ctx, shared, &mut st),
+        FtMode::Checkpoint { .. } => recovery::ckpt_newbie(&ctx, shared, &mut st),
+        FtMode::None => unreachable!("standbys are never dispatched without fault tolerance"),
+    };
+    Some(node_main(ctx, lg, shared, st))
+}
+
+/// Algorithm 1: the synchronous execution flow with failure handling —
+/// iteration budget, failure injection points, superstep dispatch,
+/// checkpoint scheduling inside the barrier window, the closing
+/// activity all-reduce, replay accounting, and convergence.
+fn node_main<M: ComputeModel>(
+    ctx: Ctx<M>,
+    mut lg: M::Graph,
+    shared: &Arc<Shared<M>>,
+    mut st: St<M>,
+) -> NodeOutcome<M::Graph> {
+    let me = ctx.id();
+    st.sync_filter.set_domain(lg.len() as u32);
+    let mut scratch = shared.model.init_scratch(&lg, shared);
+    loop {
+        if st.iter >= shared.cfg.max_iters {
+            break;
+        }
+        if shared
+            .injector
+            .should_fail(me, st.iter, FailPoint::BeforeBarrier)
+        {
+            ctx.die();
+            return NodeOutcome::from_state(None, st);
+        }
+        let iter_sw = Stopwatch::start();
+
+        let active = match shared
+            .model
+            .superstep(&ctx, &mut lg, shared, &mut st, &mut scratch)
+        {
+            StepOutcome::Committed(active) => active,
+            StepOutcome::Failed(dead) => {
+                // Keep recovery messages that may already have arrived from
+                // faster peers; discard the failed iteration's data traffic.
+                stash_non_data::<M>(&ctx, &mut st);
+                let resume = st.iter;
+                recovery::recover(&ctx, &mut lg, shared, &mut st, &dead, resume);
+                shared.model.refresh_scratch(&mut scratch, &lg);
+                continue;
+            }
+        };
+
+        // Checkpoint inside the barrier window (§2.2).
+        if let FtMode::Checkpoint {
+            interval,
+            incremental,
+        } = shared.cfg.ft
+        {
+            if (st.iter + 1).is_multiple_of(interval) {
+                let sw = Stopwatch::start();
+                let bytes = if incremental {
+                    let mut dirty: Vec<u32> = st.dirty.drain().collect();
+                    dirty.sort_unstable();
+                    shared.model.encode_snapshot_inc(&lg, st.iter + 1, &dirty)
+                } else {
+                    shared.model.encode_snapshot(&lg, st.iter + 1)
+                };
+                shared.dfs.write(
+                    &format!("{}/ckpt/{}/{}", M::PREFIX, st.iter + 1, me.raw()),
+                    bytes,
+                );
+                st.last_snapshot_iter = st.iter + 1;
+                let d = sw.elapsed();
+                st.ckpt_time += d;
+                st.phases.record("ckpt", d);
+            }
+        }
+
+        st.iter += 1;
+        st.timeline.push((st.iter, st.start.elapsed()));
+
+        // Leave barrier doubling as the activity all-reduce.
+        let sw = Stopwatch::start();
+        let (outcome, total_active) = ctx.enter_barrier_sum(active);
+        st.phases.record("barrier", sw.elapsed());
+        if st.iter <= st.replay_until {
+            if let Some(r) = st.recoveries.last_mut() {
+                r.replay += iter_sw.elapsed();
+            }
+        }
+        if let BarrierOutcome::Failed(dead) = outcome {
+            // Failure after commit: no rollback.
+            stash_non_data::<M>(&ctx, &mut st);
+            let resume = st.iter;
+            recovery::recover(&ctx, &mut lg, shared, &mut st, &dead, resume);
+            shared.model.refresh_scratch(&mut scratch, &lg);
+            continue;
+        }
+        if total_active == 0 {
+            // Converged: the job is over before any post-barrier crash can
+            // strike (a machine lost after completion is outside the job's
+            // lifetime and cannot be recovered by it).
+            break;
+        }
+        if st.iter < shared.cfg.max_iters
+            && shared
+                .injector
+                .should_fail(me, st.iter - 1, FailPoint::AfterBarrier)
+        {
+            ctx.die();
+            return NodeOutcome::from_state(None, st);
+        }
+    }
+    NodeOutcome::from_state(Some(lg), st)
+}
+
+/// Sends per-destination batched value syncs for this iteration's updates,
+/// including the mirrors' dynamic state. Selfish masters (§4.4) send
+/// nothing — their only replicas are FT replicas. Records the FT-only
+/// traffic share pro-rata on entry count.
+///
+/// `stage_scatter` keys the suppression filter on the scatter bit too (the
+/// sparse engine's replicas replay it; the dense engine's receivers apply
+/// the value only, matching the full-sync rounds recovery sends).
+pub(crate) fn send_update_syncs<M: ComputeModel>(
+    ctx: &Ctx<M>,
+    lg: &M::Graph,
+    updates: &[MasterUpdate<M::Value>],
+    shared: &Shared<M>,
+    st: &mut St<M>,
+    bufs: &mut SyncBufs<M::Value>,
+    stage_scatter: bool,
+) {
+    let mut suppressed = 0u64;
+    for u in updates {
+        let i = lg.vid(u.local).index();
+        if *shared.plan.selfish.get(i).unwrap_or(&false) {
+            continue;
+        }
+        let meta = lg.meta(u.local).expect("masters always carry full state");
+        let staged = st
+            .sync_filter
+            .stage(u.local, &u.value, stage_scatter && u.activate);
+        for (&node, &rpos) in meta.replica_nodes().iter().zip(meta.replica_positions()) {
+            if st.sync_filter.suppress(staged, node) {
+                suppressed += 1;
+                continue;
+            }
+            bufs.batches[node.index()].push(VertexSync {
+                pos: rpos,
+                value: u.value.clone(),
+                activate: u.activate,
+            });
+            let extra = shared
+                .plan
+                .extra_replicas
+                .get(i)
+                .is_some_and(|e| e.contains(&node));
+            if extra {
+                bufs.ft_entries[node.index()] += 1;
+            }
+        }
+    }
+    st.note_suppressed(suppressed);
+    for (n, batch) in bufs.batches.iter_mut().enumerate() {
+        let ft = std::mem::take(&mut bufs.ft_entries[n]);
+        if batch.is_empty() {
+            continue;
+        }
+        let entries = batch.len() as u64;
+        let bytes: u64 = batch
+            .iter()
+            .map(|s| {
+                VertexSync::<M::Value>::wire_bytes(shared.model.value_wire_bytes(&s.value)) as u64
+            })
+            .sum();
+        st.comm.record(entries, bytes);
+        if ft > 0 {
+            // FT share estimated pro-rata on entry count.
+            st.ft_comm.record(ft, bytes * ft / entries.max(1));
+        }
+        ctx.send_kind(
+            NodeId::from_index(n),
+            ProtoMsg::Sync(std::mem::take(batch)),
+            bytes,
+            CommKind::Sync,
+        );
+    }
+}
+
+/// Marks this iteration's updates dirty for incremental checkpointing.
+pub(crate) fn note_dirty<M: ComputeModel>(
+    st: &mut St<M>,
+    cfg: &RunConfig,
+    updates: &[MasterUpdate<M::Value>],
+) {
+    if matches!(
+        cfg.ft,
+        FtMode::Checkpoint {
+            incremental: true,
+            ..
+        }
+    ) {
+        st.dirty.extend(updates.iter().map(|u| u.local));
+    }
+}
+
+/// Drains stashed + queued sync records (position-addressed by the sender,
+/// so no ID lookup happens here), stashing everything else for later.
+pub(crate) fn collect_syncs<M: ComputeModel>(
+    ctx: &Ctx<M>,
+    st: &mut St<M>,
+) -> Vec<VertexSync<M::Value>> {
+    let mut out = Vec::new();
+    let mut pending = std::mem::take(&mut st.stash);
+    pending.extend(ctx.drain());
+    for env in pending {
+        match env.msg {
+            ProtoMsg::Sync(batch) => out.extend(batch),
+            other => st.stash.push(Envelope {
+                from: env.from,
+                msg: other,
+            }),
+        }
+    }
+    out
+}
+
+/// On failure: discard the failed iteration's data traffic (syncs and
+/// gather partials), keep recovery messages that may already have arrived
+/// from faster peers.
+pub(crate) fn stash_non_data<M: ComputeModel>(ctx: &Ctx<M>, st: &mut St<M>) {
+    for env in ctx.drain() {
+        if !matches!(env.msg, ProtoMsg::Sync(_) | ProtoMsg::Gather(_)) {
+            st.stash.push(env);
+        }
+    }
+}
+
+/// Pulls stashed + queued messages (recovery rounds are barrier-separated,
+/// so everything for the current round is already queued).
+pub(crate) fn round_msgs<M: ComputeModel>(ctx: &Ctx<M>, st: &mut St<M>) -> Vec<Envelope<Msg<M>>> {
+    let mut v = std::mem::take(&mut st.stash);
+    v.extend(ctx.drain());
+    v
+}

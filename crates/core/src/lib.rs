@@ -47,8 +47,10 @@
 #![warn(missing_docs)]
 
 mod ckpt;
+mod driver;
 mod msg;
 pub mod plan;
+mod recovery;
 mod report;
 mod rt;
 mod runner_ec;

@@ -79,18 +79,6 @@ impl<V> EcRecoverEntry<V> {
     }
 }
 
-/// A survivor's complete contribution to one Rebirth reconstruction.
-#[derive(Debug, Clone, PartialEq)]
-pub struct EcRebirthBatch<V> {
-    /// Iteration at which the cluster resumes after recovery.
-    pub resume_iter: u64,
-    /// Number of surviving nodes contributing batches (the newbie counts
-    /// arrivals against this).
-    pub num_survivors: u32,
-    /// Recovered copies.
-    pub entries: Vec<EcRecoverEntry<V>>,
-}
-
 /// Migration round 1: a mirror promoted itself to master (§5.2.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Promotion {
@@ -138,13 +126,21 @@ pub struct MirrorUpdate<V, M> {
     pub master_node: NodeId,
 }
 
-/// Edge-cut cluster messages.
+/// The model-generic cluster protocol, parameterized by value `V`, gather
+/// accumulator `A`, Rebirth recovery entry `E`, and replica meta `M`.
+///
+/// Both compute models speak this one protocol; the [`EcMsg`] and [`VcMsg`]
+/// aliases pin the type parameters per model (the edge-cut model never
+/// sends `Gather` — its gather is fused into local compute).
 #[derive(Debug, Clone, PartialEq)]
-pub enum EcMsg<V> {
+pub enum ProtoMsg<V, A, E, M> {
+    /// Gather phase: partial accumulators, edge holder → master
+    /// (vertex-cut only).
+    Gather(Vec<(Vid, A)>),
     /// Normal-execution value synchronisation, master → replicas.
     Sync(Vec<VertexSync<V>>),
     /// Rebirth: survivor → newbie reconstruction batch.
-    Rebirth(Box<EcRebirthBatch<V>>),
+    Rebirth(Box<RebirthBatch<E>>),
     /// Migration R1: promotions performed by the sender.
     Promote(Vec<Promotion>),
     /// Migration R2: the sender needs replicas of these vertices.
@@ -154,8 +150,27 @@ pub enum EcMsg<V> {
     /// Migration R4/R6: `(vid, pos)` placements to record in master meta.
     ReplicaPlaced(Vec<(Vid, u32)>),
     /// Migration R5/R7: mirror designation / meta refresh.
-    MirrorUpdate(Vec<MirrorUpdate<V, MasterMeta>>),
+    MirrorUpdate(Vec<MirrorUpdate<V, M>>),
 }
+
+/// A survivor's complete contribution to one Rebirth reconstruction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RebirthBatch<E> {
+    /// Iteration at which the cluster resumes after recovery.
+    pub resume_iter: u64,
+    /// Number of surviving nodes contributing batches (the newbie counts
+    /// arrivals against this).
+    pub num_survivors: u32,
+    /// Recovered copies.
+    pub entries: Vec<E>,
+}
+
+/// Edge-cut cluster messages ([`ProtoMsg`] instantiated for the edge-cut
+/// model; the unused `Gather` accumulator is `()`).
+pub type EcMsg<V> = ProtoMsg<V, (), EcRecoverEntry<V>, MasterMeta>;
+
+/// Vertex-cut cluster messages.
+pub type VcMsg<V, A> = ProtoMsg<V, A, VcRecoverEntry<V>, VcMeta>;
 
 /// A vertex-cut recovered copy (no edges — those come from edge-ckpt files).
 #[derive(Debug, Clone, PartialEq)]
@@ -181,38 +196,6 @@ impl<V> VcRecoverEntry<V> {
     pub fn wire_bytes(value_bytes: usize) -> usize {
         4 + 4 + 1 + 4 + value_bytes + 1
     }
-}
-
-/// A survivor's contribution to one vertex-cut Rebirth reconstruction.
-#[derive(Debug, Clone, PartialEq)]
-pub struct VcRebirthBatch<V> {
-    /// Iteration at which the cluster resumes.
-    pub resume_iter: u64,
-    /// Contributing survivors.
-    pub num_survivors: u32,
-    /// Recovered copies.
-    pub entries: Vec<VcRecoverEntry<V>>,
-}
-
-/// Vertex-cut cluster messages.
-#[derive(Debug, Clone, PartialEq)]
-pub enum VcMsg<V, A> {
-    /// Gather phase: partial accumulators, edge holder → master.
-    Gather(Vec<(Vid, A)>),
-    /// Apply phase: new values, master → replicas.
-    Sync(Vec<VertexSync<V>>),
-    /// Rebirth reconstruction batch.
-    Rebirth(Box<VcRebirthBatch<V>>),
-    /// Migration R1: promotions.
-    Promote(Vec<Promotion>),
-    /// Migration R2: replica requests for edge endpoints.
-    ReplicaRequest(Vec<Vid>),
-    /// Migration R3: granted replicas.
-    ReplicaGrant(Vec<ReplicaGrant<V>>),
-    /// Migration R4/R6: placements.
-    ReplicaPlaced(Vec<(Vid, u32)>),
-    /// Migration R5/R7: mirror designation / meta refresh.
-    MirrorUpdate(Vec<MirrorUpdate<V, VcMeta>>),
 }
 
 #[cfg(test)]

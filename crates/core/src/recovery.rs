@@ -1,0 +1,975 @@
+//! The model-generic recovery state machine.
+//!
+//! One implementation of the paper's three recovery paths — Rebirth (§5.1),
+//! Migration (§5.2), and the checkpoint baseline (§2.2-2.3) — driven through
+//! the [`ComputeModel`] reconstruction primitives. Strategy selection,
+//! standby dispatch, the barrier-separated migration rounds R1-R8, the
+//! snapshot-chain replay, and the post-reload full-sync round all live here
+//! exactly once; the models contribute only entry encoding/placement and
+//! their genuinely different reload sources (edge-ckpt files, activation
+//! replay).
+
+use std::collections::{HashMap, HashSet};
+use std::time::Duration;
+
+use imitator_cluster::{Envelope, NodeId};
+use imitator_engine::CopyKind;
+use imitator_graph::Vid;
+use imitator_metrics::{CommKind, CommStats, Stopwatch};
+
+use crate::driver::{
+    collect_syncs, round_msgs, ComputeModel, Ctx, ModelGraph, Shared, St, RECOVERY_PATIENCE,
+};
+use crate::msg::{MirrorUpdate, Promotion, ProtoMsg, RebirthBatch, ReplicaGrant, VertexSync};
+use crate::plan::{responsible_mirror, ReplicaMeta};
+use crate::report::RecoveryReport;
+use crate::{FtMode, RecoveryStrategy};
+
+/// Per-destination batches of mirror designations / full-state refreshes
+/// (migration R5/R7).
+type MirrorUpdates<M> =
+    HashMap<NodeId, Vec<MirrorUpdate<<M as ComputeModel>::Value, <M as ComputeModel>::Meta>>>;
+
+/// Shared migration bookkeeping, threaded through the rounds. `extra` is
+/// the model's own state (the edge wiring the generic rounds don't know
+/// about).
+#[derive(Default)]
+pub(crate) struct Mig<X> {
+    /// Masters whose meta changed (need a final meta refresh in R7).
+    pub dirty_masters: HashSet<u32>,
+    /// Vertex copies recovered (promotions + placed replicas).
+    pub recovered: u64,
+    /// Edges recovered (model-wired).
+    pub edges_recovered: u64,
+    /// Recovery traffic sent by this node.
+    pub comm: CommStats,
+    /// Vertices this node promoted to master.
+    pub promoted: Vec<Vid>,
+    /// Model-specific round-to-round state.
+    pub extra: X,
+}
+
+/// Read-only migration context handed to model hooks.
+pub(crate) struct MigEnv<'a> {
+    /// The crashed nodes.
+    pub dead: &'a [NodeId],
+    /// This node.
+    pub me: NodeId,
+    /// Promotions performed *by this node* in R1.
+    pub promotions: &'a [Promotion],
+    /// Every promotion in the cluster, indexed by the crashed
+    /// `(node, position)` it vacated — for rewriting position-addressed
+    /// consumer tables.
+    pub promo_by_old: &'a HashMap<(NodeId, u32), Promotion>,
+}
+
+/// Dispatches one recovery episode by the configured strategy, then
+/// restores model invariants the recovery may have disturbed.
+pub(crate) fn recover<M: ComputeModel>(
+    ctx: &Ctx<M>,
+    lg: &mut M::Graph,
+    shared: &Shared<M>,
+    st: &mut St<M>,
+    dead: &[NodeId],
+    resume_iter: u64,
+) {
+    match shared.cfg.ft {
+        FtMode::None => panic!("node failure injected with fault tolerance disabled"),
+        FtMode::Checkpoint { .. } => ckpt_recover_survivor(ctx, lg, shared, st, dead, resume_iter),
+        FtMode::Replication {
+            recovery: RecoveryStrategy::Rebirth,
+            ..
+        } => rebirth_survivor(ctx, lg, shared, st, dead, resume_iter),
+        FtMode::Replication {
+            recovery: RecoveryStrategy::Migration,
+            ..
+        } => migrate(ctx, lg, shared, st, dead, resume_iter),
+    }
+    shared.model.after_recovery(lg);
+}
+
+fn batch_for<E>(batches: &mut HashMap<NodeId, Vec<E>>, d: NodeId) -> &mut Vec<E> {
+    batches
+        .get_mut(&d)
+        .unwrap_or_else(|| panic!("no rebirth batch slot for crashed node {d}"))
+}
+
+// --------------------------------------------------------------------------
+// Rebirth (§5.1)
+// --------------------------------------------------------------------------
+
+fn rebirth_survivor<M: ComputeModel>(
+    ctx: &Ctx<M>,
+    lg: &mut M::Graph,
+    shared: &Shared<M>,
+    st: &mut St<M>,
+    dead: &[NodeId],
+    resume_iter: u64,
+) {
+    let me = ctx.id();
+    let survivors = st.mark_dead(dead);
+    let num_survivors = survivors.len() as u32;
+
+    // The leader hands each crashed identity to a hot standby *before*
+    // entering the membership barrier, so the barrier cannot complete
+    // without the newbies.
+    if me == st.leader() {
+        for &d in dead {
+            assert!(
+                ctx.cluster().dispatch_standby(d),
+                "Rebirth recovery of {d} requires a hot standby"
+            );
+        }
+    }
+    ctx.enter_barrier();
+
+    // Reloading (§5.1.1): scan local masters and mirrors, build one batch
+    // per crashed node. The responsible mirror (first surviving node in
+    // mirror-ID order) recovers the master; every master recovers its own
+    // lost replicas.
+    let sw = Stopwatch::start();
+    let mut batches: HashMap<NodeId, Vec<M::Entry>> = HashMap::new();
+    for d in dead {
+        batches.insert(*d, Vec::new());
+    }
+    let mut promoted: Vec<Vid> = Vec::new();
+    for pos in 0..lg.len() as u32 {
+        match lg.kind(pos) {
+            CopyKind::Master => {
+                let meta = lg
+                    .meta(pos)
+                    .unwrap_or_else(|| panic!("master {} has no full state", lg.vid(pos)));
+                for &d in dead {
+                    if let Some(rpos) = meta.replica_position_on(d) {
+                        let kind = if meta.mirror_nodes().contains(&d) {
+                            CopyKind::Mirror
+                        } else {
+                            CopyKind::Replica
+                        };
+                        let entry = shared.model.replica_entry(lg, pos, d, rpos, kind);
+                        batch_for(&mut batches, d).push(entry);
+                    }
+                }
+            }
+            CopyKind::Mirror => {
+                let master = lg.master_node(pos);
+                if !dead.contains(&master) {
+                    continue;
+                }
+                let meta = lg
+                    .meta(pos)
+                    .unwrap_or_else(|| panic!("mirror {} has no full state", lg.vid(pos)));
+                if responsible_mirror(meta, &st.alive) != Some(me) {
+                    continue;
+                }
+                // Recover the master at its original position...
+                let entry = shared.model.master_entry(lg, pos);
+                batch_for(&mut batches, master).push(entry);
+                promoted.push(lg.vid(pos));
+                // ...and, under multiple failures, any of its replicas lost
+                // on *other* crashed nodes.
+                for &d in dead {
+                    if d == master {
+                        continue;
+                    }
+                    if let Some(rpos) = meta.replica_position_on(d) {
+                        let kind = if meta.mirror_nodes().contains(&d) {
+                            CopyKind::Mirror
+                        } else {
+                            CopyKind::Replica
+                        };
+                        let entry = shared.model.replica_entry(lg, pos, d, rpos, kind);
+                        batch_for(&mut batches, d).push(entry);
+                    }
+                }
+            }
+            CopyKind::Replica => {}
+        }
+    }
+    let mut recovered = 0u64;
+    let mut recovered_edges = 0u64;
+    let mut comm = CommStats::default();
+    for (d, entries) in batches {
+        recovered += entries.len() as u64;
+        recovered_edges += entries
+            .iter()
+            .map(|e| shared.model.entry_edges(e))
+            .sum::<u64>();
+        let bytes: u64 = entries
+            .iter()
+            .map(|e| shared.model.entry_wire_bytes(e))
+            .sum();
+        comm.record(1, bytes);
+        ctx.send_kind(
+            d,
+            ProtoMsg::Rebirth(Box::new(RebirthBatch {
+                resume_iter,
+                num_survivors,
+                entries,
+            })),
+            bytes,
+            CommKind::Recovery,
+        );
+    }
+    let reload = sw.elapsed();
+    ctx.enter_barrier();
+
+    // Membership restored: the newbies carry the crashed identities.
+    for d in dead {
+        st.alive[d.index()] = true;
+    }
+    promoted.sort_unstable();
+    let mut contacted = dead.to_vec();
+    contacted.sort_unstable();
+    st.recoveries.push(RecoveryReport {
+        strategy: "rebirth",
+        failed_nodes: dead.len(),
+        reload,
+        reconstruct: Duration::ZERO,
+        replay: Duration::ZERO,
+        vertices_recovered: recovered,
+        edges_recovered: recovered_edges,
+        comm,
+        promoted,
+        contacted,
+    });
+}
+
+/// A newbie reconstructing a crashed identity: receive one batch from every
+/// survivor (placement is position-addressed, so reconstruction happens on
+/// the fly, §5.1.2), reload any model-specific extra state, validate, and
+/// replay (§5.1.3).
+pub(crate) fn rebirth_newbie<M: ComputeModel>(
+    ctx: &Ctx<M>,
+    shared: &Shared<M>,
+    st: &mut St<M>,
+) -> M::Graph {
+    let me = ctx.id();
+    ctx.enter_barrier(); // membership barrier
+
+    let sw = Stopwatch::start();
+    let mut lg = shared.model.empty_graph(me);
+    let mut got = 0u32;
+    let mut expected: Option<u32> = None;
+    let mut resume_iter = 0u64;
+    while expected.is_none_or(|e| got < e) {
+        let env = ctx
+            .recv_timeout(RECOVERY_PATIENCE)
+            .expect("rebirth batch from survivor");
+        match env.msg {
+            ProtoMsg::Rebirth(batch) => {
+                expected = Some(batch.num_survivors);
+                resume_iter = batch.resume_iter;
+                got += 1;
+                for e in batch.entries {
+                    shared.model.insert_entry(&mut lg, e);
+                }
+            }
+            other => st.stash.push(Envelope {
+                from: env.from,
+                msg: other,
+            }),
+        }
+    }
+    shared.model.rebirth_reload_extra(&mut lg, shared);
+    let reload = sw.elapsed();
+
+    // Reconstruction is implicit; validate the rebuilt layout, then run the
+    // model's replay (activation fix-ups for the sparse engine; the dense
+    // engine's next apply refreshes everything, so its replay is zero).
+    let mut sw = Stopwatch::start();
+    shared.model.validate(&lg);
+    let reconstruct = sw.lap();
+    let replay = if shared.model.rebirth_replay(&mut lg, shared, resume_iter) {
+        sw.lap()
+    } else {
+        Duration::ZERO
+    };
+
+    let (vertices, edges) = shared.model.graph_stats(&lg);
+    st.iter = resume_iter;
+    st.recoveries.push(RecoveryReport {
+        strategy: "rebirth",
+        failed_nodes: 1,
+        reload,
+        reconstruct,
+        replay,
+        vertices_recovered: vertices,
+        edges_recovered: edges,
+        comm: CommStats::default(),
+        promoted: Vec::new(),
+        contacted: Vec::new(),
+    });
+    ctx.enter_barrier(); // reconstruction barrier
+    lg
+}
+
+// --------------------------------------------------------------------------
+// Migration (§5.2): eight barrier-separated rounds
+// --------------------------------------------------------------------------
+
+#[allow(clippy::too_many_lines)]
+fn migrate<M: ComputeModel>(
+    ctx: &Ctx<M>,
+    lg: &mut M::Graph,
+    shared: &Shared<M>,
+    st: &mut St<M>,
+    dead: &[NodeId],
+    resume_iter: u64,
+) {
+    let me = ctx.id();
+    let survivors = st.mark_dead(dead);
+    let others: Vec<NodeId> = survivors.iter().copied().filter(|&n| n != me).collect();
+    let tolerance = match shared.cfg.ft {
+        FtMode::Replication { tolerance, .. } => tolerance,
+        _ => unreachable!("migrate requires replication FT"),
+    };
+    let mut mig: Mig<M::MigExtra> = Mig::default();
+    let sw_total = Stopwatch::start();
+
+    // ---- R1: promote local mirrors whose master died (the responsible
+    //      mirror wins), purge crashed locations, announce promotions.
+    let mut promotions: Vec<Promotion> = Vec::new();
+    for pos in 0..lg.len() as u32 {
+        match lg.kind(pos) {
+            CopyKind::Mirror if dead.contains(&lg.master_node(pos)) => {
+                let vid = lg.vid(pos);
+                let meta = lg
+                    .meta(pos)
+                    .unwrap_or_else(|| panic!("mirror {vid} has no full state"));
+                if responsible_mirror(meta, &st.alive) != Some(me) {
+                    continue;
+                }
+                let old_node = lg.master_node(pos);
+                let old_pos = meta.master_pos();
+                lg.set_kind(pos, CopyKind::Master);
+                lg.set_master_node(pos, me);
+                let meta = lg.meta_mut(pos).unwrap_or_else(|| {
+                    panic!("promoted mirror {vid} at position {pos} has no full state")
+                });
+                meta.set_master_pos(pos);
+                meta.purge_node(me);
+                for &d in dead {
+                    meta.purge_node(d);
+                }
+                shared.model.on_promote(lg, pos, &mut mig);
+                promotions.push(Promotion {
+                    vid,
+                    new_master: me,
+                    new_pos: pos,
+                    old_node,
+                    old_pos,
+                });
+                mig.dirty_masters.insert(pos);
+                mig.promoted.push(vid);
+                st.overlay.insert(vid, me);
+                mig.recovered += 1;
+            }
+            CopyKind::Master => {
+                // Purge crashed replica locations from the location tables.
+                let vid = lg.vid(pos);
+                let meta = lg
+                    .meta_mut(pos)
+                    .unwrap_or_else(|| panic!("master {vid} has no full state"));
+                let before = meta.replica_nodes().len() + meta.mirror_nodes().len();
+                for &d in dead {
+                    meta.purge_node(d);
+                }
+                if meta.replica_nodes().len() + meta.mirror_nodes().len() != before {
+                    mig.dirty_masters.insert(pos);
+                }
+            }
+            _ => {}
+        }
+    }
+    for &n in &others {
+        let bytes = (promotions.len() * 20) as u64;
+        mig.comm.record(1, bytes);
+        ctx.send_kind(
+            n,
+            ProtoMsg::Promote(promotions.clone()),
+            bytes,
+            CommKind::Recovery,
+        );
+    }
+    ctx.enter_barrier();
+
+    // ---- R2: apply promotions everywhere; let the model fix its location
+    //      tables and compute the replica requests it must send.
+    let mut promo_by_old: HashMap<(NodeId, u32), Promotion> = HashMap::new();
+    let mut all_promos: Vec<Promotion> = promotions.clone();
+    for env in round_msgs::<M>(ctx, st) {
+        match env.msg {
+            ProtoMsg::Promote(batch) => all_promos.extend(batch),
+            other => st.stash.push(Envelope {
+                from: env.from,
+                msg: other,
+            }),
+        }
+    }
+    for p in &all_promos {
+        promo_by_old.insert((p.old_node, p.old_pos), *p);
+        st.overlay.insert(p.vid, p.new_master);
+        if p.new_master == me {
+            continue; // own promotions already fixed in R1
+        }
+        if let Some(pos) = lg.position(p.vid) {
+            lg.set_master_node(pos, p.new_master);
+            if let Some(meta) = lg.meta_mut(pos) {
+                meta.set_master_pos(p.new_pos);
+                for &d in dead {
+                    meta.purge_node(d);
+                }
+                meta.purge_node(p.new_master);
+            }
+        }
+    }
+    let menv = MigEnv {
+        dead,
+        me,
+        promotions: &promotions,
+        promo_by_old: &promo_by_old,
+    };
+    let mut requests = shared
+        .model
+        .migration_requests(lg, shared, st, &mut mig, &menv);
+    for &n in &others {
+        let req = requests.remove(&n).unwrap_or_default();
+        let bytes = (req.len() * 4) as u64;
+        mig.comm.record(1, bytes);
+        ctx.send_kind(n, ProtoMsg::ReplicaRequest(req), bytes, CommKind::Recovery);
+    }
+    ctx.enter_barrier();
+
+    // ---- R3: grant requested replicas.
+    let mut grants: HashMap<NodeId, Vec<ReplicaGrant<M::Value>>> = HashMap::new();
+    for env in round_msgs::<M>(ctx, st) {
+        match env.msg {
+            ProtoMsg::ReplicaRequest(req) => {
+                for vid in req {
+                    let pos = lg
+                        .position(vid)
+                        .unwrap_or_else(|| panic!("request for {vid} but no copy on {me}"));
+                    debug_assert!(lg.is_master(pos), "replica request routed to non-master");
+                    grants.entry(env.from).or_default().push(ReplicaGrant {
+                        vid,
+                        value: lg.value(pos).clone(),
+                        last_activate: shared.model.scatter_bit(lg, pos),
+                        master_node: me,
+                    });
+                }
+            }
+            other => st.stash.push(Envelope {
+                from: env.from,
+                msg: other,
+            }),
+        }
+    }
+    for &n in &others {
+        let g = grants.remove(&n).unwrap_or_default();
+        let bytes: u64 = g
+            .iter()
+            .map(|x| 16 + shared.model.value_wire_bytes(&x.value) as u64)
+            .sum();
+        mig.comm.record(1, bytes);
+        ctx.send_kind(n, ProtoMsg::ReplicaGrant(g), bytes, CommKind::Recovery);
+    }
+    ctx.enter_barrier();
+
+    // ---- R4: place granted replicas, let the model wire edges (promoted
+    //      masters' in-edges / adopted edge-ckpt edges), report placements.
+    let mut placements: HashMap<NodeId, Vec<(Vid, u32)>> = HashMap::new();
+    for env in round_msgs::<M>(ctx, st) {
+        match env.msg {
+            ProtoMsg::ReplicaGrant(gs) => {
+                for g in gs {
+                    debug_assert!(
+                        lg.position(g.vid).is_none(),
+                        "duplicate grant for {}",
+                        g.vid
+                    );
+                    let vid = g.vid;
+                    let master_node = g.master_node;
+                    let pos = shared.model.place_granted(lg, g);
+                    placements.entry(master_node).or_default().push((vid, pos));
+                    mig.recovered += 1;
+                }
+            }
+            other => st.stash.push(Envelope {
+                from: env.from,
+                msg: other,
+            }),
+        }
+    }
+    shared.model.migration_wire(lg, &mut mig, resume_iter);
+    for &n in &others {
+        let p = placements.remove(&n).unwrap_or_default();
+        let bytes = (p.len() * 8) as u64;
+        mig.comm.record(1, bytes);
+        ctx.send_kind(n, ProtoMsg::ReplicaPlaced(p), bytes, CommKind::Recovery);
+    }
+    ctx.enter_barrier();
+
+    // ---- R5: record placements; restore the fault-tolerance level by
+    //      designating replacement mirrors (§5.2.1), creating fresh FT
+    //      replicas where no replica is available.
+    for env in round_msgs::<M>(ctx, st) {
+        match env.msg {
+            ProtoMsg::ReplicaPlaced(ps) => {
+                for (vid, pos) in ps {
+                    let mpos = lg.position(vid).expect("placement for unknown master");
+                    debug_assert!(lg.is_master(mpos));
+                    lg.meta_mut(mpos)
+                        .unwrap_or_else(|| {
+                            panic!("master {vid} has no full state to register a replica")
+                        })
+                        .register_replica(env.from, pos);
+                    mig.dirty_masters.insert(mpos);
+                }
+            }
+            other => st.stash.push(Envelope {
+                from: env.from,
+                msg: other,
+            }),
+        }
+    }
+    // The FT level cannot exceed the surviving cluster's capacity: each
+    // mirror needs a distinct node other than the master's.
+    let restorable = tolerance.min(survivors.len().saturating_sub(1));
+    let mut mirror_updates: MirrorUpdates<M> = HashMap::new();
+    for pos in 0..lg.len() as u32 {
+        if !lg.is_master(pos) {
+            continue;
+        }
+        loop {
+            let vid = lg.vid(pos);
+            let meta = lg
+                .meta(pos)
+                .unwrap_or_else(|| panic!("master {vid} has no full state"));
+            if meta.mirror_nodes().len() >= restorable {
+                break;
+            }
+            // Prefer upgrading an existing replica; otherwise create a new
+            // FT replica on the least-assigned survivor.
+            let candidate = meta
+                .replica_nodes()
+                .iter()
+                .copied()
+                .filter(|n| !meta.mirror_nodes().contains(n))
+                .min_by_key(|n| (st.mirror_assign[n.index()], n.index()));
+            let (target, fresh) = match candidate {
+                Some(n) => (n, false),
+                None => {
+                    let n = survivors
+                        .iter()
+                        .copied()
+                        .filter(|&n| n != me && !meta.replica_nodes().contains(&n))
+                        .min_by_key(|n| (st.mirror_assign[n.index()], n.index()))
+                        .expect("enough survivors to restore the FT level");
+                    (n, true)
+                }
+            };
+            st.mirror_assign[target.index()] += 1;
+            let scatter = shared.model.scatter_bit(lg, pos);
+            let meta = lg
+                .meta_mut(pos)
+                .unwrap_or_else(|| panic!("master {vid} has no full state to designate a mirror"));
+            meta.add_mirror(target);
+            let boxed = Box::new(meta.clone());
+            mirror_updates
+                .entry(target)
+                .or_default()
+                .push(MirrorUpdate {
+                    vid,
+                    meta: boxed,
+                    // Position is reported back in R6 for fresh replicas.
+                    value: fresh.then(|| lg.value(pos).clone()),
+                    last_activate: scatter,
+                    master_node: me,
+                });
+            mig.dirty_masters.insert(pos);
+        }
+    }
+    for &n in &others {
+        let ups = mirror_updates.remove(&n).unwrap_or_default();
+        let bytes: u64 = ups
+            .iter()
+            .map(|u| shared.model.meta_update_bytes(&u.meta))
+            .sum();
+        mig.comm.record(1, bytes);
+        ctx.send_kind(n, ProtoMsg::MirrorUpdate(ups), bytes, CommKind::Recovery);
+    }
+    ctx.enter_barrier();
+
+    // ---- R6: adopt mirror designations; report fresh FT-replica positions.
+    let mut fresh_placements: HashMap<NodeId, Vec<(Vid, u32)>> = HashMap::new();
+    for env in round_msgs::<M>(ctx, st) {
+        match env.msg {
+            ProtoMsg::MirrorUpdate(ups) => {
+                for u in ups {
+                    match lg.position(u.vid) {
+                        Some(pos) => {
+                            lg.set_kind(pos, CopyKind::Mirror);
+                            lg.set_meta(pos, u.meta);
+                            lg.set_master_node(pos, u.master_node);
+                        }
+                        None => {
+                            let vid = u.vid;
+                            let master_node = u.master_node;
+                            let pos = shared.model.place_fresh_mirror(lg, u);
+                            fresh_placements
+                                .entry(master_node)
+                                .or_default()
+                                .push((vid, pos));
+                        }
+                    }
+                }
+            }
+            other => st.stash.push(Envelope {
+                from: env.from,
+                msg: other,
+            }),
+        }
+    }
+    for &n in &others {
+        let p = fresh_placements.remove(&n).unwrap_or_default();
+        let bytes = (p.len() * 8) as u64;
+        mig.comm.record(1, bytes);
+        ctx.send_kind(n, ProtoMsg::ReplicaPlaced(p), bytes, CommKind::Recovery);
+    }
+    ctx.enter_barrier();
+
+    // ---- R7: register fresh placements; push the final full state to every
+    //      mirror of each dirty master.
+    for env in round_msgs::<M>(ctx, st) {
+        match env.msg {
+            ProtoMsg::ReplicaPlaced(ps) => {
+                for (vid, pos) in ps {
+                    let mpos = lg.position(vid).expect("placement for unknown master");
+                    lg.meta_mut(mpos)
+                        .unwrap_or_else(|| {
+                            panic!("master {vid} has no full state to register a replica")
+                        })
+                        .register_replica(env.from, pos);
+                    mig.dirty_masters.insert(mpos);
+                }
+            }
+            other => st.stash.push(Envelope {
+                from: env.from,
+                msg: other,
+            }),
+        }
+    }
+    let mut refreshes: MirrorUpdates<M> = HashMap::new();
+    for &pos in &mig.dirty_masters {
+        if !lg.is_master(pos) {
+            continue;
+        }
+        let meta = lg
+            .meta(pos)
+            .unwrap_or_else(|| panic!("master {} has no full state", lg.vid(pos)));
+        for &m in meta.mirror_nodes() {
+            refreshes.entry(m).or_default().push(MirrorUpdate {
+                vid: lg.vid(pos),
+                meta: Box::new(meta.clone()),
+                value: None,
+                last_activate: shared.model.scatter_bit(lg, pos),
+                master_node: me,
+            });
+        }
+    }
+    for &n in &others {
+        let ups = refreshes.remove(&n).unwrap_or_default();
+        let bytes: u64 = ups
+            .iter()
+            .map(|u| shared.model.meta_update_bytes(&u.meta))
+            .sum();
+        mig.comm.record(1, bytes);
+        ctx.send_kind(n, ProtoMsg::MirrorUpdate(ups), bytes, CommKind::Recovery);
+    }
+    ctx.enter_barrier();
+
+    // ---- R8: adopt refreshed metas; let the model re-persist invalidated
+    //      state; leader acknowledges the recovery.
+    for env in round_msgs::<M>(ctx, st) {
+        match env.msg {
+            ProtoMsg::MirrorUpdate(ups) => {
+                for u in ups {
+                    let pos = lg.position(u.vid).expect("meta refresh for unknown copy");
+                    debug_assert!(!lg.is_master(pos), "meta refresh addressed to the master");
+                    lg.set_kind(pos, CopyKind::Mirror);
+                    lg.set_master_node(pos, u.master_node);
+                    lg.set_meta(pos, u.meta);
+                }
+            }
+            other => st.stash.push(Envelope {
+                from: env.from,
+                msg: other,
+            }),
+        }
+    }
+    shared.model.migration_finish(lg, shared, &mig);
+    if me == st.leader() {
+        for &d in dead {
+            ctx.cluster().coordinator().ack_recovered(d);
+        }
+    }
+    ctx.enter_barrier();
+
+    let Mig {
+        recovered,
+        edges_recovered,
+        comm,
+        mut promoted,
+        ..
+    } = mig;
+    promoted.sort_unstable();
+    st.recoveries.push(RecoveryReport {
+        strategy: "migration",
+        failed_nodes: dead.len(),
+        reload: sw_total.elapsed(),
+        reconstruct: Duration::ZERO,
+        replay: Duration::ZERO,
+        vertices_recovered: recovered,
+        edges_recovered,
+        comm,
+        promoted,
+        contacted: others,
+    });
+}
+
+// --------------------------------------------------------------------------
+// Checkpoint recovery (§2.2-2.3)
+// --------------------------------------------------------------------------
+
+fn ckpt_recover_survivor<M: ComputeModel>(
+    ctx: &Ctx<M>,
+    lg: &mut M::Graph,
+    shared: &Shared<M>,
+    st: &mut St<M>,
+    dead: &[NodeId],
+    resume_iter: u64,
+) {
+    let me = ctx.id();
+    st.mark_dead(dead);
+    if me == st.leader() {
+        for &d in dead {
+            assert!(
+                ctx.cluster().dispatch_standby(d),
+                "checkpoint recovery of {d} requires a standby"
+            );
+        }
+    }
+    ctx.enter_barrier();
+
+    // Reload: every node (survivors too) rolls back to the last snapshot —
+    // for incremental mode, to the initial state plus the snapshot chain.
+    let sw = Stopwatch::start();
+    let incremental = matches!(
+        shared.cfg.ft,
+        FtMode::Checkpoint {
+            incremental: true,
+            ..
+        }
+    );
+    let snap_iter = if st.last_snapshot_iter == 0 {
+        shared.model.reset_to_initial(lg, shared);
+        // Masters no longer hold their last-shipped values: the filter's
+        // entries describe nothing anymore.
+        st.sync_filter.clear();
+        0
+    } else if incremental {
+        shared.model.reset_to_initial(lg, shared);
+        st.sync_filter.clear();
+        apply_snapshot_chain(lg, shared, me, true)
+    } else {
+        // A full snapshot restores masters only; surviving replicas keep
+        // exactly the state our last syncs installed, so the filter stays
+        // valid toward survivors. The crashed nodes' replacements are
+        // rebuilt from snapshots instead — re-ship everything there.
+        for &d in dead {
+            st.sync_filter.invalidate_dest(d);
+        }
+        let bytes = shared
+            .dfs
+            .read(&format!(
+                "{}/ckpt/{}/{}",
+                M::PREFIX,
+                st.last_snapshot_iter,
+                me.raw()
+            ))
+            .expect("own snapshot present");
+        shared.model.apply_snapshot(lg, &bytes)
+    };
+    st.dirty.clear();
+    let reload = sw.elapsed();
+    ctx.enter_barrier();
+
+    // Reconstruct: replica values are not in snapshots; masters rebroadcast.
+    let sw = Stopwatch::start();
+    ckpt_full_sync(ctx, lg, shared, st);
+    let reconstruct = sw.elapsed();
+
+    st.iter = snap_iter;
+    st.replay_until = resume_iter;
+    st.recoveries.push(RecoveryReport {
+        strategy: "checkpoint",
+        failed_nodes: dead.len(),
+        reload,
+        reconstruct,
+        replay: Duration::ZERO, // accumulated as lost iterations re-run
+        vertices_recovered: lg.num_masters() as u64,
+        edges_recovered: 0,
+        comm: CommStats::default(),
+        promoted: Vec::new(),
+        contacted: Vec::new(),
+    });
+    for d in dead {
+        st.alive[d.index()] = true;
+    }
+}
+
+/// A standby reconstructing a crashed identity from the DFS: the immutable
+/// topology from the metadata snapshot, then the data snapshot chain.
+pub(crate) fn ckpt_newbie<M: ComputeModel>(
+    ctx: &Ctx<M>,
+    shared: &Shared<M>,
+    st: &mut St<M>,
+) -> M::Graph {
+    let me = ctx.id();
+    ctx.enter_barrier();
+    let sw = Stopwatch::start();
+    let meta_bytes = shared
+        .dfs
+        .read(&format!("{}/meta/{}", M::PREFIX, me.raw()))
+        .expect("metadata snapshot written at load");
+    let mut lg = shared.model.decode_graph(&meta_bytes);
+    let incremental = matches!(
+        shared.cfg.ft,
+        FtMode::Checkpoint {
+            incremental: true,
+            ..
+        }
+    );
+    let snap_iter = apply_snapshot_chain(&mut lg, shared, me, incremental);
+    let reload = sw.elapsed();
+    ctx.enter_barrier();
+
+    let sw = Stopwatch::start();
+    ckpt_full_sync(ctx, &mut lg, shared, st);
+    let reconstruct = sw.elapsed();
+
+    let (vertices, edges) = shared.model.graph_stats(&lg);
+    st.iter = snap_iter;
+    st.last_snapshot_iter = snap_iter;
+    st.recoveries.push(RecoveryReport {
+        strategy: "checkpoint",
+        failed_nodes: 1,
+        reload,
+        reconstruct,
+        replay: Duration::ZERO,
+        vertices_recovered: vertices,
+        edges_recovered: edges,
+        comm: CommStats::default(),
+        promoted: Vec::new(),
+        contacted: Vec::new(),
+    });
+    lg
+}
+
+/// Post-reload replica refresh: every master pushes its restored state to
+/// all of its replicas (one full sync round with its own barrier).
+///
+/// Records already installed on a destination by our last regular syncs are
+/// suppressed (surviving replicas were not rolled back — snapshots hold
+/// masters only), which is where redundant-sync suppression pays off most:
+/// only vertices that changed since the snapshot are re-shipped to
+/// survivors. Recovery cannot be interrupted (failures inject at loop tops
+/// only), so staged entries commit immediately, and afterwards every
+/// destination provably holds every entry — the filter revalidates fully.
+fn ckpt_full_sync<M: ComputeModel>(
+    ctx: &Ctx<M>,
+    lg: &mut M::Graph,
+    shared: &Shared<M>,
+    st: &mut St<M>,
+) {
+    let mut batches: HashMap<NodeId, Vec<VertexSync<M::Value>>> = HashMap::new();
+    let mut suppressed = 0u64;
+    for pos in 0..lg.len() as u32 {
+        if !lg.is_master(pos) {
+            continue;
+        }
+        let scatter = shared.model.scatter_bit(lg, pos);
+        let staged = st.sync_filter.stage(pos, lg.value(pos), scatter);
+        let meta = lg
+            .meta(pos)
+            .unwrap_or_else(|| panic!("master {} has no full state", lg.vid(pos)));
+        for (&node, &rpos) in meta.replica_nodes().iter().zip(meta.replica_positions()) {
+            if st.sync_filter.suppress(staged, node) {
+                suppressed += 1;
+                continue;
+            }
+            batches.entry(node).or_default().push(VertexSync {
+                pos: rpos,
+                value: lg.value(pos).clone(),
+                activate: scatter,
+            });
+        }
+    }
+    st.sync_filter.commit();
+    st.note_suppressed(suppressed);
+    for (node, batch) in batches {
+        let bytes: u64 = batch
+            .iter()
+            .map(|s| {
+                VertexSync::<M::Value>::wire_bytes(shared.model.value_wire_bytes(&s.value)) as u64
+            })
+            .sum();
+        ctx.send_kind(node, ProtoMsg::Sync(batch), bytes, CommKind::Recovery);
+    }
+    ctx.enter_barrier();
+    let incoming = collect_syncs::<M>(ctx, st);
+    shared.model.apply_full_sync(lg, incoming);
+    ctx.enter_barrier();
+    st.sync_filter.revalidate_all();
+}
+
+/// Applies this node's snapshots in ascending iteration order, returning
+/// the last applied iteration (0 when none exist). Incremental snapshots
+/// form a chain that must be applied in full; for full snapshots only the
+/// newest is applied.
+fn apply_snapshot_chain<M: ComputeModel>(
+    lg: &mut M::Graph,
+    shared: &Shared<M>,
+    me: NodeId,
+    incremental: bool,
+) -> u64 {
+    let mut iters: Vec<u64> = shared
+        .dfs
+        .list(&format!("{}/ckpt/", M::PREFIX))
+        .iter()
+        .filter_map(|p| {
+            let mut parts = p.split('/').skip(2);
+            let iter: u64 = parts.next()?.parse().ok()?;
+            let node: u32 = parts.next()?.parse().ok()?;
+            (node == me.raw()).then_some(iter)
+        })
+        .collect();
+    iters.sort_unstable();
+    if !incremental {
+        iters = iters.split_off(iters.len().saturating_sub(1));
+    }
+    let mut snap_iter = 0;
+    for iter in iters {
+        let bytes = shared
+            .dfs
+            .read(&format!("{}/ckpt/{}/{}", M::PREFIX, iter, me.raw()))
+            .expect("listed snapshot readable");
+        snap_iter = if incremental {
+            shared.model.apply_snapshot_inc(lg, &bytes)
+        } else {
+            shared.model.apply_snapshot(lg, &bytes)
+        };
+    }
+    snap_iter
+}

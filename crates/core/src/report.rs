@@ -2,6 +2,8 @@
 
 use std::time::Duration;
 
+use imitator_cluster::NodeId;
+use imitator_graph::Vid;
 use imitator_metrics::{CommBreakdown, CommStats, PhaseTimes};
 
 /// What one recovery episode cost, broken into the paper's three phases
@@ -29,6 +31,13 @@ pub struct RecoveryReport {
     pub edges_recovered: u64,
     /// Communication spent on recovery.
     pub comm: CommStats,
+    /// Masters this node re-homed during the episode (mirror promotions for
+    /// Migration, mirror-recovered masters for Rebirth), sorted by vertex ID.
+    pub promoted: Vec<Vid>,
+    /// Peers this node exchanged recovery state with, sorted — the newbies
+    /// it reloaded (Rebirth) or the survivors it coordinated with
+    /// (Migration).
+    pub contacted: Vec<NodeId>,
 }
 
 impl RecoveryReport {
@@ -47,6 +56,12 @@ impl RecoveryReport {
         self.vertices_recovered += other.vertices_recovered;
         self.edges_recovered += other.edges_recovered;
         self.comm += other.comm;
+        self.promoted.extend(&other.promoted);
+        self.promoted.sort_unstable();
+        self.promoted.dedup();
+        self.contacted.extend(&other.contacted);
+        self.contacted.sort_unstable();
+        self.contacted.dedup();
     }
 }
 
@@ -133,6 +148,8 @@ mod tests {
             vertices_recovered: 10,
             edges_recovered: 20,
             comm: CommStats::new(1, 100),
+            promoted: vec![Vid::new(3)],
+            contacted: vec![NodeId::new(1)],
         }
     }
 

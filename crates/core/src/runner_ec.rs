@@ -1,53 +1,33 @@
-//! The edge-cut (Cyclops) distributed runner: Algorithm 1 plus the three
-//! fault-tolerance modes and both recovery strategies.
-//!
-//! One thread per simulated node executes [`node_main`]; hot standbys block
-//! in [`standby_main`] until a Rebirth (or checkpoint recovery) adopts them.
-//! All graph state lives in the node threads; the driver only assembles
-//! reports and final values.
+//! The edge-cut (Cyclops) model plugged into the shared superstep driver.
+//! Everything protocol-shaped — the BSP loop, failure dispatch, Rebirth /
+//! Migration / checkpoint recovery — lives in `driver.rs` and `recovery.rs`.
+//! This module keeps only what is genuinely edge-cut: the fused
+//! gather-apply superstep over the sparse activation frontier, the
+//! edge-carrying recovery entries (edges travel with vertices — there are
+//! no edge-ckpt files), in-edge rewiring for promoted masters, activation
+//! replay from synchronised scatter bits, and selfish-master recompute.
 
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
 
-use imitator_cluster::{
-    BarrierOutcome, Cluster, Envelope, FailPoint, FailureInjector, FailurePlan, NodeCtx, NodeId,
-};
+use imitator_cluster::{BarrierOutcome, FailurePlan, NodeId};
 use imitator_engine::{
     ec_commit, ec_compute_par, CopyKind, Degrees, EcLocalGraph, EcVertex, FtPlan, MasterMeta,
-    RemoteEdge, VertexProgram,
+    VertexProgram,
 };
 use imitator_graph::{Graph, Vid};
-use imitator_metrics::{CommKind, CommStats, MemSize, Stopwatch};
+use imitator_metrics::{MemSize, Stopwatch};
 use imitator_partition::EdgeCut;
 use imitator_storage::codec::{Decode, Encode};
 use imitator_storage::Dfs;
 
 use crate::ckpt;
-use crate::msg::{
-    EcMsg, EcRebirthBatch, EcRecoverEntry, MirrorUpdate, Promotion, ReplicaGrant, VertexSync,
-};
+use crate::driver::{self, ComputeModel, Ctx, ModelGraph, Shared, St, StepOutcome, SyncBufs};
+use crate::msg::{EcRecoverEntry, MirrorUpdate, ReplicaGrant, VertexSync};
 use crate::plan::compute_ft_plan;
-use crate::report::{RecoveryReport, RunReport};
-use crate::rt::{merge_outcomes, NodeOutcome, NodeState};
-use crate::{FtMode, RecoveryStrategy, RunConfig};
-
-/// How long recovery waits for a peer's message before concluding the
-/// protocol is wedged (a bug, not an injected failure).
-const RECOVERY_PATIENCE: Duration = Duration::from_secs(30);
-
-struct Shared<P: VertexProgram> {
-    prog: Arc<P>,
-    degrees: Arc<Degrees>,
-    plan: Arc<FtPlan>,
-    owners: Arc<Vec<u32>>,
-    injector: Arc<FailureInjector>,
-    dfs: Dfs,
-    cfg: RunConfig,
-}
-
-type Ctx<V> = NodeCtx<EcMsg<V>>;
-type St<V> = NodeState<EcMsg<V>>;
+use crate::recovery::{Mig, MigEnv};
+use crate::report::RunReport;
+use crate::{FtMode, RunConfig};
 
 /// Runs a vertex program over `g` on a simulated cluster partitioned by
 /// `cut`, under the configured fault-tolerance mode, with the scheduled
@@ -94,1501 +74,526 @@ where
         ),
         _ => FtPlan::none(g.num_vertices()),
     });
-    let extra_replicas = plan.extra_replica_count();
     let lgs = imitator_engine::build_edge_cut_graphs(g, cut, &plan, prog.as_ref(), &degrees);
-    let mem_bytes: Vec<usize> = lgs.iter().map(MemSize::mem_bytes).collect();
     let owners: Arc<Vec<u32>> = Arc::new(g.vertices().map(|v| cut.owner(v) as u32).collect());
-    let injector = Arc::new(FailureInjector::new());
-    for f in failures {
-        injector.schedule(f);
-    }
-    let shared = Arc::new(Shared {
-        prog,
+    driver::run(
+        EcModel { prog },
+        g.num_vertices(),
+        lgs,
         degrees,
         plan,
         owners,
-        injector,
-        dfs,
         cfg,
-    });
-    let cluster: Cluster<EcMsg<P::Value>> =
-        Cluster::new(cfg.num_nodes, cfg.standbys, cfg.detection_delay);
-
-    let start = Instant::now();
-    let mut handles = Vec::new();
-    for (p, lg) in lgs.into_iter().enumerate() {
-        let ctx = cluster.take_ctx(NodeId::from_index(p));
-        let shared = Arc::clone(&shared);
-        handles.push(std::thread::spawn(move || {
-            let mut st = NodeState::new(
-                shared.cfg.num_nodes,
-                Instant::now(),
-                shared.cfg.sync_suppress,
-            );
-            if matches!(shared.cfg.ft, FtMode::Checkpoint { .. }) {
-                let sw = Stopwatch::start();
-                shared.dfs.write(
-                    &format!("ec/meta/{}", ctx.id().raw()),
-                    ckpt::encode_ec_graph(&lg),
-                );
-                st.ckpt_time += sw.elapsed();
-            }
-            node_main(ctx, lg, &shared, st)
-        }));
-    }
-    let mut standby_handles = Vec::new();
-    for _ in 0..cfg.standbys {
-        let cluster = cluster.clone();
-        let shared = Arc::clone(&shared);
-        standby_handles.push(std::thread::spawn(move || standby_main(&cluster, &shared)));
-    }
-
-    let mut outcomes: Vec<NodeOutcome<EcLocalGraph<P::Value>>> = handles
-        .into_iter()
-        .map(|h| h.join().expect("node thread panicked"))
-        .collect();
-    cluster.shutdown_standbys();
-    for h in standby_handles {
-        if let Some(o) = h.join().expect("standby thread panicked") {
-            outcomes.push(o);
-        }
-    }
-    let elapsed = start.elapsed();
-
-    let (mut report, graphs) = merge_outcomes(
-        outcomes,
-        elapsed,
-        mem_bytes,
-        extra_replicas,
-        cluster.comm_breakdown(),
-    );
-    let mut values: Vec<Option<P::Value>> = vec![None; g.num_vertices()];
-    for lg in &graphs {
-        for v in lg.verts.iter().filter(|v| v.is_master()) {
-            values[v.vid.index()] = Some(v.value.clone());
-        }
-    }
-    report.values = values
-        .into_iter()
-        .enumerate()
-        .map(|(i, v)| v.unwrap_or_else(|| panic!("vertex v{i} has no master after run")))
-        .collect();
-    report
+        failures,
+        dfs,
+    )
 }
 
-fn standby_main<P>(
-    cluster: &Cluster<EcMsg<P::Value>>,
-    shared: &Arc<Shared<P>>,
-) -> Option<NodeOutcome<EcLocalGraph<P::Value>>>
+/// The edge-cut compute model: fused gather-apply at masters over the
+/// sparse frontier, one sync round per superstep.
+pub(crate) struct EcModel<P: VertexProgram> {
+    pub(crate) prog: Arc<P>,
+}
+
+/// Migration state the generic rounds don't know about: promoted masters'
+/// in-edge sources, captured at promotion and wired after grant placement.
+#[derive(Default)]
+pub(crate) struct EcMigExtra {
+    pending_wire: Vec<(u32, Vec<(Vid, f32)>)>,
+}
+
+impl<V> ModelGraph for EcLocalGraph<V> {
+    type Value = V;
+    type Meta = MasterMeta;
+
+    fn len(&self) -> usize {
+        self.verts.len()
+    }
+    fn position(&self, vid: Vid) -> Option<u32> {
+        EcLocalGraph::position(self, vid)
+    }
+    fn num_masters(&self) -> usize {
+        EcLocalGraph::num_masters(self)
+    }
+    fn vid(&self, pos: u32) -> Vid {
+        self.verts[pos as usize].vid
+    }
+    fn kind(&self, pos: u32) -> CopyKind {
+        self.verts[pos as usize].kind
+    }
+    fn set_kind(&mut self, pos: u32, kind: CopyKind) {
+        self.verts[pos as usize].kind = kind;
+    }
+    fn master_node(&self, pos: u32) -> NodeId {
+        self.verts[pos as usize].master_node
+    }
+    fn set_master_node(&mut self, pos: u32, node: NodeId) {
+        self.verts[pos as usize].master_node = node;
+    }
+    fn value(&self, pos: u32) -> &V {
+        &self.verts[pos as usize].value
+    }
+    fn meta(&self, pos: u32) -> Option<&MasterMeta> {
+        self.verts[pos as usize].meta.as_deref()
+    }
+    fn meta_mut(&mut self, pos: u32) -> Option<&mut MasterMeta> {
+        self.verts[pos as usize].meta.as_deref_mut()
+    }
+    fn set_meta(&mut self, pos: u32, meta: Box<MasterMeta>) {
+        self.verts[pos as usize].meta = Some(meta);
+    }
+}
+
+impl<P> ComputeModel for EcModel<P>
 where
     P: VertexProgram,
     P::Value: Encode + Decode + MemSize,
 {
-    let ctx = cluster.wait_standby(Duration::from_secs(600))?;
-    let mut st = NodeState::new(
-        shared.cfg.num_nodes,
-        Instant::now(),
-        shared.cfg.sync_suppress,
-    );
-    let lg = match shared.cfg.ft {
-        FtMode::Replication { .. } => rebirth_newbie(&ctx, shared, &mut st),
-        FtMode::Checkpoint { .. } => ckpt_newbie(&ctx, shared, &mut st),
-        FtMode::None => unreachable!("standbys are never dispatched without fault tolerance"),
-    };
-    Some(node_main(ctx, lg, shared, st))
-}
+    type Value = P::Value;
+    type Accum = ();
+    type Entry = EcRecoverEntry<P::Value>;
+    type Meta = MasterMeta;
+    type Graph = EcLocalGraph<P::Value>;
+    type Scratch = SyncBufs<P::Value>;
+    type MigExtra = EcMigExtra;
 
-/// Algorithm 1: the synchronous execution flow with failure handling.
-fn node_main<P>(
-    ctx: Ctx<P::Value>,
-    mut lg: EcLocalGraph<P::Value>,
-    shared: &Arc<Shared<P>>,
-    mut st: St<P::Value>,
-) -> NodeOutcome<EcLocalGraph<P::Value>>
-where
-    P: VertexProgram,
-    P::Value: Encode + Decode + MemSize,
-{
-    let me = ctx.id();
-    st.sync_filter.set_domain(lg.verts.len() as u32);
-    // Reusable per-destination sync-batch buffers (indexed by node, so send
-    // order is deterministic) — allocated once, drained every iteration.
-    let mut sync_batches: Vec<Vec<VertexSync<P::Value>>> =
-        (0..shared.cfg.num_nodes).map(|_| Vec::new()).collect();
-    let mut ft_entries: Vec<u64> = vec![0; shared.cfg.num_nodes];
-    loop {
-        if st.iter >= shared.cfg.max_iters {
-            break;
-        }
-        if shared
-            .injector
-            .should_fail(me, st.iter, FailPoint::BeforeBarrier)
-        {
-            ctx.die();
-            return NodeOutcome::from_state(None, st);
-        }
-        let iter_sw = Stopwatch::start();
+    const PREFIX: &'static str = "ec";
+
+    fn value_wire_bytes(&self, v: &Self::Value) -> usize {
+        self.prog.value_wire_bytes(v)
+    }
+
+    fn init_scratch(&self, _lg: &Self::Graph, shared: &Shared<Self>) -> Self::Scratch {
+        SyncBufs::new(shared.cfg.num_nodes)
+    }
+
+    /// Compute (Algorithm 1 line 5) fused over the sparse frontier,
+    /// communicate (line 6), sync barrier (line 7), commit (line 14).
+    fn superstep(
+        &self,
+        ctx: &Ctx<Self>,
+        lg: &mut Self::Graph,
+        shared: &Shared<Self>,
+        st: &mut St<Self>,
+        scratch: &mut Self::Scratch,
+    ) -> StepOutcome {
         let mut sw = Stopwatch::start();
-
-        // Compute (line 5): gather + apply fused over the sparse frontier,
-        // chunked across the node's worker pool.
         let updates = ec_compute_par(
-            &lg,
-            shared.prog.as_ref(),
+            lg,
+            self.prog.as_ref(),
             &shared.degrees,
             st.iter,
             shared.cfg.threads_per_node,
         );
         st.phases.record("compute", sw.lap());
 
-        // Communicate (line 6).
-        send_syncs(
-            &ctx,
-            &lg,
-            &updates,
-            shared,
-            &mut st,
-            &mut sync_batches,
-            &mut ft_entries,
-        );
+        driver::send_update_syncs(ctx, lg, &updates, shared, st, scratch, true);
         st.phases.record("send", sw.lap());
 
-        // Enter barrier (line 7).
         let (outcome, _) = ctx.enter_barrier_sum(0);
         st.phases.record("barrier", sw.lap());
         if let BarrierOutcome::Failed(dead) = outcome {
-            // Roll back (line 9): discard staged updates and stale traffic.
-            // The discarded syncs were never applied anywhere, so the
-            // suppression filter forgets them too.
+            // Roll back (line 9): the staged updates were never applied
+            // anywhere, so the suppression filter forgets them too.
             drop(updates);
             st.sync_filter.rollback();
-            stash_non_sync(&ctx, &mut st);
-            let resume = st.iter;
-            recover(&ctx, &mut lg, shared, &mut st, &dead, resume);
-            continue;
+            return StepOutcome::Failed(dead);
         }
         // The sync barrier passed: this iteration's syncs are the replicas'
         // new last-shipped state.
         st.sync_filter.commit();
 
-        // Commit (line 14).
-        if matches!(
-            shared.cfg.ft,
-            FtMode::Checkpoint {
-                incremental: true,
-                ..
-            }
-        ) {
-            st.dirty.extend(updates.iter().map(|u| u.local));
-        }
-        let incoming = collect_syncs(&ctx, &mut st);
-        let stats = ec_commit(&mut lg, shared.prog.as_ref(), updates, incoming);
+        driver::note_dirty::<Self>(st, &shared.cfg, &updates);
+        let incoming: Vec<(u32, P::Value, bool)> = driver::collect_syncs::<Self>(ctx, st)
+            .into_iter()
+            .map(|s| (s.pos, s.value, s.activate))
+            .collect();
+        let stats = ec_commit(lg, self.prog.as_ref(), updates, incoming);
         st.phases.record("commit", sw.lap());
+        StepOutcome::Committed(stats.active_next as u64)
+    }
 
-        // Checkpoint inside the barrier window (§2.2).
-        if let FtMode::Checkpoint {
-            interval,
-            incremental,
-        } = shared.cfg.ft
-        {
-            if (st.iter + 1) % interval == 0 {
-                let bytes = if incremental {
-                    let mut dirty: Vec<u32> = st.dirty.drain().collect();
-                    dirty.sort_unstable();
-                    ckpt::encode_ec_snapshot_inc(&lg, st.iter + 1, &dirty)
-                } else {
-                    ckpt::encode_ec_snapshot(&lg, st.iter + 1)
-                };
-                shared
-                    .dfs
-                    .write(&format!("ec/ckpt/{}/{}", st.iter + 1, me.raw()), bytes);
-                st.last_snapshot_iter = st.iter + 1;
-                let d = sw.lap();
-                st.ckpt_time += d;
-                st.phases.record("ckpt", d);
-            }
-        }
+    fn encode_graph(&self, lg: &Self::Graph) -> Vec<u8> {
+        ckpt::encode_ec_graph(lg)
+    }
+    fn decode_graph(&self, bytes: &[u8]) -> Self::Graph {
+        ckpt::decode_ec_graph(bytes).expect("metadata snapshot decodes")
+    }
+    fn encode_snapshot(&self, lg: &Self::Graph, iter: u64) -> Vec<u8> {
+        ckpt::encode_ec_snapshot(lg, iter)
+    }
+    fn encode_snapshot_inc(&self, lg: &Self::Graph, iter: u64, dirty: &[u32]) -> Vec<u8> {
+        ckpt::encode_ec_snapshot_inc(lg, iter, dirty)
+    }
+    fn apply_snapshot(&self, lg: &mut Self::Graph, bytes: &[u8]) -> u64 {
+        ckpt::apply_ec_snapshot(lg, bytes).expect("snapshot decodes")
+    }
+    fn apply_snapshot_inc(&self, lg: &mut Self::Graph, bytes: &[u8]) -> u64 {
+        ckpt::apply_ec_snapshot_inc(lg, bytes).expect("snapshot decodes")
+    }
 
-        st.iter += 1;
-        st.timeline.push((st.iter, st.start.elapsed()));
+    /// Resets to the iteration-0 state — used when a failure precedes the
+    /// first checkpoint.
+    fn reset_to_initial(&self, lg: &mut Self::Graph, shared: &Shared<Self>) {
+        for v in lg.verts.iter_mut() {
+            v.value = self.prog.init(v.vid, &shared.degrees);
+            v.active = v.is_master() && self.prog.initially_active(v.vid);
+            v.next_active = false;
+            v.last_activate = false;
+        }
+        lg.rebuild_active_frontier();
+    }
 
-        // Leave barrier (line 16) doubling as the active-count all-reduce.
-        let (outcome2, total_active) = ctx.enter_barrier_sum(stats.active_next as u64);
-        st.phases.record("barrier", sw.lap());
-        if st.iter <= st.replay_until {
-            if let Some(r) = st.recoveries.last_mut() {
-                r.replay += iter_sw.elapsed();
-            }
-        }
-        if let BarrierOutcome::Failed(dead) = outcome2 {
-            // Failure after commit (lines 17-19): no rollback.
-            stash_non_sync(&ctx, &mut st);
-            let resume = st.iter;
-            recover(&ctx, &mut lg, shared, &mut st, &dead, resume);
-            continue;
-        }
-        if total_active == 0 {
-            // Converged: the job is over before any post-barrier crash can
-            // strike (a machine lost after completion is outside the job's
-            // lifetime and cannot be recovered by it).
-            break;
-        }
-        if st.iter < shared.cfg.max_iters
-            && shared
-                .injector
-                .should_fail(me, st.iter - 1, FailPoint::AfterBarrier)
-        {
-            ctx.die();
-            return NodeOutcome::from_state(None, st);
+    fn apply_full_sync(&self, lg: &mut Self::Graph, incoming: Vec<VertexSync<Self::Value>>) {
+        for s in incoming {
+            let v = &mut lg.verts[s.pos as usize];
+            v.value = s.value;
+            v.last_activate = s.activate;
+            v.next_active = false;
         }
     }
-    NodeOutcome::from_state(Some(lg), st)
-}
 
-/// Sends per-destination batched value syncs for this iteration's updates,
-/// including the mirrors' dynamic state (value + scatter bit). Selfish
-/// masters (§4.4) send nothing — their only replicas are FT replicas.
-///
-/// `batches`/`ft_entries` are node-indexed scratch buffers owned by the
-/// caller's loop: no per-iteration hashing or map allocation, and sends go
-/// out in deterministic node order.
-#[allow(clippy::too_many_arguments)]
-fn send_syncs<P>(
-    ctx: &Ctx<P::Value>,
-    lg: &EcLocalGraph<P::Value>,
-    updates: &[imitator_engine::MasterUpdate<P::Value>],
-    shared: &Arc<Shared<P>>,
-    st: &mut St<P::Value>,
-    batches: &mut [Vec<VertexSync<P::Value>>],
-    ft_entries: &mut [u64],
-) where
-    P: VertexProgram,
-    P::Value: Encode + Decode + MemSize,
-{
-    let mut suppressed = 0u64;
-    for u in updates {
-        let v = &lg.verts[u.local as usize];
-        let i = v.vid.index();
-        if *shared.plan.selfish.get(i).unwrap_or(&false) {
-            continue;
-        }
-        let meta = v.meta.as_ref().expect("masters always carry full state");
-        let staged = st.sync_filter.stage(u.local, &u.value, u.activate);
-        for (&node, &rpos) in meta.replica_nodes.iter().zip(&meta.replica_positions) {
-            if st.sync_filter.suppress(staged, node) {
-                suppressed += 1;
-                continue;
-            }
-            batches[node.index()].push(VertexSync {
-                pos: rpos,
-                value: u.value.clone(),
-                activate: u.activate,
-            });
-            let extra = shared
-                .plan
-                .extra_replicas
-                .get(i)
-                .is_some_and(|e| e.contains(&node));
-            if extra {
-                ft_entries[node.index()] += 1;
-            }
-        }
+    fn scatter_bit(&self, lg: &Self::Graph, pos: u32) -> bool {
+        lg.verts[pos as usize].last_activate
     }
-    st.note_suppressed(suppressed);
-    for (n, batch) in batches.iter_mut().enumerate() {
-        let ft = std::mem::take(&mut ft_entries[n]);
-        if batch.is_empty() {
-            continue;
-        }
-        let entries = batch.len() as u64;
-        let bytes: u64 = batch
-            .iter()
-            .map(|s| {
-                VertexSync::<P::Value>::wire_bytes(shared.prog.value_wire_bytes(&s.value)) as u64
-            })
-            .sum();
-        st.comm.record(entries, bytes);
-        if ft > 0 {
-            // FT share estimated pro-rata on entry count.
-            st.ft_comm.record(ft, bytes * ft / entries.max(1));
-        }
-        ctx.send_kind(
-            NodeId::from_index(n),
-            EcMsg::Sync(std::mem::take(batch)),
-            bytes,
-            CommKind::Sync,
-        );
-    }
-}
 
-/// Drains the inbox into `(position, value, activate)` replica updates,
-/// stashing recovery-protocol messages for later. Syncs are
-/// position-addressed by the sender, so no ID lookup happens here.
-fn collect_syncs<V: Clone + Send + 'static>(ctx: &Ctx<V>, st: &mut St<V>) -> Vec<(u32, V, bool)> {
-    let mut out = Vec::new();
-    for env in ctx.drain() {
-        match env.msg {
-            EcMsg::Sync(batch) => {
-                out.extend(batch.into_iter().map(|s| (s.pos, s.value, s.activate)));
-            }
-            other => st.stash.push(Envelope {
-                from: env.from,
-                msg: other,
-            }),
-        }
+    fn empty_graph(&self, me: NodeId) -> Self::Graph {
+        EcLocalGraph::empty(me)
     }
-    out
-}
 
-/// On failure: discard the failed iteration's sync traffic, keep recovery
-/// messages that may already have arrived from faster peers.
-fn stash_non_sync<V: Send + 'static>(ctx: &Ctx<V>, st: &mut St<V>) {
-    for env in ctx.drain() {
-        if !matches!(env.msg, EcMsg::Sync(_)) {
-            st.stash.push(env);
-        }
-    }
-}
-
-/// Pulls stashed + queued messages (recovery rounds are barrier-separated,
-/// so everything for the current round is already queued).
-fn round_msgs<V: Send + 'static>(ctx: &Ctx<V>, st: &mut St<V>) -> Vec<Envelope<EcMsg<V>>> {
-    let mut v = std::mem::take(&mut st.stash);
-    v.extend(ctx.drain());
-    v
-}
-
-fn recover<P>(
-    ctx: &Ctx<P::Value>,
-    lg: &mut EcLocalGraph<P::Value>,
-    shared: &Arc<Shared<P>>,
-    st: &mut St<P::Value>,
-    dead: &[NodeId],
-    resume_iter: u64,
-) where
-    P: VertexProgram,
-    P::Value: Encode + Decode + MemSize,
-{
-    match shared.cfg.ft {
-        FtMode::None => panic!("node failure injected with fault tolerance disabled"),
-        FtMode::Checkpoint { .. } => ckpt_recover_survivor(ctx, lg, shared, st, dead, resume_iter),
-        FtMode::Replication {
-            recovery: RecoveryStrategy::Rebirth,
-            ..
-        } => rebirth_survivor(ctx, lg, shared, st, dead, resume_iter),
-        FtMode::Replication {
-            recovery: RecoveryStrategy::Migration,
-            ..
-        } => migrate(ctx, lg, shared, st, dead, resume_iter),
-    }
-    // Every recovery path may touch `active` bits directly; restore the
-    // frontier invariant before the next superstep computes from it.
-    lg.rebuild_active_frontier();
-}
-
-/// First surviving node in `meta`'s mirror-ID order — the one responsible
-/// for recovering the master without any election traffic (§5.3.1).
-fn responsible_mirror(meta: &MasterMeta, alive: &[bool]) -> Option<NodeId> {
-    meta.mirror_nodes.iter().copied().find(|m| alive[m.index()])
-}
-
-// --------------------------------------------------------------------------
-// Rebirth (§5.1)
-// --------------------------------------------------------------------------
-
-fn rebirth_survivor<P>(
-    ctx: &Ctx<P::Value>,
-    lg: &mut EcLocalGraph<P::Value>,
-    shared: &Arc<Shared<P>>,
-    st: &mut St<P::Value>,
-    dead: &[NodeId],
-    resume_iter: u64,
-) where
-    P: VertexProgram,
-    P::Value: Encode + Decode + MemSize,
-{
-    let me = ctx.id();
-    let survivors = st.mark_dead(dead);
-    let num_survivors = survivors.len() as u32;
-
-    // The leader hands each crashed identity to a hot standby *before*
-    // entering the membership barrier, so the barrier cannot complete
-    // without the newbies.
-    if me == st.leader() {
-        for &d in dead {
-            assert!(
-                ctx.cluster().dispatch_standby(d),
-                "Rebirth recovery of {d} requires a hot standby"
-            );
-        }
-    }
-    ctx.enter_barrier();
-
-    // Reloading (§5.1.1): scan local masters and mirrors, build one batch
-    // per crashed node.
-    let sw = Stopwatch::start();
-    let mut batches: HashMap<NodeId, Vec<EcRecoverEntry<P::Value>>> = HashMap::new();
-    for d in dead {
-        batches.insert(*d, Vec::new());
-    }
-    for v in &lg.verts {
-        match v.kind {
-            CopyKind::Master => {
-                let meta = v.meta.as_ref().expect("master meta");
-                for &d in dead {
-                    if let Some(rpos) = meta.replica_position_on(d) {
-                        let kind = if meta.mirror_nodes.contains(&d) {
-                            CopyKind::Mirror
-                        } else {
-                            CopyKind::Replica
-                        };
-                        batches.get_mut(&d).unwrap().push(EcRecoverEntry {
-                            vid: v.vid,
-                            pos: rpos,
-                            kind,
-                            master_node: me,
-                            value: v.value.clone(),
-                            last_activate: v.last_activate,
-                            active: false,
-                            in_edges: Vec::new(),
-                            out_local: meta.replica_out_local_on(d),
-                            meta: (kind == CopyKind::Mirror).then(|| meta.clone()),
-                        });
-                    }
-                }
-            }
-            CopyKind::Mirror => {
-                let meta = v.meta.as_ref().expect("mirror meta");
-                if !dead.contains(&v.master_node) {
-                    continue;
-                }
-                if responsible_mirror(meta, &st.alive) != Some(me) {
-                    continue;
-                }
-                // Recover the master at its original position...
-                batches
-                    .get_mut(&v.master_node)
-                    .unwrap()
-                    .push(EcRecoverEntry {
-                        vid: v.vid,
-                        pos: meta.master_pos,
-                        kind: CopyKind::Master,
-                        master_node: v.master_node,
-                        value: v.value.clone(),
-                        last_activate: v.last_activate,
-                        active: false,
-                        in_edges: meta.in_edges_owner.clone(),
-                        out_local: meta.out_local_owner.clone(),
-                        meta: Some(meta.clone()),
-                    });
-                // ...and, under multiple failures, any of its replicas lost
-                // on *other* crashed nodes.
-                for &d in dead {
-                    if d == v.master_node {
-                        continue;
-                    }
-                    if let Some(rpos) = meta.replica_position_on(d) {
-                        let kind = if meta.mirror_nodes.contains(&d) {
-                            CopyKind::Mirror
-                        } else {
-                            CopyKind::Replica
-                        };
-                        batches.get_mut(&d).unwrap().push(EcRecoverEntry {
-                            vid: v.vid,
-                            pos: rpos,
-                            kind,
-                            master_node: v.master_node,
-                            value: v.value.clone(),
-                            last_activate: v.last_activate,
-                            active: false,
-                            in_edges: Vec::new(),
-                            out_local: meta.replica_out_local_on(d),
-                            meta: (kind == CopyKind::Mirror).then(|| meta.clone()),
-                        });
-                    }
-                }
-            }
-            CopyKind::Replica => {}
-        }
-    }
-    let mut recovered = 0u64;
-    let mut recovered_edges = 0u64;
-    let mut comm = CommStats::default();
-    for (d, entries) in batches {
-        recovered += entries.len() as u64;
-        recovered_edges += entries.iter().map(|e| e.in_edges.len() as u64).sum::<u64>();
-        let bytes: u64 = entries
-            .iter()
-            .map(|e| {
-                EcRecoverEntry::<P::Value>::wire_bytes(
-                    shared.prog.value_wire_bytes(&e.value),
-                    e.in_edges.len(),
-                    e.out_local.len(),
-                ) as u64
-            })
-            .sum();
-        comm.record(1, bytes);
-        ctx.send_kind(
-            d,
-            EcMsg::Rebirth(Box::new(EcRebirthBatch {
-                resume_iter,
-                num_survivors,
-                entries,
-            })),
-            bytes,
-            CommKind::Recovery,
-        );
-    }
-    let reload = sw.elapsed();
-    ctx.enter_barrier();
-
-    // Membership restored: the newbies carry the crashed identities.
-    for d in dead {
-        st.alive[d.index()] = true;
-    }
-    st.recoveries.push(RecoveryReport {
-        strategy: "rebirth",
-        failed_nodes: dead.len(),
-        reload,
-        reconstruct: Duration::ZERO,
-        replay: Duration::ZERO,
-        vertices_recovered: recovered,
-        edges_recovered: recovered_edges,
-        comm,
-    });
-}
-
-fn rebirth_newbie<P>(
-    ctx: &Ctx<P::Value>,
-    shared: &Arc<Shared<P>>,
-    st: &mut St<P::Value>,
-) -> EcLocalGraph<P::Value>
-where
-    P: VertexProgram,
-    P::Value: Encode + Decode + MemSize,
-{
-    let me = ctx.id();
-    ctx.enter_barrier(); // membership barrier
-
-    // Reloading: receive one batch from every survivor; placement is
-    // position-addressed, so reconstruction happens on the fly (§5.1.2).
-    let sw = Stopwatch::start();
-    let mut lg: EcLocalGraph<P::Value> = EcLocalGraph::empty(me);
-    let mut got = 0u32;
-    let mut expected: Option<u32> = None;
-    let mut resume_iter = 0u64;
-    while expected.is_none_or(|e| got < e) {
-        let env = ctx
-            .recv_timeout(RECOVERY_PATIENCE)
-            .expect("rebirth batch from survivor");
-        match env.msg {
-            EcMsg::Rebirth(batch) => {
-                expected = Some(batch.num_survivors);
-                resume_iter = batch.resume_iter;
-                got += 1;
-                for e in batch.entries {
-                    lg.insert_at(
-                        e.pos,
-                        EcVertex {
-                            vid: e.vid,
-                            kind: e.kind,
-                            master_node: e.master_node,
-                            value: e.value,
-                            active: e.active,
-                            next_active: false,
-                            last_activate: e.last_activate,
-                            in_edges: e.in_edges,
-                            out_local: e.out_local,
-                            meta: e.meta,
-                        },
-                    );
-                }
-            }
-            other => st.stash.push(Envelope {
-                from: env.from,
-                msg: other,
-            }),
-        }
-    }
-    let reload = sw.elapsed();
-
-    // Reconstruction is implicit; validate the rebuilt layout.
-    let mut sw = Stopwatch::start();
-    lg.debug_validate();
-    let reconstruct = sw.lap();
-
-    // Replay (§5.1.3): re-run the activation operations recorded in the
-    // synchronised scatter bits, then recompute selfish masters (§4.4).
-    // Resuming at iteration 0 means no scatter bit exists yet: activation
-    // comes from the program's initial active set instead.
-    for pos in 0..lg.verts.len() {
-        if lg.verts[pos].last_activate {
-            let targets = std::mem::take(&mut lg.verts[pos].out_local);
-            for &t in &targets {
-                lg.verts[t as usize].active = true;
-            }
-            lg.verts[pos].out_local = targets;
-        }
-    }
-    if resume_iter == 0 {
-        for v in lg.verts.iter_mut().filter(|v| v.is_master()) {
-            if shared.prog.initially_active(v.vid) {
-                v.active = true;
-            }
-        }
-    }
-    let selfish_positions: Vec<usize> = lg
-        .verts
-        .iter()
-        .enumerate()
-        .filter(|(_, v)| v.is_master() && *shared.plan.selfish.get(v.vid.index()).unwrap_or(&false))
-        .map(|(i, _)| i)
-        .collect();
-    for pos in selfish_positions {
-        let v = &lg.verts[pos];
-        let mut acc: Option<P::Accum> = None;
-        for &(src, w) in &v.in_edges {
-            let c = shared.prog.gather(w, &lg.verts[src as usize].value);
-            acc = Some(match acc {
-                None => c,
-                Some(a) => shared.prog.combine(a, c),
-            });
-        }
-        let new = shared.prog.apply(v.vid, &v.value, acc, &shared.degrees);
-        lg.verts[pos].value = new;
-    }
-    lg.rebuild_active_frontier();
-    let replay = sw.lap();
-
-    st.iter = resume_iter;
-    st.recoveries.push(RecoveryReport {
-        strategy: "rebirth",
-        failed_nodes: 1,
-        reload,
-        reconstruct,
-        replay,
-        vertices_recovered: lg.verts.len() as u64,
-        edges_recovered: lg.verts.iter().map(|v| v.in_edges.len() as u64).sum(),
-        comm: CommStats::default(),
-    });
-    ctx.enter_barrier(); // reconstruction barrier
-    lg
-}
-
-// --------------------------------------------------------------------------
-// Migration (§5.2)
-// --------------------------------------------------------------------------
-
-#[allow(clippy::too_many_lines)]
-fn migrate<P>(
-    ctx: &Ctx<P::Value>,
-    lg: &mut EcLocalGraph<P::Value>,
-    shared: &Arc<Shared<P>>,
-    st: &mut St<P::Value>,
-    dead: &[NodeId],
-    resume_iter: u64,
-) where
-    P: VertexProgram,
-    P::Value: Encode + Decode + MemSize,
-{
-    let me = ctx.id();
-    let survivors = st.mark_dead(dead);
-    let others: Vec<NodeId> = survivors.iter().copied().filter(|&n| n != me).collect();
-    let tolerance = match shared.cfg.ft {
-        FtMode::Replication { tolerance, .. } => tolerance,
-        _ => unreachable!("migrate requires replication FT"),
-    };
-    let mut comm = CommStats::default();
-    let mut recovered = 0u64;
-    let mut recovered_edges = 0u64;
-    let sw_total = Stopwatch::start();
-
-    // ---- R1: promote local mirrors whose master died (lowest surviving
-    //      mirror wins), announce promotions.
-    let mut promotions: Vec<Promotion> = Vec::new();
-    // (position, [(src vid, weight)]) of masters promoted here, to wire in R4.
-    let mut pending_wire: Vec<(u32, Vec<(Vid, f32)>)> = Vec::new();
-    // Masters whose meta changed (need a final meta refresh in R7).
-    let mut dirty_masters: HashSet<u32> = HashSet::new();
-    for pos in 0..lg.verts.len() {
-        let v = &lg.verts[pos];
-        match v.kind {
-            CopyKind::Mirror if dead.contains(&v.master_node) => {
-                let meta = v.meta.as_ref().expect("mirror meta");
-                if responsible_mirror(meta, &st.alive) != Some(me) {
-                    continue;
-                }
-                let old_master = v.master_node;
-                let old_pos = meta.master_pos;
-                let srcs: Vec<(Vid, f32)> = meta
-                    .in_edge_srcs
-                    .iter()
-                    .zip(&meta.in_edges_owner)
-                    .map(|(&s, &(_, w))| (s, w))
-                    .collect();
-                let vid = v.vid;
-                let v = &mut lg.verts[pos];
-                v.kind = CopyKind::Master;
-                v.master_node = me;
-                v.active = false;
-                let meta = v.meta.as_mut().unwrap();
-                meta.master_pos = pos as u32;
-                meta.purge_node(me);
-                for &d in dead {
-                    meta.purge_node(d);
-                }
-                meta.in_edges_owner.clear();
-                promotions.push(Promotion {
-                    vid,
-                    new_master: me,
-                    new_pos: pos as u32,
-                    old_node: old_master,
-                    old_pos,
-                });
-                pending_wire.push((pos as u32, srcs));
-                dirty_masters.insert(pos as u32);
-                st.overlay.insert(vid, me);
-                recovered += 1;
-            }
-            CopyKind::Master => {
-                // Purge crashed replica locations from the location tables.
-                let v = &mut lg.verts[pos];
-                let meta = v.meta.as_mut().expect("master meta");
-                let before = meta.replica_nodes.len() + meta.mirror_nodes.len();
-                for &d in dead {
-                    meta.purge_node(d);
-                }
-                if meta.replica_nodes.len() + meta.mirror_nodes.len() != before {
-                    dirty_masters.insert(pos as u32);
-                }
-            }
-            _ => {}
-        }
-    }
-    for &n in &others {
-        let bytes = (promotions.len() * 20) as u64;
-        comm.record(1, bytes);
-        ctx.send_kind(
-            n,
-            EcMsg::Promote(promotions.clone()),
-            bytes,
-            CommKind::Recovery,
-        );
-    }
-    ctx.enter_barrier();
-
-    // ---- R2: apply promotions; fix location tables; request replicas for
-    //      promoted masters' missing in-edge sources.
-    // Promotions indexed by (dead node, old position) and by vid.
-    let mut promo_by_old: HashMap<(NodeId, u32), Promotion> = HashMap::new();
-    let mut all_promos: Vec<Promotion> = promotions.clone();
-    for env in round_msgs(ctx, st) {
-        match env.msg {
-            EcMsg::Promote(batch) => all_promos.extend(batch),
-            other => st.stash.push(Envelope {
-                from: env.from,
-                msg: other,
-            }),
-        }
-    }
-    for p in &all_promos {
-        promo_by_old.insert((p.old_node, p.old_pos), *p);
-        st.overlay.insert(p.vid, p.new_master);
-        if p.new_master == me {
-            continue; // own promotions already fixed
-        }
-        if let Some(pos) = lg.position(p.vid) {
-            let v = &mut lg.verts[pos as usize];
-            v.master_node = p.new_master;
-            if let Some(meta) = v.meta.as_mut() {
-                meta.master_pos = p.new_pos;
-                for &d in dead {
-                    meta.purge_node(d);
-                }
-                meta.purge_node(p.new_master);
-            }
-        }
-    }
-    // Fix consumer tables. (a) out_remote entries pointing at a crashed node
-    // follow the consumer to its promotion target; entries landing on this
-    // node become local links (wired in R4). (b) A freshly promoted master's
-    // old co-located consumers (positions on the crashed node) become remote
-    // links too.
-    for pos in 0..lg.verts.len() {
-        if !lg.verts[pos].is_master() {
-            continue;
-        }
-        let vid = lg.verts[pos].vid;
-        let out_local_now = lg.verts[pos].out_local.clone();
-        let own_promo = promotions.iter().find(|p| p.vid == vid).copied();
-        let meta = lg.verts[pos].meta.as_mut().expect("master meta");
-        let mut dirty = false;
-        meta.out_remote.retain_mut(|r| {
-            if dead.contains(&r.node) {
-                let p = promo_by_old
-                    .get(&(r.node, r.pos))
-                    .unwrap_or_else(|| panic!("consumer {} lost with no promotion", r.target));
-                debug_assert_eq!(p.vid, r.target);
-                dirty = true;
-                if p.new_master == me {
-                    return false; // becomes a local link, wired in R4
-                }
-                r.node = p.new_master;
-                r.pos = p.new_pos;
-            }
-            true
-        });
-        if let Some(p) = own_promo {
-            dirty = true;
-            let old_out_local = std::mem::take(&mut meta.out_local_owner);
-            meta.out_local_owner = out_local_now;
-            for old in old_out_local {
-                let c = promo_by_old
-                    .get(&(p.old_node, old))
-                    .expect("co-located consumer promoted");
-                if c.new_master != me {
-                    meta.out_remote.push(RemoteEdge {
-                        target: c.vid,
-                        node: c.new_master,
-                        pos: c.new_pos,
-                    });
-                }
-                // Consumers promoted onto this node become local links in R4.
-            }
-        }
-        if dirty {
-            dirty_masters.insert(pos as u32);
-        }
-    }
-    // Replica requests for missing sources.
-    let mut requests: HashMap<NodeId, Vec<Vid>> = HashMap::new();
-    let mut requested: HashSet<Vid> = HashSet::new();
-    for (_, srcs) in &pending_wire {
-        for &(src, _) in srcs {
-            if lg.position(src).is_none() && requested.insert(src) {
-                let owner = st
-                    .overlay
-                    .get(&src)
-                    .copied()
-                    .unwrap_or_else(|| NodeId::new(shared.owners[src.index()]));
-                debug_assert!(st.alive[owner.index()], "source {src} has no live master");
-                requests.entry(owner).or_default().push(src);
-            }
-        }
-    }
-    for &n in &others {
-        let req = requests.remove(&n).unwrap_or_default();
-        let bytes = (req.len() * 4) as u64;
-        comm.record(1, bytes);
-        ctx.send_kind(n, EcMsg::ReplicaRequest(req), bytes, CommKind::Recovery);
-    }
-    ctx.enter_barrier();
-
-    // ---- R3: grant requested replicas.
-    let mut grants: HashMap<NodeId, Vec<ReplicaGrant<P::Value>>> = HashMap::new();
-    for env in round_msgs(ctx, st) {
-        match env.msg {
-            EcMsg::ReplicaRequest(req) => {
-                for vid in req {
-                    let pos = lg
-                        .position(vid)
-                        .unwrap_or_else(|| panic!("request for {vid} but no copy on {me}"));
-                    let v = &lg.verts[pos as usize];
-                    debug_assert!(v.is_master(), "replica request routed to non-master");
-                    grants.entry(env.from).or_default().push(ReplicaGrant {
-                        vid,
-                        value: v.value.clone(),
-                        last_activate: v.last_activate,
-                        master_node: me,
-                    });
-                }
-            }
-            other => st.stash.push(Envelope {
-                from: env.from,
-                msg: other,
-            }),
-        }
-    }
-    for &n in &others {
-        let g = grants.remove(&n).unwrap_or_default();
-        let bytes: u64 = g
-            .iter()
-            .map(|x| 16 + shared.prog.value_wire_bytes(&x.value) as u64)
-            .sum();
-        comm.record(1, bytes);
-        ctx.send_kind(n, EcMsg::ReplicaGrant(g), bytes, CommKind::Recovery);
-    }
-    ctx.enter_barrier();
-
-    // ---- R4: place granted replicas, wire promoted masters' edges, replay
-    //      activation for promoted masters, report placements.
-    let mut placements: HashMap<NodeId, Vec<(Vid, u32)>> = HashMap::new();
-    for env in round_msgs(ctx, st) {
-        match env.msg {
-            EcMsg::ReplicaGrant(gs) => {
-                for g in gs {
-                    debug_assert!(
-                        lg.position(g.vid).is_none(),
-                        "duplicate grant for {}",
-                        g.vid
-                    );
-                    let pos = lg.verts.len() as u32;
-                    lg.index.insert(g.vid, pos);
-                    lg.verts.push(EcVertex {
-                        vid: g.vid,
-                        kind: CopyKind::Replica,
-                        master_node: g.master_node,
-                        value: g.value,
-                        active: false,
-                        next_active: false,
-                        last_activate: g.last_activate,
-                        in_edges: Vec::new(),
-                        out_local: Vec::new(),
-                        meta: None,
-                    });
-                    placements
-                        .entry(g.master_node)
-                        .or_default()
-                        .push((g.vid, pos));
-                    recovered += 1;
-                }
-            }
-            other => st.stash.push(Envelope {
-                from: env.from,
-                msg: other,
-            }),
-        }
-    }
-    for (pos, srcs) in &pending_wire {
-        let mut in_edges = Vec::with_capacity(srcs.len());
-        for &(src, w) in srcs {
-            let spos = lg
-                .position(src)
-                .expect("all sources local after grant placement");
-            in_edges.push((spos, w));
-            lg.verts[spos as usize].out_local.push(*pos);
-            recovered_edges += 1;
-            // Keep local masters' full state in sync with their out_local.
-            let sv = &mut lg.verts[spos as usize];
-            if sv.is_master() {
-                let out_local = sv.out_local.clone();
-                sv.meta.as_mut().expect("master meta").out_local_owner = out_local;
-                dirty_masters.insert(spos);
-            }
-        }
-        // Activation replay (§5.2.3): a promoted master is active iff one of
-        // its in-neighbours' last committed scatter bits says so — or, when
-        // resuming at iteration 0 (no committed scatter bits yet), iff the
-        // program marks it initially active.
-        let active = in_edges
-            .iter()
-            .any(|&(s, _)| lg.verts[s as usize].last_activate)
-            || (resume_iter == 0 && shared.prog.initially_active(lg.verts[*pos as usize].vid));
-        let v = &mut lg.verts[*pos as usize];
-        v.in_edges = in_edges.clone();
-        v.active = active;
-        v.next_active = false;
-        let meta = v.meta.as_mut().expect("promoted master meta");
-        meta.in_edges_owner = in_edges;
-    }
-    for &n in &others {
-        let p = placements.remove(&n).unwrap_or_default();
-        let bytes = (p.len() * 8) as u64;
-        comm.record(1, bytes);
-        ctx.send_kind(n, EcMsg::ReplicaPlaced(p), bytes, CommKind::Recovery);
-    }
-    ctx.enter_barrier();
-
-    // ---- R5: record placements; restore the fault-tolerance level by
-    //      designating replacement mirrors (§5.2.1), creating fresh FT
-    //      replicas where no replica is available.
-    for env in round_msgs(ctx, st) {
-        match env.msg {
-            EcMsg::ReplicaPlaced(ps) => {
-                for (vid, pos) in ps {
-                    let mpos = lg.position(vid).expect("placement for unknown master");
-                    let v = &mut lg.verts[mpos as usize];
-                    debug_assert!(v.is_master());
-                    v.meta
-                        .as_mut()
-                        .expect("master meta")
-                        .register_replica(env.from, pos);
-                    dirty_masters.insert(mpos);
-                }
-            }
-            other => st.stash.push(Envelope {
-                from: env.from,
-                msg: other,
-            }),
-        }
-    }
-    // The FT level cannot exceed the surviving cluster's capacity: each
-    // mirror needs a distinct node other than the master's.
-    let restorable = tolerance.min(survivors.len().saturating_sub(1));
-    let mut mirror_updates: HashMap<NodeId, Vec<MirrorUpdate<P::Value, MasterMeta>>> =
-        HashMap::new();
-    for pos in 0..lg.verts.len() {
-        if !lg.verts[pos].is_master() {
-            continue;
-        }
-        loop {
-            let v = &lg.verts[pos];
-            let meta = v.meta.as_ref().expect("master meta");
-            if meta.mirror_nodes.len() >= restorable {
-                break;
-            }
-            // Prefer upgrading an existing replica; otherwise create a new
-            // FT replica on the least-assigned survivor.
-            let candidate = meta
-                .replica_nodes
-                .iter()
-                .copied()
-                .filter(|n| !meta.mirror_nodes.contains(n))
-                .min_by_key(|n| (st.mirror_assign[n.index()], n.index()));
-            let (target, fresh) = match candidate {
-                Some(n) => (n, false),
-                None => {
-                    let n = survivors
-                        .iter()
-                        .copied()
-                        .filter(|&n| n != me && !meta.replica_nodes.contains(&n))
-                        .min_by_key(|n| (st.mirror_assign[n.index()], n.index()))
-                        .expect("enough survivors to restore the FT level");
-                    (n, true)
-                }
-            };
-            st.mirror_assign[target.index()] += 1;
-            let v = &mut lg.verts[pos];
-            let meta = v.meta.as_mut().unwrap();
-            meta.mirror_nodes.push(target);
-            if fresh {
-                // Position is reported back in R6.
-                mirror_updates
-                    .entry(target)
-                    .or_default()
-                    .push(MirrorUpdate {
-                        vid: v.vid,
-                        meta: Box::new(MasterMeta::clone(v.meta.as_ref().unwrap())),
-                        value: Some(v.value.clone()),
-                        last_activate: v.last_activate,
-                        master_node: me,
-                    });
-            } else {
-                mirror_updates
-                    .entry(target)
-                    .or_default()
-                    .push(MirrorUpdate {
-                        vid: v.vid,
-                        meta: Box::new(MasterMeta::clone(v.meta.as_ref().unwrap())),
-                        value: None,
-                        last_activate: v.last_activate,
-                        master_node: me,
-                    });
-            }
-            dirty_masters.insert(pos as u32);
-        }
-    }
-    for &n in &others {
-        let ups = mirror_updates.remove(&n).unwrap_or_default();
-        let bytes: u64 = ups
-            .iter()
-            .map(|u| 64 + u.meta.in_edges_owner.len() as u64 * 8)
-            .sum();
-        comm.record(1, bytes);
-        ctx.send_kind(n, EcMsg::MirrorUpdate(ups), bytes, CommKind::Recovery);
-    }
-    ctx.enter_barrier();
-
-    // ---- R6: adopt mirror designations; report fresh FT-replica positions.
-    let mut fresh_placements: HashMap<NodeId, Vec<(Vid, u32)>> = HashMap::new();
-    for env in round_msgs(ctx, st) {
-        match env.msg {
-            EcMsg::MirrorUpdate(ups) => {
-                for u in ups {
-                    match lg.position(u.vid) {
-                        Some(pos) => {
-                            let v = &mut lg.verts[pos as usize];
-                            v.kind = CopyKind::Mirror;
-                            v.meta = Some(u.meta);
-                            v.master_node = u.master_node;
-                        }
-                        None => {
-                            let value = u.value.expect("fresh FT replica carries its value");
-                            let pos = lg.verts.len() as u32;
-                            lg.index.insert(u.vid, pos);
-                            lg.verts.push(EcVertex {
-                                vid: u.vid,
-                                kind: CopyKind::Mirror,
-                                master_node: u.master_node,
-                                value,
-                                active: false,
-                                next_active: false,
-                                last_activate: u.last_activate,
-                                in_edges: Vec::new(),
-                                out_local: Vec::new(),
-                                meta: Some(u.meta),
-                            });
-                            fresh_placements
-                                .entry(u.master_node)
-                                .or_default()
-                                .push((u.vid, pos));
-                        }
-                    }
-                }
-            }
-            other => st.stash.push(Envelope {
-                from: env.from,
-                msg: other,
-            }),
-        }
-    }
-    for &n in &others {
-        let p = fresh_placements.remove(&n).unwrap_or_default();
-        let bytes = (p.len() * 8) as u64;
-        comm.record(1, bytes);
-        ctx.send_kind(n, EcMsg::ReplicaPlaced(p), bytes, CommKind::Recovery);
-    }
-    ctx.enter_barrier();
-
-    // ---- R7: register fresh placements; push the final full state to every
-    //      mirror of each dirty master.
-    for env in round_msgs(ctx, st) {
-        match env.msg {
-            EcMsg::ReplicaPlaced(ps) => {
-                for (vid, pos) in ps {
-                    let mpos = lg.position(vid).expect("placement for unknown master");
-                    lg.verts[mpos as usize]
-                        .meta
-                        .as_mut()
-                        .expect("master meta")
-                        .register_replica(env.from, pos);
-                    dirty_masters.insert(mpos);
-                }
-            }
-            other => st.stash.push(Envelope {
-                from: env.from,
-                msg: other,
-            }),
-        }
-    }
-    let mut refreshes: HashMap<NodeId, Vec<MirrorUpdate<P::Value, MasterMeta>>> = HashMap::new();
-    for &pos in &dirty_masters {
+    fn replica_entry(
+        &self,
+        lg: &Self::Graph,
+        pos: u32,
+        dead_node: NodeId,
+        rpos: u32,
+        kind: CopyKind,
+    ) -> Self::Entry {
         let v = &lg.verts[pos as usize];
-        if !v.is_master() {
-            continue;
-        }
-        let meta = v.meta.as_ref().expect("master meta");
-        for &m in &meta.mirror_nodes {
-            refreshes.entry(m).or_default().push(MirrorUpdate {
-                vid: v.vid,
-                meta: Box::new(MasterMeta::clone(meta)),
-                value: None,
-                last_activate: v.last_activate,
-                master_node: me,
-            });
+        let meta = v
+            .meta
+            .as_ref()
+            .unwrap_or_else(|| panic!("full-state copy of {} has no meta", v.vid));
+        EcRecoverEntry {
+            vid: v.vid,
+            pos: rpos,
+            kind,
+            master_node: v.master_node,
+            value: v.value.clone(),
+            last_activate: v.last_activate,
+            active: false,
+            in_edges: Vec::new(),
+            out_local: meta.replica_out_local_on(dead_node),
+            meta: (kind == CopyKind::Mirror).then(|| meta.clone()),
         }
     }
-    for &n in &others {
-        let ups = refreshes.remove(&n).unwrap_or_default();
-        let bytes: u64 = ups
-            .iter()
-            .map(|u| 64 + u.meta.in_edges_owner.len() as u64 * 8)
-            .sum();
-        comm.record(1, bytes);
-        ctx.send_kind(n, EcMsg::MirrorUpdate(ups), bytes, CommKind::Recovery);
-    }
-    ctx.enter_barrier();
 
-    // ---- R8: adopt refreshed metas; leader acknowledges the recovery.
-    for env in round_msgs(ctx, st) {
-        match env.msg {
-            EcMsg::MirrorUpdate(ups) => {
-                for u in ups {
-                    let pos = lg.position(u.vid).expect("meta refresh for unknown copy");
-                    let v = &mut lg.verts[pos as usize];
-                    debug_assert!(!v.is_master(), "meta refresh addressed to the master");
-                    v.kind = CopyKind::Mirror;
-                    v.master_node = u.master_node;
-                    v.meta = Some(u.meta);
+    fn master_entry(&self, lg: &Self::Graph, pos: u32) -> Self::Entry {
+        let v = &lg.verts[pos as usize];
+        let meta = v
+            .meta
+            .as_ref()
+            .unwrap_or_else(|| panic!("mirror {} has no full state", v.vid));
+        EcRecoverEntry {
+            vid: v.vid,
+            pos: meta.master_pos,
+            kind: CopyKind::Master,
+            master_node: v.master_node,
+            value: v.value.clone(),
+            last_activate: v.last_activate,
+            active: false,
+            in_edges: meta.in_edges_owner.clone(),
+            out_local: meta.out_local_owner.clone(),
+            meta: Some(meta.clone()),
+        }
+    }
+
+    fn entry_wire_bytes(&self, e: &Self::Entry) -> u64 {
+        EcRecoverEntry::<P::Value>::wire_bytes(
+            self.prog.value_wire_bytes(&e.value),
+            e.in_edges.len(),
+            e.out_local.len(),
+        ) as u64
+    }
+    fn entry_edges(&self, e: &Self::Entry) -> u64 {
+        e.in_edges.len() as u64
+    }
+
+    fn insert_entry(&self, lg: &mut Self::Graph, e: Self::Entry) {
+        lg.insert_at(
+            e.pos,
+            EcVertex {
+                vid: e.vid,
+                kind: e.kind,
+                master_node: e.master_node,
+                value: e.value,
+                active: e.active,
+                next_active: false,
+                last_activate: e.last_activate,
+                in_edges: e.in_edges,
+                out_local: e.out_local,
+                meta: e.meta,
+            },
+        );
+    }
+
+    fn validate(&self, lg: &Self::Graph) {
+        lg.debug_validate();
+    }
+
+    /// Replay (§5.1.3): re-run the activation operations recorded in the
+    /// synchronised scatter bits, then recompute selfish masters (§4.4).
+    /// Resuming at iteration 0 means no scatter bit exists yet: activation
+    /// comes from the program's initial active set instead.
+    fn rebirth_replay(&self, lg: &mut Self::Graph, shared: &Shared<Self>, resume: u64) -> bool {
+        for pos in 0..lg.verts.len() {
+            if lg.verts[pos].last_activate {
+                let targets = std::mem::take(&mut lg.verts[pos].out_local);
+                for &t in &targets {
+                    lg.verts[t as usize].active = true;
+                }
+                lg.verts[pos].out_local = targets;
+            }
+        }
+        if resume == 0 {
+            for v in lg.verts.iter_mut().filter(|v| v.is_master()) {
+                if self.prog.initially_active(v.vid) {
+                    v.active = true;
                 }
             }
-            other => st.stash.push(Envelope {
-                from: env.from,
-                msg: other,
-            }),
         }
+        let selfish_positions: Vec<usize> = lg
+            .verts
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| {
+                v.is_master() && *shared.plan.selfish.get(v.vid.index()).unwrap_or(&false)
+            })
+            .map(|(i, _)| i)
+            .collect();
+        for pos in selfish_positions {
+            let v = &lg.verts[pos];
+            let mut acc: Option<P::Accum> = None;
+            for &(src, w) in &v.in_edges {
+                let c = self.prog.gather(w, &lg.verts[src as usize].value);
+                acc = Some(match acc {
+                    None => c,
+                    Some(a) => self.prog.combine(a, c),
+                });
+            }
+            let new = self.prog.apply(v.vid, &v.value, acc, &shared.degrees);
+            lg.verts[pos].value = new;
+        }
+        lg.rebuild_active_frontier();
+        true
     }
-    if me == st.leader() {
-        for &d in dead {
-            ctx.cluster().coordinator().ack_recovered(d);
-        }
+
+    fn graph_stats(&self, lg: &Self::Graph) -> (u64, u64) {
+        (
+            lg.verts.len() as u64,
+            lg.verts.iter().map(|v| v.in_edges.len() as u64).sum(),
+        )
     }
-    ctx.enter_barrier();
 
-    st.recoveries.push(RecoveryReport {
-        strategy: "migration",
-        failed_nodes: dead.len(),
-        reload: sw_total.elapsed(),
-        reconstruct: Duration::ZERO,
-        replay: Duration::ZERO,
-        vertices_recovered: recovered,
-        edges_recovered: recovered_edges,
-        comm,
-    });
-}
-
-// --------------------------------------------------------------------------
-// Checkpoint recovery (§2.2-2.3)
-// --------------------------------------------------------------------------
-
-fn ckpt_recover_survivor<P>(
-    ctx: &Ctx<P::Value>,
-    lg: &mut EcLocalGraph<P::Value>,
-    shared: &Arc<Shared<P>>,
-    st: &mut St<P::Value>,
-    dead: &[NodeId],
-    resume_iter: u64,
-) where
-    P: VertexProgram,
-    P::Value: Encode + Decode + MemSize,
-{
-    let me = ctx.id();
-    st.mark_dead(dead);
-    if me == st.leader() {
-        for &d in dead {
-            assert!(
-                ctx.cluster().dispatch_standby(d),
-                "checkpoint recovery of {d} requires a standby"
-            );
-        }
+    /// Every recovery path may touch `active` bits directly; restore the
+    /// frontier invariant before the next superstep computes from it.
+    fn after_recovery(&self, lg: &mut Self::Graph) {
+        lg.rebuild_active_frontier();
     }
-    ctx.enter_barrier();
 
-    // Reload: every node (survivors too) rolls back to the last snapshot —
-    // for incremental mode, to the initial state plus the snapshot chain.
-    let sw = Stopwatch::start();
-    let incremental = matches!(
-        shared.cfg.ft,
-        FtMode::Checkpoint {
-            incremental: true,
-            ..
-        }
-    );
-    let snap_iter = if st.last_snapshot_iter == 0 {
-        reset_to_initial(lg, shared);
-        // Masters no longer hold their last-shipped values: the filter's
-        // entries describe nothing anymore.
-        st.sync_filter.clear();
-        0
-    } else if incremental {
-        reset_to_initial(lg, shared);
-        st.sync_filter.clear();
-        apply_snapshot_chain(lg, shared, me, true)
-    } else {
-        // A full snapshot restores masters only; surviving replicas keep
-        // exactly the state our last syncs installed, so the filter stays
-        // valid toward survivors. The crashed nodes' replacements are
-        // rebuilt from snapshots instead — re-ship everything there.
-        for &d in dead {
-            st.sync_filter.invalidate_dest(d);
-        }
-        let bytes = shared
-            .dfs
-            .read(&format!("ec/ckpt/{}/{}", st.last_snapshot_iter, me.raw()))
-            .expect("own snapshot present");
-        ckpt::apply_ec_snapshot(lg, &bytes).expect("snapshot decodes")
-    };
-    st.dirty.clear();
-    let reload = sw.elapsed();
-    ctx.enter_barrier();
-
-    // Reconstruct: replica values are not in snapshots; masters rebroadcast.
-    let mut sw = Stopwatch::start();
-    ckpt_full_sync(ctx, lg, shared, st);
-    let reconstruct = sw.lap();
-
-    st.iter = snap_iter;
-    st.replay_until = resume_iter;
-    st.recoveries.push(RecoveryReport {
-        strategy: "checkpoint",
-        failed_nodes: dead.len(),
-        reload,
-        reconstruct,
-        replay: Duration::ZERO, // accumulated as lost iterations re-run
-        vertices_recovered: lg.num_masters() as u64,
-        edges_recovered: 0,
-        comm: CommStats::default(),
-    });
-    for d in dead {
-        st.alive[d.index()] = true;
+    /// A promoted master recomputes; its in-edges are rewired in R4 from
+    /// the sources captured here (the full-state copy records them by vid).
+    fn on_promote(&self, lg: &mut Self::Graph, pos: u32, mig: &mut Mig<EcMigExtra>) {
+        let v = &mut lg.verts[pos as usize];
+        v.active = false;
+        let meta = v
+            .meta
+            .as_mut()
+            .unwrap_or_else(|| panic!("promoted mirror {} has no full state", v.vid));
+        let srcs: Vec<(Vid, f32)> = meta
+            .in_edge_srcs
+            .iter()
+            .zip(&meta.in_edges_owner)
+            .map(|(&s, &(_, w))| (s, w))
+            .collect();
+        meta.in_edges_owner.clear();
+        mig.extra.pending_wire.push((pos, srcs));
     }
-}
 
-fn ckpt_newbie<P>(
-    ctx: &Ctx<P::Value>,
-    shared: &Arc<Shared<P>>,
-    st: &mut St<P::Value>,
-) -> EcLocalGraph<P::Value>
-where
-    P: VertexProgram,
-    P::Value: Encode + Decode + MemSize,
-{
-    let me = ctx.id();
-    ctx.enter_barrier();
-    let sw = Stopwatch::start();
-    // Reload the immutable topology from the metadata snapshot, then the
-    // last data snapshot (if any checkpoint completed).
-    let meta_bytes = shared
-        .dfs
-        .read(&format!("ec/meta/{}", me.raw()))
-        .expect("metadata snapshot written at load");
-    let mut lg: EcLocalGraph<P::Value> =
-        ckpt::decode_ec_graph(&meta_bytes).expect("metadata snapshot decodes");
-    let incremental = matches!(
-        shared.cfg.ft,
-        FtMode::Checkpoint {
-            incremental: true,
-            ..
-        }
-    );
-    let snap_iter = apply_snapshot_chain(&mut lg, shared, me, incremental);
-    let reload = sw.elapsed();
-    ctx.enter_barrier();
-
-    let sw = Stopwatch::start();
-    ckpt_full_sync(ctx, &mut lg, shared, st);
-    let reconstruct = sw.elapsed();
-
-    st.iter = snap_iter;
-    st.last_snapshot_iter = snap_iter;
-    st.recoveries.push(RecoveryReport {
-        strategy: "checkpoint",
-        failed_nodes: 1,
-        reload,
-        reconstruct,
-        replay: Duration::ZERO,
-        vertices_recovered: lg.verts.len() as u64,
-        edges_recovered: lg.verts.iter().map(|v| v.in_edges.len() as u64).sum(),
-        comm: CommStats::default(),
-    });
-    lg
-}
-
-/// Post-reload replica refresh: every master pushes its restored state to
-/// all of its replicas (one full sync round with its own barrier).
-///
-/// Records already installed on a destination by our last regular syncs are
-/// suppressed (surviving replicas were not rolled back — snapshots hold
-/// masters only), which is where redundant-sync suppression pays off most:
-/// only vertices that changed since the snapshot are re-shipped to
-/// survivors. Recovery cannot be interrupted (failures inject at loop tops
-/// only), so staged entries commit immediately, and afterwards every
-/// destination provably holds every entry — the filter revalidates fully.
-fn ckpt_full_sync<P>(
-    ctx: &Ctx<P::Value>,
-    lg: &mut EcLocalGraph<P::Value>,
-    shared: &Arc<Shared<P>>,
-    st: &mut St<P::Value>,
-) where
-    P: VertexProgram,
-    P::Value: Encode + Decode + MemSize,
-{
-    let mut batches: HashMap<NodeId, Vec<VertexSync<P::Value>>> = HashMap::new();
-    let mut suppressed = 0u64;
-    for (pos, v) in lg.verts.iter().enumerate().filter(|(_, v)| v.is_master()) {
-        let meta = v.meta.as_ref().expect("master meta");
-        let staged = st.sync_filter.stage(pos as u32, &v.value, v.last_activate);
-        for (&node, &rpos) in meta.replica_nodes.iter().zip(&meta.replica_positions) {
-            if st.sync_filter.suppress(staged, node) {
-                suppressed += 1;
+    /// R2: fix position-addressed consumer tables against the promotion
+    /// map, then request replicas of promoted masters' missing in-edge
+    /// sources.
+    fn migration_requests(
+        &self,
+        lg: &mut Self::Graph,
+        shared: &Shared<Self>,
+        st: &St<Self>,
+        mig: &mut Mig<EcMigExtra>,
+        env: &MigEnv<'_>,
+    ) -> HashMap<NodeId, Vec<Vid>> {
+        let me = env.me;
+        // Fix consumer tables. (a) out_remote entries pointing at a crashed
+        // node follow the consumer to its promotion target; entries landing
+        // on this node become local links (wired in R4). (b) A freshly
+        // promoted master's old co-located consumers (positions on the
+        // crashed node) become remote links too.
+        for pos in 0..lg.verts.len() {
+            if !lg.verts[pos].is_master() {
                 continue;
             }
-            batches.entry(node).or_default().push(VertexSync {
-                pos: rpos,
-                value: v.value.clone(),
-                activate: v.last_activate,
+            let vid = lg.verts[pos].vid;
+            let out_local_now = lg.verts[pos].out_local.clone();
+            let own_promo = env.promotions.iter().find(|p| p.vid == vid).copied();
+            let meta = lg.verts[pos]
+                .meta
+                .as_mut()
+                .unwrap_or_else(|| panic!("master {vid} has no full state"));
+            let mut dirty = false;
+            meta.out_remote.retain_mut(|r| {
+                if env.dead.contains(&r.node) {
+                    let p = env
+                        .promo_by_old
+                        .get(&(r.node, r.pos))
+                        .unwrap_or_else(|| panic!("consumer {} lost with no promotion", r.target));
+                    debug_assert_eq!(p.vid, r.target);
+                    dirty = true;
+                    if p.new_master == me {
+                        return false; // becomes a local link, wired in R4
+                    }
+                    r.node = p.new_master;
+                    r.pos = p.new_pos;
+                }
+                true
             });
+            if let Some(p) = own_promo {
+                dirty = true;
+                let old_out_local = std::mem::take(&mut meta.out_local_owner);
+                meta.out_local_owner = out_local_now;
+                for old in old_out_local {
+                    let c = env
+                        .promo_by_old
+                        .get(&(p.old_node, old))
+                        .expect("co-located consumer promoted");
+                    if c.new_master != me {
+                        meta.out_remote.push(imitator_engine::RemoteEdge {
+                            target: c.vid,
+                            node: c.new_master,
+                            pos: c.new_pos,
+                        });
+                    }
+                    // Consumers promoted onto this node become local links
+                    // in R4.
+                }
+            }
+            if dirty {
+                mig.dirty_masters.insert(pos as u32);
+            }
+        }
+        // Replica requests for missing sources.
+        let mut requests: HashMap<NodeId, Vec<Vid>> = HashMap::new();
+        let mut requested: HashSet<Vid> = HashSet::new();
+        for (_, srcs) in &mig.extra.pending_wire {
+            for &(src, _) in srcs {
+                if lg.position(src).is_none() && requested.insert(src) {
+                    let owner = st
+                        .overlay
+                        .get(&src)
+                        .copied()
+                        .unwrap_or_else(|| NodeId::new(shared.owners[src.index()]));
+                    debug_assert!(st.alive[owner.index()], "source {src} has no live master");
+                    requests.entry(owner).or_default().push(src);
+                }
+            }
+        }
+        requests
+    }
+
+    fn place_granted(&self, lg: &mut Self::Graph, grant: ReplicaGrant<Self::Value>) -> u32 {
+        let pos = lg.verts.len() as u32;
+        lg.index.insert(grant.vid, pos);
+        lg.verts.push(EcVertex {
+            vid: grant.vid,
+            kind: CopyKind::Replica,
+            master_node: grant.master_node,
+            value: grant.value,
+            active: false,
+            next_active: false,
+            last_activate: grant.last_activate,
+            in_edges: Vec::new(),
+            out_local: Vec::new(),
+            meta: None,
+        });
+        pos
+    }
+
+    /// R4: wire promoted masters' in-edges from the captured sources (all
+    /// local after grant placement) and replay their activation (§5.2.3).
+    fn migration_wire(&self, lg: &mut Self::Graph, mig: &mut Mig<EcMigExtra>, resume: u64) {
+        for (pos, srcs) in &mig.extra.pending_wire {
+            let mut in_edges = Vec::with_capacity(srcs.len());
+            for &(src, w) in srcs {
+                let spos = lg
+                    .position(src)
+                    .expect("all sources local after grant placement");
+                in_edges.push((spos, w));
+                lg.verts[spos as usize].out_local.push(*pos);
+                mig.edges_recovered += 1;
+                // Keep local masters' full state in sync with their
+                // out_local.
+                let sv = &mut lg.verts[spos as usize];
+                if sv.is_master() {
+                    let out_local = sv.out_local.clone();
+                    sv.meta
+                        .as_mut()
+                        .unwrap_or_else(|| panic!("master {} has no full state", sv.vid))
+                        .out_local_owner = out_local;
+                    mig.dirty_masters.insert(spos);
+                }
+            }
+            // Activation replay (§5.2.3): a promoted master is active iff
+            // one of its in-neighbours' last committed scatter bits says so
+            // — or, when resuming at iteration 0 (no committed scatter bits
+            // yet), iff the program marks it initially active.
+            let active = in_edges
+                .iter()
+                .any(|&(s, _)| lg.verts[s as usize].last_activate)
+                || (resume == 0 && self.prog.initially_active(lg.verts[*pos as usize].vid));
+            let v = &mut lg.verts[*pos as usize];
+            v.in_edges = in_edges.clone();
+            v.active = active;
+            v.next_active = false;
+            let meta = v
+                .meta
+                .as_mut()
+                .unwrap_or_else(|| panic!("promoted master {} has no full state", v.vid));
+            meta.in_edges_owner = in_edges;
         }
     }
-    st.sync_filter.commit();
-    st.note_suppressed(suppressed);
-    for (node, batch) in batches {
-        let bytes: u64 = batch
-            .iter()
-            .map(|s| {
-                VertexSync::<P::Value>::wire_bytes(shared.prog.value_wire_bytes(&s.value)) as u64
-            })
-            .sum();
-        ctx.send_kind(node, EcMsg::Sync(batch), bytes, CommKind::Recovery);
-    }
-    ctx.enter_barrier();
-    let incoming = collect_syncs(ctx, st);
-    for (pos, value, activate) in incoming {
-        let v = &mut lg.verts[pos as usize];
-        v.value = value;
-        v.last_activate = activate;
-        v.next_active = false;
-    }
-    ctx.enter_barrier();
-    st.sync_filter.revalidate_all();
-}
 
-/// Applies this node's snapshots in ascending iteration order, returning
-/// the last applied iteration (0 when none exist). Incremental snapshots
-/// form a chain that must be applied in full; for full snapshots only the
-/// newest is applied.
-fn apply_snapshot_chain<P>(
-    lg: &mut EcLocalGraph<P::Value>,
-    shared: &Arc<Shared<P>>,
-    me: NodeId,
-    incremental: bool,
-) -> u64
-where
-    P: VertexProgram,
-    P::Value: Encode + Decode + MemSize,
-{
-    let mut iters: Vec<u64> = shared
-        .dfs
-        .list("ec/ckpt/")
-        .iter()
-        .filter_map(|p| {
-            let mut parts = p.split('/').skip(2);
-            let iter: u64 = parts.next()?.parse().ok()?;
-            let node: u32 = parts.next()?.parse().ok()?;
-            (node == me.raw()).then_some(iter)
-        })
-        .collect();
-    iters.sort_unstable();
-    if !incremental {
-        iters = iters.split_off(iters.len().saturating_sub(1));
+    fn place_fresh_mirror(
+        &self,
+        lg: &mut Self::Graph,
+        update: MirrorUpdate<Self::Value, Self::Meta>,
+    ) -> u32 {
+        let value = update.value.expect("fresh FT replica carries its value");
+        let pos = lg.verts.len() as u32;
+        lg.index.insert(update.vid, pos);
+        lg.verts.push(EcVertex {
+            vid: update.vid,
+            kind: CopyKind::Mirror,
+            master_node: update.master_node,
+            value,
+            active: false,
+            next_active: false,
+            last_activate: update.last_activate,
+            in_edges: Vec::new(),
+            out_local: Vec::new(),
+            meta: Some(update.meta),
+        });
+        pos
     }
-    let mut snap_iter = 0;
-    for iter in iters {
-        let bytes = shared
-            .dfs
-            .read(&format!("ec/ckpt/{}/{}", iter, me.raw()))
-            .expect("listed snapshot readable");
-        snap_iter = if incremental {
-            ckpt::apply_ec_snapshot_inc(lg, &bytes).expect("snapshot decodes")
-        } else {
-            ckpt::apply_ec_snapshot(lg, &bytes).expect("snapshot decodes")
-        };
-    }
-    snap_iter
-}
 
-/// Resets a local graph to its initial (iteration-0) state — used when a
-/// failure precedes the first checkpoint.
-fn reset_to_initial<P>(lg: &mut EcLocalGraph<P::Value>, shared: &Arc<Shared<P>>)
-where
-    P: VertexProgram,
-    P::Value: Encode + Decode + MemSize,
-{
-    for v in lg.verts.iter_mut() {
-        v.value = shared.prog.init(v.vid, &shared.degrees);
-        v.active = v.is_master() && shared.prog.initially_active(v.vid);
-        v.next_active = false;
-        v.last_activate = false;
+    fn meta_update_bytes(&self, meta: &Self::Meta) -> u64 {
+        64 + meta.in_edges_owner.len() as u64 * 8
     }
-    lg.rebuild_active_frontier();
 }

@@ -1,54 +1,34 @@
-//! The vertex-cut (PowerLyra) distributed runner.
-//!
-//! Structure mirrors the edge-cut runner with the vertex-cut differences of
-//! §4.3/§6.10: gather is distributed (partial accumulators flow to masters,
-//! adding a third barrier per iteration), vertices are *dense* (every master
-//! re-applies each iteration, which is how the paper's vertex-cut evaluation
-//! exercises PowerLyra — PageRank only), and edges are not replicated in
-//! mirrors: each node persists its owned edges to per-receiver **edge-ckpt
-//! files** on the DFS at load, which recovery reloads in parallel.
+//! The vertex-cut (PowerLyra) model plugged into the shared superstep
+//! driver. The BSP loop, failure dispatch, and Rebirth / Migration /
+//! checkpoint recovery live in `driver.rs` and `recovery.rs`. What stays
+//! here is genuinely vertex-cut (§4.3/§6.10): gather is distributed
+//! (partial accumulators flow to masters, adding a third barrier per
+//! iteration), vertices are *dense* (every master re-applies each
+//! iteration), and edges are not replicated in mirrors — each node persists
+//! its owned edges to per-receiver **edge-ckpt files** on the DFS at load,
+//! which Migration reloads in parallel and Rebirth replays on the newbie.
 
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
 
-use imitator_cluster::{
-    BarrierOutcome, Cluster, Envelope, FailPoint, FailureInjector, FailurePlan, NodeCtx, NodeId,
-};
+use imitator_cluster::{BarrierOutcome, Envelope, FailurePlan, NodeId};
 use imitator_engine::{
     vc_apply_par, vc_commit, vc_partial_gather_par, CopyKind, Degrees, FtPlan, VcEdge,
     VcGatherIndex, VcLocalGraph, VcMeta, VcVertex, VertexProgram,
 };
 use imitator_graph::{Graph, Vid};
-use imitator_metrics::{CommKind, CommStats, MemSize, Stopwatch};
+use imitator_metrics::{CommKind, MemSize, Stopwatch};
 use imitator_partition::VertexCut;
 use imitator_storage::codec::{Decode, Encode};
 use imitator_storage::Dfs;
 
 use crate::ckpt;
-use crate::msg::{
-    MirrorUpdate, Promotion, ReplicaGrant, VcMsg, VcRebirthBatch, VcRecoverEntry, VertexSync,
-};
+use crate::driver::{self, ComputeModel, Ctx, ModelGraph, Shared, St, StepOutcome, SyncBufs};
+use crate::msg::{MirrorUpdate, ProtoMsg, ReplicaGrant, VcRecoverEntry, VertexSync};
 use crate::plan::compute_ft_plan;
-use crate::report::{RecoveryReport, RunReport};
-use crate::rt::{merge_outcomes, NodeOutcome, NodeState};
-use crate::{FtMode, RecoveryStrategy, RunConfig};
-
-const RECOVERY_PATIENCE: Duration = Duration::from_secs(30);
-
-struct Shared<P: VertexProgram> {
-    prog: Arc<P>,
-    degrees: Arc<Degrees>,
-    plan: Arc<FtPlan>,
-    owners: Arc<Vec<u32>>,
-    injector: Arc<FailureInjector>,
-    dfs: Dfs,
-    cfg: RunConfig,
-}
-
-type M<P> = VcMsg<<P as VertexProgram>::Value, <P as VertexProgram>::Accum>;
-type Ctx<P> = NodeCtx<M<P>>;
-type St<P> = NodeState<M<P>>;
+use crate::recovery::{Mig, MigEnv};
+use crate::report::RunReport;
+use crate::{FtMode, RunConfig};
 
 /// Runs a vertex program over `g` on a simulated cluster partitioned by the
 /// vertex-cut `cut`, under the configured fault-tolerance mode, with the
@@ -93,105 +73,502 @@ where
         ),
         _ => FtPlan::none(g.num_vertices()),
     });
-    let extra_replicas = plan.extra_replica_count();
     let lgs = imitator_engine::build_vertex_cut_graphs(g, cut, &plan, prog.as_ref(), &degrees);
-    let mem_bytes: Vec<usize> = lgs.iter().map(MemSize::mem_bytes).collect();
     let owners: Arc<Vec<u32>> = Arc::new(g.vertices().map(|v| cut.master(v) as u32).collect());
-    let injector = Arc::new(FailureInjector::new());
-    for f in failures {
-        injector.schedule(f);
-    }
-    let shared = Arc::new(Shared {
-        prog,
+    driver::run(
+        VcModel { prog },
+        g.num_vertices(),
+        lgs,
         degrees,
         plan,
         owners,
-        injector,
-        dfs,
         cfg,
-    });
-    let cluster: Cluster<M<P>> = Cluster::new(cfg.num_nodes, cfg.standbys, cfg.detection_delay);
+        failures,
+        dfs,
+    )
+}
 
-    let start = Instant::now();
-    let mut handles = Vec::new();
-    for (p, lg) in lgs.into_iter().enumerate() {
-        let ctx = cluster.take_ctx(NodeId::from_index(p));
-        let shared = Arc::clone(&shared);
-        handles.push(std::thread::spawn(move || {
-            let mut st = NodeState::new(
-                shared.cfg.num_nodes,
-                Instant::now(),
-                shared.cfg.sync_suppress,
-            );
-            match shared.cfg.ft {
-                FtMode::Checkpoint { .. } => {
-                    let sw = Stopwatch::start();
-                    shared.dfs.write(
-                        &format!("vc/meta/{}", ctx.id().raw()),
-                        ckpt::encode_vc_graph(&lg),
-                    );
-                    st.ckpt_time += sw.elapsed();
-                }
-                FtMode::Replication { .. } => {
-                    // §4.3: persist owned edges to per-receiver edge-ckpt
-                    // files, overlapped with loading in the paper (charged
-                    // to load here, not to iteration time).
-                    write_edge_ckpt_files(&lg, &shared);
-                }
-                FtMode::None => {}
+/// The vertex-cut compute model: distributed gather → apply at masters →
+/// sync, two communication rounds per superstep.
+pub(crate) struct VcModel<P: VertexProgram> {
+    pub(crate) prog: Arc<P>,
+}
+
+/// Per-node vertex-cut scratch, allocated once and reused every iteration.
+pub(crate) struct VcScratch<P: VertexProgram> {
+    bufs: SyncBufs<P::Value>,
+    gather_index: VcGatherIndex,
+    partials: Vec<Option<P::Accum>>,
+    acc_table: Vec<Option<P::Accum>>,
+    contribs: Vec<(u32, NodeId, P::Accum)>,
+    gather_batches: Vec<Vec<(Vid, P::Accum)>>,
+}
+
+/// Migration state the generic rounds don't know about: edges adopted from
+/// the crashed nodes' edge-ckpt files, wired after grant placement.
+#[derive(Default)]
+pub(crate) struct VcMigExtra {
+    adopted: Vec<(Vid, Vid, f32)>,
+}
+
+impl<V> ModelGraph for VcLocalGraph<V> {
+    type Value = V;
+    type Meta = VcMeta;
+
+    fn len(&self) -> usize {
+        self.verts.len()
+    }
+    fn position(&self, vid: Vid) -> Option<u32> {
+        VcLocalGraph::position(self, vid)
+    }
+    fn num_masters(&self) -> usize {
+        VcLocalGraph::num_masters(self)
+    }
+    fn vid(&self, pos: u32) -> Vid {
+        self.verts[pos as usize].vid
+    }
+    fn kind(&self, pos: u32) -> CopyKind {
+        self.verts[pos as usize].kind
+    }
+    fn set_kind(&mut self, pos: u32, kind: CopyKind) {
+        self.verts[pos as usize].kind = kind;
+    }
+    fn master_node(&self, pos: u32) -> NodeId {
+        self.verts[pos as usize].master_node
+    }
+    fn set_master_node(&mut self, pos: u32, node: NodeId) {
+        self.verts[pos as usize].master_node = node;
+    }
+    fn value(&self, pos: u32) -> &V {
+        &self.verts[pos as usize].value
+    }
+    fn meta(&self, pos: u32) -> Option<&VcMeta> {
+        self.verts[pos as usize].meta.as_deref()
+    }
+    fn meta_mut(&mut self, pos: u32) -> Option<&mut VcMeta> {
+        self.verts[pos as usize].meta.as_deref_mut()
+    }
+    fn set_meta(&mut self, pos: u32, meta: Box<VcMeta>) {
+        self.verts[pos as usize].meta = Some(meta);
+    }
+}
+
+impl<P> ComputeModel for VcModel<P>
+where
+    P: VertexProgram,
+    P::Value: Encode + Decode + MemSize,
+{
+    type Value = P::Value;
+    type Accum = P::Accum;
+    type Entry = VcRecoverEntry<P::Value>;
+    type Meta = VcMeta;
+    type Graph = VcLocalGraph<P::Value>;
+    type Scratch = VcScratch<P>;
+    type MigExtra = VcMigExtra;
+
+    const PREFIX: &'static str = "vc";
+
+    fn value_wire_bytes(&self, v: &Self::Value) -> usize {
+        self.prog.value_wire_bytes(v)
+    }
+
+    fn init_scratch(&self, lg: &Self::Graph, shared: &Shared<Self>) -> Self::Scratch {
+        VcScratch {
+            bufs: SyncBufs::new(shared.cfg.num_nodes),
+            gather_index: VcGatherIndex::build(lg),
+            partials: Vec::new(),
+            acc_table: Vec::new(),
+            contribs: Vec::new(),
+            gather_batches: vec![Vec::new(); shared.cfg.num_nodes],
+        }
+    }
+
+    /// Recovery restructures the local edge list, invalidating the gather
+    /// index.
+    fn refresh_scratch(&self, scratch: &mut Self::Scratch, lg: &Self::Graph) {
+        scratch.gather_index = VcGatherIndex::build(lg);
+    }
+
+    /// With replication FT, persist this node's owned edges as per-receiver
+    /// edge-ckpt files before the first superstep (§4.3).
+    fn on_load(&self, lg: &Self::Graph, shared: &Shared<Self>) {
+        if matches!(shared.cfg.ft, FtMode::Replication { .. }) {
+            write_edge_ckpt_files(lg, &shared.dfs);
+        }
+    }
+
+    /// Distributed gather (partials → masters, barrier), then apply at
+    /// masters, sync, barrier, commit.
+    fn superstep(
+        &self,
+        ctx: &Ctx<Self>,
+        lg: &mut Self::Graph,
+        shared: &Shared<Self>,
+        st: &mut St<Self>,
+        scratch: &mut Self::Scratch,
+    ) -> StepOutcome {
+        let me = ctx.id();
+        let threads = shared.cfg.threads_per_node;
+        let mut sw = Stopwatch::start();
+        vc_partial_gather_par(
+            lg,
+            self.prog.as_ref(),
+            &scratch.gather_index,
+            threads,
+            &mut scratch.partials,
+        );
+        for (pos, slot) in scratch.partials.iter_mut().enumerate() {
+            let Some(acc) = slot.take() else { continue };
+            let v = &lg.verts[pos];
+            if v.is_master() {
+                scratch.contribs.push((pos as u32, me, acc));
+            } else {
+                scratch.gather_batches[v.master_node.index()].push((v.vid, acc));
             }
-            node_main(ctx, lg, &shared, st)
-        }));
-    }
-    let mut standby_handles = Vec::new();
-    for _ in 0..cfg.standbys {
-        let cluster = cluster.clone();
-        let shared = Arc::clone(&shared);
-        standby_handles.push(std::thread::spawn(move || standby_main(&cluster, &shared)));
+        }
+        st.phases.record("gather", sw.lap());
+
+        for (n, batch) in scratch.gather_batches.iter_mut().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            let entries = batch.len() as u64;
+            let bytes: u64 = batch
+                .iter()
+                .map(|(_, a)| 4 + self.prog.accum_wire_bytes(a) as u64)
+                .sum();
+            st.comm.record(entries, bytes);
+            ctx.send_kind(
+                NodeId::from_index(n),
+                ProtoMsg::Gather(std::mem::take(batch)),
+                bytes,
+                CommKind::Gather,
+            );
+        }
+        st.phases.record("send", sw.lap());
+
+        let (outcome, _) = ctx.enter_barrier_sum(0);
+        st.phases.record("barrier", sw.lap());
+        if let BarrierOutcome::Failed(dead) = outcome {
+            // Local partials were never applied; drop them and let the
+            // recovered superstep regather. Nothing was staged in the sync
+            // filter yet.
+            scratch.contribs.clear();
+            return StepOutcome::Failed(dead);
+        }
+
+        // Apply: fold remote partials (from the stash + queue) into the
+        // local ones. Sort by (position, sender) so combine order is
+        // deterministic regardless of arrival order.
+        let mut pending = std::mem::take(&mut st.stash);
+        pending.extend(ctx.drain());
+        for env in pending {
+            match env.msg {
+                ProtoMsg::Gather(batch) => {
+                    for (vid, acc) in batch {
+                        let pos = lg.position(vid).expect("gather for unknown vertex");
+                        debug_assert!(lg.verts[pos as usize].is_master());
+                        scratch.contribs.push((pos, env.from, acc));
+                    }
+                }
+                other => st.stash.push(Envelope {
+                    from: env.from,
+                    msg: other,
+                }),
+            }
+        }
+        scratch
+            .contribs
+            .sort_unstable_by_key(|&(pos, n, _)| (pos, n));
+        scratch.acc_table.clear();
+        scratch.acc_table.resize(lg.verts.len(), None);
+        for (pos, _, acc) in scratch.contribs.drain(..) {
+            let slot = &mut scratch.acc_table[pos as usize];
+            *slot = Some(match slot.take() {
+                None => acc,
+                Some(a) => self.prog.combine(a, acc),
+            });
+        }
+        let updates = vc_apply_par(
+            lg,
+            self.prog.as_ref(),
+            &mut scratch.acc_table,
+            &shared.degrees,
+            st.iter,
+            threads,
+        );
+        st.phases.record("apply", sw.lap());
+
+        driver::send_update_syncs(ctx, lg, &updates, shared, st, &mut scratch.bufs, false);
+        st.phases.record("send", sw.lap());
+
+        let (outcome, _) = ctx.enter_barrier_sum(0);
+        st.phases.record("barrier", sw.lap());
+        if let BarrierOutcome::Failed(dead) = outcome {
+            st.sync_filter.rollback();
+            drop(updates);
+            return StepOutcome::Failed(dead);
+        }
+        st.sync_filter.commit();
+
+        driver::note_dirty::<Self>(st, &shared.cfg, &updates);
+        let incoming: Vec<(u32, P::Value)> = driver::collect_syncs::<Self>(ctx, st)
+            .into_iter()
+            .map(|s| (s.pos, s.value))
+            .collect();
+        let stats = vc_commit(lg, updates, incoming);
+        st.phases.record("commit", sw.lap());
+        StepOutcome::Committed(stats.changed as u64)
     }
 
-    let mut outcomes: Vec<NodeOutcome<VcLocalGraph<P::Value>>> = handles
-        .into_iter()
-        .map(|h| h.join().expect("node thread panicked"))
-        .collect();
-    cluster.shutdown_standbys();
-    for h in standby_handles {
-        if let Some(o) = h.join().expect("standby thread panicked") {
-            outcomes.push(o);
-        }
+    fn encode_graph(&self, lg: &Self::Graph) -> Vec<u8> {
+        ckpt::encode_vc_graph(lg)
     }
-    let elapsed = start.elapsed();
+    fn decode_graph(&self, bytes: &[u8]) -> Self::Graph {
+        ckpt::decode_vc_graph(bytes).expect("metadata snapshot decodes")
+    }
+    fn encode_snapshot(&self, lg: &Self::Graph, iter: u64) -> Vec<u8> {
+        ckpt::encode_vc_snapshot(lg, iter)
+    }
+    fn encode_snapshot_inc(&self, lg: &Self::Graph, iter: u64, dirty: &[u32]) -> Vec<u8> {
+        ckpt::encode_vc_snapshot_inc(lg, iter, dirty)
+    }
+    fn apply_snapshot(&self, lg: &mut Self::Graph, bytes: &[u8]) -> u64 {
+        ckpt::apply_vc_snapshot(lg, bytes).expect("snapshot decodes")
+    }
+    fn apply_snapshot_inc(&self, lg: &mut Self::Graph, bytes: &[u8]) -> u64 {
+        ckpt::apply_vc_snapshot_inc(lg, bytes).expect("snapshot decodes")
+    }
 
-    let (mut report, graphs) = merge_outcomes(
-        outcomes,
-        elapsed,
-        mem_bytes,
-        extra_replicas,
-        cluster.comm_breakdown(),
-    );
-    let mut values: Vec<Option<P::Value>> = vec![None; g.num_vertices()];
-    for lg in &graphs {
-        for v in lg.verts.iter().filter(|v| v.is_master()) {
-            values[v.vid.index()] = Some(v.value.clone());
+    /// Resets values to the iteration-0 state (the dense engine has no
+    /// activation state to reset).
+    fn reset_to_initial(&self, lg: &mut Self::Graph, shared: &Shared<Self>) {
+        for v in lg.verts.iter_mut() {
+            v.value = self.prog.init(v.vid, &shared.degrees);
         }
     }
-    report.values = values
-        .into_iter()
-        .enumerate()
-        .map(|(i, v)| v.unwrap_or_else(|| panic!("vertex v{i} has no master after run")))
-        .collect();
-    report
+
+    fn apply_full_sync(&self, lg: &mut Self::Graph, incoming: Vec<VertexSync<Self::Value>>) {
+        for s in incoming {
+            lg.verts[s.pos as usize].value = s.value;
+        }
+    }
+
+    /// The dense engine keeps no scatter bits; full-sync records carry
+    /// `activate: false`.
+    fn scatter_bit(&self, _lg: &Self::Graph, _pos: u32) -> bool {
+        false
+    }
+
+    fn empty_graph(&self, me: NodeId) -> Self::Graph {
+        VcLocalGraph::empty(me)
+    }
+
+    fn replica_entry(
+        &self,
+        lg: &Self::Graph,
+        pos: u32,
+        _dead_node: NodeId,
+        rpos: u32,
+        kind: CopyKind,
+    ) -> Self::Entry {
+        let v = &lg.verts[pos as usize];
+        let meta = v
+            .meta
+            .as_ref()
+            .unwrap_or_else(|| panic!("full-state copy of {} has no meta", v.vid));
+        VcRecoverEntry {
+            vid: v.vid,
+            pos: rpos,
+            kind,
+            master_node: v.master_node,
+            value: v.value.clone(),
+            meta: (kind == CopyKind::Mirror).then(|| meta.clone()),
+        }
+    }
+
+    fn master_entry(&self, lg: &Self::Graph, pos: u32) -> Self::Entry {
+        let v = &lg.verts[pos as usize];
+        let meta = v
+            .meta
+            .as_ref()
+            .unwrap_or_else(|| panic!("mirror {} has no full state", v.vid));
+        VcRecoverEntry {
+            vid: v.vid,
+            pos: meta.master_pos,
+            kind: CopyKind::Master,
+            master_node: v.master_node,
+            value: v.value.clone(),
+            meta: Some(meta.clone()),
+        }
+    }
+
+    fn entry_wire_bytes(&self, e: &Self::Entry) -> u64 {
+        VcRecoverEntry::<P::Value>::wire_bytes(self.prog.value_wire_bytes(&e.value)) as u64
+    }
+    /// Vertex-cut entries carry no edges — those come from edge-ckpt files.
+    fn entry_edges(&self, _e: &Self::Entry) -> u64 {
+        0
+    }
+
+    fn insert_entry(&self, lg: &mut Self::Graph, e: Self::Entry) {
+        lg.insert_at(
+            e.pos,
+            VcVertex {
+                vid: e.vid,
+                kind: e.kind,
+                master_node: e.master_node,
+                value: e.value,
+                meta: e.meta,
+            },
+        );
+    }
+
+    /// Rebirth reload also replays the crashed node's own edge-ckpt files:
+    /// every edge it owned, keyed by receiver, read back in one pass.
+    fn rebirth_reload_extra(&self, lg: &mut Self::Graph, shared: &Shared<Self>) {
+        for path in shared.dfs.list(&format!("vc/eckpt/{}/", lg.node.raw())) {
+            let bytes = shared
+                .dfs
+                .read(&path)
+                .unwrap_or_else(|| panic!("listed edge-ckpt {path} readable"));
+            for (src, dst, weight) in ckpt::decode_edge_ckpt(&bytes).expect("edge-ckpt decodes") {
+                let spos = lg
+                    .position(src)
+                    .unwrap_or_else(|| panic!("edge endpoint {src} recovered"));
+                let dpos = lg
+                    .position(dst)
+                    .unwrap_or_else(|| panic!("edge endpoint {dst} recovered"));
+                lg.edges.push(VcEdge {
+                    src: spos,
+                    dst: dpos,
+                    weight,
+                });
+            }
+        }
+    }
+
+    fn validate(&self, lg: &Self::Graph) {
+        lg.debug_validate();
+    }
+
+    fn graph_stats(&self, lg: &Self::Graph) -> (u64, u64) {
+        (lg.verts.len() as u64, lg.edges.len() as u64)
+    }
+
+    /// R2: adopt the crashed nodes' edge-ckpt files addressed to this node
+    /// (the leader additionally adopts dead→dead orphan files), then
+    /// request replicas of any adopted-edge endpoint with no local copy.
+    fn migration_requests(
+        &self,
+        lg: &mut Self::Graph,
+        shared: &Shared<Self>,
+        st: &St<Self>,
+        mig: &mut Mig<VcMigExtra>,
+        env: &MigEnv<'_>,
+    ) -> HashMap<NodeId, Vec<Vid>> {
+        let me = env.me;
+        let mut adopted: Vec<(Vid, Vid, f32)> = Vec::new();
+        for &d in env.dead {
+            if let Some(bytes) = shared
+                .dfs
+                .read(&format!("vc/eckpt/{}/{}", d.raw(), me.raw()))
+            {
+                adopted.extend(ckpt::decode_edge_ckpt(&bytes).expect("edge-ckpt decodes"));
+            }
+        }
+        if me == st.leader() {
+            for &owner in env.dead {
+                for &receiver in env.dead {
+                    let path = format!("vc/eckpt/{}/{}", owner.raw(), receiver.raw());
+                    if let Some(bytes) = shared.dfs.read(&path) {
+                        adopted.extend(ckpt::decode_edge_ckpt(&bytes).expect("edge-ckpt decodes"));
+                    }
+                }
+            }
+        }
+        let mut requests: HashMap<NodeId, Vec<Vid>> = HashMap::new();
+        let mut requested: HashSet<Vid> = HashSet::new();
+        for &(s, d, _) in &adopted {
+            for vid in [s, d] {
+                if lg.position(vid).is_none() && requested.insert(vid) {
+                    let owner = st
+                        .overlay
+                        .get(&vid)
+                        .copied()
+                        .unwrap_or_else(|| NodeId::new(shared.owners[vid.index()]));
+                    debug_assert!(st.alive[owner.index()], "endpoint {vid} has no live master");
+                    debug_assert_ne!(owner, me);
+                    requests.entry(owner).or_default().push(vid);
+                }
+            }
+        }
+        mig.extra.adopted = adopted;
+        requests
+    }
+
+    fn place_granted(&self, lg: &mut Self::Graph, grant: ReplicaGrant<Self::Value>) -> u32 {
+        lg.insert_or_position(VcVertex {
+            vid: grant.vid,
+            kind: CopyKind::Replica,
+            master_node: grant.master_node,
+            value: grant.value,
+            meta: None,
+        })
+    }
+
+    /// R4: wire the adopted edges — every endpoint is local now, either
+    /// pre-existing or just granted.
+    fn migration_wire(&self, lg: &mut Self::Graph, mig: &mut Mig<VcMigExtra>, _resume: u64) {
+        for (s, d, w) in std::mem::take(&mut mig.extra.adopted) {
+            let spos = lg
+                .position(s)
+                .unwrap_or_else(|| panic!("endpoint {s} granted or local"));
+            let dpos = lg
+                .position(d)
+                .unwrap_or_else(|| panic!("endpoint {d} granted or local"));
+            lg.edges.push(VcEdge {
+                src: spos,
+                dst: dpos,
+                weight: w,
+            });
+            mig.edges_recovered += 1;
+        }
+    }
+
+    fn place_fresh_mirror(
+        &self,
+        lg: &mut Self::Graph,
+        update: MirrorUpdate<Self::Value, Self::Meta>,
+    ) -> u32 {
+        let value = update.value.expect("fresh FT replica carries its value");
+        lg.insert_or_position(VcVertex {
+            vid: update.vid,
+            kind: CopyKind::Mirror,
+            master_node: update.master_node,
+            value,
+            meta: Some(update.meta),
+        })
+    }
+
+    fn meta_update_bytes(&self, _meta: &Self::Meta) -> u64 {
+        64
+    }
+
+    /// Adopted edges changed which node persists which edges — rewrite the
+    /// edge-ckpt files so the next failure reloads a consistent set.
+    fn migration_finish(&self, lg: &Self::Graph, shared: &Shared<Self>, mig: &Mig<VcMigExtra>) {
+        if mig.edges_recovered > 0 {
+            write_edge_ckpt_files(lg, &shared.dfs);
+        }
+    }
 }
 
 /// Splits this node's edges into one edge-ckpt file per receiving node: an
 /// edge goes to the file of the node hosting the target's master (or its
 /// first mirror when the master is this very node), so each survivor reloads
 /// exactly one file in parallel during Migration (§4.3).
-fn write_edge_ckpt_files<P>(lg: &VcLocalGraph<P::Value>, shared: &Arc<Shared<P>>)
-where
-    P: VertexProgram,
-    P::Value: Encode + Decode + MemSize,
-{
+fn write_edge_ckpt_files<V>(lg: &VcLocalGraph<V>, dfs: &Dfs) {
     let me = lg.node;
     let mut per_receiver: HashMap<NodeId, Vec<(Vid, Vid, f32)>> = HashMap::new();
     for e in &lg.edges {
@@ -200,7 +577,10 @@ where
         let receiver = if dst_v.master_node != me {
             dst_v.master_node
         } else {
-            let meta = dst_v.meta.as_ref().expect("local master has meta");
+            let meta = dst_v
+                .meta
+                .as_ref()
+                .unwrap_or_else(|| panic!("local master {} has meta", dst_v.vid));
             meta.mirror_nodes
                 .first()
                 .copied()
@@ -212,1295 +592,9 @@ where
             .push((src, dst_v.vid, e.weight));
     }
     for (receiver, edges) in per_receiver {
-        shared.dfs.write(
+        dfs.write(
             &format!("vc/eckpt/{}/{}", me.raw(), receiver.raw()),
             ckpt::encode_edge_ckpt(&edges),
         );
     }
-}
-
-fn standby_main<P>(
-    cluster: &Cluster<M<P>>,
-    shared: &Arc<Shared<P>>,
-) -> Option<NodeOutcome<VcLocalGraph<P::Value>>>
-where
-    P: VertexProgram,
-    P::Value: Encode + Decode + MemSize,
-{
-    let ctx = cluster.wait_standby(Duration::from_secs(600))?;
-    let mut st = NodeState::new(
-        shared.cfg.num_nodes,
-        Instant::now(),
-        shared.cfg.sync_suppress,
-    );
-    let lg = match shared.cfg.ft {
-        FtMode::Replication { .. } => rebirth_newbie(&ctx, shared, &mut st),
-        FtMode::Checkpoint { .. } => ckpt_newbie(&ctx, shared, &mut st),
-        FtMode::None => unreachable!("standbys are never dispatched without fault tolerance"),
-    };
-    Some(node_main(ctx, lg, shared, st))
-}
-
-fn node_main<P>(
-    ctx: Ctx<P>,
-    mut lg: VcLocalGraph<P::Value>,
-    shared: &Arc<Shared<P>>,
-    mut st: St<P>,
-) -> NodeOutcome<VcLocalGraph<P::Value>>
-where
-    P: VertexProgram,
-    P::Value: Encode + Decode + MemSize,
-{
-    let me = ctx.id();
-    st.sync_filter.set_domain(lg.verts.len() as u32);
-    let threads = shared.cfg.threads_per_node;
-    // Steady-state scratch, allocated once and reused every iteration: the
-    // dst-grouped edge index, the partial/combined accumulator tables, the
-    // sorted contribution list, and node-indexed send batches (Vec-indexed
-    // so send order is deterministic, no per-iteration map allocation).
-    let mut gather_index = VcGatherIndex::build(&lg);
-    let mut partials: Vec<Option<P::Accum>> = Vec::new();
-    let mut acc_table: Vec<Option<P::Accum>> = Vec::new();
-    let mut contribs: Vec<(u32, NodeId, P::Accum)> = Vec::new();
-    let mut gather_batches: Vec<Vec<(Vid, P::Accum)>> =
-        (0..shared.cfg.num_nodes).map(|_| Vec::new()).collect();
-    let mut sync_batches: Vec<Vec<VertexSync<P::Value>>> =
-        (0..shared.cfg.num_nodes).map(|_| Vec::new()).collect();
-    let mut ft_entries: Vec<u64> = vec![0; shared.cfg.num_nodes];
-    loop {
-        if st.iter >= shared.cfg.max_iters {
-            break;
-        }
-        if shared
-            .injector
-            .should_fail(me, st.iter, FailPoint::BeforeBarrier)
-        {
-            ctx.die();
-            return NodeOutcome::from_state(None, st);
-        }
-        let iter_sw = Stopwatch::start();
-        let mut sw = Stopwatch::start();
-
-        // Distributed gather: local partials flow to each vertex's master.
-        // Own contributions go straight onto the contribution list tagged
-        // with this node's ID so the later fold stays in sender order.
-        vc_partial_gather_par(
-            &lg,
-            shared.prog.as_ref(),
-            &gather_index,
-            threads,
-            &mut partials,
-        );
-        for (pos, slot) in partials.iter_mut().enumerate() {
-            let Some(acc) = slot.take() else { continue };
-            let v = &lg.verts[pos];
-            if v.is_master() {
-                contribs.push((pos as u32, me, acc));
-            } else {
-                gather_batches[v.master_node.index()].push((v.vid, acc));
-            }
-        }
-        st.phases.record("gather", sw.lap());
-        for (n, batch) in gather_batches.iter_mut().enumerate() {
-            if batch.is_empty() {
-                continue;
-            }
-            let entries = batch.len() as u64;
-            let bytes: u64 = batch
-                .iter()
-                .map(|(_, a)| 4 + shared.prog.accum_wire_bytes(a) as u64)
-                .sum();
-            st.comm.record(entries, bytes);
-            ctx.send_kind(
-                NodeId::from_index(n),
-                VcMsg::Gather(std::mem::take(batch)),
-                bytes,
-                CommKind::Gather,
-            );
-        }
-        st.phases.record("send", sw.lap());
-        let (outcome, _) = ctx.enter_barrier_sum(0);
-        st.phases.record("barrier", sw.lap());
-        if let BarrierOutcome::Failed(dead) = outcome {
-            contribs.clear();
-            stash_non_data(&ctx, &mut st);
-            let resume = st.iter;
-            recover(&ctx, &mut lg, shared, &mut st, &dead, resume);
-            gather_index = VcGatherIndex::build(&lg);
-            continue;
-        }
-
-        // Apply at masters. A fast peer may already have sent this
-        // iteration's Sync messages — keep them stashed for commit time.
-        let mut pending = std::mem::take(&mut st.stash);
-        pending.extend(ctx.drain());
-        for env in pending {
-            match env.msg {
-                VcMsg::Gather(batch) => {
-                    for (vid, acc) in batch {
-                        let pos = lg.position(vid).expect("gather for unknown vertex");
-                        debug_assert!(lg.verts[pos as usize].is_master());
-                        contribs.push((pos, env.from, acc));
-                    }
-                }
-                other => st.stash.push(Envelope {
-                    from: env.from,
-                    msg: other,
-                }),
-            }
-        }
-        // Each node contributes at most one partial per position, so sorting
-        // by (position, sender) gives every master its contributions in the
-        // same deterministic node order the serial engine used.
-        contribs.sort_unstable_by_key(|&(pos, n, _)| (pos, n));
-        acc_table.clear();
-        acc_table.resize(lg.verts.len(), None);
-        for (pos, _, acc) in contribs.drain(..) {
-            let slot = &mut acc_table[pos as usize];
-            *slot = Some(match slot.take() {
-                None => acc,
-                Some(a) => shared.prog.combine(a, acc),
-            });
-        }
-        let updates = vc_apply_par(
-            &lg,
-            shared.prog.as_ref(),
-            &mut acc_table,
-            &shared.degrees,
-            st.iter,
-            threads,
-        );
-        st.phases.record("apply", sw.lap());
-
-        // Broadcast new values to replicas (mirror dynamic state included),
-        // addressed by destination-local position. The dense engine's
-        // receivers apply the value only, so the redundant-sync filter keys
-        // on the value alone (`activate` staged as `false`, matching the
-        // full-sync rounds recovery sends).
-        let mut suppressed = 0u64;
-        for u in &updates {
-            let v = &lg.verts[u.local as usize];
-            let i = v.vid.index();
-            if *shared.plan.selfish.get(i).unwrap_or(&false) {
-                continue;
-            }
-            let meta = v.meta.as_ref().expect("master meta");
-            let staged = st.sync_filter.stage(u.local, &u.value, false);
-            for (&node, &rpos) in meta.replica_nodes.iter().zip(&meta.replica_positions) {
-                if st.sync_filter.suppress(staged, node) {
-                    suppressed += 1;
-                    continue;
-                }
-                sync_batches[node.index()].push(VertexSync {
-                    pos: rpos,
-                    value: u.value.clone(),
-                    activate: u.activate,
-                });
-                if shared
-                    .plan
-                    .extra_replicas
-                    .get(i)
-                    .is_some_and(|e| e.contains(&node))
-                {
-                    ft_entries[node.index()] += 1;
-                }
-            }
-        }
-        st.note_suppressed(suppressed);
-        for (n, batch) in sync_batches.iter_mut().enumerate() {
-            let ft = std::mem::take(&mut ft_entries[n]);
-            if batch.is_empty() {
-                continue;
-            }
-            let entries = batch.len() as u64;
-            let bytes: u64 = batch
-                .iter()
-                .map(|s| {
-                    VertexSync::<P::Value>::wire_bytes(shared.prog.value_wire_bytes(&s.value))
-                        as u64
-                })
-                .sum();
-            st.comm.record(entries, bytes);
-            if ft > 0 {
-                st.ft_comm.record(ft, bytes * ft / entries.max(1));
-            }
-            ctx.send_kind(
-                NodeId::from_index(n),
-                VcMsg::Sync(std::mem::take(batch)),
-                bytes,
-                CommKind::Sync,
-            );
-        }
-        st.phases.record("send", sw.lap());
-        let (outcome2, _) = ctx.enter_barrier_sum(0);
-        st.phases.record("barrier", sw.lap());
-        if let BarrierOutcome::Failed(dead) = outcome2 {
-            st.sync_filter.rollback();
-            drop(updates);
-            stash_non_data(&ctx, &mut st);
-            let resume = st.iter;
-            recover(&ctx, &mut lg, shared, &mut st, &dead, resume);
-            gather_index = VcGatherIndex::build(&lg);
-            continue;
-        }
-        // The sync barrier passed: every record sent above is sitting in its
-        // destination's inbox and will be applied — the staged filter state
-        // becomes authoritative.
-        st.sync_filter.commit();
-
-        // Commit.
-        if matches!(
-            shared.cfg.ft,
-            FtMode::Checkpoint {
-                incremental: true,
-                ..
-            }
-        ) {
-            st.dirty.extend(updates.iter().map(|u| u.local));
-        }
-        let incoming = collect_syncs(&ctx, &mut st);
-        let stats = vc_commit(&mut lg, updates, incoming);
-        st.phases.record("commit", sw.lap());
-
-        if let FtMode::Checkpoint {
-            interval,
-            incremental,
-        } = shared.cfg.ft
-        {
-            if (st.iter + 1).is_multiple_of(interval) {
-                let bytes = if incremental {
-                    let mut dirty: Vec<u32> = st.dirty.drain().collect();
-                    dirty.sort_unstable();
-                    ckpt::encode_vc_snapshot_inc(&lg, st.iter + 1, &dirty)
-                } else {
-                    ckpt::encode_vc_snapshot(&lg, st.iter + 1)
-                };
-                shared
-                    .dfs
-                    .write(&format!("vc/ckpt/{}/{}", st.iter + 1, me.raw()), bytes);
-                st.last_snapshot_iter = st.iter + 1;
-                let d = sw.lap();
-                st.ckpt_time += d;
-                st.phases.record("ckpt", d);
-            }
-        }
-
-        st.iter += 1;
-        st.timeline.push((st.iter, st.start.elapsed()));
-        let (outcome3, total_changed) = ctx.enter_barrier_sum(stats.changed as u64);
-        st.phases.record("barrier", sw.lap());
-        if st.iter <= st.replay_until {
-            if let Some(r) = st.recoveries.last_mut() {
-                r.replay += iter_sw.elapsed();
-            }
-        }
-        if let BarrierOutcome::Failed(dead) = outcome3 {
-            stash_non_data(&ctx, &mut st);
-            let resume = st.iter;
-            recover(&ctx, &mut lg, shared, &mut st, &dead, resume);
-            gather_index = VcGatherIndex::build(&lg);
-            continue;
-        }
-        if total_changed == 0 {
-            // Converged: the job is over before any post-barrier crash can
-            // strike (a machine lost after completion is outside the job's
-            // lifetime and cannot be recovered by it).
-            break;
-        }
-        if st.iter < shared.cfg.max_iters
-            && shared
-                .injector
-                .should_fail(me, st.iter - 1, FailPoint::AfterBarrier)
-        {
-            ctx.die();
-            return NodeOutcome::from_state(None, st);
-        }
-    }
-    NodeOutcome::from_state(Some(lg), st)
-}
-
-fn collect_syncs<V, A>(ctx: &NodeCtx<VcMsg<V, A>>, st: &mut NodeState<VcMsg<V, A>>) -> Vec<(u32, V)>
-where
-    V: Send + 'static,
-    A: Send + 'static,
-{
-    let mut out = Vec::new();
-    let mut pending = std::mem::take(&mut st.stash);
-    pending.extend(ctx.drain());
-    for env in pending {
-        match env.msg {
-            VcMsg::Sync(batch) => {
-                // Records are addressed by our local position — no per-record
-                // vid-to-position map lookup.
-                out.extend(batch.into_iter().map(|s| (s.pos, s.value)));
-            }
-            other => st.stash.push(Envelope {
-                from: env.from,
-                msg: other,
-            }),
-        }
-    }
-    out
-}
-
-fn stash_non_data<V, A>(ctx: &NodeCtx<VcMsg<V, A>>, st: &mut NodeState<VcMsg<V, A>>)
-where
-    V: Send + 'static,
-    A: Send + 'static,
-{
-    for env in ctx.drain() {
-        if !matches!(env.msg, VcMsg::Sync(_) | VcMsg::Gather(_)) {
-            st.stash.push(env);
-        }
-    }
-}
-
-fn round_msgs<V, A>(
-    ctx: &NodeCtx<VcMsg<V, A>>,
-    st: &mut NodeState<VcMsg<V, A>>,
-) -> Vec<Envelope<VcMsg<V, A>>>
-where
-    V: Send + 'static,
-    A: Send + 'static,
-{
-    let mut v = std::mem::take(&mut st.stash);
-    v.extend(ctx.drain());
-    v
-}
-
-fn recover<P>(
-    ctx: &Ctx<P>,
-    lg: &mut VcLocalGraph<P::Value>,
-    shared: &Arc<Shared<P>>,
-    st: &mut St<P>,
-    dead: &[NodeId],
-    resume_iter: u64,
-) where
-    P: VertexProgram,
-    P::Value: Encode + Decode + MemSize,
-{
-    match shared.cfg.ft {
-        FtMode::None => panic!("node failure injected with fault tolerance disabled"),
-        FtMode::Checkpoint { .. } => ckpt_recover_survivor(ctx, lg, shared, st, dead, resume_iter),
-        FtMode::Replication {
-            recovery: RecoveryStrategy::Rebirth,
-            ..
-        } => rebirth_survivor(ctx, lg, shared, st, dead, resume_iter),
-        FtMode::Replication {
-            recovery: RecoveryStrategy::Migration,
-            ..
-        } => migrate(ctx, lg, shared, st, dead),
-    }
-}
-
-fn responsible_mirror(meta: &VcMeta, alive: &[bool]) -> Option<NodeId> {
-    meta.mirror_nodes.iter().copied().find(|m| alive[m.index()])
-}
-
-// --------------------------------------------------------------------------
-// Rebirth (§5.1, vertex-cut: vertices from survivors, edges from edge-ckpt)
-// --------------------------------------------------------------------------
-
-fn rebirth_survivor<P>(
-    ctx: &Ctx<P>,
-    lg: &mut VcLocalGraph<P::Value>,
-    shared: &Arc<Shared<P>>,
-    st: &mut St<P>,
-    dead: &[NodeId],
-    resume_iter: u64,
-) where
-    P: VertexProgram,
-    P::Value: Encode + Decode + MemSize,
-{
-    let me = ctx.id();
-    let survivors = st.mark_dead(dead);
-    let num_survivors = survivors.len() as u32;
-    if me == st.leader() {
-        for &d in dead {
-            assert!(
-                ctx.cluster().dispatch_standby(d),
-                "Rebirth recovery of {d} requires a hot standby"
-            );
-        }
-    }
-    ctx.enter_barrier();
-
-    let sw = Stopwatch::start();
-    let mut batches: HashMap<NodeId, Vec<VcRecoverEntry<P::Value>>> = HashMap::new();
-    for d in dead {
-        batches.insert(*d, Vec::new());
-    }
-    for v in &lg.verts {
-        match v.kind {
-            CopyKind::Master => {
-                let meta = v.meta.as_ref().expect("master meta");
-                for &d in dead {
-                    if let Some(rpos) = meta.replica_position_on(d) {
-                        let kind = if meta.mirror_nodes.contains(&d) {
-                            CopyKind::Mirror
-                        } else {
-                            CopyKind::Replica
-                        };
-                        batches.get_mut(&d).unwrap().push(VcRecoverEntry {
-                            vid: v.vid,
-                            pos: rpos,
-                            kind,
-                            master_node: me,
-                            value: v.value.clone(),
-                            meta: (kind == CopyKind::Mirror).then(|| meta.clone()),
-                        });
-                    }
-                }
-            }
-            CopyKind::Mirror => {
-                let meta = v.meta.as_ref().expect("mirror meta");
-                if !dead.contains(&v.master_node) {
-                    continue;
-                }
-                if responsible_mirror(meta, &st.alive) != Some(me) {
-                    continue;
-                }
-                batches
-                    .get_mut(&v.master_node)
-                    .unwrap()
-                    .push(VcRecoverEntry {
-                        vid: v.vid,
-                        pos: meta.master_pos,
-                        kind: CopyKind::Master,
-                        master_node: v.master_node,
-                        value: v.value.clone(),
-                        meta: Some(meta.clone()),
-                    });
-                for &d in dead {
-                    if d == v.master_node {
-                        continue;
-                    }
-                    if let Some(rpos) = meta.replica_position_on(d) {
-                        let kind = if meta.mirror_nodes.contains(&d) {
-                            CopyKind::Mirror
-                        } else {
-                            CopyKind::Replica
-                        };
-                        batches.get_mut(&d).unwrap().push(VcRecoverEntry {
-                            vid: v.vid,
-                            pos: rpos,
-                            kind,
-                            master_node: v.master_node,
-                            value: v.value.clone(),
-                            meta: (kind == CopyKind::Mirror).then(|| meta.clone()),
-                        });
-                    }
-                }
-            }
-            CopyKind::Replica => {}
-        }
-    }
-    let mut recovered = 0u64;
-    let mut comm = CommStats::default();
-    for (d, entries) in batches {
-        recovered += entries.len() as u64;
-        let bytes: u64 = entries
-            .iter()
-            .map(|e| {
-                VcRecoverEntry::<P::Value>::wire_bytes(shared.prog.value_wire_bytes(&e.value))
-                    as u64
-            })
-            .sum();
-        comm.record(1, bytes);
-        ctx.send_kind(
-            d,
-            VcMsg::Rebirth(Box::new(VcRebirthBatch {
-                resume_iter,
-                num_survivors,
-                entries,
-            })),
-            bytes,
-            CommKind::Recovery,
-        );
-    }
-    let reload = sw.elapsed();
-    ctx.enter_barrier();
-    for d in dead {
-        st.alive[d.index()] = true;
-    }
-    st.recoveries.push(RecoveryReport {
-        strategy: "rebirth",
-        failed_nodes: dead.len(),
-        reload,
-        reconstruct: Duration::ZERO,
-        replay: Duration::ZERO,
-        vertices_recovered: recovered,
-        edges_recovered: 0,
-        comm,
-    });
-}
-
-fn rebirth_newbie<P>(
-    ctx: &Ctx<P>,
-    shared: &Arc<Shared<P>>,
-    st: &mut St<P>,
-) -> VcLocalGraph<P::Value>
-where
-    P: VertexProgram,
-    P::Value: Encode + Decode + MemSize,
-{
-    let me = ctx.id();
-    ctx.enter_barrier();
-
-    // Reload: vertex copies from survivors, edges from the crashed node's
-    // edge-ckpt files on the DFS (the paper overlaps the two; both are timed
-    // inside the reload phase here).
-    let sw = Stopwatch::start();
-    let mut lg: VcLocalGraph<P::Value> = VcLocalGraph::empty(me);
-    let mut got = 0u32;
-    let mut expected: Option<u32> = None;
-    let mut resume_iter = 0u64;
-    while expected.is_none_or(|e| got < e) {
-        let env = ctx
-            .recv_timeout(RECOVERY_PATIENCE)
-            .expect("rebirth batch from survivor");
-        match env.msg {
-            VcMsg::Rebirth(batch) => {
-                expected = Some(batch.num_survivors);
-                resume_iter = batch.resume_iter;
-                got += 1;
-                for e in batch.entries {
-                    lg.insert_at(
-                        e.pos,
-                        VcVertex {
-                            vid: e.vid,
-                            kind: e.kind,
-                            master_node: e.master_node,
-                            value: e.value,
-                            meta: e.meta,
-                        },
-                    );
-                }
-            }
-            other => st.stash.push(Envelope {
-                from: env.from,
-                msg: other,
-            }),
-        }
-    }
-    let mut edges_recovered = 0u64;
-    // Files may be read in any order without breaking bit-determinism: the
-    // edge-ckpt split keys on the *target* vertex, so all contributions to
-    // one gather destination live in a single file in their original
-    // relative order — the per-destination fold order is reproduced exactly.
-    for path in shared.dfs.list(&format!("vc/eckpt/{}/", me.raw())) {
-        let bytes = shared.dfs.read(&path).expect("listed edge-ckpt readable");
-        for (s, d, w) in ckpt::decode_edge_ckpt(&bytes).expect("edge-ckpt decodes") {
-            let src = lg.position(s).expect("edge endpoint recovered");
-            let dst = lg.position(d).expect("edge endpoint recovered");
-            lg.edges.push(VcEdge {
-                src,
-                dst,
-                weight: w,
-            });
-            edges_recovered += 1;
-        }
-    }
-    let reload = sw.elapsed();
-
-    let sw = Stopwatch::start();
-    lg.debug_validate();
-    let reconstruct = sw.elapsed();
-
-    st.iter = resume_iter;
-    st.recoveries.push(RecoveryReport {
-        strategy: "rebirth",
-        failed_nodes: 1,
-        reload,
-        reconstruct,
-        replay: Duration::ZERO, // dense engine: the next apply refreshes all
-        vertices_recovered: lg.verts.len() as u64,
-        edges_recovered,
-        comm: CommStats::default(),
-    });
-    ctx.enter_barrier();
-    lg
-}
-
-// --------------------------------------------------------------------------
-// Migration (§5.2, vertex-cut)
-// --------------------------------------------------------------------------
-
-#[allow(clippy::too_many_lines)]
-fn migrate<P>(
-    ctx: &Ctx<P>,
-    lg: &mut VcLocalGraph<P::Value>,
-    shared: &Arc<Shared<P>>,
-    st: &mut St<P>,
-    dead: &[NodeId],
-) where
-    P: VertexProgram,
-    P::Value: Encode + Decode + MemSize,
-{
-    let me = ctx.id();
-    let survivors = st.mark_dead(dead);
-    let others: Vec<NodeId> = survivors.iter().copied().filter(|&n| n != me).collect();
-    let tolerance = match shared.cfg.ft {
-        FtMode::Replication { tolerance, .. } => tolerance,
-        _ => unreachable!("migrate requires replication FT"),
-    };
-    let mut comm = CommStats::default();
-    let mut recovered = 0u64;
-    let mut edges_recovered = 0u64;
-    let sw_total = Stopwatch::start();
-
-    // ---- R1: promote local mirrors whose master died.
-    let mut promotions: Vec<Promotion> = Vec::new();
-    let mut dirty_masters: HashSet<u32> = HashSet::new();
-    for pos in 0..lg.verts.len() {
-        let v = &lg.verts[pos];
-        match v.kind {
-            CopyKind::Mirror if dead.contains(&v.master_node) => {
-                let meta = v.meta.as_ref().expect("mirror meta");
-                if responsible_mirror(meta, &st.alive) != Some(me) {
-                    continue;
-                }
-                let old_node = v.master_node;
-                let old_pos = meta.master_pos;
-                let vid = v.vid;
-                let v = &mut lg.verts[pos];
-                v.kind = CopyKind::Master;
-                v.master_node = me;
-                let meta = v.meta.as_mut().unwrap();
-                meta.master_pos = pos as u32;
-                meta.purge_node(me);
-                for &d in dead {
-                    meta.purge_node(d);
-                }
-                promotions.push(Promotion {
-                    vid,
-                    new_master: me,
-                    new_pos: pos as u32,
-                    old_node,
-                    old_pos,
-                });
-                dirty_masters.insert(pos as u32);
-                st.overlay.insert(vid, me);
-                recovered += 1;
-            }
-            CopyKind::Master => {
-                let v = &mut lg.verts[pos];
-                let meta = v.meta.as_mut().expect("master meta");
-                let before = meta.replica_nodes.len() + meta.mirror_nodes.len();
-                for &d in dead {
-                    meta.purge_node(d);
-                }
-                if meta.replica_nodes.len() + meta.mirror_nodes.len() != before {
-                    dirty_masters.insert(pos as u32);
-                }
-            }
-            _ => {}
-        }
-    }
-    for &n in &others {
-        let bytes = (promotions.len() * 20) as u64;
-        comm.record(1, bytes);
-        ctx.send_kind(
-            n,
-            VcMsg::Promote(promotions.clone()),
-            bytes,
-            CommKind::Recovery,
-        );
-    }
-    ctx.enter_barrier();
-
-    // ---- R2: apply promotions; reload this node's share of the crashed
-    //      nodes' edges from the edge-ckpt files; request missing endpoints.
-    for env in round_msgs(ctx, st) {
-        match env.msg {
-            VcMsg::Promote(batch) => {
-                for p in batch {
-                    st.overlay.insert(p.vid, p.new_master);
-                    if p.new_master == me {
-                        continue;
-                    }
-                    if let Some(pos) = lg.position(p.vid) {
-                        let v = &mut lg.verts[pos as usize];
-                        v.master_node = p.new_master;
-                        if let Some(meta) = v.meta.as_mut() {
-                            meta.master_pos = p.new_pos;
-                            for &d in dead {
-                                meta.purge_node(d);
-                            }
-                            meta.purge_node(p.new_master);
-                        }
-                    }
-                }
-            }
-            other => st.stash.push(Envelope {
-                from: env.from,
-                msg: other,
-            }),
-        }
-    }
-    let mut adopted: Vec<(Vid, Vid, f32)> = Vec::new();
-    for &d in dead {
-        let path = format!("vc/eckpt/{}/{}", d.raw(), me.raw());
-        if let Some(bytes) = shared.dfs.read(&path) {
-            adopted.extend(ckpt::decode_edge_ckpt(&bytes).expect("edge-ckpt decodes"));
-        }
-    }
-    // Under simultaneous failures a crashed node's file may be addressed to
-    // another crashed node; the recovery leader adopts those orphans.
-    if me == st.leader() {
-        for &owner in dead {
-            for &receiver in dead {
-                let path = format!("vc/eckpt/{}/{}", owner.raw(), receiver.raw());
-                if let Some(bytes) = shared.dfs.read(&path) {
-                    adopted.extend(ckpt::decode_edge_ckpt(&bytes).expect("edge-ckpt decodes"));
-                }
-            }
-        }
-    }
-    let mut requests: HashMap<NodeId, Vec<Vid>> = HashMap::new();
-    let mut requested: HashSet<Vid> = HashSet::new();
-    for &(s, d, _) in &adopted {
-        for vid in [s, d] {
-            if lg.position(vid).is_none() && requested.insert(vid) {
-                let owner = st
-                    .overlay
-                    .get(&vid)
-                    .copied()
-                    .unwrap_or_else(|| NodeId::new(shared.owners[vid.index()]));
-                debug_assert!(st.alive[owner.index()], "endpoint {vid} has no live master");
-                debug_assert_ne!(owner, me);
-                requests.entry(owner).or_default().push(vid);
-            }
-        }
-    }
-    for &n in &others {
-        let req = requests.remove(&n).unwrap_or_default();
-        let bytes = (req.len() * 4) as u64;
-        comm.record(1, bytes);
-        ctx.send_kind(n, VcMsg::ReplicaRequest(req), bytes, CommKind::Recovery);
-    }
-    ctx.enter_barrier();
-
-    // ---- R3: grant requested copies.
-    let mut grants: HashMap<NodeId, Vec<ReplicaGrant<P::Value>>> = HashMap::new();
-    for env in round_msgs(ctx, st) {
-        match env.msg {
-            VcMsg::ReplicaRequest(req) => {
-                for vid in req {
-                    let pos = lg
-                        .position(vid)
-                        .unwrap_or_else(|| panic!("request for {vid} but no copy on {me}"));
-                    let v = &lg.verts[pos as usize];
-                    debug_assert!(v.is_master(), "replica request routed to non-master");
-                    grants.entry(env.from).or_default().push(ReplicaGrant {
-                        vid,
-                        value: v.value.clone(),
-                        last_activate: false,
-                        master_node: me,
-                    });
-                }
-            }
-            other => st.stash.push(Envelope {
-                from: env.from,
-                msg: other,
-            }),
-        }
-    }
-    for &n in &others {
-        let g = grants.remove(&n).unwrap_or_default();
-        let bytes: u64 = g
-            .iter()
-            .map(|x| 16 + shared.prog.value_wire_bytes(&x.value) as u64)
-            .sum();
-        comm.record(1, bytes);
-        ctx.send_kind(n, VcMsg::ReplicaGrant(g), bytes, CommKind::Recovery);
-    }
-    ctx.enter_barrier();
-
-    // ---- R4: place granted copies, adopt the reloaded edges, report
-    //      placements.
-    let mut placements: HashMap<NodeId, Vec<(Vid, u32)>> = HashMap::new();
-    for env in round_msgs(ctx, st) {
-        match env.msg {
-            VcMsg::ReplicaGrant(gs) => {
-                for g in gs {
-                    debug_assert!(lg.position(g.vid).is_none());
-                    let master_node = g.master_node;
-                    let vid = g.vid;
-                    let pos = lg.insert_or_position(VcVertex {
-                        vid,
-                        kind: CopyKind::Replica,
-                        master_node,
-                        value: g.value,
-                        meta: None,
-                    });
-                    placements.entry(master_node).or_default().push((vid, pos));
-                    recovered += 1;
-                }
-            }
-            other => st.stash.push(Envelope {
-                from: env.from,
-                msg: other,
-            }),
-        }
-    }
-    for (s, d, w) in adopted {
-        let src = lg.position(s).expect("endpoint granted or local");
-        let dst = lg.position(d).expect("endpoint granted or local");
-        lg.edges.push(VcEdge {
-            src,
-            dst,
-            weight: w,
-        });
-        edges_recovered += 1;
-    }
-    for &n in &others {
-        let p = placements.remove(&n).unwrap_or_default();
-        let bytes = (p.len() * 8) as u64;
-        comm.record(1, bytes);
-        ctx.send_kind(n, VcMsg::ReplicaPlaced(p), bytes, CommKind::Recovery);
-    }
-    ctx.enter_barrier();
-
-    // ---- R5: register placements; restore the FT level.
-    for env in round_msgs(ctx, st) {
-        match env.msg {
-            VcMsg::ReplicaPlaced(ps) => {
-                for (vid, pos) in ps {
-                    let mpos = lg.position(vid).expect("placement for unknown master");
-                    lg.verts[mpos as usize]
-                        .meta
-                        .as_mut()
-                        .expect("master meta")
-                        .register_replica(env.from, pos);
-                    dirty_masters.insert(mpos);
-                }
-            }
-            other => st.stash.push(Envelope {
-                from: env.from,
-                msg: other,
-            }),
-        }
-    }
-    // The FT level cannot exceed the surviving cluster's capacity: each
-    // mirror needs a distinct node other than the master's.
-    let restorable = tolerance.min(survivors.len().saturating_sub(1));
-    let mut mirror_updates: HashMap<NodeId, Vec<MirrorUpdate<P::Value, VcMeta>>> = HashMap::new();
-    for pos in 0..lg.verts.len() {
-        if !lg.verts[pos].is_master() {
-            continue;
-        }
-        loop {
-            let v = &lg.verts[pos];
-            let meta = v.meta.as_ref().expect("master meta");
-            if meta.mirror_nodes.len() >= restorable {
-                break;
-            }
-            let candidate = meta
-                .replica_nodes
-                .iter()
-                .copied()
-                .filter(|n| !meta.mirror_nodes.contains(n))
-                .min_by_key(|n| (st.mirror_assign[n.index()], n.index()));
-            let (target, fresh) = match candidate {
-                Some(n) => (n, false),
-                None => {
-                    let n = survivors
-                        .iter()
-                        .copied()
-                        .filter(|&n| n != me && !meta.replica_nodes.contains(&n))
-                        .min_by_key(|n| (st.mirror_assign[n.index()], n.index()))
-                        .expect("enough survivors to restore the FT level");
-                    (n, true)
-                }
-            };
-            st.mirror_assign[target.index()] += 1;
-            let v = &mut lg.verts[pos];
-            let meta = v.meta.as_mut().unwrap();
-            meta.mirror_nodes.push(target);
-            mirror_updates
-                .entry(target)
-                .or_default()
-                .push(MirrorUpdate {
-                    vid: v.vid,
-                    meta: Box::new(VcMeta::clone(v.meta.as_ref().unwrap())),
-                    value: fresh.then(|| v.value.clone()),
-                    last_activate: false,
-                    master_node: me,
-                });
-            dirty_masters.insert(pos as u32);
-        }
-    }
-    for &n in &others {
-        let ups = mirror_updates.remove(&n).unwrap_or_default();
-        let bytes = (ups.len() * 64) as u64;
-        comm.record(1, bytes);
-        ctx.send_kind(n, VcMsg::MirrorUpdate(ups), bytes, CommKind::Recovery);
-    }
-    ctx.enter_barrier();
-
-    // ---- R6: adopt mirror designations; report fresh placements.
-    let mut fresh_placements: HashMap<NodeId, Vec<(Vid, u32)>> = HashMap::new();
-    for env in round_msgs(ctx, st) {
-        match env.msg {
-            VcMsg::MirrorUpdate(ups) => {
-                for u in ups {
-                    match lg.position(u.vid) {
-                        Some(pos) => {
-                            let v = &mut lg.verts[pos as usize];
-                            v.kind = CopyKind::Mirror;
-                            v.meta = Some(u.meta);
-                            v.master_node = u.master_node;
-                        }
-                        None => {
-                            let value = u.value.expect("fresh FT replica carries its value");
-                            let vid = u.vid;
-                            let master_node = u.master_node;
-                            let pos = lg.insert_or_position(VcVertex {
-                                vid,
-                                kind: CopyKind::Mirror,
-                                master_node,
-                                value,
-                                meta: Some(u.meta),
-                            });
-                            fresh_placements
-                                .entry(master_node)
-                                .or_default()
-                                .push((vid, pos));
-                        }
-                    }
-                }
-            }
-            other => st.stash.push(Envelope {
-                from: env.from,
-                msg: other,
-            }),
-        }
-    }
-    for &n in &others {
-        let p = fresh_placements.remove(&n).unwrap_or_default();
-        let bytes = (p.len() * 8) as u64;
-        comm.record(1, bytes);
-        ctx.send_kind(n, VcMsg::ReplicaPlaced(p), bytes, CommKind::Recovery);
-    }
-    ctx.enter_barrier();
-
-    // ---- R7: register fresh placements; refresh dirty masters' mirrors.
-    for env in round_msgs(ctx, st) {
-        match env.msg {
-            VcMsg::ReplicaPlaced(ps) => {
-                for (vid, pos) in ps {
-                    let mpos = lg.position(vid).expect("placement for unknown master");
-                    lg.verts[mpos as usize]
-                        .meta
-                        .as_mut()
-                        .expect("master meta")
-                        .register_replica(env.from, pos);
-                    dirty_masters.insert(mpos);
-                }
-            }
-            other => st.stash.push(Envelope {
-                from: env.from,
-                msg: other,
-            }),
-        }
-    }
-    let mut refreshes: HashMap<NodeId, Vec<MirrorUpdate<P::Value, VcMeta>>> = HashMap::new();
-    for &pos in &dirty_masters {
-        let v = &lg.verts[pos as usize];
-        if !v.is_master() {
-            continue;
-        }
-        let meta = v.meta.as_ref().expect("master meta");
-        for &m in &meta.mirror_nodes {
-            refreshes.entry(m).or_default().push(MirrorUpdate {
-                vid: v.vid,
-                meta: Box::new(VcMeta::clone(meta)),
-                value: None,
-                last_activate: false,
-                master_node: me,
-            });
-        }
-    }
-    for &n in &others {
-        let ups = refreshes.remove(&n).unwrap_or_default();
-        let bytes = (ups.len() * 64) as u64;
-        comm.record(1, bytes);
-        ctx.send_kind(n, VcMsg::MirrorUpdate(ups), bytes, CommKind::Recovery);
-    }
-    ctx.enter_barrier();
-
-    // ---- R8: adopt refreshes; rewrite this node's edge-ckpt files (they
-    //      must now also cover the adopted edges); leader acknowledges.
-    for env in round_msgs(ctx, st) {
-        match env.msg {
-            VcMsg::MirrorUpdate(ups) => {
-                for u in ups {
-                    let pos = lg.position(u.vid).expect("meta refresh for unknown copy");
-                    let v = &mut lg.verts[pos as usize];
-                    debug_assert!(!v.is_master());
-                    v.kind = CopyKind::Mirror;
-                    v.master_node = u.master_node;
-                    v.meta = Some(u.meta);
-                }
-            }
-            other => st.stash.push(Envelope {
-                from: env.from,
-                msg: other,
-            }),
-        }
-    }
-    if edges_recovered > 0 {
-        write_edge_ckpt_files(lg, shared);
-    }
-    if me == st.leader() {
-        for &d in dead {
-            ctx.cluster().coordinator().ack_recovered(d);
-        }
-    }
-    ctx.enter_barrier();
-
-    st.recoveries.push(RecoveryReport {
-        strategy: "migration",
-        failed_nodes: dead.len(),
-        reload: sw_total.elapsed(),
-        reconstruct: Duration::ZERO,
-        replay: Duration::ZERO,
-        vertices_recovered: recovered,
-        edges_recovered,
-        comm,
-    });
-}
-
-// --------------------------------------------------------------------------
-// Checkpoint recovery
-// --------------------------------------------------------------------------
-
-fn ckpt_recover_survivor<P>(
-    ctx: &Ctx<P>,
-    lg: &mut VcLocalGraph<P::Value>,
-    shared: &Arc<Shared<P>>,
-    st: &mut St<P>,
-    dead: &[NodeId],
-    resume_iter: u64,
-) where
-    P: VertexProgram,
-    P::Value: Encode + Decode + MemSize,
-{
-    let me = ctx.id();
-    st.mark_dead(dead);
-    if me == st.leader() {
-        for &d in dead {
-            assert!(
-                ctx.cluster().dispatch_standby(d),
-                "checkpoint recovery of {d} requires a standby"
-            );
-        }
-    }
-    ctx.enter_barrier();
-
-    let sw = Stopwatch::start();
-    let incremental = matches!(
-        shared.cfg.ft,
-        FtMode::Checkpoint {
-            incremental: true,
-            ..
-        }
-    );
-    let snap_iter = if st.last_snapshot_iter == 0 {
-        // Every local copy (replicas included) resets to initial state: the
-        // sync filter's last-shipped entries describe nothing any more.
-        for v in lg.verts.iter_mut() {
-            v.value = shared.prog.init(v.vid, &shared.degrees);
-        }
-        st.sync_filter.clear();
-        0
-    } else if incremental {
-        for v in lg.verts.iter_mut() {
-            v.value = shared.prog.init(v.vid, &shared.degrees);
-        }
-        st.sync_filter.clear();
-        apply_vc_snapshot_chain(lg, shared, me, true)
-    } else {
-        // Full snapshots restore masters only; surviving peers' replicas
-        // still hold our last-shipped values, so the filter entries stay
-        // valid toward survivors — only the rebuilt nodes must be re-shipped
-        // unconditionally in the full-sync round below.
-        for &d in dead {
-            st.sync_filter.invalidate_dest(d);
-        }
-        let bytes = shared
-            .dfs
-            .read(&format!("vc/ckpt/{}/{}", st.last_snapshot_iter, me.raw()))
-            .expect("own snapshot present");
-        ckpt::apply_vc_snapshot(lg, &bytes).expect("snapshot decodes")
-    };
-    st.dirty.clear();
-    let reload = sw.elapsed();
-    ctx.enter_barrier();
-
-    let sw = Stopwatch::start();
-    ckpt_full_sync(ctx, lg, shared, st);
-    let reconstruct = sw.elapsed();
-
-    st.iter = snap_iter;
-    st.replay_until = resume_iter;
-    st.recoveries.push(RecoveryReport {
-        strategy: "checkpoint",
-        failed_nodes: dead.len(),
-        reload,
-        reconstruct,
-        replay: Duration::ZERO,
-        vertices_recovered: lg.num_masters() as u64,
-        edges_recovered: 0,
-        comm: CommStats::default(),
-    });
-    for d in dead {
-        st.alive[d.index()] = true;
-    }
-}
-
-fn ckpt_newbie<P>(ctx: &Ctx<P>, shared: &Arc<Shared<P>>, st: &mut St<P>) -> VcLocalGraph<P::Value>
-where
-    P: VertexProgram,
-    P::Value: Encode + Decode + MemSize,
-{
-    let me = ctx.id();
-    ctx.enter_barrier();
-    let sw = Stopwatch::start();
-    let meta_bytes = shared
-        .dfs
-        .read(&format!("vc/meta/{}", me.raw()))
-        .expect("metadata snapshot written at load");
-    let mut lg: VcLocalGraph<P::Value> =
-        ckpt::decode_vc_graph(&meta_bytes).expect("metadata snapshot decodes");
-    let incremental = matches!(
-        shared.cfg.ft,
-        FtMode::Checkpoint {
-            incremental: true,
-            ..
-        }
-    );
-    let snap_iter = apply_vc_snapshot_chain(&mut lg, shared, me, incremental);
-    let reload = sw.elapsed();
-    ctx.enter_barrier();
-
-    let sw = Stopwatch::start();
-    ckpt_full_sync(ctx, &mut lg, shared, st);
-    let reconstruct = sw.elapsed();
-
-    st.iter = snap_iter;
-    st.last_snapshot_iter = snap_iter;
-    st.recoveries.push(RecoveryReport {
-        strategy: "checkpoint",
-        failed_nodes: 1,
-        reload,
-        reconstruct,
-        replay: Duration::ZERO,
-        vertices_recovered: lg.verts.len() as u64,
-        edges_recovered: lg.edges.len() as u64,
-        comm: CommStats::default(),
-    });
-    lg
-}
-
-/// Applies this node's snapshots in ascending iteration order (the full
-/// chain for incremental mode, only the newest otherwise).
-fn apply_vc_snapshot_chain<P>(
-    lg: &mut VcLocalGraph<P::Value>,
-    shared: &Arc<Shared<P>>,
-    me: NodeId,
-    incremental: bool,
-) -> u64
-where
-    P: VertexProgram,
-    P::Value: Encode + Decode + MemSize,
-{
-    let mut iters: Vec<u64> = shared
-        .dfs
-        .list("vc/ckpt/")
-        .iter()
-        .filter_map(|p| {
-            let mut parts = p.split('/').skip(2);
-            let iter: u64 = parts.next()?.parse().ok()?;
-            let node: u32 = parts.next()?.parse().ok()?;
-            (node == me.raw()).then_some(iter)
-        })
-        .collect();
-    iters.sort_unstable();
-    if !incremental {
-        iters = iters.split_off(iters.len().saturating_sub(1));
-    }
-    let mut snap_iter = 0;
-    for iter in iters {
-        let bytes = shared
-            .dfs
-            .read(&format!("vc/ckpt/{}/{}", iter, me.raw()))
-            .expect("listed snapshot readable");
-        snap_iter = if incremental {
-            ckpt::apply_vc_snapshot_inc(lg, &bytes).expect("snapshot decodes")
-        } else {
-            ckpt::apply_vc_snapshot(lg, &bytes).expect("snapshot decodes")
-        };
-    }
-    snap_iter
-}
-
-fn ckpt_full_sync<P>(
-    ctx: &Ctx<P>,
-    lg: &mut VcLocalGraph<P::Value>,
-    shared: &Arc<Shared<P>>,
-    st: &mut St<P>,
-) where
-    P: VertexProgram,
-    P::Value: Encode + Decode + MemSize,
-{
-    // Re-ship every master's value to every replica, skipping records the
-    // redundant-sync filter proves redundant: full snapshots cover masters
-    // only, so a surviving destination's replicas still hold our last-shipped
-    // values, and any record bitwise identical to its filter entry would
-    // install exactly what the replica already has. Destinations rebuilt from
-    // snapshots were invalidated by the caller and receive the full round.
-    let mut batches: HashMap<NodeId, Vec<VertexSync<P::Value>>> = HashMap::new();
-    let mut suppressed = 0u64;
-    for (pos, v) in lg.verts.iter().enumerate() {
-        if !v.is_master() {
-            continue;
-        }
-        let meta = v.meta.as_ref().expect("master meta");
-        let staged = st.sync_filter.stage(pos as u32, &v.value, false);
-        for (&node, &rpos) in meta.replica_nodes.iter().zip(&meta.replica_positions) {
-            if st.sync_filter.suppress(staged, node) {
-                suppressed += 1;
-                continue;
-            }
-            batches.entry(node).or_default().push(VertexSync {
-                pos: rpos,
-                value: v.value.clone(),
-                activate: false,
-            });
-        }
-    }
-    // This round covers every (master, destination) pair, so the staged
-    // values become authoritative immediately and every destination is valid
-    // again afterwards. Failures only inject at iteration boundaries — the
-    // round itself cannot be interrupted.
-    st.sync_filter.commit();
-    st.note_suppressed(suppressed);
-    for (node, batch) in batches {
-        let bytes: u64 = batch
-            .iter()
-            .map(|s| {
-                VertexSync::<P::Value>::wire_bytes(shared.prog.value_wire_bytes(&s.value)) as u64
-            })
-            .sum();
-        ctx.send_kind(node, VcMsg::Sync(batch), bytes, CommKind::Recovery);
-    }
-    ctx.enter_barrier();
-    let incoming = collect_syncs(ctx, st);
-    for (pos, value) in incoming {
-        lg.verts[pos as usize].value = value;
-    }
-    ctx.enter_barrier();
-    st.sync_filter.revalidate_all();
 }

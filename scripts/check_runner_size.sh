@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Duplication guard for the model-generic driver refactor.
+#
+# The edge-cut and vertex-cut runners used to each carry a full copy of the
+# superstep loop, barrier/failure handling, checkpointing and the
+# Rebirth/Migration recovery protocol. That logic now lives once in
+# crates/core/src/driver.rs and crates/core/src/recovery.rs, and the runners
+# are thin ComputeModel implementations. This guard keeps it that way: if
+# the two runners together grow past the budget, shared logic is probably
+# being re-duplicated into them — move it into the driver or the recovery
+# state machine instead.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUDGET=1200
+EC=crates/core/src/runner_ec.rs
+VC=crates/core/src/runner_vc.rs
+
+ec_lines=$(wc -l < "$EC")
+vc_lines=$(wc -l < "$VC")
+total=$((ec_lines + vc_lines))
+
+echo "runner_ec.rs: ${ec_lines} lines"
+echo "runner_vc.rs: ${vc_lines} lines"
+echo "combined:     ${total} lines (budget ${BUDGET})"
+
+if [ "$total" -gt "$BUDGET" ]; then
+    echo "error: combined runner size ${total} exceeds the ${BUDGET}-line budget." >&2
+    echo "Model-agnostic logic belongs in crates/core/src/driver.rs or" >&2
+    echo "crates/core/src/recovery.rs, not in the per-model runners." >&2
+    exit 1
+fi
+
+echo "ok: runners stay thin."

@@ -1,0 +1,187 @@
+//! Driver conformance: both compute models run through the *same* generic
+//! superstep driver and recovery state machine, so when they are given the
+//! same replica placement they must make identical recovery *decisions* —
+//! same strategy, same mirrors promoted, same nodes contacted — for the
+//! same failure schedule.
+//!
+//! The placement is made identical by constructing a vertex-cut that
+//! mirrors an edge-cut: every edge is owned by the part owning its target
+//! (so each part's copy-set is exactly the edge-cut's masters + replicas)
+//! and masters are forced to the edge-cut owners. The fault-tolerance plan
+//! is computed from the copy-sets, so both models see the same mirrors and
+//! the shared recovery machine must promote the same vertices.
+
+use std::sync::Arc;
+
+use imitator_repro::cluster::{FailPoint, FailurePlan, NodeId};
+use imitator_repro::engine::{Degrees, VertexProgram};
+use imitator_repro::ft::{
+    run_edge_cut, run_vertex_cut, FtMode, RecoveryStrategy, RunConfig, RunReport,
+};
+use imitator_repro::graph::{gen, Graph, Vid};
+use imitator_repro::partition::{EdgeCut, EdgeCutPartitioner, HashEdgeCut, VertexCut};
+use imitator_repro::storage::{Dfs, DfsConfig};
+
+/// Min-label propagation: integer-exact, activation-driven, identical
+/// results under both engines.
+struct MinLabel;
+
+impl VertexProgram for MinLabel {
+    type Value = u32;
+    type Accum = u32;
+
+    fn init(&self, vid: Vid, _d: &Degrees) -> u32 {
+        vid.raw()
+    }
+
+    fn gather(&self, _w: f32, src: &u32) -> u32 {
+        *src
+    }
+
+    fn combine(&self, a: u32, b: u32) -> u32 {
+        a.min(b)
+    }
+
+    fn apply(&self, _v: Vid, old: &u32, acc: Option<u32>, _d: &Degrees) -> u32 {
+        acc.map_or(*old, |a| a.min(*old))
+    }
+
+    fn scatter(&self, _v: Vid, old: &u32, new: &u32) -> bool {
+        new < old
+    }
+}
+
+fn lcg_graph(n: u32, m: usize, seed: u64) -> Graph {
+    let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    let mut pairs = Vec::with_capacity(m);
+    for _ in 0..m {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let a = ((x >> 33) % u64::from(n)) as u32;
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let b = ((x >> 33) % u64::from(n)) as u32;
+        pairs.push((a, b));
+    }
+    gen::from_pairs(n as usize, &pairs)
+}
+
+/// A vertex-cut with exactly the edge-cut's copy-sets: each edge lives on
+/// the part owning its target, each master on the edge-cut owner.
+fn mirrored_vertex_cut(g: &Graph, cut: &EdgeCut) -> VertexCut {
+    let edge_owner: Vec<u32> = g.edges().iter().map(|e| cut.owner(e.dst) as u32).collect();
+    VertexCut::from_edge_owner(g, cut.num_parts(), edge_owner, Some(&|v| cut.owner(v)))
+}
+
+fn plans(failures: &[(usize, u64, bool)]) -> Vec<FailurePlan> {
+    failures
+        .iter()
+        .map(|&(node, iteration, before)| FailurePlan {
+            node: NodeId::from_index(node),
+            iteration,
+            point: if before {
+                FailPoint::BeforeBarrier
+            } else {
+                FailPoint::AfterBarrier
+            },
+        })
+        .collect()
+}
+
+fn assert_same_recovery_decisions(ec: &RunReport<u32>, vc: &RunReport<u32>, label: &str) {
+    assert_eq!(
+        ec.recoveries.len(),
+        vc.recoveries.len(),
+        "{label}: episode count"
+    );
+    for (i, (e, v)) in ec.recoveries.iter().zip(&vc.recoveries).enumerate() {
+        assert_eq!(e.strategy, v.strategy, "{label}: episode {i} strategy");
+        assert_eq!(
+            e.failed_nodes, v.failed_nodes,
+            "{label}: episode {i} failed nodes"
+        );
+        assert_eq!(e.promoted, v.promoted, "{label}: episode {i} promotions");
+        assert_eq!(e.contacted, v.contacted, "{label}: episode {i} contacted");
+    }
+    // Same program, same graph: the fixpoint must agree too.
+    assert_eq!(ec.values, vc.values, "{label}: final values");
+}
+
+fn conformance_case(
+    strategy: RecoveryStrategy,
+    nodes: usize,
+    tolerance: usize,
+    failures: &[(usize, u64, bool)],
+    seed: u64,
+) {
+    let g = lcg_graph(160, 550, seed);
+    let ec_cut = HashEdgeCut.partition(&g, nodes);
+    let vc_cut = mirrored_vertex_cut(&g, &ec_cut);
+    let standbys = match strategy {
+        RecoveryStrategy::Rebirth => failures.len(),
+        RecoveryStrategy::Migration => 0,
+    };
+    let cfg = RunConfig {
+        num_nodes: nodes,
+        max_iters: 30,
+        ft: FtMode::Replication {
+            tolerance,
+            selfish_opt: false,
+            recovery: strategy,
+        },
+        standbys,
+        ..RunConfig::default()
+    };
+    let ec = run_edge_cut(
+        &g,
+        &ec_cut,
+        Arc::new(MinLabel),
+        cfg,
+        plans(failures),
+        Dfs::new(DfsConfig::instant()),
+    );
+    let vc = run_vertex_cut(
+        &g,
+        &vc_cut,
+        Arc::new(MinLabel),
+        cfg,
+        plans(failures),
+        Dfs::new(DfsConfig::instant()),
+    );
+    assert!(!ec.recoveries.is_empty(), "scenario must exercise recovery");
+    assert_same_recovery_decisions(&ec, &vc, &format!("{strategy:?}"));
+}
+
+#[test]
+fn rebirth_decisions_match_across_models() {
+    conformance_case(RecoveryStrategy::Rebirth, 4, 1, &[(1, 2, true)], 7);
+}
+
+#[test]
+fn rebirth_double_failure_decisions_match_across_models() {
+    conformance_case(
+        RecoveryStrategy::Rebirth,
+        5,
+        2,
+        &[(0, 1, true), (3, 3, false)],
+        8,
+    );
+}
+
+#[test]
+fn migration_decisions_match_across_models() {
+    conformance_case(RecoveryStrategy::Migration, 4, 1, &[(2, 2, true)], 9);
+}
+
+#[test]
+fn migration_double_failure_decisions_match_across_models() {
+    conformance_case(
+        RecoveryStrategy::Migration,
+        5,
+        2,
+        &[(1, 1, false), (4, 3, true)],
+        10,
+    );
+}

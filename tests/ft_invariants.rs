@@ -30,8 +30,17 @@ fn arb_graph() -> impl Strategy<Value = Graph> {
         })
 }
 
+/// `PROPTEST_CASES` (used by the non-blocking deep-fuzz CI job) scales the
+/// case count; the explicit default would otherwise shadow the env var.
+fn cases(default: u32) -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+    #![proptest_config(ProptestConfig::with_cases(cases(48)))]
 
     /// §4's contract: K distinct mirrors per vertex, never on the owner,
     /// each backed by a copy (existing replica or planned extra).

@@ -125,8 +125,17 @@ fn config(s: &Scenario, ft: FtMode, standbys: usize) -> RunConfig {
     }
 }
 
+/// `PROPTEST_CASES` (used by the non-blocking deep-fuzz CI job) scales the
+/// case count; the explicit default would otherwise shadow the env var.
+fn cases(default: u32) -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+    #![proptest_config(ProptestConfig::with_cases(cases(24)))]
 
     #[test]
     fn edge_cut_recovery_is_equivalent(s in arb_scenario()) {
@@ -527,4 +536,318 @@ fn nan_stuck_vertices_suppress_yet_rebirth_recovers_exactly() {
 #[test]
 fn nan_stuck_vertices_suppress_yet_migration_recovers_exactly() {
     nan_flood_recovery_case(RecoveryStrategy::Migration);
+}
+
+// ---------------------------------------------------------------------------
+// Refactor goldens: the driver/recovery unification must be bit-identical to
+// the pre-refactor runners. These hashes were captured at the commit before
+// the ComputeModel refactor and pin iterations, normal/FT communication
+// (messages and bytes), suppression counts, extra replicas, every recovery
+// episode's strategy/size/traffic, and every final vertex value — across
+// both models, all three recovery strategies, and four thread/suppression
+// variants. A change to any of these constants is a behavior change, not a
+// refactor.
+// ---------------------------------------------------------------------------
+
+/// Deterministic scenario graph (avoids depending on proptest seeding).
+fn lcg_graph(n: u32, m: usize, seed: u64) -> Graph {
+    let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    let mut pairs = Vec::with_capacity(m);
+    for _ in 0..m {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let a = ((x >> 33) % u64::from(n)) as u32;
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let b = ((x >> 33) % u64::from(n)) as u32;
+        pairs.push((a, b));
+    }
+    gen::from_pairs(n as usize, &pairs)
+}
+
+fn fnv(h: u64, bytes: &[u8]) -> u64 {
+    let mut h = h;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn golden_run_hash(
+    g: &Graph,
+    nodes: usize,
+    ft: FtMode,
+    standbys: usize,
+    failures: &[(usize, u64, bool)],
+    edge_cut: bool,
+) -> u64 {
+    let plans: Vec<FailurePlan> = failures
+        .iter()
+        .map(|&(node, iteration, before)| FailurePlan {
+            node: NodeId::from_index(node),
+            iteration,
+            point: if before {
+                FailPoint::BeforeBarrier
+            } else {
+                FailPoint::AfterBarrier
+            },
+        })
+        .collect();
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    let mut first: Option<Vec<u32>> = None;
+    for (threads, suppress) in [(1, true), (4, true), (1, false), (4, false)] {
+        let cfg = RunConfig {
+            num_nodes: nodes,
+            max_iters: 30,
+            ft,
+            standbys,
+            threads_per_node: threads,
+            sync_suppress: suppress,
+            ..RunConfig::default()
+        };
+        let r = if edge_cut {
+            let cut = HashEdgeCut.partition(g, nodes);
+            run_edge_cut(
+                g,
+                &cut,
+                Arc::new(MinLabel),
+                cfg,
+                plans.clone(),
+                Dfs::new(DfsConfig::instant()),
+            )
+        } else {
+            let cut = RandomVertexCut.partition(g, nodes);
+            run_vertex_cut(
+                g,
+                &cut,
+                Arc::new(MinLabel),
+                cfg,
+                plans.clone(),
+                Dfs::new(DfsConfig::instant()),
+            )
+        };
+        hash = fnv(hash, &r.iterations.to_le_bytes());
+        hash = fnv(hash, &r.comm.messages.to_le_bytes());
+        hash = fnv(hash, &r.comm.bytes.to_le_bytes());
+        hash = fnv(hash, &r.ft_comm.messages.to_le_bytes());
+        hash = fnv(hash, &r.ft_comm.bytes.to_le_bytes());
+        hash = fnv(hash, &r.suppressed_syncs.to_le_bytes());
+        hash = fnv(hash, &(r.extra_replicas as u64).to_le_bytes());
+        for rec in &r.recoveries {
+            hash = fnv(hash, rec.strategy.as_bytes());
+            hash = fnv(hash, &(rec.failed_nodes as u64).to_le_bytes());
+            hash = fnv(hash, &rec.vertices_recovered.to_le_bytes());
+            hash = fnv(hash, &rec.edges_recovered.to_le_bytes());
+            hash = fnv(hash, &rec.comm.messages.to_le_bytes());
+            hash = fnv(hash, &rec.comm.bytes.to_le_bytes());
+        }
+        for v in &r.values {
+            hash = fnv(hash, &v.to_le_bytes());
+        }
+        match &first {
+            None => first = Some(r.values),
+            Some(f) => assert_eq!(&r.values, f, "threads/suppress variant diverged"),
+        }
+    }
+    hash
+}
+
+#[test]
+fn refactor_goldens_are_bit_identical() {
+    let g1 = lcg_graph(120, 400, 1);
+    let g2 = lcg_graph(200, 700, 2);
+    let s1_failures = vec![(1usize, 2u64, true)];
+    let s2_failures = vec![(0usize, 1u64, true), (3, 3, false)];
+    struct Case<'a> {
+        name: &'a str,
+        graph: &'a Graph,
+        nodes: usize,
+        ft: FtMode,
+        standbys: usize,
+        failures: &'a [(usize, u64, bool)],
+        edge_cut: bool,
+        expected: u64,
+    }
+    let repl = |tol, recovery| FtMode::Replication {
+        tolerance: tol,
+        selfish_opt: false,
+        recovery,
+    };
+    let ckpt = |incremental| FtMode::Checkpoint {
+        interval: 2,
+        incremental,
+    };
+    let cases = [
+        Case {
+            name: "s1_rebirth_ec",
+            graph: &g1,
+            nodes: 4,
+            ft: repl(1, RecoveryStrategy::Rebirth),
+            standbys: 1,
+            failures: &s1_failures,
+            edge_cut: true,
+            expected: 0x16AD4138EA24A3AD,
+        },
+        Case {
+            name: "s1_rebirth_vc",
+            graph: &g1,
+            nodes: 4,
+            ft: repl(1, RecoveryStrategy::Rebirth),
+            standbys: 1,
+            failures: &s1_failures,
+            edge_cut: false,
+            expected: 0x9734EC84795D1745,
+        },
+        Case {
+            name: "s1_migration_ec",
+            graph: &g1,
+            nodes: 4,
+            ft: repl(1, RecoveryStrategy::Migration),
+            standbys: 0,
+            failures: &s1_failures,
+            edge_cut: true,
+            expected: 0x4A0A69A7A47A273D,
+        },
+        Case {
+            name: "s1_migration_vc",
+            graph: &g1,
+            nodes: 4,
+            ft: repl(1, RecoveryStrategy::Migration),
+            standbys: 0,
+            failures: &s1_failures,
+            edge_cut: false,
+            expected: 0xEDDE020DB6B778E5,
+        },
+        Case {
+            name: "s1_ckpt_ec",
+            graph: &g1,
+            nodes: 4,
+            ft: ckpt(false),
+            standbys: 1,
+            failures: &s1_failures[..1],
+            edge_cut: true,
+            expected: 0x61D0A78B48C22C25,
+        },
+        Case {
+            name: "s1_ckpt_vc",
+            graph: &g1,
+            nodes: 4,
+            ft: ckpt(false),
+            standbys: 1,
+            failures: &s1_failures[..1],
+            edge_cut: false,
+            expected: 0xFCBD35968746EA65,
+        },
+        Case {
+            name: "s1_ckpt_inc_ec",
+            graph: &g1,
+            nodes: 4,
+            ft: ckpt(true),
+            standbys: 1,
+            failures: &s1_failures[..1],
+            edge_cut: true,
+            expected: 0x61D0A78B48C22C25,
+        },
+        Case {
+            name: "s1_ckpt_inc_vc",
+            graph: &g1,
+            nodes: 4,
+            ft: ckpt(true),
+            standbys: 1,
+            failures: &s1_failures[..1],
+            edge_cut: false,
+            expected: 0xFCBD35968746EA65,
+        },
+        Case {
+            name: "s2_rebirth_ec",
+            graph: &g2,
+            nodes: 5,
+            ft: repl(2, RecoveryStrategy::Rebirth),
+            standbys: 2,
+            failures: &s2_failures,
+            edge_cut: true,
+            expected: 0x272931EE4EB81CC5,
+        },
+        Case {
+            name: "s2_rebirth_vc",
+            graph: &g2,
+            nodes: 5,
+            ft: repl(2, RecoveryStrategy::Rebirth),
+            standbys: 2,
+            failures: &s2_failures,
+            edge_cut: false,
+            expected: 0x3475ED5FA075D44D,
+        },
+        Case {
+            name: "s2_migration_ec",
+            graph: &g2,
+            nodes: 5,
+            ft: repl(2, RecoveryStrategy::Migration),
+            standbys: 0,
+            failures: &s2_failures,
+            edge_cut: true,
+            expected: 0xDACC52166A5488DD,
+        },
+        Case {
+            name: "s2_migration_vc",
+            graph: &g2,
+            nodes: 5,
+            ft: repl(2, RecoveryStrategy::Migration),
+            standbys: 0,
+            failures: &s2_failures,
+            edge_cut: false,
+            expected: 0x802D65C6827097F5,
+        },
+        Case {
+            name: "s2_ckpt_ec",
+            graph: &g2,
+            nodes: 5,
+            ft: ckpt(false),
+            standbys: 1,
+            failures: &s2_failures[..1],
+            edge_cut: true,
+            expected: 0x3D4D3B8D47D4FF65,
+        },
+        Case {
+            name: "s2_ckpt_vc",
+            graph: &g2,
+            nodes: 5,
+            ft: ckpt(false),
+            standbys: 1,
+            failures: &s2_failures[..1],
+            edge_cut: false,
+            expected: 0x4926FFF97A5ABA45,
+        },
+        Case {
+            name: "s2_ckpt_inc_ec",
+            graph: &g2,
+            nodes: 5,
+            ft: ckpt(true),
+            standbys: 1,
+            failures: &s2_failures[..1],
+            edge_cut: true,
+            expected: 0x3D4D3B8D47D4FF65,
+        },
+        Case {
+            name: "s2_ckpt_inc_vc",
+            graph: &g2,
+            nodes: 5,
+            ft: ckpt(true),
+            standbys: 1,
+            failures: &s2_failures[..1],
+            edge_cut: false,
+            expected: 0x4926FFF97A5ABA45,
+        },
+    ];
+    for c in &cases {
+        let got = golden_run_hash(c.graph, c.nodes, c.ft, c.standbys, c.failures, c.edge_cut);
+        assert_eq!(
+            got, c.expected,
+            "{}: got 0x{got:016X}, expected 0x{:016X}",
+            c.name, c.expected
+        );
+    }
 }
