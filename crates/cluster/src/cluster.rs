@@ -345,6 +345,15 @@ impl<M: Send + 'static> NodeCtx<M> {
     pub fn die(self) {
         self.cluster.coord.report_death(self.id);
     }
+
+    /// Non-consuming variant of [`die`](Self::die) for crashes announced
+    /// from deep inside the recovery protocol, where the context must still
+    /// be returned up the call stack. The caller is bound by the same
+    /// contract: after calling `crash` the node must not send, drain, or
+    /// enter another barrier — it unwinds and its thread exits.
+    pub fn crash(&self) {
+        self.cluster.coord.report_death(self.id);
+    }
 }
 
 #[cfg(test)]

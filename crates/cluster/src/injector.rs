@@ -12,6 +12,12 @@ use parking_lot::Mutex;
 use crate::NodeId;
 
 /// Where within an iteration the crash strikes.
+///
+/// The first two points strike during normal superstep execution; the
+/// remaining ones strike *inside* the recovery protocol itself, modelling
+/// the paper's cascading-failure scenarios (§5.3). For recovery-phase
+/// points the `iteration` of the [`FailurePlan`] is the iteration that the
+/// in-flight recovery episode resumes from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FailPoint {
     /// During compute/communicate, i.e. detected at `enter_barrier`;
@@ -20,6 +26,24 @@ pub enum FailPoint {
     /// After commit, i.e. detected at `leave_barrier`; no rollback needed
     /// (Algorithm 1 lines 16-19).
     AfterBarrier,
+    /// At the start of the given Migration round (1..=8), before the node
+    /// drains or applies that round's protocol traffic.
+    MigrationRound(u8),
+    /// During the reload phase of a standby-based recovery: survivors crash
+    /// right after the standby-dispatch decision, the reborn node after
+    /// receiving its first batch. Checkpoint recovery reuses this point for
+    /// its reload; note that a checkpoint *newbie* keys the plan's
+    /// `iteration` by the snapshot epoch it reloaded to (it never learns
+    /// the episode's resume iteration), while every other use keys by the
+    /// resume iteration.
+    RebirthReload,
+    /// While the reborn node reconstructs its graph from received batches.
+    RebirthReconstruct,
+    /// While the reborn node replays activation state to rejoin the run.
+    RebirthReplay,
+    /// Mid checkpoint write: the node dies after writing a torn (unsealed)
+    /// snapshot part, leaving a detectably-incomplete epoch behind.
+    CkptWrite,
 }
 
 /// One scheduled crash.
@@ -110,6 +134,26 @@ mod tests {
         assert!(!inj.should_fail(NodeId::new(1), 2, FailPoint::AfterBarrier));
         assert!(!inj.should_fail(NodeId::new(0), 3, FailPoint::AfterBarrier));
         assert!(inj.should_fail(NodeId::new(1), 3, FailPoint::AfterBarrier));
+        assert_eq!(inj.pending(), 0);
+    }
+
+    #[test]
+    fn recovery_phase_points_are_distinct() {
+        let inj = FailureInjector::new();
+        inj.schedule(FailurePlan {
+            node: NodeId::new(2),
+            iteration: 4,
+            point: FailPoint::MigrationRound(3),
+        });
+        inj.schedule(FailurePlan {
+            node: NodeId::new(2),
+            iteration: 4,
+            point: FailPoint::RebirthReload,
+        });
+        assert!(!inj.should_fail(NodeId::new(2), 4, FailPoint::MigrationRound(2)));
+        assert!(!inj.should_fail(NodeId::new(2), 4, FailPoint::CkptWrite));
+        assert!(inj.should_fail(NodeId::new(2), 4, FailPoint::MigrationRound(3)));
+        assert!(inj.should_fail(NodeId::new(2), 4, FailPoint::RebirthReload));
         assert_eq!(inj.pending(), 0);
     }
 

@@ -22,11 +22,11 @@ use imitator_engine::{CopyKind, Degrees, FtPlan, MasterUpdate};
 use imitator_graph::Vid;
 use imitator_metrics::{CommKind, MemSize, Stopwatch};
 use imitator_storage::codec::{Decode, Encode};
-use imitator_storage::Dfs;
+use imitator_storage::{epoch, Dfs};
 
 use crate::msg::{ProtoMsg, ReplicaGrant, VertexSync};
 use crate::plan::ReplicaMeta;
-use crate::recovery::{self, Mig, MigEnv};
+use crate::recovery::{self, Adoption, Mig, MigEnv};
 use crate::report::RunReport;
 use crate::rt::{merge_outcomes, NodeOutcome, NodeState};
 use crate::{FtMode, RunConfig};
@@ -132,7 +132,11 @@ pub(crate) trait ComputeModel: Send + Sync + Sized + 'static {
     /// Replica metadata.
     type Meta: ReplicaMeta + Clone + Send + 'static;
     /// Local graph.
-    type Graph: ModelGraph<Value = Self::Value, Meta = Self::Meta> + MemSize + Send + 'static;
+    type Graph: ModelGraph<Value = Self::Value, Meta = Self::Meta>
+        + MemSize
+        + Clone
+        + Send
+        + 'static;
     /// Per-node steady-state scratch reused across iterations.
     type Scratch: Send;
     /// Migration bookkeeping the model threads between rounds.
@@ -237,6 +241,20 @@ pub(crate) trait ComputeModel: Send + Sync + Sized + 'static {
     ) -> u32;
     /// Accounted wire size of one mirror-update / meta-refresh record.
     fn meta_update_bytes(&self, meta: &Self::Meta) -> u64;
+    /// Checkpoint-fallback recovery (no standbys left): graft a crashed
+    /// node's reconstructed partition wholesale into this survivor's graph.
+    /// Every master becomes local (a promotion); replica copies either
+    /// merge into existing local copies or are appended, reporting their
+    /// placement back to the master (or as an orphan when the master died
+    /// too).
+    fn adopt_partition(
+        &self,
+        lg: &mut Self::Graph,
+        dead_lg: Self::Graph,
+        dead: NodeId,
+        episode: &[NodeId],
+        mig: &mut Mig<Self::MigExtra>,
+    ) -> Adoption;
     /// End of migration (before the leader's ack): re-persist whatever the
     /// recovery invalidated (edge-ckpt files covering adopted edges).
     fn migration_finish(
@@ -363,6 +381,12 @@ fn standby_main<M: ComputeModel>(
         FtMode::Checkpoint { .. } => recovery::ckpt_newbie(&ctx, shared, &mut st),
         FtMode::None => unreachable!("standbys are never dispatched without fault tolerance"),
     };
+    // `None`: the recovery attempt this newbie was dispatched for aborted
+    // (or the newbie hit an injected fail point) and it crashed itself; its
+    // phase/comm accounting still belongs in the merged report.
+    let Some(lg) = lg else {
+        return Some(NodeOutcome::from_state(None, st));
+    };
     Some(node_main(ctx, lg, shared, st))
 }
 
@@ -402,7 +426,9 @@ fn node_main<M: ComputeModel>(
                 // faster peers; discard the failed iteration's data traffic.
                 stash_non_data::<M>(&ctx, &mut st);
                 let resume = st.iter;
-                recovery::recover(&ctx, &mut lg, shared, &mut st, &dead, resume);
+                if recovery::recover(&ctx, &mut lg, shared, &mut st, &dead, resume) {
+                    return NodeOutcome::from_state(None, st);
+                }
                 shared.model.refresh_scratch(&mut scratch, &lg);
                 continue;
             }
@@ -423,10 +449,29 @@ fn node_main<M: ComputeModel>(
                 } else {
                     shared.model.encode_snapshot(&lg, st.iter + 1)
                 };
-                shared.dfs.write(
-                    &format!("{}/ckpt/{}/{}", M::PREFIX, st.iter + 1, me.raw()),
-                    bytes,
-                );
+                if shared
+                    .injector
+                    .should_fail(me, st.iter, FailPoint::CkptWrite)
+                {
+                    // Crash mid-write: a torn (unsealed) part is left
+                    // behind, making the epoch detectably incomplete —
+                    // recovery must roll back to the previous complete one.
+                    epoch::write_part_torn(&shared.dfs, M::PREFIX, st.iter + 1, me.raw(), bytes);
+                    ctx.die();
+                    return NodeOutcome::from_state(None, st);
+                }
+                epoch::write_part(&shared.dfs, M::PREFIX, st.iter + 1, me.raw(), bytes);
+                if me == st.leader() {
+                    // The epoch commits only once its roster exists: the
+                    // sealed member list recovery checks parts against.
+                    let members: Vec<u32> = st
+                        .alive
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, &a)| a.then_some(i as u32))
+                        .collect();
+                    epoch::write_roster(&shared.dfs, M::PREFIX, st.iter + 1, &members);
+                }
                 st.last_snapshot_iter = st.iter + 1;
                 let d = sw.elapsed();
                 st.ckpt_time += d;
@@ -450,7 +495,9 @@ fn node_main<M: ComputeModel>(
             // Failure after commit: no rollback.
             stash_non_data::<M>(&ctx, &mut st);
             let resume = st.iter;
-            recovery::recover(&ctx, &mut lg, shared, &mut st, &dead, resume);
+            if recovery::recover(&ctx, &mut lg, shared, &mut st, &dead, resume) {
+                return NodeOutcome::from_state(None, st);
+            }
             shared.model.refresh_scratch(&mut scratch, &lg);
             continue;
         }

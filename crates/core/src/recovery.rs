@@ -1,4 +1,4 @@
-//! The model-generic recovery state machine.
+//! The model-generic, **restartable** recovery state machine.
 //!
 //! One implementation of the paper's three recovery paths — Rebirth (§5.1),
 //! Migration (§5.2), and the checkpoint baseline (§2.2-2.3) — driven through
@@ -8,14 +8,37 @@
 //! exactly once; the models contribute only entry encoding/placement and
 //! their genuinely different reload sources (edge-ckpt files, activation
 //! replay).
+//!
+//! # Cascading failures (§5.3)
+//!
+//! Nodes can crash *while recovery itself is running*. Every barrier inside
+//! a recovery attempt therefore doubles as a failure detector: if it reports
+//! new failures, the attempt **aborts** — each survivor restores the exact
+//! pre-episode state it captured on entry ([`Undo`]), unions the newly
+//! crashed nodes into the episode's failure set, runs the [`abort_fence`]
+//! (drain stale traffic, re-synchronise on a clean barrier), and restarts
+//! the attempt from scratch. Because every attempt starts from the same
+//! restored state and the same deterministic protocol, restarts are
+//! idempotent: a run that aborts N times converges to bit-identical values
+//! as one that never aborted.
+//!
+//! A standby that observes a failed barrier while it is being reborn cannot
+//! restore anything (it has no pre-episode state): it crashes itself and
+//! lets the next attempt dispatch a fresh standby. Consequently each aborted
+//! attempt may consume standbys, and the strategy degrades gracefully when
+//! the pool runs dry: Rebirth falls back to Migration onto the survivors
+//! ("rebirth→migration"), and checkpoint recovery grafts the dead
+//! partitions' snapshots onto the survivors ("checkpoint→migration") — no
+//! panic, no wedged cluster.
 
 use std::collections::{HashMap, HashSet};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use imitator_cluster::{Envelope, NodeId};
+use imitator_cluster::{BarrierOutcome, Envelope, FailPoint, NodeCtx, NodeId};
 use imitator_engine::CopyKind;
 use imitator_graph::Vid;
-use imitator_metrics::{CommKind, CommStats, Stopwatch};
+use imitator_metrics::{CommKind, CommStats, RecoveryCounters, Stopwatch};
+use imitator_storage::epoch;
 
 use crate::driver::{
     collect_syncs, round_msgs, ComputeModel, Ctx, ModelGraph, Shared, St, RECOVERY_PATIENCE,
@@ -23,6 +46,7 @@ use crate::driver::{
 use crate::msg::{MirrorUpdate, Promotion, ProtoMsg, RebirthBatch, ReplicaGrant, VertexSync};
 use crate::plan::{responsible_mirror, ReplicaMeta};
 use crate::report::RecoveryReport;
+use crate::suppress::SyncFilter;
 use crate::{FtMode, RecoveryStrategy};
 
 /// Per-destination batches of mirror designations / full-state refreshes
@@ -63,8 +87,131 @@ pub(crate) struct MigEnv<'a> {
     pub promo_by_old: &'a HashMap<(NodeId, u32), Promotion>,
 }
 
-/// Dispatches one recovery episode by the configured strategy, then
-/// restores model invariants the recovery may have disturbed.
+/// What grafting one dead partition onto this node produced
+/// (checkpoint-fallback recovery, [`ComputeModel::adopt_partition`]).
+#[derive(Default)]
+pub(crate) struct Adoption {
+    /// Masters this node now hosts (announced cluster-wide in round 1 of
+    /// the fallback).
+    pub promotions: Vec<Promotion>,
+    /// Adopted replica copies whose *surviving* master must learn the new
+    /// location: `(master's node, vid, local position here)`.
+    pub placements: Vec<(NodeId, Vid, u32)>,
+    /// Local positions of adopted replica copies whose master died too —
+    /// resolved against the cluster-wide promotion set in round 2.
+    pub orphans: Vec<u32>,
+}
+
+// --------------------------------------------------------------------------
+// Attempt plumbing: aborts, undo snapshots, fail points
+// --------------------------------------------------------------------------
+
+/// Why a recovery attempt stopped before completing.
+enum Abort {
+    /// A barrier inside the attempt reported further failures; every
+    /// survivor restores its pre-episode state and restarts with the
+    /// enlarged failure set.
+    Failures(Vec<NodeId>),
+    /// This node itself crashed at an injected fail point; it unwinds out
+    /// of the recovery machinery and its thread exits.
+    Crashed,
+}
+
+/// The result of (part of) one recovery attempt.
+type Attempt<T> = Result<T, Abort>;
+
+/// Enters a barrier inside recovery; a failed outcome aborts the attempt.
+fn barrier_ok<T: Send + 'static>(ctx: &NodeCtx<T>) -> Attempt<()> {
+    match ctx.enter_barrier() {
+        BarrierOutcome::Clean => Ok(()),
+        BarrierOutcome::Failed(list) => Err(Abort::Failures(list)),
+    }
+}
+
+/// Like [`barrier_ok`] but for the summing barrier (decision votes).
+fn barrier_sum_ok<T: Send + 'static>(ctx: &NodeCtx<T>, v: u64) -> Attempt<u64> {
+    match ctx.enter_barrier_sum(v) {
+        (BarrierOutcome::Clean, sum) => Ok(sum),
+        (BarrierOutcome::Failed(list), _) => Err(Abort::Failures(list)),
+    }
+}
+
+/// Consults the failure injector for a recovery-phase crash at this point;
+/// on a hit the node crashes (peers detect it at their next barrier) and
+/// unwinds.
+fn fail_here<M: ComputeModel>(
+    ctx: &Ctx<M>,
+    shared: &Shared<M>,
+    iter: u64,
+    point: FailPoint,
+) -> Attempt<()> {
+    if shared.injector.should_fail(ctx.id(), iter, point) {
+        ctx.crash();
+        return Err(Abort::Crashed);
+    }
+    Ok(())
+}
+
+/// Everything a survivor must restore to retry a recovery attempt as if the
+/// aborted one never ran: the local graph (values, copy kinds, metas, edge
+/// wiring) and every piece of node state the recovery paths mutate.
+///
+/// Captured once when the episode starts; `restore` clones out of it, so an
+/// episode can abort any number of times.
+struct Undo<M: ComputeModel> {
+    lg: M::Graph,
+    overlay: HashMap<Vid, NodeId>,
+    mirror_assign: Vec<usize>,
+    alive: Vec<bool>,
+    sync_filter: SyncFilter,
+    dirty: HashSet<u32>,
+    iter: u64,
+    replay_until: u64,
+    last_snapshot_iter: u64,
+    suppressed_syncs: u64,
+    suppressed_timeline: Vec<(u64, u64)>,
+}
+
+impl<M: ComputeModel> Undo<M> {
+    fn capture(lg: &M::Graph, st: &St<M>) -> Self {
+        Undo {
+            lg: lg.clone(),
+            overlay: st.overlay.clone(),
+            mirror_assign: st.mirror_assign.clone(),
+            alive: st.alive.clone(),
+            sync_filter: st.sync_filter.clone(),
+            dirty: st.dirty.clone(),
+            iter: st.iter,
+            replay_until: st.replay_until,
+            last_snapshot_iter: st.last_snapshot_iter,
+            suppressed_syncs: st.suppressed_syncs,
+            suppressed_timeline: st.suppressed_timeline.clone(),
+        }
+    }
+
+    fn restore(&self, lg: &mut M::Graph, st: &mut St<M>) {
+        *lg = self.lg.clone();
+        st.overlay = self.overlay.clone();
+        st.mirror_assign = self.mirror_assign.clone();
+        st.alive = self.alive.clone();
+        st.sync_filter = self.sync_filter.clone();
+        st.dirty = self.dirty.clone();
+        st.iter = self.iter;
+        st.replay_until = self.replay_until;
+        st.last_snapshot_iter = self.last_snapshot_iter;
+        st.suppressed_syncs = self.suppressed_syncs;
+        st.suppressed_timeline = self.suppressed_timeline.clone();
+    }
+}
+
+// --------------------------------------------------------------------------
+// The episode loop
+// --------------------------------------------------------------------------
+
+/// Runs one recovery episode to completion, restarting aborted attempts
+/// with the enlarged failure set until one succeeds. Returns `true` when
+/// *this node* crashed at an injected recovery-phase fail point (the caller
+/// must exit like any other crashed node).
 pub(crate) fn recover<M: ComputeModel>(
     ctx: &Ctx<M>,
     lg: &mut M::Graph,
@@ -72,26 +219,113 @@ pub(crate) fn recover<M: ComputeModel>(
     st: &mut St<M>,
     dead: &[NodeId],
     resume_iter: u64,
-) {
-    match shared.cfg.ft {
-        FtMode::None => panic!("node failure injected with fault tolerance disabled"),
-        FtMode::Checkpoint { .. } => ckpt_recover_survivor(ctx, lg, shared, st, dead, resume_iter),
-        FtMode::Replication {
-            recovery: RecoveryStrategy::Rebirth,
-            ..
-        } => rebirth_survivor(ctx, lg, shared, st, dead, resume_iter),
-        FtMode::Replication {
-            recovery: RecoveryStrategy::Migration,
-            ..
-        } => migrate(ctx, lg, shared, st, dead, resume_iter),
+) -> bool {
+    if matches!(shared.cfg.ft, FtMode::None) {
+        panic!("node failure injected with fault tolerance disabled");
     }
-    shared.model.after_recovery(lg);
+    let undo: Undo<M> = Undo::capture(lg, st);
+    let mut episode: Vec<NodeId> = dead.to_vec();
+    episode.sort_unstable();
+    episode.dedup();
+    let mut counters = RecoveryCounters::default();
+    loop {
+        counters.attempts += 1;
+        let attempt = match shared.cfg.ft {
+            FtMode::None => unreachable!(),
+            FtMode::Checkpoint { .. } => {
+                ckpt_recover_survivor(ctx, lg, shared, st, &episode, resume_iter)
+            }
+            FtMode::Replication {
+                recovery: RecoveryStrategy::Rebirth,
+                ..
+            } => rebirth_survivor(ctx, lg, shared, st, &episode, resume_iter),
+            FtMode::Replication {
+                recovery: RecoveryStrategy::Migration,
+                ..
+            } => migrate(ctx, lg, shared, st, &episode, resume_iter, "migration"),
+        };
+        match attempt {
+            Ok(mut report) => {
+                report.counters = counters;
+                st.recoveries.push(report);
+                shared.model.after_recovery(lg);
+                return false;
+            }
+            Err(Abort::Crashed) => return true,
+            Err(Abort::Failures(new_dead)) => {
+                counters.aborts += 1;
+                for n in new_dead {
+                    if !episode.contains(&n) {
+                        episode.push(n);
+                    }
+                }
+                episode.sort_unstable();
+                undo.restore(lg, st);
+                // The aborted attempt may have re-persisted load-time DFS
+                // state (edge-ckpt files) from a since-reverted graph;
+                // re-derive it from the restored one.
+                shared.model.on_load(lg, shared);
+                abort_fence(ctx, st, &mut episode);
+            }
+        }
+    }
+}
+
+/// Re-synchronises the survivors after an aborted attempt: discard every
+/// message belonging to it (stash and queue), then loop barriers until one
+/// completes clean. A barrier that reports further failures — including the
+/// suicide marks of standbys dispatched for the aborted attempt — unions
+/// them into the episode and tries again. All survivors observe identical
+/// barrier outcomes, so they leave the fence with identical episodes.
+fn abort_fence<T: Send + 'static>(
+    ctx: &NodeCtx<T>,
+    st: &mut crate::rt::NodeState<T>,
+    episode: &mut Vec<NodeId>,
+) {
+    st.stash.clear();
+    loop {
+        drop(ctx.drain());
+        match ctx.enter_barrier() {
+            BarrierOutcome::Clean => return,
+            BarrierOutcome::Failed(list) => {
+                for n in list {
+                    if !episode.contains(&n) {
+                        episode.push(n);
+                    }
+                }
+                episode.sort_unstable();
+            }
+        }
+    }
 }
 
 fn batch_for<E>(batches: &mut HashMap<NodeId, Vec<E>>, d: NodeId) -> &mut Vec<E> {
     batches
         .get_mut(&d)
         .unwrap_or_else(|| panic!("no rebirth batch slot for crashed node {d}"))
+}
+
+/// The leader's half of the standby decision: if the pool can cover the
+/// whole episode, dispatch one standby per crashed identity (all or none —
+/// partial dispatch would leave survivors and newbies disagreeing about the
+/// protocol shape) and vote 1 into the decision barrier.
+fn dispatch_vote<T: Send + 'static>(
+    ctx: &NodeCtx<T>,
+    st: &crate::rt::NodeState<T>,
+    dead: &[NodeId],
+) -> u64 {
+    if ctx.id() != st.leader() {
+        return 0;
+    }
+    let cluster = ctx.cluster();
+    if cluster.coordinator().standbys_available() < dead.len() {
+        return 0;
+    }
+    for &d in dead {
+        let dispatched = cluster.dispatch_standby(d);
+        debug_assert!(dispatched, "standby pool shrank under the leader");
+    }
+    1
 }
 
 // --------------------------------------------------------------------------
@@ -105,23 +339,21 @@ fn rebirth_survivor<M: ComputeModel>(
     st: &mut St<M>,
     dead: &[NodeId],
     resume_iter: u64,
-) {
+) -> Attempt<RecoveryReport> {
     let me = ctx.id();
     let survivors = st.mark_dead(dead);
     let num_survivors = survivors.len() as u32;
 
-    // The leader hands each crashed identity to a hot standby *before*
-    // entering the membership barrier, so the barrier cannot complete
-    // without the newbies.
-    if me == st.leader() {
-        for &d in dead {
-            assert!(
-                ctx.cluster().dispatch_standby(d),
-                "Rebirth recovery of {d} requires a hot standby"
-            );
-        }
+    // Decision barrier (doubles as the newbies' membership barrier): the
+    // leader dispatches hot standbys for the whole episode — before
+    // entering, so the barrier cannot complete without the newbies — and
+    // announces the outcome as a vote. An empty pool degrades to Migration
+    // onto the survivors instead of wedging the cluster.
+    let vote = dispatch_vote(ctx, st, dead);
+    if barrier_sum_ok(ctx, vote)? == 0 {
+        return migrate(ctx, lg, shared, st, dead, resume_iter, "rebirth→migration");
     }
-    ctx.enter_barrier();
+    fail_here(ctx, shared, resume_iter, FailPoint::RebirthReload)?;
 
     // Reloading (§5.1.1): scan local masters and mirrors, build one batch
     // per crashed node. The responsible mirror (first surviving node in
@@ -212,7 +444,7 @@ fn rebirth_survivor<M: ComputeModel>(
         );
     }
     let reload = sw.elapsed();
-    ctx.enter_barrier();
+    barrier_ok(ctx)?;
 
     // Membership restored: the newbies carry the crashed identities.
     for d in dead {
@@ -221,7 +453,7 @@ fn rebirth_survivor<M: ComputeModel>(
     promoted.sort_unstable();
     let mut contacted = dead.to_vec();
     contacted.sort_unstable();
-    st.recoveries.push(RecoveryReport {
+    Ok(RecoveryReport {
         strategy: "rebirth",
         failed_nodes: dead.len(),
         reload,
@@ -232,30 +464,56 @@ fn rebirth_survivor<M: ComputeModel>(
         comm,
         promoted,
         contacted,
-    });
+        counters: RecoveryCounters::default(),
+    })
 }
 
 /// A newbie reconstructing a crashed identity: receive one batch from every
 /// survivor (placement is position-addressed, so reconstruction happens on
 /// the fly, §5.1.2), reload any model-specific extra state, validate, and
 /// replay (§5.1.3).
+///
+/// Returns `None` when the attempt aborted: the newbie has no pre-episode
+/// state to restore, so it crashes itself (suicide-on-abort) and the next
+/// attempt consumes a fresh standby. It detects aborts two ways — a failed
+/// barrier, or (while blocked waiting for batches a crashed survivor will
+/// never send) the coordinator reporting an unrecovered failure, upon which
+/// it joins the survivors' next barrier to observe the failure officially.
 pub(crate) fn rebirth_newbie<M: ComputeModel>(
     ctx: &Ctx<M>,
     shared: &Shared<M>,
     st: &mut St<M>,
-) -> M::Graph {
+) -> Option<M::Graph> {
     let me = ctx.id();
-    ctx.enter_barrier(); // membership barrier
+    // Membership barrier (the survivors' decision barrier).
+    if let BarrierOutcome::Failed(_) = ctx.enter_barrier() {
+        ctx.crash();
+        return None;
+    }
 
     let sw = Stopwatch::start();
     let mut lg = shared.model.empty_graph(me);
     let mut got = 0u32;
     let mut expected: Option<u32> = None;
     let mut resume_iter = 0u64;
+    let mut first_batch = true;
+    let deadline = Instant::now() + RECOVERY_PATIENCE;
     while expected.is_none_or(|e| got < e) {
-        let env = ctx
-            .recv_timeout(RECOVERY_PATIENCE)
-            .expect("rebirth batch from survivor");
+        let Some(env) = ctx.recv_timeout(Duration::from_millis(1)) else {
+            if ctx.cluster().coordinator().has_unrecovered_failure() {
+                // A survivor crashed mid-attempt; its batch will never
+                // arrive. Enter the barrier the survivors are converging on
+                // (it must report the failure) and abort with them.
+                ctx.enter_barrier();
+                ctx.crash();
+                return None;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "rebirth batch from survivor (recovery wedged)"
+            );
+            continue;
+        };
         match env.msg {
             ProtoMsg::Rebirth(batch) => {
                 expected = Some(batch.num_survivors);
@@ -263,6 +521,16 @@ pub(crate) fn rebirth_newbie<M: ComputeModel>(
                 got += 1;
                 for e in batch.entries {
                     shared.model.insert_entry(&mut lg, e);
+                }
+                if first_batch {
+                    first_batch = false;
+                    if shared
+                        .injector
+                        .should_fail(me, resume_iter, FailPoint::RebirthReload)
+                    {
+                        ctx.crash();
+                        return None;
+                    }
                 }
             }
             other => st.stash.push(Envelope {
@@ -274,12 +542,27 @@ pub(crate) fn rebirth_newbie<M: ComputeModel>(
     shared.model.rebirth_reload_extra(&mut lg, shared);
     let reload = sw.elapsed();
 
+    if shared
+        .injector
+        .should_fail(me, resume_iter, FailPoint::RebirthReconstruct)
+    {
+        ctx.crash();
+        return None;
+    }
+
     // Reconstruction is implicit; validate the rebuilt layout, then run the
     // model's replay (activation fix-ups for the sparse engine; the dense
     // engine's next apply refreshes everything, so its replay is zero).
     let mut sw = Stopwatch::start();
     shared.model.validate(&lg);
     let reconstruct = sw.lap();
+    if shared
+        .injector
+        .should_fail(me, resume_iter, FailPoint::RebirthReplay)
+    {
+        ctx.crash();
+        return None;
+    }
     let replay = if shared.model.rebirth_replay(&mut lg, shared, resume_iter) {
         sw.lap()
     } else {
@@ -288,6 +571,11 @@ pub(crate) fn rebirth_newbie<M: ComputeModel>(
 
     let (vertices, edges) = shared.model.graph_stats(&lg);
     st.iter = resume_iter;
+    // Reconstruction barrier: only a clean outcome makes the rebirth real.
+    if let BarrierOutcome::Failed(_) = ctx.enter_barrier() {
+        ctx.crash();
+        return None;
+    }
     st.recoveries.push(RecoveryReport {
         strategy: "rebirth",
         failed_nodes: 1,
@@ -299,9 +587,12 @@ pub(crate) fn rebirth_newbie<M: ComputeModel>(
         comm: CommStats::default(),
         promoted: Vec::new(),
         contacted: Vec::new(),
+        counters: RecoveryCounters {
+            attempts: 1,
+            aborts: 0,
+        },
     });
-    ctx.enter_barrier(); // reconstruction barrier
-    lg
+    Some(lg)
 }
 
 // --------------------------------------------------------------------------
@@ -316,7 +607,8 @@ fn migrate<M: ComputeModel>(
     st: &mut St<M>,
     dead: &[NodeId],
     resume_iter: u64,
-) {
+    strategy: &'static str,
+) -> Attempt<RecoveryReport> {
     let me = ctx.id();
     let survivors = st.mark_dead(dead);
     let others: Vec<NodeId> = survivors.iter().copied().filter(|&n| n != me).collect();
@@ -329,6 +621,7 @@ fn migrate<M: ComputeModel>(
 
     // ---- R1: promote local mirrors whose master died (the responsible
     //      mirror wins), purge crashed locations, announce promotions.
+    fail_here(ctx, shared, resume_iter, FailPoint::MigrationRound(1))?;
     let mut promotions: Vec<Promotion> = Vec::new();
     for pos in 0..lg.len() as u32 {
         match lg.kind(pos) {
@@ -392,10 +685,11 @@ fn migrate<M: ComputeModel>(
             CommKind::Recovery,
         );
     }
-    ctx.enter_barrier();
+    barrier_ok(ctx)?;
 
     // ---- R2: apply promotions everywhere; let the model fix its location
     //      tables and compute the replica requests it must send.
+    fail_here(ctx, shared, resume_iter, FailPoint::MigrationRound(2))?;
     let mut promo_by_old: HashMap<(NodeId, u32), Promotion> = HashMap::new();
     let mut all_promos: Vec<Promotion> = promotions.clone();
     for env in round_msgs::<M>(ctx, st) {
@@ -439,9 +733,10 @@ fn migrate<M: ComputeModel>(
         mig.comm.record(1, bytes);
         ctx.send_kind(n, ProtoMsg::ReplicaRequest(req), bytes, CommKind::Recovery);
     }
-    ctx.enter_barrier();
+    barrier_ok(ctx)?;
 
     // ---- R3: grant requested replicas.
+    fail_here(ctx, shared, resume_iter, FailPoint::MigrationRound(3))?;
     let mut grants: HashMap<NodeId, Vec<ReplicaGrant<M::Value>>> = HashMap::new();
     for env in round_msgs::<M>(ctx, st) {
         match env.msg {
@@ -474,10 +769,11 @@ fn migrate<M: ComputeModel>(
         mig.comm.record(1, bytes);
         ctx.send_kind(n, ProtoMsg::ReplicaGrant(g), bytes, CommKind::Recovery);
     }
-    ctx.enter_barrier();
+    barrier_ok(ctx)?;
 
     // ---- R4: place granted replicas, let the model wire edges (promoted
     //      masters' in-edges / adopted edge-ckpt edges), report placements.
+    fail_here(ctx, shared, resume_iter, FailPoint::MigrationRound(4))?;
     let mut placements: HashMap<NodeId, Vec<(Vid, u32)>> = HashMap::new();
     for env in round_msgs::<M>(ctx, st) {
         match env.msg {
@@ -508,11 +804,12 @@ fn migrate<M: ComputeModel>(
         mig.comm.record(1, bytes);
         ctx.send_kind(n, ProtoMsg::ReplicaPlaced(p), bytes, CommKind::Recovery);
     }
-    ctx.enter_barrier();
+    barrier_ok(ctx)?;
 
     // ---- R5: record placements; restore the fault-tolerance level by
     //      designating replacement mirrors (§5.2.1), creating fresh FT
     //      replicas where no replica is available.
+    fail_here(ctx, shared, resume_iter, FailPoint::MigrationRound(5))?;
     for env in round_msgs::<M>(ctx, st) {
         match env.msg {
             ProtoMsg::ReplicaPlaced(ps) => {
@@ -599,9 +896,10 @@ fn migrate<M: ComputeModel>(
         mig.comm.record(1, bytes);
         ctx.send_kind(n, ProtoMsg::MirrorUpdate(ups), bytes, CommKind::Recovery);
     }
-    ctx.enter_barrier();
+    barrier_ok(ctx)?;
 
     // ---- R6: adopt mirror designations; report fresh FT-replica positions.
+    fail_here(ctx, shared, resume_iter, FailPoint::MigrationRound(6))?;
     let mut fresh_placements: HashMap<NodeId, Vec<(Vid, u32)>> = HashMap::new();
     for env in round_msgs::<M>(ctx, st) {
         match env.msg {
@@ -637,10 +935,11 @@ fn migrate<M: ComputeModel>(
         mig.comm.record(1, bytes);
         ctx.send_kind(n, ProtoMsg::ReplicaPlaced(p), bytes, CommKind::Recovery);
     }
-    ctx.enter_barrier();
+    barrier_ok(ctx)?;
 
     // ---- R7: register fresh placements; push the final full state to every
     //      mirror of each dirty master.
+    fail_here(ctx, shared, resume_iter, FailPoint::MigrationRound(7))?;
     for env in round_msgs::<M>(ctx, st) {
         match env.msg {
             ProtoMsg::ReplicaPlaced(ps) => {
@@ -687,10 +986,11 @@ fn migrate<M: ComputeModel>(
         mig.comm.record(1, bytes);
         ctx.send_kind(n, ProtoMsg::MirrorUpdate(ups), bytes, CommKind::Recovery);
     }
-    ctx.enter_barrier();
+    barrier_ok(ctx)?;
 
     // ---- R8: adopt refreshed metas; let the model re-persist invalidated
     //      state; leader acknowledges the recovery.
+    fail_here(ctx, shared, resume_iter, FailPoint::MigrationRound(8))?;
     for env in round_msgs::<M>(ctx, st) {
         match env.msg {
             ProtoMsg::MirrorUpdate(ups) => {
@@ -714,7 +1014,7 @@ fn migrate<M: ComputeModel>(
             ctx.cluster().coordinator().ack_recovered(d);
         }
     }
-    ctx.enter_barrier();
+    barrier_ok(ctx)?;
 
     let Mig {
         recovered,
@@ -724,8 +1024,8 @@ fn migrate<M: ComputeModel>(
         ..
     } = mig;
     promoted.sort_unstable();
-    st.recoveries.push(RecoveryReport {
-        strategy: "migration",
+    Ok(RecoveryReport {
+        strategy,
         failed_nodes: dead.len(),
         reload: sw_total.elapsed(),
         reconstruct: Duration::ZERO,
@@ -735,7 +1035,8 @@ fn migrate<M: ComputeModel>(
         comm,
         promoted,
         contacted: others,
-    });
+        counters: RecoveryCounters::default(),
+    })
 }
 
 // --------------------------------------------------------------------------
@@ -749,21 +1050,23 @@ fn ckpt_recover_survivor<M: ComputeModel>(
     st: &mut St<M>,
     dead: &[NodeId],
     resume_iter: u64,
-) {
+) -> Attempt<RecoveryReport> {
     let me = ctx.id();
-    st.mark_dead(dead);
-    if me == st.leader() {
-        for &d in dead {
-            assert!(
-                ctx.cluster().dispatch_standby(d),
-                "checkpoint recovery of {d} requires a standby"
-            );
-        }
-    }
-    ctx.enter_barrier();
+    let survivors = st.mark_dead(dead);
 
-    // Reload: every node (survivors too) rolls back to the last snapshot —
-    // for incremental mode, to the initial state plus the snapshot chain.
+    // Decision barrier (doubles as the newbies' membership barrier). An
+    // exhausted standby pool grafts the dead partitions' snapshots onto the
+    // survivors instead of panicking.
+    let vote = dispatch_vote(ctx, st, dead);
+    if barrier_sum_ok(ctx, vote)? == 0 {
+        return ckpt_fallback(ctx, lg, shared, st, dead, resume_iter, &survivors);
+    }
+    fail_here(ctx, shared, resume_iter, FailPoint::RebirthReload)?;
+
+    // Reload: every node (survivors too) rolls back to the newest *sealed,
+    // roster-complete* epoch — a crash mid-checkpoint leaves a torn part
+    // behind, and a torn epoch must never be loaded. For incremental mode,
+    // roll back to the initial state plus the complete snapshot chain.
     let sw = Stopwatch::start();
     let incremental = matches!(
         shared.cfg.ft,
@@ -772,47 +1075,49 @@ fn ckpt_recover_survivor<M: ComputeModel>(
             ..
         }
     );
-    let snap_iter = if st.last_snapshot_iter == 0 {
-        shared.model.reset_to_initial(lg, shared);
-        // Masters no longer hold their last-shipped values: the filter's
-        // entries describe nothing anymore.
-        st.sync_filter.clear();
-        0
-    } else if incremental {
-        shared.model.reset_to_initial(lg, shared);
-        st.sync_filter.clear();
-        apply_snapshot_chain(lg, shared, me, true)
-    } else {
-        // A full snapshot restores masters only; surviving replicas keep
-        // exactly the state our last syncs installed, so the filter stays
-        // valid toward survivors. The crashed nodes' replacements are
-        // rebuilt from snapshots instead — re-ship everything there.
-        for &d in dead {
-            st.sync_filter.invalidate_dest(d);
+    let snap_iter = match epoch::latest_complete_rostered(&shared.dfs, M::PREFIX) {
+        Err(_) => {
+            // No complete epoch yet: back to the initial state. Masters no
+            // longer hold their last-shipped values, so the filter's entries
+            // describe nothing anymore.
+            shared.model.reset_to_initial(lg, shared);
+            st.sync_filter.clear();
+            0
         }
-        let bytes = shared
-            .dfs
-            .read(&format!(
-                "{}/ckpt/{}/{}",
-                M::PREFIX,
-                st.last_snapshot_iter,
-                me.raw()
-            ))
-            .expect("own snapshot present");
-        shared.model.apply_snapshot(lg, &bytes)
+        Ok(_) if incremental => {
+            shared.model.reset_to_initial(lg, shared);
+            st.sync_filter.clear();
+            apply_snapshot_chain(lg, shared, me, true)
+        }
+        Ok(e) => {
+            // A full snapshot restores masters only; surviving replicas keep
+            // exactly the state our last syncs installed, so the filter
+            // stays valid toward survivors. The crashed nodes' replacements
+            // are rebuilt from snapshots instead — re-ship everything there.
+            for &d in dead {
+                st.sync_filter.invalidate_dest(d);
+            }
+            let bytes = epoch::read_verified(&shared.dfs, M::PREFIX, e, me.raw())
+                .expect("rostered part verified");
+            shared.model.apply_snapshot(lg, &bytes)
+        }
     };
     st.dirty.clear();
+    st.last_snapshot_iter = snap_iter;
     let reload = sw.elapsed();
-    ctx.enter_barrier();
+    barrier_ok(ctx)?;
 
     // Reconstruct: replica values are not in snapshots; masters rebroadcast.
     let sw = Stopwatch::start();
-    ckpt_full_sync(ctx, lg, shared, st);
+    ckpt_full_sync(ctx, lg, shared, st)?;
     let reconstruct = sw.elapsed();
 
     st.iter = snap_iter;
     st.replay_until = resume_iter;
-    st.recoveries.push(RecoveryReport {
+    for d in dead {
+        st.alive[d.index()] = true;
+    }
+    Ok(RecoveryReport {
         strategy: "checkpoint",
         failed_nodes: dead.len(),
         reload,
@@ -823,21 +1128,305 @@ fn ckpt_recover_survivor<M: ComputeModel>(
         comm: CommStats::default(),
         promoted: Vec::new(),
         contacted: Vec::new(),
-    });
-    for d in dead {
-        st.alive[d.index()] = true;
+        counters: RecoveryCounters::default(),
+    })
+}
+
+/// Checkpoint recovery without standbys: the survivors adopt the dead
+/// partitions wholesale from the DFS. Three barrier-separated graft rounds
+/// (reusing the Migration round-1..3 fail points), then the usual full-sync.
+///
+/// Round 1 — every survivor rolls back to the snapshot epoch; the
+/// round-robin adopter of each dead partition reconstructs it from the dead
+/// node's metadata snapshot plus its snapshot chain (exactly what a standby
+/// would have done) and grafts it into its own graph via
+/// [`ComputeModel::adopt_partition`]; promotions are announced.
+/// Round 2 — promotions are applied everywhere, adopted copies whose master
+/// also died are re-pointed at the promoted location, and position-addressed
+/// consumer tables are rewritten ([`ComputeModel::migration_requests`] with
+/// an empty promotion set of our own — under checkpoint FT every adopted
+/// master arrives complete, so no replica requests are generated).
+/// Round 3 — replica placements are registered with their surviving
+/// masters and the leader acknowledges the episode; the closing full-sync
+/// then refreshes every (old and adopted) replica from its master's
+/// rolled-back value. Finally each survivor re-persists its metadata
+/// snapshot: its layout grew, and a *later* episode must be able to
+/// reconstruct it including the adopted positions.
+#[allow(clippy::too_many_lines)]
+fn ckpt_fallback<M: ComputeModel>(
+    ctx: &Ctx<M>,
+    lg: &mut M::Graph,
+    shared: &Shared<M>,
+    st: &mut St<M>,
+    dead: &[NodeId],
+    resume_iter: u64,
+    survivors: &[NodeId],
+) -> Attempt<RecoveryReport> {
+    let me = ctx.id();
+    let others: Vec<NodeId> = survivors.iter().copied().filter(|&n| n != me).collect();
+    let incremental = matches!(
+        shared.cfg.ft,
+        FtMode::Checkpoint {
+            incremental: true,
+            ..
+        }
+    );
+    // Deterministic round-robin assignment of dead partitions to adopters.
+    let my_partitions: Vec<NodeId> = dead
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| survivors[i % survivors.len()] == me)
+        .map(|(_, &d)| d)
+        .collect();
+    let adopter = !my_partitions.is_empty();
+    let mut mig: Mig<M::MigExtra> = Mig::default();
+    let sw_total = Stopwatch::start();
+
+    // ---- Round 1: roll back, graft assigned dead partitions, announce.
+    fail_here(ctx, shared, resume_iter, FailPoint::MigrationRound(1))?;
+    let sw = Stopwatch::start();
+    let snap_iter = match epoch::latest_complete_rostered(&shared.dfs, M::PREFIX) {
+        Err(_) => {
+            shared.model.reset_to_initial(lg, shared);
+            st.sync_filter.clear();
+            0
+        }
+        Ok(_) if incremental => {
+            shared.model.reset_to_initial(lg, shared);
+            st.sync_filter.clear();
+            apply_snapshot_chain(lg, shared, me, true)
+        }
+        Ok(e) => {
+            for &d in dead {
+                st.sync_filter.invalidate_dest(d);
+            }
+            let bytes = epoch::read_verified(&shared.dfs, M::PREFIX, e, me.raw())
+                .expect("rostered part verified");
+            shared.model.apply_snapshot(lg, &bytes)
+        }
+    };
+    st.dirty.clear();
+    st.last_snapshot_iter = snap_iter;
+    // The dead nodes are gone for good: purge them from every pre-existing
+    // master's replica tables (the adopters purge their grafted masters'
+    // tables inside `adopt_partition`).
+    for pos in 0..lg.len() as u32 {
+        if !lg.is_master(pos) {
+            continue;
+        }
+        let vid = lg.vid(pos);
+        let meta = lg
+            .meta_mut(pos)
+            .unwrap_or_else(|| panic!("master {vid} has no full state"));
+        for &d in dead {
+            meta.purge_node(d);
+        }
     }
+    let reload = sw.elapsed();
+    let sw = Stopwatch::start();
+    let mut promotions: Vec<Promotion> = Vec::new();
+    let mut placements: Vec<(NodeId, Vid, u32)> = Vec::new();
+    let mut orphans: Vec<u32> = Vec::new();
+    for &d in &my_partitions {
+        let dead_lg = reconstruct_partition::<M>(shared, d, incremental);
+        let adoption = shared.model.adopt_partition(lg, dead_lg, d, dead, &mut mig);
+        for p in &adoption.promotions {
+            st.overlay.insert(p.vid, p.new_master);
+            mig.promoted.push(p.vid);
+        }
+        promotions.extend(adoption.promotions);
+        placements.extend(adoption.placements);
+        orphans.extend(adoption.orphans);
+    }
+    if adopter {
+        // The graft grew (and rewrote) this node's layout: the filter's
+        // position-keyed entries are meaningless now. Re-seeding re-ships
+        // everything in the full sync, which the grafted copies need anyway.
+        st.sync_filter.set_domain(lg.len() as u32);
+        st.sync_filter.clear();
+    }
+    for &n in &others {
+        let bytes = (promotions.len() * 20) as u64;
+        mig.comm.record(1, bytes);
+        ctx.send_kind(
+            n,
+            ProtoMsg::Promote(promotions.clone()),
+            bytes,
+            CommKind::Recovery,
+        );
+    }
+    barrier_ok(ctx)?;
+
+    // ---- Round 2: apply promotions, resolve orphans, rewrite consumer
+    //      tables, report replica placements to surviving masters.
+    fail_here(ctx, shared, resume_iter, FailPoint::MigrationRound(2))?;
+    let mut promo_by_old: HashMap<(NodeId, u32), Promotion> = HashMap::new();
+    let mut promo_by_vid: HashMap<Vid, Promotion> = HashMap::new();
+    let mut all_promos: Vec<Promotion> = promotions.clone();
+    for env in round_msgs::<M>(ctx, st) {
+        match env.msg {
+            ProtoMsg::Promote(batch) => all_promos.extend(batch),
+            other => st.stash.push(Envelope {
+                from: env.from,
+                msg: other,
+            }),
+        }
+    }
+    for p in &all_promos {
+        promo_by_old.insert((p.old_node, p.old_pos), *p);
+        promo_by_vid.insert(p.vid, *p);
+        st.overlay.insert(p.vid, p.new_master);
+        if p.new_master == me {
+            continue; // own adoptions already mastered locally
+        }
+        if let Some(pos) = lg.position(p.vid) {
+            if !lg.is_master(pos) {
+                lg.set_master_node(pos, p.new_master);
+            }
+        }
+    }
+    // Orphans: adopted replica copies whose master died too. If a later
+    // graft of our own promoted the vertex here it is already a master;
+    // otherwise point it at the promoted location and register there.
+    for pos in orphans {
+        if lg.is_master(pos) {
+            continue;
+        }
+        let vid = lg.vid(pos);
+        let p = promo_by_vid
+            .get(&vid)
+            .unwrap_or_else(|| panic!("orphaned copy of {vid} has no promotion"));
+        debug_assert_ne!(
+            p.new_master, me,
+            "a local promotion must have upgraded the orphan in place"
+        );
+        lg.set_master_node(pos, p.new_master);
+        placements.push((p.new_master, vid, pos));
+    }
+    // Rewrite position-addressed consumer tables that still point at the
+    // dead layouts. Under checkpoint FT the adopted partitions arrive
+    // complete, so the models generate no replica requests here.
+    let menv = MigEnv {
+        dead,
+        me,
+        promotions: &[],
+        promo_by_old: &promo_by_old,
+    };
+    let requests = shared
+        .model
+        .migration_requests(lg, shared, st, &mut mig, &menv);
+    debug_assert!(
+        requests.values().all(Vec::is_empty),
+        "checkpoint fallback must not need replica grants"
+    );
+    // Adoption grafted masters whose `active` bits came straight from the
+    // snapshot; restore derived activation state before validating.
+    shared.model.after_recovery(lg);
+    shared.model.validate(lg);
+    let mut placed: HashMap<NodeId, Vec<(Vid, u32)>> = HashMap::new();
+    for (master, vid, pos) in placements {
+        placed.entry(master).or_default().push((vid, pos));
+    }
+    for &n in &others {
+        let p = placed.remove(&n).unwrap_or_default();
+        let bytes = (p.len() * 8) as u64;
+        mig.comm.record(1, bytes);
+        ctx.send_kind(n, ProtoMsg::ReplicaPlaced(p), bytes, CommKind::Recovery);
+    }
+    barrier_ok(ctx)?;
+
+    // ---- Round 3: register placements; leader acknowledges; full-sync
+    //      refreshes every replica (the first full-sync barrier closes this
+    //      round).
+    fail_here(ctx, shared, resume_iter, FailPoint::MigrationRound(3))?;
+    for env in round_msgs::<M>(ctx, st) {
+        match env.msg {
+            ProtoMsg::ReplicaPlaced(ps) => {
+                for (vid, pos) in ps {
+                    let mpos = lg.position(vid).expect("placement for unknown master");
+                    debug_assert!(lg.is_master(mpos));
+                    lg.meta_mut(mpos)
+                        .unwrap_or_else(|| {
+                            panic!("master {vid} has no full state to register a replica")
+                        })
+                        .register_replica(env.from, pos);
+                }
+            }
+            other => st.stash.push(Envelope {
+                from: env.from,
+                msg: other,
+            }),
+        }
+    }
+    if me == st.leader() {
+        for &d in dead {
+            ctx.cluster().coordinator().ack_recovered(d);
+        }
+    }
+    ckpt_full_sync(ctx, lg, shared, st)?;
+    // Re-persist the metadata snapshot: this node's layout changed, and any
+    // later reconstruction of *this* node must include the adopted
+    // positions. Placed after the last abortable barrier, so an aborted
+    // attempt never leaves a revised meta behind.
+    shared.dfs.write(
+        &format!("{}/meta/{}", M::PREFIX, me.raw()),
+        shared.model.encode_graph(lg),
+    );
+    let reconstruct = sw.elapsed();
+    let _ = sw_total;
+
+    st.iter = snap_iter;
+    st.replay_until = resume_iter;
+    mig.promoted.sort_unstable();
+    Ok(RecoveryReport {
+        strategy: "checkpoint→migration",
+        failed_nodes: dead.len(),
+        reload,
+        reconstruct,
+        replay: Duration::ZERO, // accumulated as lost iterations re-run
+        vertices_recovered: mig.recovered,
+        edges_recovered: mig.edges_recovered,
+        comm: mig.comm,
+        promoted: mig.promoted,
+        contacted: others,
+        counters: RecoveryCounters::default(),
+    })
+}
+
+/// Rebuilds a crashed node's partition from the DFS exactly as a checkpoint
+/// standby would: the immutable topology from its metadata snapshot, then
+/// its snapshot chain up to the newest complete epoch.
+fn reconstruct_partition<M: ComputeModel>(
+    shared: &Shared<M>,
+    d: NodeId,
+    incremental: bool,
+) -> M::Graph {
+    let meta_bytes = shared
+        .dfs
+        .read(&format!("{}/meta/{}", M::PREFIX, d.raw()))
+        .expect("metadata snapshot written at load");
+    let mut dg = shared.model.decode_graph(&meta_bytes);
+    apply_snapshot_chain(&mut dg, shared, d, incremental);
+    dg
 }
 
 /// A standby reconstructing a crashed identity from the DFS: the immutable
 /// topology from the metadata snapshot, then the data snapshot chain.
+///
+/// Returns `None` when the attempt aborted (suicide-on-abort, as in
+/// [`rebirth_newbie`] — every blocking point here is a barrier, so no
+/// liveness poll is needed).
 pub(crate) fn ckpt_newbie<M: ComputeModel>(
     ctx: &Ctx<M>,
     shared: &Shared<M>,
     st: &mut St<M>,
-) -> M::Graph {
+) -> Option<M::Graph> {
     let me = ctx.id();
-    ctx.enter_barrier();
+    // Membership barrier (the survivors' decision barrier).
+    if let BarrierOutcome::Failed(_) = ctx.enter_barrier() {
+        ctx.crash();
+        return None;
+    }
     let sw = Stopwatch::start();
     let meta_bytes = shared
         .dfs
@@ -852,11 +1441,30 @@ pub(crate) fn ckpt_newbie<M: ComputeModel>(
         }
     );
     let snap_iter = apply_snapshot_chain(&mut lg, shared, me, incremental);
+    // The newbie does not know the episode's resume iteration (that lives
+    // in the survivors' state); its reload fail point keys on the snapshot
+    // epoch it reloaded to instead.
+    if shared
+        .injector
+        .should_fail(me, snap_iter, FailPoint::RebirthReload)
+    {
+        ctx.crash();
+        return None;
+    }
     let reload = sw.elapsed();
-    ctx.enter_barrier();
+    if let BarrierOutcome::Failed(_) = ctx.enter_barrier() {
+        ctx.crash();
+        return None;
+    }
 
     let sw = Stopwatch::start();
-    ckpt_full_sync(ctx, &mut lg, shared, st);
+    match ckpt_full_sync(ctx, &mut lg, shared, st) {
+        Ok(()) => {}
+        Err(_) => {
+            ctx.crash();
+            return None;
+        }
+    }
     let reconstruct = sw.elapsed();
 
     let (vertices, edges) = shared.model.graph_stats(&lg);
@@ -873,26 +1481,30 @@ pub(crate) fn ckpt_newbie<M: ComputeModel>(
         comm: CommStats::default(),
         promoted: Vec::new(),
         contacted: Vec::new(),
+        counters: RecoveryCounters {
+            attempts: 1,
+            aborts: 0,
+        },
     });
-    lg
+    Some(lg)
 }
 
 /// Post-reload replica refresh: every master pushes its restored state to
-/// all of its replicas (one full sync round with its own barrier).
+/// all of its replicas (one full sync round with its own barriers).
 ///
 /// Records already installed on a destination by our last regular syncs are
 /// suppressed (surviving replicas were not rolled back — snapshots hold
 /// masters only), which is where redundant-sync suppression pays off most:
 /// only vertices that changed since the snapshot are re-shipped to
-/// survivors. Recovery cannot be interrupted (failures inject at loop tops
-/// only), so staged entries commit immediately, and afterwards every
-/// destination provably holds every entry — the filter revalidates fully.
+/// survivors. The round's barriers can abort like any other recovery
+/// barrier; an aborted attempt restores the whole filter from its undo
+/// snapshot, so the early `commit` here is safe.
 fn ckpt_full_sync<M: ComputeModel>(
     ctx: &Ctx<M>,
     lg: &mut M::Graph,
     shared: &Shared<M>,
     st: &mut St<M>,
-) {
+) -> Attempt<()> {
     let mut batches: HashMap<NodeId, Vec<VertexSync<M::Value>>> = HashMap::new();
     let mut suppressed = 0u64;
     for pos in 0..lg.len() as u32 {
@@ -927,44 +1539,41 @@ fn ckpt_full_sync<M: ComputeModel>(
             .sum();
         ctx.send_kind(node, ProtoMsg::Sync(batch), bytes, CommKind::Recovery);
     }
-    ctx.enter_barrier();
+    barrier_ok(ctx)?;
     let incoming = collect_syncs::<M>(ctx, st);
     shared.model.apply_full_sync(lg, incoming);
-    ctx.enter_barrier();
+    barrier_ok(ctx)?;
     st.sync_filter.revalidate_all();
+    Ok(())
 }
 
-/// Applies this node's snapshots in ascending iteration order, returning
-/// the last applied iteration (0 when none exist). Incremental snapshots
-/// form a chain that must be applied in full; for full snapshots only the
-/// newest is applied.
+/// Applies `node`'s parts of the complete, sealed snapshot epochs in
+/// ascending order, returning the last applied iteration (0 when none
+/// exist). Incremental snapshots form a chain that must be applied in full;
+/// for full snapshots only the newest is applied. Epochs whose roster does
+/// not include `node` (or whose parts are torn) are skipped — a node that
+/// crashed mid-write leaves a detectably-incomplete epoch that must never
+/// be loaded.
 fn apply_snapshot_chain<M: ComputeModel>(
     lg: &mut M::Graph,
     shared: &Shared<M>,
-    me: NodeId,
+    node: NodeId,
     incremental: bool,
 ) -> u64 {
-    let mut iters: Vec<u64> = shared
-        .dfs
-        .list(&format!("{}/ckpt/", M::PREFIX))
-        .iter()
-        .filter_map(|p| {
-            let mut parts = p.split('/').skip(2);
-            let iter: u64 = parts.next()?.parse().ok()?;
-            let node: u32 = parts.next()?.parse().ok()?;
-            (node == me.raw()).then_some(iter)
+    let mut epochs: Vec<u64> = epoch::complete_epochs_rostered(&shared.dfs, M::PREFIX)
+        .into_iter()
+        .filter(|&e| {
+            epoch::read_roster(&shared.dfs, M::PREFIX, e)
+                .is_ok_and(|nodes| nodes.contains(&node.raw()))
         })
         .collect();
-    iters.sort_unstable();
     if !incremental {
-        iters = iters.split_off(iters.len().saturating_sub(1));
+        epochs = epochs.split_off(epochs.len().saturating_sub(1));
     }
     let mut snap_iter = 0;
-    for iter in iters {
-        let bytes = shared
-            .dfs
-            .read(&format!("{}/ckpt/{}/{}", M::PREFIX, iter, me.raw()))
-            .expect("listed snapshot readable");
+    for e in epochs {
+        let bytes = epoch::read_verified(&shared.dfs, M::PREFIX, e, node.raw())
+            .expect("rostered part verified");
         snap_iter = if incremental {
             shared.model.apply_snapshot_inc(lg, &bytes)
         } else {

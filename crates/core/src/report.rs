@@ -4,7 +4,7 @@ use std::time::Duration;
 
 use imitator_cluster::NodeId;
 use imitator_graph::Vid;
-use imitator_metrics::{CommBreakdown, CommStats, PhaseTimes};
+use imitator_metrics::{CommBreakdown, CommStats, PhaseTimes, RecoveryCounters};
 
 /// What one recovery episode cost, broken into the paper's three phases
 /// (§5.1/§5.2, Figs. 2(c), 9, 11(b), 15(b)).
@@ -13,7 +13,9 @@ use imitator_metrics::{CommBreakdown, CommStats, PhaseTimes};
 /// (recovery finishes when the slowest participant finishes).
 #[derive(Debug, Clone, PartialEq)]
 pub struct RecoveryReport {
-    /// Strategy used ("rebirth", "migration", "checkpoint").
+    /// Strategy that actually executed: "rebirth", "migration", "checkpoint",
+    /// or a degraded form ("rebirth→migration", "checkpoint→migration") when
+    /// standby exhaustion forced a fallback onto the survivors.
     pub strategy: &'static str,
     /// Number of crashed nodes handled in this episode.
     pub failed_nodes: usize,
@@ -38,6 +40,9 @@ pub struct RecoveryReport {
     /// it reloaded (Rebirth) or the survivors it coordinated with
     /// (Migration).
     pub contacted: Vec<NodeId>,
+    /// How many attempts the episode took and how many were aborted by
+    /// failures arriving mid-recovery (cascading failures, §5.3).
+    pub counters: RecoveryCounters,
 }
 
 impl RecoveryReport {
@@ -49,7 +54,10 @@ impl RecoveryReport {
     /// Merges another node's view of the same episode (max per phase, sum
     /// of recovered counts and traffic).
     pub fn merge(&mut self, other: &RecoveryReport) {
-        debug_assert_eq!(self.strategy, other.strategy);
+        // Strategy strings may legitimately differ per node within one
+        // episode (a reborn newbie reports "rebirth" even when survivors
+        // degraded a later episode); keep self's label — the driver merges
+        // node 0's view first, which carries the executed strategy.
         self.reload = self.reload.max(other.reload);
         self.reconstruct = self.reconstruct.max(other.reconstruct);
         self.replay = self.replay.max(other.replay);
@@ -62,6 +70,7 @@ impl RecoveryReport {
         self.contacted.extend(&other.contacted);
         self.contacted.sort_unstable();
         self.contacted.dedup();
+        self.counters.merge(&other.counters);
     }
 }
 
@@ -150,6 +159,10 @@ mod tests {
             comm: CommStats::new(1, 100),
             promoted: vec![Vid::new(3)],
             contacted: vec![NodeId::new(1)],
+            counters: RecoveryCounters {
+                attempts: 1,
+                aborts: 0,
+            },
         }
     }
 

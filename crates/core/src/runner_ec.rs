@@ -23,9 +23,10 @@ use imitator_storage::Dfs;
 
 use crate::ckpt;
 use crate::driver::{self, ComputeModel, Ctx, ModelGraph, Shared, St, StepOutcome, SyncBufs};
+use crate::msg::Promotion;
 use crate::msg::{EcRecoverEntry, MirrorUpdate, ReplicaGrant, VertexSync};
 use crate::plan::compute_ft_plan;
-use crate::recovery::{Mig, MigEnv};
+use crate::recovery::{Adoption, Mig, MigEnv};
 use crate::report::RunReport;
 use crate::{FtMode, RunConfig};
 
@@ -38,9 +39,10 @@ use crate::{FtMode, RunConfig};
 ///
 /// # Panics
 ///
-/// Panics if `cfg.num_nodes != cut.num_parts()`, if a failure is injected
-/// with `FtMode::None`, or if Rebirth/Checkpoint recovery runs out of
-/// standby machines.
+/// Panics if `cfg.num_nodes != cut.num_parts()` or if a failure is injected
+/// with `FtMode::None`. Standby exhaustion does not panic: Rebirth degrades
+/// to Migration onto the survivors, and checkpoint recovery grafts the dead
+/// partitions' snapshots onto the survivors (§5.3).
 pub fn run_edge_cut<P>(
     g: &Graph,
     cut: &EdgeCut,
@@ -595,5 +597,168 @@ where
 
     fn meta_update_bytes(&self, meta: &Self::Meta) -> u64 {
         64 + meta.in_edges_owner.len() as u64 * 8
+    }
+
+    /// Checkpoint-fallback graft: splice the whole reconstructed partition
+    /// into this survivor's graph. Positions are remapped dead-local →
+    /// here-local in one pass (existing local copies keep their slot, the
+    /// rest append), so every position-addressed table in the adopted state
+    /// — in-edges, local consumer links, owner tables — rewrites through
+    /// one map. Remote consumer links pointing at other crashed layouts are
+    /// kept as-is; `migration_requests` rewrites them against the
+    /// cluster-wide promotion map in the next round.
+    fn adopt_partition(
+        &self,
+        lg: &mut Self::Graph,
+        dead_lg: Self::Graph,
+        dead: NodeId,
+        episode: &[NodeId],
+        mig: &mut Mig<EcMigExtra>,
+    ) -> Adoption {
+        let me = lg.node;
+        let base = lg.verts.len() as u32;
+        let mut next = base;
+        let map: Vec<u32> = dead_lg
+            .verts
+            .iter()
+            .map(|dv| {
+                lg.position(dv.vid).unwrap_or_else(|| {
+                    let p = next;
+                    next += 1;
+                    p
+                })
+            })
+            .collect();
+        let mut out = Adoption::default();
+        for (dp, mut dv) in dead_lg.verts.into_iter().enumerate() {
+            let new_pos = map[dp];
+            for e in dv.in_edges.iter_mut() {
+                e.0 = map[e.0 as usize];
+            }
+            let mut out_local: Vec<u32> = dv.out_local.iter().map(|&t| map[t as usize]).collect();
+            match dv.kind {
+                CopyKind::Master => {
+                    let mut meta = dv
+                        .meta
+                        .take()
+                        .unwrap_or_else(|| panic!("adopted master {} has no full state", dv.vid));
+                    meta.master_pos = new_pos;
+                    meta.purge_node(me);
+                    for &x in episode {
+                        meta.purge_node(x);
+                    }
+                    for e in meta.in_edges_owner.iter_mut() {
+                        e.0 = map[e.0 as usize];
+                    }
+                    for t in meta.out_local_owner.iter_mut() {
+                        *t = map[*t as usize];
+                    }
+                    // Consumers that were remote-on-the-dead-node but live
+                    // *here* become plain local links.
+                    meta.out_remote.retain(|r| {
+                        if r.node == me {
+                            out_local.push(r.pos);
+                            return false;
+                        }
+                        true
+                    });
+                    mig.edges_recovered += dv.in_edges.len() as u64;
+                    if new_pos < base {
+                        // Upgrade the pre-existing ghost copy in place,
+                        // keeping the consumer links it already knew about.
+                        let v = &mut lg.verts[new_pos as usize];
+                        debug_assert_eq!(
+                            v.kind,
+                            CopyKind::Replica,
+                            "checkpoint FT keeps no mirrors"
+                        );
+                        v.kind = CopyKind::Master;
+                        v.master_node = me;
+                        v.value = dv.value;
+                        v.active = dv.active;
+                        v.next_active = false;
+                        v.last_activate = dv.last_activate;
+                        v.in_edges = dv.in_edges;
+                        out_local.extend(&v.out_local);
+                        out_local.sort_unstable();
+                        out_local.dedup();
+                        v.out_local = out_local.clone();
+                        meta.out_local_owner = out_local;
+                        v.meta = Some(meta);
+                    } else {
+                        out_local.sort_unstable();
+                        out_local.dedup();
+                        meta.out_local_owner = out_local.clone();
+                        lg.insert_at(
+                            new_pos,
+                            EcVertex {
+                                vid: dv.vid,
+                                kind: CopyKind::Master,
+                                master_node: me,
+                                value: dv.value,
+                                active: dv.active,
+                                next_active: false,
+                                last_activate: dv.last_activate,
+                                in_edges: dv.in_edges,
+                                out_local,
+                                meta: Some(meta),
+                            },
+                        );
+                    }
+                    out.promotions.push(Promotion {
+                        vid: dv.vid,
+                        new_master: me,
+                        new_pos,
+                        old_node: dead,
+                        old_pos: dp as u32,
+                    });
+                    mig.recovered += 1;
+                }
+                CopyKind::Replica => {
+                    if new_pos < base {
+                        // Already hosted here: merge the dead layout's local
+                        // consumer links into the existing copy.
+                        let v = &mut lg.verts[new_pos as usize];
+                        v.out_local.extend(out_local);
+                        v.out_local.sort_unstable();
+                        v.out_local.dedup();
+                        if v.is_master() {
+                            let merged = v.out_local.clone();
+                            v.meta
+                                .as_mut()
+                                .unwrap_or_else(|| panic!("master {} has no full state", v.vid))
+                                .out_local_owner = merged;
+                        }
+                    } else {
+                        let master_node = dv.master_node;
+                        lg.insert_at(
+                            new_pos,
+                            EcVertex {
+                                vid: dv.vid,
+                                kind: CopyKind::Replica,
+                                master_node,
+                                value: dv.value,
+                                active: false,
+                                next_active: false,
+                                last_activate: dv.last_activate,
+                                in_edges: dv.in_edges,
+                                out_local,
+                                meta: None,
+                            },
+                        );
+                        if episode.contains(&master_node) {
+                            out.orphans.push(new_pos);
+                        } else {
+                            out.placements.push((master_node, dv.vid, new_pos));
+                        }
+                        mig.recovered += 1;
+                    }
+                }
+                CopyKind::Mirror => {
+                    unreachable!("checkpoint FT keeps no mirrors")
+                }
+            }
+        }
+        out
     }
 }

@@ -24,9 +24,9 @@ use imitator_storage::Dfs;
 
 use crate::ckpt;
 use crate::driver::{self, ComputeModel, Ctx, ModelGraph, Shared, St, StepOutcome, SyncBufs};
-use crate::msg::{MirrorUpdate, ProtoMsg, ReplicaGrant, VcRecoverEntry, VertexSync};
+use crate::msg::{MirrorUpdate, Promotion, ProtoMsg, ReplicaGrant, VcRecoverEntry, VertexSync};
 use crate::plan::compute_ft_plan;
-use crate::recovery::{Mig, MigEnv};
+use crate::recovery::{Adoption, Mig, MigEnv};
 use crate::report::RunReport;
 use crate::{FtMode, RunConfig};
 
@@ -37,9 +37,10 @@ use crate::{FtMode, RunConfig};
 ///
 /// # Panics
 ///
-/// Panics if `cfg.num_nodes != cut.num_parts()`, if a failure is injected
-/// with `FtMode::None`, or if Rebirth/Checkpoint recovery runs out of
-/// standbys.
+/// Panics if `cfg.num_nodes != cut.num_parts()` or if a failure is injected
+/// with `FtMode::None`. Standby exhaustion does not panic: Rebirth degrades
+/// to Migration onto the survivors, and checkpoint recovery grafts the dead
+/// partitions' snapshots onto the survivors (§5.3).
 pub fn run_vertex_cut<P>(
     g: &Graph,
     cut: &VertexCut,
@@ -555,12 +556,120 @@ where
         64
     }
 
-    /// Adopted edges changed which node persists which edges — rewrite the
-    /// edge-ckpt files so the next failure reloads a consistent set.
-    fn migration_finish(&self, lg: &Self::Graph, shared: &Shared<Self>, mig: &Mig<VcMigExtra>) {
-        if mig.edges_recovered > 0 {
-            write_edge_ckpt_files(lg, &shared.dfs);
+    /// Migration changed which node persists which edges (adoption) and
+    /// which node receives which file (promotions rewrote master
+    /// locations) — rewrite the edge-ckpt files unconditionally so the next
+    /// failure reloads a consistent set.
+    fn migration_finish(&self, lg: &Self::Graph, shared: &Shared<Self>, _mig: &Mig<VcMigExtra>) {
+        write_edge_ckpt_files(lg, &shared.dfs);
+    }
+
+    /// Checkpoint-fallback graft: splice the whole reconstructed partition
+    /// into this survivor's graph, then remap and append every edge it
+    /// owned (each edge is owned by exactly one node, so no duplicates).
+    fn adopt_partition(
+        &self,
+        lg: &mut Self::Graph,
+        dead_lg: Self::Graph,
+        dead: NodeId,
+        episode: &[NodeId],
+        mig: &mut Mig<VcMigExtra>,
+    ) -> Adoption {
+        let me = lg.node;
+        let base = lg.verts.len() as u32;
+        let mut next = base;
+        let map: Vec<u32> = dead_lg
+            .verts
+            .iter()
+            .map(|dv| {
+                lg.position(dv.vid).unwrap_or_else(|| {
+                    let p = next;
+                    next += 1;
+                    p
+                })
+            })
+            .collect();
+        let mut out = Adoption::default();
+        for (dp, mut dv) in dead_lg.verts.into_iter().enumerate() {
+            let new_pos = map[dp];
+            match dv.kind {
+                CopyKind::Master => {
+                    let mut meta = dv
+                        .meta
+                        .take()
+                        .unwrap_or_else(|| panic!("adopted master {} has no full state", dv.vid));
+                    meta.master_pos = new_pos;
+                    meta.purge_node(me);
+                    for &x in episode {
+                        meta.purge_node(x);
+                    }
+                    if new_pos < base {
+                        let v = &mut lg.verts[new_pos as usize];
+                        debug_assert_eq!(
+                            v.kind,
+                            CopyKind::Replica,
+                            "checkpoint FT keeps no mirrors"
+                        );
+                        v.kind = CopyKind::Master;
+                        v.master_node = me;
+                        v.value = dv.value;
+                        v.meta = Some(meta);
+                    } else {
+                        lg.insert_at(
+                            new_pos,
+                            VcVertex {
+                                vid: dv.vid,
+                                kind: CopyKind::Master,
+                                master_node: me,
+                                value: dv.value,
+                                meta: Some(meta),
+                            },
+                        );
+                    }
+                    out.promotions.push(Promotion {
+                        vid: dv.vid,
+                        new_master: me,
+                        new_pos,
+                        old_node: dead,
+                        old_pos: dp as u32,
+                    });
+                    mig.recovered += 1;
+                }
+                CopyKind::Replica => {
+                    if new_pos >= base {
+                        let master_node = dv.master_node;
+                        lg.insert_at(
+                            new_pos,
+                            VcVertex {
+                                vid: dv.vid,
+                                kind: CopyKind::Replica,
+                                master_node,
+                                value: dv.value,
+                                meta: None,
+                            },
+                        );
+                        if episode.contains(&master_node) {
+                            out.orphans.push(new_pos);
+                        } else {
+                            out.placements.push((master_node, dv.vid, new_pos));
+                        }
+                        mig.recovered += 1;
+                    }
+                }
+                CopyKind::Mirror => {
+                    unreachable!("checkpoint FT keeps no mirrors")
+                }
+            }
         }
+        for e in &dead_lg.edges {
+            lg.edges.push(VcEdge {
+                src: map[e.src as usize],
+                dst: map[e.dst as usize],
+                weight: e.weight,
+            });
+            mig.edges_recovered += 1;
+        }
+        out
     }
 }
 
@@ -570,6 +679,12 @@ where
 /// exactly one file in parallel during Migration (§4.3).
 fn write_edge_ckpt_files<V>(lg: &VcLocalGraph<V>, dfs: &Dfs) {
     let me = lg.node;
+    // Receivers shift between rewrites (promotions re-home masters), so a
+    // stale per-receiver file from an earlier write — or from an aborted
+    // recovery attempt — must not survive: replace the whole prefix.
+    for path in dfs.list(&format!("vc/eckpt/{}/", me.raw())) {
+        dfs.delete(&path);
+    }
     let mut per_receiver: HashMap<NodeId, Vec<(Vid, Vid, f32)>> = HashMap::new();
     for e in &lg.edges {
         let src = lg.verts[e.src as usize].vid;

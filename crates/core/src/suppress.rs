@@ -58,7 +58,7 @@ struct Slot {
 /// One staged record: its encoded bytes live in `SyncFilter::pending_bytes`
 /// at `start..start + len` (a flat arena, so staging never allocates once
 /// the buffers are warm — this sits on the per-update hot path).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Pending {
     pos: u32,
     activate: bool,
@@ -92,7 +92,12 @@ const SAMPLE_MASK: u32 = 7;
 const SAMPLE_DOMAIN_MIN: u32 = 4096;
 
 /// Per-node redundant-sync filter (see module docs).
-#[derive(Debug)]
+///
+/// `Clone` exists for recovery undo snapshots: an aborted recovery attempt
+/// must restore the filter exactly (entries, epochs, dormancy phase) or the
+/// suppression decisions — and therefore the wire bytes — would diverge from
+/// a run that never aborted.
+#[derive(Debug, Clone)]
 pub(crate) struct SyncFilter {
     enabled: bool,
     /// Supersteps left before the next probe; `0` means actively staging.

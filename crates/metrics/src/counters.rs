@@ -1,0 +1,69 @@
+//! Recovery-attempt bookkeeping.
+//!
+//! A recovery episode may be interrupted by further failures: survivors
+//! abort the in-flight attempt, enlarge the failure set, and restart. These
+//! counters record how many attempts an episode took and how many of them
+//! were aborted, so the run report can distinguish a clean single-pass
+//! recovery from a cascading-failure scenario.
+
+/// Attempt/abort counters for one recovery episode.
+///
+/// # Examples
+///
+/// ```
+/// use imitator_metrics::RecoveryCounters;
+///
+/// let mut c = RecoveryCounters::default();
+/// c.attempts = 3;
+/// c.aborts = 2;
+/// let other = RecoveryCounters { attempts: 1, aborts: 0 };
+/// c.merge(&other);
+/// assert_eq!((c.attempts, c.aborts), (3, 2));
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryCounters {
+    /// Recovery attempts started (≥ 1 for any completed episode).
+    pub attempts: u32,
+    /// Attempts aborted because a barrier inside recovery reported new
+    /// failures (`attempts - aborts` successful passes, normally 1).
+    pub aborts: u32,
+}
+
+impl RecoveryCounters {
+    /// Merges per-node views of the same episode. Nodes observe the same
+    /// restart sequence, but a node that joined late (a reborn standby) may
+    /// have seen fewer attempts — the cluster-wide figure is the maximum.
+    pub fn merge(&mut self, other: &Self) {
+        self.attempts = self.attempts.max(other.attempts);
+        self.aborts = self.aborts.max(other.aborts);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_takes_maxima() {
+        let mut a = RecoveryCounters {
+            attempts: 2,
+            aborts: 1,
+        };
+        a.merge(&RecoveryCounters {
+            attempts: 4,
+            aborts: 0,
+        });
+        assert_eq!(
+            a,
+            RecoveryCounters {
+                attempts: 4,
+                aborts: 1
+            }
+        );
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(RecoveryCounters::default().attempts, 0);
+    }
+}

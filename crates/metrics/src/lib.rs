@@ -35,11 +35,13 @@
 #![warn(missing_docs)]
 
 mod comm;
+mod counters;
 mod memsize;
 mod summary;
 mod timer;
 
 pub use comm::{AtomicCommStats, CommBreakdown, CommKind, CommStats};
+pub use counters::RecoveryCounters;
 pub use memsize::MemSize;
 pub use summary::Summary;
 pub use timer::{PhaseTimes, Stopwatch};

@@ -1,0 +1,445 @@
+//! Atomic checkpoint epochs: sealed parts, torn-epoch detection.
+//!
+//! A checkpoint epoch is a directory `{prefix}/ckpt/{epoch}/` holding one
+//! snapshot part per node. A bare part write is *not* atomic with respect to
+//! fail-stop crashes: a node dying mid-checkpoint leaves a part that decodes
+//! (the simulated DFS never tears bytes) but does not represent a committed
+//! epoch — loading it would resurrect state from a superstep the cluster
+//! never collectively passed.
+//!
+//! This module makes the commit explicit. Each part is accompanied by a tiny
+//! manifest record (the *seal*, at `{part}.ok`) written **last**, recording
+//! the part's length and an FNV-1a checksum. A crash between the part write
+//! and the seal write leaves the epoch detectably torn: the seal is missing
+//! (or, for a corrupted store, fails verification), so loaders skip the
+//! epoch and fall back to the most recent complete one.
+//!
+//! An epoch is *complete* when every node's part verifies against its seal.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::Dfs;
+
+/// Suffix appended to a part path to form its seal path.
+pub const SEAL_SUFFIX: &str = ".ok";
+
+const SEAL_MAGIC: u32 = 0x5345_414C; // "SEAL"
+const SEAL_LEN: usize = 4 + 8 + 8;
+
+/// Why a verified epoch read could not be served.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EpochError {
+    /// No epoch under the prefix has a full set of verified parts.
+    NoCompleteEpoch {
+        /// The `{prefix}/ckpt/` namespace that was searched.
+        prefix: String,
+    },
+    /// A specific part is missing, unsealed, or fails its checksum.
+    TornPart {
+        /// Path of the offending part.
+        path: String,
+    },
+}
+
+impl fmt::Display for EpochError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EpochError::NoCompleteEpoch { prefix } => write!(
+                f,
+                "no complete checkpoint epoch under {prefix}/ckpt/ \
+                 (zero sealed epochs — nothing to recover from)"
+            ),
+            EpochError::TornPart { path } => {
+                write!(f, "checkpoint part {path} is torn (missing or bad seal)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EpochError {}
+
+/// 64-bit FNV-1a over `bytes` — the per-part checksum.
+pub fn checksum(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Path of node `node`'s part in `epoch` under `prefix`.
+pub fn part_path(prefix: &str, epoch: u64, node: u32) -> String {
+    format!("{prefix}/ckpt/{epoch}/{node}")
+}
+
+/// Path of the seal (per-part manifest record) for `part`.
+pub fn seal_path(part: &str) -> String {
+    format!("{part}{SEAL_SUFFIX}")
+}
+
+fn encode_seal(bytes: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(SEAL_LEN);
+    out.extend_from_slice(&SEAL_MAGIC.to_le_bytes());
+    out.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
+    out.extend_from_slice(&checksum(bytes).to_le_bytes());
+    out
+}
+
+fn seal_matches(seal: &[u8], part: &[u8]) -> bool {
+    if seal.len() != SEAL_LEN {
+        return false;
+    }
+    let magic = u32::from_le_bytes(seal[0..4].try_into().expect("sliced"));
+    let len = u64::from_le_bytes(seal[4..12].try_into().expect("sliced"));
+    let sum = u64::from_le_bytes(seal[12..20].try_into().expect("sliced"));
+    magic == SEAL_MAGIC && len == part.len() as u64 && sum == checksum(part)
+}
+
+/// Writes `bytes` at `path` and then commits them by writing the seal
+/// **last** — the generic sealed-write primitive behind parts and rosters.
+pub fn write_sealed(dfs: &Dfs, path: &str, bytes: Vec<u8>) {
+    let seal = encode_seal(&bytes);
+    dfs.write(path, bytes);
+    dfs.write(&seal_path(path), seal);
+}
+
+/// Reads `path` and verifies it against its seal.
+pub fn read_sealed(dfs: &Dfs, path: &str) -> Result<Arc<Vec<u8>>, EpochError> {
+    let torn = || EpochError::TornPart {
+        path: path.to_string(),
+    };
+    let bytes = dfs.read(path).ok_or_else(torn)?;
+    let seal = dfs.read(&seal_path(path)).ok_or_else(torn)?;
+    if seal_matches(&seal, &bytes) {
+        Ok(bytes)
+    } else {
+        Err(torn())
+    }
+}
+
+/// Writes a part and then commits it by writing its seal **last**.
+pub fn write_part(dfs: &Dfs, prefix: &str, epoch: u64, node: u32, bytes: Vec<u8>) {
+    write_sealed(dfs, &part_path(prefix, epoch, node), bytes);
+}
+
+/// Writes a part **without** its seal — the on-disk state left behind by a
+/// node crashing between the data write and the manifest commit. Used by the
+/// failure injector; loaders must treat the epoch as torn.
+pub fn write_part_torn(dfs: &Dfs, prefix: &str, epoch: u64, node: u32, bytes: Vec<u8>) {
+    dfs.write(&part_path(prefix, epoch, node), bytes);
+}
+
+/// Reads a part and verifies it against its seal.
+pub fn read_verified(
+    dfs: &Dfs,
+    prefix: &str,
+    epoch: u64,
+    node: u32,
+) -> Result<Arc<Vec<u8>>, EpochError> {
+    read_sealed(dfs, &part_path(prefix, epoch, node))
+}
+
+/// Path of `epoch`'s roster record under `prefix`.
+pub fn roster_path(prefix: &str, epoch: u64) -> String {
+    format!("{prefix}/ckpt/{epoch}/roster")
+}
+
+/// Seals the membership roster of `epoch`: the node IDs whose parts
+/// constitute the epoch.
+///
+/// Cluster membership shrinks across recovery episodes (migration leaves the
+/// dead node's state on the survivors), so "every node's part verifies"
+/// cannot be judged against a fixed node count. The leader of each epoch
+/// records who participated; an epoch is then complete exactly when its
+/// roster verifies **and** every rostered part verifies. The roster is
+/// written with the same seal-last discipline as parts, so a leader dying
+/// mid-roster leaves the epoch detectably torn rather than ambiguous.
+pub fn write_roster(dfs: &Dfs, prefix: &str, epoch: u64, nodes: &[u32]) {
+    let mut bytes = Vec::with_capacity(4 + nodes.len() * 4);
+    bytes.extend_from_slice(&(nodes.len() as u32).to_le_bytes());
+    for &n in nodes {
+        bytes.extend_from_slice(&n.to_le_bytes());
+    }
+    write_sealed(dfs, &roster_path(prefix, epoch), bytes);
+}
+
+/// Reads and verifies `epoch`'s roster.
+pub fn read_roster(dfs: &Dfs, prefix: &str, epoch: u64) -> Result<Vec<u32>, EpochError> {
+    let path = roster_path(prefix, epoch);
+    let bytes = read_sealed(dfs, &path)?;
+    let torn = || EpochError::TornPart { path: path.clone() };
+    if bytes.len() < 4 {
+        return Err(torn());
+    }
+    let count = u32::from_le_bytes(bytes[0..4].try_into().expect("sliced")) as usize;
+    if bytes.len() != 4 + count * 4 {
+        return Err(torn());
+    }
+    Ok(bytes[4..]
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().expect("chunked")))
+        .collect())
+}
+
+/// Whether `epoch` is complete by its own roster: the roster verifies and
+/// every rostered node's part verifies.
+pub fn epoch_complete_rostered(dfs: &Dfs, prefix: &str, epoch: u64) -> bool {
+    match read_roster(dfs, prefix, epoch) {
+        Ok(nodes) => epoch_complete_for(dfs, prefix, epoch, &nodes),
+        Err(_) => false,
+    }
+}
+
+/// All roster-complete epochs under `prefix`, ascending.
+pub fn complete_epochs_rostered(dfs: &Dfs, prefix: &str) -> Vec<u64> {
+    listed_epochs(dfs, prefix)
+        .into_iter()
+        .filter(|&e| epoch_complete_rostered(dfs, prefix, e))
+        .collect()
+}
+
+/// The newest roster-complete epoch, or a clear error when none exists.
+pub fn latest_complete_rostered(dfs: &Dfs, prefix: &str) -> Result<u64, EpochError> {
+    complete_epochs_rostered(dfs, prefix)
+        .last()
+        .copied()
+        .ok_or_else(|| EpochError::NoCompleteEpoch {
+            prefix: prefix.to_string(),
+        })
+}
+
+/// Whether every node's part in `epoch` verifies against its seal.
+pub fn epoch_complete(dfs: &Dfs, prefix: &str, epoch: u64, num_nodes: u32) -> bool {
+    (0..num_nodes).all(|n| read_verified(dfs, prefix, epoch, n).is_ok())
+}
+
+/// Like [`epoch_complete`], but judged against an explicit node set.
+///
+/// After a recovery episode shrinks the cluster (migration onto survivors),
+/// completeness can no longer be judged against `0..num_nodes`: dead nodes
+/// will never seal another part, yet older epochs they did seal remain
+/// loadable. Callers pass the set of nodes whose parts the *load* actually
+/// needs.
+pub fn epoch_complete_for(dfs: &Dfs, prefix: &str, epoch: u64, nodes: &[u32]) -> bool {
+    nodes
+        .iter()
+        .all(|&n| read_verified(dfs, prefix, epoch, n).is_ok())
+}
+
+fn listed_epochs(dfs: &Dfs, prefix: &str) -> Vec<u64> {
+    let dir = format!("{prefix}/ckpt/");
+    let mut epochs: Vec<u64> = dfs
+        .list(&dir)
+        .iter()
+        .filter_map(|p| p[dir.len()..].split('/').next()?.parse::<u64>().ok())
+        .collect();
+    epochs.sort_unstable();
+    epochs.dedup();
+    epochs
+}
+
+/// All complete epochs under `prefix`, ascending.
+pub fn complete_epochs(dfs: &Dfs, prefix: &str, num_nodes: u32) -> Vec<u64> {
+    listed_epochs(dfs, prefix)
+        .into_iter()
+        .filter(|&e| epoch_complete(dfs, prefix, e, num_nodes))
+        .collect()
+}
+
+/// All epochs whose parts verify for every node in `nodes`, ascending.
+pub fn complete_epochs_for(dfs: &Dfs, prefix: &str, nodes: &[u32]) -> Vec<u64> {
+    listed_epochs(dfs, prefix)
+        .into_iter()
+        .filter(|&e| epoch_complete_for(dfs, prefix, e, nodes))
+        .collect()
+}
+
+/// The newest complete epoch, or a clear error when none exists.
+pub fn latest_complete(dfs: &Dfs, prefix: &str, num_nodes: u32) -> Result<u64, EpochError> {
+    complete_epochs(dfs, prefix, num_nodes)
+        .last()
+        .copied()
+        .ok_or_else(|| EpochError::NoCompleteEpoch {
+            prefix: prefix.to_string(),
+        })
+}
+
+/// The newest epoch complete for `nodes`, or a clear error when none exists.
+pub fn latest_complete_for(dfs: &Dfs, prefix: &str, nodes: &[u32]) -> Result<u64, EpochError> {
+    complete_epochs_for(dfs, prefix, nodes)
+        .last()
+        .copied()
+        .ok_or_else(|| EpochError::NoCompleteEpoch {
+            prefix: prefix.to_string(),
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DfsConfig;
+
+    fn dfs() -> Dfs {
+        Dfs::new(DfsConfig::instant())
+    }
+
+    #[test]
+    fn sealed_epoch_round_trips() {
+        let d = dfs();
+        for n in 0..3 {
+            write_part(&d, "ec", 4, n, vec![n as u8; 10]);
+        }
+        assert!(epoch_complete(&d, "ec", 4, 3));
+        assert_eq!(read_verified(&d, "ec", 4, 1).unwrap().as_ref(), &[1u8; 10]);
+        assert_eq!(latest_complete(&d, "ec", 3), Ok(4));
+    }
+
+    #[test]
+    fn missing_seal_marks_epoch_torn() {
+        let d = dfs();
+        write_part(&d, "ec", 4, 0, vec![7; 4]);
+        write_part(&d, "ec", 4, 1, vec![7; 4]);
+        write_part_torn(&d, "ec", 4, 2, vec![7; 4]);
+        assert!(!epoch_complete(&d, "ec", 4, 3));
+        assert!(matches!(
+            read_verified(&d, "ec", 4, 2),
+            Err(EpochError::TornPart { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupted_part_fails_checksum() {
+        let d = dfs();
+        write_part(&d, "ec", 2, 0, vec![1, 2, 3, 4]);
+        // Overwrite the data after the seal committed — a bit-rot model.
+        d.write(&part_path("ec", 2, 0), vec![1, 2, 3, 5]);
+        assert!(matches!(
+            read_verified(&d, "ec", 2, 0),
+            Err(EpochError::TornPart { .. })
+        ));
+        // Truncation is likewise caught (length recorded in the seal).
+        d.write(&part_path("ec", 2, 0), vec![1, 2, 3]);
+        assert!(read_verified(&d, "ec", 2, 0).is_err());
+    }
+
+    #[test]
+    fn loader_falls_back_to_newest_complete_epoch() {
+        let d = dfs();
+        for n in 0..2 {
+            write_part(&d, "vc", 3, n, vec![3; 8]);
+        }
+        for n in 0..2 {
+            write_part(&d, "vc", 6, n, vec![6; 8]);
+        }
+        // Epoch 9 is torn: node 1 died before sealing its part.
+        write_part(&d, "vc", 9, 0, vec![9; 8]);
+        write_part_torn(&d, "vc", 9, 1, vec![9; 8]);
+        assert_eq!(complete_epochs(&d, "vc", 2), vec![3, 6]);
+        assert_eq!(latest_complete(&d, "vc", 2), Ok(6));
+    }
+
+    #[test]
+    fn zero_complete_epochs_is_a_clear_error() {
+        let d = dfs();
+        let err = latest_complete(&d, "ec", 3).unwrap_err();
+        assert!(matches!(err, EpochError::NoCompleteEpoch { .. }));
+        assert!(err.to_string().contains("no complete checkpoint epoch"));
+
+        // A lone torn epoch still yields the same clear error, not a decode
+        // attempt on the torn bytes.
+        write_part_torn(&d, "ec", 5, 0, vec![0xFF; 16]);
+        assert!(matches!(
+            latest_complete(&d, "ec", 3),
+            Err(EpochError::NoCompleteEpoch { .. })
+        ));
+    }
+
+    #[test]
+    fn node_set_variants_ignore_dead_nodes() {
+        let d = dfs();
+        // Epoch 3 was sealed by all of {0, 1, 2}; then node 2 died and the
+        // shrunken cluster {0, 1} sealed epoch 6 alone.
+        for n in 0..3 {
+            write_part(&d, "ec", 3, n, vec![3; 8]);
+        }
+        for n in 0..2 {
+            write_part(&d, "ec", 6, n, vec![6; 8]);
+        }
+        // Against the full roster, epoch 6 looks torn; against the survivor
+        // set it is the newest complete epoch.
+        assert_eq!(latest_complete(&d, "ec", 3), Ok(3));
+        assert!(!epoch_complete(&d, "ec", 6, 3));
+        assert!(epoch_complete_for(&d, "ec", 6, &[0, 1]));
+        assert_eq!(complete_epochs_for(&d, "ec", &[0, 1]), vec![3, 6]);
+        assert_eq!(latest_complete_for(&d, "ec", &[0, 1]), Ok(6));
+        // A loader that still needs the dead node's part must fall back.
+        assert_eq!(latest_complete_for(&d, "ec", &[0, 1, 2]), Ok(3));
+    }
+
+    #[test]
+    fn roster_round_trips_and_gates_completeness() {
+        let d = dfs();
+        for n in 0..3 {
+            write_part(&d, "ec", 5, n, vec![5; 8]);
+        }
+        // Parts sealed but no roster yet: not rostered-complete.
+        assert!(!epoch_complete_rostered(&d, "ec", 5));
+        write_roster(&d, "ec", 5, &[0, 1, 2]);
+        assert_eq!(read_roster(&d, "ec", 5), Ok(vec![0, 1, 2]));
+        assert!(epoch_complete_rostered(&d, "ec", 5));
+        assert_eq!(latest_complete_rostered(&d, "ec"), Ok(5));
+    }
+
+    #[test]
+    fn rostered_epoch_with_missing_part_is_torn() {
+        let d = dfs();
+        write_part(&d, "ec", 2, 0, vec![2; 8]);
+        write_part_torn(&d, "ec", 2, 1, vec![2; 8]);
+        write_roster(&d, "ec", 2, &[0, 1]);
+        assert!(!epoch_complete_rostered(&d, "ec", 2));
+        assert!(matches!(
+            latest_complete_rostered(&d, "ec"),
+            Err(EpochError::NoCompleteEpoch { .. })
+        ));
+    }
+
+    #[test]
+    fn shrinking_roster_tracks_membership() {
+        let d = dfs();
+        // Epoch 3 written by {0, 1, 2}; node 2 then dies and {0, 1} write
+        // epoch 6 with a two-node roster.
+        for n in 0..3 {
+            write_part(&d, "ec", 3, n, vec![3; 8]);
+        }
+        write_roster(&d, "ec", 3, &[0, 1, 2]);
+        for n in 0..2 {
+            write_part(&d, "ec", 6, n, vec![6; 8]);
+        }
+        write_roster(&d, "ec", 6, &[0, 1]);
+        assert_eq!(complete_epochs_rostered(&d, "ec"), vec![3, 6]);
+        assert_eq!(latest_complete_rostered(&d, "ec"), Ok(6));
+    }
+
+    #[test]
+    fn truncated_roster_bytes_are_torn() {
+        let d = dfs();
+        write_roster(&d, "ec", 1, &[0, 1]);
+        // Corrupt the roster body after sealing: count says 2, one id.
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&2u32.to_le_bytes());
+        bad.extend_from_slice(&0u32.to_le_bytes());
+        write_sealed(&d, &roster_path("ec", 1), bad);
+        assert!(matches!(
+            read_roster(&d, "ec", 1),
+            Err(EpochError::TornPart { .. })
+        ));
+    }
+
+    #[test]
+    fn checksum_is_order_sensitive() {
+        assert_ne!(checksum(&[1, 2, 3]), checksum(&[3, 2, 1]));
+        assert_ne!(checksum(&[]), checksum(&[0]));
+    }
+}

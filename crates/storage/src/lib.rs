@@ -27,5 +27,7 @@
 
 pub mod codec;
 mod dfs;
+pub mod epoch;
 
 pub use dfs::{Dfs, DfsConfig, DfsStats};
+pub use epoch::EpochError;

@@ -14,7 +14,9 @@ use proptest::prelude::*;
 
 use imitator_repro::cluster::{FailPoint, FailurePlan, NodeId};
 use imitator_repro::engine::{Degrees, VertexProgram};
-use imitator_repro::ft::{run_edge_cut, run_vertex_cut, FtMode, RecoveryStrategy, RunConfig};
+use imitator_repro::ft::{
+    run_edge_cut, run_vertex_cut, FtMode, RecoveryStrategy, RunConfig, RunReport,
+};
 use imitator_repro::graph::{gen, Graph, Vid};
 use imitator_repro::partition::{
     EdgeCutPartitioner, HashEdgeCut, RandomVertexCut, VertexCutPartitioner,
@@ -849,5 +851,569 @@ fn refactor_goldens_are_bit_identical() {
             "{}: got 0x{got:016X}, expected 0x{:016X}",
             c.name, c.expected
         );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cascading failures (§5.3): a second crash strikes while recovery from the
+// first is still in flight. Survivors must abort the in-flight attempt,
+// enlarge the failure set, restart idempotently — and the run must still
+// converge bit-identically to a failure-free execution.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct NestedScenario {
+    graph: Graph,
+    nodes: usize,
+    strategy: RecoveryStrategy,
+    /// The initial crash: (victim, iteration, before_barrier).
+    primary: (usize, u64, bool),
+    /// A node (never the primary victim) that crashes mid-recovery.
+    second: usize,
+    /// Selects which recovery-phase fail point the second crash hits.
+    point_sel: u8,
+    standbys: usize,
+    threads: usize,
+}
+
+/// The iteration a recovery episode triggered by `primary` resumes from: a
+/// pre-barrier crash is detected at the same iteration's barrier, a
+/// post-barrier crash at the next one. Recovery-phase fail plans key their
+/// `iteration` by this value.
+fn resume_iter(primary: (usize, u64, bool)) -> u64 {
+    if primary.2 {
+        primary.1
+    } else {
+        primary.1 + 1
+    }
+}
+
+fn arb_nested() -> impl Strategy<Value = NestedScenario> {
+    (
+        4usize..6,
+        40usize..160,
+        proptest::collection::vec((any::<u32>(), any::<u32>()), 30..250),
+        prop_oneof![
+            Just(RecoveryStrategy::Rebirth),
+            Just(RecoveryStrategy::Migration)
+        ],
+        (0usize..6, 0u64..5, any::<bool>()),
+        0usize..6,
+        any::<u8>(),
+        (0usize..4, 1usize..=8),
+    )
+        .prop_map(
+            |(
+                nodes,
+                n,
+                pairs,
+                strategy,
+                raw_primary,
+                raw_second,
+                point_sel,
+                (standbys, threads),
+            )| {
+                let pairs: Vec<(u32, u32)> = pairs
+                    .into_iter()
+                    .map(|(a, b)| (a % n as u32, b % n as u32))
+                    .collect();
+                let victim = raw_primary.0 % nodes;
+                let mut second = raw_second % nodes;
+                if second == victim {
+                    second = (second + 1) % nodes;
+                }
+                NestedScenario {
+                    graph: gen::from_pairs(n, &pairs),
+                    nodes,
+                    strategy,
+                    primary: (victim, raw_primary.1, raw_primary.2),
+                    second,
+                    point_sel,
+                    standbys,
+                    threads,
+                }
+            },
+        )
+}
+
+/// The primary crash plus a second crash inside the recovery episode it
+/// triggers. For Rebirth the second crash may also target the *reborn* node
+/// itself (the standby inherits the dead node's identity), covering newbie
+/// death during reload, reconstruction and replay. If the primary never
+/// fires (the run converges first), the nested plan stays dormant and the
+/// property degenerates to plain equivalence — still a valid assertion.
+fn nested_plans(s: &NestedScenario) -> Vec<FailurePlan> {
+    let (victim, iter, before) = s.primary;
+    let resume = resume_iter(s.primary);
+    let mut out = vec![FailurePlan {
+        node: NodeId::from_index(victim),
+        iteration: iter,
+        point: if before {
+            FailPoint::BeforeBarrier
+        } else {
+            FailPoint::AfterBarrier
+        },
+    }];
+    let (point, node) = match s.strategy {
+        RecoveryStrategy::Migration => (FailPoint::MigrationRound(1 + s.point_sel % 8), s.second),
+        RecoveryStrategy::Rebirth => match s.point_sel % 4 {
+            0 => (FailPoint::RebirthReload, s.second),
+            1 => (FailPoint::RebirthReload, victim),
+            2 => (FailPoint::RebirthReconstruct, victim),
+            _ => (FailPoint::RebirthReplay, victim),
+        },
+    };
+    out.push(FailurePlan {
+        node: NodeId::from_index(node),
+        iteration: resume,
+        point,
+    });
+    out
+}
+
+fn nested_config(s: &NestedScenario, ft: FtMode) -> RunConfig {
+    RunConfig {
+        num_nodes: s.nodes,
+        max_iters: 30,
+        threads_per_node: s.threads,
+        ft,
+        standbys: s.standbys,
+        ..RunConfig::default()
+    }
+}
+
+/// Every successful episode took exactly one more attempt than it aborted;
+/// the reborn newbie's `{1, 0}` view never outweighs the survivors' under
+/// the max-merge.
+fn check_counters<V>(report: &RunReport<V>) -> Result<(), TestCaseError> {
+    for ep in &report.recoveries {
+        prop_assert_eq!(
+            ep.counters.attempts,
+            ep.counters.aborts + 1,
+            "episode {:?}: attempts must be aborts + 1",
+            ep.counters
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(12)))]
+
+    #[test]
+    fn edge_cut_cascading_failure_is_equivalent(s in arb_nested()) {
+        let cut = HashEdgeCut.partition(&s.graph, s.nodes);
+        let clean = run_edge_cut(
+            &s.graph,
+            &cut,
+            Arc::new(MinLabel),
+            RunConfig { ft: FtMode::None, standbys: 0, ..nested_config(&s, FtMode::None) },
+            vec![],
+            Dfs::new(DfsConfig::instant()),
+        );
+        let ft = FtMode::Replication {
+            tolerance: 2,
+            selfish_opt: false,
+            recovery: s.strategy,
+        };
+        let recovered = run_edge_cut(
+            &s.graph,
+            &cut,
+            Arc::new(MinLabel),
+            nested_config(&s, ft),
+            nested_plans(&s),
+            Dfs::new(DfsConfig::instant()),
+        );
+        prop_assert_eq!(&recovered.values, &clean.values);
+        check_counters(&recovered)?;
+    }
+
+    #[test]
+    fn vertex_cut_cascading_failure_is_equivalent(s in arb_nested()) {
+        let cut = RandomVertexCut.partition(&s.graph, s.nodes);
+        let clean = run_vertex_cut(
+            &s.graph,
+            &cut,
+            Arc::new(MinLabel),
+            RunConfig { ft: FtMode::None, standbys: 0, ..nested_config(&s, FtMode::None) },
+            vec![],
+            Dfs::new(DfsConfig::instant()),
+        );
+        let ft = FtMode::Replication {
+            tolerance: 2,
+            selfish_opt: false,
+            recovery: s.strategy,
+        };
+        let recovered = run_vertex_cut(
+            &s.graph,
+            &cut,
+            Arc::new(MinLabel),
+            nested_config(&s, ft),
+            nested_plans(&s),
+            Dfs::new(DfsConfig::instant()),
+        );
+        prop_assert_eq!(&recovered.values, &clean.values);
+        check_counters(&recovered)?;
+    }
+
+    #[test]
+    fn checkpoint_cascading_failure_is_equivalent(
+        (s, incremental) in (arb_nested(), any::<bool>())
+    ) {
+        // Checkpoint recovery reuses RebirthReload for the post-decision
+        // crash and MigrationRound(1..=3) for the fallback rounds; torn
+        // snapshot writes (CkptWrite) are driven by the primary selector.
+        let (victim, iter, _) = s.primary;
+        let resume = resume_iter(s.primary);
+        let mut plans_v = vec![FailurePlan {
+            node: NodeId::from_index(victim),
+            iteration: iter,
+            point: if s.point_sel % 3 == 2 {
+                // Only fires when (iter + 1) is an epoch boundary; dormant
+                // otherwise, which still asserts plain equivalence.
+                FailPoint::CkptWrite
+            } else if s.primary.2 {
+                FailPoint::BeforeBarrier
+            } else {
+                FailPoint::AfterBarrier
+            },
+        }];
+        plans_v.push(FailurePlan {
+            node: NodeId::from_index(s.second),
+            iteration: resume,
+            point: if s.point_sel % 2 == 0 {
+                FailPoint::RebirthReload
+            } else {
+                FailPoint::MigrationRound(1 + s.point_sel % 3)
+            },
+        });
+        let cut = RandomVertexCut.partition(&s.graph, s.nodes);
+        let clean = run_vertex_cut(
+            &s.graph,
+            &cut,
+            Arc::new(MinLabel),
+            RunConfig { ft: FtMode::None, standbys: 0, ..nested_config(&s, FtMode::None) },
+            vec![],
+            Dfs::new(DfsConfig::instant()),
+        );
+        let ft = FtMode::Checkpoint { interval: 2, incremental };
+        let recovered = run_vertex_cut(
+            &s.graph,
+            &cut,
+            Arc::new(MinLabel),
+            nested_config(&s, ft),
+            plans_v,
+            Dfs::new(DfsConfig::instant()),
+        );
+        prop_assert_eq!(&recovered.values, &clean.values);
+        check_counters(&recovered)?;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic cascading-failure and degradation cases. Unlike the fuzzed
+// properties above these pin the exact recovery path taken: every
+// MigrationRound is aborted at least once, crashed newbies are
+// re-dispatched, standby exhaustion degrades (never panics), and a torn
+// checkpoint epoch is never loaded.
+// ---------------------------------------------------------------------------
+
+/// Runs MinLabel on a fixed 120-vertex graph over 4 nodes, failure-free and
+/// with `plans` under `ft`; returns the clean values and the faulty run's
+/// report.
+fn nested_run(
+    edge_cut: bool,
+    ft: FtMode,
+    standbys: usize,
+    plans: Vec<FailurePlan>,
+) -> (Vec<u32>, RunReport<u32>) {
+    let graph = lcg_graph(120, 400, 1);
+    let nodes = 4;
+    let cfg = |ft, standbys| RunConfig {
+        num_nodes: nodes,
+        max_iters: 30,
+        ft,
+        standbys,
+        ..RunConfig::default()
+    };
+    if edge_cut {
+        let cut = HashEdgeCut.partition(&graph, nodes);
+        let clean = run_edge_cut(
+            &graph,
+            &cut,
+            Arc::new(MinLabel),
+            cfg(FtMode::None, 0),
+            vec![],
+            Dfs::new(DfsConfig::instant()),
+        );
+        let rec = run_edge_cut(
+            &graph,
+            &cut,
+            Arc::new(MinLabel),
+            cfg(ft, standbys),
+            plans,
+            Dfs::new(DfsConfig::instant()),
+        );
+        (clean.values, rec)
+    } else {
+        let cut = RandomVertexCut.partition(&graph, nodes);
+        let clean = run_vertex_cut(
+            &graph,
+            &cut,
+            Arc::new(MinLabel),
+            cfg(FtMode::None, 0),
+            vec![],
+            Dfs::new(DfsConfig::instant()),
+        );
+        let rec = run_vertex_cut(
+            &graph,
+            &cut,
+            Arc::new(MinLabel),
+            cfg(ft, standbys),
+            plans,
+            Dfs::new(DfsConfig::instant()),
+        );
+        (clean.values, rec)
+    }
+}
+
+fn crash(node: usize, iteration: u64, point: FailPoint) -> FailurePlan {
+    FailurePlan {
+        node: NodeId::from_index(node),
+        iteration,
+        point,
+    }
+}
+
+fn repl2(recovery: RecoveryStrategy) -> FtMode {
+    FtMode::Replication {
+        tolerance: 2,
+        selfish_opt: false,
+        recovery,
+    }
+}
+
+/// A crash at the start of every Migration round aborts the attempt; the
+/// restarted episode absorbs the second victim and still converges exactly.
+#[test]
+fn migration_restarts_after_mid_round_crash() {
+    for edge_cut in [true, false] {
+        for round in 1..=8u8 {
+            let plans = vec![
+                crash(1, 2, FailPoint::BeforeBarrier),
+                crash(2, 2, FailPoint::MigrationRound(round)),
+            ];
+            let (clean, rec) = nested_run(edge_cut, repl2(RecoveryStrategy::Migration), 0, plans);
+            assert_eq!(rec.values, clean, "edge_cut={edge_cut} round={round}");
+            assert_eq!(rec.recoveries.len(), 1, "one episode absorbs both crashes");
+            let ep = &rec.recoveries[0];
+            assert_eq!(ep.strategy, "migration");
+            assert_eq!(ep.failed_nodes, 2, "edge_cut={edge_cut} round={round}");
+            assert_eq!(
+                (ep.counters.attempts, ep.counters.aborts),
+                (2, 1),
+                "edge_cut={edge_cut} round={round}"
+            );
+        }
+    }
+}
+
+/// A survivor dying right after the standby-dispatch decision aborts the
+/// Rebirth attempt; with standbys to spare the retry re-dispatches for the
+/// enlarged failure set.
+#[test]
+fn rebirth_restarts_when_survivor_crashes_mid_reload() {
+    for edge_cut in [true, false] {
+        let plans = vec![
+            crash(1, 2, FailPoint::BeforeBarrier),
+            crash(2, 2, FailPoint::RebirthReload),
+        ];
+        let (clean, rec) = nested_run(edge_cut, repl2(RecoveryStrategy::Rebirth), 3, plans);
+        assert_eq!(rec.values, clean, "edge_cut={edge_cut}");
+        assert_eq!(rec.recoveries.len(), 1);
+        let ep = &rec.recoveries[0];
+        assert_eq!(ep.strategy, "rebirth", "edge_cut={edge_cut}");
+        assert_eq!(ep.failed_nodes, 2);
+        assert_eq!((ep.counters.attempts, ep.counters.aborts), (2, 1));
+    }
+}
+
+/// The reborn node itself dying mid-recovery (at any of its three phases)
+/// aborts the attempt; the retry dispatches a fresh standby for the same
+/// identity.
+#[test]
+fn rebirth_redispatches_after_newbie_crash() {
+    for edge_cut in [true, false] {
+        for point in [
+            FailPoint::RebirthReload,
+            FailPoint::RebirthReconstruct,
+            FailPoint::RebirthReplay,
+        ] {
+            let plans = vec![crash(1, 2, FailPoint::BeforeBarrier), crash(1, 2, point)];
+            let (clean, rec) = nested_run(edge_cut, repl2(RecoveryStrategy::Rebirth), 3, plans);
+            assert_eq!(rec.values, clean, "edge_cut={edge_cut} point={point:?}");
+            assert_eq!(rec.recoveries.len(), 1);
+            let ep = &rec.recoveries[0];
+            assert_eq!(
+                ep.strategy, "rebirth",
+                "edge_cut={edge_cut} point={point:?}"
+            );
+            assert_eq!(
+                ep.failed_nodes, 1,
+                "the newbie's crash re-fails the same identity"
+            );
+            assert_eq!((ep.counters.attempts, ep.counters.aborts), (2, 1));
+        }
+    }
+}
+
+/// With no standbys at all, Rebirth degrades to Migration instead of
+/// asserting; the report records the executed path.
+#[test]
+fn rebirth_degrades_to_migration_when_standbys_exhausted() {
+    for edge_cut in [true, false] {
+        let plans = vec![crash(1, 2, FailPoint::BeforeBarrier)];
+        let (clean, rec) = nested_run(edge_cut, repl2(RecoveryStrategy::Rebirth), 0, plans);
+        assert_eq!(rec.values, clean, "edge_cut={edge_cut}");
+        assert_eq!(rec.recoveries.len(), 1);
+        let ep = &rec.recoveries[0];
+        assert_eq!(
+            ep.strategy, "rebirth\u{2192}migration",
+            "edge_cut={edge_cut}"
+        );
+        assert_eq!((ep.counters.attempts, ep.counters.aborts), (1, 0));
+    }
+}
+
+/// An aborted attempt consumes its dispatched standby (the newbie suicides
+/// to rejoin the barrier protocol); when the retry's enlarged failure set
+/// outnumbers the remaining pool, Rebirth degrades mid-episode.
+#[test]
+fn rebirth_degrades_after_abort_consumes_standbys() {
+    for edge_cut in [true, false] {
+        let plans = vec![
+            crash(1, 2, FailPoint::BeforeBarrier),
+            crash(2, 2, FailPoint::RebirthReload),
+        ];
+        let (clean, rec) = nested_run(edge_cut, repl2(RecoveryStrategy::Rebirth), 1, plans);
+        assert_eq!(rec.values, clean, "edge_cut={edge_cut}");
+        assert_eq!(rec.recoveries.len(), 1);
+        let ep = &rec.recoveries[0];
+        assert_eq!(
+            ep.strategy, "rebirth\u{2192}migration",
+            "edge_cut={edge_cut}"
+        );
+        assert_eq!(ep.failed_nodes, 2);
+        assert_eq!((ep.counters.attempts, ep.counters.aborts), (2, 1));
+    }
+}
+
+/// Checkpoint recovery without standbys falls back to replica-free
+/// migration: survivors adopt the dead partitions straight from the
+/// snapshot chain.
+#[test]
+fn checkpoint_degrades_to_migration_when_standbys_exhausted() {
+    for edge_cut in [true, false] {
+        for incremental in [false, true] {
+            let plans = vec![crash(1, 2, FailPoint::BeforeBarrier)];
+            let ft = FtMode::Checkpoint {
+                interval: 2,
+                incremental,
+            };
+            let (clean, rec) = nested_run(edge_cut, ft, 0, plans);
+            assert_eq!(
+                rec.values, clean,
+                "edge_cut={edge_cut} incremental={incremental}"
+            );
+            assert_eq!(rec.recoveries.len(), 1);
+            let ep = &rec.recoveries[0];
+            assert_eq!(
+                ep.strategy, "checkpoint\u{2192}migration",
+                "edge_cut={edge_cut} incremental={incremental}"
+            );
+        }
+    }
+}
+
+/// Two machines lost at once with an empty standby pool: the fallback must
+/// adopt both partitions and resolve replicas whose master died alongside
+/// them (orphans).
+#[test]
+fn checkpoint_fallback_handles_double_failure() {
+    for edge_cut in [true, false] {
+        for incremental in [false, true] {
+            let plans = vec![
+                crash(1, 2, FailPoint::BeforeBarrier),
+                crash(2, 2, FailPoint::BeforeBarrier),
+            ];
+            let ft = FtMode::Checkpoint {
+                interval: 2,
+                incremental,
+            };
+            let (clean, rec) = nested_run(edge_cut, ft, 0, plans);
+            assert_eq!(
+                rec.values, clean,
+                "edge_cut={edge_cut} incremental={incremental}"
+            );
+            assert_eq!(rec.recoveries.len(), 1);
+            let ep = &rec.recoveries[0];
+            assert_eq!(ep.strategy, "checkpoint\u{2192}migration");
+            assert_eq!(
+                ep.failed_nodes, 2,
+                "edge_cut={edge_cut} incremental={incremental}"
+            );
+        }
+    }
+}
+
+/// A second crash during checkpoint recovery: with spare standbys the
+/// restarted episode stays on the standby path; with a drained pool it
+/// degrades to the migration fallback.
+#[test]
+fn checkpoint_cascade_restarts_or_degrades() {
+    for edge_cut in [true, false] {
+        for (standbys, want) in [(3, "checkpoint"), (2, "checkpoint\u{2192}migration")] {
+            let plans = vec![
+                crash(1, 2, FailPoint::BeforeBarrier),
+                crash(2, 2, FailPoint::RebirthReload),
+            ];
+            let ft = FtMode::Checkpoint {
+                interval: 2,
+                incremental: false,
+            };
+            let (clean, rec) = nested_run(edge_cut, ft, standbys, plans);
+            assert_eq!(rec.values, clean, "edge_cut={edge_cut} standbys={standbys}");
+            assert_eq!(rec.recoveries.len(), 1);
+            let ep = &rec.recoveries[0];
+            assert_eq!(ep.strategy, want, "edge_cut={edge_cut} standbys={standbys}");
+            assert_eq!(ep.failed_nodes, 2);
+            assert_eq!((ep.counters.attempts, ep.counters.aborts), (2, 1));
+        }
+    }
+}
+
+/// A node dying mid-snapshot-write leaves a torn part behind; the epoch it
+/// belongs to must never be loaded. Recovery rolls back to the previous
+/// complete epoch and still converges exactly — with or without a standby.
+#[test]
+fn torn_checkpoint_epoch_is_never_loaded() {
+    for edge_cut in [true, false] {
+        for (standbys, want) in [(1, "checkpoint"), (0, "checkpoint\u{2192}migration")] {
+            // interval 2 ⇒ epoch 4 is written during iteration 3; node 1
+            // dies mid-write, torn part ⇒ roster check keeps epoch 4
+            // incomplete forever.
+            let plans = vec![crash(1, 3, FailPoint::CkptWrite)];
+            let ft = FtMode::Checkpoint {
+                interval: 2,
+                incremental: false,
+            };
+            let (clean, rec) = nested_run(edge_cut, ft, standbys, plans);
+            assert_eq!(rec.values, clean, "edge_cut={edge_cut} standbys={standbys}");
+            assert_eq!(rec.recoveries.len(), 1);
+            assert_eq!(
+                rec.recoveries[0].strategy, want,
+                "edge_cut={edge_cut} standbys={standbys}"
+            );
+        }
     }
 }
