@@ -1,0 +1,258 @@
+//! Delta-encoded sync records.
+//!
+//! On top of redundant-sync *suppression* (ship nothing when the replica
+//! already holds the value, `suppress.rs`), values that changed only
+//! slightly can ship as a **delta**: the minimal contiguous span of encoded
+//! bytes that differs from the value the destination already holds. The
+//! [`crate::suppress::SyncFilter`] already keeps exactly the base needed —
+//! the last committed record shipped to each destination, with a
+//! per-destination validity epoch — so a delta is legal toward a
+//! destination precisely when suppression toward it would have been legal
+//! had the value matched.
+//!
+//! Wire layout of one framed sync record (`flags` bit 0 = activate,
+//! bit 1 = delta):
+//!
+//! ```text
+//! full : pos:u32  flags:u8  value-bytes            = 5 + len
+//! delta: pos:u32  flags:u8  start:u16 len:u16 span = 9 + span
+//! ```
+//!
+//! The framed full record costs exactly what the legacy accounting charged
+//! (`VertexSync::wire_bytes` = 4 + len + 1), so enabling the codec is
+//! accounting-neutral whenever no delta applies; a delta is chosen only
+//! when no larger ([`sync_record_bytes`] is the single size rule the
+//! encoder and the driver's accounting both use). Deltas require the old
+//! and new encodings to have the same width (true for all fixed-width
+//! vertex values: PageRank f64, labels u32, …).
+//!
+//! Determinism: the span is computed at *stage* time on the main thread,
+//! from the filter entry and the new value only — independent of thread
+//! count, pipelining, and destination — so byte accounting is bit-identical
+//! to a serial run.
+
+use imitator_storage::codec::{decode, Decode, DecodeError, Encode, Reader};
+
+/// Flag bit 0: the record's scatter/activate bit.
+const FLAG_ACTIVATE: u8 = 1 << 0;
+/// Flag bit 1: the payload is a `(start, len, span-bytes)` delta.
+const FLAG_DELTA: u8 = 1 << 1;
+
+/// Minimal contiguous differing-byte span between two equal-width
+/// encodings, as `(start, len)`; `len == 0` when the bytes are identical
+/// (the record still ships because its activate bit differs). `None` when
+/// the widths differ or exceed the u16 frame fields.
+pub(crate) fn min_span(old: &[u8], new: &[u8]) -> Option<(u16, u16)> {
+    if old.len() != new.len() || new.len() > u16::MAX as usize {
+        return None;
+    }
+    let first = match old.iter().zip(new).position(|(a, b)| a != b) {
+        None => return Some((0, 0)),
+        Some(i) => i,
+    };
+    let last = old
+        .iter()
+        .zip(new)
+        .rposition(|(a, b)| a != b)
+        .expect("a first differing byte implies a last");
+    Some((first as u16, (last - first + 1) as u16))
+}
+
+/// Wire size of one framed sync record for a value of encoded width
+/// `value_len`, given the staged delta span (if any): the delta layout is
+/// used iff it is no larger than the full layout. This is the single
+/// size rule shared by [`encode_sync_record`] and the driver's byte
+/// accounting, keeping accounted bytes equal to encoded bytes.
+pub(crate) fn sync_record_bytes(value_len: usize, span: Option<(u16, u16)>) -> usize {
+    let full = 4 + value_len + 1;
+    match span {
+        Some((_, len)) if 9 + len as usize <= full => 9 + len as usize,
+        _ => full,
+    }
+}
+
+/// Encodes one framed sync record, choosing delta vs full with the same
+/// rule as [`sync_record_bytes`].
+pub(crate) fn encode_sync_record(
+    pos: u32,
+    activate: bool,
+    old: Option<&[u8]>,
+    new: &[u8],
+    out: &mut Vec<u8>,
+) {
+    let span = old.and_then(|o| min_span(o, new));
+    pos.encode(out);
+    let act = if activate { FLAG_ACTIVATE } else { 0 };
+    match span {
+        Some((start, len)) if 9 + len as usize <= 4 + new.len() + 1 => {
+            (act | FLAG_DELTA).encode(out);
+            start.encode(out);
+            len.encode(out);
+            out.extend_from_slice(&new[start as usize..(start + len) as usize]);
+        }
+        _ => {
+            act.encode(out);
+            out.extend_from_slice(new);
+        }
+    }
+}
+
+/// One decoded framed sync record: the reassembled full value bytes plus
+/// the activate bit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct SyncRecord {
+    pub pos: u32,
+    pub activate: bool,
+    pub value: Vec<u8>,
+}
+
+/// Decodes one framed sync record, resolving deltas against `base` (the
+/// destination's current encoded value for `pos`, exactly what the
+/// sender's filter entry recorded as installed there).
+pub(crate) fn decode_sync_record(
+    buf: &[u8],
+    base: impl FnOnce(u32) -> Vec<u8>,
+) -> Result<SyncRecord, DecodeError> {
+    struct Frame {
+        pos: u32,
+        flags: u8,
+        rest: Vec<u8>,
+    }
+    impl Decode for Frame {
+        fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+            let pos = u32::decode(r)?;
+            let flags = u8::decode(r)?;
+            let rest = r.take(r.remaining())?.to_vec();
+            Ok(Frame { pos, flags, rest })
+        }
+    }
+    let f: Frame = decode(buf)?;
+    let activate = f.flags & FLAG_ACTIVATE != 0;
+    if f.flags & FLAG_DELTA == 0 {
+        return Ok(SyncRecord {
+            pos: f.pos,
+            activate,
+            value: f.rest,
+        });
+    }
+    let mut r = Reader::new(&f.rest);
+    let start = u16::decode(&mut r)? as usize;
+    let len = u16::decode(&mut r)? as usize;
+    let span = r.take(len)?.to_vec();
+    let mut value = base(f.pos);
+    if start + len > value.len() {
+        return Err(DecodeError::Corrupt("delta span exceeds base value"));
+    }
+    value[start..start + len].copy_from_slice(&span);
+    Ok(SyncRecord {
+        pos: f.pos,
+        activate,
+        value,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::VertexSync;
+
+    #[test]
+    fn min_span_finds_tightest_window() {
+        assert_eq!(min_span(b"abcdef", b"abXYef"), Some((2, 2)));
+        assert_eq!(min_span(b"abcdef", b"Xbcdef"), Some((0, 1)));
+        assert_eq!(min_span(b"abcdef", b"abcdeX"), Some((5, 1)));
+        assert_eq!(min_span(b"abc", b"abc"), Some((0, 0)));
+        assert_eq!(min_span(b"abc", b"abcd"), None, "width change → no delta");
+    }
+
+    #[test]
+    fn full_frame_costs_exactly_the_legacy_accounting() {
+        for len in [1usize, 4, 8, 32] {
+            assert_eq!(
+                sync_record_bytes(len, None),
+                VertexSync::<u8>::wire_bytes(len),
+                "framed full record must be accounting-neutral"
+            );
+        }
+    }
+
+    #[test]
+    fn delta_chosen_only_when_no_larger_than_full() {
+        // f64-sized value (8 bytes): full = 13, delta = 9 + span.
+        assert_eq!(sync_record_bytes(8, Some((0, 2))), 11);
+        assert_eq!(sync_record_bytes(8, Some((0, 4))), 13); // tie → delta
+        assert_eq!(sync_record_bytes(8, Some((0, 5))), 13, "larger span → full");
+        // u32-sized value (4 bytes): full = 9, delta never smaller, tie at 0.
+        assert_eq!(sync_record_bytes(4, Some((0, 1))), 9);
+        assert_eq!(sync_record_bytes(4, Some((0, 0))), 9);
+    }
+
+    #[test]
+    fn accounted_sizes_match_codec() {
+        // The driver charges sync_record_bytes; the encoder must emit
+        // exactly that many bytes for every representable case.
+        let cases: &[(&[u8], &[u8])] = &[
+            (&[0; 8], &[0, 0, 7, 7, 0, 0, 0, 0]), // mid span
+            (&[1; 8], &[1; 8]),                   // identical bytes, bit flip
+            (&[2; 8], &[9; 8]),                   // everything changed
+            (&[3; 4], &[3, 9, 9, 3]),             // small value
+        ];
+        for (old, new) in cases {
+            let mut buf = Vec::new();
+            encode_sync_record(42, true, Some(old), new, &mut buf);
+            assert_eq!(
+                buf.len(),
+                sync_record_bytes(new.len(), min_span(old, new)),
+                "old={old:?} new={new:?}"
+            );
+        }
+        // No base → full frame, still matching the accounting.
+        let mut buf = Vec::new();
+        encode_sync_record(7, false, None, &[5; 8], &mut buf);
+        assert_eq!(buf.len(), sync_record_bytes(8, None));
+    }
+
+    #[test]
+    fn roundtrip_delta_and_full() {
+        let old = [0u8, 1, 2, 3, 4, 5, 6, 7];
+        let new = [0u8, 1, 9, 9, 4, 5, 6, 7];
+        let mut buf = Vec::new();
+        encode_sync_record(3, true, Some(&old), &new, &mut buf);
+        let rec = decode_sync_record(&buf, |pos| {
+            assert_eq!(pos, 3);
+            old.to_vec()
+        })
+        .unwrap();
+        assert_eq!(rec.pos, 3);
+        assert!(rec.activate);
+        assert_eq!(rec.value, new);
+
+        // Full record needs no base.
+        let mut buf = Vec::new();
+        encode_sync_record(9, false, None, &new, &mut buf);
+        let rec = decode_sync_record(&buf, |_| unreachable!("full record")).unwrap();
+        assert_eq!((rec.pos, rec.activate), (9, false));
+        assert_eq!(rec.value, new);
+    }
+
+    #[test]
+    fn identical_bytes_with_flipped_bit_ships_zero_span_delta() {
+        let v = [7u8; 8];
+        let mut buf = Vec::new();
+        encode_sync_record(0, true, Some(&v), &v, &mut buf);
+        assert_eq!(buf.len(), 9, "zero-length span");
+        let rec = decode_sync_record(&buf, |_| v.to_vec()).unwrap();
+        assert!(rec.activate);
+        assert_eq!(rec.value, v);
+    }
+
+    #[test]
+    fn corrupt_delta_span_is_rejected() {
+        let old = [1u8; 8];
+        let new = [1u8, 1, 1, 1, 1, 1, 1, 9];
+        let mut buf = Vec::new();
+        encode_sync_record(0, false, Some(&old), &new, &mut buf);
+        // Destination's base is unexpectedly narrower than the span needs.
+        assert!(decode_sync_record(&buf, |_| vec![0u8; 2]).is_err());
+    }
+}

@@ -18,7 +18,7 @@ use std::time::{Duration, Instant};
 use imitator_cluster::{
     BarrierOutcome, Cluster, Envelope, FailPoint, FailureInjector, FailurePlan, NodeCtx, NodeId,
 };
-use imitator_engine::{CopyKind, Degrees, FtPlan, MasterUpdate};
+use imitator_engine::{CopyKind, Degrees, FtPlan, InOrder, MasterUpdate, WorkerPool};
 use imitator_graph::Vid;
 use imitator_metrics::{CommKind, MemSize, Stopwatch};
 use imitator_storage::codec::{Decode, Encode};
@@ -71,16 +71,31 @@ pub(crate) enum StepOutcome {
 
 /// Node-indexed sync-batch scratch, allocated once per node and drained
 /// every iteration (deterministic send order, no per-iteration hashing).
+///
+/// Staging is split from shipping so the pipelined driver can ship each
+/// chunk's batch while later chunks still compute: `batches`/`batch_bytes`
+/// hold the *unshipped* records, while the `tot_*` accumulators carry
+/// whole-superstep per-destination totals that [`flush_sync_acct`] turns
+/// into exactly one `comm`/`ft_comm` record per destination per superstep —
+/// so logical comm accounting is invariant under chunking.
 pub(crate) struct SyncBufs<V> {
     pub batches: Vec<Vec<VertexSync<V>>>,
-    pub ft_entries: Vec<u64>,
+    /// Accounted wire bytes of the unshipped batch, per destination.
+    batch_bytes: Vec<u64>,
+    /// Superstep totals, per destination (flushed at the tail fence).
+    tot_entries: Vec<u64>,
+    tot_bytes: Vec<u64>,
+    tot_ft: Vec<u64>,
 }
 
 impl<V> SyncBufs<V> {
     pub(crate) fn new(num_nodes: usize) -> Self {
         SyncBufs {
             batches: (0..num_nodes).map(|_| Vec::new()).collect(),
-            ft_entries: vec![0; num_nodes],
+            batch_bytes: vec![0; num_nodes],
+            tot_entries: vec![0; num_nodes],
+            tot_bytes: vec![0; num_nodes],
+            tot_ft: vec![0; num_nodes],
         }
     }
 }
@@ -156,13 +171,19 @@ pub(crate) trait ComputeModel: Send + Sync + Sized + 'static {
     /// internal barriers. On a failed barrier the model undoes its own
     /// staged state and returns [`StepOutcome::Failed`]; the driver owns
     /// everything after that.
+    ///
+    /// The graph arrives behind an `Arc` so compute chunks can run on the
+    /// persistent `pool` (workers clone the `Arc`, and drop their clones
+    /// before publishing results); models take exclusive access back via
+    /// [`graph_mut`] once every chunk has been consumed.
     fn superstep(
         &self,
         ctx: &Ctx<Self>,
-        lg: &mut Self::Graph,
+        lg: &mut Arc<Self::Graph>,
         shared: &Shared<Self>,
         st: &mut St<Self>,
         scratch: &mut Self::Scratch,
+        pool: &WorkerPool,
     ) -> StepOutcome;
 
     // -- codec entry points --
@@ -348,6 +369,8 @@ pub(crate) fn run<M: ComputeModel>(
         extra_replicas,
         cluster.comm_breakdown(),
     );
+    report.pipeline = cfg.pipeline;
+    report.delta_sync = cfg.delta_sync;
     let mut values: Vec<Option<M::Value>> = vec![None; num_vertices];
     for lg in &graphs {
         for pos in 0..lg.len() as u32 {
@@ -396,13 +419,17 @@ fn standby_main<M: ComputeModel>(
 /// activity all-reduce, replay accounting, and convergence.
 fn node_main<M: ComputeModel>(
     ctx: Ctx<M>,
-    mut lg: M::Graph,
+    lg: M::Graph,
     shared: &Arc<Shared<M>>,
     mut st: St<M>,
 ) -> NodeOutcome<M::Graph> {
     let me = ctx.id();
     st.sync_filter.set_domain(lg.len() as u32);
     let mut scratch = shared.model.init_scratch(&lg, shared);
+    // Spawned once per node per run; workers park between phases. A reborn
+    // standby builds its pool here too, when it assumes the dead identity.
+    let pool = WorkerPool::new(shared.cfg.threads_per_node);
+    let mut lg = Arc::new(lg);
     loop {
         if st.iter >= shared.cfg.max_iters {
             break;
@@ -412,27 +439,30 @@ fn node_main<M: ComputeModel>(
             .should_fail(me, st.iter, FailPoint::BeforeBarrier)
         {
             ctx.die();
+            absorb_pool(&mut st, &pool);
             return NodeOutcome::from_state(None, st);
         }
         let iter_sw = Stopwatch::start();
 
-        let active = match shared
-            .model
-            .superstep(&ctx, &mut lg, shared, &mut st, &mut scratch)
-        {
-            StepOutcome::Committed(active) => active,
-            StepOutcome::Failed(dead) => {
-                // Keep recovery messages that may already have arrived from
-                // faster peers; discard the failed iteration's data traffic.
-                stash_non_data::<M>(&ctx, &mut st);
-                let resume = st.iter;
-                if recovery::recover(&ctx, &mut lg, shared, &mut st, &dead, resume) {
-                    return NodeOutcome::from_state(None, st);
+        let active =
+            match shared
+                .model
+                .superstep(&ctx, &mut lg, shared, &mut st, &mut scratch, &pool)
+            {
+                StepOutcome::Committed(active) => active,
+                StepOutcome::Failed(dead) => {
+                    // Keep recovery messages that may already have arrived from
+                    // faster peers; discard the failed iteration's data traffic.
+                    stash_non_data::<M>(&ctx, &mut st);
+                    let resume = st.iter;
+                    if recovery::recover(&ctx, graph_mut(&mut lg), shared, &mut st, &dead, resume) {
+                        absorb_pool(&mut st, &pool);
+                        return NodeOutcome::from_state(None, st);
+                    }
+                    shared.model.refresh_scratch(&mut scratch, &lg);
+                    continue;
                 }
-                shared.model.refresh_scratch(&mut scratch, &lg);
-                continue;
-            }
-        };
+            };
 
         // Checkpoint inside the barrier window (§2.2).
         if let FtMode::Checkpoint {
@@ -458,6 +488,7 @@ fn node_main<M: ComputeModel>(
                     // recovery must roll back to the previous complete one.
                     epoch::write_part_torn(&shared.dfs, M::PREFIX, st.iter + 1, me.raw(), bytes);
                     ctx.die();
+                    absorb_pool(&mut st, &pool);
                     return NodeOutcome::from_state(None, st);
                 }
                 epoch::write_part(&shared.dfs, M::PREFIX, st.iter + 1, me.raw(), bytes);
@@ -495,7 +526,8 @@ fn node_main<M: ComputeModel>(
             // Failure after commit: no rollback.
             stash_non_data::<M>(&ctx, &mut st);
             let resume = st.iter;
-            if recovery::recover(&ctx, &mut lg, shared, &mut st, &dead, resume) {
+            if recovery::recover(&ctx, graph_mut(&mut lg), shared, &mut st, &dead, resume) {
+                absorb_pool(&mut st, &pool);
                 return NodeOutcome::from_state(None, st);
             }
             shared.model.refresh_scratch(&mut scratch, &lg);
@@ -513,22 +545,46 @@ fn node_main<M: ComputeModel>(
                 .should_fail(me, st.iter - 1, FailPoint::AfterBarrier)
         {
             ctx.die();
+            absorb_pool(&mut st, &pool);
             return NodeOutcome::from_state(None, st);
         }
     }
+    absorb_pool(&mut st, &pool);
+    let lg = Arc::try_unwrap(lg).unwrap_or_else(|_| panic!("graph still shared at node exit"));
     NodeOutcome::from_state(Some(lg), st)
 }
 
-/// Sends per-destination batched value syncs for this iteration's updates,
-/// including the mirrors' dynamic state. Selfish masters (§4.4) send
-/// nothing — their only replicas are FT replicas. Records the FT-only
-/// traffic share pro-rata on entry count.
+/// Exclusive access to the node's graph between phases. Pool workers drop
+/// their `Arc` clones *before* publishing chunk results (see
+/// [`WorkerPool::dispatch`]), so once every chunk has been consumed the
+/// count is deterministically back to one.
+pub(crate) fn graph_mut<G>(lg: &mut Arc<G>) -> &mut G {
+    Arc::get_mut(lg).expect("local graph still shared by pool workers")
+}
+
+/// Reads the pool's lifetime counters into the node state before it is
+/// frozen into an outcome.
+fn absorb_pool<T>(st: &mut NodeState<T>, pool: &WorkerPool) {
+    let (jobs, peak_busy) = pool.counters();
+    st.pool.jobs = jobs;
+    st.pool.peak_busy = peak_busy;
+}
+
+/// Stages one slice of master updates into the per-destination sync
+/// batches, including the mirrors' dynamic state. Selfish masters (§4.4)
+/// send nothing — their only replicas are FT replicas.
+///
+/// Staging runs on the main thread in ascending-position order (serial
+/// order), so suppression decisions, delta spans and byte accounting are
+/// identical whether the whole update set arrives at once or chunk by
+/// chunk from the pipelined pool. Per-record wire bytes are charged to the
+/// `SyncBufs` accumulators here; [`ship_staged_syncs`] moves batches onto
+/// the fabric and [`flush_sync_acct`] records the superstep totals.
 ///
 /// `stage_scatter` keys the suppression filter on the scatter bit too (the
 /// sparse engine's replicas replay it; the dense engine's receivers apply
 /// the value only, matching the full-sync rounds recovery sends).
-pub(crate) fn send_update_syncs<M: ComputeModel>(
-    ctx: &Ctx<M>,
+pub(crate) fn stage_update_syncs<M: ComputeModel>(
     lg: &M::Graph,
     updates: &[MasterUpdate<M::Value>],
     shared: &Shared<M>,
@@ -546,51 +602,141 @@ pub(crate) fn send_update_syncs<M: ComputeModel>(
         let staged = st
             .sync_filter
             .stage(u.local, &u.value, stage_scatter && u.activate);
+        let vb = shared.model.value_wire_bytes(&u.value);
         for (&node, &rpos) in meta.replica_nodes().iter().zip(meta.replica_positions()) {
             if st.sync_filter.suppress(staged, node) {
                 suppressed += 1;
                 continue;
             }
-            bufs.batches[node.index()].push(VertexSync {
+            // Accounted record size: a delta frame when this destination
+            // provably holds the base, the (equal-cost) framed full record
+            // otherwise. Decided at stage time → invariant under chunking.
+            let bytes = if shared.cfg.delta_sync {
+                crate::delta::sync_record_bytes(vb, st.sync_filter.delta_span(staged, node)) as u64
+            } else {
+                VertexSync::<M::Value>::wire_bytes(vb) as u64
+            };
+            let n = node.index();
+            bufs.batches[n].push(VertexSync {
                 pos: rpos,
                 value: u.value.clone(),
                 activate: u.activate,
             });
+            bufs.batch_bytes[n] += bytes;
+            bufs.tot_entries[n] += 1;
+            bufs.tot_bytes[n] += bytes;
             let extra = shared
                 .plan
                 .extra_replicas
                 .get(i)
                 .is_some_and(|e| e.contains(&node));
             if extra {
-                bufs.ft_entries[node.index()] += 1;
+                bufs.tot_ft[n] += 1;
             }
         }
     }
     st.note_suppressed(suppressed);
+}
+
+/// Ships every non-empty staged batch onto the fabric (one envelope per
+/// destination) and returns how many envelopes went out. The pipelined
+/// driver calls this once per chunk; the strict driver once per phase.
+pub(crate) fn ship_staged_syncs<M: ComputeModel>(
+    ctx: &Ctx<M>,
+    bufs: &mut SyncBufs<M::Value>,
+) -> u64 {
+    let mut shipped = 0;
     for (n, batch) in bufs.batches.iter_mut().enumerate() {
-        let ft = std::mem::take(&mut bufs.ft_entries[n]);
         if batch.is_empty() {
             continue;
         }
-        let entries = batch.len() as u64;
-        let bytes: u64 = batch
-            .iter()
-            .map(|s| {
-                VertexSync::<M::Value>::wire_bytes(shared.model.value_wire_bytes(&s.value)) as u64
-            })
-            .sum();
+        shipped += 1;
+        ctx.send_kind(
+            NodeId::from_index(n),
+            ProtoMsg::Sync(std::mem::take(batch)),
+            std::mem::take(&mut bufs.batch_bytes[n]),
+            CommKind::Sync,
+        );
+    }
+    shipped
+}
+
+/// Records the superstep's per-destination sync totals into the node's
+/// logical comm stats — exactly one record per destination per superstep
+/// with the FT share pro-rata on whole-superstep entry counts, so the
+/// accounting (and the golden hashes over it) is bit-identical whether the
+/// batches shipped whole or chunk by chunk.
+pub(crate) fn flush_sync_acct<M: ComputeModel>(st: &mut St<M>, bufs: &mut SyncBufs<M::Value>) {
+    for n in 0..bufs.tot_entries.len() {
+        let entries = std::mem::take(&mut bufs.tot_entries[n]);
+        let bytes = std::mem::take(&mut bufs.tot_bytes[n]);
+        let ft = std::mem::take(&mut bufs.tot_ft[n]);
+        if entries == 0 {
+            continue;
+        }
         st.comm.record(entries, bytes);
         if ft > 0 {
             // FT share estimated pro-rata on entry count.
             st.ft_comm.record(ft, bytes * ft / entries.max(1));
         }
-        ctx.send_kind(
-            NodeId::from_index(n),
-            ProtoMsg::Sync(std::mem::take(batch)),
-            bytes,
-            CommKind::Sync,
-        );
     }
+}
+
+/// Drains an update-producing chunk iterator and handles the whole
+/// stage/ship/account dance for the phase, in both execution modes:
+///
+/// * **Pipelined** (`cfg.pipeline`): each chunk's sync batch is staged and
+///   shipped the moment the chunk completes, while later chunks are still
+///   computing on the pool — the sync barrier fences only the tail. Time
+///   spent staging while compute was still outstanding is recorded as
+///   `overlap` and counted in the pool stats.
+/// * **Strict**: all chunks are drained first, then the phase stages and
+///   ships once.
+///
+/// Returns the concatenated updates, which are identical in either mode:
+/// chunks are disjoint ascending ranges consumed in submission order, so
+/// the staged record sequence — and with [`flush_sync_acct`]'s tail flush,
+/// the comm accounting — is a pure function of the inputs.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn pump_update_syncs<M: ComputeModel>(
+    ctx: &Ctx<M>,
+    lg: &M::Graph,
+    shared: &Shared<M>,
+    st: &mut St<M>,
+    bufs: &mut SyncBufs<M::Value>,
+    chunks: &mut InOrder<Vec<MasterUpdate<M::Value>>>,
+    sw: &mut Stopwatch,
+    phase: &'static str,
+    stage_scatter: bool,
+) -> Vec<MasterUpdate<M::Value>> {
+    let mut updates: Vec<MasterUpdate<M::Value>> = Vec::new();
+    if shared.cfg.pipeline {
+        while let Some(chunk) = chunks.next() {
+            let outstanding = chunks.outstanding() > 0;
+            let stage_sw = Stopwatch::start();
+            stage_update_syncs::<M>(lg, &chunk, shared, st, bufs, stage_scatter);
+            let shipped = ship_staged_syncs::<M>(ctx, bufs);
+            if outstanding {
+                // Staging/shipping overlapped with outstanding chunk work.
+                let d = stage_sw.elapsed();
+                st.pool.overlap += d;
+                st.phases.record("overlap", d);
+                st.pool.early_batches += shipped;
+            }
+            updates.extend(chunk);
+        }
+        st.phases.record(phase, sw.lap());
+    } else {
+        for chunk in chunks {
+            updates.extend(chunk);
+        }
+        st.phases.record(phase, sw.lap());
+        stage_update_syncs::<M>(lg, &updates, shared, st, bufs, stage_scatter);
+        ship_staged_syncs::<M>(ctx, bufs);
+    }
+    flush_sync_acct::<M>(st, bufs);
+    st.phases.record("send", sw.lap());
+    updates
 }
 
 /// Marks this iteration's updates dirty for incremental checkpointing.

@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 
 mod ckpt;
+mod delta;
 mod driver;
 mod msg;
 pub mod plan;
@@ -139,6 +140,17 @@ pub struct RunConfig {
     /// either way; the skipped records show up in
     /// [`RunReport::suppressed_syncs`].
     pub sync_suppress: bool,
+    /// Pipeline supersteps: each compute/gather chunk's sync batch is
+    /// staged and shipped through the fabric as soon as the chunk (and all
+    /// earlier chunks) completed, with the sync barrier fencing only the
+    /// tail. Results and byte accounting are bit-identical either way;
+    /// disabling restores the strict compute → send phase ordering.
+    pub pipeline: bool,
+    /// Delta-encode sync records: when the destination provably holds the
+    /// previous value (same validity rule as suppression), ship only the
+    /// changed byte span. Results are bit-identical either way; wire bytes
+    /// shrink when values change slightly.
+    pub delta_sync: bool,
 }
 
 impl Default for RunConfig {
@@ -151,6 +163,8 @@ impl Default for RunConfig {
             standbys: 0,
             threads_per_node: 4,
             sync_suppress: true,
+            pipeline: true,
+            delta_sync: true,
         }
     }
 }

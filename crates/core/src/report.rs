@@ -4,7 +4,7 @@ use std::time::Duration;
 
 use imitator_cluster::NodeId;
 use imitator_graph::Vid;
-use imitator_metrics::{CommBreakdown, CommStats, PhaseTimes, RecoveryCounters};
+use imitator_metrics::{CommBreakdown, CommStats, PhaseTimes, PoolStats, RecoveryCounters};
 
 /// What one recovery episode cost, broken into the paper's three phases
 /// (§5.1/§5.2, Figs. 2(c), 9, 11(b), 15(b)).
@@ -115,6 +115,16 @@ pub struct RunReport<V> {
     /// (sync / gather / recovery / control) plus total barrier-wait time, as
     /// recorded by the communication layer itself.
     pub fabric: CommBreakdown,
+    /// Worker-pool / pipelining observability: chunk jobs dispatched, peak
+    /// worker occupancy, envelopes shipped ahead of the tail fence, and
+    /// staging time overlapped with compute (summed / maxed across nodes).
+    pub pool: PoolStats,
+    /// Whether supersteps were pipelined (config echo; see
+    /// [`crate::RunConfig::pipeline`]).
+    pub pipeline: bool,
+    /// Whether sync records were delta-encoded (config echo; see
+    /// [`crate::RunConfig::delta_sync`]).
+    pub delta_sync: bool,
 }
 
 impl<V> RunReport<V> {

@@ -5,7 +5,7 @@ use std::time::{Duration, Instant};
 
 use imitator_cluster::{Envelope, NodeId};
 use imitator_graph::Vid;
-use imitator_metrics::{CommBreakdown, CommStats, PhaseTimes};
+use imitator_metrics::{CommBreakdown, CommStats, PhaseTimes, PoolStats};
 
 use crate::report::{RecoveryReport, RunReport};
 use crate::suppress::SyncFilter;
@@ -52,6 +52,10 @@ pub(crate) struct NodeState<M> {
     pub suppressed_syncs: u64,
     /// `(iteration, records skipped)` — sparse, nonzero entries only.
     pub suppressed_timeline: Vec<(u64, u64)>,
+    /// Worker-pool / pipelining counters: `early_batches` and `overlap`
+    /// accumulate per superstep; `jobs` and `peak_busy` are read off the
+    /// pool when the node retires.
+    pub pool: PoolStats,
 }
 
 impl<M> NodeState<M> {
@@ -75,6 +79,7 @@ impl<M> NodeState<M> {
             sync_filter: SyncFilter::new(num_nodes, sync_suppress),
             suppressed_syncs: 0,
             suppressed_timeline: Vec::new(),
+            pool: PoolStats::default(),
         }
     }
 
@@ -129,6 +134,7 @@ pub(crate) struct NodeOutcome<G> {
     pub recoveries: Vec<RecoveryReport>,
     pub suppressed_syncs: u64,
     pub suppressed_timeline: Vec<(u64, u64)>,
+    pub pool: PoolStats,
 }
 
 impl<G> NodeOutcome<G> {
@@ -144,6 +150,7 @@ impl<G> NodeOutcome<G> {
             recoveries: st.recoveries,
             suppressed_syncs: st.suppressed_syncs,
             suppressed_timeline: st.suppressed_timeline,
+            pool: st.pool,
         }
     }
 }
@@ -173,8 +180,12 @@ pub(crate) fn merge_outcomes<G, V>(
         suppressed_syncs: 0,
         suppressed_timeline: Vec::new(),
         fabric,
+        pool: PoolStats::default(),
+        pipeline: false,
+        delta_sync: false,
     };
     for o in outcomes {
+        report.pool.merge(&o.pool);
         report.suppressed_syncs += o.suppressed_syncs;
         for (iter, n) in o.suppressed_timeline {
             *suppressed_by_iter.entry(iter).or_default() += n;

@@ -12,8 +12,8 @@ use std::sync::Arc;
 
 use imitator_cluster::{BarrierOutcome, FailurePlan, NodeId};
 use imitator_engine::{
-    ec_commit, ec_compute_par, CopyKind, Degrees, EcLocalGraph, EcVertex, FtPlan, MasterMeta,
-    VertexProgram,
+    ec_commit, ec_compute_chunks, CopyKind, Degrees, EcLocalGraph, EcVertex, FtPlan, MasterMeta,
+    VertexProgram, WorkerPool,
 };
 use imitator_graph::{Graph, Vid};
 use imitator_metrics::{MemSize, Stopwatch};
@@ -171,26 +171,35 @@ where
 
     /// Compute (Algorithm 1 line 5) fused over the sparse frontier,
     /// communicate (line 6), sync barrier (line 7), commit (line 14).
+    ///
+    /// Compute chunks run on the persistent pool; with pipelining each
+    /// chunk's sync batch is staged and shipped as soon as the chunk (and
+    /// all earlier chunks) completed, the sync barrier fencing only the
+    /// tail. Chunks are consumed in submission order, so staging order —
+    /// and with it suppression, delta spans and byte accounting — equals
+    /// the serial order exactly.
     fn superstep(
         &self,
         ctx: &Ctx<Self>,
-        lg: &mut Self::Graph,
+        lg: &mut Arc<Self::Graph>,
         shared: &Shared<Self>,
         st: &mut St<Self>,
         scratch: &mut Self::Scratch,
+        pool: &WorkerPool,
     ) -> StepOutcome {
         let mut sw = Stopwatch::start();
-        let updates = ec_compute_par(
-            lg,
-            self.prog.as_ref(),
-            &shared.degrees,
-            st.iter,
-            shared.cfg.threads_per_node,
+        let mut chunks = ec_compute_chunks(pool, lg, &self.prog, &shared.degrees, st.iter);
+        let updates = driver::pump_update_syncs::<Self>(
+            ctx,
+            &**lg,
+            shared,
+            st,
+            scratch,
+            &mut chunks,
+            &mut sw,
+            "compute",
+            true,
         );
-        st.phases.record("compute", sw.lap());
-
-        driver::send_update_syncs(ctx, lg, &updates, shared, st, scratch, true);
-        st.phases.record("send", sw.lap());
 
         let (outcome, _) = ctx.enter_barrier_sum(0);
         st.phases.record("barrier", sw.lap());
@@ -210,7 +219,7 @@ where
             .into_iter()
             .map(|s| (s.pos, s.value, s.activate))
             .collect();
-        let stats = ec_commit(lg, self.prog.as_ref(), updates, incoming);
+        let stats = ec_commit(driver::graph_mut(lg), self.prog.as_ref(), updates, incoming);
         st.phases.record("commit", sw.lap());
         StepOutcome::Committed(stats.active_next as u64)
     }

@@ -13,8 +13,8 @@ use std::sync::Arc;
 
 use imitator_cluster::{BarrierOutcome, Envelope, FailurePlan, NodeId};
 use imitator_engine::{
-    vc_apply_par, vc_commit, vc_partial_gather_par, CopyKind, Degrees, FtPlan, VcEdge,
-    VcGatherIndex, VcLocalGraph, VcMeta, VcVertex, VertexProgram,
+    vc_apply_chunks, vc_commit, vc_gather_chunks, CopyKind, Degrees, FtPlan, VcEdge, VcGatherIndex,
+    VcLocalGraph, VcMeta, VcVertex, VertexProgram, WorkerPool,
 };
 use imitator_graph::{Graph, Vid};
 use imitator_metrics::{CommKind, MemSize, Stopwatch};
@@ -96,13 +96,20 @@ pub(crate) struct VcModel<P: VertexProgram> {
 }
 
 /// Per-node vertex-cut scratch, allocated once and reused every iteration.
+/// The gather index sits behind an `Arc` so pooled gather chunks can borrow
+/// it while the main thread routes earlier chunks' partials.
 pub(crate) struct VcScratch<P: VertexProgram> {
     bufs: SyncBufs<P::Value>,
-    gather_index: VcGatherIndex,
-    partials: Vec<Option<P::Accum>>,
+    gather_index: Arc<VcGatherIndex>,
     acc_table: Vec<Option<P::Accum>>,
     contribs: Vec<(u32, NodeId, P::Accum)>,
     gather_batches: Vec<Vec<(Vid, P::Accum)>>,
+    /// Per-dest gather totals for the whole superstep; shipped batches add
+    /// here and one `CommStats` record per dest is flushed at the tail, so
+    /// accounting is identical whether batches ship per chunk (pipelined)
+    /// or once per superstep (strict).
+    gather_entries: Vec<u64>,
+    gather_bytes: Vec<u64>,
 }
 
 /// Migration state the generic rounds don't know about: edges adopted from
@@ -154,6 +161,38 @@ impl<V> ModelGraph for VcLocalGraph<V> {
     }
 }
 
+/// Ships every non-empty per-destination gather batch to its master's node,
+/// folding entry/byte counts into the scratch superstep totals (recorded
+/// once after the gather phase, so the logical accounting is identical
+/// whether batches ship per chunk or once per superstep). Returns the
+/// number of envelopes shipped.
+fn ship_gather_batches<P>(ctx: &Ctx<VcModel<P>>, prog: &P, scratch: &mut VcScratch<P>) -> u64
+where
+    P: VertexProgram,
+    P::Value: Encode + Decode + MemSize,
+{
+    let mut shipped = 0u64;
+    for (n, batch) in scratch.gather_batches.iter_mut().enumerate() {
+        if batch.is_empty() {
+            continue;
+        }
+        let bytes: u64 = batch
+            .iter()
+            .map(|(_, a)| 4 + prog.accum_wire_bytes(a) as u64)
+            .sum();
+        scratch.gather_entries[n] += batch.len() as u64;
+        scratch.gather_bytes[n] += bytes;
+        ctx.send_kind(
+            NodeId::from_index(n),
+            ProtoMsg::Gather(std::mem::take(batch)),
+            bytes,
+            CommKind::Gather,
+        );
+        shipped += 1;
+    }
+    shipped
+}
+
 impl<P> ComputeModel for VcModel<P>
 where
     P: VertexProgram,
@@ -176,18 +215,19 @@ where
     fn init_scratch(&self, lg: &Self::Graph, shared: &Shared<Self>) -> Self::Scratch {
         VcScratch {
             bufs: SyncBufs::new(shared.cfg.num_nodes),
-            gather_index: VcGatherIndex::build(lg),
-            partials: Vec::new(),
+            gather_index: Arc::new(VcGatherIndex::build(lg)),
             acc_table: Vec::new(),
             contribs: Vec::new(),
             gather_batches: vec![Vec::new(); shared.cfg.num_nodes],
+            gather_entries: vec![0; shared.cfg.num_nodes],
+            gather_bytes: vec![0; shared.cfg.num_nodes],
         }
     }
 
     /// Recovery restructures the local edge list, invalidating the gather
     /// index.
     fn refresh_scratch(&self, scratch: &mut Self::Scratch, lg: &Self::Graph) {
-        scratch.gather_index = VcGatherIndex::build(lg);
+        scratch.gather_index = Arc::new(VcGatherIndex::build(lg));
     }
 
     /// With replication FT, persist this node's owned edges as per-receiver
@@ -200,51 +240,64 @@ where
 
     /// Distributed gather (partials → masters, barrier), then apply at
     /// masters, sync, barrier, commit.
+    ///
+    /// Gather and apply chunks run on the persistent pool; with pipelining
+    /// each chunk's gather/sync batches ship as soon as the chunk (and all
+    /// earlier chunks) completed, the barriers fencing only the tail.
+    /// Chunks arrive in submission (ascending-range) order, so contrib
+    /// order, staging order, and byte accounting equal the serial order
+    /// exactly; receivers additionally sort contribs by `(pos, sender)`, so
+    /// splitting one Gather envelope into per-chunk envelopes is
+    /// value-neutral.
     fn superstep(
         &self,
         ctx: &Ctx<Self>,
-        lg: &mut Self::Graph,
+        lg: &mut Arc<Self::Graph>,
         shared: &Shared<Self>,
         st: &mut St<Self>,
         scratch: &mut Self::Scratch,
+        pool: &WorkerPool,
     ) -> StepOutcome {
         let me = ctx.id();
-        let threads = shared.cfg.threads_per_node;
         let mut sw = Stopwatch::start();
-        vc_partial_gather_par(
-            lg,
-            self.prog.as_ref(),
-            &scratch.gather_index,
-            threads,
-            &mut scratch.partials,
-        );
-        for (pos, slot) in scratch.partials.iter_mut().enumerate() {
-            let Some(acc) = slot.take() else { continue };
-            let v = &lg.verts[pos];
-            if v.is_master() {
-                scratch.contribs.push((pos as u32, me, acc));
+        let mut gchunks = vc_gather_chunks(pool, lg, &self.prog, &scratch.gather_index);
+        while let Some((range, part)) = gchunks.next() {
+            let outstanding = gchunks.outstanding() > 0;
+            let route_sw = Stopwatch::start();
+            for (i, slot) in part.into_iter().enumerate() {
+                let Some(acc) = slot else { continue };
+                let pos = range.start + i;
+                let v = &lg.verts[pos];
+                if v.is_master() {
+                    scratch.contribs.push((pos as u32, me, acc));
+                } else {
+                    scratch.gather_batches[v.master_node.index()].push((v.vid, acc));
+                }
+            }
+            let shipped = if shared.cfg.pipeline {
+                ship_gather_batches(ctx, self.prog.as_ref(), scratch)
             } else {
-                scratch.gather_batches[v.master_node.index()].push((v.vid, acc));
+                0
+            };
+            if outstanding {
+                // Routing/shipping overlapped with outstanding gather work.
+                let d = route_sw.elapsed();
+                st.pool.overlap += d;
+                st.phases.record("overlap", d);
+                st.pool.early_batches += shipped;
             }
         }
         st.phases.record("gather", sw.lap());
 
-        for (n, batch) in scratch.gather_batches.iter_mut().enumerate() {
-            if batch.is_empty() {
-                continue;
+        // Strict mode ships once per superstep here; pipelined mode already
+        // shipped per chunk and only flushes the accounting totals.
+        ship_gather_batches(ctx, self.prog.as_ref(), scratch);
+        for n in 0..shared.cfg.num_nodes {
+            let entries = std::mem::take(&mut scratch.gather_entries[n]);
+            let bytes = std::mem::take(&mut scratch.gather_bytes[n]);
+            if entries > 0 {
+                st.comm.record(entries, bytes);
             }
-            let entries = batch.len() as u64;
-            let bytes: u64 = batch
-                .iter()
-                .map(|(_, a)| 4 + self.prog.accum_wire_bytes(a) as u64)
-                .sum();
-            st.comm.record(entries, bytes);
-            ctx.send_kind(
-                NodeId::from_index(n),
-                ProtoMsg::Gather(std::mem::take(batch)),
-                bytes,
-                CommKind::Gather,
-            );
         }
         st.phases.record("send", sw.lap());
 
@@ -290,18 +343,25 @@ where
                 Some(a) => self.prog.combine(a, acc),
             });
         }
-        let updates = vc_apply_par(
+        let mut achunks = vc_apply_chunks(
+            pool,
             lg,
-            self.prog.as_ref(),
-            &mut scratch.acc_table,
+            &self.prog,
             &shared.degrees,
             st.iter,
-            threads,
+            std::mem::take(&mut scratch.acc_table),
         );
-        st.phases.record("apply", sw.lap());
-
-        driver::send_update_syncs(ctx, lg, &updates, shared, st, &mut scratch.bufs, false);
-        st.phases.record("send", sw.lap());
+        let updates = driver::pump_update_syncs::<Self>(
+            ctx,
+            &**lg,
+            shared,
+            st,
+            &mut scratch.bufs,
+            &mut achunks,
+            &mut sw,
+            "apply",
+            false,
+        );
 
         let (outcome, _) = ctx.enter_barrier_sum(0);
         st.phases.record("barrier", sw.lap());
@@ -317,7 +377,7 @@ where
             .into_iter()
             .map(|s| (s.pos, s.value))
             .collect();
-        let stats = vc_commit(lg, updates, incoming);
+        let stats = vc_commit(driver::graph_mut(lg), updates, incoming);
         st.phases.record("commit", sw.lap());
         StepOutcome::Committed(stats.changed as u64)
     }

@@ -71,8 +71,14 @@ struct Pending {
 pub(crate) struct Staged {
     /// The update is bitwise identical to the last committed sync.
     matches: bool,
-    /// Epoch of the matching entry (meaningless when `matches` is false).
+    /// Epoch of the entry the update was compared against (0 when the
+    /// filter held no entry for the position, or was not staging).
     entry_epoch: u64,
+    /// Minimal changed-byte span vs the committed entry's encoded value,
+    /// when both encodings have the same width: `(start, len)`. The basis
+    /// for delta-encoded sync records (see `crate::delta`); `None` means
+    /// no same-width base exists and the full value must ship.
+    delta: Option<(u16, u16)>,
 }
 
 /// First dormancy window, in supersteps; doubles per unproductive probe.
@@ -179,20 +185,48 @@ impl SyncFilter {
             return Staged {
                 matches: false,
                 entry_epoch: 0,
+                delta: None,
             };
         }
         self.scratch.clear();
         value.encode(&mut self.scratch);
+        let mut entry_epoch = 0;
+        let mut delta = None;
         if let Some(e) = self.entries.get(pos as usize) {
-            if e.epoch != 0
-                && e.activate == activate
-                && self.table[e.start as usize..(e.start + e.len) as usize] == self.scratch[..]
-            {
-                self.hits += 1;
-                return Staged {
-                    matches: true,
-                    entry_epoch: e.epoch,
-                };
+            if e.epoch != 0 {
+                entry_epoch = e.epoch;
+                let old = &self.table[e.start as usize..(e.start + e.len) as usize];
+                if e.activate == activate && old == &self.scratch[..] {
+                    self.hits += 1;
+                    return Staged {
+                        matches: true,
+                        entry_epoch,
+                        delta: None,
+                    };
+                }
+                delta = crate::delta::min_span(old, &self.scratch);
+                // Debug builds prove the wire format on every staged record:
+                // encoding against this base and decoding it back must
+                // reassemble the staged value exactly. (The in-memory fabric
+                // ships typed records; the codec defines — and the driver
+                // charges — their encoded sizes.)
+                if cfg!(debug_assertions) {
+                    let mut wire = Vec::new();
+                    crate::delta::encode_sync_record(
+                        pos,
+                        activate,
+                        Some(old),
+                        &self.scratch,
+                        &mut wire,
+                    );
+                    let rec = crate::delta::decode_sync_record(&wire, |_| old.to_vec())
+                        .expect("staged sync record decodes");
+                    assert_eq!(
+                        (rec.pos, rec.activate, &rec.value[..]),
+                        (pos, activate, &self.scratch[..]),
+                        "delta codec must reconstruct the staged value"
+                    );
+                }
             }
         }
         let start = self.pending_bytes.len() as u32;
@@ -205,7 +239,8 @@ impl SyncFilter {
         });
         Staged {
             matches: false,
-            entry_epoch: 0,
+            entry_epoch,
+            delta,
         }
     }
 
@@ -214,6 +249,21 @@ impl SyncFilter {
     /// `dest` (not invalidated by a recovery that rebuilt `dest`'s state).
     pub(crate) fn suppress(&self, staged: Staged, dest: NodeId) -> bool {
         self.enabled && staged.matches && staged.entry_epoch >= self.valid_from[dest.index()]
+    }
+
+    /// Minimal changed-byte span usable as a delta base toward `dest`: the
+    /// committed entry the update was compared against is still installed
+    /// there (same validity rule as [`SyncFilter::suppress`]). `None` means
+    /// the full value must ship.
+    pub(crate) fn delta_span(&self, staged: Staged, dest: NodeId) -> Option<(u16, u16)> {
+        if self.enabled
+            && staged.entry_epoch != 0
+            && staged.entry_epoch >= self.valid_from[dest.index()]
+        {
+            staged.delta
+        } else {
+            None
+        }
     }
 
     /// The sync barrier passed: staged records become the authoritative
@@ -467,6 +517,70 @@ mod tests {
         f.commit();
         let s = f.stage(0, &3u8, true);
         assert!(!f.suppress(s, n(0)));
+    }
+
+    #[test]
+    fn delta_span_tracks_the_changed_bytes_of_the_committed_base() {
+        let mut f = SyncFilter::new(2, true);
+        let s = f.stage(0, &0x11_22_33_44_55_66_77_88u64, true);
+        assert_eq!(f.delta_span(s, n(0)), None, "no committed base yet");
+        // A static companion position generates a hit every superstep so
+        // the filter never goes dormant under the all-changing position 0.
+        f.stage(1, &5u64, false);
+        f.commit();
+        // Low byte flips: a 1-byte span at offset 0 (little-endian).
+        let s = f.stage(0, &0x11_22_33_44_55_66_77_89u64, true);
+        assert_eq!(f.delta_span(s, n(0)), Some((0, 1)));
+        assert_eq!(f.delta_span(s, n(1)), Some((0, 1)));
+        f.stage(1, &5u64, false);
+        f.commit();
+        // An exact repeat is a match, not a delta.
+        let s = f.stage(0, &0x11_22_33_44_55_66_77_89u64, true);
+        assert!(f.suppress(s, n(0)));
+        assert_eq!(f.delta_span(s, n(0)), None);
+    }
+
+    #[test]
+    fn delta_span_is_refused_toward_invalidated_destinations() {
+        let mut f = SyncFilter::new(2, true);
+        f.stage(3, &100u64, false);
+        f.stage(4, &7u64, false); // static companion: keeps hits > 0
+        f.commit();
+        f.invalidate_dest(n(1));
+        let s = f.stage(3, &101u64, false);
+        // Node 0 still holds the base; node 1 was rebuilt from a snapshot
+        // and must receive the full value.
+        assert_eq!(f.delta_span(s, n(0)), Some((0, 1)));
+        assert_eq!(f.delta_span(s, n(1)), None);
+        f.stage(4, &7u64, false);
+        // A commit newer than the invalidation restores delta eligibility.
+        f.commit();
+        let s = f.stage(3, &102u64, false);
+        assert_eq!(f.delta_span(s, n(1)), Some((0, 1)));
+    }
+
+    #[test]
+    fn delta_span_requires_a_live_filter_and_stable_width() {
+        let mut off = SyncFilter::new(1, false);
+        off.stage(0, &1u64, false);
+        off.commit();
+        let s = off.stage(0, &2u64, false);
+        assert_eq!(off.delta_span(s, n(0)), None, "disabled filter: no base");
+
+        let mut f = SyncFilter::new(1, true);
+        f.stage(0, &vec![1u8, 2, 3, 4], false);
+        f.commit();
+        // Width change: no byte-span delta against the old base.
+        let s = f.stage(0, &vec![1u8, 2, 3, 4, 5], false);
+        assert_eq!(f.delta_span(s, n(0)), None);
+
+        // `clear` forgets the base entirely (masters rebuilt elsewhere).
+        let mut g = SyncFilter::new(1, true);
+        g.stage(0, &7u64, false);
+        g.commit();
+        g.clear();
+        let s = g.stage(0, &8u64, false);
+        assert_eq!(g.delta_span(s, n(0)), None);
     }
 }
 

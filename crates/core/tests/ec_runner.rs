@@ -147,6 +147,8 @@ fn base_cfg(nodes: usize) -> RunConfig {
         standbys: 0,
         threads_per_node: 2,
         sync_suppress: true,
+        pipeline: true,
+        delta_sync: true,
     }
 }
 

@@ -69,6 +69,8 @@ fn cfg(nodes: usize, ft: FtMode, standbys: usize) -> RunConfig {
         standbys,
         threads_per_node: 2,
         sync_suppress: true,
+        pipeline: true,
+        delta_sync: true,
     }
 }
 

@@ -28,6 +28,7 @@ mod compute;
 mod ecut;
 mod ftplan;
 mod par;
+mod pool;
 mod program;
 mod vcut;
 
@@ -41,5 +42,6 @@ pub use par::{
     chunk_ranges, ec_compute_par, vc_apply_par, vc_partial_gather_par, weighted_ranges,
     VcGatherIndex,
 };
+pub use pool::{ec_compute_chunks, vc_apply_chunks, vc_gather_chunks, InOrder, WorkerPool};
 pub use program::{Degrees, VertexProgram};
 pub use vcut::{build_vertex_cut_graphs, VcEdge, VcLocalGraph, VcMeta, VcVertex};

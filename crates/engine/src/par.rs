@@ -175,6 +175,12 @@ impl VcGatherIndex {
     pub fn edges_for(&self, d: usize) -> &[u32] {
         &self.edge_order[self.offsets[d] as usize..self.offsets[d + 1] as usize]
     }
+
+    /// Destination ranges of near-equal total edge weight for `chunks`
+    /// workers (see [`weighted_ranges`]).
+    pub fn ranges(&self, chunks: usize) -> Vec<Range<usize>> {
+        weighted_ranges(&self.offsets, chunks)
+    }
 }
 
 /// Parallel vertex-cut local gather into a caller-owned accumulator table

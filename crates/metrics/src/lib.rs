@@ -37,11 +37,13 @@
 mod comm;
 mod counters;
 mod memsize;
+mod pool;
 mod summary;
 mod timer;
 
 pub use comm::{AtomicCommStats, CommBreakdown, CommKind, CommStats};
 pub use counters::RecoveryCounters;
 pub use memsize::MemSize;
+pub use pool::PoolStats;
 pub use summary::Summary;
 pub use timer::{PhaseTimes, Stopwatch};

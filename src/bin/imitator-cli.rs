@@ -46,6 +46,11 @@ OPTIONS (run):
   --fail <node@iter>                inject a crash (repeatable)
   --no-sync-suppress                ship every sync record (disable the
                                     redundant-sync filter; results identical)
+  --no-pipeline                     strict compute → send phase ordering
+                                    (disable superstep pipelining; results
+                                    identical)
+  --no-delta-sync                   ship full sync records (disable delta
+                                    encoding; results identical)
   --iters <n>                       iteration budget     [default: 20]
   --source <vid>                    SSSP source          [default: 0]
   --seed <u64>                      generator seed       [default: 42]
@@ -68,6 +73,8 @@ struct Opts {
     interval: u64,
     incremental: bool,
     sync_suppress: bool,
+    pipeline: bool,
+    delta_sync: bool,
     fails: Vec<(u32, u64)>,
     iters: u64,
     source: u32,
@@ -91,6 +98,8 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
         interval: 4,
         incremental: false,
         sync_suppress: true,
+        pipeline: true,
+        delta_sync: true,
         fails: Vec::new(),
         iters: 20,
         source: 0,
@@ -124,6 +133,8 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
             }
             "--incremental" => opts.incremental = true,
             "--no-sync-suppress" => opts.sync_suppress = false,
+            "--no-pipeline" => opts.pipeline = false,
+            "--no-delta-sync" => opts.delta_sync = false,
             "--fail" => {
                 let v = value()?;
                 let (node, iter) = v
@@ -215,6 +226,18 @@ fn report_common<V>(r: &RunReport<V>) {
         );
     }
     println!("fabric: {}", r.fabric);
+    if r.pool.jobs > 0 {
+        println!(
+            "pool: {} chunk jobs, peak {} busy worker(s), {} batch(es) shipped early, \
+             {:.1} ms staging overlapped (pipeline {}, delta-sync {})",
+            r.pool.jobs,
+            r.pool.peak_busy,
+            r.pool.early_batches,
+            r.pool.overlap.as_secs_f64() * 1e3,
+            if r.pipeline { "on" } else { "off" },
+            if r.delta_sync { "on" } else { "off" },
+        );
+    }
     for rec in &r.recoveries {
         println!(
             "recovery: {} of {} node(s) in {:.1} ms (reload {:.1} / reconstruct {:.1} / replay {:.1})",
@@ -259,6 +282,8 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
         detection_delay: Duration::from_millis(20),
         threads_per_node: opts.threads,
         sync_suppress: opts.sync_suppress,
+        pipeline: opts.pipeline,
+        delta_sync: opts.delta_sync,
     };
     let failures: Vec<FailurePlan> = opts
         .fails
@@ -404,6 +429,20 @@ mod tests {
         assert_eq!(o.ft, "rep");
         assert!(o.fails.is_empty());
         assert!(!o.incremental);
+        assert!(o.pipeline, "pipelining defaults on");
+        assert!(o.delta_sync, "delta sync defaults on");
+    }
+
+    #[test]
+    fn perf_flags_disable_pipeline_and_delta() {
+        let o = parse(&["run", "--no-pipeline"]).unwrap();
+        assert!(!o.pipeline);
+        assert!(o.delta_sync);
+        let o = parse(&["run", "--no-delta-sync"]).unwrap();
+        assert!(o.pipeline);
+        assert!(!o.delta_sync);
+        let o = parse(&["run", "--no-pipeline", "--no-delta-sync"]).unwrap();
+        assert!(!o.pipeline && !o.delta_sync);
     }
 
     #[test]

@@ -297,6 +297,112 @@ proptest! {
     }
 
     #[test]
+    fn edge_cut_pipelining_is_invisible(
+        (s, threads, pipeline, delta_sync) in
+            (arb_scenario(), 1usize..=8, any::<bool>(), any::<bool>())
+    ) {
+        // Pipelined supersteps (chunks shipped as they complete, with only
+        // the tail fenced by the barrier) and delta-encoded sync frames must
+        // both be invisible: every (pipeline, delta, threads) combination is
+        // bit-identical to the strict serial run — values, iterations, and,
+        // because u32 delta frames are size-neutral, the exact logical comm
+        // accounting — across injected failures, including crashes landing
+        // mid-pipeline before the tail fence (`FailPoint::BeforeBarrier`
+        // fires after chunk batches have already shipped).
+        let cut = HashEdgeCut.partition(&s.graph, s.nodes);
+        let ft = FtMode::Replication {
+            tolerance: s.tolerance,
+            selfish_opt: false,
+            recovery: s.strategy,
+        };
+        let standbys = match s.strategy {
+            RecoveryStrategy::Rebirth => s.failures.len(),
+            RecoveryStrategy::Migration => 0,
+        };
+        let serial = run_edge_cut(
+            &s.graph,
+            &cut,
+            Arc::new(MinLabel),
+            RunConfig {
+                threads_per_node: 1,
+                pipeline: false,
+                delta_sync: false,
+                ..config(&s, ft, standbys)
+            },
+            plans(&s),
+            Dfs::new(DfsConfig::instant()),
+        );
+        let piped = run_edge_cut(
+            &s.graph,
+            &cut,
+            Arc::new(MinLabel),
+            RunConfig {
+                threads_per_node: threads,
+                pipeline,
+                delta_sync,
+                ..config(&s, ft, standbys)
+            },
+            plans(&s),
+            Dfs::new(DfsConfig::instant()),
+        );
+        prop_assert_eq!(piped.values, serial.values);
+        prop_assert_eq!(piped.iterations, serial.iterations);
+        prop_assert_eq!(piped.comm, serial.comm);
+        prop_assert_eq!(piped.suppressed_syncs, serial.suppressed_syncs);
+    }
+
+    #[test]
+    fn vertex_cut_pipelining_is_invisible(
+        (s, threads, pipeline, delta_sync) in
+            (arb_scenario(), 1usize..=8, any::<bool>(), any::<bool>())
+    ) {
+        // Vertex-cut twin of `edge_cut_pipelining_is_invisible`: the dense
+        // engine additionally pipelines mirror->master gather shipping, so
+        // this also proves per-chunk Gather envelopes reassociate to the
+        // same accumulator folds.
+        let cut = RandomVertexCut.partition(&s.graph, s.nodes);
+        let ft = FtMode::Replication {
+            tolerance: s.tolerance,
+            selfish_opt: false,
+            recovery: s.strategy,
+        };
+        let standbys = match s.strategy {
+            RecoveryStrategy::Rebirth => s.failures.len(),
+            RecoveryStrategy::Migration => 0,
+        };
+        let serial = run_vertex_cut(
+            &s.graph,
+            &cut,
+            Arc::new(MinLabel),
+            RunConfig {
+                threads_per_node: 1,
+                pipeline: false,
+                delta_sync: false,
+                ..config(&s, ft, standbys)
+            },
+            plans(&s),
+            Dfs::new(DfsConfig::instant()),
+        );
+        let piped = run_vertex_cut(
+            &s.graph,
+            &cut,
+            Arc::new(MinLabel),
+            RunConfig {
+                threads_per_node: threads,
+                pipeline,
+                delta_sync,
+                ..config(&s, ft, standbys)
+            },
+            plans(&s),
+            Dfs::new(DfsConfig::instant()),
+        );
+        prop_assert_eq!(piped.values, serial.values);
+        prop_assert_eq!(piped.iterations, serial.iterations);
+        prop_assert_eq!(piped.comm, serial.comm);
+        prop_assert_eq!(piped.suppressed_syncs, serial.suppressed_syncs);
+    }
+
+    #[test]
     fn edge_cut_suppression_is_invisible((s, threads) in (arb_scenario(), 1usize..=8)) {
         // Redundant-sync suppression must be a pure wire optimisation: with
         // it on or off, any thread count, and injected failures recovered by
@@ -540,6 +646,91 @@ fn nan_stuck_vertices_suppress_yet_migration_recovers_exactly() {
     nan_flood_recovery_case(RecoveryStrategy::Migration);
 }
 
+/// Wide-value drift: every master's u64 value grows by one each superstep,
+/// so successive values differ only in the low byte (two across a carry).
+/// A full u64 sync frame costs 13 bytes on the wire; a delta frame costs
+/// 9 + span, so the drifting span of 1-2 bytes undercuts it — the workload
+/// where delta-encoded sync pays.
+struct Drift;
+
+impl VertexProgram for Drift {
+    type Value = u64;
+    type Accum = u64;
+
+    fn init(&self, vid: Vid, _d: &Degrees) -> u64 {
+        u64::from(vid.raw()) << 8
+    }
+
+    fn gather(&self, _w: f32, src: &u64) -> u64 {
+        *src
+    }
+
+    fn combine(&self, a: u64, b: u64) -> u64 {
+        a.max(b)
+    }
+
+    fn apply(&self, _v: Vid, old: &u64, _acc: Option<u64>, _d: &Degrees) -> u64 {
+        old.wrapping_add(1)
+    }
+
+    fn scatter(&self, _v: Vid, _old: &u64, _new: &u64) -> bool {
+        true
+    }
+}
+
+/// Delta-encoded sync must be a pure wire-size optimisation: identical
+/// values, iterations, and record counts, strictly fewer bytes than full
+/// frames on a wide-value drifting workload (satellite proof that the
+/// encoding actually engages — u32 programs are size-neutral by design).
+#[test]
+fn delta_sync_shrinks_wide_value_traffic() {
+    let g = nan_flood_graph(80);
+    let cfg = |delta_sync| RunConfig {
+        num_nodes: 4,
+        max_iters: 6,
+        threads_per_node: 2,
+        delta_sync,
+        ..RunConfig::default()
+    };
+    for edge_cut in [true, false] {
+        let run = |delta_sync| {
+            if edge_cut {
+                let cut = HashEdgeCut.partition(&g, 4);
+                run_edge_cut(
+                    &g,
+                    &cut,
+                    Arc::new(Drift),
+                    cfg(delta_sync),
+                    vec![],
+                    Dfs::new(DfsConfig::instant()),
+                )
+            } else {
+                let cut = RandomVertexCut.partition(&g, 4);
+                run_vertex_cut(
+                    &g,
+                    &cut,
+                    Arc::new(Drift),
+                    cfg(delta_sync),
+                    vec![],
+                    Dfs::new(DfsConfig::instant()),
+                )
+            }
+        };
+        let on = run(true);
+        let off = run(false);
+        assert_eq!(on.values, off.values);
+        assert_eq!(on.iterations, off.iterations);
+        assert_eq!(on.comm.messages, off.comm.messages);
+        assert!(
+            on.comm.bytes < off.comm.bytes,
+            "delta frames must shrink drifting u64 sync traffic \
+             (edge_cut={edge_cut}: {} !< {})",
+            on.comm.bytes,
+            off.comm.bytes
+        );
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Refactor goldens: the driver/recovery unification must be bit-identical to
 // the pre-refactor runners. These hashes were captured at the commit before
@@ -601,6 +792,11 @@ fn golden_run_hash(
     let mut hash = 0xCBF2_9CE4_8422_2325u64;
     let mut first: Option<Vec<u32>> = None;
     for (threads, suppress) in [(1, true), (4, true), (1, false), (4, false)] {
+        // The golden constants were captured before superstep pipelining and
+        // delta-encoded syncs existed, so the hashed runs pin both off: the
+        // hashes anchor the pre-refactor accounting regardless of what the
+        // defaults grow into. (`*_pipelining_is_invisible` holds the
+        // pipelined axes to the same outputs.)
         let cfg = RunConfig {
             num_nodes: nodes,
             max_iters: 30,
@@ -608,6 +804,8 @@ fn golden_run_hash(
             standbys,
             threads_per_node: threads,
             sync_suppress: suppress,
+            pipeline: false,
+            delta_sync: false,
             ..RunConfig::default()
         };
         let r = if edge_cut {
