@@ -419,6 +419,26 @@ fn main() {
                 "#{:04}: a finished episode takes exactly aborts+1 attempts",
                 s.index
             );
+            // Every episode must carry its fine-grained phase breakdown,
+            // and the migration rounds it records must appear in protocol
+            // order (PhaseTimes keeps insertion order, so an out-of-order
+            // round means the protocol itself ran rounds out of order).
+            assert!(
+                ep.phases.iter().count() > 0,
+                "#{:04}: episode ({}) recorded no phase timers",
+                s.index,
+                ep.strategy
+            );
+            let rounds: Vec<u32> = ep
+                .phases
+                .iter()
+                .filter_map(|(n, _)| n.strip_prefix("migration_round")?.parse().ok())
+                .collect();
+            assert!(
+                rounds.windows(2).all(|w| w[0] < w[1]),
+                "#{:04}: migration rounds recorded out of order: {rounds:?}",
+                s.index
+            );
         }
         if !ok {
             failures += 1;

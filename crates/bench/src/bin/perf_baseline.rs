@@ -14,9 +14,9 @@
 
 use std::time::{Duration, Instant};
 
-use imitator::{FtMode, RunConfig};
+use imitator::{FtMode, RecoveryStrategy, RunConfig};
 use imitator_algos::PageRank;
-use imitator_bench::{banner, best_of, ramfs, reps, run_ec, run_vc, BenchOpts, Workload};
+use imitator_bench::{banner, best_of, crash, ramfs, reps, run_ec, run_vc, BenchOpts, Workload};
 use imitator_cluster::{Cluster, NodeId};
 use imitator_engine::{
     build_edge_cut_graphs, build_vertex_cut_graphs, ec_compute, ec_compute_par, ec_compute_scan,
@@ -207,16 +207,85 @@ fn main() {
         );
     }
 
+    // Recovery latency: one crash mid-run under replication FT, per strategy
+    // and thread count. The recorded figure is the recovery episode's wall
+    // time (reload + reconstruct + replay), not the whole run — the quantity
+    // the parallel recovery paths are supposed to shrink.
+    for (name, strategy, standbys) in [
+        ("recovery_rebirth_e2e", RecoveryStrategy::Rebirth, 1usize),
+        ("recovery_migration_e2e", RecoveryStrategy::Migration, 0),
+    ] {
+        for threads in [1usize, 4] {
+            let cfg = RunConfig {
+                num_nodes: opts.nodes,
+                max_iters: 20,
+                ft: FtMode::Replication {
+                    tolerance: 1,
+                    selfish_opt: false,
+                    recovery: strategy,
+                },
+                standbys,
+                threads_per_node: threads,
+                ..RunConfig::default()
+            };
+            let mut best = f64::INFINITY;
+            for _ in 0..reps() {
+                let s = run_ec(
+                    Workload::PageRank,
+                    &g,
+                    &cut,
+                    cfg,
+                    vec![crash(1, 5)],
+                    ramfs(),
+                );
+                assert_eq!(s.recoveries.len(), 1, "crash must trigger one episode");
+                best = best.min(s.recovery_total().as_secs_f64());
+            }
+            record(&format!("{name}_t{threads}"), best);
+        }
+    }
+
+    // Checkpoint write cost: full snapshots every epoch vs the delta-epoch
+    // cadence (full every 4th, dirty-only in between) on the same run.
+    for (name, incremental) in [("ckpt_write_full", false), ("ckpt_write_incr", true)] {
+        let cfg = RunConfig {
+            num_nodes: opts.nodes,
+            max_iters: 20,
+            ft: FtMode::Checkpoint {
+                interval: 2,
+                incremental,
+            },
+            threads_per_node: 4,
+            ..RunConfig::default()
+        };
+        let mut best = f64::INFINITY;
+        for _ in 0..reps() {
+            let s = run_ec(Workload::PageRank, &g, &cut, cfg, vec![], ramfs());
+            best = best.min(s.ckpt_time.as_secs_f64());
+        }
+        record(name, best);
+    }
+
     // Flat JSON, hand-rolled (no serde in the sanctioned dependency list).
+    // `commit` stamps the exact tree the numbers were measured at, so a
+    // diff between two BENCH_engine.json files is attributable.
+    let commit = std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map_or_else(|| "unknown".to_string(), |s| s.trim().to_string());
     let mut json = String::from("{\n");
     json.push_str(&format!(
-        "  \"meta\": {{\"vertices\": {}, \"edges\": {}, \"nodes\": {}, \"seed\": {}, \"reps\": {}, \"cores\": {}}},\n",
+        "  \"meta\": {{\"vertices\": {}, \"edges\": {}, \"nodes\": {}, \"seed\": {}, \"reps\": {}, \"cores\": {}, \"commit\": \"{}\"}},\n",
         g.num_vertices(),
         g.num_edges(),
         opts.nodes,
         opts.seed,
         n,
-        cores
+        cores,
+        commit
     ));
     json.push_str("  \"seconds\": {\n");
     for (i, (name, secs)) in results.iter().enumerate() {

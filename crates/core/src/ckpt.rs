@@ -646,6 +646,94 @@ mod tests {
     }
 
     #[test]
+    fn ec_sparse_incremental_snapshot_is_smaller_and_roundtrips() {
+        let g = gen::power_law(200, 2.0, 5, 5);
+        let cut = HashEdgeCut.partition(&g, 2);
+        let plan = FtPlan::none(g.num_vertices());
+        let d = Degrees::of(&g);
+        let mut lgs = build_edge_cut_graphs(&g, &cut, &plan, &P, &d);
+        let full = encode_ec_snapshot(&lgs[0], 3);
+        // Sparse update: only three masters moved since the last epoch.
+        let dirty: Vec<u32> = lgs[0]
+            .verts
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.is_master())
+            .map(|(pos, _)| pos as u32)
+            .take(3)
+            .collect();
+        assert_eq!(dirty.len(), 3);
+        for &pos in &dirty {
+            lgs[0].verts[pos as usize].value = 42.0;
+        }
+        let inc = encode_ec_snapshot_inc(&lgs[0], 4, &dirty);
+        assert!(
+            inc.len() < full.len(),
+            "sparse delta ({} B) must undercut the full snapshot ({} B)",
+            inc.len(),
+            full.len()
+        );
+        // Chain full + delta onto a wrecked graph: dirty values come from the
+        // delta, the rest from the base.
+        let mut target = build_edge_cut_graphs(&g, &cut, &plan, &P, &d).remove(0);
+        for v in target.verts.iter_mut() {
+            v.value = -1.0;
+        }
+        assert_eq!(apply_ec_snapshot(&mut target, &full).unwrap(), 3);
+        assert_eq!(apply_ec_snapshot_inc(&mut target, &inc).unwrap(), 4);
+        for (v, want) in target.verts.iter().zip(&lgs[0].verts) {
+            if v.is_master() {
+                assert_eq!(
+                    (v.value, v.active, v.last_activate),
+                    (want.value, want.active, want.last_activate)
+                );
+            } else {
+                assert_eq!(v.value, -1.0); // replicas untouched by data snapshots
+            }
+        }
+    }
+
+    #[test]
+    fn vc_sparse_incremental_snapshot_is_smaller_and_roundtrips() {
+        let g = gen::power_law(200, 2.0, 5, 7);
+        let cut = RandomVertexCut.partition(&g, 3);
+        let plan = FtPlan::none(g.num_vertices());
+        let d = Degrees::of(&g);
+        let mut lgs = build_vertex_cut_graphs(&g, &cut, &plan, &P, &d);
+        let full = encode_vc_snapshot(&lgs[1], 3);
+        let dirty: Vec<u32> = lgs[1]
+            .verts
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.is_master())
+            .map(|(pos, _)| pos as u32)
+            .take(2)
+            .collect();
+        assert_eq!(dirty.len(), 2);
+        for &pos in &dirty {
+            lgs[1].verts[pos as usize].value = 9.0;
+        }
+        let inc = encode_vc_snapshot_inc(&lgs[1], 4, &dirty);
+        assert!(
+            inc.len() < full.len(),
+            "sparse delta ({} B) must undercut the full snapshot ({} B)",
+            inc.len(),
+            full.len()
+        );
+        let mut target = build_vertex_cut_graphs(&g, &cut, &plan, &P, &d).remove(1);
+        for v in target.verts.iter_mut() {
+            v.value = -5.0;
+        }
+        assert_eq!(apply_vc_snapshot(&mut target, &full).unwrap(), 3);
+        assert_eq!(apply_vc_snapshot_inc(&mut target, &inc).unwrap(), 4);
+        for (v, want) in target.verts.iter().zip(&lgs[1].verts) {
+            if v.is_master() {
+                assert_eq!(v.value, want.value);
+            }
+        }
+    }
+
+    #[test]
     fn edge_ckpt_roundtrips() {
         let edges = vec![
             (Vid::new(0), Vid::new(1), 1.5),

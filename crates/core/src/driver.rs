@@ -22,7 +22,7 @@ use imitator_engine::{CopyKind, Degrees, FtPlan, InOrder, MasterUpdate, WorkerPo
 use imitator_graph::Vid;
 use imitator_metrics::{CommKind, MemSize, Stopwatch};
 use imitator_storage::codec::{Decode, Encode};
-use imitator_storage::{epoch, Dfs};
+use imitator_storage::{epoch, Dfs, EpochKind};
 
 use crate::msg::{ProtoMsg, ReplicaGrant, VertexSync};
 use crate::plan::ReplicaMeta;
@@ -34,6 +34,23 @@ use crate::{FtMode, RunConfig};
 /// How long recovery waits for a peer's message before concluding the
 /// protocol is wedged (a bug, not an injected failure).
 pub(crate) const RECOVERY_PATIENCE: Duration = Duration::from_secs(30);
+
+/// Under incremental checkpointing, every `FULL_EPOCH_PERIOD`-th epoch is a
+/// self-contained full snapshot; the epochs between carry only the vertices
+/// dirtied since the previous epoch. The periodic full epochs bound the
+/// base+delta chain recovery must replay.
+pub(crate) const FULL_EPOCH_PERIOD: u64 = 4;
+
+/// The kind of checkpoint epoch `epoch` is — a pure function of the epoch
+/// number, so every node (and every post-abort retry) independently agrees
+/// without coordination. The first epoch of a run is always full.
+pub(crate) fn ckpt_epoch_kind(epoch: u64, interval: u64, incremental: bool) -> EpochKind {
+    if !incremental || (epoch / interval.max(1)) % FULL_EPOCH_PERIOD == 1 {
+        EpochKind::Full
+    } else {
+        EpochKind::Delta
+    }
+}
 
 /// The wire protocol a model speaks ([`ProtoMsg`] instantiated with its
 /// associated types).
@@ -146,11 +163,13 @@ pub(crate) trait ComputeModel: Send + Sync + Sized + 'static {
     type Entry: Send + 'static;
     /// Replica metadata.
     type Meta: ReplicaMeta + Clone + Send + 'static;
-    /// Local graph.
+    /// Local graph. `Sync` because recovery's read-only scans share it with
+    /// pool workers behind an `Arc` (both engines' graphs are plain data).
     type Graph: ModelGraph<Value = Self::Value, Meta = Self::Meta>
         + MemSize
         + Clone
         + Send
+        + Sync
         + 'static;
     /// Per-node steady-state scratch reused across iterations.
     type Scratch: Send;
@@ -224,8 +243,16 @@ pub(crate) trait ComputeModel: Send + Sync + Sized + 'static {
     fn validate(&self, lg: &Self::Graph);
     /// Post-reload replay on the newbie (activation replay + selfish
     /// recompute for the sparse engine). Returns whether any replay work
-    /// exists — `false` keeps the report's replay phase at zero.
-    fn rebirth_replay(&self, _lg: &mut Self::Graph, _shared: &Shared<Self>, _resume: u64) -> bool {
+    /// exists — `false` keeps the report's replay phase at zero. The graph
+    /// arrives behind an `Arc` so the model can fan read-only passes out on
+    /// `pool` (same contract as [`ComputeModel::superstep`]).
+    fn rebirth_replay(
+        &self,
+        _lg: &mut Arc<Self::Graph>,
+        _shared: &Shared<Self>,
+        _resume: u64,
+        _pool: &WorkerPool,
+    ) -> bool {
         false
     }
     /// `(vertices, edges)` held by a reconstructed graph, for the report.
@@ -340,7 +367,9 @@ pub(crate) fn run<M: ComputeModel>(
             } else {
                 shared.model.on_load(&lg, &shared);
             }
-            node_main(ctx, lg, &shared, st)
+            // Spawned once per node per run; workers park between phases.
+            let pool = WorkerPool::new(shared.cfg.threads_per_node);
+            node_main(ctx, lg, &shared, st, pool)
         }));
     }
     let mut standby_handles = Vec::new();
@@ -399,18 +428,22 @@ fn standby_main<M: ComputeModel>(
         Instant::now(),
         shared.cfg.sync_suppress,
     );
+    // The newbie's reload/reconstruct/replay phases fan out on the same
+    // worker pool the node keeps for compute once it joins the main loop.
+    let pool = WorkerPool::new(shared.cfg.threads_per_node);
     let lg = match shared.cfg.ft {
-        FtMode::Replication { .. } => recovery::rebirth_newbie(&ctx, shared, &mut st),
-        FtMode::Checkpoint { .. } => recovery::ckpt_newbie(&ctx, shared, &mut st),
+        FtMode::Replication { .. } => recovery::rebirth_newbie(&ctx, shared, &mut st, &pool),
+        FtMode::Checkpoint { .. } => recovery::ckpt_newbie(&ctx, shared, &mut st, &pool),
         FtMode::None => unreachable!("standbys are never dispatched without fault tolerance"),
     };
     // `None`: the recovery attempt this newbie was dispatched for aborted
     // (or the newbie hit an injected fail point) and it crashed itself; its
     // phase/comm accounting still belongs in the merged report.
     let Some(lg) = lg else {
+        absorb_pool(&mut st, &pool);
         return Some(NodeOutcome::from_state(None, st));
     };
-    Some(node_main(ctx, lg, shared, st))
+    Some(node_main(ctx, lg, shared, st, pool))
 }
 
 /// Algorithm 1: the synchronous execution flow with failure handling —
@@ -422,13 +455,11 @@ fn node_main<M: ComputeModel>(
     lg: M::Graph,
     shared: &Arc<Shared<M>>,
     mut st: St<M>,
+    pool: WorkerPool,
 ) -> NodeOutcome<M::Graph> {
     let me = ctx.id();
     st.sync_filter.set_domain(lg.len() as u32);
     let mut scratch = shared.model.init_scratch(&lg, shared);
-    // Spawned once per node per run; workers park between phases. A reborn
-    // standby builds its pool here too, when it assumes the dead identity.
-    let pool = WorkerPool::new(shared.cfg.threads_per_node);
     let mut lg = Arc::new(lg);
     loop {
         if st.iter >= shared.cfg.max_iters {
@@ -455,7 +486,7 @@ fn node_main<M: ComputeModel>(
                     // faster peers; discard the failed iteration's data traffic.
                     stash_non_data::<M>(&ctx, &mut st);
                     let resume = st.iter;
-                    if recovery::recover(&ctx, graph_mut(&mut lg), shared, &mut st, &dead, resume) {
+                    if recovery::recover(&ctx, &mut lg, shared, &mut st, &dead, resume, &pool) {
                         absorb_pool(&mut st, &pool);
                         return NodeOutcome::from_state(None, st);
                     }
@@ -472,12 +503,19 @@ fn node_main<M: ComputeModel>(
         {
             if (st.iter + 1).is_multiple_of(interval) {
                 let sw = Stopwatch::start();
-                let bytes = if incremental {
-                    let mut dirty: Vec<u32> = st.dirty.drain().collect();
-                    dirty.sort_unstable();
-                    shared.model.encode_snapshot_inc(&lg, st.iter + 1, &dirty)
-                } else {
-                    shared.model.encode_snapshot(&lg, st.iter + 1)
+                let kind = ckpt_epoch_kind(st.iter + 1, interval, incremental);
+                let bytes = match kind {
+                    EpochKind::Delta => {
+                        let mut dirty: Vec<u32> = st.dirty.drain().collect();
+                        dirty.sort_unstable();
+                        shared.model.encode_snapshot_inc(&lg, st.iter + 1, &dirty)
+                    }
+                    EpochKind::Full => {
+                        // A full epoch is a fresh base: the delta chain
+                        // restarts from here, so the dirty set resets too.
+                        st.dirty.clear();
+                        shared.model.encode_snapshot(&lg, st.iter + 1)
+                    }
                 };
                 if shared
                     .injector
@@ -494,14 +532,15 @@ fn node_main<M: ComputeModel>(
                 epoch::write_part(&shared.dfs, M::PREFIX, st.iter + 1, me.raw(), bytes);
                 if me == st.leader() {
                     // The epoch commits only once its roster exists: the
-                    // sealed member list recovery checks parts against.
+                    // sealed member list (and epoch kind) recovery checks
+                    // parts against.
                     let members: Vec<u32> = st
                         .alive
                         .iter()
                         .enumerate()
                         .filter_map(|(i, &a)| a.then_some(i as u32))
                         .collect();
-                    epoch::write_roster(&shared.dfs, M::PREFIX, st.iter + 1, &members);
+                    epoch::write_roster(&shared.dfs, M::PREFIX, st.iter + 1, kind, &members);
                 }
                 st.last_snapshot_iter = st.iter + 1;
                 let d = sw.elapsed();
@@ -526,7 +565,7 @@ fn node_main<M: ComputeModel>(
             // Failure after commit: no rollback.
             stash_non_data::<M>(&ctx, &mut st);
             let resume = st.iter;
-            if recovery::recover(&ctx, graph_mut(&mut lg), shared, &mut st, &dead, resume) {
+            if recovery::recover(&ctx, &mut lg, shared, &mut st, &dead, resume, &pool) {
                 absorb_pool(&mut st, &pool);
                 return NodeOutcome::from_state(None, st);
             }

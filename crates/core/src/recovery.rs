@@ -30,18 +30,42 @@
 //! ("rebirth→migration"), and checkpoint recovery grafts the dead
 //! partitions' snapshots onto the survivors ("checkpoint→migration") — no
 //! panic, no wedged cluster.
+//!
+//! # Parallelism
+//!
+//! The heavy, *read-only* recovery phases fan out over the node's persistent
+//! [`WorkerPool`] in contiguous position chunks: the Rebirth reload scan,
+//! Migration's R1 promotion/purge identification and R7 meta-refresh build,
+//! snapshot-chain part reads, checkpoint-fallback partition reconstruction,
+//! and the sparse engine's replay recompute. Chunk results are consumed
+//! strictly in submission order ([`imitator_engine::InOrder`]), which is
+//! ascending position order — exactly the order the serial loops produced —
+//! and **every mutation stays on the protocol thread**, so recovery is
+//! bit-identical to serial execution for any thread count. Fail points and
+//! barriers also never move off the protocol thread, so the PR 5 abort /
+//! undo / retry machinery is untouched: at every abortable point all
+//! dispatched chunks have already been drained and the local graph's
+//! [`std::sync::Arc`] is uniquely held again.
+//!
+//! Progressive, order-dependent state stays serial by design: Migration R5's
+//! mirror designation reads and updates the least-assigned counters
+//! (`st.mirror_assign`) across iterations, and the sparse engine's selfish
+//! recompute falls back to the serial loop whenever one selfish master feeds
+//! another (see `runner_ec.rs`).
 
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use imitator_cluster::{BarrierOutcome, Envelope, FailPoint, NodeCtx, NodeId};
-use imitator_engine::CopyKind;
+use imitator_engine::{chunk_ranges, CopyKind, WorkerPool};
 use imitator_graph::Vid;
-use imitator_metrics::{CommKind, CommStats, RecoveryCounters, Stopwatch};
-use imitator_storage::epoch;
+use imitator_metrics::{CommKind, CommStats, PhaseTimes, RecoveryCounters, Stopwatch};
+use imitator_storage::{epoch, EpochError, EpochKind};
 
 use crate::driver::{
-    collect_syncs, round_msgs, ComputeModel, Ctx, ModelGraph, Shared, St, RECOVERY_PATIENCE,
+    collect_syncs, graph_mut, round_msgs, ComputeModel, Ctx, ModelGraph, Shared, St,
+    RECOVERY_PATIENCE,
 };
 use crate::msg::{MirrorUpdate, Promotion, ProtoMsg, RebirthBatch, ReplicaGrant, VertexSync};
 use crate::plan::{responsible_mirror, ReplicaMeta};
@@ -53,6 +77,17 @@ use crate::{FtMode, RecoveryStrategy};
 /// (migration R5/R7).
 type MirrorUpdates<M> =
     HashMap<NodeId, Vec<MirrorUpdate<<M as ComputeModel>::Value, <M as ComputeModel>::Meta>>>;
+
+/// One rebirth reload-scan chunk's output: per-crashed-node entry batches
+/// (indexed like the episode's `dead` slice) plus the vids this node
+/// recovers as master.
+type ScanChunk<M> = (Vec<Vec<<M as ComputeModel>::Entry>>, Vec<Vid>);
+
+/// One migration R7 refresh destined for a mirror node.
+type Refresh<M> = (
+    NodeId,
+    MirrorUpdate<<M as ComputeModel>::Value, <M as ComputeModel>::Meta>,
+);
 
 /// Shared migration bookkeeping, threaded through the rounds. `extra` is
 /// the model's own state (the edge wiring the generic rounds don't know
@@ -212,43 +247,58 @@ impl<M: ComputeModel> Undo<M> {
 /// with the enlarged failure set until one succeeds. Returns `true` when
 /// *this node* crashed at an injected recovery-phase fail point (the caller
 /// must exit like any other crashed node).
+///
+/// Time spent fencing aborted attempts accumulates into the successful
+/// report's `fence` phase — it is wall-clock the episode really cost.
 pub(crate) fn recover<M: ComputeModel>(
     ctx: &Ctx<M>,
-    lg: &mut M::Graph,
-    shared: &Shared<M>,
+    lg: &mut Arc<M::Graph>,
+    shared: &Arc<Shared<M>>,
     st: &mut St<M>,
     dead: &[NodeId],
     resume_iter: u64,
+    pool: &WorkerPool,
 ) -> bool {
     if matches!(shared.cfg.ft, FtMode::None) {
         panic!("node failure injected with fault tolerance disabled");
     }
-    let undo: Undo<M> = Undo::capture(lg, st);
+    let undo: Undo<M> = Undo::capture(&**lg, st);
     let mut episode: Vec<NodeId> = dead.to_vec();
     episode.sort_unstable();
     episode.dedup();
     let mut counters = RecoveryCounters::default();
+    let mut fence_time = Duration::ZERO;
     loop {
         counters.attempts += 1;
         let attempt = match shared.cfg.ft {
             FtMode::None => unreachable!(),
             FtMode::Checkpoint { .. } => {
-                ckpt_recover_survivor(ctx, lg, shared, st, &episode, resume_iter)
+                ckpt_recover_survivor(ctx, lg, shared, st, &episode, resume_iter, pool)
             }
             FtMode::Replication {
                 recovery: RecoveryStrategy::Rebirth,
                 ..
-            } => rebirth_survivor(ctx, lg, shared, st, &episode, resume_iter),
+            } => rebirth_survivor(ctx, lg, shared, st, &episode, resume_iter, pool),
             FtMode::Replication {
                 recovery: RecoveryStrategy::Migration,
                 ..
-            } => migrate(ctx, lg, shared, st, &episode, resume_iter, "migration"),
+            } => migrate(
+                ctx,
+                lg,
+                shared,
+                st,
+                &episode,
+                resume_iter,
+                "migration",
+                pool,
+            ),
         };
         match attempt {
             Ok(mut report) => {
                 report.counters = counters;
+                report.phases.record("fence", fence_time);
                 st.recoveries.push(report);
-                shared.model.after_recovery(lg);
+                shared.model.after_recovery(graph_mut(lg));
                 return false;
             }
             Err(Abort::Crashed) => return true,
@@ -260,12 +310,14 @@ pub(crate) fn recover<M: ComputeModel>(
                     }
                 }
                 episode.sort_unstable();
-                undo.restore(lg, st);
+                undo.restore(graph_mut(lg), st);
                 // The aborted attempt may have re-persisted load-time DFS
                 // state (edge-ckpt files) from a since-reverted graph;
                 // re-derive it from the restored one.
-                shared.model.on_load(lg, shared);
+                shared.model.on_load(&**lg, shared);
+                let sw = Stopwatch::start();
                 abort_fence(ctx, st, &mut episode);
+                fence_time += sw.elapsed();
             }
         }
     }
@@ -299,12 +351,6 @@ fn abort_fence<T: Send + 'static>(
     }
 }
 
-fn batch_for<E>(batches: &mut HashMap<NodeId, Vec<E>>, d: NodeId) -> &mut Vec<E> {
-    batches
-        .get_mut(&d)
-        .unwrap_or_else(|| panic!("no rebirth batch slot for crashed node {d}"))
-}
-
 /// The leader's half of the standby decision: if the pool can cover the
 /// whole episode, dispatch one standby per crashed identity (all or none —
 /// partial dispatch would leave survivors and newbies disagreeing about the
@@ -332,13 +378,80 @@ fn dispatch_vote<T: Send + 'static>(
 // Rebirth (§5.1)
 // --------------------------------------------------------------------------
 
+/// Classifies one position for the rebirth reload scan, appending recovery
+/// entries to the per-crashed-node batches (`out` is indexed like `dead`).
+/// Pure reads — runs from any worker thread; merging chunks in submission
+/// order reproduces the serial ascending-position scan exactly.
+#[allow(clippy::too_many_arguments)]
+fn scan_position<M: ComputeModel>(
+    lg: &M::Graph,
+    shared: &Shared<M>,
+    dead: &[NodeId],
+    alive: &[bool],
+    me: NodeId,
+    pos: u32,
+    out: &mut [Vec<M::Entry>],
+    promoted: &mut Vec<Vid>,
+) {
+    match lg.kind(pos) {
+        CopyKind::Master => {
+            let meta = lg
+                .meta(pos)
+                .unwrap_or_else(|| panic!("master {} has no full state", lg.vid(pos)));
+            for (i, &d) in dead.iter().enumerate() {
+                if let Some(rpos) = meta.replica_position_on(d) {
+                    let kind = if meta.mirror_nodes().contains(&d) {
+                        CopyKind::Mirror
+                    } else {
+                        CopyKind::Replica
+                    };
+                    out[i].push(shared.model.replica_entry(lg, pos, d, rpos, kind));
+                }
+            }
+        }
+        CopyKind::Mirror => {
+            let master = lg.master_node(pos);
+            let Some(mi) = dead.iter().position(|&d| d == master) else {
+                return;
+            };
+            let meta = lg
+                .meta(pos)
+                .unwrap_or_else(|| panic!("mirror {} has no full state", lg.vid(pos)));
+            if responsible_mirror(meta, alive) != Some(me) {
+                return;
+            }
+            // Recover the master at its original position...
+            out[mi].push(shared.model.master_entry(lg, pos));
+            promoted.push(lg.vid(pos));
+            // ...and, under multiple failures, any of its replicas lost
+            // on *other* crashed nodes.
+            for (i, &d) in dead.iter().enumerate() {
+                if d == master {
+                    continue;
+                }
+                if let Some(rpos) = meta.replica_position_on(d) {
+                    let kind = if meta.mirror_nodes().contains(&d) {
+                        CopyKind::Mirror
+                    } else {
+                        CopyKind::Replica
+                    };
+                    out[i].push(shared.model.replica_entry(lg, pos, d, rpos, kind));
+                }
+            }
+        }
+        CopyKind::Replica => {}
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn rebirth_survivor<M: ComputeModel>(
     ctx: &Ctx<M>,
-    lg: &mut M::Graph,
-    shared: &Shared<M>,
+    lg: &mut Arc<M::Graph>,
+    shared: &Arc<Shared<M>>,
     st: &mut St<M>,
     dead: &[NodeId],
     resume_iter: u64,
+    pool: &WorkerPool,
 ) -> Attempt<RecoveryReport> {
     let me = ctx.id();
     let survivors = st.mark_dead(dead);
@@ -351,77 +464,70 @@ fn rebirth_survivor<M: ComputeModel>(
     // onto the survivors instead of wedging the cluster.
     let vote = dispatch_vote(ctx, st, dead);
     if barrier_sum_ok(ctx, vote)? == 0 {
-        return migrate(ctx, lg, shared, st, dead, resume_iter, "rebirth→migration");
+        return migrate(
+            ctx,
+            lg,
+            shared,
+            st,
+            dead,
+            resume_iter,
+            "rebirth→migration",
+            pool,
+        );
     }
     fail_here(ctx, shared, resume_iter, FailPoint::RebirthReload)?;
 
     // Reloading (§5.1.1): scan local masters and mirrors, build one batch
     // per crashed node. The responsible mirror (first surviving node in
     // mirror-ID order) recovers the master; every master recovers its own
-    // lost replicas.
+    // lost replicas. The scan is pure reads over a stable failure set, so
+    // it fans out in position chunks; chunks merge in submission order,
+    // keeping every batch in the serial ascending-position order.
+    let mut phases = PhaseTimes::new();
     let sw = Stopwatch::start();
-    let mut batches: HashMap<NodeId, Vec<M::Entry>> = HashMap::new();
-    for d in dead {
-        batches.insert(*d, Vec::new());
-    }
+    let dead_v: Arc<Vec<NodeId>> = Arc::new(dead.to_vec());
+    let alive_v: Arc<Vec<bool>> = Arc::new(st.alive.clone());
+    let jobs = chunk_ranges(lg.len(), pool.threads())
+        .into_iter()
+        .map(|r| {
+            let lg = Arc::clone(lg);
+            let shared = Arc::clone(shared);
+            let dead = Arc::clone(&dead_v);
+            let alive = Arc::clone(&alive_v);
+            Box::new(move || {
+                let mut out: Vec<Vec<M::Entry>> = dead.iter().map(|_| Vec::new()).collect();
+                let mut promoted = Vec::new();
+                for pos in r.start as u32..r.end as u32 {
+                    scan_position::<M>(
+                        &lg,
+                        &shared,
+                        &dead,
+                        &alive,
+                        me,
+                        pos,
+                        &mut out,
+                        &mut promoted,
+                    );
+                }
+                (out, promoted)
+            }) as Box<dyn FnOnce() -> ScanChunk<M> + Send>
+        })
+        .collect();
+    let mut batches: Vec<Vec<M::Entry>> = dead.iter().map(|_| Vec::new()).collect();
     let mut promoted: Vec<Vid> = Vec::new();
-    for pos in 0..lg.len() as u32 {
-        match lg.kind(pos) {
-            CopyKind::Master => {
-                let meta = lg
-                    .meta(pos)
-                    .unwrap_or_else(|| panic!("master {} has no full state", lg.vid(pos)));
-                for &d in dead {
-                    if let Some(rpos) = meta.replica_position_on(d) {
-                        let kind = if meta.mirror_nodes().contains(&d) {
-                            CopyKind::Mirror
-                        } else {
-                            CopyKind::Replica
-                        };
-                        let entry = shared.model.replica_entry(lg, pos, d, rpos, kind);
-                        batch_for(&mut batches, d).push(entry);
-                    }
-                }
-            }
-            CopyKind::Mirror => {
-                let master = lg.master_node(pos);
-                if !dead.contains(&master) {
-                    continue;
-                }
-                let meta = lg
-                    .meta(pos)
-                    .unwrap_or_else(|| panic!("mirror {} has no full state", lg.vid(pos)));
-                if responsible_mirror(meta, &st.alive) != Some(me) {
-                    continue;
-                }
-                // Recover the master at its original position...
-                let entry = shared.model.master_entry(lg, pos);
-                batch_for(&mut batches, master).push(entry);
-                promoted.push(lg.vid(pos));
-                // ...and, under multiple failures, any of its replicas lost
-                // on *other* crashed nodes.
-                for &d in dead {
-                    if d == master {
-                        continue;
-                    }
-                    if let Some(rpos) = meta.replica_position_on(d) {
-                        let kind = if meta.mirror_nodes().contains(&d) {
-                            CopyKind::Mirror
-                        } else {
-                            CopyKind::Replica
-                        };
-                        let entry = shared.model.replica_entry(lg, pos, d, rpos, kind);
-                        batch_for(&mut batches, d).push(entry);
-                    }
-                }
-            }
-            CopyKind::Replica => {}
+    for (chunk, promo) in pool.dispatch(jobs) {
+        for (b, c) in batches.iter_mut().zip(chunk) {
+            b.extend(c);
         }
+        promoted.extend(promo);
     }
     let mut recovered = 0u64;
     let mut recovered_edges = 0u64;
     let mut comm = CommStats::default();
-    for (d, entries) in batches {
+    // Every crashed node gets a batch, even an empty one — the newbie
+    // counts `num_survivors` batches before it considers itself reloaded.
+    for (i, entries) in batches.into_iter().enumerate() {
+        let d = dead[i];
         recovered += entries.len() as u64;
         recovered_edges += entries
             .iter()
@@ -444,7 +550,10 @@ fn rebirth_survivor<M: ComputeModel>(
         );
     }
     let reload = sw.elapsed();
+    phases.record("reload", reload);
+    let sw = Stopwatch::start();
     barrier_ok(ctx)?;
+    phases.record("fence", sw.elapsed());
 
     // Membership restored: the newbies carry the crashed identities.
     for d in dead {
@@ -465,13 +574,16 @@ fn rebirth_survivor<M: ComputeModel>(
         promoted,
         contacted,
         counters: RecoveryCounters::default(),
+        phases,
     })
 }
 
 /// A newbie reconstructing a crashed identity: receive one batch from every
 /// survivor (placement is position-addressed, so reconstruction happens on
 /// the fly, §5.1.2), reload any model-specific extra state, validate, and
-/// replay (§5.1.3).
+/// replay (§5.1.3). Replay runs the model's fan-out on the newbie's own
+/// worker pool (the graph travels behind an `Arc` that is uniquely held
+/// again once the replay's chunks are drained).
 ///
 /// Returns `None` when the attempt aborted: the newbie has no pre-episode
 /// state to restore, so it crashes itself (suicide-on-abort) and the next
@@ -481,8 +593,9 @@ fn rebirth_survivor<M: ComputeModel>(
 /// it joins the survivors' next barrier to observe the failure officially.
 pub(crate) fn rebirth_newbie<M: ComputeModel>(
     ctx: &Ctx<M>,
-    shared: &Shared<M>,
+    shared: &Arc<Shared<M>>,
     st: &mut St<M>,
+    pool: &WorkerPool,
 ) -> Option<M::Graph> {
     let me = ctx.id();
     // Membership barrier (the survivors' decision barrier).
@@ -491,6 +604,7 @@ pub(crate) fn rebirth_newbie<M: ComputeModel>(
         return None;
     }
 
+    let mut phases = PhaseTimes::new();
     let sw = Stopwatch::start();
     let mut lg = shared.model.empty_graph(me);
     let mut got = 0u32;
@@ -541,6 +655,7 @@ pub(crate) fn rebirth_newbie<M: ComputeModel>(
     }
     shared.model.rebirth_reload_extra(&mut lg, shared);
     let reload = sw.elapsed();
+    phases.record("reload", reload);
 
     if shared
         .injector
@@ -556,6 +671,7 @@ pub(crate) fn rebirth_newbie<M: ComputeModel>(
     let mut sw = Stopwatch::start();
     shared.model.validate(&lg);
     let reconstruct = sw.lap();
+    phases.record("reconstruct", reconstruct);
     if shared
         .injector
         .should_fail(me, resume_iter, FailPoint::RebirthReplay)
@@ -563,19 +679,26 @@ pub(crate) fn rebirth_newbie<M: ComputeModel>(
         ctx.crash();
         return None;
     }
-    let replay = if shared.model.rebirth_replay(&mut lg, shared, resume_iter) {
+    let mut lg = Arc::new(lg);
+    let replay = if shared
+        .model
+        .rebirth_replay(&mut lg, shared, resume_iter, pool)
+    {
         sw.lap()
     } else {
         Duration::ZERO
     };
+    phases.record("replay", replay);
 
     let (vertices, edges) = shared.model.graph_stats(&lg);
     st.iter = resume_iter;
     // Reconstruction barrier: only a clean outcome makes the rebirth real.
+    let sw = Stopwatch::start();
     if let BarrierOutcome::Failed(_) = ctx.enter_barrier() {
         ctx.crash();
         return None;
     }
+    phases.record("fence", sw.elapsed());
     st.recoveries.push(RecoveryReport {
         strategy: "rebirth",
         failed_nodes: 1,
@@ -591,7 +714,10 @@ pub(crate) fn rebirth_newbie<M: ComputeModel>(
             attempts: 1,
             aborts: 0,
         },
+        phases,
     });
+    let lg =
+        Arc::try_unwrap(lg).unwrap_or_else(|_| panic!("newbie graph still shared by pool workers"));
     Some(lg)
 }
 
@@ -599,15 +725,16 @@ pub(crate) fn rebirth_newbie<M: ComputeModel>(
 // Migration (§5.2): eight barrier-separated rounds
 // --------------------------------------------------------------------------
 
-#[allow(clippy::too_many_lines)]
+#[allow(clippy::too_many_lines, clippy::too_many_arguments)]
 fn migrate<M: ComputeModel>(
     ctx: &Ctx<M>,
-    lg: &mut M::Graph,
-    shared: &Shared<M>,
+    lg: &mut Arc<M::Graph>,
+    shared: &Arc<Shared<M>>,
     st: &mut St<M>,
     dead: &[NodeId],
     resume_iter: u64,
     strategy: &'static str,
+    pool: &WorkerPool,
 ) -> Attempt<RecoveryReport> {
     let me = ctx.id();
     let survivors = st.mark_dead(dead);
@@ -617,63 +744,107 @@ fn migrate<M: ComputeModel>(
         _ => unreachable!("migrate requires replication FT"),
     };
     let mut mig: Mig<M::MigExtra> = Mig::default();
+    let mut phases = PhaseTimes::new();
+    let mut sw_round = Stopwatch::start();
     let sw_total = Stopwatch::start();
 
     // ---- R1: promote local mirrors whose master died (the responsible
     //      mirror wins), purge crashed locations, announce promotions.
+    //      Identification is a pure scan of the pre-round graph, so it fans
+    //      out in position chunks; the mutations replay the merged hit
+    //      lists on the protocol thread in ascending position order —
+    //      exactly the serial single-pass order (a position is classified
+    //      once, against its pre-round state, in both versions).
     fail_here(ctx, shared, resume_iter, FailPoint::MigrationRound(1))?;
+    let dead_v: Arc<Vec<NodeId>> = Arc::new(dead.to_vec());
+    let alive_v: Arc<Vec<bool>> = Arc::new(st.alive.clone());
+    let jobs = chunk_ranges(lg.len(), pool.threads())
+        .into_iter()
+        .map(|r| {
+            let lg = Arc::clone(lg);
+            let dead = Arc::clone(&dead_v);
+            let alive = Arc::clone(&alive_v);
+            Box::new(move || {
+                let mut promos: Vec<u32> = Vec::new();
+                let mut purges: Vec<u32> = Vec::new();
+                for pos in r.start as u32..r.end as u32 {
+                    match lg.kind(pos) {
+                        CopyKind::Mirror if dead.contains(&lg.master_node(pos)) => {
+                            let meta = lg.meta(pos).unwrap_or_else(|| {
+                                panic!("mirror {} has no full state", lg.vid(pos))
+                            });
+                            if responsible_mirror(meta, &alive) == Some(me) {
+                                promos.push(pos);
+                            }
+                        }
+                        CopyKind::Master => {
+                            let meta = lg.meta(pos).unwrap_or_else(|| {
+                                panic!("master {} has no full state", lg.vid(pos))
+                            });
+                            // Equivalent to the serial before/after length
+                            // check: purging changes the tables iff some
+                            // crashed node appears in them.
+                            if dead.iter().any(|d| {
+                                meta.replica_nodes().contains(d) || meta.mirror_nodes().contains(d)
+                            }) {
+                                purges.push(pos);
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                (promos, purges)
+            }) as Box<dyn FnOnce() -> (Vec<u32>, Vec<u32>) + Send>
+        })
+        .collect();
+    let mut promo_pos: Vec<u32> = Vec::new();
+    let mut purge_pos: Vec<u32> = Vec::new();
+    for (p, q) in pool.dispatch(jobs) {
+        promo_pos.extend(p);
+        purge_pos.extend(q);
+    }
     let mut promotions: Vec<Promotion> = Vec::new();
-    for pos in 0..lg.len() as u32 {
-        match lg.kind(pos) {
-            CopyKind::Mirror if dead.contains(&lg.master_node(pos)) => {
-                let vid = lg.vid(pos);
-                let meta = lg
-                    .meta(pos)
-                    .unwrap_or_else(|| panic!("mirror {vid} has no full state"));
-                if responsible_mirror(meta, &st.alive) != Some(me) {
-                    continue;
-                }
-                let old_node = lg.master_node(pos);
-                let old_pos = meta.master_pos();
-                lg.set_kind(pos, CopyKind::Master);
-                lg.set_master_node(pos, me);
-                let meta = lg.meta_mut(pos).unwrap_or_else(|| {
-                    panic!("promoted mirror {vid} at position {pos} has no full state")
-                });
-                meta.set_master_pos(pos);
-                meta.purge_node(me);
-                for &d in dead {
-                    meta.purge_node(d);
-                }
-                shared.model.on_promote(lg, pos, &mut mig);
-                promotions.push(Promotion {
-                    vid,
-                    new_master: me,
-                    new_pos: pos,
-                    old_node,
-                    old_pos,
-                });
-                mig.dirty_masters.insert(pos);
-                mig.promoted.push(vid);
-                st.overlay.insert(vid, me);
-                mig.recovered += 1;
-            }
-            CopyKind::Master => {
-                // Purge crashed replica locations from the location tables.
-                let vid = lg.vid(pos);
-                let meta = lg
-                    .meta_mut(pos)
-                    .unwrap_or_else(|| panic!("master {vid} has no full state"));
-                let before = meta.replica_nodes().len() + meta.mirror_nodes().len();
-                for &d in dead {
-                    meta.purge_node(d);
-                }
-                if meta.replica_nodes().len() + meta.mirror_nodes().len() != before {
-                    mig.dirty_masters.insert(pos);
-                }
-            }
-            _ => {}
+    let g = graph_mut(lg);
+    for pos in promo_pos {
+        let vid = g.vid(pos);
+        let old_node = g.master_node(pos);
+        let old_pos = g
+            .meta(pos)
+            .unwrap_or_else(|| panic!("mirror {vid} has no full state"))
+            .master_pos();
+        g.set_kind(pos, CopyKind::Master);
+        g.set_master_node(pos, me);
+        let meta = g
+            .meta_mut(pos)
+            .unwrap_or_else(|| panic!("promoted mirror {vid} at position {pos} has no full state"));
+        meta.set_master_pos(pos);
+        meta.purge_node(me);
+        for &d in dead {
+            meta.purge_node(d);
         }
+        shared.model.on_promote(g, pos, &mut mig);
+        promotions.push(Promotion {
+            vid,
+            new_master: me,
+            new_pos: pos,
+            old_node,
+            old_pos,
+        });
+        mig.dirty_masters.insert(pos);
+        mig.promoted.push(vid);
+        st.overlay.insert(vid, me);
+        mig.recovered += 1;
+    }
+    for pos in purge_pos {
+        // Purge crashed replica locations from the location tables.
+        let vid = g.vid(pos);
+        let meta = g
+            .meta_mut(pos)
+            .unwrap_or_else(|| panic!("master {vid} has no full state"));
+        for &d in dead {
+            meta.purge_node(d);
+        }
+        mig.dirty_masters.insert(pos);
     }
     for &n in &others {
         let bytes = (promotions.len() * 20) as u64;
@@ -686,6 +857,7 @@ fn migrate<M: ComputeModel>(
         );
     }
     barrier_ok(ctx)?;
+    phases.record("migration_round1", sw_round.lap());
 
     // ---- R2: apply promotions everywhere; let the model fix its location
     //      tables and compute the replica requests it must send.
@@ -701,15 +873,16 @@ fn migrate<M: ComputeModel>(
             }),
         }
     }
+    let g = graph_mut(lg);
     for p in &all_promos {
         promo_by_old.insert((p.old_node, p.old_pos), *p);
         st.overlay.insert(p.vid, p.new_master);
         if p.new_master == me {
             continue; // own promotions already fixed in R1
         }
-        if let Some(pos) = lg.position(p.vid) {
-            lg.set_master_node(pos, p.new_master);
-            if let Some(meta) = lg.meta_mut(pos) {
+        if let Some(pos) = g.position(p.vid) {
+            g.set_master_node(pos, p.new_master);
+            if let Some(meta) = g.meta_mut(pos) {
                 meta.set_master_pos(p.new_pos);
                 for &d in dead {
                     meta.purge_node(d);
@@ -726,7 +899,7 @@ fn migrate<M: ComputeModel>(
     };
     let mut requests = shared
         .model
-        .migration_requests(lg, shared, st, &mut mig, &menv);
+        .migration_requests(g, shared, st, &mut mig, &menv);
     for &n in &others {
         let req = requests.remove(&n).unwrap_or_default();
         let bytes = (req.len() * 4) as u64;
@@ -734,22 +907,24 @@ fn migrate<M: ComputeModel>(
         ctx.send_kind(n, ProtoMsg::ReplicaRequest(req), bytes, CommKind::Recovery);
     }
     barrier_ok(ctx)?;
+    phases.record("migration_round2", sw_round.lap());
 
     // ---- R3: grant requested replicas.
     fail_here(ctx, shared, resume_iter, FailPoint::MigrationRound(3))?;
     let mut grants: HashMap<NodeId, Vec<ReplicaGrant<M::Value>>> = HashMap::new();
+    let g = graph_mut(lg);
     for env in round_msgs::<M>(ctx, st) {
         match env.msg {
             ProtoMsg::ReplicaRequest(req) => {
                 for vid in req {
-                    let pos = lg
+                    let pos = g
                         .position(vid)
                         .unwrap_or_else(|| panic!("request for {vid} but no copy on {me}"));
-                    debug_assert!(lg.is_master(pos), "replica request routed to non-master");
+                    debug_assert!(g.is_master(pos), "replica request routed to non-master");
                     grants.entry(env.from).or_default().push(ReplicaGrant {
                         vid,
-                        value: lg.value(pos).clone(),
-                        last_activate: shared.model.scatter_bit(lg, pos),
+                        value: g.value(pos).clone(),
+                        last_activate: shared.model.scatter_bit(g, pos),
                         master_node: me,
                     });
                 }
@@ -761,32 +936,34 @@ fn migrate<M: ComputeModel>(
         }
     }
     for &n in &others {
-        let g = grants.remove(&n).unwrap_or_default();
-        let bytes: u64 = g
+        let gr = grants.remove(&n).unwrap_or_default();
+        let bytes: u64 = gr
             .iter()
             .map(|x| 16 + shared.model.value_wire_bytes(&x.value) as u64)
             .sum();
         mig.comm.record(1, bytes);
-        ctx.send_kind(n, ProtoMsg::ReplicaGrant(g), bytes, CommKind::Recovery);
+        ctx.send_kind(n, ProtoMsg::ReplicaGrant(gr), bytes, CommKind::Recovery);
     }
     barrier_ok(ctx)?;
+    phases.record("migration_round3", sw_round.lap());
 
     // ---- R4: place granted replicas, let the model wire edges (promoted
     //      masters' in-edges / adopted edge-ckpt edges), report placements.
     fail_here(ctx, shared, resume_iter, FailPoint::MigrationRound(4))?;
     let mut placements: HashMap<NodeId, Vec<(Vid, u32)>> = HashMap::new();
+    let g = graph_mut(lg);
     for env in round_msgs::<M>(ctx, st) {
         match env.msg {
             ProtoMsg::ReplicaGrant(gs) => {
-                for g in gs {
+                for gr in gs {
                     debug_assert!(
-                        lg.position(g.vid).is_none(),
+                        g.position(gr.vid).is_none(),
                         "duplicate grant for {}",
-                        g.vid
+                        gr.vid
                     );
-                    let vid = g.vid;
-                    let master_node = g.master_node;
-                    let pos = shared.model.place_granted(lg, g);
+                    let vid = gr.vid;
+                    let master_node = gr.master_node;
+                    let pos = shared.model.place_granted(g, gr);
                     placements.entry(master_node).or_default().push((vid, pos));
                     mig.recovered += 1;
                 }
@@ -797,7 +974,7 @@ fn migrate<M: ComputeModel>(
             }),
         }
     }
-    shared.model.migration_wire(lg, &mut mig, resume_iter);
+    shared.model.migration_wire(g, &mut mig, resume_iter);
     for &n in &others {
         let p = placements.remove(&n).unwrap_or_default();
         let bytes = (p.len() * 8) as u64;
@@ -805,18 +982,22 @@ fn migrate<M: ComputeModel>(
         ctx.send_kind(n, ProtoMsg::ReplicaPlaced(p), bytes, CommKind::Recovery);
     }
     barrier_ok(ctx)?;
+    phases.record("migration_round4", sw_round.lap());
 
     // ---- R5: record placements; restore the fault-tolerance level by
     //      designating replacement mirrors (§5.2.1), creating fresh FT
-    //      replicas where no replica is available.
+    //      replicas where no replica is available. This round stays serial:
+    //      each designation reads and bumps the least-assigned counters
+    //      (`st.mirror_assign`), so later choices depend on earlier ones.
     fail_here(ctx, shared, resume_iter, FailPoint::MigrationRound(5))?;
+    let g = graph_mut(lg);
     for env in round_msgs::<M>(ctx, st) {
         match env.msg {
             ProtoMsg::ReplicaPlaced(ps) => {
                 for (vid, pos) in ps {
-                    let mpos = lg.position(vid).expect("placement for unknown master");
-                    debug_assert!(lg.is_master(mpos));
-                    lg.meta_mut(mpos)
+                    let mpos = g.position(vid).expect("placement for unknown master");
+                    debug_assert!(g.is_master(mpos));
+                    g.meta_mut(mpos)
                         .unwrap_or_else(|| {
                             panic!("master {vid} has no full state to register a replica")
                         })
@@ -834,13 +1015,13 @@ fn migrate<M: ComputeModel>(
     // mirror needs a distinct node other than the master's.
     let restorable = tolerance.min(survivors.len().saturating_sub(1));
     let mut mirror_updates: MirrorUpdates<M> = HashMap::new();
-    for pos in 0..lg.len() as u32 {
-        if !lg.is_master(pos) {
+    for pos in 0..g.len() as u32 {
+        if !g.is_master(pos) {
             continue;
         }
         loop {
-            let vid = lg.vid(pos);
-            let meta = lg
+            let vid = g.vid(pos);
+            let meta = g
                 .meta(pos)
                 .unwrap_or_else(|| panic!("master {vid} has no full state"));
             if meta.mirror_nodes().len() >= restorable {
@@ -867,8 +1048,8 @@ fn migrate<M: ComputeModel>(
                 }
             };
             st.mirror_assign[target.index()] += 1;
-            let scatter = shared.model.scatter_bit(lg, pos);
-            let meta = lg
+            let scatter = shared.model.scatter_bit(g, pos);
+            let meta = g
                 .meta_mut(pos)
                 .unwrap_or_else(|| panic!("master {vid} has no full state to designate a mirror"));
             meta.add_mirror(target);
@@ -880,7 +1061,7 @@ fn migrate<M: ComputeModel>(
                     vid,
                     meta: boxed,
                     // Position is reported back in R6 for fresh replicas.
-                    value: fresh.then(|| lg.value(pos).clone()),
+                    value: fresh.then(|| g.value(pos).clone()),
                     last_activate: scatter,
                     master_node: me,
                 });
@@ -897,24 +1078,26 @@ fn migrate<M: ComputeModel>(
         ctx.send_kind(n, ProtoMsg::MirrorUpdate(ups), bytes, CommKind::Recovery);
     }
     barrier_ok(ctx)?;
+    phases.record("migration_round5", sw_round.lap());
 
     // ---- R6: adopt mirror designations; report fresh FT-replica positions.
     fail_here(ctx, shared, resume_iter, FailPoint::MigrationRound(6))?;
     let mut fresh_placements: HashMap<NodeId, Vec<(Vid, u32)>> = HashMap::new();
+    let g = graph_mut(lg);
     for env in round_msgs::<M>(ctx, st) {
         match env.msg {
             ProtoMsg::MirrorUpdate(ups) => {
                 for u in ups {
-                    match lg.position(u.vid) {
+                    match g.position(u.vid) {
                         Some(pos) => {
-                            lg.set_kind(pos, CopyKind::Mirror);
-                            lg.set_meta(pos, u.meta);
-                            lg.set_master_node(pos, u.master_node);
+                            g.set_kind(pos, CopyKind::Mirror);
+                            g.set_meta(pos, u.meta);
+                            g.set_master_node(pos, u.master_node);
                         }
                         None => {
                             let vid = u.vid;
                             let master_node = u.master_node;
-                            let pos = shared.model.place_fresh_mirror(lg, u);
+                            let pos = shared.model.place_fresh_mirror(g, u);
                             fresh_placements
                                 .entry(master_node)
                                 .or_default()
@@ -936,45 +1119,78 @@ fn migrate<M: ComputeModel>(
         ctx.send_kind(n, ProtoMsg::ReplicaPlaced(p), bytes, CommKind::Recovery);
     }
     barrier_ok(ctx)?;
+    phases.record("migration_round6", sw_round.lap());
 
     // ---- R7: register fresh placements; push the final full state to every
-    //      mirror of each dirty master.
+    //      mirror of each dirty master. Building the refresh batches clones
+    //      whole metas — the bulkiest per-vertex work in the protocol — so
+    //      it fans out over the sorted dirty set (sorting also replaces the
+    //      serial version's arbitrary hash order; each vid carries at most
+    //      one refresh per destination, so batch order within a destination
+    //      is unobservable).
     fail_here(ctx, shared, resume_iter, FailPoint::MigrationRound(7))?;
-    for env in round_msgs::<M>(ctx, st) {
-        match env.msg {
-            ProtoMsg::ReplicaPlaced(ps) => {
-                for (vid, pos) in ps {
-                    let mpos = lg.position(vid).expect("placement for unknown master");
-                    lg.meta_mut(mpos)
-                        .unwrap_or_else(|| {
-                            panic!("master {vid} has no full state to register a replica")
-                        })
-                        .register_replica(env.from, pos);
-                    mig.dirty_masters.insert(mpos);
+    {
+        let g = graph_mut(lg);
+        for env in round_msgs::<M>(ctx, st) {
+            match env.msg {
+                ProtoMsg::ReplicaPlaced(ps) => {
+                    for (vid, pos) in ps {
+                        let mpos = g.position(vid).expect("placement for unknown master");
+                        g.meta_mut(mpos)
+                            .unwrap_or_else(|| {
+                                panic!("master {vid} has no full state to register a replica")
+                            })
+                            .register_replica(env.from, pos);
+                        mig.dirty_masters.insert(mpos);
+                    }
                 }
+                other => st.stash.push(Envelope {
+                    from: env.from,
+                    msg: other,
+                }),
             }
-            other => st.stash.push(Envelope {
-                from: env.from,
-                msg: other,
-            }),
         }
     }
+    let mut dirty: Vec<u32> = mig.dirty_masters.iter().copied().collect();
+    dirty.sort_unstable();
+    let dirty: Arc<Vec<u32>> = Arc::new(dirty);
+    let jobs = chunk_ranges(dirty.len(), pool.threads())
+        .into_iter()
+        .map(|r| {
+            let lg = Arc::clone(lg);
+            let shared = Arc::clone(shared);
+            let dirty = Arc::clone(&dirty);
+            Box::new(move || {
+                let mut ups: Vec<Refresh<M>> = Vec::new();
+                for i in r {
+                    let pos = dirty[i];
+                    if !lg.is_master(pos) {
+                        continue;
+                    }
+                    let meta = lg
+                        .meta(pos)
+                        .unwrap_or_else(|| panic!("master {} has no full state", lg.vid(pos)));
+                    for &m in meta.mirror_nodes() {
+                        ups.push((
+                            m,
+                            MirrorUpdate {
+                                vid: lg.vid(pos),
+                                meta: Box::new(meta.clone()),
+                                value: None,
+                                last_activate: shared.model.scatter_bit(&lg, pos),
+                                master_node: me,
+                            },
+                        ));
+                    }
+                }
+                ups
+            }) as Box<dyn FnOnce() -> Vec<Refresh<M>> + Send>
+        })
+        .collect();
     let mut refreshes: MirrorUpdates<M> = HashMap::new();
-    for &pos in &mig.dirty_masters {
-        if !lg.is_master(pos) {
-            continue;
-        }
-        let meta = lg
-            .meta(pos)
-            .unwrap_or_else(|| panic!("master {} has no full state", lg.vid(pos)));
-        for &m in meta.mirror_nodes() {
-            refreshes.entry(m).or_default().push(MirrorUpdate {
-                vid: lg.vid(pos),
-                meta: Box::new(meta.clone()),
-                value: None,
-                last_activate: shared.model.scatter_bit(lg, pos),
-                master_node: me,
-            });
+    for chunk in pool.dispatch(jobs) {
+        for (n, u) in chunk {
+            refreshes.entry(n).or_default().push(u);
         }
     }
     for &n in &others {
@@ -987,19 +1203,21 @@ fn migrate<M: ComputeModel>(
         ctx.send_kind(n, ProtoMsg::MirrorUpdate(ups), bytes, CommKind::Recovery);
     }
     barrier_ok(ctx)?;
+    phases.record("migration_round7", sw_round.lap());
 
     // ---- R8: adopt refreshed metas; let the model re-persist invalidated
     //      state; leader acknowledges the recovery.
     fail_here(ctx, shared, resume_iter, FailPoint::MigrationRound(8))?;
+    let g = graph_mut(lg);
     for env in round_msgs::<M>(ctx, st) {
         match env.msg {
             ProtoMsg::MirrorUpdate(ups) => {
                 for u in ups {
-                    let pos = lg.position(u.vid).expect("meta refresh for unknown copy");
-                    debug_assert!(!lg.is_master(pos), "meta refresh addressed to the master");
-                    lg.set_kind(pos, CopyKind::Mirror);
-                    lg.set_master_node(pos, u.master_node);
-                    lg.set_meta(pos, u.meta);
+                    let pos = g.position(u.vid).expect("meta refresh for unknown copy");
+                    debug_assert!(!g.is_master(pos), "meta refresh addressed to the master");
+                    g.set_kind(pos, CopyKind::Mirror);
+                    g.set_master_node(pos, u.master_node);
+                    g.set_meta(pos, u.meta);
                 }
             }
             other => st.stash.push(Envelope {
@@ -1008,13 +1226,14 @@ fn migrate<M: ComputeModel>(
             }),
         }
     }
-    shared.model.migration_finish(lg, shared, &mig);
+    shared.model.migration_finish(g, shared, &mig);
     if me == st.leader() {
         for &d in dead {
             ctx.cluster().coordinator().ack_recovered(d);
         }
     }
     barrier_ok(ctx)?;
+    phases.record("migration_round8", sw_round.lap());
 
     let Mig {
         recovered,
@@ -1036,6 +1255,7 @@ fn migrate<M: ComputeModel>(
         promoted,
         contacted: others,
         counters: RecoveryCounters::default(),
+        phases,
     })
 }
 
@@ -1043,13 +1263,69 @@ fn migrate<M: ComputeModel>(
 // Checkpoint recovery (§2.2-2.3)
 // --------------------------------------------------------------------------
 
+/// Rolls a survivor back to its newest recoverable snapshot state and
+/// returns the iteration the graph now sits at.
+///
+/// Incremental mode rewinds to the initial state and applies the complete
+/// snapshot chain (base full epoch + later deltas; see
+/// [`epoch::recovery_chain`]). Full mode applies only the newest complete
+/// epoch. When no complete epoch exists yet, recovery restarts from the
+/// initial state — in both modes the masters then no longer hold their
+/// last-shipped values, so the suppression filter's entries describe
+/// nothing anymore and are cleared. A full snapshot restores masters only;
+/// surviving replicas keep exactly the state our last syncs installed, so
+/// the filter stays valid toward survivors and only the crashed
+/// destinations are invalidated (their replacements are rebuilt from
+/// snapshots — everything must be re-shipped there).
+#[allow(clippy::too_many_arguments)]
+fn ckpt_reload_survivor<M: ComputeModel>(
+    lg: &mut Arc<M::Graph>,
+    shared: &Arc<Shared<M>>,
+    st: &mut St<M>,
+    dead: &[NodeId],
+    me: NodeId,
+    incremental: bool,
+    pool: &WorkerPool,
+) -> u64 {
+    let snap_iter = if incremental {
+        let g = graph_mut(lg);
+        shared.model.reset_to_initial(g, shared);
+        st.sync_filter.clear();
+        apply_snapshot_chain::<M>(g, shared, me, Some(pool))
+    } else {
+        match epoch::recovery_chain(&shared.dfs, M::PREFIX, me.raw()) {
+            Err(_) => {
+                shared.model.reset_to_initial(graph_mut(lg), shared);
+                st.sync_filter.clear();
+                0
+            }
+            Ok(chain) => {
+                for &d in dead {
+                    st.sync_filter.invalidate_dest(d);
+                }
+                // Full mode writes only full epochs, so the chain is the
+                // newest complete epoch alone.
+                let &(e, _) = chain.epochs.last().expect("recovery chain is never empty");
+                let bytes = epoch::read_verified(&shared.dfs, M::PREFIX, e, me.raw())
+                    .expect("rostered part verified");
+                shared.model.apply_snapshot(graph_mut(lg), &bytes)
+            }
+        }
+    };
+    st.dirty.clear();
+    st.last_snapshot_iter = snap_iter;
+    snap_iter
+}
+
+#[allow(clippy::too_many_arguments)]
 fn ckpt_recover_survivor<M: ComputeModel>(
     ctx: &Ctx<M>,
-    lg: &mut M::Graph,
-    shared: &Shared<M>,
+    lg: &mut Arc<M::Graph>,
+    shared: &Arc<Shared<M>>,
     st: &mut St<M>,
     dead: &[NodeId],
     resume_iter: u64,
+    pool: &WorkerPool,
 ) -> Attempt<RecoveryReport> {
     let me = ctx.id();
     let survivors = st.mark_dead(dead);
@@ -1059,7 +1335,7 @@ fn ckpt_recover_survivor<M: ComputeModel>(
     // survivors instead of panicking.
     let vote = dispatch_vote(ctx, st, dead);
     if barrier_sum_ok(ctx, vote)? == 0 {
-        return ckpt_fallback(ctx, lg, shared, st, dead, resume_iter, &survivors);
+        return ckpt_fallback(ctx, lg, shared, st, dead, resume_iter, &survivors, pool);
     }
     fail_here(ctx, shared, resume_iter, FailPoint::RebirthReload)?;
 
@@ -1067,6 +1343,7 @@ fn ckpt_recover_survivor<M: ComputeModel>(
     // roster-complete* epoch — a crash mid-checkpoint leaves a torn part
     // behind, and a torn epoch must never be loaded. For incremental mode,
     // roll back to the initial state plus the complete snapshot chain.
+    let mut phases = PhaseTimes::new();
     let sw = Stopwatch::start();
     let incremental = matches!(
         shared.cfg.ft,
@@ -1075,42 +1352,18 @@ fn ckpt_recover_survivor<M: ComputeModel>(
             ..
         }
     );
-    let snap_iter = match epoch::latest_complete_rostered(&shared.dfs, M::PREFIX) {
-        Err(_) => {
-            // No complete epoch yet: back to the initial state. Masters no
-            // longer hold their last-shipped values, so the filter's entries
-            // describe nothing anymore.
-            shared.model.reset_to_initial(lg, shared);
-            st.sync_filter.clear();
-            0
-        }
-        Ok(_) if incremental => {
-            shared.model.reset_to_initial(lg, shared);
-            st.sync_filter.clear();
-            apply_snapshot_chain(lg, shared, me, true)
-        }
-        Ok(e) => {
-            // A full snapshot restores masters only; surviving replicas keep
-            // exactly the state our last syncs installed, so the filter
-            // stays valid toward survivors. The crashed nodes' replacements
-            // are rebuilt from snapshots instead — re-ship everything there.
-            for &d in dead {
-                st.sync_filter.invalidate_dest(d);
-            }
-            let bytes = epoch::read_verified(&shared.dfs, M::PREFIX, e, me.raw())
-                .expect("rostered part verified");
-            shared.model.apply_snapshot(lg, &bytes)
-        }
-    };
-    st.dirty.clear();
-    st.last_snapshot_iter = snap_iter;
+    let snap_iter = ckpt_reload_survivor(lg, shared, st, dead, me, incremental, pool);
     let reload = sw.elapsed();
+    phases.record("reload", reload);
+    let sw = Stopwatch::start();
     barrier_ok(ctx)?;
+    phases.record("fence", sw.elapsed());
 
     // Reconstruct: replica values are not in snapshots; masters rebroadcast.
     let sw = Stopwatch::start();
-    ckpt_full_sync(ctx, lg, shared, st)?;
+    ckpt_full_sync(ctx, graph_mut(lg), shared, st)?;
     let reconstruct = sw.elapsed();
+    phases.record("reconstruct", reconstruct);
 
     st.iter = snap_iter;
     st.replay_until = resume_iter;
@@ -1129,6 +1382,7 @@ fn ckpt_recover_survivor<M: ComputeModel>(
         promoted: Vec::new(),
         contacted: Vec::new(),
         counters: RecoveryCounters::default(),
+        phases,
     })
 }
 
@@ -1140,7 +1394,10 @@ fn ckpt_recover_survivor<M: ComputeModel>(
 /// round-robin adopter of each dead partition reconstructs it from the dead
 /// node's metadata snapshot plus its snapshot chain (exactly what a standby
 /// would have done) and grafts it into its own graph via
-/// [`ComputeModel::adopt_partition`]; promotions are announced.
+/// [`ComputeModel::adopt_partition`]; promotions are announced. An adopter
+/// of several partitions reconstructs them concurrently on the worker pool
+/// (each reconstruction reads and decodes an independent dead graph); the
+/// grafts themselves replay serially in partition order.
 /// Round 2 — promotions are applied everywhere, adopted copies whose master
 /// also died are re-pointed at the promoted location, and position-addressed
 /// consumer tables are rewritten ([`ComputeModel::migration_requests`] with
@@ -1152,15 +1409,16 @@ fn ckpt_recover_survivor<M: ComputeModel>(
 /// rolled-back value. Finally each survivor re-persists its metadata
 /// snapshot: its layout grew, and a *later* episode must be able to
 /// reconstruct it including the adopted positions.
-#[allow(clippy::too_many_lines)]
+#[allow(clippy::too_many_lines, clippy::too_many_arguments)]
 fn ckpt_fallback<M: ComputeModel>(
     ctx: &Ctx<M>,
-    lg: &mut M::Graph,
-    shared: &Shared<M>,
+    lg: &mut Arc<M::Graph>,
+    shared: &Arc<Shared<M>>,
     st: &mut St<M>,
     dead: &[NodeId],
     resume_iter: u64,
     survivors: &[NodeId],
+    pool: &WorkerPool,
 ) -> Attempt<RecoveryReport> {
     let me = ctx.id();
     let others: Vec<NodeId> = survivors.iter().copied().filter(|&n| n != me).collect();
@@ -1180,56 +1438,54 @@ fn ckpt_fallback<M: ComputeModel>(
         .collect();
     let adopter = !my_partitions.is_empty();
     let mut mig: Mig<M::MigExtra> = Mig::default();
-    let sw_total = Stopwatch::start();
+    let mut phases = PhaseTimes::new();
+    let mut sw_round = Stopwatch::start();
 
     // ---- Round 1: roll back, graft assigned dead partitions, announce.
     fail_here(ctx, shared, resume_iter, FailPoint::MigrationRound(1))?;
     let sw = Stopwatch::start();
-    let snap_iter = match epoch::latest_complete_rostered(&shared.dfs, M::PREFIX) {
-        Err(_) => {
-            shared.model.reset_to_initial(lg, shared);
-            st.sync_filter.clear();
-            0
-        }
-        Ok(_) if incremental => {
-            shared.model.reset_to_initial(lg, shared);
-            st.sync_filter.clear();
-            apply_snapshot_chain(lg, shared, me, true)
-        }
-        Ok(e) => {
-            for &d in dead {
-                st.sync_filter.invalidate_dest(d);
+    let snap_iter = ckpt_reload_survivor(lg, shared, st, dead, me, incremental, pool);
+    {
+        // The dead nodes are gone for good: purge them from every
+        // pre-existing master's replica tables (the adopters purge their
+        // grafted masters' tables inside `adopt_partition`).
+        let g = graph_mut(lg);
+        for pos in 0..g.len() as u32 {
+            if !g.is_master(pos) {
+                continue;
             }
-            let bytes = epoch::read_verified(&shared.dfs, M::PREFIX, e, me.raw())
-                .expect("rostered part verified");
-            shared.model.apply_snapshot(lg, &bytes)
-        }
-    };
-    st.dirty.clear();
-    st.last_snapshot_iter = snap_iter;
-    // The dead nodes are gone for good: purge them from every pre-existing
-    // master's replica tables (the adopters purge their grafted masters'
-    // tables inside `adopt_partition`).
-    for pos in 0..lg.len() as u32 {
-        if !lg.is_master(pos) {
-            continue;
-        }
-        let vid = lg.vid(pos);
-        let meta = lg
-            .meta_mut(pos)
-            .unwrap_or_else(|| panic!("master {vid} has no full state"));
-        for &d in dead {
-            meta.purge_node(d);
+            let vid = g.vid(pos);
+            let meta = g
+                .meta_mut(pos)
+                .unwrap_or_else(|| panic!("master {vid} has no full state"));
+            for &d in dead {
+                meta.purge_node(d);
+            }
         }
     }
     let reload = sw.elapsed();
+    phases.record("reload", reload);
     let sw = Stopwatch::start();
     let mut promotions: Vec<Promotion> = Vec::new();
     let mut placements: Vec<(NodeId, Vid, u32)> = Vec::new();
     let mut orphans: Vec<u32> = Vec::new();
-    for &d in &my_partitions {
-        let dead_lg = reconstruct_partition::<M>(shared, d, incremental);
-        let adoption = shared.model.adopt_partition(lg, dead_lg, d, dead, &mut mig);
+    // Reconstructing a dead partition is self-contained DFS reads + decode;
+    // fan the assigned partitions out, then graft serially in the same
+    // deterministic order. Each job applies its own snapshot chain inline
+    // (`pool: None` — a job must never dispatch onto the pool it runs on).
+    let jobs = my_partitions
+        .iter()
+        .map(|&d| {
+            let shared = Arc::clone(shared);
+            Box::new(move || reconstruct_partition::<M>(&shared, d))
+                as Box<dyn FnOnce() -> M::Graph + Send>
+        })
+        .collect();
+    let dead_graphs: Vec<M::Graph> = pool.run(jobs);
+    for (&d, dead_lg) in my_partitions.iter().zip(dead_graphs) {
+        let adoption = shared
+            .model
+            .adopt_partition(graph_mut(lg), dead_lg, d, dead, &mut mig);
         for p in &adoption.promotions {
             st.overlay.insert(p.vid, p.new_master);
             mig.promoted.push(p.vid);
@@ -1256,6 +1512,7 @@ fn ckpt_fallback<M: ComputeModel>(
         );
     }
     barrier_ok(ctx)?;
+    phases.record("migration_round1", sw_round.lap());
 
     // ---- Round 2: apply promotions, resolve orphans, rewrite consumer
     //      tables, report replica placements to surviving masters.
@@ -1272,6 +1529,7 @@ fn ckpt_fallback<M: ComputeModel>(
             }),
         }
     }
+    let g = graph_mut(lg);
     for p in &all_promos {
         promo_by_old.insert((p.old_node, p.old_pos), *p);
         promo_by_vid.insert(p.vid, *p);
@@ -1279,9 +1537,9 @@ fn ckpt_fallback<M: ComputeModel>(
         if p.new_master == me {
             continue; // own adoptions already mastered locally
         }
-        if let Some(pos) = lg.position(p.vid) {
-            if !lg.is_master(pos) {
-                lg.set_master_node(pos, p.new_master);
+        if let Some(pos) = g.position(p.vid) {
+            if !g.is_master(pos) {
+                g.set_master_node(pos, p.new_master);
             }
         }
     }
@@ -1289,10 +1547,10 @@ fn ckpt_fallback<M: ComputeModel>(
     // graft of our own promoted the vertex here it is already a master;
     // otherwise point it at the promoted location and register there.
     for pos in orphans {
-        if lg.is_master(pos) {
+        if g.is_master(pos) {
             continue;
         }
-        let vid = lg.vid(pos);
+        let vid = g.vid(pos);
         let p = promo_by_vid
             .get(&vid)
             .unwrap_or_else(|| panic!("orphaned copy of {vid} has no promotion"));
@@ -1300,7 +1558,7 @@ fn ckpt_fallback<M: ComputeModel>(
             p.new_master, me,
             "a local promotion must have upgraded the orphan in place"
         );
-        lg.set_master_node(pos, p.new_master);
+        g.set_master_node(pos, p.new_master);
         placements.push((p.new_master, vid, pos));
     }
     // Rewrite position-addressed consumer tables that still point at the
@@ -1314,15 +1572,15 @@ fn ckpt_fallback<M: ComputeModel>(
     };
     let requests = shared
         .model
-        .migration_requests(lg, shared, st, &mut mig, &menv);
+        .migration_requests(g, shared, st, &mut mig, &menv);
     debug_assert!(
         requests.values().all(Vec::is_empty),
         "checkpoint fallback must not need replica grants"
     );
     // Adoption grafted masters whose `active` bits came straight from the
     // snapshot; restore derived activation state before validating.
-    shared.model.after_recovery(lg);
-    shared.model.validate(lg);
+    shared.model.after_recovery(g);
+    shared.model.validate(g);
     let mut placed: HashMap<NodeId, Vec<(Vid, u32)>> = HashMap::new();
     for (master, vid, pos) in placements {
         placed.entry(master).or_default().push((vid, pos));
@@ -1334,18 +1592,20 @@ fn ckpt_fallback<M: ComputeModel>(
         ctx.send_kind(n, ProtoMsg::ReplicaPlaced(p), bytes, CommKind::Recovery);
     }
     barrier_ok(ctx)?;
+    phases.record("migration_round2", sw_round.lap());
 
     // ---- Round 3: register placements; leader acknowledges; full-sync
     //      refreshes every replica (the first full-sync barrier closes this
     //      round).
     fail_here(ctx, shared, resume_iter, FailPoint::MigrationRound(3))?;
+    let g = graph_mut(lg);
     for env in round_msgs::<M>(ctx, st) {
         match env.msg {
             ProtoMsg::ReplicaPlaced(ps) => {
                 for (vid, pos) in ps {
-                    let mpos = lg.position(vid).expect("placement for unknown master");
-                    debug_assert!(lg.is_master(mpos));
-                    lg.meta_mut(mpos)
+                    let mpos = g.position(vid).expect("placement for unknown master");
+                    debug_assert!(g.is_master(mpos));
+                    g.meta_mut(mpos)
                         .unwrap_or_else(|| {
                             panic!("master {vid} has no full state to register a replica")
                         })
@@ -1363,17 +1623,18 @@ fn ckpt_fallback<M: ComputeModel>(
             ctx.cluster().coordinator().ack_recovered(d);
         }
     }
-    ckpt_full_sync(ctx, lg, shared, st)?;
+    ckpt_full_sync(ctx, g, shared, st)?;
     // Re-persist the metadata snapshot: this node's layout changed, and any
     // later reconstruction of *this* node must include the adopted
     // positions. Placed after the last abortable barrier, so an aborted
     // attempt never leaves a revised meta behind.
     shared.dfs.write(
         &format!("{}/meta/{}", M::PREFIX, me.raw()),
-        shared.model.encode_graph(lg),
+        shared.model.encode_graph(g),
     );
     let reconstruct = sw.elapsed();
-    let _ = sw_total;
+    phases.record("migration_round3", sw_round.lap());
+    phases.record("reconstruct", reconstruct);
 
     st.iter = snap_iter;
     st.replay_until = resume_iter;
@@ -1390,36 +1651,37 @@ fn ckpt_fallback<M: ComputeModel>(
         promoted: mig.promoted,
         contacted: others,
         counters: RecoveryCounters::default(),
+        phases,
     })
 }
 
 /// Rebuilds a crashed node's partition from the DFS exactly as a checkpoint
 /// standby would: the immutable topology from its metadata snapshot, then
-/// its snapshot chain up to the newest complete epoch.
-fn reconstruct_partition<M: ComputeModel>(
-    shared: &Shared<M>,
-    d: NodeId,
-    incremental: bool,
-) -> M::Graph {
+/// its snapshot chain up to the newest complete epoch. Runs as a pool job
+/// in the checkpoint fallback, so the chain is applied inline (`pool:
+/// None`).
+fn reconstruct_partition<M: ComputeModel>(shared: &Shared<M>, d: NodeId) -> M::Graph {
     let meta_bytes = shared
         .dfs
         .read(&format!("{}/meta/{}", M::PREFIX, d.raw()))
         .expect("metadata snapshot written at load");
     let mut dg = shared.model.decode_graph(&meta_bytes);
-    apply_snapshot_chain(&mut dg, shared, d, incremental);
+    apply_snapshot_chain::<M>(&mut dg, shared, d, None);
     dg
 }
 
 /// A standby reconstructing a crashed identity from the DFS: the immutable
-/// topology from the metadata snapshot, then the data snapshot chain.
+/// topology from the metadata snapshot, then the data snapshot chain (its
+/// epoch parts read concurrently on the newbie's worker pool).
 ///
 /// Returns `None` when the attempt aborted (suicide-on-abort, as in
 /// [`rebirth_newbie`] — every blocking point here is a barrier, so no
 /// liveness poll is needed).
 pub(crate) fn ckpt_newbie<M: ComputeModel>(
     ctx: &Ctx<M>,
-    shared: &Shared<M>,
+    shared: &Arc<Shared<M>>,
     st: &mut St<M>,
+    pool: &WorkerPool,
 ) -> Option<M::Graph> {
     let me = ctx.id();
     // Membership barrier (the survivors' decision barrier).
@@ -1427,20 +1689,14 @@ pub(crate) fn ckpt_newbie<M: ComputeModel>(
         ctx.crash();
         return None;
     }
+    let mut phases = PhaseTimes::new();
     let sw = Stopwatch::start();
     let meta_bytes = shared
         .dfs
         .read(&format!("{}/meta/{}", M::PREFIX, me.raw()))
         .expect("metadata snapshot written at load");
     let mut lg = shared.model.decode_graph(&meta_bytes);
-    let incremental = matches!(
-        shared.cfg.ft,
-        FtMode::Checkpoint {
-            incremental: true,
-            ..
-        }
-    );
-    let snap_iter = apply_snapshot_chain(&mut lg, shared, me, incremental);
+    let snap_iter = apply_snapshot_chain::<M>(&mut lg, shared, me, Some(pool));
     // The newbie does not know the episode's resume iteration (that lives
     // in the survivors' state); its reload fail point keys on the snapshot
     // epoch it reloaded to instead.
@@ -1452,10 +1708,13 @@ pub(crate) fn ckpt_newbie<M: ComputeModel>(
         return None;
     }
     let reload = sw.elapsed();
+    phases.record("reload", reload);
+    let sw = Stopwatch::start();
     if let BarrierOutcome::Failed(_) = ctx.enter_barrier() {
         ctx.crash();
         return None;
     }
+    phases.record("fence", sw.elapsed());
 
     let sw = Stopwatch::start();
     match ckpt_full_sync(ctx, &mut lg, shared, st) {
@@ -1466,6 +1725,7 @@ pub(crate) fn ckpt_newbie<M: ComputeModel>(
         }
     }
     let reconstruct = sw.elapsed();
+    phases.record("reconstruct", reconstruct);
 
     let (vertices, edges) = shared.model.graph_stats(&lg);
     st.iter = snap_iter;
@@ -1485,6 +1745,7 @@ pub(crate) fn ckpt_newbie<M: ComputeModel>(
             attempts: 1,
             aborts: 0,
         },
+        phases,
     });
     Some(lg)
 }
@@ -1547,37 +1808,55 @@ fn ckpt_full_sync<M: ComputeModel>(
     Ok(())
 }
 
-/// Applies `node`'s parts of the complete, sealed snapshot epochs in
-/// ascending order, returning the last applied iteration (0 when none
-/// exist). Incremental snapshots form a chain that must be applied in full;
-/// for full snapshots only the newest is applied. Epochs whose roster does
-/// not include `node` (or whose parts are torn) are skipped — a node that
-/// crashed mid-write leaves a detectably-incomplete epoch that must never
-/// be loaded.
+/// Applies `node`'s parts of its recovery chain — the newest complete full
+/// epoch plus every later complete delta epoch ([`epoch::recovery_chain`])
+/// — in ascending order, returning the last applied iteration (0 when no
+/// complete epoch exists). An ungrounded chain (deltas with no full base)
+/// is grounded at the caller's initial state, which every caller has just
+/// reset to or freshly decoded; see `recovery_chain`'s rewind argument for
+/// why the deltas then cover everything since.
+///
+/// Part *reads* fan out on the worker pool when one is supplied — each
+/// epoch part is an independent DFS read paying modelled latency, so
+/// concurrent reads overlap it — while *application* stays serial and
+/// in-order (deltas layer on their base). Callers that already run on a
+/// pool worker (checkpoint-fallback partition reconstruction) pass `None`:
+/// dispatching onto the bounded pool from inside one of its jobs could
+/// deadlock.
 fn apply_snapshot_chain<M: ComputeModel>(
     lg: &mut M::Graph,
     shared: &Shared<M>,
     node: NodeId,
-    incremental: bool,
+    pool: Option<&WorkerPool>,
 ) -> u64 {
-    let mut epochs: Vec<u64> = epoch::complete_epochs_rostered(&shared.dfs, M::PREFIX)
-        .into_iter()
-        .filter(|&e| {
-            epoch::read_roster(&shared.dfs, M::PREFIX, e)
-                .is_ok_and(|nodes| nodes.contains(&node.raw()))
-        })
-        .collect();
-    if !incremental {
-        epochs = epochs.split_off(epochs.len().saturating_sub(1));
-    }
+    let Ok(chain) = epoch::recovery_chain(&shared.dfs, M::PREFIX, node.raw()) else {
+        return 0;
+    };
+    let reads: Vec<Result<Arc<Vec<u8>>, EpochError>> = match pool {
+        Some(pool) => pool.run(
+            chain
+                .epochs
+                .iter()
+                .map(|&(e, _)| {
+                    let dfs = shared.dfs.clone();
+                    let n = node.raw();
+                    Box::new(move || epoch::read_verified(&dfs, M::PREFIX, e, n))
+                        as Box<dyn FnOnce() -> Result<Arc<Vec<u8>>, EpochError> + Send>
+                })
+                .collect(),
+        ),
+        None => chain
+            .epochs
+            .iter()
+            .map(|&(e, _)| epoch::read_verified(&shared.dfs, M::PREFIX, e, node.raw()))
+            .collect(),
+    };
     let mut snap_iter = 0;
-    for e in epochs {
-        let bytes = epoch::read_verified(&shared.dfs, M::PREFIX, e, node.raw())
-            .expect("rostered part verified");
-        snap_iter = if incremental {
-            shared.model.apply_snapshot_inc(lg, &bytes)
-        } else {
-            shared.model.apply_snapshot(lg, &bytes)
+    for (&(_, kind), bytes) in chain.epochs.iter().zip(reads) {
+        let bytes = bytes.expect("rostered part verified");
+        snap_iter = match kind {
+            EpochKind::Full => shared.model.apply_snapshot(lg, &bytes),
+            EpochKind::Delta => shared.model.apply_snapshot_inc(lg, &bytes),
         };
     }
     snap_iter

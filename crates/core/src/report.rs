@@ -43,6 +43,11 @@ pub struct RecoveryReport {
     /// How many attempts the episode took and how many were aborted by
     /// failures arriving mid-recovery (cascading failures, §5.3).
     pub counters: RecoveryCounters,
+    /// Fine-grained phase breakdown in protocol order: `reload` /
+    /// `reconstruct` / `replay` plus `fence` (barrier waits and abort
+    /// fences) and `migration_round1..8`. Merged per-phase maxima across
+    /// nodes, like the coarse three-phase fields above.
+    pub phases: PhaseTimes,
 }
 
 impl RecoveryReport {
@@ -71,6 +76,7 @@ impl RecoveryReport {
         self.contacted.sort_unstable();
         self.contacted.dedup();
         self.counters.merge(&other.counters);
+        self.phases.merge_max(&other.phases);
     }
 }
 
@@ -173,6 +179,7 @@ mod tests {
                 attempts: 1,
                 aborts: 0,
             },
+            phases: PhaseTimes::new(),
         }
     }
 
@@ -190,5 +197,25 @@ mod tests {
         assert_eq!(a.replay, Duration::from_millis(4));
         assert_eq!(a.vertices_recovered, 20);
         assert_eq!(a.comm, CommStats::new(2, 200));
+    }
+
+    #[test]
+    fn merge_takes_per_phase_timer_maxima() {
+        let mut a = rr(5, 1, 0);
+        a.phases.record("reload", Duration::from_millis(5));
+        a.phases
+            .record("migration_round1", Duration::from_millis(2));
+        let mut b = rr(2, 9, 4);
+        b.phases.record("reload", Duration::from_millis(9));
+        b.phases
+            .record("migration_round1", Duration::from_millis(1));
+        b.phases.record("fence", Duration::from_millis(3));
+        a.merge(&b);
+        assert_eq!(a.phases.get("reload"), Some(Duration::from_millis(9)));
+        assert_eq!(
+            a.phases.get("migration_round1"),
+            Some(Duration::from_millis(2))
+        );
+        assert_eq!(a.phases.get("fence"), Some(Duration::from_millis(3)));
     }
 }

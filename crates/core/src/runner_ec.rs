@@ -12,8 +12,8 @@ use std::sync::Arc;
 
 use imitator_cluster::{BarrierOutcome, FailurePlan, NodeId};
 use imitator_engine::{
-    ec_commit, ec_compute_chunks, CopyKind, Degrees, EcLocalGraph, EcVertex, FtPlan, MasterMeta,
-    VertexProgram, WorkerPool,
+    chunk_ranges, ec_commit, ec_compute_chunks, CopyKind, Degrees, EcLocalGraph, EcVertex, FtPlan,
+    MasterMeta, VertexProgram, WorkerPool,
 };
 use imitator_graph::{Graph, Vid};
 use imitator_metrics::{MemSize, Stopwatch};
@@ -356,46 +356,128 @@ where
     /// synchronised scatter bits, then recompute selfish masters (§4.4).
     /// Resuming at iteration 0 means no scatter bit exists yet: activation
     /// comes from the program's initial active set instead.
-    fn rebirth_replay(&self, lg: &mut Self::Graph, shared: &Shared<Self>, resume: u64) -> bool {
-        for pos in 0..lg.verts.len() {
-            if lg.verts[pos].last_activate {
-                let targets = std::mem::take(&mut lg.verts[pos].out_local);
-                for &t in &targets {
-                    lg.verts[t as usize].active = true;
-                }
-                lg.verts[pos].out_local = targets;
-            }
-        }
-        if resume == 0 {
-            for v in lg.verts.iter_mut().filter(|v| v.is_master()) {
-                if self.prog.initially_active(v.vid) {
-                    v.active = true;
-                }
-            }
-        }
-        let selfish_positions: Vec<usize> = lg
-            .verts
-            .iter()
-            .enumerate()
-            .filter(|(_, v)| {
-                v.is_master() && *shared.plan.selfish.get(v.vid.index()).unwrap_or(&false)
+    /// Replay fans its read-only passes out on the newbie's pool: activation
+    /// targets and selfish-master identification in one chunked scan, then
+    /// the selfish recompute itself — parallel only when no selfish master
+    /// feeds another. The serial loop recomputes in ascending position order
+    /// with *progressive* writes, so a selfish→selfish in-edge would make a
+    /// later vertex read an earlier one's fresh value; absent such edges the
+    /// snapshot recompute is bit-identical, and with them we keep the serial
+    /// loop (mutations always stay on the protocol thread).
+    fn rebirth_replay(
+        &self,
+        lg: &mut Arc<Self::Graph>,
+        shared: &Shared<Self>,
+        resume: u64,
+        pool: &WorkerPool,
+    ) -> bool {
+        // Chunked read-only scan: which positions get activated by replayed
+        // scatter bits, and which masters are selfish. Reads `last_activate`
+        // / `out_local` / kind only, so the snapshot view equals what the
+        // serial loop (which mutated only `active`) observed.
+        let mut activations: Vec<u32> = Vec::new();
+        let mut selfish_positions: Vec<u32> = Vec::new();
+        let jobs = chunk_ranges(lg.verts.len(), pool.threads())
+            .into_iter()
+            .map(|r| {
+                let lg = Arc::clone(lg);
+                let plan = Arc::clone(&shared.plan);
+                Box::new(move || {
+                    let mut acts: Vec<u32> = Vec::new();
+                    let mut selfish: Vec<u32> = Vec::new();
+                    for pos in r {
+                        let v = &lg.verts[pos];
+                        if v.last_activate {
+                            acts.extend_from_slice(&v.out_local);
+                        }
+                        if v.is_master() && *plan.selfish.get(v.vid.index()).unwrap_or(&false) {
+                            selfish.push(pos as u32);
+                        }
+                    }
+                    (acts, selfish)
+                }) as Box<dyn FnOnce() -> (Vec<u32>, Vec<u32>) + Send>
             })
-            .map(|(i, _)| i)
             .collect();
-        for pos in selfish_positions {
-            let v = &lg.verts[pos];
-            let mut acc: Option<P::Accum> = None;
-            for &(src, w) in &v.in_edges {
-                let c = self.prog.gather(w, &lg.verts[src as usize].value);
-                acc = Some(match acc {
-                    None => c,
-                    Some(a) => self.prog.combine(a, c),
-                });
-            }
-            let new = self.prog.apply(v.vid, &v.value, acc, &shared.degrees);
-            lg.verts[pos].value = new;
+        for (acts, selfish) in pool.dispatch(jobs) {
+            activations.extend(acts);
+            selfish_positions.extend(selfish);
         }
-        lg.rebuild_active_frontier();
+        {
+            let g = driver::graph_mut(lg);
+            for &t in &activations {
+                g.verts[t as usize].active = true;
+            }
+            if resume == 0 {
+                for v in g.verts.iter_mut().filter(|v| v.is_master()) {
+                    if self.prog.initially_active(v.vid) {
+                        v.active = true;
+                    }
+                }
+            }
+        }
+        let mut selfish_mask = vec![false; lg.verts.len()];
+        for &pos in &selfish_positions {
+            selfish_mask[pos as usize] = true;
+        }
+        let independent = selfish_positions.iter().all(|&pos| {
+            lg.verts[pos as usize]
+                .in_edges
+                .iter()
+                .all(|&(src, _)| !selfish_mask[src as usize])
+        });
+        if independent {
+            let selfish: Arc<Vec<u32>> = Arc::new(selfish_positions);
+            let jobs = chunk_ranges(selfish.len(), pool.threads())
+                .into_iter()
+                .map(|r| {
+                    let lg = Arc::clone(lg);
+                    let prog = Arc::clone(&self.prog);
+                    let degrees = Arc::clone(&shared.degrees);
+                    let selfish = Arc::clone(&selfish);
+                    Box::new(move || {
+                        let mut out: Vec<(u32, P::Value)> = Vec::with_capacity(r.len());
+                        for i in r {
+                            let pos = selfish[i];
+                            let v = &lg.verts[pos as usize];
+                            let mut acc: Option<P::Accum> = None;
+                            for &(src, w) in &v.in_edges {
+                                let c = prog.gather(w, &lg.verts[src as usize].value);
+                                acc = Some(match acc {
+                                    None => c,
+                                    Some(a) => prog.combine(a, c),
+                                });
+                            }
+                            out.push((pos, prog.apply(v.vid, &v.value, acc, &degrees)));
+                        }
+                        out
+                    }) as Box<dyn FnOnce() -> Vec<(u32, P::Value)> + Send>
+                })
+                .collect();
+            let mut updates: Vec<(u32, P::Value)> = Vec::new();
+            for chunk in pool.dispatch(jobs) {
+                updates.extend(chunk);
+            }
+            let g = driver::graph_mut(lg);
+            for (pos, new) in updates {
+                g.verts[pos as usize].value = new;
+            }
+        } else {
+            let g = driver::graph_mut(lg);
+            for pos in selfish_positions {
+                let v = &g.verts[pos as usize];
+                let mut acc: Option<P::Accum> = None;
+                for &(src, w) in &v.in_edges {
+                    let c = self.prog.gather(w, &g.verts[src as usize].value);
+                    acc = Some(match acc {
+                        None => c,
+                        Some(a) => self.prog.combine(a, c),
+                    });
+                }
+                let new = self.prog.apply(v.vid, &v.value, acc, &shared.degrees);
+                g.verts[pos as usize].value = new;
+            }
+        }
+        driver::graph_mut(lg).rebuild_active_frontier();
         true
     }
 

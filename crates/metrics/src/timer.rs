@@ -113,6 +113,19 @@ impl PhaseTimes {
         }
     }
 
+    /// Merges another `PhaseTimes` taking the per-phase *maximum* instead of
+    /// the sum — a barrier-synchronised phase across nodes finishes when its
+    /// slowest participant does.
+    pub fn merge_max(&mut self, other: &PhaseTimes) {
+        for (name, d) in other.iter() {
+            if let Some((_, t)) = self.phases.iter_mut().find(|(n, _)| n == name) {
+                *t = (*t).max(d);
+            } else {
+                self.phases.push((name.to_owned(), d));
+            }
+        }
+    }
+
     /// Number of distinct phases recorded.
     pub fn len(&self) -> usize {
         self.phases.len()
@@ -182,6 +195,23 @@ mod tests {
         assert_eq!(a.get("x"), Some(Duration::from_secs(3)));
         assert_eq!(a.get("y"), Some(Duration::from_secs(5)));
         assert_eq!(a.total(), Duration::from_secs(8));
+    }
+
+    #[test]
+    fn merge_max_takes_per_phase_maxima() {
+        let mut a = PhaseTimes::new();
+        a.record("reload", Duration::from_secs(3));
+        a.record("replay", Duration::from_secs(1));
+        let mut b = PhaseTimes::new();
+        b.record("reload", Duration::from_secs(2));
+        b.record("replay", Duration::from_secs(4));
+        b.record("fence", Duration::from_secs(5));
+        a.merge_max(&b);
+        assert_eq!(a.get("reload"), Some(Duration::from_secs(3)));
+        assert_eq!(a.get("replay"), Some(Duration::from_secs(4)));
+        assert_eq!(a.get("fence"), Some(Duration::from_secs(5)));
+        let order: Vec<&str> = a.iter().map(|(n, _)| n).collect();
+        assert_eq!(order, vec!["reload", "replay", "fence"]);
     }
 
     #[test]

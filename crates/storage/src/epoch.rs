@@ -15,6 +15,16 @@
 //! epoch and fall back to the most recent complete one.
 //!
 //! An epoch is *complete* when every node's part verifies against its seal.
+//!
+//! Epochs come in two kinds. A **full** epoch's parts carry every master's
+//! state; a **delta** epoch's parts carry only the vertices dirtied since
+//! the previous epoch. The kind is recorded durably in the epoch's roster,
+//! and [`recovery_chain`] selects what a loader must apply: the newest
+//! complete full epoch (the *base*) plus every complete delta after it. A
+//! torn delta part keeps its epoch permanently incomplete — exactly like a
+//! torn full part — and a chain whose base epochs are all torn is reported
+//! as *ungrounded* so the loader knows it must reconstruct the base from
+//! initial state instead of trusting the deltas alone.
 
 use std::fmt;
 use std::sync::Arc;
@@ -58,6 +68,47 @@ impl fmt::Display for EpochError {
 }
 
 impl std::error::Error for EpochError {}
+
+/// What an epoch's parts carry, recorded durably in its roster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EpochKind {
+    /// Every master's state — a self-contained recovery point.
+    Full,
+    /// Only the vertices dirtied since the previous epoch — must be applied
+    /// on top of a base.
+    Delta,
+}
+
+impl EpochKind {
+    fn to_u8(self) -> u8 {
+        match self {
+            EpochKind::Full => 0,
+            EpochKind::Delta => 1,
+        }
+    }
+
+    fn from_u8(b: u8) -> Option<EpochKind> {
+        match b {
+            0 => Some(EpochKind::Full),
+            1 => Some(EpochKind::Delta),
+            _ => None,
+        }
+    }
+}
+
+/// The epoch sequence a loader must apply, ascending.
+///
+/// `grounded` is true when the chain starts at a complete full epoch; when
+/// false, every listed epoch is a delta and the loader must reconstruct the
+/// base itself (initial state) — applying an ungrounded chain as if it were
+/// self-contained is a refusal case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpochChain {
+    /// `(epoch, kind)` pairs to apply in order.
+    pub epochs: Vec<(u64, EpochKind)>,
+    /// Whether `epochs` starts at a complete full (base) epoch.
+    pub grounded: bool,
+}
 
 /// 64-bit FNV-1a over `bytes` — the per-part checksum.
 pub fn checksum(bytes: &[u8]) -> u64 {
@@ -156,8 +207,12 @@ pub fn roster_path(prefix: &str, epoch: u64) -> String {
 /// roster verifies **and** every rostered part verifies. The roster is
 /// written with the same seal-last discipline as parts, so a leader dying
 /// mid-roster leaves the epoch detectably torn rather than ambiguous.
-pub fn write_roster(dfs: &Dfs, prefix: &str, epoch: u64, nodes: &[u32]) {
-    let mut bytes = Vec::with_capacity(4 + nodes.len() * 4);
+///
+/// The roster also records the epoch's [`EpochKind`], making full-vs-delta a
+/// durable property of the epoch rather than something a loader must guess.
+pub fn write_roster(dfs: &Dfs, prefix: &str, epoch: u64, kind: EpochKind, nodes: &[u32]) {
+    let mut bytes = Vec::with_capacity(5 + nodes.len() * 4);
+    bytes.push(kind.to_u8());
     bytes.extend_from_slice(&(nodes.len() as u32).to_le_bytes());
     for &n in nodes {
         bytes.extend_from_slice(&n.to_le_bytes());
@@ -165,29 +220,37 @@ pub fn write_roster(dfs: &Dfs, prefix: &str, epoch: u64, nodes: &[u32]) {
     write_sealed(dfs, &roster_path(prefix, epoch), bytes);
 }
 
-/// Reads and verifies `epoch`'s roster.
-pub fn read_roster(dfs: &Dfs, prefix: &str, epoch: u64) -> Result<Vec<u32>, EpochError> {
+/// Reads and verifies `epoch`'s roster, returning its kind and node set.
+pub fn read_roster(
+    dfs: &Dfs,
+    prefix: &str,
+    epoch: u64,
+) -> Result<(EpochKind, Vec<u32>), EpochError> {
     let path = roster_path(prefix, epoch);
     let bytes = read_sealed(dfs, &path)?;
     let torn = || EpochError::TornPart { path: path.clone() };
-    if bytes.len() < 4 {
+    if bytes.len() < 5 {
         return Err(torn());
     }
-    let count = u32::from_le_bytes(bytes[0..4].try_into().expect("sliced")) as usize;
-    if bytes.len() != 4 + count * 4 {
+    let kind = EpochKind::from_u8(bytes[0]).ok_or_else(torn)?;
+    let count = u32::from_le_bytes(bytes[1..5].try_into().expect("sliced")) as usize;
+    if bytes.len() != 5 + count * 4 {
         return Err(torn());
     }
-    Ok(bytes[4..]
-        .chunks_exact(4)
-        .map(|c| u32::from_le_bytes(c.try_into().expect("chunked")))
-        .collect())
+    Ok((
+        kind,
+        bytes[5..]
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().expect("chunked")))
+            .collect(),
+    ))
 }
 
 /// Whether `epoch` is complete by its own roster: the roster verifies and
 /// every rostered node's part verifies.
 pub fn epoch_complete_rostered(dfs: &Dfs, prefix: &str, epoch: u64) -> bool {
     match read_roster(dfs, prefix, epoch) {
-        Ok(nodes) => epoch_complete_for(dfs, prefix, epoch, &nodes),
+        Ok((_, nodes)) => epoch_complete_for(dfs, prefix, epoch, &nodes),
         Err(_) => false,
     }
 }
@@ -208,6 +271,48 @@ pub fn latest_complete_rostered(dfs: &Dfs, prefix: &str) -> Result<u64, EpochErr
         .ok_or_else(|| EpochError::NoCompleteEpoch {
             prefix: prefix.to_string(),
         })
+}
+
+/// The base+delta chain node `node` should load: the newest complete full
+/// epoch whose roster contains `node`, plus every complete later epoch
+/// (deltas) in order. Incomplete epochs — torn parts, missing seals, stale
+/// rosters listing nodes that never sealed a part — never appear in the
+/// chain.
+///
+/// When deltas exist but every full epoch they could ground on is torn, the
+/// chain is returned with `grounded == false`: the loader must rebuild the
+/// base from initial state, never apply the deltas as if self-contained.
+/// (That case is safe here because an epoch only ends up incomplete when
+/// its writer crashed mid-write, which forces a recovery that rewinds every
+/// survivor to the last complete epoch — so the next delta's dirty set
+/// covers everything since that epoch.)
+pub fn recovery_chain(dfs: &Dfs, prefix: &str, node: u32) -> Result<EpochChain, EpochError> {
+    let complete: Vec<(u64, EpochKind)> = listed_epochs(dfs, prefix)
+        .into_iter()
+        .filter_map(|e| {
+            let (kind, nodes) = read_roster(dfs, prefix, e).ok()?;
+            (nodes.contains(&node) && epoch_complete_for(dfs, prefix, e, &nodes))
+                .then_some((e, kind))
+        })
+        .collect();
+    if complete.is_empty() {
+        return Err(EpochError::NoCompleteEpoch {
+            prefix: prefix.to_string(),
+        });
+    }
+    let base = complete
+        .iter()
+        .rposition(|&(_, kind)| kind == EpochKind::Full);
+    Ok(match base {
+        Some(i) => EpochChain {
+            epochs: complete[i..].to_vec(),
+            grounded: true,
+        },
+        None => EpochChain {
+            epochs: complete,
+            grounded: false,
+        },
+    })
 }
 
 /// Whether every node's part in `epoch` verifies against its seal.
@@ -386,8 +491,11 @@ mod tests {
         }
         // Parts sealed but no roster yet: not rostered-complete.
         assert!(!epoch_complete_rostered(&d, "ec", 5));
-        write_roster(&d, "ec", 5, &[0, 1, 2]);
-        assert_eq!(read_roster(&d, "ec", 5), Ok(vec![0, 1, 2]));
+        write_roster(&d, "ec", 5, EpochKind::Full, &[0, 1, 2]);
+        assert_eq!(
+            read_roster(&d, "ec", 5),
+            Ok((EpochKind::Full, vec![0, 1, 2]))
+        );
         assert!(epoch_complete_rostered(&d, "ec", 5));
         assert_eq!(latest_complete_rostered(&d, "ec"), Ok(5));
     }
@@ -397,7 +505,7 @@ mod tests {
         let d = dfs();
         write_part(&d, "ec", 2, 0, vec![2; 8]);
         write_part_torn(&d, "ec", 2, 1, vec![2; 8]);
-        write_roster(&d, "ec", 2, &[0, 1]);
+        write_roster(&d, "ec", 2, EpochKind::Full, &[0, 1]);
         assert!(!epoch_complete_rostered(&d, "ec", 2));
         assert!(matches!(
             latest_complete_rostered(&d, "ec"),
@@ -413,11 +521,11 @@ mod tests {
         for n in 0..3 {
             write_part(&d, "ec", 3, n, vec![3; 8]);
         }
-        write_roster(&d, "ec", 3, &[0, 1, 2]);
+        write_roster(&d, "ec", 3, EpochKind::Full, &[0, 1, 2]);
         for n in 0..2 {
             write_part(&d, "ec", 6, n, vec![6; 8]);
         }
-        write_roster(&d, "ec", 6, &[0, 1]);
+        write_roster(&d, "ec", 6, EpochKind::Full, &[0, 1]);
         assert_eq!(complete_epochs_rostered(&d, "ec"), vec![3, 6]);
         assert_eq!(latest_complete_rostered(&d, "ec"), Ok(6));
     }
@@ -425,9 +533,10 @@ mod tests {
     #[test]
     fn truncated_roster_bytes_are_torn() {
         let d = dfs();
-        write_roster(&d, "ec", 1, &[0, 1]);
+        write_roster(&d, "ec", 1, EpochKind::Full, &[0, 1]);
         // Corrupt the roster body after sealing: count says 2, one id.
         let mut bad = Vec::new();
+        bad.push(0u8);
         bad.extend_from_slice(&2u32.to_le_bytes());
         bad.extend_from_slice(&0u32.to_le_bytes());
         write_sealed(&d, &roster_path("ec", 1), bad);
@@ -435,11 +544,131 @@ mod tests {
             read_roster(&d, "ec", 1),
             Err(EpochError::TornPart { .. })
         ));
+        // An unknown kind byte is equally torn, not silently defaulted.
+        let mut unknown = Vec::new();
+        unknown.push(9u8);
+        unknown.extend_from_slice(&1u32.to_le_bytes());
+        unknown.extend_from_slice(&0u32.to_le_bytes());
+        write_sealed(&d, &roster_path("ec", 1), unknown);
+        assert!(read_roster(&d, "ec", 1).is_err());
     }
 
     #[test]
     fn checksum_is_order_sensitive() {
         assert_ne!(checksum(&[1, 2, 3]), checksum(&[3, 2, 1]));
         assert_ne!(checksum(&[]), checksum(&[0]));
+    }
+
+    /// Writes a complete epoch: every node's part plus a sealed roster.
+    fn complete_epoch(d: &Dfs, prefix: &str, epoch: u64, kind: EpochKind, nodes: &[u32]) {
+        for &n in nodes {
+            write_part(d, prefix, epoch, n, vec![epoch as u8; 8]);
+        }
+        write_roster(d, prefix, epoch, kind, nodes);
+    }
+
+    #[test]
+    fn chain_is_base_plus_deltas() {
+        let d = dfs();
+        complete_epoch(&d, "ec", 2, EpochKind::Full, &[0, 1]);
+        complete_epoch(&d, "ec", 4, EpochKind::Delta, &[0, 1]);
+        complete_epoch(&d, "ec", 6, EpochKind::Delta, &[0, 1]);
+        let chain = recovery_chain(&d, "ec", 0).unwrap();
+        assert!(chain.grounded);
+        assert_eq!(
+            chain.epochs,
+            vec![
+                (2, EpochKind::Full),
+                (4, EpochKind::Delta),
+                (6, EpochKind::Delta)
+            ]
+        );
+    }
+
+    #[test]
+    fn periodic_full_epoch_bounds_the_chain() {
+        let d = dfs();
+        complete_epoch(&d, "ec", 2, EpochKind::Full, &[0, 1]);
+        complete_epoch(&d, "ec", 4, EpochKind::Delta, &[0, 1]);
+        complete_epoch(&d, "ec", 10, EpochKind::Full, &[0, 1]);
+        complete_epoch(&d, "ec", 12, EpochKind::Delta, &[0, 1]);
+        let chain = recovery_chain(&d, "ec", 0).unwrap();
+        assert!(chain.grounded);
+        // The newest full epoch grounds the chain; older history is dead
+        // weight the loader never touches.
+        assert_eq!(
+            chain.epochs,
+            vec![(10, EpochKind::Full), (12, EpochKind::Delta)]
+        );
+    }
+
+    #[test]
+    fn torn_delta_part_keeps_epoch_out_of_the_chain() {
+        let d = dfs();
+        complete_epoch(&d, "ec", 2, EpochKind::Full, &[0, 1]);
+        // Node 1 died between its delta part write and the seal.
+        write_part(&d, "ec", 4, 0, vec![4; 8]);
+        write_part_torn(&d, "ec", 4, 1, vec![4; 8]);
+        write_roster(&d, "ec", 4, EpochKind::Delta, &[0, 1]);
+        complete_epoch(&d, "ec", 6, EpochKind::Delta, &[0, 1]);
+        assert!(!epoch_complete_rostered(&d, "ec", 4));
+        let chain = recovery_chain(&d, "ec", 0).unwrap();
+        assert_eq!(
+            chain.epochs,
+            vec![(2, EpochKind::Full), (6, EpochKind::Delta)]
+        );
+    }
+
+    #[test]
+    fn delta_chain_with_torn_base_is_ungrounded() {
+        let d = dfs();
+        // The only full epoch tore mid-write; later deltas sealed fine.
+        write_part_torn(&d, "ec", 2, 0, vec![2; 8]);
+        write_roster(&d, "ec", 2, EpochKind::Full, &[0]);
+        complete_epoch(&d, "ec", 4, EpochKind::Delta, &[0]);
+        complete_epoch(&d, "ec", 6, EpochKind::Delta, &[0]);
+        let chain = recovery_chain(&d, "ec", 0).unwrap();
+        // The loader must NOT treat the deltas as self-contained: the chain
+        // says so explicitly, and the torn base never appears in it.
+        assert!(!chain.grounded);
+        assert_eq!(
+            chain.epochs,
+            vec![(4, EpochKind::Delta), (6, EpochKind::Delta)]
+        );
+    }
+
+    #[test]
+    fn stale_roster_refuses_to_serve_the_epoch() {
+        let d = dfs();
+        complete_epoch(&d, "ec", 2, EpochKind::Full, &[0, 1, 2]);
+        // Epoch 4's roster still lists node 2 (stale membership), but node
+        // 2 died and never sealed a part: the epoch must never load.
+        write_part(&d, "ec", 4, 0, vec![4; 8]);
+        write_part(&d, "ec", 4, 1, vec![4; 8]);
+        write_roster(&d, "ec", 4, EpochKind::Delta, &[0, 1, 2]);
+        assert!(!epoch_complete_rostered(&d, "ec", 4));
+        let chain = recovery_chain(&d, "ec", 0).unwrap();
+        assert_eq!(chain.epochs, vec![(2, EpochKind::Full)]);
+    }
+
+    #[test]
+    fn chain_membership_is_per_node() {
+        let d = dfs();
+        complete_epoch(&d, "ec", 2, EpochKind::Full, &[0, 1, 2]);
+        // Node 2 died; the survivors' later epochs exclude it.
+        complete_epoch(&d, "ec", 4, EpochKind::Delta, &[0, 1]);
+        let survivors = recovery_chain(&d, "ec", 0).unwrap();
+        assert_eq!(
+            survivors.epochs,
+            vec![(2, EpochKind::Full), (4, EpochKind::Delta)]
+        );
+        // A loader reconstructing the dead node's partition only sees the
+        // epochs that node participated in.
+        let dead = recovery_chain(&d, "ec", 2).unwrap();
+        assert_eq!(dead.epochs, vec![(2, EpochKind::Full)]);
+        assert!(matches!(
+            recovery_chain(&d, "ec", 7),
+            Err(EpochError::NoCompleteEpoch { .. })
+        ));
     }
 }

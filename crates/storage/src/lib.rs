@@ -30,4 +30,4 @@ mod dfs;
 pub mod epoch;
 
 pub use dfs::{Dfs, DfsConfig, DfsStats};
-pub use epoch::EpochError;
+pub use epoch::{EpochChain, EpochError, EpochKind};

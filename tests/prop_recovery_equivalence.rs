@@ -505,6 +505,50 @@ proptest! {
     }
 
     #[test]
+    fn incremental_checkpoint_matches_full_across_threads(
+        (s, threads) in (arb_scenario(), 1usize..=8)
+    ) {
+        // Delta epochs must be a pure storage optimisation: a run recovering
+        // from base+delta chains is bit-identical to one recovering from
+        // full snapshots only, at any thread count, across injected
+        // failures on both engines.
+        let ft = |incremental| FtMode::Checkpoint { interval: 2, incremental };
+        for edge_cut in [true, false] {
+            let run = |incremental, threads_per_node| {
+                let cfg = RunConfig {
+                    threads_per_node,
+                    ..config(&s, ft(incremental), s.failures.len())
+                };
+                if edge_cut {
+                    let cut = HashEdgeCut.partition(&s.graph, s.nodes);
+                    run_edge_cut(
+                        &s.graph,
+                        &cut,
+                        Arc::new(MinLabel),
+                        cfg,
+                        plans(&s),
+                        Dfs::new(DfsConfig::instant()),
+                    )
+                } else {
+                    let cut = RandomVertexCut.partition(&s.graph, s.nodes);
+                    run_vertex_cut(
+                        &s.graph,
+                        &cut,
+                        Arc::new(MinLabel),
+                        cfg,
+                        plans(&s),
+                        Dfs::new(DfsConfig::instant()),
+                    )
+                }
+            };
+            let full = run(false, 1);
+            let inc = run(true, threads);
+            prop_assert_eq!(inc.values, full.values);
+            prop_assert_eq!(inc.iterations, full.iterations);
+        }
+    }
+
+    #[test]
     fn checkpoint_recovery_is_equivalent((s, incremental) in (arb_scenario(), any::<bool>())) {
         // Checkpointing tolerates any number of sequential failures; both
         // full and incremental (§2.3) snapshots must recover exactly.
@@ -1587,6 +1631,100 @@ fn checkpoint_cascade_restarts_or_degrades() {
             assert_eq!(ep.failed_nodes, 2);
             assert_eq!((ep.counters.attempts, ep.counters.aborts), (2, 1));
         }
+    }
+}
+
+/// A delta chain that spans two recovery episodes of different shapes. With
+/// `interval: 2, incremental: true` the epoch cadence is 2=Full, 4=Delta,
+/// 6=Delta… The first crash (iteration 2) is handled on the standby path
+/// (the rebirth-style "checkpoint" strategy) from the bare full epoch 2;
+/// delta epoch 4 is then written by the post-recovery membership onto that
+/// same base; the second crash (iteration 4) finds the standby pool drained
+/// and degrades to the migration fallback, which must ground itself on the
+/// full epoch written *before* the first episode plus the delta written
+/// *after* it — and still converge bit-identically.
+#[test]
+fn delta_chain_crosses_rebirth_and_migration_recoveries() {
+    use imitator_repro::storage::{epoch, EpochKind};
+    let graph = lcg_graph(120, 400, 1);
+    let nodes = 4;
+    let ft = FtMode::Checkpoint {
+        interval: 2,
+        incremental: true,
+    };
+    let cfg = |ft, standbys| RunConfig {
+        num_nodes: nodes,
+        max_iters: 30,
+        ft,
+        standbys,
+        ..RunConfig::default()
+    };
+    for edge_cut in [true, false] {
+        let plans = vec![
+            crash(1, 2, FailPoint::BeforeBarrier),
+            crash(2, 4, FailPoint::BeforeBarrier),
+        ];
+        let dfs = Dfs::new(DfsConfig::instant());
+        let (clean, rec, prefix) = if edge_cut {
+            let cut = HashEdgeCut.partition(&graph, nodes);
+            let clean = run_edge_cut(
+                &graph,
+                &cut,
+                Arc::new(MinLabel),
+                cfg(FtMode::None, 0),
+                vec![],
+                Dfs::new(DfsConfig::instant()),
+            );
+            let rec = run_edge_cut(
+                &graph,
+                &cut,
+                Arc::new(MinLabel),
+                cfg(ft, 1),
+                plans,
+                dfs.clone(),
+            );
+            (clean.values, rec, "ec")
+        } else {
+            let cut = RandomVertexCut.partition(&graph, nodes);
+            let clean = run_vertex_cut(
+                &graph,
+                &cut,
+                Arc::new(MinLabel),
+                cfg(FtMode::None, 0),
+                vec![],
+                Dfs::new(DfsConfig::instant()),
+            );
+            let rec = run_vertex_cut(
+                &graph,
+                &cut,
+                Arc::new(MinLabel),
+                cfg(ft, 1),
+                plans,
+                dfs.clone(),
+            );
+            (clean.values, rec, "vc")
+        };
+        assert_eq!(rec.values, clean, "edge_cut={edge_cut}");
+        assert_eq!(rec.recoveries.len(), 2, "edge_cut={edge_cut}");
+        assert_eq!(
+            rec.recoveries[0].strategy, "checkpoint",
+            "edge_cut={edge_cut}"
+        );
+        assert_eq!(
+            rec.recoveries[1].strategy, "checkpoint\u{2192}migration",
+            "edge_cut={edge_cut}"
+        );
+        // Pin the chain shape the fallback loaded: epoch 2 is the complete
+        // full base, epoch 4 the complete delta on top, and both rosters
+        // cover the dead node whose partition the survivors reconstructed.
+        let (kind2, roster2) = epoch::read_roster(&dfs, prefix, 2).expect("epoch 2 complete");
+        let (kind4, roster4) = epoch::read_roster(&dfs, prefix, 4).expect("epoch 4 complete");
+        assert_eq!(kind2, EpochKind::Full, "edge_cut={edge_cut}");
+        assert_eq!(kind4, EpochKind::Delta, "edge_cut={edge_cut}");
+        assert!(
+            roster2.contains(&2) && roster4.contains(&2),
+            "edge_cut={edge_cut}"
+        );
     }
 }
 
