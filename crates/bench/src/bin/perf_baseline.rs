@@ -138,6 +138,46 @@ fn main() {
             }),
         );
     }
+    // Columnar wire codec: encode/decode throughput of a 100k-record sync
+    // frame (the shape the sync fast path batches), plus the byte gauge the
+    // CI bytes-regression step tracks. The scalar codec this replaced spent
+    // 13 bytes per f64 sync record (4 pos + 8 value + 1 activate).
+    let bytes_per_sync;
+    {
+        use imitator::wire::{decode_sync_frame, encode_sync_frame, SyncRecEnc};
+        let values: Vec<[u8; 8]> = (0..100_000u64)
+            .map(|i| f64::from_bits(i ^ 0x9E37_79B9_7F4A_7C15).to_le_bytes())
+            .collect();
+        let recs: Vec<SyncRecEnc<'_>> = values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| SyncRecEnc {
+                pos: (i as u32) * 3,
+                activate: i % 3 == 0,
+                value: v,
+                span: None,
+            })
+            .collect();
+        let mut frame = Vec::new();
+        record(
+            "sync_encode_100k",
+            time_best(n, || {
+                frame.clear();
+                encode_sync_frame(&recs, &mut frame);
+            }),
+        );
+        bytes_per_sync = frame.len() as f64 / recs.len() as f64;
+        record(
+            "sync_decode_100k",
+            time_best(n, || {
+                let out = decode_sync_frame::<f64>(&frame, |_| {
+                    unreachable!("full frames need no delta base")
+                })
+                .expect("self-encoded frame decodes");
+                assert_eq!(out.len(), recs.len());
+            }),
+        );
+    }
     record(
         "fabric_barrier_x1000",
         time_best(n, || {
@@ -246,7 +286,10 @@ fn main() {
     }
 
     // Checkpoint write cost: full snapshots every epoch vs the delta-epoch
-    // cadence (full every 4th, dirty-only in between) on the same run.
+    // cadence (full every 4th, dirty-only in between) on the same run. The
+    // full-snapshot run also yields the bytes-per-checkpoint gauge (DFS
+    // payload bytes / epochs written, before replication amplification).
+    let mut bytes_per_ckpt = 0.0;
     for (name, incremental) in [("ckpt_write_full", false), ("ckpt_write_incr", true)] {
         let cfg = RunConfig {
             num_nodes: opts.nodes,
@@ -260,8 +303,13 @@ fn main() {
         };
         let mut best = f64::INFINITY;
         for _ in 0..reps() {
-            let s = run_ec(Workload::PageRank, &g, &cut, cfg, vec![], ramfs());
+            let dfs = ramfs();
+            let s = run_ec(Workload::PageRank, &g, &cut, cfg, vec![], dfs.clone());
             best = best.min(s.ckpt_time.as_secs_f64());
+            if !incremental {
+                let epochs = (s.iterations / 2).max(1);
+                bytes_per_ckpt = dfs.stats().writes.bytes as f64 / epochs as f64;
+            }
         }
         record(name, best);
     }
@@ -292,7 +340,15 @@ fn main() {
         let comma = if i + 1 == results.len() { "" } else { "," };
         json.push_str(&format!("    \"{name}\": {secs:.6}{comma}\n"));
     }
+    json.push_str("  },\n");
+    // Wire-size gauges: deterministic byte counts (not timings), tracked by
+    // the non-blocking CI bytes-regression step.
+    json.push_str("  \"bytes\": {\n");
+    json.push_str(&format!("    \"bytes_per_sync\": {bytes_per_sync:.4},\n"));
+    json.push_str(&format!("    \"bytes_per_ckpt\": {bytes_per_ckpt:.1}\n"));
     json.push_str("  }\n}\n");
+    println!("  {:<40} {bytes_per_sync:>10.4} B", "bytes_per_sync");
+    println!("  {:<40} {bytes_per_ckpt:>10.1} B", "bytes_per_ckpt");
     std::fs::write("BENCH_engine.json", json).expect("write BENCH_engine.json");
     println!("wrote BENCH_engine.json ({} entries)", results.len());
 }

@@ -312,7 +312,10 @@ impl<M: Send + 'static> NodeCtx<M> {
     /// sends complete before the barrier is entered). One lock acquisition
     /// for the whole batch.
     pub fn drain(&self) -> Vec<Envelope<M>> {
-        self.inbox.drain_all().into()
+        let mut q = self.inbox.drain_all();
+        let out: Vec<Envelope<M>> = q.drain(..).collect();
+        self.inbox.recycle(q);
+        out
     }
 
     /// Blocks up to `timeout` for one message.

@@ -7,6 +7,7 @@
 //! consecutive calls are consecutive barrier instances.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
@@ -109,6 +110,11 @@ pub struct Coordinator {
     inner: Mutex<Inner>,
     cond: Condvar,
     detection_delay: Duration,
+    /// Lock-free mirror of `Inner::alive`, maintained under the lock on
+    /// every liveness transition. [`Coordinator::is_alive`] sits on the
+    /// per-message fabric send path, where taking the barrier mutex would
+    /// serialize all senders against waiting barriers.
+    alive_fast: Box<[AtomicBool]>,
 }
 
 impl Coordinator {
@@ -130,6 +136,7 @@ impl Coordinator {
             }),
             cond: Condvar::new(),
             detection_delay,
+            alive_fast: (0..num_nodes).map(|_| AtomicBool::new(true)).collect(),
         }
     }
 
@@ -152,12 +159,9 @@ impl Coordinator {
 
     /// Whether `node` is currently considered alive.
     pub fn is_alive(&self, node: NodeId) -> bool {
-        self.inner
-            .lock()
-            .alive
+        self.alive_fast
             .get(node.index())
-            .copied()
-            .unwrap_or(false)
+            .is_some_and(|a| a.load(Ordering::Acquire))
     }
 
     /// Enters the next barrier instance and blocks until every alive node
@@ -226,6 +230,7 @@ impl Coordinator {
             return;
         }
         inner.alive[node.index()] = false;
+        self.alive_fast[node.index()].store(false, Ordering::Release);
         if inner.arrived[node.index()] {
             inner.arrived[node.index()] = false;
             inner.arrived_count -= 1;
@@ -246,6 +251,7 @@ impl Coordinator {
         let mut inner = self.inner.lock();
         assert!(!inner.alive[node.index()], "revive of live node {node}");
         inner.alive[node.index()] = true;
+        self.alive_fast[node.index()].store(true, Ordering::Release);
         inner.unrecovered.retain(|&n| n != node);
         self.cond.notify_all();
     }

@@ -103,6 +103,12 @@ pub(crate) struct SyncBufs<V> {
     tot_entries: Vec<u64>,
     tot_bytes: Vec<u64>,
     tot_ft: Vec<u64>,
+    /// Previous record's position per destination — the running base of the
+    /// columnar frame's delta-encoded position column. Persists across
+    /// chunk ships within one superstep (the whole superstep is accounted
+    /// as one logical frame per destination) and resets at the accounting
+    /// flush.
+    prev_pos: Vec<u32>,
 }
 
 impl<V> SyncBufs<V> {
@@ -113,6 +119,7 @@ impl<V> SyncBufs<V> {
             tot_entries: vec![0; num_nodes],
             tot_bytes: vec![0; num_nodes],
             tot_ft: vec![0; num_nodes],
+            prev_pos: vec![0; num_nodes],
         }
     }
 }
@@ -647,15 +654,19 @@ pub(crate) fn stage_update_syncs<M: ComputeModel>(
                 suppressed += 1;
                 continue;
             }
-            // Accounted record size: a delta frame when this destination
-            // provably holds the base, the (equal-cost) framed full record
-            // otherwise. Decided at stage time → invariant under chunking.
-            let bytes = if shared.cfg.delta_sync {
-                crate::delta::sync_record_bytes(vb, st.sync_filter.delta_span(staged, node)) as u64
-            } else {
-                VertexSync::<M::Value>::wire_bytes(vb) as u64
-            };
+            // Accounted record size: the record's columnar frame columns —
+            // position delta against the previous record staged toward this
+            // destination, plus the value column (a byte-span delta when
+            // the destination provably holds the base). Decided at stage
+            // time → invariant under chunking.
             let n = node.index();
+            let span = if shared.cfg.delta_sync {
+                st.sync_filter.delta_span(staged, node)
+            } else {
+                None
+            };
+            let bytes = crate::wire::sync_record_bytes(rpos, bufs.prev_pos[n], vb, span);
+            bufs.prev_pos[n] = rpos;
             bufs.batches[n].push(VertexSync {
                 pos: rpos,
                 value: u.value.clone(),
@@ -708,11 +719,17 @@ pub(crate) fn ship_staged_syncs<M: ComputeModel>(
 pub(crate) fn flush_sync_acct<M: ComputeModel>(st: &mut St<M>, bufs: &mut SyncBufs<M::Value>) {
     for n in 0..bufs.tot_entries.len() {
         let entries = std::mem::take(&mut bufs.tot_entries[n]);
-        let bytes = std::mem::take(&mut bufs.tot_bytes[n]);
+        let col_bytes = std::mem::take(&mut bufs.tot_bytes[n]);
         let ft = std::mem::take(&mut bufs.tot_ft[n]);
+        bufs.prev_pos[n] = 0;
         if entries == 0 {
             continue;
         }
+        // One frame header (tag + count + flag bitmap) per destination per
+        // superstep, on top of the per-record column bytes charged at stage
+        // time: the superstep's records toward one destination are one
+        // logical columnar frame, however many envelope chunks shipped.
+        let bytes = col_bytes + crate::wire::sync_frame_overhead(entries);
         st.comm.record(entries, bytes);
         if ft > 0 {
             // FT share estimated pro-rata on entry count.

@@ -47,7 +47,6 @@
 #![warn(missing_docs)]
 
 mod ckpt;
-mod delta;
 mod driver;
 mod msg;
 pub mod plan;
@@ -57,6 +56,7 @@ mod rt;
 mod runner_ec;
 mod runner_vc;
 mod suppress;
+pub mod wire;
 
 pub use msg::{EcMsg, VcMsg, VertexSync};
 pub use report::{RecoveryReport, RunReport};

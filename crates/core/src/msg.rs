@@ -3,7 +3,12 @@
 //! Messages travel between simulated nodes as owned values over channels;
 //! byte sizes are *accounted* (for the paper's communication-cost numbers)
 //! rather than serialised. Only DFS content (checkpoints, edge-ckpt files)
-//! goes through the binary codec.
+//! goes through the binary codec. Batch-shaped messages — [`ProtoMsg::Sync`],
+//! [`ProtoMsg::Gather`], [`ProtoMsg::MirrorUpdate`] — are charged as
+//! [columnar frames](crate::wire): one frame header per destination per
+//! superstep, positions/IDs as zigzag-varint delta columns. The remaining
+//! recovery messages are charged per record against the scalar codec; the
+//! `accounted_sizes_match_codec` test pins both equalities.
 
 use imitator_cluster::NodeId;
 use imitator_engine::{CopyKind, MasterMeta, VcMeta};
@@ -26,15 +31,6 @@ pub struct VertexSync<V> {
     pub value: V,
     /// The scatter decision of this update.
     pub activate: bool,
-}
-
-impl<V> VertexSync<V> {
-    /// Accounted wire size given the value's size: matches the storage
-    /// codec's encoding of `(pos, value, activate)` exactly (see the
-    /// `accounted_sizes_match_codec` test).
-    pub fn wire_bytes(value_bytes: usize) -> usize {
-        4 + value_bytes + 1
-    }
 }
 
 /// One recovered vertex copy, shipped to the node reconstructing it.
@@ -204,11 +200,6 @@ mod tests {
     use imitator_storage::codec::Encode;
 
     #[test]
-    fn sync_wire_size_counts_header_and_value() {
-        assert_eq!(VertexSync::<f64>::wire_bytes(8), 13);
-    }
-
-    #[test]
     fn messages_are_cloneable_and_comparable() {
         let m: EcMsg<f64> = EcMsg::Sync(vec![VertexSync {
             pos: 1,
@@ -218,18 +209,61 @@ mod tests {
         assert_eq!(m.clone(), m);
     }
 
-    /// The accounted wire sizes must equal the storage codec's actual
-    /// encoded sizes of the corresponding fields, so the paper's
-    /// communication-cost numbers can't silently drift from the byte
-    /// encoding the fault-tolerance layers really use.
+    /// The accounted wire sizes must equal the actual encoded sizes of the
+    /// corresponding bytes, so the paper's communication-cost numbers can't
+    /// silently drift from the byte encoding the fault-tolerance layers
+    /// really use. Frame layouts (sizes in bytes):
+    ///
+    /// | frame  | tag | count      | flags  | id column        | payload column        |
+    /// |--------|-----|------------|--------|------------------|-----------------------|
+    /// | sync   | 1   | uvarint(n) | ⌈2n/8⌉ | Σ zzvarint(Δpos) | Σ full‖(off,len,span) |
+    /// | gather | 1   | uvarint(n) | —      | Σ zzvarint(Δvid) | Σ accum encoding      |
+    /// | mirror | 1   | uvarint(n) | —      | Σ zzvarint(Δvid) | Σ meta estimate       |
+    ///
+    /// Recovery entries, promotions, and grants stay scalar-coded.
     #[test]
     fn accounted_sizes_match_codec() {
-        // VertexSync: (pos: u32, value, activate: bool).
-        let mut buf = Vec::new();
-        7u32.encode(&mut buf);
-        1.5f64.encode(&mut buf);
-        true.encode(&mut buf);
-        assert_eq!(VertexSync::<f64>::wire_bytes(8), buf.len());
+        // A VertexSync batch is charged as one columnar sync frame: encode
+        // the same records through the real frame codec and compare.
+        let batch = [
+            VertexSync {
+                pos: 7,
+                value: 1.5f64,
+                activate: true,
+            },
+            VertexSync {
+                pos: 9,
+                value: -2.5f64,
+                activate: false,
+            },
+        ];
+        let values: Vec<Vec<u8>> = batch
+            .iter()
+            .map(|s| {
+                let mut b = Vec::new();
+                s.value.encode(&mut b);
+                b
+            })
+            .collect();
+        let recs: Vec<crate::wire::SyncRecEnc<'_>> = batch
+            .iter()
+            .zip(&values)
+            .map(|(s, v)| crate::wire::SyncRecEnc {
+                pos: s.pos,
+                activate: s.activate,
+                value: v,
+                span: None,
+            })
+            .collect();
+        let mut frame = Vec::new();
+        crate::wire::encode_sync_frame(&recs, &mut frame);
+        let mut accounted = crate::wire::sync_frame_overhead(batch.len() as u64);
+        let mut prev = 0u32;
+        for s in &batch {
+            accounted += crate::wire::sync_record_bytes(s.pos, prev, 8, None);
+            prev = s.pos;
+        }
+        assert_eq!(accounted, frame.len() as u64);
 
         // EcRecoverEntry sans meta: vid, pos, kind (one byte), master_node,
         // value, last_activate, active, in_edges, out_local, meta flag.

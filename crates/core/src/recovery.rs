@@ -89,6 +89,27 @@ type Refresh<M> = (
     MirrorUpdate<<M as ComputeModel>::Value, <M as ComputeModel>::Meta>,
 );
 
+/// Accounted bytes of one mirror-update frame (migration R5/R7): frame
+/// header, vertex-ID column (zigzag deltas between consecutive records),
+/// and the model's per-record meta/value payload estimate. Empty rounds —
+/// pure barrier traffic — stay free, as under the scalar codec.
+fn mirror_frame_bytes<M: ComputeModel>(
+    shared: &Shared<M>,
+    ups: &[MirrorUpdate<M::Value, M::Meta>],
+) -> u64 {
+    if ups.is_empty() {
+        return 0;
+    }
+    let mut prev = 0u32;
+    let mut bytes = crate::wire::small_frame_overhead(ups.len() as u64);
+    for u in ups {
+        bytes += crate::wire::col_delta_bytes(u.vid.raw(), prev);
+        bytes += shared.model.meta_update_bytes(&u.meta);
+        prev = u.vid.raw();
+    }
+    bytes
+}
+
 /// Shared migration bookkeeping, threaded through the rounds. `extra` is
 /// the model's own state (the edge wiring the generic rounds don't know
 /// about).
@@ -952,27 +973,32 @@ fn migrate<M: ComputeModel>(
     fail_here(ctx, shared, resume_iter, FailPoint::MigrationRound(4))?;
     let mut placements: HashMap<NodeId, Vec<(Vid, u32)>> = HashMap::new();
     let g = graph_mut(lg);
+    // Placement appends to the local graph, and those positions later feed
+    // the delta-encoded position columns of sync frames — so the order must
+    // not depend on which granting node's message arrived first. Collect
+    // every grant, then place in vid order.
+    let mut grants: Vec<ReplicaGrant<M::Value>> = Vec::new();
     for env in round_msgs::<M>(ctx, st) {
         match env.msg {
-            ProtoMsg::ReplicaGrant(gs) => {
-                for gr in gs {
-                    debug_assert!(
-                        g.position(gr.vid).is_none(),
-                        "duplicate grant for {}",
-                        gr.vid
-                    );
-                    let vid = gr.vid;
-                    let master_node = gr.master_node;
-                    let pos = shared.model.place_granted(g, gr);
-                    placements.entry(master_node).or_default().push((vid, pos));
-                    mig.recovered += 1;
-                }
-            }
+            ProtoMsg::ReplicaGrant(gs) => grants.extend(gs),
             other => st.stash.push(Envelope {
                 from: env.from,
                 msg: other,
             }),
         }
+    }
+    grants.sort_unstable_by_key(|gr| gr.vid);
+    for gr in grants {
+        debug_assert!(
+            g.position(gr.vid).is_none(),
+            "duplicate grant for {}",
+            gr.vid
+        );
+        let vid = gr.vid;
+        let master_node = gr.master_node;
+        let pos = shared.model.place_granted(g, gr);
+        placements.entry(master_node).or_default().push((vid, pos));
+        mig.recovered += 1;
     }
     shared.model.migration_wire(g, &mut mig, resume_iter);
     for &n in &others {
@@ -1070,10 +1096,7 @@ fn migrate<M: ComputeModel>(
     }
     for &n in &others {
         let ups = mirror_updates.remove(&n).unwrap_or_default();
-        let bytes: u64 = ups
-            .iter()
-            .map(|u| shared.model.meta_update_bytes(&u.meta))
-            .sum();
+        let bytes = mirror_frame_bytes(shared, &ups);
         mig.comm.record(1, bytes);
         ctx.send_kind(n, ProtoMsg::MirrorUpdate(ups), bytes, CommKind::Recovery);
     }
@@ -1084,6 +1107,9 @@ fn migrate<M: ComputeModel>(
     fail_here(ctx, shared, resume_iter, FailPoint::MigrationRound(6))?;
     let mut fresh_placements: HashMap<NodeId, Vec<(Vid, u32)>> = HashMap::new();
     let g = graph_mut(lg);
+    // Same arrival-order hazard as R4: fresh mirrors append to the local
+    // graph, so collect them across senders and place in vid order.
+    let mut fresh: Vec<MirrorUpdate<M::Value, M::Meta>> = Vec::new();
     for env in round_msgs::<M>(ctx, st) {
         match env.msg {
             ProtoMsg::MirrorUpdate(ups) => {
@@ -1094,15 +1120,7 @@ fn migrate<M: ComputeModel>(
                             g.set_meta(pos, u.meta);
                             g.set_master_node(pos, u.master_node);
                         }
-                        None => {
-                            let vid = u.vid;
-                            let master_node = u.master_node;
-                            let pos = shared.model.place_fresh_mirror(g, u);
-                            fresh_placements
-                                .entry(master_node)
-                                .or_default()
-                                .push((vid, pos));
-                        }
+                        None => fresh.push(u),
                     }
                 }
             }
@@ -1111,6 +1129,16 @@ fn migrate<M: ComputeModel>(
                 msg: other,
             }),
         }
+    }
+    fresh.sort_unstable_by_key(|u| u.vid);
+    for u in fresh {
+        let vid = u.vid;
+        let master_node = u.master_node;
+        let pos = shared.model.place_fresh_mirror(g, u);
+        fresh_placements
+            .entry(master_node)
+            .or_default()
+            .push((vid, pos));
     }
     for &n in &others {
         let p = fresh_placements.remove(&n).unwrap_or_default();
@@ -1195,10 +1223,7 @@ fn migrate<M: ComputeModel>(
     }
     for &n in &others {
         let ups = refreshes.remove(&n).unwrap_or_default();
-        let bytes: u64 = ups
-            .iter()
-            .map(|u| shared.model.meta_update_bytes(&u.meta))
-            .sum();
+        let bytes = mirror_frame_bytes(shared, &ups);
         mig.comm.record(1, bytes);
         ctx.send_kind(n, ProtoMsg::MirrorUpdate(ups), bytes, CommKind::Recovery);
     }
@@ -1792,12 +1817,20 @@ fn ckpt_full_sync<M: ComputeModel>(
     st.sync_filter.commit();
     st.note_suppressed(suppressed);
     for (node, batch) in batches {
-        let bytes: u64 = batch
-            .iter()
-            .map(|s| {
-                VertexSync::<M::Value>::wire_bytes(shared.model.value_wire_bytes(&s.value)) as u64
-            })
-            .sum();
+        // One columnar sync frame per destination: frame header plus
+        // position-delta and value columns (full values — no delta base is
+        // assumed across a recovery).
+        let mut prev = 0u32;
+        let mut bytes = crate::wire::sync_frame_overhead(batch.len() as u64);
+        for s in &batch {
+            bytes += crate::wire::sync_record_bytes(
+                s.pos,
+                prev,
+                shared.model.value_wire_bytes(&s.value),
+                None,
+            );
+            prev = s.pos;
+        }
         ctx.send_kind(node, ProtoMsg::Sync(batch), bytes, CommKind::Recovery);
     }
     barrier_ok(ctx)?;

@@ -687,7 +687,9 @@ where
     }
 
     fn meta_update_bytes(&self, meta: &Self::Meta) -> u64 {
-        64 + meta.in_edges_owner.len() as u64 * 8
+        // Payload estimate excluding the vertex ID, which ships as a varint
+        // in the mirror frame's vid column (see `recovery::mirror_frame_bytes`).
+        56 + meta.in_edges_owner.len() as u64 * 8
     }
 
     /// Checkpoint-fallback graft: splice the whole reconstructed partition

@@ -110,6 +110,9 @@ pub(crate) struct VcScratch<P: VertexProgram> {
     /// or once per superstep (strict).
     gather_entries: Vec<u64>,
     gather_bytes: Vec<u64>,
+    /// Previous record's vid per destination — running base of the gather
+    /// frame's delta vid column; persists across chunk ships, reset at flush.
+    gather_prev: Vec<u32>,
 }
 
 /// Migration state the generic rounds don't know about: edges adopted from
@@ -172,19 +175,26 @@ where
     P::Value: Encode + Decode + MemSize,
 {
     let mut shipped = 0u64;
-    for (n, batch) in scratch.gather_batches.iter_mut().enumerate() {
-        if batch.is_empty() {
+    for n in 0..scratch.gather_batches.len() {
+        if scratch.gather_batches[n].is_empty() {
             continue;
         }
-        let bytes: u64 = batch
-            .iter()
-            .map(|(_, a)| 4 + prog.accum_wire_bytes(a) as u64)
-            .sum();
-        scratch.gather_entries[n] += batch.len() as u64;
+        // Columnar gather-frame columns: vid as a zigzag-varint delta from
+        // the previous record toward this destination, then the accumulator
+        // bytes. The per-frame header is charged once at the totals flush.
+        let mut bytes = 0u64;
+        let mut prev = scratch.gather_prev[n];
+        for (vid, a) in &scratch.gather_batches[n] {
+            let vid_bytes = crate::wire::col_delta_bytes(vid.raw(), prev);
+            bytes += vid_bytes + prog.accum_wire_bytes(a) as u64;
+            prev = vid.raw();
+        }
+        scratch.gather_prev[n] = prev;
+        scratch.gather_entries[n] += scratch.gather_batches[n].len() as u64;
         scratch.gather_bytes[n] += bytes;
         ctx.send_kind(
             NodeId::from_index(n),
-            ProtoMsg::Gather(std::mem::take(batch)),
+            ProtoMsg::Gather(std::mem::take(&mut scratch.gather_batches[n])),
             bytes,
             CommKind::Gather,
         );
@@ -221,6 +231,7 @@ where
             gather_batches: vec![Vec::new(); shared.cfg.num_nodes],
             gather_entries: vec![0; shared.cfg.num_nodes],
             gather_bytes: vec![0; shared.cfg.num_nodes],
+            gather_prev: vec![0; shared.cfg.num_nodes],
         }
     }
 
@@ -294,9 +305,14 @@ where
         ship_gather_batches(ctx, self.prog.as_ref(), scratch);
         for n in 0..shared.cfg.num_nodes {
             let entries = std::mem::take(&mut scratch.gather_entries[n]);
-            let bytes = std::mem::take(&mut scratch.gather_bytes[n]);
+            let col_bytes = std::mem::take(&mut scratch.gather_bytes[n]);
+            scratch.gather_prev[n] = 0;
             if entries > 0 {
-                st.comm.record(entries, bytes);
+                // One gather-frame header (tag + count) per destination per
+                // superstep — a superstep's contributions toward one
+                // destination are one frame, however many chunks shipped.
+                let frame = col_bytes + crate::wire::small_frame_overhead(entries);
+                st.comm.record(entries, frame);
             }
         }
         st.phases.record("send", sw.lap());
@@ -613,7 +629,9 @@ where
     }
 
     fn meta_update_bytes(&self, _meta: &Self::Meta) -> u64 {
-        64
+        // Payload estimate excluding the vertex ID, which ships as a varint
+        // in the mirror frame's vid column (see `recovery::mirror_frame_bytes`).
+        56
     }
 
     /// Migration changed which node persists which edges (adoption) and

@@ -204,27 +204,29 @@ impl SyncFilter {
                         delta: None,
                     };
                 }
-                delta = crate::delta::min_span(old, &self.scratch);
+                delta = crate::wire::min_span(old, &self.scratch);
                 // Debug builds prove the wire format on every staged record:
-                // encoding against this base and decoding it back must
-                // reassemble the staged value exactly. (The in-memory fabric
-                // ships typed records; the codec defines — and the driver
-                // charges — their encoded sizes.)
+                // framing it against this base and decoding the frame back
+                // must reassemble the staged value exactly. (The in-memory
+                // fabric ships typed records; the columnar codec defines —
+                // and the driver charges — their encoded sizes.)
                 if cfg!(debug_assertions) {
                     let mut wire = Vec::new();
-                    crate::delta::encode_sync_record(
-                        pos,
-                        activate,
-                        Some(old),
-                        &self.scratch,
+                    crate::wire::encode_sync_frame(
+                        &[crate::wire::SyncRecEnc {
+                            pos,
+                            activate,
+                            value: &self.scratch,
+                            span: delta,
+                        }],
                         &mut wire,
                     );
-                    let rec = crate::delta::decode_sync_record(&wire, |_| old.to_vec())
+                    let rec = crate::wire::decode_sync_frame_one(&wire, || old.to_vec())
                         .expect("staged sync record decodes");
                     assert_eq!(
                         (rec.pos, rec.activate, &rec.value[..]),
                         (pos, activate, &self.scratch[..]),
-                        "delta codec must reconstruct the staged value"
+                        "columnar codec must reconstruct the staged value"
                     );
                 }
             }

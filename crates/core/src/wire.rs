@@ -1,0 +1,533 @@
+//! Columnar batch wire frames.
+//!
+//! The scalar codec charged every sync record a fixed `pos:u32 flags:u8`
+//! header next to its value; at millions of records per superstep the
+//! headers rival the payloads. This module reframes the three batch-shaped
+//! protocol messages — vertex syncs, gather contributions, mirror updates —
+//! as **columnar frames**: one header per frame, then each field packed
+//! contiguously across all records, with positions/vertex-IDs stored as
+//! zigzag-varint deltas between consecutive records and per-record flags
+//! packed two bits apiece into a bitmap.
+//!
+//! ```text
+//! sync frame   : tag:0xB1  count:uvarint  flags:⌈2n/8⌉B  pos-column  value-column
+//!   pos column  : n × uvarint(zigzag(pos_i − pos_{i−1}))   (pos_{−1} = 0)
+//!   value column: full  → the value's own self-delimiting encoding
+//!                 delta → uvarint(start) uvarint(len) span-bytes
+//!   flags       : bit 0 activate, bit 1 delta (LSB-first, 4 records/byte)
+//! gather frame : tag:0xB2  count:uvarint  vid-column  accum-column
+//! mirror frame : tag:0xB3  count:uvarint  vid-column  meta/value records
+//! ```
+//!
+//! Delta payloads ride on the [`crate::suppress::SyncFilter`] exactly as the
+//! scalar delta records did: the filter's per-destination validity epochs
+//! prove the receiver holds the base value, and [`min_span`] picks the
+//! minimal contiguous differing byte span at *stage* time on the main
+//! thread. A delta is chosen iff it is no larger than the full encoding —
+//! [`sync_value_bytes`] is the single size-and-choice rule shared by the
+//! encoder and the driver's byte accounting.
+//!
+//! Determinism: record order within a frame is the staging order (ascending
+//! master position, fixed destination iteration), a pure function of the
+//! committed graph state — independent of thread count and pipelining. The
+//! driver charges per-record column bytes as records stage and exactly one
+//! frame header per destination per superstep when the accounting flushes,
+//! so the accounted bytes equal the encoding of the superstep's records as
+//! one frame regardless of how many envelope chunks actually shipped
+//! (`accounted_sync_frame_matches_codec` pins the equality).
+
+use imitator_storage::codec::{
+    read_uvarint, unzigzag64, uvarint_len, write_uvarint, zigzag64, Decode, DecodeError, Encode,
+    Reader,
+};
+
+/// Frame tag of a columnar vertex-sync batch.
+pub const SYNC_FRAME_TAG: u8 = 0xB1;
+/// Frame tag of a columnar gather batch.
+pub const GATHER_FRAME_TAG: u8 = 0xB2;
+/// Frame tag of a columnar mirror-update batch.
+pub const MIRROR_FRAME_TAG: u8 = 0xB3;
+
+/// Minimal contiguous differing-byte span between two equal-width
+/// encodings, as `(start, len)`; `len == 0` when the bytes are identical
+/// (the record still ships because its activate bit differs). `None` when
+/// the widths differ or exceed the u16 span fields.
+pub fn min_span(old: &[u8], new: &[u8]) -> Option<(u16, u16)> {
+    if old.len() != new.len() || new.len() > u16::MAX as usize {
+        return None;
+    }
+    let first = match old.iter().zip(new).position(|(a, b)| a != b) {
+        None => return Some((0, 0)),
+        Some(i) => i,
+    };
+    let last = old
+        .iter()
+        .zip(new)
+        .rposition(|(a, b)| a != b)
+        .expect("a first differing byte implies a last");
+    Some((first as u16, (last - first + 1) as u16))
+}
+
+/// Bytes one column entry costs: the zigzag-varint of the step from the
+/// previous record's value (`prev = 0` before the first record).
+pub fn col_delta_bytes(cur: u32, prev: u32) -> u64 {
+    uvarint_len(zigzag64(i64::from(cur) - i64::from(prev))) as u64
+}
+
+/// Per-frame overhead of a sync frame over `count` records: tag, count
+/// varint, and the two-bit-per-record flag bitmap.
+pub fn sync_frame_overhead(count: u64) -> u64 {
+    1 + uvarint_len(count) as u64 + (2 * count).div_ceil(8)
+}
+
+/// Value-column bytes for one sync record and whether the delta layout is
+/// chosen: delta iff available and no larger than the full encoding.
+pub fn sync_value_bytes(value_len: usize, span: Option<(u16, u16)>) -> (u64, bool) {
+    if let Some((start, len)) = span {
+        let d = uvarint_len(u64::from(start)) + uvarint_len(u64::from(len)) + len as usize;
+        if d <= value_len {
+            return (d as u64, true);
+        }
+    }
+    (value_len as u64, false)
+}
+
+/// Column bytes of one staged sync record (position delta + value column);
+/// the flag bits live in the per-frame bitmap counted by
+/// [`sync_frame_overhead`].
+pub fn sync_record_bytes(pos: u32, prev: u32, value_len: usize, span: Option<(u16, u16)>) -> u64 {
+    col_delta_bytes(pos, prev) + sync_value_bytes(value_len, span).0
+}
+
+/// Per-frame overhead of a gather or mirror-update frame (tag + count).
+pub fn small_frame_overhead(count: u64) -> u64 {
+    1 + uvarint_len(count) as u64
+}
+
+/// One sync record presented to the frame encoder: the full encoded value
+/// plus the staged delta span (when the destination provably holds the
+/// base).
+pub struct SyncRecEnc<'a> {
+    /// Master position on the destination node.
+    pub pos: u32,
+    /// Scatter/activate bit for the replica.
+    pub activate: bool,
+    /// Full codec encoding of the new value.
+    pub value: &'a [u8],
+    /// Minimal differing span vs the value the destination holds, when the
+    /// sender's filter proves one is installed there.
+    pub span: Option<(u16, u16)>,
+}
+
+/// One decoded sync record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyncRecDec<V> {
+    /// Master position on the destination node.
+    pub pos: u32,
+    /// Scatter/activate bit for the replica.
+    pub activate: bool,
+    /// Reconstructed value (delta payloads patched into the base).
+    pub value: V,
+}
+
+/// Encodes a columnar sync frame into `out` (appended; callers reuse the
+/// buffer across frames to stay allocation-free in steady state).
+pub fn encode_sync_frame(recs: &[SyncRecEnc<'_>], out: &mut Vec<u8>) {
+    out.push(SYNC_FRAME_TAG);
+    write_uvarint(out, recs.len() as u64);
+    let bitmap_at = out.len();
+    out.resize(bitmap_at + (2 * recs.len()).div_ceil(8), 0);
+    for (i, r) in recs.iter().enumerate() {
+        let mut f = 0u8;
+        if r.activate {
+            f |= 1;
+        }
+        if sync_value_bytes(r.value.len(), r.span).1 {
+            f |= 2;
+        }
+        out[bitmap_at + i / 4] |= f << (2 * (i % 4));
+    }
+    let mut prev = 0u32;
+    for r in recs {
+        write_uvarint(out, zigzag64(i64::from(r.pos) - i64::from(prev)));
+        prev = r.pos;
+    }
+    for r in recs {
+        if sync_value_bytes(r.value.len(), r.span).1 {
+            let (start, len) = r.span.expect("delta flagged without a span");
+            write_uvarint(out, u64::from(start));
+            write_uvarint(out, u64::from(len));
+            out.extend_from_slice(&r.value[start as usize..(start + len) as usize]);
+        } else {
+            out.extend_from_slice(r.value);
+        }
+    }
+}
+
+/// Decodes a columnar sync frame, resolving delta payloads against `base`
+/// (the destination's current encoded value at that position — exactly
+/// what the sender's filter entry recorded as installed there).
+pub fn decode_sync_frame<V: Decode>(
+    bytes: &[u8],
+    mut base: impl FnMut(u32) -> Vec<u8>,
+) -> Result<Vec<SyncRecDec<V>>, DecodeError> {
+    let mut r = Reader::new(bytes);
+    if r.take(1)?[0] != SYNC_FRAME_TAG {
+        return Err(DecodeError::Corrupt("sync frame tag"));
+    }
+    let count = read_uvarint(&mut r)? as usize;
+    if count > bytes.len().saturating_mul(8).max(1024) {
+        return Err(DecodeError::Corrupt("sync frame count"));
+    }
+    let bitmap = r.take((2 * count).div_ceil(8))?.to_vec();
+    let mut positions = Vec::with_capacity(count);
+    let mut prev = 0i64;
+    for _ in 0..count {
+        let pos = prev + unzigzag64(read_uvarint(&mut r)?);
+        let pos = u32::try_from(pos).map_err(|_| DecodeError::Corrupt("sync position"))?;
+        positions.push(pos);
+        prev = i64::from(pos);
+    }
+    let mut out = Vec::with_capacity(count);
+    for (i, &pos) in positions.iter().enumerate() {
+        let flags = (bitmap[i / 4] >> (2 * (i % 4))) & 0b11;
+        let value = if flags & 2 != 0 {
+            let start = read_uvarint(&mut r)? as usize;
+            let len = read_uvarint(&mut r)? as usize;
+            let span = r.take(len)?;
+            let mut full = base(pos);
+            if start + len > full.len() {
+                return Err(DecodeError::Corrupt("delta span exceeds base value"));
+            }
+            full[start..start + len].copy_from_slice(span);
+            imitator_storage::codec::decode::<V>(&full)?
+        } else {
+            V::decode(&mut r)?
+        };
+        out.push(SyncRecDec {
+            pos,
+            activate: flags & 1 != 0,
+            value,
+        });
+    }
+    if r.remaining() > 0 {
+        return Err(DecodeError::TrailingBytes(r.remaining()));
+    }
+    Ok(out)
+}
+
+/// Decodes a single-record sync frame into raw value bytes, without a
+/// `Decode` bound: with one record the value column is the buffer's tail,
+/// so no self-delimiting decode is needed. Used by the suppression filter's
+/// debug-build codec proof, where values are only `Encode`.
+pub fn decode_sync_frame_one(
+    bytes: &[u8],
+    base: impl FnOnce() -> Vec<u8>,
+) -> Result<SyncRecDec<Vec<u8>>, DecodeError> {
+    let mut r = Reader::new(bytes);
+    if r.take(1)?[0] != SYNC_FRAME_TAG {
+        return Err(DecodeError::Corrupt("sync frame tag"));
+    }
+    if read_uvarint(&mut r)? != 1 {
+        return Err(DecodeError::Corrupt("single-record frame expected"));
+    }
+    let flags = r.take(1)?[0] & 0b11;
+    let pos = unzigzag64(read_uvarint(&mut r)?);
+    let pos = u32::try_from(pos).map_err(|_| DecodeError::Corrupt("sync position"))?;
+    let value = if flags & 2 != 0 {
+        let start = read_uvarint(&mut r)? as usize;
+        let len = read_uvarint(&mut r)? as usize;
+        let span = r.take(len)?;
+        let mut full = base();
+        if start + len > full.len() {
+            return Err(DecodeError::Corrupt("delta span exceeds base value"));
+        }
+        full[start..start + len].copy_from_slice(span);
+        full
+    } else {
+        r.take(r.remaining())?.to_vec()
+    };
+    Ok(SyncRecDec {
+        pos,
+        activate: flags & 1 != 0,
+        value,
+    })
+}
+
+/// Encodes a columnar gather frame: vid column (zigzag deltas) then the
+/// accumulator column.
+pub fn encode_gather_frame<A: Encode>(recs: &[(u32, A)], out: &mut Vec<u8>) {
+    out.push(GATHER_FRAME_TAG);
+    write_uvarint(out, recs.len() as u64);
+    let mut prev = 0u32;
+    for &(vid, _) in recs {
+        write_uvarint(out, zigzag64(i64::from(vid) - i64::from(prev)));
+        prev = vid;
+    }
+    for (_, a) in recs {
+        a.encode(out);
+    }
+}
+
+/// Decodes a columnar gather frame.
+pub fn decode_gather_frame<A: Decode>(bytes: &[u8]) -> Result<Vec<(u32, A)>, DecodeError> {
+    let mut r = Reader::new(bytes);
+    if r.take(1)?[0] != GATHER_FRAME_TAG {
+        return Err(DecodeError::Corrupt("gather frame tag"));
+    }
+    let count = read_uvarint(&mut r)? as usize;
+    if count > bytes.len().saturating_mul(8).max(1024) {
+        return Err(DecodeError::Corrupt("gather frame count"));
+    }
+    let mut vids = Vec::with_capacity(count);
+    let mut prev = 0i64;
+    for _ in 0..count {
+        let vid = prev + unzigzag64(read_uvarint(&mut r)?);
+        let vid = u32::try_from(vid).map_err(|_| DecodeError::Corrupt("gather vid"))?;
+        vids.push(vid);
+        prev = i64::from(vid);
+    }
+    let mut out = Vec::with_capacity(count);
+    for vid in vids {
+        out.push((vid, A::decode(&mut r)?));
+    }
+    if r.remaining() > 0 {
+        return Err(DecodeError::TrailingBytes(r.remaining()));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn min_span_finds_tightest_window() {
+        assert_eq!(min_span(b"abcdef", b"abXYef"), Some((2, 2)));
+        assert_eq!(min_span(b"abcdef", b"Xbcdef"), Some((0, 1)));
+        assert_eq!(min_span(b"abcdef", b"abcdeX"), Some((5, 1)));
+        assert_eq!(min_span(b"abc", b"abc"), Some((0, 0)));
+        assert_eq!(min_span(b"abc", b"abcd"), None, "width change → no delta");
+    }
+
+    #[test]
+    fn delta_chosen_only_when_no_larger_than_full() {
+        // f64-sized value (8 bytes): delta = 2 varints + span.
+        assert_eq!(sync_value_bytes(8, Some((0, 2))), (4, true));
+        assert_eq!(sync_value_bytes(8, Some((0, 6))), (8, true)); // tie → delta
+        assert_eq!(
+            sync_value_bytes(8, Some((0, 7))),
+            (8, false),
+            "larger → full"
+        );
+        // u32-sized value: only tiny spans win.
+        assert_eq!(sync_value_bytes(4, Some((0, 0))), (2, true));
+        assert_eq!(sync_value_bytes(4, Some((1, 3))), (4, false));
+        assert_eq!(sync_value_bytes(4, None), (4, false));
+    }
+
+    /// The frame-layout table the accounting promises (sizes in bytes):
+    ///
+    /// | frame  | tag | count      | flags    | id column        | payload column        |
+    /// |--------|-----|------------|----------|------------------|-----------------------|
+    /// | sync   | 1   | uvarint(n) | ⌈2n/8⌉   | Σ zzvarint(Δpos) | Σ full‖(off,len,span) |
+    /// | gather | 1   | uvarint(n) | —        | Σ zzvarint(Δvid) | Σ accum encoding      |
+    /// | mirror | 1   | uvarint(n) | —        | Σ zzvarint(Δvid) | Σ meta estimate       |
+    #[test]
+    fn accounted_sync_frame_matches_codec() {
+        let values: Vec<Vec<u8>> = vec![
+            7u64.to_le_bytes().to_vec(),
+            u64::MAX.to_le_bytes().to_vec(),
+            42u64.to_le_bytes().to_vec(),
+        ];
+        let olds: Vec<Option<Vec<u8>>> = vec![
+            Some(6u64.to_le_bytes().to_vec()),  // 1-byte span delta
+            None,                               // no base → full
+            Some(42u64.to_le_bytes().to_vec()), // identical → zero-span delta
+        ];
+        let recs: Vec<SyncRecEnc<'_>> = values
+            .iter()
+            .zip(&olds)
+            .enumerate()
+            .map(|(i, (v, old))| SyncRecEnc {
+                pos: [900, 3, 40_000][i],
+                activate: i % 2 == 0,
+                value: v,
+                span: old.as_deref().and_then(|o| min_span(o, v)),
+            })
+            .collect();
+        let mut buf = Vec::new();
+        encode_sync_frame(&recs, &mut buf);
+        let mut accounted = sync_frame_overhead(recs.len() as u64);
+        let mut prev = 0u32;
+        for r in &recs {
+            accounted += sync_record_bytes(r.pos, prev, r.value.len(), r.span);
+            prev = r.pos;
+        }
+        assert_eq!(buf.len() as u64, accounted, "accounting must equal codec");
+    }
+
+    #[test]
+    fn accounted_gather_frame_matches_codec() {
+        let recs: Vec<(u32, u64)> = vec![(5, 10), (1_000_000, 20), (17, u64::MAX)];
+        let mut buf = Vec::new();
+        encode_gather_frame(&recs, &mut buf);
+        let mut accounted = small_frame_overhead(recs.len() as u64);
+        let mut prev = 0u32;
+        for &(vid, _) in &recs {
+            accounted += col_delta_bytes(vid, prev) + 8;
+            prev = vid;
+        }
+        assert_eq!(buf.len() as u64, accounted);
+    }
+
+    #[test]
+    fn sync_frame_roundtrips_deltas_against_base() {
+        let old = 0x0101_0101_0101_0101u64;
+        let new = 0x0101_0109_0901_0101u64;
+        let (ob, nb) = (old.to_le_bytes(), new.to_le_bytes());
+        let recs = vec![
+            SyncRecEnc {
+                pos: 9,
+                activate: true,
+                value: &nb,
+                span: min_span(&ob, &nb),
+            },
+            SyncRecEnc {
+                pos: 2,
+                activate: false,
+                value: &nb,
+                span: None,
+            },
+        ];
+        let mut buf = Vec::new();
+        encode_sync_frame(&recs, &mut buf);
+        let out: Vec<SyncRecDec<u64>> = decode_sync_frame(&buf, |pos| {
+            assert_eq!(pos, 9, "only the delta record consults the base");
+            ob.to_vec()
+        })
+        .unwrap();
+        assert_eq!(
+            out,
+            vec![
+                SyncRecDec {
+                    pos: 9,
+                    activate: true,
+                    value: new
+                },
+                SyncRecDec {
+                    pos: 2,
+                    activate: false,
+                    value: new
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn corrupt_frames_are_rejected() {
+        assert!(decode_sync_frame::<u32>(&[GATHER_FRAME_TAG], |_| vec![]).is_err());
+        assert!(decode_gather_frame::<u32>(&[SYNC_FRAME_TAG]).is_err());
+        let mut buf = Vec::new();
+        encode_gather_frame::<u32>(&[(1, 5)], &mut buf);
+        buf.push(0); // trailing byte
+        assert!(matches!(
+            decode_gather_frame::<u32>(&buf),
+            Err(DecodeError::TrailingBytes(_))
+        ));
+        // Delta span wider than the receiver's base value.
+        let nb = 7u64.to_le_bytes();
+        let recs = vec![SyncRecEnc {
+            pos: 0,
+            activate: false,
+            value: &nb,
+            span: Some((0, 3)),
+        }];
+        let mut buf = Vec::new();
+        encode_sync_frame(&recs, &mut buf);
+        assert!(decode_sync_frame::<u64>(&buf, |_| vec![0u8; 2]).is_err());
+    }
+
+    /// One generated record: (pos, activate, new value bytes, optional base).
+    type GenRec = (u32, bool, [u8; 8], Option<[u8; 8]>);
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Arbitrary batches ⇄ bytes ⇄ batches, full and delta payloads,
+        /// with the accounted size always equal to the encoded size.
+        #[test]
+        fn columnar_codec_roundtrip(
+            batch in proptest::collection::vec(
+                (0u32..200_000, any::<bool>(), any::<u64>(), any::<u64>(), any::<bool>()),
+                0..64,
+            )
+        ) {
+            let encoded: Vec<GenRec> = batch
+                .iter()
+                .map(|&(pos, act, new, old, has_base)| {
+                    (pos, act, new.to_le_bytes(), has_base.then(|| old.to_le_bytes()))
+                })
+                .collect();
+            let recs: Vec<SyncRecEnc<'_>> = encoded
+                .iter()
+                .map(|(pos, act, new, old)| SyncRecEnc {
+                    pos: *pos,
+                    activate: *act,
+                    value: new,
+                    span: old.as_ref().and_then(|o| min_span(o, new)),
+                })
+                .collect();
+            let mut buf = Vec::new();
+            encode_sync_frame(&recs, &mut buf);
+
+            let mut accounted = sync_frame_overhead(recs.len() as u64);
+            let mut prev = 0u32;
+            for r in &recs {
+                accounted += sync_record_bytes(r.pos, prev, r.value.len(), r.span);
+                prev = r.pos;
+            }
+            prop_assert_eq!(buf.len() as u64, accounted);
+
+            // Bases keyed by record index order: decode consults them in
+            // encode order, so replay the same sequence.
+            let mut base_iter = encoded
+                .iter()
+                .filter(|(_, _, new, old)| {
+                    old.as_ref()
+                        .and_then(|o| min_span(o, new))
+                        .is_some_and(|s| sync_value_bytes(8, Some(s)).1)
+                })
+                .map(|(_, _, _, old)| old.expect("filtered on Some"))
+                .collect::<Vec<_>>()
+                .into_iter();
+            let out: Vec<SyncRecDec<u64>> =
+                decode_sync_frame(&buf, |_| base_iter.next().expect("base per delta").to_vec())
+                    .unwrap();
+            let want: Vec<SyncRecDec<u64>> = batch
+                .iter()
+                .map(|&(pos, act, new, _, _)| SyncRecDec {
+                    pos,
+                    activate: act,
+                    value: new,
+                })
+                .collect();
+            prop_assert_eq!(out, want);
+
+            // Gather frames: same vids, u64 accumulators.
+            let grecs: Vec<(u32, u64)> =
+                batch.iter().map(|&(pos, _, a, _, _)| (pos, a)).collect();
+            let mut gbuf = Vec::new();
+            encode_gather_frame(&grecs, &mut gbuf);
+            let mut gacc = small_frame_overhead(grecs.len() as u64);
+            let mut prev = 0u32;
+            for &(vid, _) in &grecs {
+                gacc += col_delta_bytes(vid, prev) + 8;
+                prev = vid;
+            }
+            prop_assert_eq!(gbuf.len() as u64, gacc);
+            prop_assert_eq!(decode_gather_frame::<u64>(&gbuf).unwrap(), grecs);
+        }
+    }
+}

@@ -1,10 +1,7 @@
 //! Edge-cut local graphs (the Cyclops runtime representation).
 
-use imitator_graph::VidMap;
-use std::collections::HashMap;
-
 use imitator_cluster::NodeId;
-use imitator_graph::{Graph, Vid};
+use imitator_graph::{Graph, PosIndex, Vid};
 use imitator_metrics::MemSize;
 use imitator_partition::EdgeCut;
 
@@ -187,7 +184,7 @@ pub struct EcLocalGraph<V> {
     /// All local copies, indexed by position.
     pub verts: Vec<EcVertex<V>>,
     /// Global-ID → position index.
-    pub index: VidMap<u32>,
+    pub index: PosIndex,
     /// Sorted positions of currently active masters (the sparse activation
     /// frontier). Canonical invariant: always equal to the ascending list of
     /// positions `p` with `verts[p].is_master() && verts[p].active`, so
@@ -203,14 +200,14 @@ impl<V> EcLocalGraph<V> {
         EcLocalGraph {
             node,
             verts: Vec::new(),
-            index: VidMap::default(),
+            index: PosIndex::new(),
             active_frontier: Vec::new(),
         }
     }
 
     /// Position of `vid`'s local copy, if present.
     pub fn position(&self, vid: Vid) -> Option<u32> {
-        self.index.get(&vid).copied()
+        self.index.get(vid)
     }
 
     /// Number of local copies.
@@ -313,8 +310,8 @@ impl<V> EcLocalGraph<V> {
         for (i, v) in self.verts.iter().enumerate() {
             assert_ne!(v.vid, Vid::new(u32::MAX), "hole at position {i}");
             assert_eq!(
-                self.index.get(&v.vid),
-                Some(&(i as u32)),
+                self.index.get(v.vid),
+                Some(i as u32),
                 "index mismatch at {i}"
             );
             for &(src, _) in &v.in_edges {
@@ -361,9 +358,7 @@ impl<V: MemSize> MemSize for EcLocalGraph<V> {
                 .iter()
                 .map(|v| v.mem_bytes() - std::mem::size_of::<EcVertex<V>>())
                 .sum::<usize>();
-        let index = self.index.capacity().max(self.index.len())
-            * (std::mem::size_of::<(Vid, u32)>() + 1)
-            + std::mem::size_of::<HashMap<Vid, u32>>();
+        let index = self.index.mem_bytes();
         let frontier = self.active_frontier.capacity() * std::mem::size_of::<u32>();
         std::mem::size_of::<NodeId>() + verts + index + frontier
     }
@@ -407,16 +402,11 @@ pub fn build_edge_cut_graphs<P: VertexProgram>(
     }
 
     // 2. Deterministic positions: sorted by vid on each node.
-    let mut pos_maps: Vec<VidMap<u32>> = Vec::with_capacity(parts);
+    let mut pos_maps: Vec<PosIndex> = Vec::with_capacity(parts);
     for list in &mut copies {
         list.sort_unstable();
         list.dedup();
-        let map: VidMap<u32> = list
-            .iter()
-            .enumerate()
-            .map(|(i, &v)| (v, i as u32))
-            .collect();
-        pos_maps.push(map);
+        pos_maps.push(PosIndex::from_sorted_vids(list));
     }
 
     // 3. Vertex entries.
@@ -461,8 +451,8 @@ pub fn build_edge_cut_graphs<P: VertexProgram>(
     //    local copy there feeds the consumer.
     for e in g.edges() {
         let p = cut.owner(e.dst);
-        let dst_pos = pos_maps[p][&e.dst] as usize;
-        let src_pos = pos_maps[p][&e.src];
+        let dst_pos = pos_maps[p].at(e.dst) as usize;
+        let src_pos = pos_maps[p].at(e.src);
         graphs[p].verts[dst_pos].in_edges.push((src_pos, e.weight));
         graphs[p].verts[src_pos as usize]
             .out_local
@@ -480,14 +470,14 @@ pub fn build_edge_cut_graphs<P: VertexProgram>(
             out_remote_by_src[e.src.index()].push(RemoteEdge {
                 target: e.dst,
                 node,
-                pos: pos_maps[consumer][&e.dst],
+                pos: pos_maps[consumer].at(e.dst),
             });
         }
     }
     for i in 0..n {
         let v = Vid::from_index(i);
         let owner = cut.owner(v);
-        let master_pos = pos_maps[owner][&v];
+        let master_pos = pos_maps[owner].at(v);
         let mut replica_nodes: Vec<NodeId> = cut
             .replica_parts(v)
             .iter()
@@ -501,7 +491,7 @@ pub fn build_edge_cut_graphs<P: VertexProgram>(
         replica_nodes.sort_unstable();
         let replica_positions: Vec<u32> = replica_nodes
             .iter()
-            .map(|n| pos_maps[n.index()][&v])
+            .map(|n| pos_maps[n.index()].at(v))
             .collect();
         let mirror_nodes = plan.mirror[i].clone();
         for m in &mirror_nodes {
@@ -530,7 +520,7 @@ pub fn build_edge_cut_graphs<P: VertexProgram>(
         let boxed = Box::new(meta);
         graphs[owner].verts[master_pos as usize].meta = Some(boxed.clone());
         for m in &mirror_nodes {
-            let pos = pos_maps[m.index()][&v] as usize;
+            let pos = pos_maps[m.index()].at(v) as usize;
             graphs[m.index()].verts[pos].meta = Some(boxed.clone());
         }
     }

@@ -1,10 +1,7 @@
 //! Vertex-cut local graphs (the PowerLyra runtime representation).
 
-use imitator_graph::VidMap;
-use std::collections::HashMap;
-
 use imitator_cluster::NodeId;
-use imitator_graph::{Graph, Vid};
+use imitator_graph::{Graph, PosIndex, Vid};
 use imitator_metrics::MemSize;
 use imitator_partition::VertexCut;
 
@@ -130,7 +127,7 @@ pub struct VcLocalGraph<V> {
     /// All local copies, indexed by position.
     pub verts: Vec<VcVertex<V>>,
     /// Global-ID → position index.
-    pub index: VidMap<u32>,
+    pub index: PosIndex,
     /// Locally owned edges.
     pub edges: Vec<VcEdge>,
 }
@@ -141,14 +138,14 @@ impl<V> VcLocalGraph<V> {
         VcLocalGraph {
             node,
             verts: Vec::new(),
-            index: VidMap::default(),
+            index: PosIndex::new(),
             edges: Vec::new(),
         }
     }
 
     /// Position of `vid`'s local copy, if present.
     pub fn position(&self, vid: Vid) -> Option<u32> {
-        self.index.get(&vid).copied()
+        self.index.get(vid)
     }
 
     /// Number of local copies.
@@ -219,7 +216,7 @@ impl<V> VcLocalGraph<V> {
     pub fn debug_validate(&self) {
         assert_eq!(self.index.len(), self.verts.len(), "index size mismatch");
         for (i, v) in self.verts.iter().enumerate() {
-            assert_eq!(self.index.get(&v.vid), Some(&(i as u32)), "index mismatch");
+            assert_eq!(self.index.get(v.vid), Some(i as u32), "index mismatch");
             if v.is_master() {
                 assert!(v.meta.is_some(), "master {} lacks full state", v.vid);
                 assert_eq!(v.master_node, self.node);
@@ -241,9 +238,7 @@ impl<V: MemSize> MemSize for VcLocalGraph<V> {
                 .iter()
                 .map(|v| v.mem_bytes() - std::mem::size_of::<VcVertex<V>>())
                 .sum::<usize>();
-        let index = self.index.capacity().max(self.index.len())
-            * (std::mem::size_of::<(Vid, u32)>() + 1)
-            + std::mem::size_of::<HashMap<Vid, u32>>();
+        let index = self.index.mem_bytes();
         let edges = std::mem::size_of::<Vec<VcEdge>>()
             + self.edges.capacity() * std::mem::size_of::<VcEdge>();
         std::mem::size_of::<NodeId>() + verts + index + edges
@@ -281,16 +276,11 @@ pub fn build_vertex_cut_graphs<P: VertexProgram>(
             copies[node.index()].push(v);
         }
     }
-    let mut pos_maps: Vec<VidMap<u32>> = Vec::with_capacity(parts);
+    let mut pos_maps: Vec<PosIndex> = Vec::with_capacity(parts);
     for list in &mut copies {
         list.sort_unstable();
         list.dedup();
-        pos_maps.push(
-            list.iter()
-                .enumerate()
-                .map(|(i, &v)| (v, i as u32))
-                .collect::<VidMap<u32>>(),
-        );
+        pos_maps.push(PosIndex::from_sorted_vids(list));
     }
 
     // 2. Vertex entries.
@@ -330,8 +320,8 @@ pub fn build_vertex_cut_graphs<P: VertexProgram>(
     for (e, &p) in g.edges().iter().zip(cut.edge_owner()) {
         let p = p as usize;
         graphs[p].edges.push(VcEdge {
-            src: pos_maps[p][&e.src],
-            dst: pos_maps[p][&e.dst],
+            src: pos_maps[p].at(e.src),
+            dst: pos_maps[p].at(e.dst),
             weight: e.weight,
         });
     }
@@ -353,7 +343,7 @@ pub fn build_vertex_cut_graphs<P: VertexProgram>(
         replica_nodes.sort_unstable();
         let replica_positions: Vec<u32> = replica_nodes
             .iter()
-            .map(|n| pos_maps[n.index()][&v])
+            .map(|n| pos_maps[n.index()].at(v))
             .collect();
         let mirror_nodes = plan.mirror[i].clone();
         for m in &mirror_nodes {
@@ -363,15 +353,15 @@ pub fn build_vertex_cut_graphs<P: VertexProgram>(
             );
         }
         let meta = Box::new(VcMeta {
-            master_pos: pos_maps[owner][&v],
+            master_pos: pos_maps[owner].at(v),
             replica_nodes,
             replica_positions,
             mirror_nodes: mirror_nodes.clone(),
         });
-        let mpos = pos_maps[owner][&v] as usize;
+        let mpos = pos_maps[owner].at(v) as usize;
         graphs[owner].verts[mpos].meta = Some(meta.clone());
         for m in &mirror_nodes {
-            let pos = pos_maps[m.index()][&v] as usize;
+            let pos = pos_maps[m.index()].at(v) as usize;
             graphs[m.index()].verts[pos].meta = Some(meta.clone());
         }
     }

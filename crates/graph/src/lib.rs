@@ -28,10 +28,12 @@ pub mod gen;
 mod graph;
 mod ids;
 mod io;
+mod pos_index;
 mod stats;
 
 pub use csr::Csr;
 pub use graph::{Edge, Graph, GraphBuilder};
 pub use ids::{Vid, VidHasher, VidMap};
 pub use io::ParseGraphError;
+pub use pos_index::PosIndex;
 pub use stats::GraphStats;

@@ -1,0 +1,295 @@
+//! Dense vertex-ID → array-position index.
+//!
+//! Every local graph keeps a `Vid → position` index on its hot decode and
+//! routing paths. [`VidMap`] (a hashed map) is the general answer, but the
+//! common case is far more regular: a node holds a constant fraction of a
+//! dense `0..n` ID space, so a flat `Vec<u32>` indexed by raw vertex ID —
+//! with `u32::MAX` marking absent — answers lookups with one bounds check
+//! and no hashing. [`PosIndex`] picks that dense table whenever the ID span
+//! is within 8× the entry count (plus slack for small graphs) and falls
+//! back to a [`VidMap`] for genuinely sparse ID sets, so worst-case memory
+//! stays bounded.
+
+use imitator_metrics::MemSize;
+
+use crate::ids::{Vid, VidMap};
+
+/// Extra dense slots always allowed beyond the 8× load heuristic, so small
+/// graphs never bounce to the sparse representation.
+const DENSE_SLACK: usize = 1024;
+
+fn dense_ok(max_raw: u32, len: usize) -> bool {
+    (max_raw as usize) < len.saturating_mul(8) + DENSE_SLACK
+}
+
+#[derive(Debug, Clone)]
+enum Repr {
+    /// `table[vid.raw()] = position`, `u32::MAX` = absent.
+    Dense(Vec<u32>),
+    Sparse(VidMap<u32>),
+}
+
+/// A `Vid → u32` position map with a dense fast path.
+///
+/// Positions must be `< u32::MAX` (the dense table's absent sentinel);
+/// local-graph positions are array indices, far below it. Equality is
+/// logical — two indices holding the same mappings compare equal regardless
+/// of representation.
+///
+/// # Examples
+///
+/// ```
+/// use imitator_graph::{PosIndex, Vid};
+///
+/// let idx = PosIndex::from_sorted_vids(&[Vid::new(2), Vid::new(5), Vid::new(9)]);
+/// assert_eq!(idx.get(Vid::new(5)), Some(1));
+/// assert_eq!(idx.get(Vid::new(4)), None);
+/// assert_eq!(idx.at(Vid::new(9)), 2);
+/// assert_eq!(idx.len(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PosIndex {
+    repr: Repr,
+    len: usize,
+}
+
+impl Default for PosIndex {
+    fn default() -> Self {
+        PosIndex::new()
+    }
+}
+
+impl PosIndex {
+    /// Creates an empty index (sparse until a bulk constructor or dense
+    /// clone establishes the ID span).
+    pub fn new() -> Self {
+        PosIndex {
+            repr: Repr::Sparse(VidMap::default()),
+            len: 0,
+        }
+    }
+
+    /// Builds the index mapping each vid to its slice position. `vids` must
+    /// be strictly ascending (the natural order of partition copy lists).
+    pub fn from_sorted_vids(vids: &[Vid]) -> Self {
+        debug_assert!(vids.windows(2).all(|w| w[0] < w[1]), "vids not ascending");
+        PosIndex::from_pairs(vids.iter().enumerate().map(|(pos, &vid)| (vid, pos as u32)))
+    }
+
+    /// Builds the index from arbitrary `(vid, position)` pairs (later pairs
+    /// overwrite earlier ones), choosing dense or sparse from the ID span.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (Vid, u32)>) -> Self {
+        let pairs: Vec<(Vid, u32)> = pairs.into_iter().collect();
+        let max_raw = pairs.iter().map(|&(v, _)| v.raw()).max().unwrap_or(0);
+        if dense_ok(max_raw, pairs.len()) {
+            let mut table = vec![u32::MAX; max_raw as usize + 1];
+            let mut len = 0;
+            for (vid, pos) in pairs {
+                debug_assert_ne!(pos, u32::MAX, "u32::MAX is the absent sentinel");
+                if table[vid.index()] == u32::MAX {
+                    len += 1;
+                }
+                table[vid.index()] = pos;
+            }
+            PosIndex {
+                repr: Repr::Dense(table),
+                len,
+            }
+        } else {
+            let mut map = VidMap::with_capacity_and_hasher(pairs.len(), Default::default());
+            for (vid, pos) in pairs {
+                map.insert(vid, pos);
+            }
+            let len = map.len();
+            PosIndex {
+                repr: Repr::Sparse(map),
+                len,
+            }
+        }
+    }
+
+    /// The position of `vid`, if mapped.
+    #[inline]
+    pub fn get(&self, vid: Vid) -> Option<u32> {
+        match &self.repr {
+            Repr::Dense(t) => match t.get(vid.index()) {
+                Some(&p) if p != u32::MAX => Some(p),
+                _ => None,
+            },
+            Repr::Sparse(m) => m.get(&vid).copied(),
+        }
+    }
+
+    /// The position of `vid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vid` is not mapped (the callers' invariant: routing only
+    /// targets vertices the destination provably hosts).
+    #[inline]
+    pub fn at(&self, vid: Vid) -> u32 {
+        self.get(vid)
+            .unwrap_or_else(|| panic!("{vid} not in position index"))
+    }
+
+    /// Maps `vid` to `pos`, overwriting any previous mapping. A dense index
+    /// grows to cover new IDs while the span heuristic holds and demotes
+    /// itself to sparse when an outlier ID would blow the table up.
+    pub fn insert(&mut self, vid: Vid, pos: u32) {
+        debug_assert_ne!(pos, u32::MAX, "u32::MAX is the absent sentinel");
+        match &mut self.repr {
+            Repr::Dense(t) => {
+                if vid.index() >= t.len() {
+                    if dense_ok(vid.raw(), self.len + 1) {
+                        t.resize(vid.index() + 1, u32::MAX);
+                    } else {
+                        let mut map =
+                            VidMap::with_capacity_and_hasher(self.len + 1, Default::default());
+                        for (raw, &p) in t.iter().enumerate() {
+                            if p != u32::MAX {
+                                map.insert(Vid::from_index(raw), p);
+                            }
+                        }
+                        map.insert(vid, pos);
+                        self.len = map.len();
+                        self.repr = Repr::Sparse(map);
+                        return;
+                    }
+                }
+                if t[vid.index()] == u32::MAX {
+                    self.len += 1;
+                }
+                t[vid.index()] = pos;
+            }
+            Repr::Sparse(m) => {
+                if m.insert(vid, pos).is_none() {
+                    self.len += 1;
+                }
+            }
+        }
+    }
+
+    /// Number of mapped vertex IDs.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no vertex is mapped.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterates `(vid, position)` mappings (dense: ascending vid; sparse:
+    /// hash order).
+    pub fn iter(&self) -> impl Iterator<Item = (Vid, u32)> + '_ {
+        let (dense, sparse) = match &self.repr {
+            Repr::Dense(t) => (Some(t), None),
+            Repr::Sparse(m) => (None, Some(m)),
+        };
+        dense
+            .into_iter()
+            .flatten()
+            .enumerate()
+            .filter(|&(_, &p)| p != u32::MAX)
+            .map(|(raw, &p)| (Vid::from_index(raw), p))
+            .chain(sparse.into_iter().flatten().map(|(&vid, &pos)| (vid, pos)))
+    }
+}
+
+impl PartialEq for PosIndex {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.iter().all(|(vid, pos)| other.get(vid) == Some(pos))
+    }
+}
+
+impl MemSize for PosIndex {
+    fn mem_bytes(&self) -> usize {
+        std::mem::size_of::<PosIndex>() + self.heap_bytes()
+    }
+
+    fn heap_bytes(&self) -> usize {
+        match &self.repr {
+            Repr::Dense(t) => t.capacity() * std::mem::size_of::<u32>(),
+            Repr::Sparse(m) => m.capacity().max(m.len()) * (std::mem::size_of::<(Vid, u32)>() + 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn is_dense(idx: &PosIndex) -> bool {
+        matches!(idx.repr, Repr::Dense(_))
+    }
+
+    #[test]
+    fn sorted_vids_build_a_dense_index() {
+        let vids: Vec<Vid> = (0..500).step_by(3).map(Vid::new).collect();
+        let idx = PosIndex::from_sorted_vids(&vids);
+        assert!(is_dense(&idx), "span 500 / 167 entries fits the heuristic");
+        assert_eq!(idx.len(), vids.len());
+        for (pos, &vid) in vids.iter().enumerate() {
+            assert_eq!(idx.get(vid), Some(pos as u32));
+            assert_eq!(idx.at(vid), pos as u32);
+        }
+        assert_eq!(idx.get(Vid::new(1)), None);
+        assert_eq!(idx.get(Vid::new(100_000)), None);
+    }
+
+    #[test]
+    fn wide_id_span_falls_back_to_sparse() {
+        let vids = [Vid::new(0), Vid::new(1), Vid::new(4_000_000)];
+        let idx = PosIndex::from_sorted_vids(&vids);
+        assert!(!is_dense(&idx), "3 entries over 4M span must stay sparse");
+        assert_eq!(idx.get(Vid::new(4_000_000)), Some(2));
+        assert_eq!(idx.len(), 3);
+    }
+
+    #[test]
+    fn insert_grows_overwrites_and_demotes() {
+        let mut idx = PosIndex::from_sorted_vids(&[Vid::new(0), Vid::new(2)]);
+        assert!(is_dense(&idx));
+        idx.insert(Vid::new(500), 7); // grow within slack
+        assert!(is_dense(&idx));
+        idx.insert(Vid::new(2), 9); // overwrite keeps len
+        assert_eq!(idx.len(), 3);
+        assert_eq!(idx.at(Vid::new(2)), 9);
+        idx.insert(Vid::new(3_000_000), 1); // outlier → demote
+        assert!(!is_dense(&idx));
+        assert_eq!(idx.len(), 4);
+        for (vid, pos) in [(0, 0), (2, 9), (500, 7), (3_000_000, 1)] {
+            assert_eq!(idx.get(Vid::new(vid)), Some(pos), "v{vid} after demotion");
+        }
+    }
+
+    #[test]
+    fn equality_is_logical_across_representations() {
+        let dense = PosIndex::from_sorted_vids(&[Vid::new(1), Vid::new(3)]);
+        let mut sparse = PosIndex::new();
+        sparse.insert(Vid::new(1), 0);
+        sparse.insert(Vid::new(3), 1);
+        assert!(is_dense(&dense));
+        assert!(!is_dense(&sparse));
+        assert_eq!(dense, sparse);
+        sparse.insert(Vid::new(3), 2);
+        assert_ne!(dense, sparse);
+    }
+
+    #[test]
+    fn iter_covers_all_mappings() {
+        let idx = PosIndex::from_pairs([(Vid::new(8), 1), (Vid::new(2), 0)]);
+        let mut got: Vec<(u32, u32)> = idx.iter().map(|(v, p)| (v.raw(), p)).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![(2, 0), (8, 1)]);
+    }
+
+    #[test]
+    fn empty_index_behaves() {
+        let idx = PosIndex::new();
+        assert!(idx.is_empty());
+        assert_eq!(idx.get(Vid::new(0)), None);
+        assert_eq!(idx.iter().count(), 0);
+        assert_eq!(PosIndex::new(), PosIndex::from_sorted_vids(&[]));
+    }
+}

@@ -248,6 +248,59 @@ impl<A: Decode, B: Decode> Decode for (A, B) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Varint layer: LEB128 unsigned varints and zigzag signed mapping. Columnar
+// wire frames and checkpoint part payloads use these for counts, deltas and
+// positions, where small magnitudes dominate.
+// ---------------------------------------------------------------------------
+
+/// Appends `v` as an LEB128 varint (7 bits per byte, MSB = continuation).
+pub fn write_uvarint(buf: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        buf.push((v as u8) | 0x80);
+        v >>= 7;
+    }
+    buf.push(v as u8);
+}
+
+/// Reads one LEB128 varint.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on truncation, on more than 10 bytes, or on a
+/// non-canonical terminal byte that overflows 64 bits.
+pub fn read_uvarint(r: &mut Reader<'_>) -> Result<u64, DecodeError> {
+    let mut v = 0u64;
+    for shift in (0..64).step_by(7) {
+        let b = r.take(1)?[0];
+        let low = u64::from(b & 0x7F);
+        if shift == 63 && low > 1 {
+            return Err(DecodeError::Corrupt("varint overflow"));
+        }
+        v |= low << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+    }
+    Err(DecodeError::Corrupt("varint too long"))
+}
+
+/// Encoded length of `v` as a varint, in bytes (1..=10).
+pub fn uvarint_len(v: u64) -> usize {
+    (1 + (63 ^ (v | 1).leading_zeros()) / 7) as usize
+}
+
+/// Maps a signed value onto unsigned so small magnitudes stay small:
+/// 0, -1, 1, -2, ... → 0, 1, 2, 3, ...
+pub fn zigzag64(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag64`].
+pub fn unzigzag64(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
 impl<A: Encode, B: Encode, C: Encode> Encode for (A, B, C) {
     fn encode(&self, buf: &mut Vec<u8>) {
         self.0.encode(buf);
@@ -348,6 +401,63 @@ mod tests {
             decode::<String>(&bytes),
             Err(DecodeError::Corrupt("utf-8 string"))
         );
+    }
+
+    #[test]
+    fn uvarint_roundtrips_and_lengths_match() {
+        let samples = [
+            0u64,
+            1,
+            0x7F,
+            0x80,
+            0x3FFF,
+            0x4000,
+            123_456_789,
+            u64::from(u32::MAX),
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        for v in samples {
+            let mut buf = Vec::new();
+            write_uvarint(&mut buf, v);
+            assert_eq!(buf.len(), uvarint_len(v), "len mismatch for {v}");
+            let mut r = Reader::new(&buf);
+            assert_eq!(read_uvarint(&mut r).unwrap(), v);
+            assert_eq!(r.remaining(), 0);
+        }
+    }
+
+    #[test]
+    fn uvarint_length_boundaries() {
+        for k in 0..9 {
+            let boundary = 1u64 << (7 * (k + 1));
+            assert_eq!(uvarint_len(boundary - 1), k + 1);
+            assert_eq!(uvarint_len(boundary), k + 2);
+        }
+    }
+
+    #[test]
+    fn uvarint_rejects_truncation_and_overflow() {
+        let mut r = Reader::new(&[0x80]);
+        assert!(matches!(
+            read_uvarint(&mut r),
+            Err(DecodeError::UnexpectedEof { .. })
+        ));
+        // 11 continuation bytes: too long for 64 bits.
+        let long = [0xFFu8; 10];
+        let mut r = Reader::new(&long);
+        assert!(matches!(read_uvarint(&mut r), Err(DecodeError::Corrupt(_))));
+    }
+
+    #[test]
+    fn zigzag_roundtrips_and_keeps_small_magnitudes_small() {
+        for v in [0i64, -1, 1, -2, 2, i64::MIN, i64::MAX, -123_456, 123_456] {
+            assert_eq!(unzigzag64(zigzag64(v)), v);
+        }
+        assert_eq!(zigzag64(0), 0);
+        assert_eq!(zigzag64(-1), 1);
+        assert_eq!(zigzag64(1), 2);
+        assert!(uvarint_len(zigzag64(-64)) == 1);
     }
 
     #[test]

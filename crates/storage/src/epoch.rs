@@ -211,11 +211,11 @@ pub fn roster_path(prefix: &str, epoch: u64) -> String {
 /// The roster also records the epoch's [`EpochKind`], making full-vs-delta a
 /// durable property of the epoch rather than something a loader must guess.
 pub fn write_roster(dfs: &Dfs, prefix: &str, epoch: u64, kind: EpochKind, nodes: &[u32]) {
-    let mut bytes = Vec::with_capacity(5 + nodes.len() * 4);
+    let mut bytes = Vec::with_capacity(2 + nodes.len());
     bytes.push(kind.to_u8());
-    bytes.extend_from_slice(&(nodes.len() as u32).to_le_bytes());
+    crate::codec::write_uvarint(&mut bytes, nodes.len() as u64);
     for &n in nodes {
-        bytes.extend_from_slice(&n.to_le_bytes());
+        crate::codec::write_uvarint(&mut bytes, u64::from(n));
     }
     write_sealed(dfs, &roster_path(prefix, epoch), bytes);
 }
@@ -229,21 +229,23 @@ pub fn read_roster(
     let path = roster_path(prefix, epoch);
     let bytes = read_sealed(dfs, &path)?;
     let torn = || EpochError::TornPart { path: path.clone() };
-    if bytes.len() < 5 {
+    // Strict decode: [kind:u8][uvarint count][uvarint node...]; any varint
+    // error, count mismatch, overflow, or trailing byte is a torn roster.
+    let mut r = crate::codec::Reader::new(&bytes);
+    let kind = EpochKind::from_u8(r.take(1).map_err(|_| torn())?[0]).ok_or_else(torn)?;
+    let count = crate::codec::read_uvarint(&mut r).map_err(|_| torn())?;
+    if count > r.remaining() as u64 {
         return Err(torn());
     }
-    let kind = EpochKind::from_u8(bytes[0]).ok_or_else(torn)?;
-    let count = u32::from_le_bytes(bytes[1..5].try_into().expect("sliced")) as usize;
-    if bytes.len() != 5 + count * 4 {
+    let mut nodes = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let n = crate::codec::read_uvarint(&mut r).map_err(|_| torn())?;
+        nodes.push(u32::try_from(n).map_err(|_| torn())?);
+    }
+    if r.remaining() > 0 {
         return Err(torn());
     }
-    Ok((
-        kind,
-        bytes[5..]
-            .chunks_exact(4)
-            .map(|c| u32::from_le_bytes(c.try_into().expect("chunked")))
-            .collect(),
-    ))
+    Ok((kind, nodes))
 }
 
 /// Whether `epoch` is complete by its own roster: the roster verifies and
@@ -535,21 +537,21 @@ mod tests {
         let d = dfs();
         write_roster(&d, "ec", 1, EpochKind::Full, &[0, 1]);
         // Corrupt the roster body after sealing: count says 2, one id.
-        let mut bad = Vec::new();
-        bad.push(0u8);
-        bad.extend_from_slice(&2u32.to_le_bytes());
-        bad.extend_from_slice(&0u32.to_le_bytes());
-        write_sealed(&d, &roster_path("ec", 1), bad);
+        write_sealed(&d, &roster_path("ec", 1), vec![0u8, 2, 0]);
         assert!(matches!(
             read_roster(&d, "ec", 1),
             Err(EpochError::TornPart { .. })
         ));
         // An unknown kind byte is equally torn, not silently defaulted.
-        let mut unknown = Vec::new();
-        unknown.push(9u8);
-        unknown.extend_from_slice(&1u32.to_le_bytes());
-        unknown.extend_from_slice(&0u32.to_le_bytes());
-        write_sealed(&d, &roster_path("ec", 1), unknown);
+        write_sealed(&d, &roster_path("ec", 1), vec![9u8, 1, 0]);
+        assert!(read_roster(&d, "ec", 1).is_err());
+        // Trailing bytes after the rostered ids are torn too.
+        write_sealed(&d, &roster_path("ec", 1), vec![0u8, 1, 0, 5]);
+        assert!(read_roster(&d, "ec", 1).is_err());
+        // A node id that overflows u32 is torn, not truncated.
+        let mut wide = vec![0u8, 1];
+        crate::codec::write_uvarint(&mut wide, u64::from(u32::MAX) + 1);
+        write_sealed(&d, &roster_path("ec", 1), wide);
         assert!(read_roster(&d, "ec", 1).is_err());
     }
 

@@ -302,13 +302,16 @@ proptest! {
             (arb_scenario(), 1usize..=8, any::<bool>(), any::<bool>())
     ) {
         // Pipelined supersteps (chunks shipped as they complete, with only
-        // the tail fenced by the barrier) and delta-encoded sync frames must
-        // both be invisible: every (pipeline, delta, threads) combination is
-        // bit-identical to the strict serial run — values, iterations, and,
-        // because u32 delta frames are size-neutral, the exact logical comm
+        // the tail fenced by the barrier) must be invisible: every
+        // (pipeline, threads) combination is bit-identical to the strict
+        // serial run — values, iterations, and the exact logical comm
         // accounting — across injected failures, including crashes landing
         // mid-pipeline before the tail fence (`FailPoint::BeforeBarrier`
-        // fires after chunk batches have already shipped).
+        // fires after chunk batches have already shipped). Both sides run
+        // with the same delta_sync: varint span frames genuinely shrink u32
+        // traffic, so delta is a byte-changing axis (`delta_sync_shrinks_
+        // wide_value_traffic` proves it downward-only); threading and
+        // pipelining must not move a byte on either setting.
         let cut = HashEdgeCut.partition(&s.graph, s.nodes);
         let ft = FtMode::Replication {
             tolerance: s.tolerance,
@@ -326,7 +329,7 @@ proptest! {
             RunConfig {
                 threads_per_node: 1,
                 pipeline: false,
-                delta_sync: false,
+                delta_sync,
                 ..config(&s, ft, standbys)
             },
             plans(&s),
@@ -377,7 +380,7 @@ proptest! {
             RunConfig {
                 threads_per_node: 1,
                 pipeline: false,
-                delta_sync: false,
+                delta_sync,
                 ..config(&s, ft, standbys)
             },
             plans(&s),
@@ -776,14 +779,19 @@ fn delta_sync_shrinks_wide_value_traffic() {
 }
 
 // ---------------------------------------------------------------------------
-// Refactor goldens: the driver/recovery unification must be bit-identical to
-// the pre-refactor runners. These hashes were captured at the commit before
-// the ComputeModel refactor and pin iterations, normal/FT communication
-// (messages and bytes), suppression counts, extra replicas, every recovery
-// episode's strategy/size/traffic, and every final vertex value — across
-// both models, all three recovery strategies, and four thread/suppression
-// variants. A change to any of these constants is a behavior change, not a
-// refactor.
+// Refactor goldens, split into semantics and bytes. The *semantic* hashes pin
+// iterations, message counts, suppression counts, extra replicas, every
+// recovery episode's strategy/size/message-traffic, and every final vertex
+// value — across both models, all three recovery strategies, and four
+// thread/suppression variants. They were captured at the commit before the
+// ComputeModel refactor and have survived every accounting change since: a
+// semantic mismatch is a behavior change, not a refactor. The *byte* totals
+// (normal/FT/recovery communication plus DFS checkpoint payloads) are pinned
+// separately, alongside the pre-columnar-codec totals, with the invariant
+// that the columnar wire format may only shrink them: sync/gather traffic
+// strictly, checkpoint payloads strictly wherever a checkpoint is written,
+// migration recovery strictly (its mirror-update rounds ride the frame
+// codec), and rebirth recovery not at all (its entry batches stay scalar).
 // ---------------------------------------------------------------------------
 
 /// Deterministic scenario graph (avoids depending on proptest seeding).
@@ -813,14 +821,27 @@ fn fnv(h: u64, bytes: &[u8]) -> u64 {
     h
 }
 
-fn golden_run_hash(
+/// Byte totals summed over the four thread/suppression variants of one case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct GoldenBytes {
+    /// Normal compute communication (`comm.bytes`).
+    comm: u64,
+    /// Fault-tolerance upkeep communication (`ft_comm.bytes`).
+    ft: u64,
+    /// Recovery-episode communication (sum of `rec.comm.bytes`).
+    rec: u64,
+    /// DFS checkpoint payload bytes actually written.
+    ckpt: u64,
+}
+
+fn golden_run(
     g: &Graph,
     nodes: usize,
     ft: FtMode,
     standbys: usize,
     failures: &[(usize, u64, bool)],
     edge_cut: bool,
-) -> u64 {
+) -> (u64, GoldenBytes) {
     let plans: Vec<FailurePlan> = failures
         .iter()
         .map(|&(node, iteration, before)| FailurePlan {
@@ -834,6 +855,12 @@ fn golden_run_hash(
         })
         .collect();
     let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    let mut bytes = GoldenBytes {
+        comm: 0,
+        ft: 0,
+        rec: 0,
+        ckpt: 0,
+    };
     let mut first: Option<Vec<u32>> = None;
     for (threads, suppress) in [(1, true), (4, true), (1, false), (4, false)] {
         // The golden constants were captured before superstep pipelining and
@@ -852,32 +879,17 @@ fn golden_run_hash(
             delta_sync: false,
             ..RunConfig::default()
         };
+        let dfs = Dfs::new(DfsConfig::instant());
         let r = if edge_cut {
             let cut = HashEdgeCut.partition(g, nodes);
-            run_edge_cut(
-                g,
-                &cut,
-                Arc::new(MinLabel),
-                cfg,
-                plans.clone(),
-                Dfs::new(DfsConfig::instant()),
-            )
+            run_edge_cut(g, &cut, Arc::new(MinLabel), cfg, plans.clone(), dfs.clone())
         } else {
             let cut = RandomVertexCut.partition(g, nodes);
-            run_vertex_cut(
-                g,
-                &cut,
-                Arc::new(MinLabel),
-                cfg,
-                plans.clone(),
-                Dfs::new(DfsConfig::instant()),
-            )
+            run_vertex_cut(g, &cut, Arc::new(MinLabel), cfg, plans.clone(), dfs.clone())
         };
         hash = fnv(hash, &r.iterations.to_le_bytes());
         hash = fnv(hash, &r.comm.messages.to_le_bytes());
-        hash = fnv(hash, &r.comm.bytes.to_le_bytes());
         hash = fnv(hash, &r.ft_comm.messages.to_le_bytes());
-        hash = fnv(hash, &r.ft_comm.bytes.to_le_bytes());
         hash = fnv(hash, &r.suppressed_syncs.to_le_bytes());
         hash = fnv(hash, &(r.extra_replicas as u64).to_le_bytes());
         for rec in &r.recoveries {
@@ -886,17 +898,20 @@ fn golden_run_hash(
             hash = fnv(hash, &rec.vertices_recovered.to_le_bytes());
             hash = fnv(hash, &rec.edges_recovered.to_le_bytes());
             hash = fnv(hash, &rec.comm.messages.to_le_bytes());
-            hash = fnv(hash, &rec.comm.bytes.to_le_bytes());
+            bytes.rec += rec.comm.bytes;
         }
         for v in &r.values {
             hash = fnv(hash, &v.to_le_bytes());
         }
+        bytes.comm += r.comm.bytes;
+        bytes.ft += r.ft_comm.bytes;
+        bytes.ckpt += dfs.stats().writes.bytes;
         match &first {
             None => first = Some(r.values),
             Some(f) => assert_eq!(&r.values, f, "threads/suppress variant diverged"),
         }
     }
-    hash
+    (hash, bytes)
 }
 
 #[test]
@@ -913,7 +928,12 @@ fn refactor_goldens_are_bit_identical() {
         standbys: usize,
         failures: &'a [(usize, u64, bool)],
         edge_cut: bool,
-        expected: u64,
+        /// Pre-ComputeModel-refactor semantic hash; never allowed to move.
+        sem: u64,
+        /// Byte totals under the pre-columnar scalar accounting.
+        old: GoldenBytes,
+        /// Byte totals under the columnar wire codec; pinned exactly.
+        new: GoldenBytes,
     }
     let repl = |tol, recovery| FtMode::Replication {
         tolerance: tol,
@@ -924,6 +944,12 @@ fn refactor_goldens_are_bit_identical() {
         interval: 2,
         incremental,
     };
+    let gb = |comm, ft, rec, ckpt| GoldenBytes {
+        comm,
+        ft,
+        rec,
+        ckpt,
+    };
     let cases = [
         Case {
             name: "s1_rebirth_ec",
@@ -933,7 +959,9 @@ fn refactor_goldens_are_bit_identical() {
             standbys: 1,
             failures: &s1_failures,
             edge_cut: true,
-            expected: 0x16AD4138EA24A3AD,
+            sem: 0xCDAD83957359282D,
+            old: gb(22896, 324, 16368, 0),
+            new: gb(14052, 180, 16368, 0),
         },
         Case {
             name: "s1_rebirth_vc",
@@ -943,7 +971,9 @@ fn refactor_goldens_are_bit_identical() {
             standbys: 1,
             failures: &s1_failures,
             edge_cut: false,
-            expected: 0x9734EC84795D1745,
+            sem: 0x89D503F6F06CD989,
+            old: gb(68960, 0, 7128, 19392),
+            new: gb(43432, 0, 7128, 10260),
         },
         Case {
             name: "s1_migration_ec",
@@ -953,7 +983,9 @@ fn refactor_goldens_are_bit_identical() {
             standbys: 0,
             failures: &s1_failures,
             edge_cut: true,
-            expected: 0x4A0A69A7A47A273D,
+            sem: 0x2335D791956AA589,
+            old: gb(21024, 216, 58624, 0),
+            new: gb(12920, 120, 54884, 0),
         },
         Case {
             name: "s1_migration_vc",
@@ -963,7 +995,9 @@ fn refactor_goldens_are_bit_identical() {
             standbys: 0,
             failures: &s1_failures,
             edge_cut: false,
-            expected: 0xEDDE020DB6B778E5,
+            sem: 0x391724293AEFE45D,
+            old: gb(55532, 0, 48608, 38688),
+            new: gb(34828, 0, 44168, 20508),
         },
         Case {
             name: "s1_ckpt_ec",
@@ -973,7 +1007,9 @@ fn refactor_goldens_are_bit_identical() {
             standbys: 1,
             failures: &s1_failures[..1],
             edge_cut: true,
-            expected: 0x61D0A78B48C22C25,
+            sem: 0xB2490C13F3538AC5,
+            old: gb(22572, 0, 0, 128156),
+            new: gb(13872, 0, 0, 48640),
         },
         Case {
             name: "s1_ckpt_vc",
@@ -983,7 +1019,9 @@ fn refactor_goldens_are_bit_identical() {
             standbys: 1,
             failures: &s1_failures[..1],
             edge_cut: false,
-            expected: 0xFCBD35968746EA65,
+            sem: 0xE1D0B2035874C9ED,
+            old: gb(68960, 0, 0, 69180),
+            new: gb(43432, 0, 0, 33076),
         },
         Case {
             name: "s1_ckpt_inc_ec",
@@ -993,7 +1031,9 @@ fn refactor_goldens_are_bit_identical() {
             standbys: 1,
             failures: &s1_failures[..1],
             edge_cut: true,
-            expected: 0x61D0A78B48C22C25,
+            sem: 0xB2490C13F3538AC5,
+            old: gb(22572, 0, 0, 127036),
+            new: gb(13872, 0, 0, 47052),
         },
         Case {
             name: "s1_ckpt_inc_vc",
@@ -1003,7 +1043,9 @@ fn refactor_goldens_are_bit_identical() {
             standbys: 1,
             failures: &s1_failures[..1],
             edge_cut: false,
-            expected: 0xFCBD35968746EA65,
+            sem: 0xE1D0B2035874C9ED,
+            old: gb(68960, 0, 0, 65052),
+            new: gb(43432, 0, 0, 30500),
         },
         Case {
             name: "s2_rebirth_ec",
@@ -1013,7 +1055,9 @@ fn refactor_goldens_are_bit_identical() {
             standbys: 2,
             failures: &s2_failures,
             edge_cut: true,
-            expected: 0x272931EE4EB81CC5,
+            sem: 0x4A211DE51DB6B0DD,
+            old: gb(71100, 11628, 54528, 0),
+            new: gb(43116, 6868, 54528, 0),
         },
         Case {
             name: "s2_rebirth_vc",
@@ -1023,7 +1067,9 @@ fn refactor_goldens_are_bit_identical() {
             standbys: 2,
             failures: &s2_failures,
             edge_cut: false,
-            expected: 0x3475ED5FA075D44D,
+            sem: 0x0522124F16F0CE65,
+            old: gb(190188, 2808, 21888, 33920),
+            new: gb(119128, 1628, 21888, 19504),
         },
         Case {
             name: "s2_migration_ec",
@@ -1033,7 +1079,9 @@ fn refactor_goldens_are_bit_identical() {
             standbys: 0,
             failures: &s2_failures,
             edge_cut: true,
-            expected: 0xDACC52166A5488DD,
+            sem: 0x6DF80C08CDF4009D,
+            old: gb(64980, 10908, 365280, 0),
+            new: gb(40004, 6524, 340864, 0),
         },
         Case {
             name: "s2_migration_vc",
@@ -1043,7 +1091,9 @@ fn refactor_goldens_are_bit_identical() {
             standbys: 0,
             failures: &s2_failures,
             edge_cut: false,
-            expected: 0x802D65C6827097F5,
+            sem: 0xB83390ACA60B3B9D,
+            old: gb(136000, 2124, 256896, 101408),
+            new: gb(85024, 1224, 231800, 58388),
         },
         Case {
             name: "s2_ckpt_ec",
@@ -1053,7 +1103,9 @@ fn refactor_goldens_are_bit_identical() {
             standbys: 1,
             failures: &s2_failures[..1],
             edge_cut: true,
-            expected: 0x3D4D3B8D47D4FF65,
+            sem: 0x7BFA561A019A6BC5,
+            old: gb(66132, 0, 0, 232992),
+            new: gb(40240, 0, 0, 91404),
         },
         Case {
             name: "s2_ckpt_vc",
@@ -1063,7 +1115,9 @@ fn refactor_goldens_are_bit_identical() {
             standbys: 1,
             failures: &s2_failures[..1],
             edge_cut: false,
-            expected: 0x4926FFF97A5ABA45,
+            sem: 0x8E2CDBB620D59F95,
+            old: gb(204860, 0, 0, 131216),
+            new: gb(127996, 0, 0, 64784),
         },
         Case {
             name: "s2_ckpt_inc_ec",
@@ -1073,7 +1127,9 @@ fn refactor_goldens_are_bit_identical() {
             standbys: 1,
             failures: &s2_failures[..1],
             edge_cut: true,
-            expected: 0x3D4D3B8D47D4FF65,
+            sem: 0x7BFA561A019A6BC5,
+            old: gb(66132, 0, 0, 229840),
+            new: gb(40240, 0, 0, 87248),
         },
         Case {
             name: "s2_ckpt_inc_vc",
@@ -1083,16 +1139,73 @@ fn refactor_goldens_are_bit_identical() {
             standbys: 1,
             failures: &s2_failures[..1],
             edge_cut: false,
-            expected: 0x4926FFF97A5ABA45,
+            sem: 0x8E2CDBB620D59F95,
+            old: gb(204860, 0, 0, 120624),
+            new: gb(127996, 0, 0, 58172),
         },
     ];
     for c in &cases {
-        let got = golden_run_hash(c.graph, c.nodes, c.ft, c.standbys, c.failures, c.edge_cut);
+        let (sem, bytes) = golden_run(c.graph, c.nodes, c.ft, c.standbys, c.failures, c.edge_cut);
         assert_eq!(
-            got, c.expected,
-            "{}: got 0x{got:016X}, expected 0x{:016X}",
-            c.name, c.expected
+            sem, c.sem,
+            "{}: semantic hash 0x{sem:016X} != pinned 0x{:016X}",
+            c.name, c.sem
         );
+        assert_eq!(
+            bytes, c.new,
+            "{}: byte totals moved off the pinned values",
+            c.name
+        );
+        // The columnar codec is only allowed to *shrink* traffic.
+        assert!(
+            bytes.comm < c.old.comm,
+            "{}: comm bytes {} must be strictly below scalar {}",
+            c.name,
+            bytes.comm,
+            c.old.comm
+        );
+        assert!(
+            bytes.ft <= c.old.ft,
+            "{}: ft bytes {} regressed past scalar {}",
+            c.name,
+            bytes.ft,
+            c.old.ft
+        );
+        let migration = matches!(
+            c.ft,
+            FtMode::Replication {
+                recovery: RecoveryStrategy::Migration,
+                ..
+            }
+        );
+        if migration {
+            assert!(
+                bytes.rec < c.old.rec,
+                "{}: migration recovery bytes {} must be strictly below scalar {}",
+                c.name,
+                bytes.rec,
+                c.old.rec
+            );
+        } else {
+            assert!(
+                bytes.rec <= c.old.rec,
+                "{}: recovery bytes {} regressed past scalar {}",
+                c.name,
+                bytes.rec,
+                c.old.rec
+            );
+        }
+        if c.old.ckpt > 0 {
+            assert!(
+                bytes.ckpt < c.old.ckpt,
+                "{}: ckpt payload {} must be strictly below fixed-width {}",
+                c.name,
+                bytes.ckpt,
+                c.old.ckpt
+            );
+        } else {
+            assert_eq!(bytes.ckpt, 0, "{}: unexpected checkpoint writes", c.name);
+        }
     }
 }
 
@@ -1750,6 +1863,158 @@ fn torn_checkpoint_epoch_is_never_loaded() {
                 rec.recoveries[0].strategy, want,
                 "edge_cut={edge_cut} standbys={standbys}"
             );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Columnar wire format: end-to-end invisibility. The frame codec sits under
+// every execution axis that reorders or re-batches records — worker threads,
+// superstep pipelining, delta-encoded syncs — and under failures in both
+// models. None of those axes may move a single vertex value, iteration,
+// message count, or recovery decision; byte totals may differ only along the
+// delta_sync axis (and then only downward). The non-delta totals must come
+// in strictly below the scalar per-record accounting this codec replaced
+// (reference constants captured at the parent commit on this scenario).
+// ---------------------------------------------------------------------------
+
+/// Everything one run variant must agree on: final values, iterations,
+/// comm messages, ckpt bytes, and per-episode recovery observables.
+type E2eObservables = (Vec<u32>, u64, u64, u64, Vec<(String, u64, u64)>);
+
+#[test]
+fn wire_format_invisible_e2e() {
+    let g = lcg_graph(200, 700, 2);
+    let failures = [(0usize, 1u64, true), (3usize, 3u64, false)];
+    let plans: Vec<FailurePlan> = failures
+        .iter()
+        .map(|&(node, iteration, before)| FailurePlan {
+            node: NodeId::from_index(node),
+            iteration,
+            point: if before {
+                FailPoint::BeforeBarrier
+            } else {
+                FailPoint::AfterBarrier
+            },
+        })
+        .collect();
+    let rebirth = FtMode::Replication {
+        tolerance: 2,
+        selfish_opt: false,
+        recovery: RecoveryStrategy::Rebirth,
+    };
+    let ckpt = FtMode::Checkpoint {
+        interval: 2,
+        incremental: true,
+    };
+    // (name, ft, standbys, plans, edge_cut, scalar comm bytes, scalar ckpt bytes)
+    let scenarios = [
+        (
+            "rebirth_ec",
+            rebirth,
+            2,
+            plans.clone(),
+            true,
+            17775u64,
+            0u64,
+        ),
+        ("rebirth_vc", rebirth, 2, plans.clone(), false, 47547, 8480),
+        ("ckpt_ec", ckpt, 1, plans[..1].to_vec(), true, 16533, 57460),
+        ("ckpt_vc", ckpt, 1, plans[..1].to_vec(), false, 51215, 30156),
+    ];
+    for (name, ft, standbys, plans, edge_cut, scalar_comm, scalar_ckpt) in scenarios {
+        // Baseline: single-threaded, unpipelined, full-value syncs.
+        let mut baseline: Option<E2eObservables> = None;
+        let mut full_comm = None;
+        for threads in [1usize, 2, 4, 8] {
+            for pipeline in [false, true] {
+                for delta_sync in [false, true] {
+                    let cfg = RunConfig {
+                        num_nodes: 5,
+                        max_iters: 30,
+                        ft,
+                        standbys,
+                        threads_per_node: threads,
+                        sync_suppress: true,
+                        pipeline,
+                        delta_sync,
+                        ..RunConfig::default()
+                    };
+                    let dfs = Dfs::new(DfsConfig::instant());
+                    let r = if edge_cut {
+                        let cut = HashEdgeCut.partition(&g, 5);
+                        run_edge_cut(
+                            &g,
+                            &cut,
+                            Arc::new(MinLabel),
+                            cfg,
+                            plans.clone(),
+                            dfs.clone(),
+                        )
+                    } else {
+                        let cut = RandomVertexCut.partition(&g, 5);
+                        run_vertex_cut(
+                            &g,
+                            &cut,
+                            Arc::new(MinLabel),
+                            cfg,
+                            plans.clone(),
+                            dfs.clone(),
+                        )
+                    };
+                    let ckpt_bytes = dfs.stats().writes.bytes;
+                    let recs: Vec<(String, u64, u64)> = r
+                        .recoveries
+                        .iter()
+                        .map(|rec| (rec.strategy.to_string(), rec.comm.messages, rec.comm.bytes))
+                        .collect();
+                    let tag = format!("{name} t={threads} pipe={pipeline} delta={delta_sync}");
+                    match &baseline {
+                        None => {
+                            baseline = Some((
+                                r.values.clone(),
+                                r.iterations,
+                                r.comm.messages,
+                                ckpt_bytes,
+                                recs,
+                            ));
+                        }
+                        Some((values, iters, msgs, ckpt0, recs0)) => {
+                            assert_eq!(&r.values, values, "{tag}: values moved");
+                            assert_eq!(r.iterations, *iters, "{tag}: iterations moved");
+                            assert_eq!(r.comm.messages, *msgs, "{tag}: message count moved");
+                            assert_eq!(ckpt_bytes, *ckpt0, "{tag}: ckpt payload moved");
+                            assert_eq!(&recs, recs0, "{tag}: recovery episodes moved");
+                        }
+                    }
+                    if delta_sync {
+                        assert!(
+                            r.comm.bytes <= full_comm.unwrap(),
+                            "{tag}: delta frames grew traffic"
+                        );
+                    } else {
+                        // Threading and pipelining re-chunk batches but must
+                        // not move a byte of the frame accounting.
+                        let full = *full_comm.get_or_insert(r.comm.bytes);
+                        assert_eq!(r.comm.bytes, full, "{tag}: comm bytes moved");
+                    }
+                }
+            }
+        }
+        let (_, _, _, ckpt_bytes, _) = baseline.unwrap();
+        assert!(
+            full_comm.unwrap() < scalar_comm,
+            "{name}: columnar comm {} must be strictly below scalar {scalar_comm}",
+            full_comm.unwrap()
+        );
+        if scalar_ckpt > 0 {
+            assert!(
+                ckpt_bytes < scalar_ckpt,
+                "{name}: varint ckpt payload {ckpt_bytes} must be strictly below \
+                 fixed-width {scalar_ckpt}"
+            );
+        } else {
+            assert_eq!(ckpt_bytes, 0, "{name}: unexpected checkpoint writes");
         }
     }
 }

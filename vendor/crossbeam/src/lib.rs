@@ -26,6 +26,14 @@ pub mod channel {
         queue: VecDeque<T>,
         senders: usize,
         receivers: usize,
+        /// Receivers currently parked in `cond.wait` — senders skip the
+        /// condvar notification entirely when nobody is waiting, which is
+        /// the common case for drain-style consumers.
+        waiting: usize,
+        /// A capacity-retaining buffer returned by [`Receiver::recycle`],
+        /// handed back out by the next `drain_all` so steady-state draining
+        /// swaps buffers instead of regrowing a fresh `VecDeque` each cycle.
+        spare: Option<VecDeque<T>>,
     }
 
     /// Error returned by [`Sender::send`] when every receiver is gone.
@@ -83,6 +91,8 @@ pub mod channel {
                 queue: VecDeque::new(),
                 senders: 1,
                 receivers: 1,
+                waiting: 0,
+                spare: None,
             }),
             cond: Condvar::new(),
         });
@@ -106,8 +116,11 @@ pub mod channel {
                 return Err(SendError(msg));
             }
             st.queue.push_back(msg);
+            let waiting = st.waiting > 0;
             drop(st);
-            self.shared.cond.notify_one();
+            if waiting {
+                self.shared.cond.notify_one();
+            }
             Ok(())
         }
     }
@@ -161,11 +174,13 @@ pub mod channel {
                 if st.senders == 0 {
                     return Err(RecvError);
                 }
+                st.waiting += 1;
                 st = self
                     .shared
                     .cond
                     .wait(st)
                     .unwrap_or_else(PoisonError::into_inner);
+                st.waiting -= 1;
             }
         }
 
@@ -188,12 +203,14 @@ pub mod channel {
                 if now >= deadline {
                     return Err(RecvTimeoutError::Timeout);
                 }
+                st.waiting += 1;
                 let (guard, _timed_out) = self
                     .shared
                     .cond
                     .wait_timeout(st, deadline - now)
                     .unwrap_or_else(PoisonError::into_inner);
                 st = guard;
+                st.waiting -= 1;
             }
         }
 
@@ -225,7 +242,28 @@ pub mod channel {
                 .queue
                 .lock()
                 .unwrap_or_else(PoisonError::into_inner);
-            std::mem::take(&mut st.queue)
+            let spare = st.spare.take().unwrap_or_default();
+            std::mem::replace(&mut st.queue, spare)
+        }
+
+        /// Returns a buffer obtained from [`Receiver::drain_all`] to the
+        /// channel. The next drain hands it back out with its capacity
+        /// intact, so a steady drain loop allocates nothing once the queue
+        /// has reached its high-water mark.
+        pub fn recycle(&self, mut buf: VecDeque<T>) {
+            buf.clear();
+            let mut st = self
+                .shared
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            if st
+                .spare
+                .as_ref()
+                .is_none_or(|s| s.capacity() < buf.capacity())
+            {
+                st.spare = Some(buf);
+            }
         }
     }
 
@@ -297,6 +335,44 @@ pub mod channel {
             // The channel keeps working after a drain.
             tx.send(99).unwrap();
             assert_eq!(rx.try_recv(), Ok(99));
+        }
+
+        #[test]
+        fn recycle_reuses_drained_capacity() {
+            // Buffers ping-pong: a recycled buffer becomes the internal
+            // queue at the next drain, so from the second cycle on the
+            // high-water capacity circulates instead of being reallocated.
+            let (tx, rx) = unbounded();
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+            let d1 = rx.drain_all();
+            let cap = d1.capacity();
+            assert_eq!(d1.len(), 100);
+            rx.recycle(d1);
+            tx.send(7).unwrap();
+            let d2 = rx.drain_all(); // installs the recycled buffer as queue
+            assert_eq!(d2.iter().copied().collect::<Vec<i32>>(), vec![7]);
+            rx.recycle(d2);
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+            let d3 = rx.drain_all();
+            assert_eq!(d3.len(), 100);
+            assert!(
+                d3.capacity() >= cap,
+                "high-water buffer must circulate back out ({} < {cap})",
+                d3.capacity()
+            );
+        }
+
+        #[test]
+        fn blocked_receiver_still_woken_after_recycle() {
+            let (tx, rx) = unbounded::<u32>();
+            let t = std::thread::spawn(move || rx.recv().unwrap());
+            std::thread::sleep(Duration::from_millis(20));
+            tx.send(42).unwrap();
+            assert_eq!(t.join().unwrap(), 42);
         }
 
         #[test]
