@@ -46,6 +46,22 @@ pub struct AlsAccum {
     pub xty: Vec<f32>,
 }
 
+impl Encode for AlsAccum {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.xtx.encode(buf);
+        self.xty.encode(buf);
+    }
+}
+
+impl Decode for AlsAccum {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(AlsAccum {
+            xtx: Vec::<f32>::decode(r)?,
+            xty: Vec::<f32>::decode(r)?,
+        })
+    }
+}
+
 /// The ALS vertex program.
 ///
 /// True ALS *alternates*: even supersteps re-solve user factors against

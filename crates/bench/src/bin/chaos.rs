@@ -20,13 +20,17 @@
 //! * `IMITATOR_CHAOS_SCHEDULES` — schedule count (default 200);
 //! * `IMITATOR_CHAOS_ONLY` — run a single schedule index (repro mode);
 //! * `IMITATOR_CHAOS_LOG` — also write the schedule log to this file;
+//! * `IMITATOR_CHAOS_LOSSY` — when set (`1`), run every schedule over the
+//!   seeded-lossy transport ([`TransportKind::Lossy`]): per-link
+//!   drop/duplicate/reorder/delay faults layered *under* the crash
+//!   schedule, derived from the same `(IMITATOR_SEED, index)` pair;
 //! * `IMITATOR_SEED` — base seed (default 42).
 
 use std::fmt::Write as _;
 use std::sync::Arc;
 
 use imitator::{run_edge_cut, run_vertex_cut, FtMode, RecoveryStrategy, RunConfig, RunReport};
-use imitator_cluster::{FailPoint, FailurePlan, NodeId};
+use imitator_cluster::{FailPoint, FailurePlan, NetFaults, NodeId, TransportKind};
 use imitator_engine::{Degrees, VertexProgram};
 use imitator_graph::{gen, Graph, Vid};
 use imitator_partition::{EdgeCutPartitioner, HashEdgeCut, RandomVertexCut, VertexCutPartitioner};
@@ -321,13 +325,20 @@ fn build(index: usize, base_seed: u64, class: Class) -> Schedule {
     }
 }
 
-fn config(s: &Schedule, ft: FtMode, standbys: usize, threads: usize) -> RunConfig {
+fn config(
+    s: &Schedule,
+    ft: FtMode,
+    standbys: usize,
+    threads: usize,
+    transport: TransportKind,
+) -> RunConfig {
     RunConfig {
         num_nodes: s.nodes,
         max_iters: 30,
         threads_per_node: threads,
         ft,
         standbys,
+        transport,
         ..RunConfig::default()
     }
 }
@@ -337,6 +348,7 @@ fn execute(
     ft: FtMode,
     standbys: usize,
     threads: usize,
+    transport: TransportKind,
     plans: Vec<FailurePlan>,
 ) -> RunReport<u32> {
     if s.edge_cut {
@@ -345,7 +357,7 @@ fn execute(
             &s.graph,
             &cut,
             Arc::new(MinLabel),
-            config(s, ft, standbys, threads),
+            config(s, ft, standbys, threads, transport),
             plans,
             Dfs::new(DfsConfig::instant()),
         )
@@ -355,7 +367,7 @@ fn execute(
             &s.graph,
             &cut,
             Arc::new(MinLabel),
-            config(s, ft, standbys, threads),
+            config(s, ft, standbys, threads, transport),
             plans,
             Dfs::new(DfsConfig::instant()),
         )
@@ -371,6 +383,7 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(200);
     let only: Option<usize> = env("IMITATOR_CHAOS_ONLY").and_then(|v| v.parse().ok());
+    let lossy = env("IMITATOR_CHAOS_LOSSY").is_some_and(|v| v != "0");
 
     let classes = classes();
     let indices: Vec<usize> = match only {
@@ -378,22 +391,34 @@ fn main() {
         None => (0..total).collect(),
     };
     println!(
-        "== chaos: {} seeded schedule(s), base seed {base_seed}, {} fail-point classes",
+        "== chaos: {} seeded schedule(s), base seed {base_seed}, {} fail-point classes{}",
         indices.len(),
-        classes.len()
+        classes.len(),
+        if lossy { ", lossy transport" } else { "" }
     );
 
     let mut log = String::new();
     let mut failures = 0usize;
     let mut exercised: Vec<(Class, usize)> = classes.iter().map(|&c| (c, 0)).collect();
+    let mut total_retries = 0u64;
+    let mut total_redelivered = 0u64;
 
     for &i in &indices {
         let class = classes[i % classes.len()];
         let s = build(i, base_seed, class);
         // The golden run is failure-free AND single-threaded: one run
         // checks crash-equivalence and thread-invariance at once.
-        let golden = execute(&s, FtMode::None, 0, 1, vec![]);
-        let faulty = execute(&s, s.ft, s.standbys, s.threads, s.plans.clone());
+        let golden = execute(&s, FtMode::None, 0, 1, TransportKind::Channel, vec![]);
+        let transport = if lossy {
+            TransportKind::Lossy(NetFaults::from_seed(
+                base_seed ^ (i as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93),
+            ))
+        } else {
+            TransportKind::Channel
+        };
+        let faulty = execute(&s, s.ft, s.standbys, s.threads, transport, s.plans.clone());
+        total_retries += faulty.fabric.retries;
+        total_redelivered += faulty.fabric.redelivered;
 
         let episodes = faulty.recoveries.len();
         let attempts: u32 = faulty.recoveries.iter().map(|r| r.counters.attempts).sum();
@@ -444,7 +469,8 @@ fn main() {
             failures += 1;
             let _ = write!(
                 line,
-                "\n      repro: IMITATOR_SEED={base_seed} IMITATOR_CHAOS_ONLY={} cargo run --release -p imitator-bench --bin chaos",
+                "\n      repro: IMITATOR_SEED={base_seed}{} IMITATOR_CHAOS_ONLY={} cargo run --release -p imitator-bench --bin chaos",
+                if lossy { " IMITATOR_CHAOS_LOSSY=1" } else { "" },
                 s.index
             );
             println!("{line}");
@@ -470,6 +496,17 @@ fn main() {
         for (c, n) in &exercised {
             assert!(*n > 0, "fail-point class {c:?} was never exercised");
         }
+    }
+    if lossy {
+        println!(
+            "-- lossy transport: {total_retries} fence retransmission(s), \
+             {total_redelivered} duplicate(s) suppressed"
+        );
+        // A sweep whose link faults never fired validated nothing.
+        assert!(
+            only.is_some() || total_retries + total_redelivered > 0,
+            "lossy sweep produced no retransmissions or redeliveries"
+        );
     }
     assert_eq!(
         failures, 0,

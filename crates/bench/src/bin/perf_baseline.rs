@@ -17,7 +17,7 @@ use std::time::{Duration, Instant};
 use imitator::{FtMode, RecoveryStrategy, RunConfig};
 use imitator_algos::PageRank;
 use imitator_bench::{banner, best_of, crash, ramfs, reps, run_ec, run_vc, BenchOpts, Workload};
-use imitator_cluster::{Cluster, NodeId};
+use imitator_cluster::{Cluster, NodeId, TransportKind};
 use imitator_engine::{
     build_edge_cut_graphs, build_vertex_cut_graphs, ec_compute, ec_compute_par, ec_compute_scan,
     vc_partial_gather, vc_partial_gather_par, Degrees, FtPlan, VcGatherIndex,
@@ -135,6 +135,60 @@ fn main() {
                     sender.send(NodeId::new(1), i);
                 }
                 assert_eq!(receiver.drain().len(), 100_000);
+            }),
+        );
+    }
+    // The same throughput probe over loopback TCP: every frame crosses a
+    // real socket (encode, length-prefix, kernel round trip, decode) and
+    // the receiver spins on drain until the link delivered everything —
+    // the honest price of a wire relative to the in-process fast path.
+    {
+        let cluster: Cluster<u64> =
+            Cluster::with_transport(opts.nodes.max(2), 0, Duration::ZERO, TransportKind::Tcp);
+        let sender = cluster.take_ctx(NodeId::new(0));
+        let receiver = cluster.take_ctx(NodeId::new(1));
+        record(
+            "fabric_send_drain_100k_tcp",
+            time_best(n, || {
+                for i in 0..100_000u64 {
+                    sender.send(NodeId::new(1), i);
+                }
+                let mut got = 0usize;
+                while got < 100_000 {
+                    got += receiver.drain().len();
+                }
+            }),
+        );
+        cluster.shutdown_transport();
+    }
+    // One sync round = a burst of sends fenced by the barrier every
+    // superstep pays — the communication heartbeat — timed per wire
+    // backend. Channel is the lock-free bound; TCP adds the codec, the
+    // kernel, and the pre-barrier delivery fence.
+    for (name, kind) in [
+        ("sync_round_x100_channel", TransportKind::Channel),
+        ("sync_round_x100_tcp", TransportKind::Tcp),
+    ] {
+        record(
+            name,
+            time_best(n, || {
+                let cluster: Cluster<u64> = Cluster::with_transport(2, 0, Duration::ZERO, kind);
+                let a = cluster.take_ctx(NodeId::new(0));
+                let b = cluster.take_ctx(NodeId::new(1));
+                let peer = std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        b.enter_barrier();
+                        b.drain();
+                    }
+                });
+                for round in 0..100u64 {
+                    for i in 0..1_000u64 {
+                        a.send(NodeId::new(1), round * 1_000 + i);
+                    }
+                    a.enter_barrier();
+                }
+                peer.join().expect("peer thread");
+                cluster.shutdown_transport();
             }),
         );
     }

@@ -1,5 +1,12 @@
 //! The routing fabric and per-node handles.
 //!
+//! Protocol logic lives here; *wire plumbing* lives behind the
+//! [`Transport`]/[`Pipe`] seam in [`crate::transport`]. A [`Cluster`] owns
+//! one transport backend (selected by
+//! [`TransportKind`](crate::TransportKind)) plus the shared [`Fabric`] of
+//! local inbox queues every backend ultimately delivers into; a
+//! [`NodeCtx`] owns one node's [`Pipe`] endpoint.
+//!
 //! # Fast-path design
 //!
 //! `NodeCtx::send*` is the hottest call in a superstep (one per destination
@@ -8,7 +15,10 @@
 //! generation counter: every send does one atomic load and an indexed send
 //! on a thread-local cached snapshot — no lock, no `Sender` clone. The
 //! table is only rebuilt (and the generation bumped) by [`Cluster::adopt`]
-//! during recovery.
+//! during recovery. The channel backend uses this path directly; the lossy
+//! and TCP backends route *delivery* (not sending) through the same
+//! [`Fabric::push_cached`] primitive, so the fast path is shared, not
+//! forked.
 //!
 //! Why a stale cache is harmless: table slots change only when a node dies
 //! and a replacement adopts its identity. A sender that still holds the old
@@ -18,9 +28,12 @@
 //! sender acquired the coordinator lock *after* `revive` released it, which
 //! makes the adopting thread's generation bump (sequenced before `revive`)
 //! visible to the sender's `Acquire` load, forcing a refresh. So a message
-//! accepted for a live node always goes to that node's current inbox.
+//! accepted for a live node always goes to that node's current inbox. The
+//! same sequencing covers the transports' slot epochs: `on_adopt` bumps the
+//! epoch before `revive`, so a sender that observes the node alive stamps
+//! frames with the *new* destination epoch.
 
-use std::cell::RefCell;
+use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -30,6 +43,10 @@ use imitator_metrics::{AtomicCommStats, CommKind};
 use parking_lot::Mutex;
 
 use crate::coord::{BarrierOutcome, Coordinator};
+use crate::injector::TransportKind;
+use crate::transport::{
+    ChannelTransport, LossyTransport, Pipe, TcpTransport, Transport, WireCodec,
+};
 use crate::NodeId;
 
 /// A delivered message with its sender.
@@ -42,7 +59,7 @@ pub struct Envelope<M> {
 }
 
 /// What a blocked standby thread is woken with.
-enum StandbyEvent<M> {
+pub(crate) enum StandbyEvent<M> {
     /// A crashed node's identity to adopt.
     Adopt(NodeCtx<M>),
     /// The job is over; relayed from waiter to waiter so one signal wakes
@@ -50,8 +67,12 @@ enum StandbyEvent<M> {
     Shutdown,
 }
 
+/// The shared local-queue fabric: the published sender table, the parked
+/// not-yet-claimed inboxes, and the standby wake-up channel. Every
+/// transport backend delivers into these queues; they differ in the path a
+/// message takes to reach [`Fabric::push_cached`].
 #[derive(Debug)]
-struct Fabric<M> {
+pub(crate) struct Fabric<M> {
     /// The published sender table. Mutated only under this lock (adopt);
     /// readers refresh their cached snapshot from it when `generation`
     /// moves.
@@ -61,14 +82,62 @@ struct Fabric<M> {
     /// Receivers parked here until a thread claims its `NodeCtx`.
     parked: Mutex<Vec<Option<Receiver<Envelope<M>>>>>,
     /// Wake-up channel for hot-standby threads (Rebirth recovery).
-    standby_tx: Sender<StandbyEvent<M>>,
-    standby_rx: Receiver<StandbyEvent<M>>,
+    pub(crate) standby_tx: Sender<StandbyEvent<M>>,
+    pub(crate) standby_rx: Receiver<StandbyEvent<M>>,
     /// Set when the job is over; waiting standbys return `None`.
     done: AtomicBool,
 }
 
-impl<M> std::fmt::Debug for StandbyEvent<M> {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+impl<M> Fabric<M> {
+    pub(crate) fn new(num_nodes: usize) -> Arc<Self> {
+        let mut senders = Vec::with_capacity(num_nodes);
+        let mut parked = Vec::with_capacity(num_nodes);
+        for _ in 0..num_nodes {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            parked.push(Some(rx));
+        }
+        let (standby_tx, standby_rx) = unbounded();
+        Arc::new(Fabric {
+            routes: Mutex::new(senders.into()),
+            generation: AtomicU64::new(0),
+            parked: Mutex::new(parked),
+            standby_tx,
+            standby_rx,
+            done: AtomicBool::new(false),
+        })
+    }
+
+    /// A fresh coherent snapshot of the sender table.
+    pub(crate) fn snapshot(&self) -> RouteCache<M> {
+        let routes = self.routes.lock();
+        RouteCache {
+            generation: self.generation.load(Ordering::Acquire),
+            table: Arc::clone(&routes),
+        }
+    }
+
+    /// The send fast path: one atomic generation check against the cached
+    /// snapshot, then an indexed lock-free send. Returns `false` if the
+    /// destination inbox is gone (cluster torn down mid-send).
+    pub(crate) fn push_cached(
+        &self,
+        cache: &mut RouteCache<M>,
+        to: NodeId,
+        env: Envelope<M>,
+    ) -> bool {
+        let generation = self.generation.load(Ordering::Acquire);
+        if cache.generation != generation {
+            let routes = self.routes.lock();
+            cache.generation = self.generation.load(Ordering::Acquire);
+            cache.table = Arc::clone(&routes);
+        }
+        cache.table[to.index()].send(env).is_ok()
+    }
+}
+
+impl<M> fmt::Debug for StandbyEvent<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             StandbyEvent::Adopt(_) => f.write_str("Adopt(..)"),
             StandbyEvent::Shutdown => f.write_str("Shutdown"),
@@ -77,12 +146,12 @@ impl<M> std::fmt::Debug for StandbyEvent<M> {
 }
 
 /// A simulated cluster: `n` logical nodes plus a pool of hot standbys,
-/// connected by typed message channels and a shared [`Coordinator`].
+/// connected by a pluggable wire backend and a shared [`Coordinator`].
 ///
 /// Cloning yields another handle on the same cluster.
-#[derive(Debug)]
 pub struct Cluster<M> {
     fabric: Arc<Fabric<M>>,
+    transport: Arc<dyn Transport<M>>,
     coord: Arc<Coordinator>,
     comm: Arc<AtomicCommStats>,
 }
@@ -92,35 +161,43 @@ impl<M> Clone for Cluster<M> {
     fn clone(&self) -> Self {
         Cluster {
             fabric: Arc::clone(&self.fabric),
+            transport: Arc::clone(&self.transport),
             coord: Arc::clone(&self.coord),
             comm: Arc::clone(&self.comm),
         }
     }
 }
 
+impl<M> fmt::Debug for Cluster<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Cluster")
+            .field("coord", &self.coord)
+            .finish_non_exhaustive()
+    }
+}
+
 impl<M: Send + 'static> Cluster<M> {
     /// Creates a cluster of `num_nodes` logical nodes and `num_standbys`
-    /// hot standbys; crashed nodes are detected after `detection_delay`
-    /// (the paper uses a conservative 500 ms heartbeat; tests use zero).
+    /// hot standbys over the default in-process channel transport; crashed
+    /// nodes are detected after `detection_delay` (the paper uses a
+    /// conservative 500 ms heartbeat; tests use zero).
     pub fn new(num_nodes: usize, num_standbys: usize, detection_delay: Duration) -> Self {
         assert!(num_nodes > 0, "cluster needs at least one node");
-        let mut senders = Vec::with_capacity(num_nodes);
-        let mut parked = Vec::with_capacity(num_nodes);
-        for _ in 0..num_nodes {
-            let (tx, rx) = unbounded();
-            senders.push(tx);
-            parked.push(Some(rx));
-        }
-        let (standby_tx, standby_rx) = unbounded();
+        let fabric = Fabric::new(num_nodes);
+        let transport: Arc<dyn Transport<M>> = Arc::new(ChannelTransport::new(Arc::clone(&fabric)));
+        Self::assemble(fabric, transport, num_nodes, num_standbys, detection_delay)
+    }
+
+    fn assemble(
+        fabric: Arc<Fabric<M>>,
+        transport: Arc<dyn Transport<M>>,
+        num_nodes: usize,
+        num_standbys: usize,
+        detection_delay: Duration,
+    ) -> Self {
         Cluster {
-            fabric: Arc::new(Fabric {
-                routes: Mutex::new(senders.into()),
-                generation: AtomicU64::new(0),
-                parked: Mutex::new(parked),
-                standby_tx,
-                standby_rx,
-                done: AtomicBool::new(false),
-            }),
+            fabric,
+            transport,
             coord: Arc::new(Coordinator::new(num_nodes, num_standbys, detection_delay)),
             comm: Arc::default(),
         }
@@ -141,23 +218,23 @@ impl<M: Send + 'static> Cluster<M> {
         self.comm.snapshot()
     }
 
-    /// Aggregate per-kind traffic split and barrier-wait total.
+    /// Aggregate per-kind traffic split, transport retry/redelivery
+    /// counters, and barrier-wait total.
     pub fn comm_breakdown(&self) -> imitator_metrics::CommBreakdown {
         self.comm.breakdown()
     }
 
+    /// Releases transport-owned resources (listener sockets, reader
+    /// threads). A no-op for in-process backends; idempotent everywhere.
+    /// Call after the last node thread has been joined.
+    pub fn shutdown_transport(&self) {
+        self.transport.shutdown();
+    }
+
     fn make_ctx(&self, id: NodeId, inbox: Receiver<Envelope<M>>) -> NodeCtx<M> {
-        let (generation, table) = {
-            let routes = self.fabric.routes.lock();
-            (
-                self.fabric.generation.load(Ordering::Acquire),
-                Arc::clone(&routes),
-            )
-        };
         NodeCtx {
             id,
-            inbox,
-            routes: RefCell::new(RouteCache { generation, table }),
+            pipe: self.transport.open(self, id, inbox),
             cluster: self.clone(),
         }
     }
@@ -191,6 +268,10 @@ impl<M: Send + 'static> Cluster<M> {
             // also sees (and refreshes to) the new table — see module docs.
             self.fabric.generation.fetch_add(1, Ordering::Release);
         }
+        // Likewise before `revive`: senders that observe the node alive
+        // stamp frames with the slot's new epoch, so nothing addressed to
+        // the dead identity can surface in the adopted inbox.
+        self.transport.on_adopt(id);
         self.coord.revive(id);
         self.make_ctx(id, rx)
     }
@@ -206,10 +287,7 @@ impl<M: Send + 'static> Cluster<M> {
             return false;
         }
         let ctx = self.adopt(id);
-        self.fabric
-            .standby_tx
-            .send(StandbyEvent::Adopt(ctx))
-            .expect("standby channel lives as long as the fabric");
+        self.transport.standby_send(StandbyEvent::Adopt(ctx));
         true
     }
 
@@ -217,49 +295,96 @@ impl<M: Send + 'static> Cluster<M> {
     /// identity, or returns `None` once the job completes (or `patience`
     /// elapses with neither).
     ///
-    /// Fully event-driven: the thread parks on the standby channel for the
-    /// whole remaining patience and is woken by [`Cluster::dispatch_standby`]
-    /// or by the shutdown signal — no poll loop.
+    /// Fully event-driven: the thread parks on the transport's standby
+    /// channel for the whole remaining patience and is woken by
+    /// [`Cluster::dispatch_standby`] or by the shutdown signal — no poll
+    /// loop.
     pub fn wait_standby(&self, patience: Duration) -> Option<NodeCtx<M>> {
         if self.fabric.done.load(Ordering::Acquire) {
             return None;
         }
-        match self.fabric.standby_rx.recv_timeout(patience) {
-            Ok(StandbyEvent::Adopt(ctx)) => Some(ctx),
-            Ok(StandbyEvent::Shutdown) => {
+        match self.transport.standby_wait(patience) {
+            Some(StandbyEvent::Adopt(ctx)) => Some(ctx),
+            Some(StandbyEvent::Shutdown) => {
                 // Relay so one signal drains the whole waiting pool.
-                let _ = self.fabric.standby_tx.send(StandbyEvent::Shutdown);
+                self.transport.standby_send(StandbyEvent::Shutdown);
                 None
             }
-            Err(_) => None, // patience elapsed (or fabric gone)
+            None => None, // patience elapsed (or fabric gone)
         }
     }
 
     /// Signals waiting standby threads that the job is over.
     pub fn shutdown_standbys(&self) {
         self.fabric.done.store(true, Ordering::Release);
-        let _ = self.fabric.standby_tx.send(StandbyEvent::Shutdown);
+        self.transport.standby_send(StandbyEvent::Shutdown);
+    }
+}
+
+impl<M: Send + Clone + WireCodec + 'static> Cluster<M> {
+    /// Creates a cluster over the wire backend selected by `kind`.
+    ///
+    /// [`TransportKind::Channel`](crate::TransportKind::Channel) behaves
+    /// exactly like [`Cluster::new`]; the lossy and TCP backends require
+    /// `M: Clone + WireCodec` for duplication and on-the-wire encoding
+    /// respectively.
+    pub fn with_transport(
+        num_nodes: usize,
+        num_standbys: usize,
+        detection_delay: Duration,
+        kind: TransportKind,
+    ) -> Self {
+        assert!(num_nodes > 0, "cluster needs at least one node");
+        let fabric = Fabric::new(num_nodes);
+        let mut cluster = Self::assemble(
+            Arc::clone(&fabric),
+            Arc::new(ChannelTransport::new(Arc::clone(&fabric))),
+            num_nodes,
+            num_standbys,
+            detection_delay,
+        );
+        cluster.transport = match kind {
+            TransportKind::Channel => cluster.transport,
+            TransportKind::Lossy(faults) => Arc::new(LossyTransport::new(
+                Arc::clone(&fabric),
+                num_nodes,
+                faults,
+                Arc::clone(&cluster.comm),
+            )),
+            TransportKind::Tcp => Arc::new(TcpTransport::new(
+                Arc::clone(&fabric),
+                num_nodes,
+                Arc::clone(&cluster.comm),
+            )),
+        };
+        cluster
     }
 }
 
 /// A node's cached snapshot of the sender table.
 #[derive(Debug)]
-struct RouteCache<M> {
-    generation: u64,
-    table: Arc<[Sender<Envelope<M>>]>,
+pub(crate) struct RouteCache<M> {
+    pub(crate) generation: u64,
+    pub(crate) table: Arc<[Sender<Envelope<M>>]>,
 }
 
-/// The execution context of one logical node: its identity, inbox, and
-/// access to the routing fabric and coordinator.
+/// The execution context of one logical node: its identity, its wire
+/// endpoint ([`Pipe`]), and access to the cluster and coordinator.
 ///
-/// Exactly one thread owns each `NodeCtx` at a time (the receiver is not
+/// Exactly one thread owns each `NodeCtx` at a time (the endpoint is not
 /// clonable), matching one process per machine.
-#[derive(Debug)]
 pub struct NodeCtx<M> {
     id: NodeId,
-    inbox: Receiver<Envelope<M>>,
-    routes: RefCell<RouteCache<M>>,
+    pipe: Box<dyn Pipe<M>>,
     cluster: Cluster<M>,
+}
+
+impl<M> fmt::Debug for NodeCtx<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NodeCtx")
+            .field("id", &self.id)
+            .finish_non_exhaustive()
+    }
 }
 
 impl<M: Send + 'static> NodeCtx<M> {
@@ -277,17 +402,12 @@ impl<M: Send + 'static> NodeCtx<M> {
         if !self.cluster.coord.is_alive(to) {
             return false; // dropped on the wire: destination crashed
         }
+        // Logical accounting happens exactly once, here — transport-level
+        // retransmissions and duplicates are physical events tallied in the
+        // separate retry/redelivery counters, so per-kind traffic splits
+        // are identical across backends.
         self.cluster.comm.record_kind(kind, 1, bytes);
-        let mut cache = self.routes.borrow_mut();
-        let generation = self.cluster.fabric.generation.load(Ordering::Acquire);
-        if cache.generation != generation {
-            let routes = self.cluster.fabric.routes.lock();
-            cache.generation = self.cluster.fabric.generation.load(Ordering::Acquire);
-            cache.table = Arc::clone(&routes);
-        }
-        cache.table[to.index()]
-            .send(Envelope { from: self.id, msg })
-            .is_ok()
+        self.pipe.send(to, Envelope { from: self.id, msg }, kind)
     }
 
     /// Sends `msg` to `to`, charging zero accounted bytes. Returns `false`
@@ -308,25 +428,26 @@ impl<M: Send + 'static> NodeCtx<M> {
     }
 
     /// Drains every message currently queued (all messages sent before the
-    /// senders entered the last barrier are guaranteed to be here — channel
-    /// sends complete before the barrier is entered). One lock acquisition
-    /// for the whole batch.
+    /// senders entered the last barrier are guaranteed to be here — every
+    /// backend fences in-flight traffic before entering a barrier).
     pub fn drain(&self) -> Vec<Envelope<M>> {
-        let mut q = self.inbox.drain_all();
-        let out: Vec<Envelope<M>> = q.drain(..).collect();
-        self.inbox.recycle(q);
-        out
+        self.pipe.drain()
     }
 
     /// Blocks up to `timeout` for one message.
     pub fn recv_timeout(&self, timeout: Duration) -> Option<Envelope<M>> {
-        self.inbox.recv_timeout(timeout).ok()
+        self.pipe.recv_timeout(timeout)
     }
 
     /// Enters the next global barrier (Algorithm 1's `enter_barrier` /
     /// `leave_barrier`) and returns the agreed outcome. Time spent blocked
     /// is added to the cluster's barrier-wait tally.
+    ///
+    /// Before arriving at the coordinator, the node fences its wire
+    /// endpoint: everything it sent is retransmitted/settled as needed so
+    /// the pre-barrier delivery guarantee holds on unreliable backends.
     pub fn enter_barrier(&self) -> BarrierOutcome {
+        self.pipe.flush();
         let start = Instant::now();
         let out = self.cluster.coord.barrier(self.id);
         self.cluster.comm.record_barrier_wait(start.elapsed());
@@ -336,6 +457,7 @@ impl<M: Send + 'static> NodeCtx<M> {
     /// Enters the next global barrier contributing `value` to the
     /// all-reduced sum (e.g. this node's active-vertex count).
     pub fn enter_barrier_sum(&self, value: u64) -> (BarrierOutcome, u64) {
+        self.pipe.flush();
         let start = Instant::now();
         let out = self.cluster.coord.barrier_sum(self.id, value);
         self.cluster.comm.record_barrier_wait(start.elapsed());
@@ -344,7 +466,9 @@ impl<M: Send + 'static> NodeCtx<M> {
 
     /// Crashes this node: marks it for (delayed) failure detection. The
     /// caller must stop participating immediately afterwards — drop the
-    /// context and return, as a crashed process would.
+    /// context and return, as a crashed process would. Deliberately does
+    /// *not* fence the endpoint: in-flight messages from a crashing node
+    /// may or may not arrive, exactly like a real crash.
     pub fn die(self) {
         self.cluster.coord.report_death(self.id);
     }
@@ -502,5 +626,19 @@ mod tests {
         }
         // Event-driven wake-up: nowhere near the 30s patience.
         assert!(start.elapsed() < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn with_transport_channel_matches_new() {
+        let c: Cluster<u64> = Cluster::with_transport(2, 0, Duration::ZERO, TransportKind::Channel);
+        let a = c.take_ctx(NodeId::new(0));
+        let b = c.take_ctx(NodeId::new(1));
+        assert!(a.send_kind(NodeId::new(1), 5, 16, CommKind::Sync));
+        assert_eq!(b.recv_timeout(Duration::from_secs(1)).unwrap().msg, 5);
+        let br = c.comm_breakdown();
+        assert_eq!(br.kind(CommKind::Sync).bytes, 16);
+        assert_eq!(br.retries, 0);
+        assert_eq!(br.redelivered, 0);
+        c.shutdown_transport(); // no-op for channels, must be callable
     }
 }

@@ -1,4 +1,4 @@
-//! Deterministic fail-stop failure injection.
+//! Deterministic fail-stop and network-fault injection.
 //!
 //! The paper's case study (§6.9) injects a machine failure between the 6th
 //! and 7th iterations of a PageRank run. [`FailureInjector`] expresses such
@@ -6,7 +6,16 @@
 //! consults at the two protocol points where a crash produces distinct
 //! recovery behaviour (before the barrier → peers roll back the iteration;
 //! after the barrier → the committed iteration survives).
+//!
+//! Crashes are only half of what a real network does to a protocol. The
+//! same module therefore also describes *message*-level faults —
+//! [`NetFaults`] / [`LinkFaults`] — which the lossy transport backend
+//! applies per link and per [`CommKind`]: drop, duplicate, reorder, and
+//! delay, all derived from one seed so a chaos schedule reproduces from its
+//! index alone. [`TransportKind`] selects which wire backend a cluster runs
+//! on.
 
+use imitator_metrics::CommKind;
 use parking_lot::Mutex;
 
 use crate::NodeId;
@@ -55,6 +64,125 @@ pub struct FailurePlan {
     pub iteration: u64,
     /// The protocol point at which it crashes.
     pub point: FailPoint,
+}
+
+/// Per-link message-fault probabilities, in per-mille (`150` = 15 %).
+///
+/// Applied independently to each first transmission on a link; at most one
+/// fault fires per message (the thresholds are cumulative over one roll).
+/// Retransmissions issued by the pre-barrier fence are exempt, so a lossy
+/// run always makes progress — exactly the kernel-TCP contract a real
+/// deployment would rely on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LinkFaults {
+    /// Probability the message is silently dropped (resent at the fence).
+    pub drop_pm: u16,
+    /// Probability the message is delivered twice (the duplicate must be
+    /// suppressed by the receiver-side sequence filter).
+    pub dup_pm: u16,
+    /// Probability the message is held back and delivered *after* the next
+    /// message on the same link (adjacent reorder).
+    pub reorder_pm: u16,
+    /// Probability the message is delayed until the sender's next fence.
+    pub delay_pm: u16,
+}
+
+impl LinkFaults {
+    /// No faults on this link class.
+    pub const NONE: LinkFaults = LinkFaults {
+        drop_pm: 0,
+        dup_pm: 0,
+        reorder_pm: 0,
+        delay_pm: 0,
+    };
+
+    /// Whether every probability is zero.
+    pub fn is_none(&self) -> bool {
+        *self == Self::NONE
+    }
+}
+
+/// A deterministic network-fault schedule for the lossy transport: one
+/// [`LinkFaults`] knob per traffic [`CommKind`], plus the seed every
+/// per-link random stream derives from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NetFaults {
+    /// Seed for the per-link deterministic fault streams.
+    pub seed: u64,
+    /// Faults applied to replica-synchronisation traffic.
+    pub sync: LinkFaults,
+    /// Faults applied to vertex-cut gather traffic.
+    pub gather: LinkFaults,
+    /// Faults applied to recovery traffic (rebirth batches, migration
+    /// rounds, full-sync replays).
+    pub recovery: LinkFaults,
+    /// Faults applied to everything else.
+    pub control: LinkFaults,
+}
+
+impl NetFaults {
+    /// The same fault knobs for every traffic kind.
+    pub fn uniform(seed: u64, f: LinkFaults) -> Self {
+        NetFaults {
+            seed,
+            sync: f,
+            gather: f,
+            recovery: f,
+            control: f,
+        }
+    }
+
+    /// A moderate seeded schedule for chaos sweeps: every kind sees a
+    /// nonzero drop *and* duplicate probability (so any schedule exercises
+    /// retransmission and duplicate suppression), with the exact mix varied
+    /// by `seed`.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut x = seed ^ 0x6C62_272E_07BB_0142;
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let mut knob = || LinkFaults {
+            drop_pm: 40 + (next() % 110) as u16,
+            dup_pm: 40 + (next() % 110) as u16,
+            reorder_pm: (next() % 120) as u16,
+            delay_pm: (next() % 80) as u16,
+        };
+        NetFaults {
+            seed,
+            sync: knob(),
+            gather: knob(),
+            recovery: knob(),
+            control: knob(),
+        }
+    }
+
+    /// The fault knobs for one traffic kind.
+    pub fn for_kind(&self, kind: CommKind) -> LinkFaults {
+        match kind {
+            CommKind::Sync => self.sync,
+            CommKind::Gather => self.gather,
+            CommKind::Recovery => self.recovery,
+            CommKind::Control => self.control,
+        }
+    }
+}
+
+/// Which wire backend a [`Cluster`](crate::Cluster) runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportKind {
+    /// In-process lock-free channels: reliable, ordered, zero-copy. The
+    /// default, and the backend the refactor goldens pin bit-identically.
+    #[default]
+    Channel,
+    /// The channel backend wrapped in deterministic seeded message faults.
+    Lossy(NetFaults),
+    /// Real loopback TCP sockets: each node keeps persistent connections
+    /// to its peers and ships length-prefixed encoded frames.
+    Tcp,
 }
 
 /// A schedule of fail-stop crashes, consumed as they fire.

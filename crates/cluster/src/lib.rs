@@ -41,10 +41,12 @@
 mod cluster;
 mod coord;
 mod injector;
+mod transport;
 
 pub use cluster::{Cluster, Envelope, NodeCtx};
 pub use coord::{BarrierOutcome, Coordinator};
-pub use injector::{FailPoint, FailureInjector, FailurePlan};
+pub use injector::{FailPoint, FailureInjector, FailurePlan, LinkFaults, NetFaults, TransportKind};
+pub use transport::WireCodec;
 
 use std::fmt;
 

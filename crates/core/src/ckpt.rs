@@ -86,7 +86,7 @@ fn dec_node(r: &mut Reader<'_>) -> Result<NodeId, DecodeError> {
     Ok(NodeId::new(dec_u32(r)?))
 }
 
-fn kind_bits(k: CopyKind) -> u8 {
+pub(crate) fn kind_bits(k: CopyKind) -> u8 {
     match k {
         CopyKind::Master => 0,
         CopyKind::Replica => 1,
@@ -94,7 +94,7 @@ fn kind_bits(k: CopyKind) -> u8 {
     }
 }
 
-fn kind_from_bits(b: u8) -> Result<CopyKind, DecodeError> {
+pub(crate) fn kind_from_bits(b: u8) -> Result<CopyKind, DecodeError> {
     match b {
         0 => Ok(CopyKind::Master),
         1 => Ok(CopyKind::Replica),
@@ -103,7 +103,7 @@ fn kind_from_bits(b: u8) -> Result<CopyKind, DecodeError> {
     }
 }
 
-fn enc_meta(m: &MasterMeta, buf: &mut Vec<u8>) {
+pub(crate) fn enc_meta(m: &MasterMeta, buf: &mut Vec<u8>) {
     enc_u32(m.master_pos, buf);
     enc_uv(m.replica_nodes.len() as u64, buf);
     for (&n, &p) in m.replica_nodes.iter().zip(&m.replica_positions) {
@@ -132,7 +132,7 @@ fn enc_meta(m: &MasterMeta, buf: &mut Vec<u8>) {
     }
 }
 
-fn dec_meta(r: &mut Reader<'_>) -> Result<MasterMeta, DecodeError> {
+pub(crate) fn dec_meta(r: &mut Reader<'_>) -> Result<MasterMeta, DecodeError> {
     let master_pos = dec_u32(r)?;
     let nr = dec_count(r)?;
     let mut replica_nodes = Vec::with_capacity(nr);
@@ -354,7 +354,7 @@ pub fn apply_ec_snapshot<V: Decode>(
     Ok(iter)
 }
 
-fn enc_vc_meta(m: &VcMeta, buf: &mut Vec<u8>) {
+pub(crate) fn enc_vc_meta(m: &VcMeta, buf: &mut Vec<u8>) {
     enc_u32(m.master_pos, buf);
     enc_uv(m.replica_nodes.len() as u64, buf);
     for (&n, &p) in m.replica_nodes.iter().zip(&m.replica_positions) {
@@ -367,7 +367,7 @@ fn enc_vc_meta(m: &VcMeta, buf: &mut Vec<u8>) {
     }
 }
 
-fn dec_vc_meta(r: &mut Reader<'_>) -> Result<VcMeta, DecodeError> {
+pub(crate) fn dec_vc_meta(r: &mut Reader<'_>) -> Result<VcMeta, DecodeError> {
     let master_pos = dec_u32(r)?;
     let nr = dec_count(r)?;
     let mut replica_nodes = Vec::with_capacity(nr);

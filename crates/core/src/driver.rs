@@ -17,6 +17,7 @@ use std::time::{Duration, Instant};
 
 use imitator_cluster::{
     BarrierOutcome, Cluster, Envelope, FailPoint, FailureInjector, FailurePlan, NodeCtx, NodeId,
+    WireCodec,
 };
 use imitator_engine::{CopyKind, Degrees, FtPlan, InOrder, MasterUpdate, WorkerPool};
 use imitator_graph::Vid;
@@ -335,7 +336,12 @@ pub(crate) fn run<M: ComputeModel>(
     cfg: RunConfig,
     failures: Vec<FailurePlan>,
     dfs: Dfs,
-) -> RunReport<M::Value> {
+) -> RunReport<M::Value>
+where
+    // The model's wire protocol must cross every transport backend: owned
+    // moves (channel), cloned duplicates (lossy), and encoded frames (TCP).
+    Msg<M>: Clone + WireCodec,
+{
     let extra_replicas = plan.extra_replica_count();
     let mem_bytes: Vec<usize> = lgs.iter().map(MemSize::mem_bytes).collect();
     let injector = Arc::new(FailureInjector::new());
@@ -351,7 +357,12 @@ pub(crate) fn run<M: ComputeModel>(
         dfs,
         cfg,
     });
-    let cluster: Cluster<Msg<M>> = Cluster::new(cfg.num_nodes, cfg.standbys, cfg.detection_delay);
+    let cluster: Cluster<Msg<M>> = Cluster::with_transport(
+        cfg.num_nodes,
+        cfg.standbys,
+        cfg.detection_delay,
+        cfg.transport,
+    );
 
     let start = Instant::now();
     let mut handles = Vec::new();
@@ -396,6 +407,8 @@ pub(crate) fn run<M: ComputeModel>(
             outcomes.push(o);
         }
     }
+    // Every node thread is joined; release transport-owned sockets/threads.
+    cluster.shutdown_transport();
     let elapsed = start.elapsed();
 
     let (mut report, graphs) = merge_outcomes(

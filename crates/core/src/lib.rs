@@ -58,6 +58,7 @@ mod runner_vc;
 mod suppress;
 pub mod wire;
 
+pub use imitator_cluster::{LinkFaults, NetFaults, TransportKind};
 pub use msg::{EcMsg, VcMsg, VertexSync};
 pub use report::{RecoveryReport, RunReport};
 pub use runner_ec::run_edge_cut;
@@ -151,6 +152,14 @@ pub struct RunConfig {
     /// changed byte span. Results are bit-identical either way; wire bytes
     /// shrink when values change slightly.
     pub delta_sync: bool,
+    /// The wire backend nodes communicate over. The default in-process
+    /// channels are reliable and ordered; [`TransportKind::Lossy`] injects
+    /// seeded drop/duplicate/reorder/delay faults per traffic kind, and
+    /// [`TransportKind::Tcp`] ships encoded frames over loopback sockets.
+    /// Results are bit-identical across all backends — the transport layer
+    /// restores the pre-barrier delivery guarantee with sequence-numbered
+    /// idempotent redelivery and pre-barrier retransmission fences.
+    pub transport: TransportKind,
 }
 
 impl Default for RunConfig {
@@ -165,6 +174,7 @@ impl Default for RunConfig {
             sync_suppress: true,
             pipeline: true,
             delta_sync: true,
+            transport: TransportKind::Channel,
         }
     }
 }

@@ -10,9 +10,16 @@
 //! recovery messages are charged per record against the scalar codec; the
 //! `accounted_sizes_match_codec` test pins both equalities.
 
-use imitator_cluster::NodeId;
+use imitator_cluster::{NodeId, WireCodec};
 use imitator_engine::{CopyKind, MasterMeta, VcMeta};
 use imitator_graph::Vid;
+use imitator_storage::codec::{read_uvarint, write_uvarint, Decode, DecodeError, Encode, Reader};
+
+use crate::ckpt::{dec_meta, dec_vc_meta, enc_meta, enc_vc_meta, kind_bits, kind_from_bits};
+use crate::wire::{
+    decode_gather_frame, decode_sync_frame, encode_gather_frame, encode_sync_frame, SyncRecEnc,
+    GATHER_FRAME_TAG, SYNC_FRAME_TAG,
+};
 
 /// One vertex's synchronisation record, master → replica (Algorithm 1
 /// line 6). With replication FT on, the same record doubles as the mirror's
@@ -194,6 +201,419 @@ impl<V> VcRecoverEntry<V> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// On-the-wire codec (TCP transport).
+//
+// In-process transports move `ProtoMsg` as owned values; the TCP backend
+// serialises them. The batch-shaped variants go through the columnar
+// frame codecs from [`crate::wire`] — the same layouts the byte accounting
+// charges — dispatched by their frame tags; the recovery variants get one
+// tag byte plus the scalar storage codec, reusing the checkpoint meta
+// codecs for full replica state. Sync frames always carry full values on
+// the wire (`span: None`): delta payloads need the receiver's base value,
+// which a frame decoded off a socket cannot consult.
+// ---------------------------------------------------------------------------
+
+const TAG_REBIRTH: u8 = 0x01;
+const TAG_PROMOTE: u8 = 0x02;
+const TAG_REPLICA_REQUEST: u8 = 0x03;
+const TAG_REPLICA_GRANT: u8 = 0x04;
+const TAG_REPLICA_PLACED: u8 = 0x05;
+const TAG_MIRROR_UPDATE: u8 = 0x06;
+
+fn dec_vid(r: &mut Reader<'_>) -> Result<Vid, DecodeError> {
+    Ok(Vid::new(u32::decode(r)?))
+}
+
+fn dec_node(r: &mut Reader<'_>) -> Result<NodeId, DecodeError> {
+    Ok(NodeId::new(u32::decode(r)?))
+}
+
+/// Reads a collection length, rejecting prefixes that exceed the payload
+/// (every element encodes to at least one byte).
+fn dec_len(r: &mut Reader<'_>) -> Result<usize, DecodeError> {
+    let n = read_uvarint(r)? as usize;
+    if n > r.remaining() {
+        return Err(DecodeError::Corrupt("length prefix exceeds payload"));
+    }
+    Ok(n)
+}
+
+fn enc_sync<V: Encode>(recs: &[VertexSync<V>], out: &mut Vec<u8>) {
+    let values: Vec<Vec<u8>> = recs
+        .iter()
+        .map(|s| {
+            let mut b = Vec::new();
+            s.value.encode(&mut b);
+            b
+        })
+        .collect();
+    let enc: Vec<SyncRecEnc<'_>> = recs
+        .iter()
+        .zip(&values)
+        .map(|(s, v)| SyncRecEnc {
+            pos: s.pos,
+            activate: s.activate,
+            value: v,
+            span: None,
+        })
+        .collect();
+    encode_sync_frame(&enc, out);
+}
+
+fn dec_sync<V: Decode>(bytes: &[u8]) -> Result<Vec<VertexSync<V>>, DecodeError> {
+    // Wire frames carry full values only, so the base callback is never
+    // consulted on well-formed input; a hostile delta flag fails cleanly.
+    Ok(decode_sync_frame::<V>(bytes, |_| Vec::new())?
+        .into_iter()
+        .map(|r| VertexSync {
+            pos: r.pos,
+            value: r.value,
+            activate: r.activate,
+        })
+        .collect())
+}
+
+fn enc_gather<A: Encode + Clone>(recs: &[(Vid, A)], out: &mut Vec<u8>) {
+    let raw: Vec<(u32, A)> = recs.iter().map(|(v, a)| (v.raw(), a.clone())).collect();
+    encode_gather_frame(&raw, out);
+}
+
+fn dec_gather<A: Decode>(bytes: &[u8]) -> Result<Vec<(Vid, A)>, DecodeError> {
+    Ok(decode_gather_frame::<A>(bytes)?
+        .into_iter()
+        .map(|(v, a)| (Vid::new(v), a))
+        .collect())
+}
+
+fn enc_batch<E>(b: &RebirthBatch<E>, buf: &mut Vec<u8>, enc_e: impl Fn(&E, &mut Vec<u8>)) {
+    b.resume_iter.encode(buf);
+    b.num_survivors.encode(buf);
+    write_uvarint(buf, b.entries.len() as u64);
+    for e in &b.entries {
+        enc_e(e, buf);
+    }
+}
+
+fn dec_batch<E>(
+    r: &mut Reader<'_>,
+    dec_e: impl Fn(&mut Reader<'_>) -> Result<E, DecodeError>,
+) -> Result<RebirthBatch<E>, DecodeError> {
+    let resume_iter = u64::decode(r)?;
+    let num_survivors = u32::decode(r)?;
+    let n = dec_len(r)?;
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        entries.push(dec_e(r)?);
+    }
+    Ok(RebirthBatch {
+        resume_iter,
+        num_survivors,
+        entries,
+    })
+}
+
+fn enc_ec_entry<V: Encode>(e: &EcRecoverEntry<V>, buf: &mut Vec<u8>) {
+    e.vid.raw().encode(buf);
+    e.pos.encode(buf);
+    kind_bits(e.kind).encode(buf);
+    e.master_node.raw().encode(buf);
+    e.value.encode(buf);
+    e.last_activate.encode(buf);
+    e.active.encode(buf);
+    e.in_edges.encode(buf);
+    e.out_local.encode(buf);
+    match &e.meta {
+        Some(m) => {
+            true.encode(buf);
+            enc_meta(m, buf);
+        }
+        None => false.encode(buf),
+    }
+}
+
+fn dec_ec_entry<V: Decode>(r: &mut Reader<'_>) -> Result<EcRecoverEntry<V>, DecodeError> {
+    Ok(EcRecoverEntry {
+        vid: dec_vid(r)?,
+        pos: u32::decode(r)?,
+        kind: kind_from_bits(u8::decode(r)?)?,
+        master_node: dec_node(r)?,
+        value: V::decode(r)?,
+        last_activate: bool::decode(r)?,
+        active: bool::decode(r)?,
+        in_edges: Vec::<(u32, f32)>::decode(r)?,
+        out_local: Vec::<u32>::decode(r)?,
+        meta: bool::decode(r)?
+            .then(|| dec_meta(r).map(Box::new))
+            .transpose()?,
+    })
+}
+
+fn enc_vc_entry<V: Encode>(e: &VcRecoverEntry<V>, buf: &mut Vec<u8>) {
+    e.vid.raw().encode(buf);
+    e.pos.encode(buf);
+    kind_bits(e.kind).encode(buf);
+    e.master_node.raw().encode(buf);
+    e.value.encode(buf);
+    match &e.meta {
+        Some(m) => {
+            true.encode(buf);
+            enc_vc_meta(m, buf);
+        }
+        None => false.encode(buf),
+    }
+}
+
+fn dec_vc_entry<V: Decode>(r: &mut Reader<'_>) -> Result<VcRecoverEntry<V>, DecodeError> {
+    Ok(VcRecoverEntry {
+        vid: dec_vid(r)?,
+        pos: u32::decode(r)?,
+        kind: kind_from_bits(u8::decode(r)?)?,
+        master_node: dec_node(r)?,
+        value: V::decode(r)?,
+        meta: bool::decode(r)?
+            .then(|| dec_vc_meta(r).map(Box::new))
+            .transpose()?,
+    })
+}
+
+fn enc_promotions(ps: &[Promotion], buf: &mut Vec<u8>) {
+    write_uvarint(buf, ps.len() as u64);
+    for p in ps {
+        p.vid.raw().encode(buf);
+        p.new_master.raw().encode(buf);
+        p.new_pos.encode(buf);
+        p.old_node.raw().encode(buf);
+        p.old_pos.encode(buf);
+    }
+}
+
+fn dec_promotions(r: &mut Reader<'_>) -> Result<Vec<Promotion>, DecodeError> {
+    let n = dec_len(r)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(Promotion {
+            vid: dec_vid(r)?,
+            new_master: dec_node(r)?,
+            new_pos: u32::decode(r)?,
+            old_node: dec_node(r)?,
+            old_pos: u32::decode(r)?,
+        });
+    }
+    Ok(out)
+}
+
+fn enc_grants<V: Encode>(gs: &[ReplicaGrant<V>], buf: &mut Vec<u8>) {
+    write_uvarint(buf, gs.len() as u64);
+    for g in gs {
+        g.vid.raw().encode(buf);
+        g.value.encode(buf);
+        g.last_activate.encode(buf);
+        g.master_node.raw().encode(buf);
+    }
+}
+
+fn dec_grants<V: Decode>(r: &mut Reader<'_>) -> Result<Vec<ReplicaGrant<V>>, DecodeError> {
+    let n = dec_len(r)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(ReplicaGrant {
+            vid: dec_vid(r)?,
+            value: V::decode(r)?,
+            last_activate: bool::decode(r)?,
+            master_node: dec_node(r)?,
+        });
+    }
+    Ok(out)
+}
+
+fn enc_mirror_updates<V: Encode, M>(
+    us: &[MirrorUpdate<V, M>],
+    buf: &mut Vec<u8>,
+    enc_m: impl Fn(&M, &mut Vec<u8>),
+) {
+    write_uvarint(buf, us.len() as u64);
+    for u in us {
+        u.vid.raw().encode(buf);
+        enc_m(&u.meta, buf);
+        u.value.encode(buf);
+        u.last_activate.encode(buf);
+        u.master_node.raw().encode(buf);
+    }
+}
+
+fn dec_mirror_updates<V: Decode, M>(
+    r: &mut Reader<'_>,
+    dec_m: impl Fn(&mut Reader<'_>) -> Result<M, DecodeError>,
+) -> Result<Vec<MirrorUpdate<V, M>>, DecodeError> {
+    let n = dec_len(r)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(MirrorUpdate {
+            vid: dec_vid(r)?,
+            meta: Box::new(dec_m(r)?),
+            value: Option::<V>::decode(r)?,
+            last_activate: bool::decode(r)?,
+            master_node: dec_node(r)?,
+        });
+    }
+    Ok(out)
+}
+
+fn enc_vids(vids: &[Vid], buf: &mut Vec<u8>) {
+    write_uvarint(buf, vids.len() as u64);
+    for v in vids {
+        v.raw().encode(buf);
+    }
+}
+
+fn dec_vids(r: &mut Reader<'_>) -> Result<Vec<Vid>, DecodeError> {
+    let n = dec_len(r)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(dec_vid(r)?);
+    }
+    Ok(out)
+}
+
+fn enc_placed(ps: &[(Vid, u32)], buf: &mut Vec<u8>) {
+    write_uvarint(buf, ps.len() as u64);
+    for &(v, pos) in ps {
+        v.raw().encode(buf);
+        pos.encode(buf);
+    }
+}
+
+fn dec_placed(r: &mut Reader<'_>) -> Result<Vec<(Vid, u32)>, DecodeError> {
+    let n = dec_len(r)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push((dec_vid(r)?, u32::decode(r)?));
+    }
+    Ok(out)
+}
+
+/// Finishes a scalar-coded decode: the whole payload must be consumed.
+fn settle<T>(r: Reader<'_>, value: T) -> Option<T> {
+    (r.remaining() == 0).then_some(value)
+}
+
+impl<V: Encode + Decode> WireCodec for EcMsg<V> {
+    fn encode_wire(&self, buf: &mut Vec<u8>) {
+        match self {
+            ProtoMsg::Sync(recs) => enc_sync(recs, buf),
+            ProtoMsg::Gather(recs) => enc_gather(recs, buf),
+            ProtoMsg::Rebirth(b) => {
+                buf.push(TAG_REBIRTH);
+                enc_batch(b, buf, enc_ec_entry);
+            }
+            ProtoMsg::Promote(ps) => {
+                buf.push(TAG_PROMOTE);
+                enc_promotions(ps, buf);
+            }
+            ProtoMsg::ReplicaRequest(vids) => {
+                buf.push(TAG_REPLICA_REQUEST);
+                enc_vids(vids, buf);
+            }
+            ProtoMsg::ReplicaGrant(gs) => {
+                buf.push(TAG_REPLICA_GRANT);
+                enc_grants(gs, buf);
+            }
+            ProtoMsg::ReplicaPlaced(ps) => {
+                buf.push(TAG_REPLICA_PLACED);
+                enc_placed(ps, buf);
+            }
+            ProtoMsg::MirrorUpdate(us) => {
+                buf.push(TAG_MIRROR_UPDATE);
+                enc_mirror_updates(us, buf, enc_meta);
+            }
+        }
+    }
+
+    fn decode_wire(bytes: &[u8]) -> Option<Self> {
+        let tag = *bytes.first()?;
+        match tag {
+            SYNC_FRAME_TAG => dec_sync(bytes).ok().map(ProtoMsg::Sync),
+            GATHER_FRAME_TAG => dec_gather(bytes).ok().map(ProtoMsg::Gather),
+            _ => {
+                let mut r = Reader::new(&bytes[1..]);
+                let msg = match tag {
+                    TAG_REBIRTH => {
+                        ProtoMsg::Rebirth(Box::new(dec_batch(&mut r, dec_ec_entry).ok()?))
+                    }
+                    TAG_PROMOTE => ProtoMsg::Promote(dec_promotions(&mut r).ok()?),
+                    TAG_REPLICA_REQUEST => ProtoMsg::ReplicaRequest(dec_vids(&mut r).ok()?),
+                    TAG_REPLICA_GRANT => ProtoMsg::ReplicaGrant(dec_grants(&mut r).ok()?),
+                    TAG_REPLICA_PLACED => ProtoMsg::ReplicaPlaced(dec_placed(&mut r).ok()?),
+                    TAG_MIRROR_UPDATE => {
+                        ProtoMsg::MirrorUpdate(dec_mirror_updates(&mut r, dec_meta).ok()?)
+                    }
+                    _ => return None,
+                };
+                settle(r, msg)
+            }
+        }
+    }
+}
+
+impl<V: Encode + Decode, A: Encode + Decode + Clone> WireCodec for VcMsg<V, A> {
+    fn encode_wire(&self, buf: &mut Vec<u8>) {
+        match self {
+            ProtoMsg::Sync(recs) => enc_sync(recs, buf),
+            ProtoMsg::Gather(recs) => enc_gather(recs, buf),
+            ProtoMsg::Rebirth(b) => {
+                buf.push(TAG_REBIRTH);
+                enc_batch(b, buf, enc_vc_entry);
+            }
+            ProtoMsg::Promote(ps) => {
+                buf.push(TAG_PROMOTE);
+                enc_promotions(ps, buf);
+            }
+            ProtoMsg::ReplicaRequest(vids) => {
+                buf.push(TAG_REPLICA_REQUEST);
+                enc_vids(vids, buf);
+            }
+            ProtoMsg::ReplicaGrant(gs) => {
+                buf.push(TAG_REPLICA_GRANT);
+                enc_grants(gs, buf);
+            }
+            ProtoMsg::ReplicaPlaced(ps) => {
+                buf.push(TAG_REPLICA_PLACED);
+                enc_placed(ps, buf);
+            }
+            ProtoMsg::MirrorUpdate(us) => {
+                buf.push(TAG_MIRROR_UPDATE);
+                enc_mirror_updates(us, buf, enc_vc_meta);
+            }
+        }
+    }
+
+    fn decode_wire(bytes: &[u8]) -> Option<Self> {
+        let tag = *bytes.first()?;
+        match tag {
+            SYNC_FRAME_TAG => dec_sync(bytes).ok().map(ProtoMsg::Sync),
+            GATHER_FRAME_TAG => dec_gather(bytes).ok().map(ProtoMsg::Gather),
+            _ => {
+                let mut r = Reader::new(&bytes[1..]);
+                let msg = match tag {
+                    TAG_REBIRTH => {
+                        ProtoMsg::Rebirth(Box::new(dec_batch(&mut r, dec_vc_entry).ok()?))
+                    }
+                    TAG_PROMOTE => ProtoMsg::Promote(dec_promotions(&mut r).ok()?),
+                    TAG_REPLICA_REQUEST => ProtoMsg::ReplicaRequest(dec_vids(&mut r).ok()?),
+                    TAG_REPLICA_GRANT => ProtoMsg::ReplicaGrant(dec_grants(&mut r).ok()?),
+                    TAG_REPLICA_PLACED => ProtoMsg::ReplicaPlaced(dec_placed(&mut r).ok()?),
+                    TAG_MIRROR_UPDATE => {
+                        ProtoMsg::MirrorUpdate(dec_mirror_updates(&mut r, dec_vc_meta).ok()?)
+                    }
+                    _ => return None,
+                };
+                settle(r, msg)
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -295,5 +715,141 @@ mod tests {
         1.5f64.encode(&mut buf);
         Option::<u8>::None.encode(&mut buf);
         assert_eq!(VcRecoverEntry::<f64>::wire_bytes(8), buf.len());
+    }
+
+    fn roundtrip_ec(m: &EcMsg<f64>) {
+        let mut buf = Vec::new();
+        m.encode_wire(&mut buf);
+        assert_eq!(EcMsg::<f64>::decode_wire(&buf).as_ref(), Some(m));
+    }
+
+    fn roundtrip_vc(m: &VcMsg<f64, f64>) {
+        let mut buf = Vec::new();
+        m.encode_wire(&mut buf);
+        assert_eq!(VcMsg::<f64, f64>::decode_wire(&buf).as_ref(), Some(m));
+    }
+
+    #[test]
+    fn wire_codec_roundtrips_every_variant() {
+        let meta = MasterMeta {
+            master_pos: 3,
+            replica_nodes: vec![NodeId::new(1), NodeId::new(2)],
+            replica_positions: vec![9, 11],
+            mirror_nodes: vec![NodeId::new(2)],
+            in_edges_owner: vec![(4, 0.5), (6, -1.25)],
+            in_edge_srcs: vec![Vid::new(40), Vid::new(60)],
+            out_local_owner: vec![1, 2],
+            out_remote: vec![],
+        };
+        let vc_meta = VcMeta {
+            master_pos: 5,
+            replica_nodes: vec![NodeId::new(3)],
+            replica_positions: vec![0],
+            mirror_nodes: vec![NodeId::new(3)],
+        };
+        roundtrip_ec(&EcMsg::Sync(vec![
+            VertexSync {
+                pos: 7,
+                value: 1.5,
+                activate: true,
+            },
+            VertexSync {
+                pos: 1_000_000,
+                value: -0.25,
+                activate: false,
+            },
+        ]));
+        roundtrip_ec(&EcMsg::Sync(vec![]));
+        roundtrip_ec(&EcMsg::Gather(vec![(Vid::new(3), ()), (Vid::new(900), ())]));
+        roundtrip_ec(&EcMsg::Rebirth(Box::new(RebirthBatch {
+            resume_iter: 17,
+            num_survivors: 3,
+            entries: vec![
+                EcRecoverEntry {
+                    vid: Vid::new(12),
+                    pos: 4,
+                    kind: CopyKind::Master,
+                    master_node: NodeId::new(0),
+                    value: 2.5,
+                    last_activate: true,
+                    active: false,
+                    in_edges: vec![(1, 0.5)],
+                    out_local: vec![2, 3],
+                    meta: Some(Box::new(meta.clone())),
+                },
+                EcRecoverEntry {
+                    vid: Vid::new(13),
+                    pos: 5,
+                    kind: CopyKind::Replica,
+                    master_node: NodeId::new(1),
+                    value: -1.0,
+                    last_activate: false,
+                    active: true,
+                    in_edges: vec![],
+                    out_local: vec![],
+                    meta: None,
+                },
+            ],
+        })));
+        roundtrip_ec(&EcMsg::Promote(vec![Promotion {
+            vid: Vid::new(8),
+            new_master: NodeId::new(2),
+            new_pos: 14,
+            old_node: NodeId::new(0),
+            old_pos: 3,
+        }]));
+        roundtrip_ec(&EcMsg::ReplicaRequest(vec![Vid::new(1), Vid::new(2)]));
+        roundtrip_ec(&EcMsg::ReplicaGrant(vec![ReplicaGrant {
+            vid: Vid::new(5),
+            value: 0.125,
+            last_activate: true,
+            master_node: NodeId::new(1),
+        }]));
+        roundtrip_ec(&EcMsg::ReplicaPlaced(vec![(Vid::new(5), 77)]));
+        roundtrip_ec(&EcMsg::MirrorUpdate(vec![MirrorUpdate {
+            vid: Vid::new(6),
+            meta: Box::new(meta),
+            value: Some(3.5),
+            last_activate: false,
+            master_node: NodeId::new(2),
+        }]));
+        roundtrip_vc(&VcMsg::Gather(vec![
+            (Vid::new(4), 0.75),
+            (Vid::new(5), -2.0),
+        ]));
+        roundtrip_vc(&VcMsg::Rebirth(Box::new(RebirthBatch {
+            resume_iter: 2,
+            num_survivors: 1,
+            entries: vec![VcRecoverEntry {
+                vid: Vid::new(9),
+                pos: 0,
+                kind: CopyKind::Mirror,
+                master_node: NodeId::new(3),
+                value: 4.5,
+                meta: Some(Box::new(vc_meta.clone())),
+            }],
+        })));
+        roundtrip_vc(&VcMsg::MirrorUpdate(vec![MirrorUpdate {
+            vid: Vid::new(10),
+            meta: Box::new(vc_meta),
+            value: None,
+            last_activate: true,
+            master_node: NodeId::new(3),
+        }]));
+    }
+
+    #[test]
+    fn wire_codec_rejects_garbage() {
+        assert_eq!(EcMsg::<f64>::decode_wire(&[]), None);
+        assert_eq!(EcMsg::<f64>::decode_wire(&[0xFF, 0, 0]), None);
+        // Trailing bytes after a well-formed scalar message.
+        let mut buf = Vec::new();
+        EcMsg::<f64>::ReplicaRequest(vec![Vid::new(1)]).encode_wire(&mut buf);
+        buf.push(0);
+        assert_eq!(EcMsg::<f64>::decode_wire(&buf), None);
+        // Truncated payload.
+        buf.pop();
+        buf.pop();
+        assert_eq!(EcMsg::<f64>::decode_wire(&buf), None);
     }
 }

@@ -52,6 +52,7 @@ pub fn run_vertex_cut<P>(
 where
     P: VertexProgram,
     P::Value: Encode + Decode + MemSize,
+    P::Accum: Encode + Decode,
 {
     assert_eq!(
         cfg.num_nodes,
@@ -173,6 +174,7 @@ fn ship_gather_batches<P>(ctx: &Ctx<VcModel<P>>, prog: &P, scratch: &mut VcScrat
 where
     P: VertexProgram,
     P::Value: Encode + Decode + MemSize,
+    P::Accum: Encode + Decode,
 {
     let mut shipped = 0u64;
     for n in 0..scratch.gather_batches.len() {
@@ -207,6 +209,7 @@ impl<P> ComputeModel for VcModel<P>
 where
     P: VertexProgram,
     P::Value: Encode + Decode + MemSize,
+    P::Accum: Encode + Decode,
 {
     type Value = P::Value;
     type Accum = P::Accum;

@@ -6,7 +6,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use imitator::{run_edge_cut, FtMode, RecoveryStrategy, RunConfig};
+use imitator::{run_edge_cut, FtMode, RecoveryStrategy, RunConfig, TransportKind};
 use imitator_cluster::{FailPoint, FailurePlan, NodeId};
 use imitator_engine::{Degrees, VertexProgram};
 use imitator_graph::{gen, Graph, Vid};
@@ -149,6 +149,7 @@ fn base_cfg(nodes: usize) -> RunConfig {
         sync_suppress: true,
         pipeline: true,
         delta_sync: true,
+        transport: TransportKind::Channel,
     }
 }
 

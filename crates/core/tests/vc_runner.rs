@@ -3,7 +3,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use imitator::{run_vertex_cut, FtMode, RecoveryStrategy, RunConfig};
+use imitator::{run_vertex_cut, FtMode, RecoveryStrategy, RunConfig, TransportKind};
 use imitator_cluster::{FailPoint, FailurePlan, NodeId};
 use imitator_engine::{Degrees, VertexProgram};
 use imitator_graph::{gen, Graph, Vid};
@@ -71,6 +71,7 @@ fn cfg(nodes: usize, ft: FtMode, standbys: usize) -> RunConfig {
         sync_suppress: true,
         pipeline: true,
         delta_sync: true,
+        transport: TransportKind::Channel,
     }
 }
 

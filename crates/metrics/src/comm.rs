@@ -139,8 +139,16 @@ impl CommKind {
 pub struct CommBreakdown {
     /// Per-kind tallies, indexed by `CommKind::ALL` order.
     pub by_kind: [CommStats; 4],
-    /// Summed wall-clock time all threads spent waiting inside barriers.
+    /// Summed wall-clock time all threads spent blocked in global barriers.
     pub barrier_wait: std::time::Duration,
+    /// Messages retransmitted by an unreliable transport's pre-barrier
+    /// fence (zero on the in-process channel transport, which never loses
+    /// a message). Retransmissions are physical traffic only — they are
+    /// *not* re-recorded in the logical per-kind tallies above.
+    pub retries: u64,
+    /// Duplicate deliveries suppressed by the transport's per-link
+    /// sequence-number filter before they could reach a node's inbox.
+    pub redelivered: u64,
 }
 
 impl CommBreakdown {
@@ -166,7 +174,15 @@ impl fmt::Display for CommBreakdown {
             }
             write!(f, "{}: {}", kind.label(), self.by_kind[i])?;
         }
-        write!(f, ", barrier-wait: {:?}", self.barrier_wait)
+        write!(f, ", barrier-wait: {:?}", self.barrier_wait)?;
+        if self.retries > 0 || self.redelivered > 0 {
+            write!(
+                f,
+                ", retries: {}, redelivered: {}",
+                self.retries, self.redelivered
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -195,6 +211,8 @@ pub struct AtomicCommStats {
     kind_messages: [AtomicU64; 4],
     kind_bytes: [AtomicU64; 4],
     barrier_wait_nanos: AtomicU64,
+    retries: AtomicU64,
+    redelivered: AtomicU64,
 }
 
 impl AtomicCommStats {
@@ -224,6 +242,19 @@ impl AtomicCommStats {
             .fetch_add(wait.as_nanos() as u64, Ordering::Relaxed);
     }
 
+    /// Adds `n` transport-level retransmissions (pre-barrier fence resends
+    /// of messages the wire lost). Not double-counted in the logical
+    /// per-kind tallies, which record each message once at send time.
+    pub fn record_retries(&self, n: u64) {
+        self.retries.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds `n` duplicate deliveries suppressed by the transport's per-link
+    /// sequence filter.
+    pub fn record_redelivered(&self, n: u64) {
+        self.redelivered.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Returns a point-in-time copy of the headline counters.
     pub fn snapshot(&self) -> CommStats {
         CommStats {
@@ -244,6 +275,8 @@ impl AtomicCommStats {
         }
         out.barrier_wait =
             std::time::Duration::from_nanos(self.barrier_wait_nanos.load(Ordering::Relaxed));
+        out.retries = self.retries.load(Ordering::Relaxed);
+        out.redelivered = self.redelivered.load(Ordering::Relaxed);
         out
     }
 
@@ -255,6 +288,8 @@ impl AtomicCommStats {
             self.kind_bytes[i].store(0, Ordering::Relaxed);
         }
         self.barrier_wait_nanos.store(0, Ordering::Relaxed);
+        self.retries.store(0, Ordering::Relaxed);
+        self.redelivered.store(0, Ordering::Relaxed);
         CommStats {
             messages: self.messages.swap(0, Ordering::Relaxed),
             bytes: self.bytes.swap(0, Ordering::Relaxed),
@@ -278,6 +313,8 @@ impl Clone for AtomicCommStats {
         }
         out.barrier_wait_nanos
             .store(br.barrier_wait.as_nanos() as u64, Ordering::Relaxed);
+        out.retries.store(br.retries, Ordering::Relaxed);
+        out.redelivered.store(br.redelivered, Ordering::Relaxed);
         out
     }
 }
@@ -374,5 +411,22 @@ mod tests {
     #[test]
     fn display_is_nonempty() {
         assert!(!format!("{}", CommStats::default()).is_empty());
+    }
+
+    #[test]
+    fn retries_and_redeliveries_tally_reset_and_clone() {
+        let stats = AtomicCommStats::new();
+        stats.record_retries(3);
+        stats.record_redelivered(2);
+        stats.record_retries(1);
+        let br = stats.breakdown();
+        assert_eq!((br.retries, br.redelivered), (4, 2));
+        // Net-fault counters are physical traffic, not logical messages.
+        assert_eq!(stats.snapshot(), CommStats::default());
+        let copy = stats.clone();
+        assert_eq!(copy.breakdown(), br);
+        stats.take();
+        let br = stats.breakdown();
+        assert_eq!((br.retries, br.redelivered), (0, 0));
     }
 }

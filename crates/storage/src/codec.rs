@@ -173,6 +173,16 @@ impl Decode for bool {
     }
 }
 
+impl Encode for () {
+    fn encode(&self, _buf: &mut Vec<u8>) {}
+}
+
+impl Decode for () {
+    fn decode(_r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(())
+    }
+}
+
 impl<T: Encode> Encode for Vec<T> {
     fn encode(&self, buf: &mut Vec<u8>) {
         (self.len() as u64).encode(buf);

@@ -24,7 +24,12 @@ cd "$(dirname "$0")/.."
 #          RAW-independence guard (EC-only semantics — VC has no activation
 #          replay). The chunk merge and the pool plumbing stay in
 #          recovery.rs/driver.rs; only the EC-specific scan moved here.
-BUDGET=1650
+#   1655 — pluggable transport: the TCP backend ships gather accumulators
+#          through the WireCodec, so the VC runner's three generic items
+#          each carry a one-line `P::Accum: Encode + Decode` bound
+#          (rustfmt puts every where-predicate on its own line). Bounds,
+#          not logic — the wire layer itself lives in crates/cluster.
+BUDGET=1655
 EC=crates/core/src/runner_ec.rs
 VC=crates/core/src/runner_vc.rs
 

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Transport-seam guard for the pluggable wire layer.
+#
+# All inter-node communication — sends, drains, barriers, standby dispatch
+# and liveness — goes through the `Transport`/`Pipe` traits in
+# crates/cluster/src/transport.rs. Nothing outside the cluster crate may
+# name a crossbeam type: the moment a runner or bench reaches for a raw
+# channel, it has punched a hole in the seam and the lossy/TCP backends
+# (and every delivery guarantee the recovery protocol relies on) silently
+# stop covering that traffic.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+# The intra-node worker pool dispatches chunk jobs to compute threads on
+# one machine over a crossbeam channel; that traffic never crosses the
+# wire seam, so the pool is the one sanctioned user outside the cluster
+# crate.
+ALLOW='crates/engine/src/pool.rs'
+
+hits=$(grep -rn "crossbeam" --include='*.rs' src tests examples crates 2>/dev/null |
+    grep -v '^crates/cluster/' |
+    grep -v "^${ALLOW}:" || true)
+
+if [ -n "$hits" ]; then
+    echo "error: crossbeam named outside the cluster transport seam:" >&2
+    echo "$hits" >&2
+    echo "Inter-node communication must go through the Transport/Pipe" >&2
+    echo "traits (crates/cluster/src/transport.rs) so every wire backend" >&2
+    echo "— channel, lossy, TCP — covers it." >&2
+    exit 1
+fi
+
+echo "ok: no crossbeam types escape crates/cluster (pool.rs intra-node use excepted)."

@@ -17,7 +17,9 @@ use std::time::Duration;
 
 use imitator_repro::algos::{Als, CommunityDetection, PageRank, Sssp};
 use imitator_repro::cluster::{FailPoint, FailurePlan, NodeId};
-use imitator_repro::ft::{run_edge_cut, FtMode, RecoveryStrategy, RunConfig, RunReport};
+use imitator_repro::ft::{
+    run_edge_cut, FtMode, NetFaults, RecoveryStrategy, RunConfig, RunReport, TransportKind,
+};
 use imitator_repro::graph::gen::Dataset;
 use imitator_repro::graph::{Graph, Vid};
 use imitator_repro::partition::{EdgeCutPartitioner, FennelEdgeCut, HashEdgeCut};
@@ -51,6 +53,10 @@ OPTIONS (run):
                                     identical)
   --no-delta-sync                   ship full sync records (disable delta
                                     encoding; results identical)
+  --tcp                             ship frames over loopback TCP sockets
+                                    (results identical to channels)
+  --lossy <seed>                    seeded drop/dup/reorder/delay fault
+                                    schedule on every link (results identical)
   --iters <n>                       iteration budget     [default: 20]
   --source <vid>                    SSSP source          [default: 0]
   --seed <u64>                      generator seed       [default: 42]
@@ -75,6 +81,7 @@ struct Opts {
     sync_suppress: bool,
     pipeline: bool,
     delta_sync: bool,
+    transport: TransportKind,
     fails: Vec<(u32, u64)>,
     iters: u64,
     source: u32,
@@ -100,6 +107,7 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
         sync_suppress: true,
         pipeline: true,
         delta_sync: true,
+        transport: TransportKind::Channel,
         fails: Vec::new(),
         iters: 20,
         source: 0,
@@ -135,6 +143,11 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
             "--no-sync-suppress" => opts.sync_suppress = false,
             "--no-pipeline" => opts.pipeline = false,
             "--no-delta-sync" => opts.delta_sync = false,
+            "--tcp" => opts.transport = TransportKind::Tcp,
+            "--lossy" => {
+                let seed = value()?.parse().map_err(|e| format!("--lossy: {e}"))?;
+                opts.transport = TransportKind::Lossy(NetFaults::from_seed(seed));
+            }
             "--fail" => {
                 let v = value()?;
                 let (node, iter) = v
@@ -284,6 +297,7 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
         sync_suppress: opts.sync_suppress,
         pipeline: opts.pipeline,
         delta_sync: opts.delta_sync,
+        transport: opts.transport,
     };
     let failures: Vec<FailurePlan> = opts
         .fails

@@ -15,7 +15,8 @@ use proptest::prelude::*;
 use imitator_repro::cluster::{FailPoint, FailurePlan, NodeId};
 use imitator_repro::engine::{Degrees, VertexProgram};
 use imitator_repro::ft::{
-    run_edge_cut, run_vertex_cut, FtMode, RecoveryStrategy, RunConfig, RunReport,
+    run_edge_cut, run_vertex_cut, FtMode, LinkFaults, NetFaults, RecoveryStrategy, RunConfig,
+    RunReport, TransportKind,
 };
 use imitator_repro::graph::{gen, Graph, Vid};
 use imitator_repro::partition::{
@@ -2016,5 +2017,164 @@ fn wire_format_invisible_e2e() {
         } else {
             assert_eq!(ckpt_bytes, 0, "{name}: unexpected checkpoint writes");
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Transport equivalence (the wire seam). The backend a run communicates over
+// — reliable in-process channels, seeded-lossy links, loopback TCP — must be
+// invisible in every logical observable: sequence-numbered idempotent
+// redelivery plus the pre-barrier retransmission fence restore exactly the
+// delivery guarantee the protocol was written against, and logical
+// accounting is recorded before a frame reaches the wire, so message and
+// byte tallies are bit-identical too. Only the *physical* retries and
+// redelivered counters may move — and under a fault schedule they must, or
+// the schedule never fired.
+// ---------------------------------------------------------------------------
+
+/// Severe-but-survivable uniform faults for the equivalence sweeps: heavy
+/// enough that even the smallest generated scenario trips several faults.
+fn heavy_faults(seed: u64) -> NetFaults {
+    NetFaults::uniform(
+        seed,
+        LinkFaults {
+            drop_pm: 150,
+            dup_pm: 120,
+            reorder_pm: 100,
+            delay_pm: 80,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(10)))]
+
+    /// Both engines × threads {1,4} × seeded drop/dup/reorder/delay
+    /// schedules, with machine crashes layered on top of the link faults:
+    /// the run converges to the failure-free golden values, every logical
+    /// tally matches the reliable-channel run of the same schedule, and the
+    /// physical retry counters are nonzero (the faults really fired).
+    #[test]
+    fn lossy_transport_bit_identical(
+        (s, threads, net_seed) in (
+            arb_scenario(),
+            prop_oneof![Just(1usize), Just(4usize)],
+            any::<u64>(),
+        )
+    ) {
+        let ft = FtMode::Replication {
+            tolerance: s.tolerance,
+            selfish_opt: false,
+            recovery: s.strategy,
+        };
+        let standbys = match s.strategy {
+            RecoveryStrategy::Rebirth => s.failures.len(),
+            RecoveryStrategy::Migration => 0,
+        };
+        let lossy = TransportKind::Lossy(heavy_faults(net_seed));
+        for edge_cut in [true, false] {
+            let run = |transport, ft, standbys, failures: Vec<FailurePlan>| {
+                let cfg = RunConfig {
+                    threads_per_node: threads,
+                    transport,
+                    ..config(&s, ft, standbys)
+                };
+                let dfs = Dfs::new(DfsConfig::instant());
+                if edge_cut {
+                    let cut = HashEdgeCut.partition(&s.graph, s.nodes);
+                    run_edge_cut(&s.graph, &cut, Arc::new(MinLabel), cfg, failures, dfs)
+                } else {
+                    let cut = RandomVertexCut.partition(&s.graph, s.nodes);
+                    run_vertex_cut(&s.graph, &cut, Arc::new(MinLabel), cfg, failures, dfs)
+                }
+            };
+            let clean = run(TransportKind::Channel, FtMode::None, 0, vec![]);
+            let reliable = run(TransportKind::Channel, ft, standbys, plans(&s));
+            let faulted = run(lossy, ft, standbys, plans(&s));
+            prop_assert_eq!(&faulted.values, &clean.values);
+            prop_assert_eq!(&faulted.values, &reliable.values);
+            prop_assert_eq!(faulted.iterations, reliable.iterations);
+            prop_assert_eq!(faulted.comm.messages, reliable.comm.messages);
+            prop_assert_eq!(faulted.comm.bytes, reliable.comm.bytes);
+            prop_assert_eq!(faulted.ft_comm.messages, reliable.ft_comm.messages);
+            prop_assert_eq!(faulted.ft_comm.bytes, reliable.ft_comm.bytes);
+            prop_assert_eq!(faulted.recoveries.len(), reliable.recoveries.len());
+            prop_assert_eq!(reliable.fabric.retries, 0);
+            prop_assert_eq!(reliable.fabric.redelivered, 0);
+            prop_assert!(
+                faulted.fabric.retries + faulted.fabric.redelivered > 0,
+                "fault schedule never fired (edge_cut={})",
+                edge_cut
+            );
+        }
+    }
+}
+
+/// The acceptance schedule: a Migration recovery whose protocol rounds lose
+/// frames (drop on `Recovery` traffic only) while the normal supersteps see
+/// duplicated sync frames (dup on `Sync` traffic only). The run must end
+/// bit-identical to the reliable-channel run, with the retransmission
+/// counter proving at least one Migration-round message was dropped and the
+/// redelivery counter proving at least one sync frame was duplicated and
+/// suppressed.
+#[test]
+fn lossy_migration_round_drop_and_sync_dup_recover() {
+    let g = lcg_graph(120, 400, 5);
+    let faults = NetFaults {
+        seed: 0xD5A1,
+        sync: LinkFaults {
+            dup_pm: 250,
+            ..LinkFaults::NONE
+        },
+        gather: LinkFaults::NONE,
+        recovery: LinkFaults {
+            drop_pm: 250,
+            ..LinkFaults::NONE
+        },
+        control: LinkFaults::NONE,
+    };
+    let ft = FtMode::Replication {
+        tolerance: 1,
+        selfish_opt: false,
+        recovery: RecoveryStrategy::Migration,
+    };
+    let plan = vec![FailurePlan {
+        node: NodeId::from_index(1),
+        iteration: 2,
+        point: FailPoint::BeforeBarrier,
+    }];
+    for edge_cut in [true, false] {
+        let run = |transport| {
+            let cfg = RunConfig {
+                num_nodes: 4,
+                max_iters: 30,
+                ft,
+                standbys: 0,
+                transport,
+                ..RunConfig::default()
+            };
+            let dfs = Dfs::new(DfsConfig::instant());
+            if edge_cut {
+                let cut = HashEdgeCut.partition(&g, 4);
+                run_edge_cut(&g, &cut, Arc::new(MinLabel), cfg, plan.clone(), dfs)
+            } else {
+                let cut = RandomVertexCut.partition(&g, 4);
+                run_vertex_cut(&g, &cut, Arc::new(MinLabel), cfg, plan.clone(), dfs)
+            }
+        };
+        let reliable = run(TransportKind::Channel);
+        let faulted = run(TransportKind::Lossy(faults));
+        assert_eq!(faulted.values, reliable.values, "edge_cut={edge_cut}");
+        assert_eq!(faulted.iterations, reliable.iterations);
+        assert_eq!(faulted.comm.bytes, reliable.comm.bytes);
+        assert_eq!(faulted.recoveries.len(), 1, "edge_cut={edge_cut}");
+        assert!(
+            faulted.fabric.retries >= 1,
+            "no Migration-round frame was dropped+retransmitted (edge_cut={edge_cut})"
+        );
+        assert!(
+            faulted.fabric.redelivered >= 1,
+            "no sync frame was duplicated+suppressed (edge_cut={edge_cut})"
+        );
     }
 }
