@@ -14,15 +14,16 @@
 
 use std::time::{Duration, Instant};
 
-use imitator::{FtMode, RecoveryStrategy, RunConfig};
+use imitator::{DetectorKind, FtMode, RecoveryStrategy, RunConfig};
 use imitator_algos::PageRank;
 use imitator_bench::{banner, best_of, crash, ramfs, reps, run_ec, run_vc, BenchOpts, Workload};
-use imitator_cluster::{Cluster, NodeId, TransportKind};
+use imitator_cluster::{Cluster, NodeId, TransportKind, TICKS_PER_MS};
 use imitator_engine::{
     build_edge_cut_graphs, build_vertex_cut_graphs, ec_compute, ec_compute_par, ec_compute_scan,
     vc_partial_gather, vc_partial_gather_par, Degrees, FtPlan, VcGatherIndex,
 };
 use imitator_graph::gen;
+use imitator_metrics::CommKind;
 use imitator_partition::{EdgeCutPartitioner, HashEdgeCut, RandomVertexCut, VertexCutPartitioner};
 
 /// Best-of-`n` wall time of `f`, in seconds.
@@ -339,6 +340,61 @@ fn main() {
         }
     }
 
+    // Failure detection: observed heartbeat latency (crash → confirmed
+    // death, as counted by the detector itself in silence ticks) and the
+    // wire cost of the liveness traffic. p50 should sit near the configured
+    // timeout; p99 absorbs scheduler noise. The byte gauge is the total
+    // heartbeat traffic of one 20-iteration run — the standing overhead a
+    // run pays for not needing an oracle.
+    let hb_overhead_bytes;
+    {
+        let hb_cfg = RunConfig {
+            num_nodes: opts.nodes,
+            max_iters: 20,
+            ft: FtMode::Replication {
+                tolerance: 1,
+                selfish_opt: false,
+                recovery: RecoveryStrategy::Migration,
+            },
+            threads_per_node: 4,
+            detector: DetectorKind::Heartbeat,
+            hb_interval: Duration::from_millis(1),
+            hb_timeout: Duration::from_millis(6),
+            ..RunConfig::default()
+        };
+        let mut samples: Vec<f64> = Vec::new();
+        for rep in 0..reps().max(5) as u64 {
+            let s = run_ec(
+                Workload::PageRank,
+                &g,
+                &cut,
+                hb_cfg,
+                vec![crash(1, 3 + (rep % 4))],
+                ramfs(),
+            );
+            assert!(
+                s.suspicion.confirmed >= 1,
+                "heartbeat run must confirm the crash, got {:?}",
+                s.suspicion
+            );
+            let ms = s.suspicion.detect_ticks as f64
+                / s.suspicion.confirmed as f64
+                / TICKS_PER_MS as f64;
+            samples.push(ms / 1e3); // seconds, like every other entry
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN latencies"));
+        let pct = |p: f64| {
+            let rank = ((p / 100.0) * samples.len() as f64).ceil() as usize;
+            samples[rank.saturating_sub(1).min(samples.len() - 1)]
+        };
+        record("detection_latency_p50", pct(50.0));
+        record("detection_latency_p99", pct(99.0));
+        // Byte gauge from a crash-free run: pure liveness overhead, no
+        // recovery traffic mixed in.
+        let s = run_ec(Workload::PageRank, &g, &cut, hb_cfg, vec![], ramfs());
+        hb_overhead_bytes = s.fabric.kind(CommKind::Heartbeat).bytes as f64;
+    }
+
     // Checkpoint write cost: full snapshots every epoch vs the delta-epoch
     // cadence (full every 4th, dirty-only in between) on the same run. The
     // full-snapshot run also yields the bytes-per-checkpoint gauge (DFS
@@ -399,10 +455,14 @@ fn main() {
     // the non-blocking CI bytes-regression step.
     json.push_str("  \"bytes\": {\n");
     json.push_str(&format!("    \"bytes_per_sync\": {bytes_per_sync:.4},\n"));
-    json.push_str(&format!("    \"bytes_per_ckpt\": {bytes_per_ckpt:.1}\n"));
+    json.push_str(&format!("    \"bytes_per_ckpt\": {bytes_per_ckpt:.1},\n"));
+    json.push_str(&format!(
+        "    \"hb_overhead_bytes\": {hb_overhead_bytes:.1}\n"
+    ));
     json.push_str("  }\n}\n");
     println!("  {:<40} {bytes_per_sync:>10.4} B", "bytes_per_sync");
     println!("  {:<40} {bytes_per_ckpt:>10.1} B", "bytes_per_ckpt");
+    println!("  {:<40} {hb_overhead_bytes:>10.1} B", "hb_overhead_bytes");
     std::fs::write("BENCH_engine.json", json).expect("write BENCH_engine.json");
     println!("wrote BENCH_engine.json ({} entries)", results.len());
 }

@@ -23,7 +23,7 @@ use imitator::{run_edge_cut, run_vertex_cut, RunConfig, RunReport};
 use imitator_algos::{Als, CommunityDetection, PageRank, Sssp};
 use imitator_cluster::{FailPoint, FailurePlan, NodeId};
 use imitator_graph::{gen, gen::Dataset, Graph, Vid};
-use imitator_metrics::CommStats;
+use imitator_metrics::{CommBreakdown, CommStats, SuspicionStats};
 use imitator_partition::{EdgeCut, VertexCut};
 use imitator_storage::{Dfs, DfsConfig};
 
@@ -154,6 +154,11 @@ pub struct Summary {
     pub timeline: Vec<(u64, Duration)>,
     /// Redundant sync records suppressed across the run.
     pub suppressed_syncs: u64,
+    /// Fabric traffic split by kind (sync / gather / recovery / control /
+    /// heartbeat) — the denominator for heartbeat-overhead figures.
+    pub fabric: CommBreakdown,
+    /// Failure-detector activity (all-zero under the oracle detector).
+    pub suspicion: SuspicionStats,
 }
 
 fn summarize<V>(r: RunReport<V>) -> Summary {
@@ -169,6 +174,8 @@ fn summarize<V>(r: RunReport<V>) -> Summary {
         extra_replicas: r.extra_replicas,
         timeline: r.timeline,
         suppressed_syncs: r.suppressed_syncs,
+        fabric: r.fabric,
+        suspicion: r.suspicion,
     }
 }
 

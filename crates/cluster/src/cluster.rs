@@ -43,9 +43,10 @@ use imitator_metrics::{AtomicCommStats, CommKind};
 use parking_lot::Mutex;
 
 use crate::coord::{BarrierOutcome, Coordinator};
+use crate::detector::{DetectorConfig, PUMP_QUANTUM};
 use crate::injector::TransportKind;
 use crate::transport::{
-    ChannelTransport, LossyTransport, Pipe, TcpTransport, Transport, WireCodec,
+    ChannelTransport, LossyTransport, Pipe, TcpTransport, Transport, WireCodec, HB_WIRE_BYTES,
 };
 use crate::NodeId;
 
@@ -185,7 +186,14 @@ impl<M: Send + 'static> Cluster<M> {
         assert!(num_nodes > 0, "cluster needs at least one node");
         let fabric = Fabric::new(num_nodes);
         let transport: Arc<dyn Transport<M>> = Arc::new(ChannelTransport::new(Arc::clone(&fabric)));
-        Self::assemble(fabric, transport, num_nodes, num_standbys, detection_delay)
+        Self::assemble(
+            fabric,
+            transport,
+            num_nodes,
+            num_standbys,
+            DetectorConfig::oracle(detection_delay),
+            false,
+        )
     }
 
     fn assemble(
@@ -193,12 +201,18 @@ impl<M: Send + 'static> Cluster<M> {
         transport: Arc<dyn Transport<M>>,
         num_nodes: usize,
         num_standbys: usize,
-        detection_delay: Duration,
+        detector: DetectorConfig,
+        wall_clock: bool,
     ) -> Self {
         Cluster {
             fabric,
             transport,
-            coord: Arc::new(Coordinator::new(num_nodes, num_standbys, detection_delay)),
+            coord: Arc::new(Coordinator::with_detector(
+                num_nodes,
+                num_standbys,
+                detector,
+                wall_clock,
+            )),
             comm: Arc::default(),
         }
     }
@@ -234,6 +248,7 @@ impl<M: Send + 'static> Cluster<M> {
     fn make_ctx(&self, id: NodeId, inbox: Receiver<Envelope<M>>) -> NodeCtx<M> {
         NodeCtx {
             id,
+            birth: self.coord.detector().birth(id),
             pipe: self.transport.open(self, id, inbox),
             cluster: self.clone(),
         }
@@ -334,14 +349,34 @@ impl<M: Send + Clone + WireCodec + 'static> Cluster<M> {
         detection_delay: Duration,
         kind: TransportKind,
     ) -> Self {
+        Self::with_detector(
+            num_nodes,
+            num_standbys,
+            DetectorConfig::oracle(detection_delay),
+            kind,
+        )
+    }
+
+    /// Creates a cluster over the wire backend selected by `kind` with an
+    /// explicit failure-detector configuration. The clock is virtual
+    /// (deterministic) under Channel and Lossy backends, and real under
+    /// TCP.
+    pub fn with_detector(
+        num_nodes: usize,
+        num_standbys: usize,
+        detector: DetectorConfig,
+        kind: TransportKind,
+    ) -> Self {
         assert!(num_nodes > 0, "cluster needs at least one node");
         let fabric = Fabric::new(num_nodes);
+        let wall_clock = matches!(kind, TransportKind::Tcp);
         let mut cluster = Self::assemble(
             Arc::clone(&fabric),
             Arc::new(ChannelTransport::new(Arc::clone(&fabric))),
             num_nodes,
             num_standbys,
-            detection_delay,
+            detector,
+            wall_clock,
         );
         cluster.transport = match kind {
             TransportKind::Channel => cluster.transport,
@@ -355,6 +390,7 @@ impl<M: Send + Clone + WireCodec + 'static> Cluster<M> {
                 Arc::clone(&fabric),
                 num_nodes,
                 Arc::clone(&cluster.comm),
+                Arc::clone(cluster.coord.detector()),
             )),
         };
         cluster
@@ -375,8 +411,24 @@ pub(crate) struct RouteCache<M> {
 /// clonable), matching one process per machine.
 pub struct NodeCtx<M> {
     id: NodeId,
+    /// The detector incarnation this context was created under; stale-birth
+    /// evidence (a zombie's close event, late heartbeats) is fenced out.
+    birth: u64,
     pipe: Box<dyn Pipe<M>>,
     cluster: Cluster<M>,
+}
+
+impl<M> Drop for NodeCtx<M> {
+    /// Dropping the context is the node's process exit — clean completion
+    /// or crash alike. The detector's close event lets a *suspected* node
+    /// be confirmed without waiting out the fence, which pins heartbeat
+    /// detection to the same barrier epoch the oracle would pick.
+    fn drop(&mut self) {
+        self.cluster
+            .coord
+            .detector()
+            .observe_close(self.id, self.birth);
+    }
 }
 
 impl<M> fmt::Debug for NodeCtx<M> {
@@ -434,9 +486,89 @@ impl<M: Send + 'static> NodeCtx<M> {
         self.pipe.drain()
     }
 
-    /// Blocks up to `timeout` for one message.
+    /// Blocks up to `timeout` for one message. While the failure detector
+    /// needs pumping the wait is sliced by [`PUMP_QUANTUM`] so detection
+    /// (and heartbeat emission) progresses even inside long receives.
     pub fn recv_timeout(&self, timeout: Duration) -> Option<Envelope<M>> {
-        self.pipe.recv_timeout(timeout)
+        if !self.cluster.coord.detector().needs_pump() {
+            return self.pipe.recv_timeout(timeout);
+        }
+        let deadline = Instant::now() + timeout;
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                // One last non-blocking look so a zero/elapsed timeout still
+                // returns an already-queued message, as the unpumped path does.
+                return self.pipe.recv_timeout(Duration::ZERO);
+            }
+            let slice = PUMP_QUANTUM.min(deadline - now);
+            if let Some(env) = self.pipe.recv_timeout(slice) {
+                return Some(env);
+            }
+            self.pump();
+        }
+    }
+
+    /// One failure-detector pump slice: advance the clock, self-stamp
+    /// liveness, emit a heartbeat if one is due, and apply any
+    /// newly-confirmed failures. Called automatically from pumped waits;
+    /// harmless to call from anywhere a node is demonstrably alive.
+    pub fn pump(&self) {
+        let det = self.cluster.coord.detector();
+        det.tick();
+        det.note_alive(self.id);
+        self.emit_heartbeats();
+        self.cluster.coord.pump_detector();
+    }
+
+    /// Emits one sequence-numbered heartbeat to every alive peer when the
+    /// emission interval has elapsed (no-op under the oracle detector).
+    /// Heartbeats are fire-and-forget: never fenced, never retransmitted.
+    fn emit_heartbeats(&self) {
+        let coord = &self.cluster.coord;
+        let Some(seq) = coord.detector().should_emit(self.id) else {
+            return;
+        };
+        let mut sent = 0u64;
+        for i in 0..coord.num_nodes() {
+            let peer = NodeId::from_index(i);
+            if peer != self.id && coord.is_alive(peer) {
+                self.pipe.send_heartbeat(peer, seq);
+                sent += 1;
+            }
+        }
+        if sent > 0 {
+            self.cluster
+                .comm
+                .record_kind(CommKind::Heartbeat, sent, sent * HB_WIRE_BYTES);
+        }
+    }
+
+    /// Goes silent for `ticks` detector ticks without crashing — the
+    /// injector's [`FailPoint::Stall`](crate::FailPoint::Stall). The node
+    /// keeps the clock moving but emits no liveness evidence, so under the
+    /// heartbeat detector a long stall gets it suspected (and, past the
+    /// fence, confirmed dead). Returns `true` when the node is still a
+    /// cluster member afterwards; `false` means it was fenced out and must
+    /// exit exactly as if it had crashed.
+    pub fn stall(&self, ticks: u64) -> bool {
+        let det = self.cluster.coord.detector();
+        let end = det.now() + ticks;
+        while det.now() < end {
+            std::thread::sleep(PUMP_QUANTUM);
+            det.tick();
+            self.cluster.coord.pump_detector();
+            if det.is_stale(self.id, self.birth) {
+                return false; // fenced out mid-stall
+            }
+        }
+        if det.is_stale(self.id, self.birth) {
+            return false;
+        }
+        // Back from the dead-to-the-world pause: stamp liveness so a
+        // pre-fence suspicion is retracted deterministically right here.
+        det.note_alive(self.id);
+        true
     }
 
     /// Enters the next global barrier (Algorithm 1's `enter_barrier` /
@@ -447,19 +579,20 @@ impl<M: Send + 'static> NodeCtx<M> {
     /// endpoint: everything it sent is retransmitted/settled as needed so
     /// the pre-barrier delivery guarantee holds on unreliable backends.
     pub fn enter_barrier(&self) -> BarrierOutcome {
-        self.pipe.flush();
-        let start = Instant::now();
-        let out = self.cluster.coord.barrier(self.id);
-        self.cluster.comm.record_barrier_wait(start.elapsed());
-        out
+        self.enter_barrier_sum(0).0
     }
 
     /// Enters the next global barrier contributing `value` to the
-    /// all-reduced sum (e.g. this node's active-vertex count).
+    /// all-reduced sum (e.g. this node's active-vertex count). While
+    /// blocked, the node pumps the failure detector and keeps emitting
+    /// heartbeats — a barrier waiter is alive and must look alive.
     pub fn enter_barrier_sum(&self, value: u64) -> (BarrierOutcome, u64) {
         self.pipe.flush();
         let start = Instant::now();
-        let out = self.cluster.coord.barrier_sum(self.id, value);
+        let out = self
+            .cluster
+            .coord
+            .barrier_sum_pump(self.id, value, &mut || self.emit_heartbeats());
         self.cluster.comm.record_barrier_wait(start.elapsed());
         out
     }

@@ -1,17 +1,26 @@
 //! The coordination service (ZooKeeper's role in the paper).
 //!
 //! Provides epoch-numbered global barriers whose *outcome* carries failure
-//! information, membership tracking with delayed (heartbeat-style) failure
-//! detection, and bookkeeping for standby adoption. Algorithm 1's
-//! `enter_barrier` / `leave_barrier` map directly onto [`Coordinator::barrier`]:
-//! consecutive calls are consecutive barrier instances.
+//! information, membership tracking driven by a pluggable
+//! [`FailureDetector`] (injector oracle or real heartbeat suspicion), and
+//! bookkeeping for standby adoption. Algorithm 1's `enter_barrier` /
+//! `leave_barrier` map directly onto [`Coordinator::barrier`]: consecutive
+//! calls are consecutive barrier instances.
+//!
+//! Liveness transitions flow through exactly one funnel: the detector's
+//! `scan` decides *who* is down, [`Coordinator::mark_failed`] applies it.
+//! Barrier waits are sliced by [`PUMP_QUANTUM`] whenever the detector needs
+//! pumping, so detection progresses even while every node is blocked.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
+use imitator_metrics::SuspicionStats;
 use parking_lot::{Condvar, Mutex};
 
+use crate::detector::{DetectorConfig, FailureDetector, PUMP_QUANTUM};
 use crate::NodeId;
 
 /// The result every participant observes for one barrier instance.
@@ -109,7 +118,7 @@ impl Inner {
 pub struct Coordinator {
     inner: Mutex<Inner>,
     cond: Condvar,
-    detection_delay: Duration,
+    detector: Arc<FailureDetector>,
     /// Lock-free mirror of `Inner::alive`, maintained under the lock on
     /// every liveness transition. [`Coordinator::is_alive`] sits on the
     /// per-message fabric send path, where taking the barrier mutex would
@@ -119,9 +128,26 @@ pub struct Coordinator {
 
 impl Coordinator {
     /// Creates a coordinator for `num_nodes` initially-alive nodes and
-    /// `num_standbys` hot standbys, with heartbeat-style failure detection
-    /// taking `detection_delay` after a crash.
+    /// `num_standbys` hot standbys, with oracle failure detection taking
+    /// `detection_delay` (in virtual clock ticks) after a crash.
     pub fn new(num_nodes: usize, num_standbys: usize, detection_delay: Duration) -> Self {
+        Self::with_detector(
+            num_nodes,
+            num_standbys,
+            DetectorConfig::oracle(detection_delay),
+            false,
+        )
+    }
+
+    /// Creates a coordinator with an explicit failure-detector
+    /// configuration. `wall_clock` selects real time over deterministic
+    /// virtual ticks (used by the TCP transport).
+    pub fn with_detector(
+        num_nodes: usize,
+        num_standbys: usize,
+        cfg: DetectorConfig,
+        wall_clock: bool,
+    ) -> Self {
         Coordinator {
             inner: Mutex::new(Inner {
                 alive: vec![true; num_nodes],
@@ -135,9 +161,19 @@ impl Coordinator {
                 standbys_available: num_standbys,
             }),
             cond: Condvar::new(),
-            detection_delay,
+            detector: Arc::new(FailureDetector::new(num_nodes, cfg, wall_clock)),
             alive_fast: (0..num_nodes).map(|_| AtomicBool::new(true)).collect(),
         }
+    }
+
+    /// The failure detector driving this coordinator's liveness.
+    pub fn detector(&self) -> &Arc<FailureDetector> {
+        &self.detector
+    }
+
+    /// Point-in-time suspicion counters from the detector.
+    pub fn suspicion_stats(&self) -> SuspicionStats {
+        self.detector.stats()
     }
 
     /// Number of logical node slots (alive or not).
@@ -182,11 +218,34 @@ impl Coordinator {
     /// A node marked failed mid-barrier contributes nothing (its value, like
     /// its messages, is lost with it).
     pub fn barrier_sum(&self, me: NodeId, value: u64) -> (BarrierOutcome, u64) {
+        self.barrier_sum_pump(me, value, &mut || {})
+    }
+
+    /// Like [`Coordinator::barrier_sum`], but while blocked the caller also
+    /// pumps the failure detector: each [`PUMP_QUANTUM`] slice advances the
+    /// clock, self-stamps the waiter's liveness (a barrier waiter is alive
+    /// by construction — only silent *non*-waiters can stay suspected),
+    /// runs `emit` (the node's heartbeat-emission hook), and scans for
+    /// confirmable failures. With an idle detector this degrades to a pure
+    /// blocking wait.
+    ///
+    /// A node that was fenced out by a false suspicion observes its own
+    /// death here: instead of asserting, the barrier refuses the arrival
+    /// and reports the node to itself so it can exit cleanly.
+    pub fn barrier_sum_pump(
+        &self,
+        me: NodeId,
+        value: u64,
+        emit: &mut dyn FnMut(),
+    ) -> (BarrierOutcome, u64) {
         let mut inner = self.inner.lock();
-        debug_assert!(
-            inner.alive[me.index()],
-            "dead node {me} must not enter the barrier"
-        );
+        if !inner.alive[me.index()] {
+            let mut dead = inner.unrecovered.clone();
+            if !dead.contains(&me) {
+                dead.push(me);
+            }
+            return (BarrierOutcome::Failed(dead), 0);
+        }
         debug_assert!(!inner.arrived[me.index()], "{me} entered the barrier twice");
         let my_epoch = inner.epoch;
         inner.arrived[me.index()] = true;
@@ -199,26 +258,46 @@ impl Coordinator {
             if let Some(result) = inner.result_for(my_epoch) {
                 return result;
             }
-            self.cond.wait(&mut inner);
+            if self.detector.needs_pump() {
+                if self.cond.wait_for(&mut inner, PUMP_QUANTUM) {
+                    drop(inner);
+                    self.detector.tick();
+                    self.detector.note_alive(me);
+                    emit();
+                    self.pump_detector();
+                    inner = self.inner.lock();
+                }
+            } else {
+                self.cond.wait(&mut inner);
+            }
         }
     }
 
-    /// Reports that `node` crashed. After the configured detection delay the
-    /// node is marked dead, any barrier it blocked is re-evaluated, and the
-    /// next barrier outcome becomes `Failed`.
+    /// One detection pass: asks the detector for newly-confirmed failures
+    /// and applies them. This is the *only* caller of [`mark_failed`] in
+    /// production paths — the funnel the transport-seam guard enforces.
     ///
-    /// Called by the crashing node itself on its way out (the simulation's
-    /// stand-in for the master noticing missed heartbeats).
-    pub fn report_death(self: &std::sync::Arc<Self>, node: NodeId) {
-        if self.detection_delay.is_zero() {
+    /// [`mark_failed`]: Coordinator::mark_failed
+    pub fn pump_detector(&self) {
+        for node in self.detector.scan(&|n| self.is_alive(n)) {
+            self.mark_failed(node);
+        }
+    }
+
+    /// Reports that `node` crashed. Under the zero-delay oracle the node is
+    /// marked dead immediately (the legacy synchronous path); under a
+    /// delayed oracle the death is queued in virtual time and drained by
+    /// the pump loop; under the heartbeat detector this is a no-op —
+    /// survivors must notice the missed heartbeats themselves.
+    ///
+    /// Called by the crashing node itself on its way out.
+    pub fn report_death(&self, node: NodeId) {
+        if self.detector.report_death(node) {
             self.mark_failed(node);
         } else {
-            let coord = std::sync::Arc::clone(self);
-            let delay = self.detection_delay;
-            std::thread::spawn(move || {
-                std::thread::sleep(delay);
-                coord.mark_failed(node);
-            });
+            // Wake blocked waiters so they re-check `needs_pump` and start
+            // slicing their waits (they may be parked in a plain wait).
+            self.cond.notify_all();
         }
     }
 
@@ -253,6 +332,8 @@ impl Coordinator {
         inner.alive[node.index()] = true;
         self.alive_fast[node.index()].store(true, Ordering::Release);
         inner.unrecovered.retain(|&n| n != node);
+        // New incarnation: fresh liveness, stale heartbeat evidence fenced.
+        self.detector.on_revive(node);
         self.cond.notify_all();
     }
 
@@ -414,6 +495,34 @@ mod tests {
         assert!(c.is_alive(NodeId::new(1)), "death visible before delay");
         let outcome = c.barrier(NodeId::new(0)); // blocks until detection
         assert!(outcome.is_fail());
+    }
+
+    #[test]
+    fn heartbeat_close_event_fails_waiting_barrier() {
+        use crate::detector::DetectorConfig;
+        let cfg = DetectorConfig::heartbeat(Duration::from_millis(1), Duration::from_millis(4));
+        let c = Arc::new(Coordinator::with_detector(2, 0, cfg, false));
+        // Node 1 crashes: its context close is the only trace it leaves.
+        c.detector().observe_close(NodeId::new(1), 0);
+        // Node 0's pumped barrier wait must advance virtual time, suspect
+        // the silent node, confirm via the close event, and fail the epoch.
+        let outcome = c.barrier(NodeId::new(0));
+        assert_eq!(outcome, BarrierOutcome::Failed(vec![NodeId::new(1)]));
+        let st = c.suspicion_stats();
+        assert_eq!(st.confirmed, 1);
+        assert!(st.detect_ticks > 0, "observed latency recorded");
+    }
+
+    #[test]
+    fn fenced_node_observes_own_death_at_barrier() {
+        let c = coord(2);
+        c.mark_failed(NodeId::new(0));
+        let (outcome, sum) = c.barrier_sum(NodeId::new(0), 7);
+        match outcome {
+            BarrierOutcome::Failed(dead) => assert!(dead.contains(&NodeId::new(0))),
+            o => panic!("unexpected {o:?}"),
+        }
+        assert_eq!(sum, 0, "a dead node's contribution is lost");
     }
 
     #[test]

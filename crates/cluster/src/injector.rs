@@ -53,6 +53,12 @@ pub enum FailPoint {
     /// Mid checkpoint write: the node dies after writing a torn (unsealed)
     /// snapshot part, leaving a detectably-incomplete epoch behind.
     CkptWrite,
+    /// The node does not crash at all: it goes silent for the given number
+    /// of detector ticks at the start of the iteration (GC pause, overload).
+    /// Under the heartbeat detector a long enough stall gets the node
+    /// suspected — and, past the fence, treated exactly like a crash — so
+    /// this point exercises false-suspicion retraction and fencing.
+    Stall(u64),
 }
 
 /// One scheduled crash.
@@ -118,6 +124,10 @@ pub struct NetFaults {
     pub recovery: LinkFaults,
     /// Faults applied to everything else.
     pub control: LinkFaults,
+    /// Faults applied to failure-detector heartbeat probes. Heartbeats are
+    /// fire-and-forget (never fenced or retransmitted), so a dropped probe
+    /// is simply lost — the detector must tolerate it via its timeout.
+    pub heartbeat: LinkFaults,
 }
 
 impl NetFaults {
@@ -129,6 +139,7 @@ impl NetFaults {
             gather: f,
             recovery: f,
             control: f,
+            heartbeat: f,
         }
     }
 
@@ -151,12 +162,15 @@ impl NetFaults {
             reorder_pm: (next() % 120) as u16,
             delay_pm: (next() % 80) as u16,
         };
+        // The heartbeat knob is drawn *after* the four original kinds so
+        // pre-existing seeded schedules keep their exact fault streams.
         NetFaults {
             seed,
             sync: knob(),
             gather: knob(),
             recovery: knob(),
             control: knob(),
+            heartbeat: knob(),
         }
     }
 
@@ -167,6 +181,7 @@ impl NetFaults {
             CommKind::Gather => self.gather,
             CommKind::Recovery => self.recovery,
             CommKind::Control => self.control,
+            CommKind::Heartbeat => self.heartbeat,
         }
     }
 }
@@ -234,6 +249,19 @@ impl FailureInjector {
         }
     }
 
+    /// Returns the stall length in detector ticks (and consumes the plan)
+    /// if `node` is scheduled to stall at this iteration.
+    pub fn should_stall(&self, node: NodeId, iteration: u64) -> Option<u64> {
+        let mut plans = self.plans.lock();
+        let pos = plans.iter().position(|p| {
+            p.node == node && p.iteration == iteration && matches!(p.point, FailPoint::Stall(_))
+        })?;
+        match plans.swap_remove(pos).point {
+            FailPoint::Stall(ticks) => Some(ticks),
+            _ => unreachable!("position matched Stall"),
+        }
+    }
+
     /// Crashes not yet fired.
     pub fn pending(&self) -> usize {
         self.plans.lock().len()
@@ -282,6 +310,27 @@ mod tests {
         assert!(!inj.should_fail(NodeId::new(2), 4, FailPoint::CkptWrite));
         assert!(inj.should_fail(NodeId::new(2), 4, FailPoint::MigrationRound(3)));
         assert!(inj.should_fail(NodeId::new(2), 4, FailPoint::RebirthReload));
+        assert_eq!(inj.pending(), 0);
+    }
+
+    #[test]
+    fn stall_plans_consume_separately_from_crashes() {
+        let inj = FailureInjector::new();
+        inj.schedule(FailurePlan {
+            node: NodeId::new(1),
+            iteration: 2,
+            point: FailPoint::Stall(400),
+        });
+        inj.schedule(FailurePlan {
+            node: NodeId::new(1),
+            iteration: 2,
+            point: FailPoint::BeforeBarrier,
+        });
+        assert_eq!(inj.should_stall(NodeId::new(1), 1), None);
+        assert_eq!(inj.should_stall(NodeId::new(0), 2), None);
+        assert_eq!(inj.should_stall(NodeId::new(1), 2), Some(400));
+        assert_eq!(inj.should_stall(NodeId::new(1), 2), None); // consumed
+        assert!(inj.should_fail(NodeId::new(1), 2, FailPoint::BeforeBarrier));
         assert_eq!(inj.pending(), 0);
     }
 

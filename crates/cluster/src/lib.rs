@@ -40,11 +40,16 @@
 
 mod cluster;
 mod coord;
+mod detector;
 mod injector;
 mod transport;
 
 pub use cluster::{Cluster, Envelope, NodeCtx};
 pub use coord::{BarrierOutcome, Coordinator};
+pub use detector::{
+    Clock, DetectorConfig, DetectorKind, FailureDetector, VirtualClock, WallClock, PUMP_QUANTUM,
+    TICKS_PER_MS,
+};
 pub use injector::{FailPoint, FailureInjector, FailurePlan, LinkFaults, NetFaults, TransportKind};
 pub use transport::WireCodec;
 

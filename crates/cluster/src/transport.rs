@@ -60,6 +60,7 @@ use imitator_metrics::{AtomicCommStats, CommKind};
 use parking_lot::Mutex;
 
 use crate::cluster::{Cluster, Envelope, Fabric, RouteCache, StandbyEvent};
+use crate::detector::FailureDetector;
 use crate::injector::NetFaults;
 use crate::NodeId;
 
@@ -67,6 +68,11 @@ use crate::NodeId;
 /// transport wedged. Matches the recovery patience upstairs: anything this
 /// slow is a bug, not a slow network.
 const FENCE_PATIENCE: Duration = Duration::from_secs(30);
+
+/// Nominal wire cost of one heartbeat, charged uniformly on every backend
+/// so overhead numbers are comparable across transports: the TCP frame
+/// size (4-byte length prefix + [`TCP_HEADER`], empty payload).
+pub(crate) const HB_WIRE_BYTES: u64 = 4 + TCP_HEADER as u64;
 
 /// Binary encoding for messages that cross a real (serialised) wire.
 ///
@@ -162,6 +168,14 @@ pub(crate) trait Pipe<M>: Send {
     /// until everything this endpoint sent has been resolved at its
     /// destination. No-op on lockstep backends.
     fn flush(&self) {}
+
+    /// Best-effort, unacknowledged liveness beacon toward `to`. Unlike
+    /// [`send`](Pipe::send), heartbeats carry no payload, take no part in
+    /// the fence (a lost heartbeat is *information*, not data loss — the
+    /// next one supersedes it), and are routed to the shared
+    /// [`FailureDetector`] rather than to an inbox. Default: no-op, so the
+    /// oracle-mode wire is byte-identical to before the detector existed.
+    fn send_heartbeat(&self, _to: NodeId, _seq: u64) {}
 }
 
 // ---------------------------------------------------------------------------
@@ -186,14 +200,19 @@ impl<M: Send + 'static> Transport<M> for ChannelTransport<M> {
 
     fn open(
         &self,
-        _cluster: &Cluster<M>,
-        _id: NodeId,
+        cluster: &Cluster<M>,
+        id: NodeId,
         inbox: Receiver<Envelope<M>>,
     ) -> Box<dyn Pipe<M>> {
+        let det = Arc::clone(cluster.coordinator().detector());
+        let birth = det.birth(id);
         Box::new(ChannelPipe {
+            me: id,
+            birth,
             inbox,
             cache: RefCell::new(self.fabric.snapshot()),
             fabric: Arc::clone(&self.fabric),
+            det,
         })
     }
 }
@@ -202,9 +221,12 @@ impl<M: Send + 'static> Transport<M> for ChannelTransport<M> {
 /// cached snapshot of the sender table (see the fast-path notes in
 /// `cluster.rs`).
 struct ChannelPipe<M> {
+    me: NodeId,
+    birth: u64,
     inbox: Receiver<Envelope<M>>,
     cache: RefCell<RouteCache<M>>,
     fabric: Arc<Fabric<M>>,
+    det: Arc<FailureDetector>,
 }
 
 impl<M: Send + 'static> Pipe<M> for ChannelPipe<M> {
@@ -222,6 +244,12 @@ impl<M: Send + 'static> Pipe<M> for ChannelPipe<M> {
 
     fn recv_timeout(&self, timeout: Duration) -> Option<Envelope<M>> {
         self.inbox.recv_timeout(timeout).ok()
+    }
+
+    fn send_heartbeat(&self, _to: NodeId, seq: u64) {
+        // Lockstep wire: the beacon lands instantly. Per-peer copies of
+        // the same seq collapse in the detector's dedup.
+        self.det.observe_hb(self.me, self.birth, seq);
     }
 }
 
@@ -384,12 +412,15 @@ impl<M: Send + Clone + 'static> Transport<M> for LossyTransport<M> {
 
     fn open(
         &self,
-        _cluster: &Cluster<M>,
+        cluster: &Cluster<M>,
         id: NodeId,
         inbox: Receiver<Envelope<M>>,
     ) -> Box<dyn Pipe<M>> {
+        let det = Arc::clone(cluster.coordinator().detector());
+        let birth = det.birth(id);
         Box::new(LossyPipe {
             me: id,
+            birth,
             my_epoch: self.net.epoch(id),
             inbox,
             cache: RefCell::new(self.fabric.snapshot()),
@@ -397,7 +428,9 @@ impl<M: Send + Clone + 'static> Transport<M> for LossyTransport<M> {
             net: Arc::clone(&self.net),
             faults: self.faults,
             comm: Arc::clone(&self.comm),
+            det,
             tx: RefCell::new(HashMap::new()),
+            hb_rng: RefCell::new(HashMap::new()),
         })
     }
 
@@ -431,16 +464,23 @@ impl<M> TxLink<M> {
     }
 
     fn roll(&mut self) -> u64 {
-        self.rng = self.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.rng;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        (z ^ (z >> 31)) % 1000
+        splitmix_roll(&mut self.rng)
     }
+}
+
+/// One step of the seeded per-link splitmix stream, reduced to a
+/// per-mille roll.
+fn splitmix_roll(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    (z ^ (z >> 31)) % 1000
 }
 
 struct LossyPipe<M> {
     me: NodeId,
+    birth: u64,
     my_epoch: u64,
     inbox: Receiver<Envelope<M>>,
     cache: RefCell<RouteCache<M>>,
@@ -448,6 +488,11 @@ struct LossyPipe<M> {
     net: Arc<NetLayer>,
     faults: NetFaults,
     comm: Arc<AtomicCommStats>,
+    det: Arc<FailureDetector>,
+    /// Per-destination heartbeat fault stream, deliberately separate from
+    /// the data [`TxLink`] stream so enabling heartbeats cannot perturb
+    /// the seeded fault pattern the data traffic sees.
+    hb_rng: RefCell<HashMap<u32, u64>>,
     tx: RefCell<HashMap<u32, TxLink<M>>>,
 }
 
@@ -553,31 +598,111 @@ impl<M: Send + Clone + 'static> Pipe<M> for LossyPipe<M> {
             self.comm.record_retries(retries);
         }
     }
+
+    fn send_heartbeat(&self, to: NodeId, seq: u64) {
+        let mut hb = self.hb_rng.borrow_mut();
+        let state = hb.entry(to.raw()).or_insert_with(|| {
+            // Same shape as the TxLink seeding but a different multiplier:
+            // an independent stream keyed by the same identities.
+            let salt =
+                (u64::from(self.me.raw()) << 40) ^ (u64::from(to.raw()) << 16) ^ self.my_epoch;
+            self.faults.seed ^ salt.wrapping_mul(0xD6E8_FEB8_6659_FD93)
+        });
+        let f = self.faults.heartbeat;
+        let roll = splitmix_roll(state);
+        let dup_at = u64::from(f.drop_pm) + u64::from(f.dup_pm);
+        let reorder_at = dup_at + u64::from(f.reorder_pm);
+        let delay_at = reorder_at + u64::from(f.delay_pm);
+        if roll < u64::from(f.drop_pm) || (roll >= reorder_at && roll < delay_at) {
+            // Dropped or delayed: a heartbeat is never retransmitted — the
+            // next beacon supersedes it. (A reordered one still arrives;
+            // the detector's monotonic seq check absorbs the disorder.)
+            return;
+        }
+        self.det.observe_hb(self.me, self.birth, seq);
+        if roll < dup_at {
+            self.det.observe_hb(self.me, self.birth, seq); // dup, seq-dedup'd
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
 // TCP backend.
 // ---------------------------------------------------------------------------
 
-/// Wire frame header: `[len u32][from u32][src_epoch u64][dst_epoch u64]
-/// [seq u64][payload]`, everything little-endian, `len` covering all that
-/// follows it.
-const TCP_HEADER: usize = 4 + 8 + 8 + 8;
+/// Wire frame header: `[len u32][kind u8][from u32][src_epoch u64]
+/// [dst_epoch u64][seq u64][payload]`, everything little-endian, `len`
+/// covering all that follows it. `kind` selects the frame's routing:
+/// [`FRAME_DATA`] goes through [`NetLayer::resolve`] into an inbox,
+/// [`FRAME_HEARTBEAT`] (empty payload; the `src_epoch` slot carries the
+/// detector *birth*, the `dst_epoch` slot is unused) goes straight to the
+/// shared [`FailureDetector`].
+const TCP_HEADER: usize = 1 + 4 + 8 + 8 + 8;
+
+/// Frame kind: an application message.
+const FRAME_DATA: u8 = 0;
+/// Frame kind: a liveness beacon for the failure detector.
+const FRAME_HEARTBEAT: u8 = 1;
+
+/// How many times a transient connect or accept failure is retried before
+/// the endpoint gives up (exponential backoff with deterministic jitter
+/// between attempts).
+const NET_RETRY_ATTEMPTS: u32 = 5;
+
+/// Reader-thread poll quantum: readers block at most this long before
+/// re-checking the shutdown flag, so `shutdown` can join them without
+/// racing a blocked `read`.
+const READ_POLL: Duration = Duration::from_millis(25);
+
+/// Connects to `addr` with bounded exponential backoff. The jitter is
+/// derived from the link identity and attempt number — deterministic, but
+/// de-synchronised across links so a thundering herd of reconnects
+/// spreads out.
+fn connect_with_retry(addr: SocketAddr, me: NodeId, to: NodeId) -> Option<TcpStream> {
+    let mut pause = Duration::from_micros(200);
+    for attempt in 0..NET_RETRY_ATTEMPTS {
+        match TcpStream::connect(addr) {
+            Ok(s) => {
+                let _ = s.set_nodelay(true);
+                return Some(s);
+            }
+            Err(_) if attempt + 1 < NET_RETRY_ATTEMPTS => {
+                let mut h = (u64::from(me.raw()) << 32) ^ u64::from(to.raw()) ^ u64::from(attempt);
+                let jitter = Duration::from_micros(splitmix_roll(&mut h) % 200);
+                std::thread::sleep(pause + jitter);
+                pause *= 2;
+            }
+            Err(_) => return None,
+        }
+    }
+    None
+}
 
 /// Real loopback TCP sockets: one listener per node slot, persistent
 /// outbound connections per sender, fabric-owned reader threads decoding
-/// frames into the destination's local inbox.
+/// frames into the destination's local inbox (data) or the shared
+/// failure detector (heartbeats).
 pub(crate) struct TcpTransport<M> {
     fabric: Arc<Fabric<M>>,
     net: Arc<NetLayer>,
+    det: Arc<FailureDetector>,
     addrs: Arc<Vec<SocketAddr>>,
     done: Arc<AtomicBool>,
+    acceptors: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    readers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
 }
 
 impl<M: Send + WireCodec + 'static> TcpTransport<M> {
-    pub(crate) fn new(fabric: Arc<Fabric<M>>, n: usize, comm: Arc<AtomicCommStats>) -> Self {
+    pub(crate) fn new(
+        fabric: Arc<Fabric<M>>,
+        n: usize,
+        comm: Arc<AtomicCommStats>,
+        det: Arc<FailureDetector>,
+    ) -> Self {
         let net = Arc::new(NetLayer::new(n));
         let done = Arc::new(AtomicBool::new(false));
+        let readers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
+            Arc::new(Mutex::new(Vec::new()));
         let mut addrs = Vec::with_capacity(n);
         let mut listeners = Vec::with_capacity(n);
         for slot in 0..n {
@@ -586,16 +711,36 @@ impl<M: Send + WireCodec + 'static> TcpTransport<M> {
             addrs.push(l.local_addr().expect("listener has a local address"));
             listeners.push(l);
         }
+        let mut acceptors = Vec::with_capacity(n);
         for (slot, listener) in listeners.into_iter().enumerate() {
             let fabric = Arc::clone(&fabric);
             let net = Arc::clone(&net);
             let comm = Arc::clone(&comm);
+            let det = Arc::clone(&det);
             let done = Arc::clone(&done);
-            std::thread::spawn(move || {
+            let readers = Arc::clone(&readers);
+            acceptors.push(std::thread::spawn(move || {
                 let to = NodeId::from_index(slot);
+                let mut errors = 0u32;
+                let mut pause = Duration::from_micros(200);
                 loop {
-                    let Ok((stream, _)) = listener.accept() else {
-                        break;
+                    let stream = match listener.accept() {
+                        Ok((stream, _)) => {
+                            errors = 0;
+                            pause = Duration::from_micros(200);
+                            stream
+                        }
+                        Err(_) => {
+                            // Transient accept failures (EMFILE, ECONNABORTED)
+                            // are retried a bounded number of times.
+                            errors += 1;
+                            if done.load(Ordering::Acquire) || errors >= NET_RETRY_ATTEMPTS {
+                                break;
+                            }
+                            std::thread::sleep(pause);
+                            pause *= 2;
+                            continue;
+                        }
                     };
                     if done.load(Ordering::Acquire) {
                         break;
@@ -603,61 +748,129 @@ impl<M: Send + WireCodec + 'static> TcpTransport<M> {
                     let fabric = Arc::clone(&fabric);
                     let net = Arc::clone(&net);
                     let comm = Arc::clone(&comm);
-                    std::thread::spawn(move || read_frames(stream, to, &fabric, &net, &comm));
+                    let det = Arc::clone(&det);
+                    let done = Arc::clone(&done);
+                    readers.lock().push(std::thread::spawn(move || {
+                        read_frames(stream, to, &fabric, &net, &comm, &det, &done)
+                    }));
                 }
-            });
+            }));
         }
         TcpTransport {
             fabric,
             net,
+            det,
             addrs: Arc::new(addrs),
             done,
+            acceptors: Mutex::new(acceptors),
+            readers,
         }
     }
 }
 
+impl<M> TcpTransport<M> {
+    /// Idempotent teardown: raise the flag, nudge every acceptor awake,
+    /// then join acceptors and readers so no thread outlives the
+    /// transport (readers poll the flag every [`READ_POLL`]).
+    fn shutdown_impl(&self) {
+        if self.done.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        for addr in self.addrs.iter() {
+            let _ = TcpStream::connect(addr);
+        }
+        for h in self.acceptors.lock().drain(..) {
+            let _ = h.join();
+        }
+        for h in self.readers.lock().drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Reads exactly `buf.len()` bytes, treating read timeouts as a cue to
+/// re-check the shutdown flag. Returns `false` on EOF, error, or
+/// shutdown.
+fn read_full(stream: &mut TcpStream, buf: &mut [u8], done: &AtomicBool) -> bool {
+    use std::io::ErrorKind;
+    let mut got = 0;
+    while got < buf.len() {
+        match stream.read(&mut buf[got..]) {
+            Ok(0) => return false, // peer closed (endpoint dropped)
+            Ok(n) => got += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
+                ) =>
+            {
+                if done.load(Ordering::Acquire) {
+                    return false; // shutting down; abandon the stream
+                }
+            }
+            Err(_) => return false,
+        }
+    }
+    true
+}
+
 /// One connection's reader loop: length-prefixed frames → decode →
-/// resolve (dedup + epoch check) → local inbox.
+/// resolve (dedup + epoch check) → local inbox; heartbeat frames short-
+/// circuit into the failure detector, birth-guarded.
 fn read_frames<M: Send + WireCodec + 'static>(
     mut stream: TcpStream,
     to: NodeId,
     fabric: &Fabric<M>,
     net: &NetLayer,
     comm: &AtomicCommStats,
+    det: &FailureDetector,
+    done: &AtomicBool,
 ) {
+    let _ = stream.set_read_timeout(Some(READ_POLL));
     let mut cache = fabric.snapshot();
     let mut len = [0u8; 4];
     let mut payload = Vec::new();
     loop {
-        if stream.read_exact(&mut len).is_err() {
-            return; // peer closed (endpoint dropped) or shutdown
+        if !read_full(&mut stream, &mut len, done) {
+            return; // peer closed, shutdown, or error
         }
         let len = u32::from_le_bytes(len) as usize;
         if len < TCP_HEADER {
             return;
         }
         payload.resize(len, 0);
-        if stream.read_exact(&mut payload).is_err() {
+        if !read_full(&mut stream, &mut payload, done) {
             return;
         }
         let word = |at: usize| u64::from_le_bytes(payload[at..at + 8].try_into().unwrap());
-        let from = NodeId::new(u32::from_le_bytes(payload[0..4].try_into().unwrap()));
-        let (src_epoch, dst_epoch, seq) = (word(4), word(12), word(20));
-        let Some(msg) = M::decode_wire(&payload[TCP_HEADER..]) else {
-            return; // corrupt stream; drop the connection
-        };
-        net.resolve(
-            fabric,
-            &mut cache,
-            comm,
-            to,
-            Frame {
-                seq,
-                src_epoch,
-                dst_epoch,
-                env: Envelope { from, msg },
-            },
-        );
+        let kind = payload[0];
+        let from = NodeId::new(u32::from_le_bytes(payload[1..5].try_into().unwrap()));
+        let (src_epoch, dst_epoch, seq) = (word(5), word(13), word(21));
+        match kind {
+            FRAME_HEARTBEAT => {
+                // src_epoch carries the sender's detector birth; a beacon
+                // from a fenced predecessor incarnation is ignored there.
+                det.observe_hb(from, src_epoch, seq);
+            }
+            FRAME_DATA => {
+                let Some(msg) = M::decode_wire(&payload[TCP_HEADER..]) else {
+                    return; // corrupt stream; drop the connection
+                };
+                net.resolve(
+                    fabric,
+                    &mut cache,
+                    comm,
+                    to,
+                    Frame {
+                        seq,
+                        src_epoch,
+                        dst_epoch,
+                        env: Envelope { from, msg },
+                    },
+                );
+            }
+            _ => return, // unknown kind: corrupt stream
+        }
     }
 }
 
@@ -674,6 +887,7 @@ impl<M: Send + WireCodec + 'static> Transport<M> for TcpTransport<M> {
     ) -> Box<dyn Pipe<M>> {
         Box::new(TcpPipe {
             me: id,
+            birth: self.det.birth(id),
             my_epoch: self.net.epoch(id),
             inbox,
             net: Arc::clone(&self.net),
@@ -689,29 +903,19 @@ impl<M: Send + WireCodec + 'static> Transport<M> for TcpTransport<M> {
     }
 
     fn shutdown(&self) {
-        if self.done.swap(true, Ordering::AcqRel) {
-            return;
-        }
-        // Wake each acceptor with a throwaway connection so it observes
-        // `done` and exits; readers exit when their peers close.
-        for addr in self.addrs.iter() {
-            let _ = TcpStream::connect(addr);
-        }
+        self.shutdown_impl();
     }
 }
 
 impl<M> Drop for TcpTransport<M> {
     fn drop(&mut self) {
-        if !self.done.swap(true, Ordering::AcqRel) {
-            for addr in self.addrs.iter() {
-                let _ = TcpStream::connect(addr);
-            }
-        }
+        self.shutdown_impl();
     }
 }
 
 struct TcpPipe<M> {
     me: NodeId,
+    birth: u64,
     my_epoch: u64,
     inbox: Receiver<Envelope<M>>,
     net: Arc<NetLayer>,
@@ -722,35 +926,48 @@ struct TcpPipe<M> {
     buf: RefCell<Vec<u8>>,
 }
 
-impl<M: Send + WireCodec + 'static> Pipe<M> for TcpPipe<M> {
-    fn send(&self, to: NodeId, env: Envelope<M>, _kind: CommKind) -> bool {
-        let mut sent = self.sent.borrow_mut();
-        let seq = sent.entry(to.raw()).or_insert(0);
-        let mut buf = self.buf.borrow_mut();
-        buf.clear();
-        buf.extend_from_slice(&[0u8; 4]); // length, patched below
-        buf.extend_from_slice(&env.from.raw().to_le_bytes());
-        buf.extend_from_slice(&self.my_epoch.to_le_bytes());
-        buf.extend_from_slice(&self.net.epoch(to).to_le_bytes());
-        buf.extend_from_slice(&seq.to_le_bytes());
-        env.msg.encode_wire(&mut buf);
-        let len = (buf.len() - 4) as u32;
-        buf[0..4].copy_from_slice(&len.to_le_bytes());
-
+impl<M> TcpPipe<M> {
+    /// Writes the frame in `self.buf` to the connection toward `to`,
+    /// dialling it (bounded retry) on first use. A connection that errors
+    /// mid-write is discarded so the next frame redials instead of
+    /// writing into a dead socket.
+    fn write_frame(&self, to: NodeId) -> bool {
         let mut conns = self.conns.borrow_mut();
         let stream = match conns.entry(to.raw()) {
             std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
             std::collections::hash_map::Entry::Vacant(v) => {
-                match TcpStream::connect(self.addrs[to.index()]) {
-                    Ok(s) => {
-                        let _ = s.set_nodelay(true);
-                        v.insert(s)
-                    }
-                    Err(_) => return false, // transport shut down
+                match connect_with_retry(self.addrs[to.index()], self.me, to) {
+                    Some(s) => v.insert(s),
+                    None => return false, // transport shut down
                 }
             }
         };
-        if stream.write_all(&buf).is_err() {
+        if stream.write_all(&self.buf.borrow()).is_err() {
+            conns.remove(&to.raw());
+            return false;
+        }
+        true
+    }
+}
+
+impl<M: Send + WireCodec + 'static> Pipe<M> for TcpPipe<M> {
+    fn send(&self, to: NodeId, env: Envelope<M>, _kind: CommKind) -> bool {
+        let mut sent = self.sent.borrow_mut();
+        let seq = sent.entry(to.raw()).or_insert(0);
+        {
+            let mut buf = self.buf.borrow_mut();
+            buf.clear();
+            buf.extend_from_slice(&[0u8; 4]); // length, patched below
+            buf.push(FRAME_DATA);
+            buf.extend_from_slice(&env.from.raw().to_le_bytes());
+            buf.extend_from_slice(&self.my_epoch.to_le_bytes());
+            buf.extend_from_slice(&self.net.epoch(to).to_le_bytes());
+            buf.extend_from_slice(&seq.to_le_bytes());
+            env.msg.encode_wire(&mut buf);
+            let len = (buf.len() - 4) as u32;
+            buf[0..4].copy_from_slice(&len.to_le_bytes());
+        }
+        if !self.write_frame(to) {
             return false;
         }
         *seq += 1;
@@ -783,6 +1000,24 @@ impl<M: Send + WireCodec + 'static> Pipe<M> for TcpPipe<M> {
                 self.net.delivered(self.me, to, self.my_epoch) >= n
             });
         }
+    }
+
+    fn send_heartbeat(&self, to: NodeId, seq: u64) {
+        {
+            let mut buf = self.buf.borrow_mut();
+            buf.clear();
+            buf.extend_from_slice(&[0u8; 4]);
+            buf.push(FRAME_HEARTBEAT);
+            buf.extend_from_slice(&self.me.raw().to_le_bytes());
+            buf.extend_from_slice(&self.birth.to_le_bytes()); // src_epoch slot: detector birth
+            buf.extend_from_slice(&0u64.to_le_bytes()); // dst_epoch slot: unused
+            buf.extend_from_slice(&seq.to_le_bytes());
+            let len = (buf.len() - 4) as u32;
+            buf[0..4].copy_from_slice(&len.to_le_bytes());
+        }
+        // Best-effort: no seq accounting, no fence participation — a lost
+        // beacon is superseded by the next one.
+        let _ = self.write_frame(to);
     }
 }
 

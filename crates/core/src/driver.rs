@@ -357,10 +357,10 @@ where
         dfs,
         cfg,
     });
-    let cluster: Cluster<Msg<M>> = Cluster::with_transport(
+    let cluster: Cluster<Msg<M>> = Cluster::with_detector(
         cfg.num_nodes,
         cfg.standbys,
-        cfg.detection_delay,
+        cfg.detector_config(),
         cfg.transport,
     );
 
@@ -420,6 +420,7 @@ where
     );
     report.pipeline = cfg.pipeline;
     report.delta_sync = cfg.delta_sync;
+    report.suspicion = cluster.coordinator().suspicion_stats();
     let mut values: Vec<Option<M::Value>> = vec![None; num_vertices];
     for lg in &graphs {
         for pos in 0..lg.len() as u32 {
@@ -484,6 +485,19 @@ fn node_main<M: ComputeModel>(
     loop {
         if st.iter >= shared.cfg.max_iters {
             break;
+        }
+        if let Some(ticks) = shared.injector.should_stall(me, st.iter) {
+            // Go silent before doing any work this iteration. A stall that
+            // outlives the suspicion fence gets this node confirmed dead by
+            // the heartbeat detector; it must then exit exactly like a
+            // BeforeBarrier crash at the same (node, iteration) — nothing
+            // was computed or sent yet, so the surviving protocol is
+            // identical. A shorter stall is retracted and execution
+            // continues untouched.
+            if !ctx.stall(ticks) {
+                absorb_pool(&mut st, &pool);
+                return NodeOutcome::from_state(None, st);
+            }
         }
         if shared
             .injector

@@ -58,7 +58,7 @@ mod runner_vc;
 mod suppress;
 pub mod wire;
 
-pub use imitator_cluster::{LinkFaults, NetFaults, TransportKind};
+pub use imitator_cluster::{DetectorConfig, DetectorKind, LinkFaults, NetFaults, TransportKind};
 pub use msg::{EcMsg, VcMsg, VertexSync};
 pub use report::{RecoveryReport, RunReport};
 pub use runner_ec::run_edge_cut;
@@ -125,9 +125,21 @@ pub struct RunConfig {
     pub max_iters: u64,
     /// Fault-tolerance mode.
     pub ft: FtMode,
-    /// Heartbeat-style failure-detection delay (the paper uses a
-    /// conservative 500 ms; tests use zero).
+    /// How node failures are noticed. [`DetectorKind::Oracle`] is told
+    /// about each crash by the injector (with `detection_delay` latency);
+    /// [`DetectorKind::Heartbeat`] infers crashes from missed
+    /// sequence-numbered heartbeats and retracts suspicions when late
+    /// evidence of life arrives.
+    pub detector: DetectorKind,
+    /// Oracle-mode failure-detection delay (the paper uses a conservative
+    /// 500 ms; tests use zero). Ignored under [`DetectorKind::Heartbeat`].
     pub detection_delay: Duration,
+    /// Heartbeat emission period (heartbeat detector only).
+    pub hb_interval: Duration,
+    /// Silence threshold before a node is *suspected* (heartbeat detector
+    /// only). Suspicion is retracted if evidence of life arrives before
+    /// the fence confirms it.
+    pub hb_timeout: Duration,
     /// Hot standby machines for Rebirth (and for checkpoint recovery, which
     /// also replaces crashed machines).
     pub standbys: usize,
@@ -168,7 +180,10 @@ impl Default for RunConfig {
             num_nodes: 4,
             max_iters: 100,
             ft: FtMode::None,
+            detector: DetectorKind::Oracle,
             detection_delay: Duration::ZERO,
+            hb_interval: Duration::from_millis(10),
+            hb_timeout: Duration::from_millis(60),
             standbys: 0,
             threads_per_node: 4,
             sync_suppress: true,
@@ -192,6 +207,14 @@ impl RunConfig {
             } => tolerance,
             FtMode::Checkpoint { .. } => 1,
             _ => 0,
+        }
+    }
+
+    /// The failure-detector configuration this run requests.
+    pub fn detector_config(&self) -> DetectorConfig {
+        match self.detector {
+            DetectorKind::Oracle => DetectorConfig::oracle(self.detection_delay),
+            DetectorKind::Heartbeat => DetectorConfig::heartbeat(self.hb_interval, self.hb_timeout),
         }
     }
 }

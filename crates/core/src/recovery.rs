@@ -60,7 +60,9 @@ use std::time::{Duration, Instant};
 use imitator_cluster::{BarrierOutcome, Envelope, FailPoint, NodeCtx, NodeId};
 use imitator_engine::{chunk_ranges, CopyKind, WorkerPool};
 use imitator_graph::Vid;
-use imitator_metrics::{CommKind, CommStats, PhaseTimes, RecoveryCounters, Stopwatch};
+use imitator_metrics::{
+    CommKind, CommStats, PhaseTimes, RecoveryCounters, Stopwatch, SuspicionStats,
+};
 use imitator_storage::{epoch, EpochError, EpochKind};
 
 use crate::driver::{
@@ -176,10 +178,21 @@ enum Abort {
 /// The result of (part of) one recovery attempt.
 type Attempt<T> = Result<T, Abort>;
 
+/// Snapshot of the shared failure detector's suspicion counters, stamped
+/// onto each [`RecoveryReport`] as the episode closes. Every node snapshots
+/// the same detector, so the report merge takes element-wise maxima.
+fn suspicion_now<T: Send + 'static>(ctx: &NodeCtx<T>) -> SuspicionStats {
+    ctx.cluster().coordinator().suspicion_stats()
+}
+
 /// Enters a barrier inside recovery; a failed outcome aborts the attempt.
+/// Finding *this node* in the failure list means the detector fenced it
+/// (a false suspicion that outlived the fence window): it is no longer a
+/// cluster member and must unwind exactly like a crashed node.
 fn barrier_ok<T: Send + 'static>(ctx: &NodeCtx<T>) -> Attempt<()> {
     match ctx.enter_barrier() {
         BarrierOutcome::Clean => Ok(()),
+        BarrierOutcome::Failed(list) if list.contains(&ctx.id()) => Err(Abort::Crashed),
         BarrierOutcome::Failed(list) => Err(Abort::Failures(list)),
     }
 }
@@ -188,6 +201,7 @@ fn barrier_ok<T: Send + 'static>(ctx: &NodeCtx<T>) -> Attempt<()> {
 fn barrier_sum_ok<T: Send + 'static>(ctx: &NodeCtx<T>, v: u64) -> Attempt<u64> {
     match ctx.enter_barrier_sum(v) {
         (BarrierOutcome::Clean, sum) => Ok(sum),
+        (BarrierOutcome::Failed(list), _) if list.contains(&ctx.id()) => Err(Abort::Crashed),
         (BarrierOutcome::Failed(list), _) => Err(Abort::Failures(list)),
     }
 }
@@ -283,6 +297,12 @@ pub(crate) fn recover<M: ComputeModel>(
     if matches!(shared.cfg.ft, FtMode::None) {
         panic!("node failure injected with fault tolerance disabled");
     }
+    if dead.contains(&ctx.id()) {
+        // The detector fenced *us* — from the cluster's point of view this
+        // node is dead and a recovery episode for it is already under way
+        // elsewhere. Exit like a crash; do not fight the fence.
+        return true;
+    }
     let undo: Undo<M> = Undo::capture(&**lg, st);
     let mut episode: Vec<NodeId> = dead.to_vec();
     episode.sort_unstable();
@@ -337,8 +357,11 @@ pub(crate) fn recover<M: ComputeModel>(
                 // re-derive it from the restored one.
                 shared.model.on_load(&**lg, shared);
                 let sw = Stopwatch::start();
-                abort_fence(ctx, st, &mut episode);
+                let fenced_out = abort_fence(ctx, st, &mut episode);
                 fence_time += sw.elapsed();
+                if fenced_out {
+                    return true;
+                }
             }
         }
     }
@@ -350,16 +373,19 @@ pub(crate) fn recover<M: ComputeModel>(
 /// suicide marks of standbys dispatched for the aborted attempt — unions
 /// them into the episode and tries again. All survivors observe identical
 /// barrier outcomes, so they leave the fence with identical episodes.
+/// Returns `true` when *this node* was fenced out mid-fence (its own ID in
+/// a failure list): the caller must exit like a crashed node.
 fn abort_fence<T: Send + 'static>(
     ctx: &NodeCtx<T>,
     st: &mut crate::rt::NodeState<T>,
     episode: &mut Vec<NodeId>,
-) {
+) -> bool {
     st.stash.clear();
     loop {
         drop(ctx.drain());
         match ctx.enter_barrier() {
-            BarrierOutcome::Clean => return,
+            BarrierOutcome::Clean => return false,
+            BarrierOutcome::Failed(list) if list.contains(&ctx.id()) => return true,
             BarrierOutcome::Failed(list) => {
                 for n in list {
                     if !episode.contains(&n) {
@@ -596,6 +622,7 @@ fn rebirth_survivor<M: ComputeModel>(
         contacted,
         counters: RecoveryCounters::default(),
         phases,
+        suspicion: suspicion_now(ctx),
     })
 }
 
@@ -736,6 +763,7 @@ pub(crate) fn rebirth_newbie<M: ComputeModel>(
             aborts: 0,
         },
         phases,
+        suspicion: suspicion_now(ctx),
     });
     let lg =
         Arc::try_unwrap(lg).unwrap_or_else(|_| panic!("newbie graph still shared by pool workers"));
@@ -1281,6 +1309,7 @@ fn migrate<M: ComputeModel>(
         contacted: others,
         counters: RecoveryCounters::default(),
         phases,
+        suspicion: suspicion_now(ctx),
     })
 }
 
@@ -1408,6 +1437,7 @@ fn ckpt_recover_survivor<M: ComputeModel>(
         contacted: Vec::new(),
         counters: RecoveryCounters::default(),
         phases,
+        suspicion: suspicion_now(ctx),
     })
 }
 
@@ -1677,6 +1707,7 @@ fn ckpt_fallback<M: ComputeModel>(
         contacted: others,
         counters: RecoveryCounters::default(),
         phases,
+        suspicion: suspicion_now(ctx),
     })
 }
 
@@ -1771,6 +1802,7 @@ pub(crate) fn ckpt_newbie<M: ComputeModel>(
             aborts: 0,
         },
         phases,
+        suspicion: suspicion_now(ctx),
     });
     Some(lg)
 }

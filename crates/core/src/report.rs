@@ -4,7 +4,9 @@ use std::time::Duration;
 
 use imitator_cluster::NodeId;
 use imitator_graph::Vid;
-use imitator_metrics::{CommBreakdown, CommStats, PhaseTimes, PoolStats, RecoveryCounters};
+use imitator_metrics::{
+    CommBreakdown, CommStats, PhaseTimes, PoolStats, RecoveryCounters, SuspicionStats,
+};
 
 /// What one recovery episode cost, broken into the paper's three phases
 /// (§5.1/§5.2, Figs. 2(c), 9, 11(b), 15(b)).
@@ -48,6 +50,12 @@ pub struct RecoveryReport {
     /// fences) and `migration_round1..8`. Merged per-phase maxima across
     /// nodes, like the coarse three-phase fields above.
     pub phases: PhaseTimes,
+    /// Failure-detector activity as of the end of this episode: suspicions
+    /// raised, retracted (false positives caught in time), confirmed, and
+    /// the summed observed detection latency in detector ticks. All-zero
+    /// under the oracle detector. Nodes snapshot one shared detector, so
+    /// the merge takes element-wise maxima rather than sums.
+    pub suspicion: SuspicionStats,
 }
 
 impl RecoveryReport {
@@ -77,6 +85,7 @@ impl RecoveryReport {
         self.contacted.dedup();
         self.counters.merge(&other.counters);
         self.phases.merge_max(&other.phases);
+        self.suspicion.merge(&other.suspicion);
     }
 }
 
@@ -131,6 +140,13 @@ pub struct RunReport<V> {
     /// Whether sync records were delta-encoded (config echo; see
     /// [`crate::RunConfig::delta_sync`]).
     pub delta_sync: bool,
+    /// Failure-detector activity over the whole run: suspicions raised,
+    /// retracted (false positives caught before the fence), confirmed, and
+    /// the summed observed detection latency in detector ticks. All-zero
+    /// under the oracle detector; nonzero only when the heartbeat detector
+    /// actually suspected somebody (a stall-only run shows retractions here
+    /// even though no recovery episode ever started).
+    pub suspicion: SuspicionStats,
 }
 
 impl<V> RunReport<V> {
@@ -180,6 +196,7 @@ mod tests {
                 aborts: 0,
             },
             phases: PhaseTimes::new(),
+            suspicion: SuspicionStats::default(),
         }
     }
 

@@ -183,6 +183,7 @@ pub(crate) fn merge_outcomes<G, V>(
         pool: PoolStats::default(),
         pipeline: false,
         delta_sync: false,
+        suspicion: imitator_metrics::SuspicionStats::default(),
     };
     for o in outcomes {
         report.pool.merge(&o.pool);

@@ -150,6 +150,7 @@ fn base_cfg(nodes: usize) -> RunConfig {
         pipeline: true,
         delta_sync: true,
         transport: TransportKind::Channel,
+        ..RunConfig::default()
     }
 }
 

@@ -72,6 +72,7 @@ fn cfg(nodes: usize, ft: FtMode, standbys: usize) -> RunConfig {
         pipeline: true,
         delta_sync: true,
         transport: TransportKind::Channel,
+        ..RunConfig::default()
     }
 }
 

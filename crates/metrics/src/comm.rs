@@ -101,15 +101,18 @@ pub enum CommKind {
     Recovery,
     /// Everything else (control, tests, unclassified).
     Control,
+    /// Failure-detector heartbeat probes (liveness traffic, §detection).
+    Heartbeat,
 }
 
 impl CommKind {
     /// All kinds, in counter-array order.
-    pub const ALL: [CommKind; 4] = [
+    pub const ALL: [CommKind; 5] = [
         CommKind::Sync,
         CommKind::Gather,
         CommKind::Recovery,
         CommKind::Control,
+        CommKind::Heartbeat,
     ];
 
     fn index(self) -> usize {
@@ -118,6 +121,7 @@ impl CommKind {
             CommKind::Gather => 1,
             CommKind::Recovery => 2,
             CommKind::Control => 3,
+            CommKind::Heartbeat => 4,
         }
     }
 
@@ -128,6 +132,7 @@ impl CommKind {
             CommKind::Gather => "gather",
             CommKind::Recovery => "recovery",
             CommKind::Control => "control",
+            CommKind::Heartbeat => "heartbeat",
         }
     }
 }
@@ -138,7 +143,7 @@ impl CommKind {
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CommBreakdown {
     /// Per-kind tallies, indexed by `CommKind::ALL` order.
-    pub by_kind: [CommStats; 4],
+    pub by_kind: [CommStats; 5],
     /// Summed wall-clock time all threads spent blocked in global barriers.
     pub barrier_wait: std::time::Duration,
     /// Messages retransmitted by an unreliable transport's pre-barrier
@@ -208,8 +213,8 @@ impl fmt::Display for CommBreakdown {
 pub struct AtomicCommStats {
     messages: AtomicU64,
     bytes: AtomicU64,
-    kind_messages: [AtomicU64; 4],
-    kind_bytes: [AtomicU64; 4],
+    kind_messages: [AtomicU64; 5],
+    kind_bytes: [AtomicU64; 5],
     barrier_wait_nanos: AtomicU64,
     retries: AtomicU64,
     redelivered: AtomicU64,
@@ -283,7 +288,7 @@ impl AtomicCommStats {
     /// Resets the headline counters to zero and returns the previous values
     /// (per-kind counters and the barrier timer reset alongside).
     pub fn take(&self) -> CommStats {
-        for i in 0..4 {
+        for i in 0..5 {
             self.kind_messages[i].store(0, Ordering::Relaxed);
             self.kind_bytes[i].store(0, Ordering::Relaxed);
         }
@@ -387,11 +392,13 @@ mod tests {
         stats.record_kind(CommKind::Gather, 1, 10);
         stats.record_kind(CommKind::Recovery, 3, 30);
         stats.record(1, 5); // control
+        stats.record_kind(CommKind::Heartbeat, 6, 198);
         let br = stats.breakdown();
         assert_eq!(br.kind(CommKind::Sync), CommStats::new(2, 20));
         assert_eq!(br.kind(CommKind::Gather), CommStats::new(1, 10));
         assert_eq!(br.kind(CommKind::Recovery), CommStats::new(3, 30));
         assert_eq!(br.kind(CommKind::Control), CommStats::new(1, 5));
+        assert_eq!(br.kind(CommKind::Heartbeat), CommStats::new(6, 198));
         assert_eq!(br.total(), stats.snapshot());
     }
 

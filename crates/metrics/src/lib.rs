@@ -39,6 +39,7 @@ mod counters;
 mod memsize;
 mod pool;
 mod summary;
+mod suspicion;
 mod timer;
 
 pub use comm::{AtomicCommStats, CommBreakdown, CommKind, CommStats};
@@ -46,4 +47,5 @@ pub use counters::RecoveryCounters;
 pub use memsize::MemSize;
 pub use pool::PoolStats;
 pub use summary::Summary;
+pub use suspicion::SuspicionStats;
 pub use timer::{PhaseTimes, Stopwatch};

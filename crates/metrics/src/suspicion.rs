@@ -1,0 +1,110 @@
+//! Failure-detection suspicion accounting.
+//!
+//! The heartbeat detector (`crates/cluster/src/detector.rs`) declares a node
+//! *suspected* when its heartbeats go quiet, *retracts* the suspicion if the
+//! node turns out to be merely slow, and *confirms* it (handing the node to
+//! recovery) when the silence outlives the fence. These counters quantify
+//! that lifecycle — in particular the observed detection latency the paper's
+//! detection-delay ablation is about, as opposed to the configured constant.
+
+use std::fmt;
+
+/// Counters for one run's suspicion lifecycle.
+///
+/// # Examples
+///
+/// ```
+/// use imitator_metrics::SuspicionStats;
+///
+/// let mut a = SuspicionStats { suspected: 2, retracted: 1, confirmed: 1, detect_ticks: 40 };
+/// let b = SuspicionStats { suspected: 1, retracted: 0, confirmed: 1, detect_ticks: 55 };
+/// a.merge(&b);
+/// assert_eq!(a.suspected, 2);
+/// assert_eq!(a.detect_ticks, 55);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SuspicionStats {
+    /// Times any node transitioned alive → suspected.
+    pub suspected: u64,
+    /// Suspicions withdrawn because liveness evidence arrived pre-fence.
+    pub retracted: u64,
+    /// Suspicions confirmed as failures and handed to recovery.
+    pub confirmed: u64,
+    /// Cumulative detector ticks between a confirmed node's last sign of
+    /// life and the confirmation — the *observed* detection latency.
+    pub detect_ticks: u64,
+}
+
+impl SuspicionStats {
+    /// True when no suspicion activity was recorded at all.
+    pub fn is_empty(&self) -> bool {
+        *self == SuspicionStats::default()
+    }
+
+    /// Folds another snapshot in. All four counters come from the one shared
+    /// per-cluster detector, so parallel node threads observe the same
+    /// monotonically-growing totals: element-wise max (not sum) merges
+    /// duplicate snapshots without double counting.
+    pub fn merge(&mut self, other: &SuspicionStats) {
+        self.suspected = self.suspected.max(other.suspected);
+        self.retracted = self.retracted.max(other.retracted);
+        self.confirmed = self.confirmed.max(other.confirmed);
+        self.detect_ticks = self.detect_ticks.max(other.detect_ticks);
+    }
+}
+
+impl fmt::Display for SuspicionStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} suspected / {} retracted / {} confirmed, {} detect tick(s)",
+            self.suspected, self.retracted, self.confirmed, self.detect_ticks
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_empty() {
+        assert!(SuspicionStats::default().is_empty());
+        let s = SuspicionStats {
+            suspected: 1,
+            ..SuspicionStats::default()
+        };
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn merge_takes_element_wise_max() {
+        let mut a = SuspicionStats {
+            suspected: 3,
+            retracted: 0,
+            confirmed: 2,
+            detect_ticks: 10,
+        };
+        let b = SuspicionStats {
+            suspected: 1,
+            retracted: 4,
+            confirmed: 2,
+            detect_ticks: 90,
+        };
+        a.merge(&b);
+        assert_eq!(
+            a,
+            SuspicionStats {
+                suspected: 3,
+                retracted: 4,
+                confirmed: 2,
+                detect_ticks: 90,
+            }
+        );
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", SuspicionStats::default()).is_empty());
+    }
+}

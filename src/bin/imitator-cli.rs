@@ -18,7 +18,8 @@ use std::time::Duration;
 use imitator_repro::algos::{Als, CommunityDetection, PageRank, Sssp};
 use imitator_repro::cluster::{FailPoint, FailurePlan, NodeId};
 use imitator_repro::ft::{
-    run_edge_cut, FtMode, NetFaults, RecoveryStrategy, RunConfig, RunReport, TransportKind,
+    run_edge_cut, DetectorKind, FtMode, NetFaults, RecoveryStrategy, RunConfig, RunReport,
+    TransportKind,
 };
 use imitator_repro::graph::gen::Dataset;
 use imitator_repro::graph::{Graph, Vid};
@@ -57,6 +58,12 @@ OPTIONS (run):
                                     (results identical to channels)
   --lossy <seed>                    seeded drop/dup/reorder/delay fault
                                     schedule on every link (results identical)
+  --detector <oracle|heartbeat>     failure detection    [default: oracle]
+                                    oracle: the injector reports crashes;
+                                    heartbeat: crashes are inferred from
+                                    missed heartbeats (results identical)
+  --hb-interval <ms>                heartbeat period     [default: 10]
+  --hb-timeout <ms>                 silence before suspicion [default: 60]
   --iters <n>                       iteration budget     [default: 20]
   --source <vid>                    SSSP source          [default: 0]
   --seed <u64>                      generator seed       [default: 42]
@@ -82,6 +89,9 @@ struct Opts {
     pipeline: bool,
     delta_sync: bool,
     transport: TransportKind,
+    detector: DetectorKind,
+    hb_interval_ms: u64,
+    hb_timeout_ms: u64,
     fails: Vec<(u32, u64)>,
     iters: u64,
     source: u32,
@@ -108,6 +118,9 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
         pipeline: true,
         delta_sync: true,
         transport: TransportKind::Channel,
+        detector: DetectorKind::Oracle,
+        hb_interval_ms: 10,
+        hb_timeout_ms: 60,
         fails: Vec::new(),
         iters: 20,
         source: 0,
@@ -147,6 +160,21 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
             "--lossy" => {
                 let seed = value()?.parse().map_err(|e| format!("--lossy: {e}"))?;
                 opts.transport = TransportKind::Lossy(NetFaults::from_seed(seed));
+            }
+            "--detector" => {
+                opts.detector = match value()?.as_str() {
+                    "oracle" => DetectorKind::Oracle,
+                    "heartbeat" | "hb" => DetectorKind::Heartbeat,
+                    other => return Err(format!("unknown detector {other}")),
+                };
+            }
+            "--hb-interval" => {
+                opts.hb_interval_ms = value()?
+                    .parse()
+                    .map_err(|e| format!("--hb-interval: {e}"))?;
+            }
+            "--hb-timeout" => {
+                opts.hb_timeout_ms = value()?.parse().map_err(|e| format!("--hb-timeout: {e}"))?;
             }
             "--fail" => {
                 let v = value()?;
@@ -262,6 +290,9 @@ fn report_common<V>(r: &RunReport<V>) {
             rec.replay.as_secs_f64() * 1e3,
         );
     }
+    if !r.suspicion.is_empty() {
+        println!("detector: {}", r.suspicion);
+    }
 }
 
 fn print_top(label: &str, scored: Vec<(usize, f64)>, top: usize) {
@@ -292,7 +323,10 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
         max_iters: opts.iters,
         ft,
         standbys,
+        detector: opts.detector,
         detection_delay: Duration::from_millis(20),
+        hb_interval: Duration::from_millis(opts.hb_interval_ms),
+        hb_timeout: Duration::from_millis(opts.hb_timeout_ms),
         threads_per_node: opts.threads,
         sync_suppress: opts.sync_suppress,
         pipeline: opts.pipeline,
@@ -497,6 +531,29 @@ mod tests {
         assert!(parse(&["run", "--nodes", "abc"]).is_err());
         assert!(parse(&["run", "--fail", "3"]).is_err()); // no @
         assert!(parse(&["run", "--wat"]).is_err());
+        assert!(parse(&["run", "--detector", "psychic"]).is_err());
+        assert!(parse(&["run", "--hb-interval", "soon"]).is_err());
+    }
+
+    #[test]
+    fn detector_flags_parse() {
+        let o = parse(&["run"]).unwrap();
+        assert_eq!(o.detector, DetectorKind::Oracle);
+        assert_eq!((o.hb_interval_ms, o.hb_timeout_ms), (10, 60));
+        let o = parse(&[
+            "run",
+            "--detector",
+            "heartbeat",
+            "--hb-interval",
+            "5",
+            "--hb-timeout",
+            "25",
+        ])
+        .unwrap();
+        assert_eq!(o.detector, DetectorKind::Heartbeat);
+        assert_eq!((o.hb_interval_ms, o.hb_timeout_ms), (5, 25));
+        let o = parse(&["run", "--detector", "hb"]).unwrap();
+        assert_eq!(o.detector, DetectorKind::Heartbeat);
     }
 
     #[test]

@@ -2132,6 +2132,7 @@ fn lossy_migration_round_drop_and_sync_dup_recover() {
             ..LinkFaults::NONE
         },
         control: LinkFaults::NONE,
+        heartbeat: LinkFaults::NONE,
     };
     let ft = FtMode::Replication {
         tolerance: 1,

@@ -107,6 +107,18 @@ impl Condvar {
         );
     }
 
+    /// Atomically releases the guarded lock and blocks until notified or
+    /// `timeout` elapses. Returns `true` when the wait timed out.
+    pub fn wait_for<T>(&self, guard: &mut MutexGuard<'_, T>, timeout: std::time::Duration) -> bool {
+        let g = guard.g.take().expect("guard present outside wait");
+        let (g, res) = self
+            .inner
+            .wait_timeout(g, timeout)
+            .unwrap_or_else(sync::PoisonError::into_inner);
+        guard.g = Some(g);
+        res.timed_out()
+    }
+
     /// Wakes every thread blocked in [`Condvar::wait`].
     pub fn notify_all(&self) {
         self.inner.notify_all();
@@ -236,6 +248,28 @@ mod tests {
         });
         std::thread::sleep(Duration::from_millis(10));
         let (lock, cv) = &*pair;
+        *lock.lock() = true;
+        cv.notify_all();
+        assert!(t.join().unwrap());
+    }
+
+    #[test]
+    fn wait_for_times_out_and_wakes() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let (lock, cv) = &*pair;
+        let mut ready = lock.lock();
+        assert!(cv.wait_for(&mut ready, Duration::from_millis(5)));
+        drop(ready);
+        let p2 = Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            let (lock, cv) = &*p2;
+            let mut ready = lock.lock();
+            while !*ready {
+                cv.wait_for(&mut ready, Duration::from_secs(10));
+            }
+            true
+        });
+        std::thread::sleep(Duration::from_millis(10));
         *lock.lock() = true;
         cv.notify_all();
         assert!(t.join().unwrap());
